@@ -1,0 +1,231 @@
+//! Runtime-parameterised fixed-point values for design-space exploration.
+
+use crate::qformat::QFormat;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fixed-point value whose [`QFormat`] is chosen at runtime.
+///
+/// The const-generic [`Fix`](crate::Fix) type is the right choice inside the
+/// functional pipeline, but the word-length ablation experiments sweep the
+/// format as data (8/12/16/20/24 bits), which requires a runtime
+/// representation. Binary operations between two `DynFix` values adopt the
+/// format of the left-hand operand, mirroring an explicit cast in HLS code.
+///
+/// # Example
+///
+/// ```
+/// use apfixed::{DynFix, QFormat};
+///
+/// let q = QFormat::new(12, 9)?;
+/// let a = DynFix::from_f64(0.75, q);
+/// let b = DynFix::from_f64(0.5, q);
+/// assert_eq!(a.mul(b).to_f64(), 0.375);
+/// # Ok::<(), apfixed::FormatError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DynFix {
+    raw: i64,
+    format: QFormat,
+}
+
+impl DynFix {
+    /// Creates a value of zero in the given format.
+    pub fn zero(format: QFormat) -> Self {
+        DynFix { raw: 0, format }
+    }
+
+    /// Creates a value of one in the given format (saturating if one is not
+    /// representable).
+    pub fn one(format: QFormat) -> Self {
+        Self::from_f64(1.0, format)
+    }
+
+    /// Quantises an `f64` into the given format.
+    pub fn from_f64(value: f64, format: QFormat) -> Self {
+        DynFix {
+            raw: format.raw_from_f64(value),
+            format,
+        }
+    }
+
+    /// Builds a value from a raw integer, saturating into the format's range.
+    pub fn from_raw(raw: i64, format: QFormat) -> Self {
+        DynFix {
+            raw: format.saturate_raw(raw as i128),
+            format,
+        }
+    }
+
+    /// The raw two's-complement representation.
+    pub const fn raw(&self) -> i64 {
+        self.raw
+    }
+
+    /// The format this value is quantised in.
+    pub const fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// Converts back to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        self.format.raw_to_f64(self.raw)
+    }
+
+    /// Re-quantises this value into another format.
+    #[must_use]
+    pub fn requantize(&self, format: QFormat) -> Self {
+        DynFix {
+            raw: format.requantize(self.raw, &self.format),
+            format,
+        }
+    }
+
+    /// Adds two values; the result takes the format of `self`.
+    #[must_use]
+    pub fn add(&self, rhs: Self) -> Self {
+        let rhs = rhs.requantize(self.format);
+        DynFix {
+            raw: self.format.saturate_raw(self.raw as i128 + rhs.raw as i128),
+            format: self.format,
+        }
+    }
+
+    /// Subtracts `rhs`; the result takes the format of `self`.
+    #[must_use]
+    pub fn sub(&self, rhs: Self) -> Self {
+        let rhs = rhs.requantize(self.format);
+        DynFix {
+            raw: self.format.saturate_raw(self.raw as i128 - rhs.raw as i128),
+            format: self.format,
+        }
+    }
+
+    /// Multiplies two values; the result takes the format of `self`.
+    #[must_use]
+    pub fn mul(&self, rhs: Self) -> Self {
+        let rhs = rhs.requantize(self.format);
+        let product = self.raw as i128 * rhs.raw as i128;
+        let shifted = self.format.round_shift(product, self.format.frac_bits());
+        DynFix {
+            raw: self.format.saturate_raw(shifted),
+            format: self.format,
+        }
+    }
+
+    /// Divides by `rhs`; division by zero saturates. The result takes the
+    /// format of `self`.
+    #[must_use]
+    pub fn div(&self, rhs: Self) -> Self {
+        let rhs = rhs.requantize(self.format);
+        if rhs.raw == 0 {
+            return DynFix {
+                raw: if self.raw >= 0 {
+                    self.format.max_raw()
+                } else {
+                    self.format.min_raw()
+                },
+                format: self.format,
+            };
+        }
+        let numerator = (self.raw as i128) << self.format.frac_bits();
+        DynFix {
+            raw: self.format.saturate_raw(numerator / rhs.raw as i128),
+            format: self.format,
+        }
+    }
+
+    /// Negates the value.
+    #[must_use]
+    pub fn neg(&self) -> Self {
+        DynFix {
+            raw: self.format.saturate_raw(-(self.raw as i128)),
+            format: self.format,
+        }
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(&self) -> Self {
+        if self.raw < 0 {
+            self.neg()
+        } else {
+            *self
+        }
+    }
+
+    /// Quantisation error relative to a reference real value.
+    pub fn error_vs(&self, reference: f64) -> f64 {
+        (self.to_f64() - reference).abs()
+    }
+}
+
+impl fmt::Display for DynFix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.to_f64(), self.format)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qformat::RoundingMode;
+
+    fn q16() -> QFormat {
+        QFormat::new(16, 12).unwrap().with_rounding(RoundingMode::Nearest)
+    }
+
+    #[test]
+    fn construction_and_round_trip() {
+        let q = q16();
+        let v = DynFix::from_f64(1.5, q);
+        assert_eq!(v.to_f64(), 1.5);
+        assert_eq!(v.format(), q);
+        assert_eq!(DynFix::zero(q).to_f64(), 0.0);
+        assert_eq!(DynFix::one(q).to_f64(), 1.0);
+    }
+
+    #[test]
+    fn arithmetic_matches_real_arithmetic_within_epsilon() {
+        let q = q16();
+        let a = DynFix::from_f64(1.2, q);
+        let b = DynFix::from_f64(0.4, q);
+        assert!((a.add(b).to_f64() - 1.6).abs() <= q.epsilon());
+        assert!((a.sub(b).to_f64() - 0.8).abs() <= q.epsilon());
+        assert!((a.mul(b).to_f64() - 0.48).abs() <= 2.0 * q.epsilon());
+        assert!((a.div(b).to_f64() - 3.0).abs() <= 2.0 * q.epsilon());
+    }
+
+    #[test]
+    fn mixed_format_operations_requantize_rhs() {
+        let wide = QFormat::new(32, 24).unwrap();
+        let narrow = q16();
+        let a = DynFix::from_f64(0.5, narrow);
+        let b = DynFix::from_f64(0.25, wide);
+        let sum = a.add(b);
+        assert_eq!(sum.format(), narrow);
+        assert_eq!(sum.to_f64(), 0.75);
+    }
+
+    #[test]
+    fn division_by_zero_saturates() {
+        let q = q16();
+        let a = DynFix::from_f64(1.0, q);
+        assert_eq!(a.div(DynFix::zero(q)).raw(), q.max_raw());
+        assert_eq!(a.neg().div(DynFix::zero(q)).raw(), q.min_raw());
+    }
+
+    #[test]
+    fn error_vs_reports_quantisation_error() {
+        let coarse = QFormat::new(8, 4).unwrap();
+        let v = DynFix::from_f64(0.33, coarse);
+        assert!(v.error_vs(0.33) <= coarse.epsilon());
+        assert!(v.error_vs(0.33) > 0.0);
+    }
+
+    #[test]
+    fn display_includes_format() {
+        let v = DynFix::from_f64(0.5, q16());
+        assert!(format!("{v}").contains("Q4.12"));
+    }
+}

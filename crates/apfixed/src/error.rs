@@ -1,0 +1,59 @@
+//! Error types for fixed-point format construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a [`QFormat`](crate::QFormat) is constructed with an
+/// invalid combination of widths.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum FormatError {
+    /// The total word length is zero or exceeds the supported maximum (63
+    /// bits, so that products of two values always fit in `i128`).
+    InvalidWidth {
+        /// The requested total width in bits.
+        width: u32,
+    },
+    /// The number of fractional bits exceeds the total width.
+    FracExceedsWidth {
+        /// The requested total width in bits.
+        width: u32,
+        /// The requested number of fractional bits.
+        frac: u32,
+    },
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::InvalidWidth { width } => {
+                write!(f, "invalid fixed-point width {width}, expected 1..=63")
+            }
+            FormatError::FracExceedsWidth { width, frac } => write!(
+                f,
+                "fractional bits {frac} exceed total width {width} of the fixed-point format"
+            ),
+        }
+    }
+}
+
+impl Error for FormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = FormatError::InvalidWidth { width: 0 };
+        let msg = format!("{e}");
+        assert!(msg.contains("invalid fixed-point width 0"));
+        let e = FormatError::FracExceedsWidth { width: 8, frac: 12 };
+        assert!(format!("{e}").contains("exceed"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: Error>() {}
+        assert_error::<FormatError>();
+    }
+}

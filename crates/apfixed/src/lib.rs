@@ -1,0 +1,97 @@
+//! Software model of the Vivado HLS `ap_fixed` arbitrary-precision
+//! fixed-point types.
+//!
+//! The SOCC 2018 paper converts the Gaussian-blur accelerator from 32-bit
+//! floating point to a 16-bit `ap_fixed` representation ("FlP to FxP
+//! conversion", Section III-C). This crate provides a bit-accurate software
+//! equivalent so that the image-quality experiments (PSNR / SSIM of Fig. 5)
+//! can be *measured* rather than assumed, and so that the HLS model can
+//! reason about operator widths.
+//!
+//! Two representations are provided:
+//!
+//! * [`Fix`] — a compile-time-parameterised signed fixed-point number
+//!   `Fix<W, F>` with `W` total bits and `F` fractional bits, mirroring
+//!   `ap_fixed<W, W-F>`. This is the type used throughout the functional
+//!   tone-mapping pipeline.
+//! * [`DynFix`] — a runtime-parameterised value carrying its [`QFormat`],
+//!   used by the design-space-exploration helpers where the word length is a
+//!   sweep parameter.
+//!
+//! # Semantics
+//!
+//! A value is stored as a two's-complement integer `raw` of `W` bits; the
+//! represented real number is `raw / 2^F`. Conversions and arithmetic apply a
+//! [`RoundingMode`] when precision is lost and a [`SaturationMode`] when the
+//! result does not fit in `W` bits — exactly the `AP_RND`/`AP_TRN` and
+//! `AP_SAT`/`AP_WRAP` behaviours of the HLS types.
+//!
+//! # Example
+//!
+//! ```
+//! use apfixed::{Fix, QFormat};
+//!
+//! // ap_fixed<16, 4>: 16 bits total, 4 integer bits (incl. sign), 12 fractional.
+//! type F16 = Fix<16, 12>;
+//!
+//! let a = F16::from_f64(1.5);
+//! let b = F16::from_f64(0.25);
+//! assert_eq!((a + b).to_f64(), 1.75);
+//! assert_eq!((a * b).to_f64(), 0.375);
+//!
+//! // Quantisation error is bounded by the format's epsilon.
+//! let x = F16::from_f64(0.123456789);
+//! assert!((x.to_f64() - 0.123456789).abs() <= F16::FORMAT.epsilon());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dynfix;
+mod error;
+mod fix;
+mod qformat;
+
+pub use dynfix::DynFix;
+pub use error::FormatError;
+pub use fix::Fix;
+pub use qformat::{QFormat, RoundingMode, SaturationMode};
+
+/// Commonly used format in the paper's accelerator: 16-bit total word length.
+///
+/// The paper constrains hardware-function argument widths to 8/16/32/64 bits
+/// for AXI bus alignment and selects 16 bits for the fixed-point blur. Pixel
+/// values inside the tone-mapping pipeline are normalised to `[0, 1]`, with
+/// intermediate blur accumulations staying within a few units, so 4 integer
+/// bits (including sign) and 12 fractional bits is the natural split.
+pub type Fix16 = Fix<16, 12>;
+
+/// A wider accumulator format used inside multiply-accumulate chains,
+/// mirroring the common HLS practice of letting the accumulator grow before
+/// the final quantisation back to the bus width.
+pub type Fix32 = Fix<32, 24>;
+
+/// An 8-bit format used only in the width-sweep ablation experiments.
+pub type Fix8 = Fix<8, 6>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aliases_have_expected_formats() {
+        assert_eq!(Fix16::FORMAT.width(), 16);
+        assert_eq!(Fix16::FORMAT.frac_bits(), 12);
+        assert_eq!(Fix32::FORMAT.width(), 32);
+        assert_eq!(Fix8::FORMAT.int_bits(), 2);
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Fix16>();
+        assert_send_sync::<DynFix>();
+        assert_send_sync::<QFormat>();
+        assert_send_sync::<FormatError>();
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the fixed-point arithmetic substrate.
+//!
+//! These check the algebraic invariants the tone-mapping datapath relies on:
+//! quantisation error bounds, saturation correctness, ordering consistency
+//! and agreement between the const-generic and dynamic representations.
+
+use apfixed::{DynFix, Fix, QFormat, RoundingMode, SaturationMode};
+use proptest::prelude::*;
+
+type F16 = Fix<16, 12>;
+type F32 = Fix<32, 24>;
+
+/// Strategy producing f64 values well inside the representable range of
+/// `Fix<16,12>` ([-8, 8)), so arithmetic results stay in range too.
+fn small_real() -> impl Strategy<Value = f64> {
+    -3.5f64..3.5f64
+}
+
+/// Strategy producing values in the normalised pixel range used by the
+/// tone-mapping pipeline.
+fn pixel_real() -> impl Strategy<Value = f64> {
+    0.0f64..1.0f64
+}
+
+proptest! {
+    #[test]
+    fn conversion_round_trip_error_bounded(x in -7.9f64..7.9f64) {
+        let v = F16::from_f64(x);
+        prop_assert!((v.to_f64() - x).abs() <= F16::FORMAT.epsilon());
+    }
+
+    #[test]
+    fn raw_round_trip_is_identity(raw in -32768i64..=32767i64) {
+        let v = F16::from_raw(raw);
+        prop_assert_eq!(v.raw(), raw);
+        prop_assert_eq!(F16::from_f64(v.to_f64()).raw(), raw);
+    }
+
+    #[test]
+    fn addition_is_commutative(a in small_real(), b in small_real()) {
+        let (fa, fb) = (F16::from_f64(a), F16::from_f64(b));
+        prop_assert_eq!(fa + fb, fb + fa);
+    }
+
+    #[test]
+    fn multiplication_is_commutative(a in small_real(), b in small_real()) {
+        let (fa, fb) = (F16::from_f64(a), F16::from_f64(b));
+        prop_assert_eq!(fa * fb, fb * fa);
+    }
+
+    #[test]
+    fn addition_error_bounded(a in small_real(), b in small_real()) {
+        let sum = F16::from_f64(a) + F16::from_f64(b);
+        // Each operand carries at most eps/2 of representation error
+        // (round-to-nearest) and the addition itself is exact.
+        prop_assert!((sum.to_f64() - (a + b)).abs() <= F16::FORMAT.epsilon());
+    }
+
+    #[test]
+    fn multiplication_error_bounded(a in pixel_real(), b in pixel_real()) {
+        let prod = F16::from_f64(a) * F16::from_f64(b);
+        // Operand quantisation (<= eps/2 each, values < 1) plus one final
+        // rounding (<= eps/2).
+        prop_assert!((prod.to_f64() - a * b).abs() <= 2.0 * F16::FORMAT.epsilon());
+    }
+
+    #[test]
+    fn subtraction_is_inverse_of_addition(a in small_real(), b in small_real()) {
+        let (fa, fb) = (F16::from_f64(a), F16::from_f64(b));
+        prop_assert_eq!((fa + fb) - fb, fa);
+    }
+
+    #[test]
+    fn negation_is_involutive_except_min(a in small_real()) {
+        let fa = F16::from_f64(a);
+        prop_assert_eq!(-(-fa), fa);
+    }
+
+    #[test]
+    fn ordering_matches_f64_ordering(a in small_real(), b in small_real()) {
+        let (fa, fb) = (F16::from_f64(a), F16::from_f64(b));
+        if (a - b).abs() > 2.0 * F16::FORMAT.epsilon() {
+            prop_assert_eq!(fa < fb, a < b);
+        }
+    }
+
+    #[test]
+    fn saturation_never_exceeds_bounds(a in -1000.0f64..1000.0f64, b in -1000.0f64..1000.0f64) {
+        let v = F16::from_f64(a) + F16::from_f64(b);
+        prop_assert!(v.raw() >= F16::MIN.raw() && v.raw() <= F16::MAX.raw());
+        let w = F16::from_f64(a) * F16::from_f64(b);
+        prop_assert!(w.raw() >= F16::MIN.raw() && w.raw() <= F16::MAX.raw());
+    }
+
+    #[test]
+    fn mul_add_at_least_as_accurate_as_separate_ops(
+        a in pixel_real(), b in pixel_real(), c in pixel_real()
+    ) {
+        let (fa, fb, fc) = (F16::from_f64(a), F16::from_f64(b), F16::from_f64(c));
+        let fused = fa.mul_add(fb, fc).to_f64();
+        let exact = a * b + c;
+        prop_assert!((fused - exact).abs() <= 2.5 * F16::FORMAT.epsilon());
+    }
+
+    #[test]
+    fn widening_then_narrowing_preserves_value(a in small_real()) {
+        let narrow = F16::from_f64(a);
+        let wide: F32 = narrow.convert();
+        let back: F16 = wide.convert();
+        prop_assert_eq!(back, narrow);
+    }
+
+    #[test]
+    fn dynfix_agrees_with_const_generic(a in small_real(), b in small_real()) {
+        let q = QFormat::new(16, 12).unwrap().with_rounding(RoundingMode::Nearest);
+        let (fa, fb) = (F16::from_f64(a), F16::from_f64(b));
+        let (da, db) = (DynFix::from_f64(a, q), DynFix::from_f64(b, q));
+        prop_assert_eq!(da.add(db).raw(), (fa + fb).raw());
+        prop_assert_eq!(da.sub(db).raw(), (fa - fb).raw());
+        prop_assert_eq!(da.mul(db).raw(), (fa * fb).raw());
+    }
+
+    #[test]
+    fn wrap_mode_stays_in_range(a in -100.0f64..100.0f64) {
+        let q = QFormat::new(12, 6).unwrap().with_saturation(SaturationMode::Wrap);
+        let v = DynFix::from_f64(a, q);
+        prop_assert!(v.raw() >= q.min_raw() && v.raw() <= q.max_raw());
+    }
+
+    #[test]
+    fn coarser_formats_have_larger_error(x in pixel_real()) {
+        let q8 = QFormat::new(8, 6).unwrap().with_rounding(RoundingMode::Nearest);
+        let q16 = QFormat::new(16, 14).unwrap().with_rounding(RoundingMode::Nearest);
+        let e8 = DynFix::from_f64(x, q8).error_vs(x);
+        let e16 = DynFix::from_f64(x, q16).error_vs(x);
+        prop_assert!(e8 <= q8.epsilon() / 2.0 + 1e-15);
+        prop_assert!(e16 <= q16.epsilon() / 2.0 + 1e-15);
+    }
+
+    #[test]
+    fn sum_of_gaussian_weights_close_to_one(radius in 1usize..20) {
+        // The blur kernel normalisation invariant the accelerator relies on:
+        // quantised kernel taps still sum to ~1 within radius * eps.
+        let sigma = radius as f64 / 3.0;
+        let taps: Vec<f64> = (-(radius as i64)..=radius as i64)
+            .map(|i| (-((i * i) as f64) / (2.0 * sigma * sigma)).exp())
+            .collect();
+        let norm: f64 = taps.iter().sum();
+        let quantised: F16 = taps.iter().map(|&t| F16::from_f64(t / norm)).sum();
+        prop_assert!((quantised.to_f64() - 1.0).abs() <= (2 * radius + 1) as f64 * F16::FORMAT.epsilon());
+    }
+}

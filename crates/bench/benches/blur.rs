@@ -1,0 +1,63 @@
+//! Wall-clock benchmarks of the Gaussian-blur implementations — the
+//! functional counterparts of the paper's accelerated function: naive 2-D vs
+//! restructured separable, 32-bit float vs 16-bit fixed point.
+
+use apfixed::Fix16;
+use bench::bench_input;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdr_image::ImageBuffer;
+use std::time::Duration;
+use tonemap_core::blur::{blur_naive_2d, blur_separable};
+use tonemap_core::BlurParams;
+
+fn blur_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gaussian_blur");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let params = BlurParams { sigma: 3.0, radius: 8 };
+    for &size in &[128usize, 256] {
+        let image = bench_input(size).map(|&v| (v / 4000.0).min(1.0));
+        let fixed_image: ImageBuffer<Fix16> = image.map(|&v| Fix16::from_f32(v));
+
+        group.bench_with_input(BenchmarkId::new("separable_f32", size), &image, |b, img| {
+            b.iter(|| blur_separable(img, &params))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("separable_fix16", size),
+            &fixed_image,
+            |b, img| b.iter(|| blur_separable(img, &params)),
+        );
+        // The naive 2-D form is quadratic in the tap count; bench the small
+        // size only so the suite stays quick.
+        if size == 128 {
+            group.bench_with_input(BenchmarkId::new("naive_2d_f32", size), &image, |b, img| {
+                b.iter(|| blur_naive_2d(img, &params))
+            });
+        }
+    }
+
+    group.finish();
+}
+
+fn kernel_radius_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blur_radius_sweep");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let image = bench_input(128).map(|&v| (v / 4000.0).min(1.0));
+    for &radius in &[4usize, 8, 16, 20] {
+        let params = BlurParams { sigma: radius as f32 / 3.0, radius };
+        group.bench_with_input(BenchmarkId::from_parameter(radius), &params, |b, p| {
+            b.iter(|| blur_separable(&image, p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, blur_benchmarks, kernel_radius_sweep);
+criterion_main!(benches);

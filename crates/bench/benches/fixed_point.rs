@@ -1,0 +1,64 @@
+//! Micro-benchmarks of the fixed-point arithmetic substrate against native
+//! `f32`, the software counterpart of the paper's FlP → FxP conversion.
+
+use apfixed::{Fix, Fix16};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn arithmetic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fixed_point_arithmetic");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let xs_f32: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.001).sin() * 0.5 + 0.5).collect();
+    let ws_f32: Vec<f32> = (0..4096).map(|i| ((i * 7) as f32 * 0.002).cos() * 0.4 + 0.5).collect();
+    let xs_fix: Vec<Fix16> = xs_f32.iter().map(|&v| Fix16::from_f32(v)).collect();
+    let ws_fix: Vec<Fix16> = ws_f32.iter().map(|&v| Fix16::from_f32(v)).collect();
+    let xs_fix32: Vec<Fix<32, 24>> = xs_f32.iter().map(|&v| Fix::from_f32(v)).collect();
+    let ws_fix32: Vec<Fix<32, 24>> = ws_f32.iter().map(|&v| Fix::from_f32(v)).collect();
+
+    group.bench_function("mac_f32", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for (&x, &w) in xs_f32.iter().zip(&ws_f32) {
+                acc = w.mul_add(x, acc);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("mac_fix16", |b| {
+        b.iter(|| {
+            let mut acc = Fix16::ZERO;
+            for (&x, &w) in xs_fix.iter().zip(&ws_fix) {
+                acc = w.mul_add(x, acc);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("mac_fix32", |b| {
+        b.iter(|| {
+            let mut acc = Fix::<32, 24>::ZERO;
+            for (&x, &w) in xs_fix32.iter().zip(&ws_fix32) {
+                acc = w.mul_add(x, acc);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("quantise_f32_to_fix16", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &x in &xs_f32 {
+                acc = acc.wrapping_add(Fix16::from_f32(x).raw());
+            }
+            black_box(acc)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, arithmetic);
+criterion_main!(benches);

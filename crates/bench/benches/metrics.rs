@@ -1,0 +1,30 @@
+//! Benchmarks of the image-quality metrics used in the Fig. 5 experiment.
+
+use bench::bench_input;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdr_image::metrics::{psnr, ssim};
+use std::time::Duration;
+
+fn metric_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quality_metrics");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for &size in &[64usize, 128] {
+        let a = bench_input(size).map(|&v| (v / 4000.0).min(1.0));
+        let b_img = a.map_with_coords(|x, y, &v| (v + ((x + y) % 3) as f32 * 1e-4).min(1.0));
+
+        group.bench_with_input(BenchmarkId::new("psnr", size), &size, |b, _| {
+            b.iter(|| psnr(&a, &b_img, 1.0))
+        });
+        group.bench_with_input(BenchmarkId::new("ssim", size), &size, |b, _| {
+            b.iter(|| ssim(&a, &b_img).expect("identical dimensions"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, metric_benchmarks);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Wall-clock benchmarks of the full tone-mapping pipeline: software float
+//! path, fixed-point-blur path and the colour path.
+
+use apfixed::Fix16;
+use bench::bench_input;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdr_image::synth::SceneKind;
+use std::time::Duration;
+use tonemap_core::{ToneMapParams, ToneMapper};
+
+fn pipeline_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tonemap_pipeline");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    let mapper = ToneMapper::new(ToneMapParams::paper_default());
+    for &size in &[128usize, 256] {
+        let hdr = bench_input(size);
+        group.bench_with_input(BenchmarkId::new("float_reference", size), &hdr, |b, img| {
+            b.iter(|| mapper.map_luminance_f32(img))
+        });
+        group.bench_with_input(BenchmarkId::new("hw_blur_fix16", size), &hdr, |b, img| {
+            b.iter(|| mapper.map_luminance_hw_blur::<Fix16>(img))
+        });
+    }
+
+    let rgb = SceneKind::SunAndShadow.generate_rgb(128, 128, 7);
+    group.bench_function("rgb_float_128", |b| {
+        b.iter(|| mapper.map_rgb::<f32>(&rgb).expect("dimensions always match"))
+    });
+
+    group.finish();
+}
+
+fn scene_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tonemap_scenes");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let mapper = ToneMapper::new(ToneMapParams::paper_default());
+    for scene in SceneKind::ALL {
+        let hdr = scene.generate(128, 128, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(scene), &hdr, |b, img| {
+            b.iter(|| mapper.map_luminance_f32(img))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pipeline_benchmarks, scene_sweep);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Benchmarks of the analytical substrates themselves: HLS scheduling of the
+//! accelerator kernels and the end-to-end co-design flow evaluation. These
+//! regenerate the timing data behind Table II and Figs. 6–8, so their own
+//! cost matters for anyone sweeping the design space with this library.
+
+use bench::{paper_flow, PAPER_HEIGHT, PAPER_WIDTH};
+use codesign::flow::{CoDesignFlow, DesignImplementation};
+use codesign::kernels::{marked_hw_kernel, streaming_blur_kernel, BlurKernelSpec, StreamingOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hls_model::schedule::Scheduler;
+use hls_model::tech::TechLibrary;
+use std::time::Duration;
+use tonemap_core::BlurParams;
+
+fn scheduler_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hls_scheduler");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let spec = BlurKernelSpec::new(PAPER_WIDTH, PAPER_HEIGHT, BlurParams::paper_default());
+    let scheduler = Scheduler::new(TechLibrary::artix7_default());
+
+    let kernels = [
+        ("marked", marked_hw_kernel(&spec)),
+        (
+            "streaming",
+            streaming_blur_kernel(&spec, StreamingOptions { pipelined: false, fixed_point: false }),
+        ),
+        (
+            "pipelined",
+            streaming_blur_kernel(&spec, StreamingOptions { pipelined: true, fixed_point: false }),
+        ),
+        (
+            "fixed",
+            streaming_blur_kernel(&spec, StreamingOptions { pipelined: true, fixed_point: true }),
+        ),
+    ];
+    for (name, kernel) in &kernels {
+        group.bench_with_input(BenchmarkId::from_parameter(name), kernel, |b, k| {
+            b.iter(|| scheduler.schedule(k))
+        });
+    }
+    group.finish();
+}
+
+fn flow_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codesign_flow");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let flow = paper_flow();
+    group.bench_function("evaluate_fixed_point_design", |b| {
+        b.iter(|| flow.evaluate(DesignImplementation::FixedPointConversion))
+    });
+    group.bench_function("table2_full_flow_1024", |b| b.iter(|| flow.run_all()));
+    group.bench_function("profile_1024", |b| b.iter(|| flow.profile()));
+
+    // Resolution sweep of the full flow (how the conclusions scale with the
+    // image size).
+    for &size in &[256usize, 512, 1024, 2048] {
+        group.bench_with_input(BenchmarkId::new("run_all", size), &size, |b, &s| {
+            let flow = CoDesignFlow::paper_setup(s, s);
+            b.iter(|| flow.run_all())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scheduler_benchmarks, flow_benchmarks);
+criterion_main!(benches);

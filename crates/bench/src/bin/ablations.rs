@@ -1,0 +1,153 @@
+//! Ablation studies of the design choices called out in DESIGN.md:
+//!
+//! 1. **Data mover** — what happens to the pipelined designs if the
+//!    programmed-I/O mover is replaced by a burst DMA engine.
+//! 2. **PL clock** — 100 MHz (the paper's platform) vs the 142 MHz clock the
+//!    SDSoC platform also offers.
+//! 3. **Software baseline strength** — the co-design conclusion (17× function
+//!    speed-up) against an optimised NEON-style software baseline instead of
+//!    the paper's unoptimised reference build.
+//! 4. **Fixed-point word length** — quality vs accelerator time across
+//!    8/16/32-bit formats.
+
+use bench::{paper_input, PAPER_HEIGHT, PAPER_WIDTH};
+use codesign::flow::{CoDesignFlow, DesignImplementation};
+use codesign::kernels::{streaming_blur_kernel, BlurKernelSpec, StreamingOptions};
+use codesign::profile::Profiler;
+use codesign::quality::word_length_sweep;
+use hls_model::kernel::Kernel;
+use hls_model::pragma::{AccessPattern, DataMover, PartitionKind, Pragma};
+use hls_model::schedule::Scheduler;
+use hls_model::tech::TechLibrary;
+use hls_model::types::DataType;
+use hls_model::KernelBuilder;
+use tonemap_core::{BlurParams, ToneMapParams};
+use zynq_sim::arm::{ArmCostModel, PsModel};
+use zynq_sim::system::SystemSimulator;
+use zynq_sim::ZynqConfig;
+
+fn spec() -> BlurKernelSpec {
+    BlurKernelSpec::new(PAPER_WIDTH, PAPER_HEIGHT, BlurParams::paper_default())
+}
+
+/// Rebuilds the pipelined streaming kernel with DMA data movers instead of
+/// the programmed-I/O path.
+fn dma_variant(fixed_point: bool) -> Kernel {
+    let s = spec();
+    let taps = s.taps();
+    let dtype = if fixed_point { DataType::FIXED16 } else { DataType::Float32 };
+    let name = if fixed_point { "gaussian_blur_fixed_dma" } else { "gaussian_blur_pipelined_dma" };
+    KernelBuilder::new(name, dtype)
+        .external_array("input", s.pixels(), dtype)
+        .external_array("output", s.pixels(), dtype)
+        .bram_array("line_buffer", taps * s.width, dtype)
+        .bram_array("column_buffer", s.width, dtype)
+        .register_array("coeffs", taps, dtype)
+        .loop_nest(&[s.height, s.width], |body| {
+            body.load("input").store("line_buffer");
+            body.sub_loop("h_taps", taps, |t| {
+                t.load("line_buffer").load("coeffs").mul().accumulate();
+            });
+            body.store("column_buffer");
+            body.sub_loop("v_taps", taps, |t| {
+                t.load("line_buffer").load("coeffs").mul().accumulate();
+            });
+            body.store("output");
+        })
+        .pragma(Pragma::pipeline_loop("L1"))
+        .pragma(Pragma::array_partition("line_buffer", PartitionKind::Cyclic(taps)))
+        .pragma(Pragma::array_partition("column_buffer", PartitionKind::Cyclic(2)))
+        .pragma(Pragma::array_partition("coeffs", PartitionKind::Complete))
+        .pragma(Pragma::data_motion("input", DataMover::AxiDmaSimple, AccessPattern::Sequential))
+        .pragma(Pragma::data_motion("output", DataMover::AxiDmaSimple, AccessPattern::Sequential))
+        .build()
+}
+
+fn main() {
+    let tech = TechLibrary::artix7_default();
+    let scheduler = Scheduler::new(tech.clone());
+
+    // --- 1. Data-mover ablation -------------------------------------------
+    println!("--- Ablation 1: data mover for the pipelined accelerator ---");
+    println!(
+        "{:<34} {:>14} {:>10}",
+        "variant", "blur cycles", "blur (s)"
+    );
+    for (label, kernel) in [
+        (
+            "PIO mover, float (paper step 2)",
+            streaming_blur_kernel(&spec(), StreamingOptions { pipelined: true, fixed_point: false }),
+        ),
+        (
+            "PIO mover, fixed (paper step 3)",
+            streaming_blur_kernel(&spec(), StreamingOptions { pipelined: true, fixed_point: true }),
+        ),
+        ("AXI DMA mover, float", dma_variant(false)),
+        ("AXI DMA mover, fixed", dma_variant(true)),
+    ] {
+        let schedule = scheduler.schedule(&kernel);
+        println!(
+            "{:<34} {:>14} {:>10.3}",
+            label,
+            schedule.total_cycles,
+            schedule.seconds(&tech)
+        );
+    }
+    println!();
+
+    // --- 2. PL clock ablation ----------------------------------------------
+    println!("--- Ablation 2: PL clock frequency ---");
+    let fixed_schedule = scheduler.schedule(&streaming_blur_kernel(
+        &spec(),
+        StreamingOptions { pipelined: true, fixed_point: true },
+    ));
+    for clock_mhz in [100.0f64, 142.86, 200.0] {
+        let seconds = fixed_schedule.total_cycles as f64 / (clock_mhz * 1.0e6);
+        println!("  {clock_mhz:>7.2} MHz -> accelerated blur {seconds:.3} s");
+    }
+    println!();
+
+    // --- 3. Software-baseline ablation --------------------------------------
+    println!("--- Ablation 3: strength of the software baseline ---");
+    for (label, cost) in [
+        ("paper reference build", ArmCostModel::cortex_a9_effective()),
+        ("optimised NEON baseline", ArmCostModel::cortex_a9_optimized()),
+    ] {
+        let profiler = Profiler::new(
+            ToneMapParams::paper_default(),
+            PsModel::new(667.0e6, cost),
+        );
+        let flow = CoDesignFlow::new(
+            ToneMapParams::paper_default(),
+            PAPER_WIDTH,
+            PAPER_HEIGHT,
+            profiler,
+            tech.clone(),
+            SystemSimulator::new(ZynqConfig::zc702_default(), zynq_sim::PowerRails::zc702_default()),
+        );
+        let report = flow.run_all();
+        let sw = report.software_reference();
+        let fxp = report
+            .design(DesignImplementation::FixedPointConversion)
+            .expect("fixed-point design evaluated");
+        println!(
+            "  {label:<28} sw blur {:>7.2} s, accelerated {:>6.3} s, function speed-up {:>6.1}x, total speed-up {:>5.2}x, energy reduction {:>5.1}%",
+            sw.accelerated_seconds,
+            fxp.accelerated_seconds,
+            fxp.function_speedup_vs(sw),
+            fxp.total_speedup_vs(sw),
+            100.0 * fxp.energy_reduction_vs(sw)
+        );
+    }
+    println!();
+
+    // --- 4. Word-length ablation --------------------------------------------
+    println!("--- Ablation 4: fixed-point word length (quality side) ---");
+    let hdr = paper_input();
+    for entry in word_length_sweep(&hdr, ToneMapParams::paper_default()) {
+        println!(
+            "  {:>2}-bit: PSNR {:>6.1} dB, SSIM {:.4}",
+            entry.fixed_width_bits, entry.psnr_db, entry.ssim
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Regenerates every table and figure of the paper in one run:
+//! Table I, Table II, Fig. 5 (quality), Fig. 6, Fig. 7 and Fig. 8,
+//! plus the software profile that motivates the whole flow.
+
+use bench::{
+    paper_flow, paper_flow_report, paper_input, paper_table2_reference, PAPER_ENERGY_FXP_J,
+    PAPER_ENERGY_SW_J, PAPER_PSNR_DB, PAPER_SSIM,
+};
+use codesign::flow::DesignImplementation;
+use codesign::quality::evaluate_fixed_point_quality;
+use codesign::reports::{optimization_steps, EnergyBreakdown, ExecutionBreakdown};
+use tonemap_core::ToneMapParams;
+use zynq_sim::power::Rail;
+
+fn main() {
+    println!("==============================================================");
+    println!(" Reproduction of: Hardware Acceleration of HDR-Image Tone");
+    println!(" Mapping on an FPGA-CPU Platform Through High-Level Synthesis");
+    println!("==============================================================\n");
+
+    // --- Profiling (Section III-B premise) ------------------------------
+    let flow = paper_flow();
+    println!("--- Software profile (SDSoC flow step 1) ---");
+    let profile = flow.profile();
+    print!("{profile}");
+    println!(
+        "hottest function: {} ({:.2} s)\n",
+        profile.hottest_function().name,
+        profile.hottest_function().seconds
+    );
+
+    // --- Table I ---------------------------------------------------------
+    println!("--- TABLE I: optimization steps ---");
+    for (index, step) in optimization_steps() {
+        println!("  {index}  {step}");
+    }
+    println!();
+
+    // --- Table II + Fig. 6 ------------------------------------------------
+    let report = paper_flow_report();
+    let execution = ExecutionBreakdown::from_flow(&report);
+    println!("--- TABLE II + Fig. 6 ---");
+    println!("{execution}");
+    println!("Paper vs simulated (blur / total, seconds):");
+    for (design, paper_blur, paper_total) in paper_table2_reference() {
+        let row = execution.row(design).expect("all designs evaluated");
+        println!(
+            "  {:<30} paper {:>7.2}/{:>7.2}   simulated {:>7.2}/{:>7.2}",
+            design.label(),
+            paper_blur,
+            paper_total,
+            row.blur_seconds,
+            row.total_seconds
+        );
+    }
+    let sw = report.software_reference();
+    let fxp = report
+        .design(DesignImplementation::FixedPointConversion)
+        .expect("fixed-point design evaluated");
+    println!(
+        "  accelerated-function speed-up: {:.1}x (paper 17x)\n",
+        fxp.function_speedup_vs(sw)
+    );
+
+    // --- Fig. 7 / Fig. 8 ---------------------------------------------------
+    let energy = EnergyBreakdown::from_flow(&report);
+    println!("--- Fig. 7 + Fig. 8 ---");
+    println!("{energy}");
+    let sw_row = energy.row(DesignImplementation::SwSourceCode).expect("sw row");
+    let fxp_row = energy
+        .row(DesignImplementation::FixedPointConversion)
+        .expect("fxp row");
+    println!(
+        "energy: software {:.1} J (paper {PAPER_ENERGY_SW_J:.0} J) -> fixed-point {:.1} J (paper {PAPER_ENERGY_FXP_J:.0} J), reduction {:.1}% (paper 23%)",
+        sw_row.total_j,
+        fxp_row.total_j,
+        100.0 * (1.0 - fxp_row.total_j / sw_row.total_j)
+    );
+    println!(
+        "PL bottomline grows with configured logic: {:.2} J (SW) -> {:.2} J (FxP)\n",
+        sw_row.rail(Rail::Pl).map_or(0.0, |r| r.bottomline_j),
+        fxp_row.rail(Rail::Pl).map_or(0.0, |r| r.bottomline_j)
+    );
+
+    // --- Fig. 5 (quality) ---------------------------------------------------
+    println!("--- Fig. 5: image quality (16-bit fixed vs 32-bit float accelerator) ---");
+    let quality = evaluate_fixed_point_quality::<16, 12>(&paper_input(), ToneMapParams::paper_default());
+    println!("  {quality}");
+    println!("  paper reference: PSNR {PAPER_PSNR_DB:.0} dB, SSIM {PAPER_SSIM:.2}");
+}

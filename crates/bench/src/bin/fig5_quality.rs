@@ -1,0 +1,47 @@
+//! Regenerates the Fig. 5 quality comparison: PSNR and SSIM of the 16-bit
+//! fixed-point accelerator output against the 32-bit floating-point output,
+//! plus the word-length sweep ablation, and writes the tone-mapped images as
+//! PGM files for visual inspection.
+
+use bench::{paper_input, PAPER_PSNR_DB, PAPER_SSIM};
+use codesign::quality::{evaluate_fixed_point_quality, word_length_sweep};
+use hdr_image::io::write_pgm;
+use std::fs::File;
+use std::io::BufWriter;
+use tonemap_core::{ToneMapParams, ToneMapper};
+
+fn main() {
+    let hdr = paper_input();
+    let params = ToneMapParams::paper_default();
+
+    println!("Fig. 5: image quality of the fixed-point accelerator (synthetic 1024x1024 input).");
+    let report = evaluate_fixed_point_quality::<16, 12>(&hdr, params);
+    println!("  {report}");
+    println!("  paper reference: PSNR {PAPER_PSNR_DB:.0} dB, SSIM {PAPER_SSIM:.2}");
+
+    println!();
+    println!("Word-length sweep (ablation):");
+    println!("  {:>6} {:>12} {:>10}", "bits", "PSNR (dB)", "SSIM");
+    for entry in word_length_sweep(&hdr, params) {
+        println!(
+            "  {:>6} {:>12.1} {:>10.4}",
+            entry.fixed_width_bits, entry.psnr_db, entry.ssim
+        );
+    }
+
+    // Write the Fig. 5b / 5c equivalents next to the binary's working
+    // directory for visual inspection.
+    let mapper = ToneMapper::new(params);
+    let float_out = mapper.map_luminance_hw_blur::<f32>(&hdr).to_ldr();
+    let fixed_out = mapper.map_luminance_hw_blur::<apfixed::Fix16>(&hdr).to_ldr();
+    for (name, image) in [("fig5b_float_blur.pgm", &float_out), ("fig5c_fixed_blur.pgm", &fixed_out)] {
+        match File::create(name) {
+            Ok(file) => {
+                if write_pgm(image, BufWriter::new(file)).is_ok() {
+                    println!("wrote {name}");
+                }
+            }
+            Err(e) => eprintln!("could not write {name}: {e}"),
+        }
+    }
+}

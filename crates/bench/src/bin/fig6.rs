@@ -1,0 +1,26 @@
+//! Regenerates Fig. 6: execution time of every design implementation split
+//! into processing-system (PS) and programmable-logic (PL) time.
+
+use bench::paper_flow_report;
+use codesign::reports::ExecutionBreakdown;
+
+fn main() {
+    let breakdown = ExecutionBreakdown::from_flow(&paper_flow_report());
+    println!("Fig. 6: Tone mapping execution time (PS / PL split; Marked HW function omitted).");
+    println!(
+        "{:<30} {:>10} {:>10} {:>10}",
+        "Design implementation", "PS (s)", "PL (s)", "total (s)"
+    );
+    for row in breakdown.fig6_rows() {
+        println!(
+            "{:<30} {:>10.2} {:>10.2} {:>10.2}",
+            row.design.label(),
+            row.ps_seconds,
+            row.pl_seconds,
+            row.total_seconds
+        );
+    }
+    println!();
+    println!("machine-readable JSON:");
+    println!("{}", breakdown.to_json());
+}

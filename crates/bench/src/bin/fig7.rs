@@ -1,0 +1,27 @@
+//! Regenerates Fig. 7: average energy consumption of one processed image per
+//! design implementation, stacked by power rail (PS, PL, DDR, BRAM).
+
+use bench::{paper_flow_report, PAPER_ENERGY_FXP_J, PAPER_ENERGY_SW_J};
+use codesign::flow::DesignImplementation;
+use codesign::reports::EnergyBreakdown;
+
+fn main() {
+    let report = paper_flow_report();
+    let breakdown = EnergyBreakdown::from_flow(&report);
+    println!("{breakdown}");
+
+    let sw = breakdown
+        .row(DesignImplementation::SwSourceCode)
+        .expect("software design evaluated");
+    let fxp = breakdown
+        .row(DesignImplementation::FixedPointConversion)
+        .expect("fixed-point design evaluated");
+    println!(
+        "Total energy: software {:.1} J (paper {PAPER_ENERGY_SW_J:.0} J), final fixed-point {:.1} J (paper {PAPER_ENERGY_FXP_J:.0} J)",
+        sw.total_j, fxp.total_j
+    );
+    println!(
+        "Energy reduction: {:.1}% (paper: 23%)",
+        100.0 * (1.0 - fxp.total_j / sw.total_j)
+    );
+}

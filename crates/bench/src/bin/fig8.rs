@@ -1,0 +1,31 @@
+//! Regenerates Fig. 8: PS and PL energy split into the bottomline (idle) and
+//! execution-overhead terms for every design implementation.
+
+use bench::paper_flow_report;
+use codesign::reports::EnergyBreakdown;
+use zynq_sim::power::Rail;
+
+fn main() {
+    let breakdown = EnergyBreakdown::from_flow(&paper_flow_report());
+    for (rail, title) in [
+        (Rail::Ps, "Fig. 8a: Processing System (PS) energy (J)"),
+        (Rail::Pl, "Fig. 8b: Programmable Logic (PL) energy (J)"),
+    ] {
+        println!("{title}");
+        println!(
+            "{:<30} {:>12} {:>12} {:>12}",
+            "Design implementation", "bottomline", "overhead", "total"
+        );
+        for row in breakdown.figure_rows() {
+            let e = row.rail(rail).expect("all rails reported");
+            println!(
+                "{:<30} {:>12.2} {:>12.2} {:>12.2}",
+                row.design.label(),
+                e.bottomline_j,
+                e.overhead_j,
+                e.total_j()
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,19 @@
+//! Prints the Vivado-HLS-style performance and utilization report of every
+//! accelerator design point — the report the paper's authors inspect after
+//! each optimization step to find the next bottleneck.
+
+use bench::paper_flow;
+use codesign::flow::DesignImplementation;
+
+fn main() {
+    let flow = paper_flow();
+    for design in DesignImplementation::ALL {
+        match flow.hls_report(design) {
+            Some(report) => {
+                println!("### {design}");
+                println!("{report}");
+            }
+            None => println!("### {design}\n  (software only, no hardware function)\n"),
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table I: the hardware-acceleration optimization steps.
+
+use codesign::reports::optimization_steps;
+
+fn main() {
+    println!("TABLE I: Hardware acceleration optimization steps.");
+    for (index, step) in optimization_steps() {
+        println!("  {index}  {step}");
+    }
+}

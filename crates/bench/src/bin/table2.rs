@@ -1,0 +1,38 @@
+//! Regenerates Table II: tone-mapping execution times for every design
+//! implementation, with the paper's measured values printed alongside.
+
+use bench::{paper_flow_report, paper_table2_reference};
+use codesign::reports::ExecutionBreakdown;
+
+fn main() {
+    let report = paper_flow_report();
+    let breakdown = ExecutionBreakdown::from_flow(&report);
+    println!("{breakdown}");
+
+    println!("Paper vs simulated (Gaussian blur / total, seconds):");
+    println!(
+        "{:<30} {:>12} {:>12} {:>12} {:>12}",
+        "Design implementation", "paper blur", "sim blur", "paper total", "sim total"
+    );
+    for (design, paper_blur, paper_total) in paper_table2_reference() {
+        let row = breakdown.row(design).expect("all designs evaluated");
+        println!(
+            "{:<30} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+            design.label(),
+            paper_blur,
+            row.blur_seconds,
+            paper_total,
+            row.total_seconds
+        );
+    }
+
+    let sw = report.software_reference();
+    let fxp = report
+        .design(codesign::flow::DesignImplementation::FixedPointConversion)
+        .expect("fixed-point design evaluated");
+    println!();
+    println!(
+        "Accelerated-function speed-up (final vs software): {:.1}x (paper: 17x)",
+        fxp.function_speedup_vs(sw)
+    );
+}

@@ -1,0 +1,270 @@
+//! HLS kernel construction for each optimization step of Table I.
+//!
+//! Once the Gaussian blur is marked for hardware, the paper iterates through
+//! three optimizations (Table I): algorithm restructuring for sequential
+//! memory accesses, `PIPELINE`/`ARRAY_PARTITION` pragmas, and floating-point
+//! to fixed-point conversion. Each step corresponds to a differently-shaped
+//! HLS kernel and pragma set; this module builds them so the scheduler can
+//! estimate their cycle counts and resources.
+
+use hls_model::kernel::{Kernel, KernelBuilder};
+use hls_model::pragma::{AccessPattern, DataMover, PartitionKind, Pragma};
+use hls_model::types::DataType;
+use tonemap_core::BlurParams;
+
+/// Dimensions and blur parameters shared by every accelerator variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlurKernelSpec {
+    /// Image width in pixels.
+    pub width: u64,
+    /// Image height in pixels.
+    pub height: u64,
+    /// Blur parameters (taps = `2 * radius + 1`).
+    pub blur: BlurParams,
+}
+
+impl BlurKernelSpec {
+    /// Creates a spec.
+    pub fn new(width: usize, height: usize, blur: BlurParams) -> Self {
+        BlurKernelSpec {
+            width: width as u64,
+            height: height as u64,
+            blur,
+        }
+    }
+
+    /// Number of pixels in the image.
+    pub const fn pixels(&self) -> u64 {
+        self.width * self.height
+    }
+
+    /// Number of kernel taps.
+    pub const fn taps(&self) -> u64 {
+        (2 * self.blur.radius + 1) as u64
+    }
+}
+
+/// The naive "Marked HW function" kernel (Table II, second row).
+///
+/// The original separable blur is synthesised as-is: for every output pixel,
+/// each tap of the horizontal and the vertical pass issues an individual
+/// read of the neighbouring pixel — and of the coefficient table — directly
+/// from the shared DDR, with a random access pattern (the `ZERO_COPY` data
+/// mover mastering the bus one word at a time). No local buffering, no
+/// pipelining. This is the design point whose execution time *degrades* to
+/// minutes and motivates the restructuring of Fig. 3/4.
+pub fn marked_hw_kernel(spec: &BlurKernelSpec) -> Kernel {
+    let taps = spec.taps();
+    let dtype = DataType::Float32;
+    KernelBuilder::new("gaussian_blur_marked", dtype)
+        .external_array("input", spec.pixels(), dtype)
+        .external_array("intermediate", spec.pixels(), dtype)
+        .external_array("output", spec.pixels(), dtype)
+        .external_array("coeffs", taps, dtype)
+        // Horizontal pass: every tap is a random DDR read.
+        .loop_nest(&[spec.height, spec.width], |body| {
+            body.sub_loop("h_taps", taps, |t| {
+                t.load("input").load("coeffs").mul().accumulate();
+            });
+            body.store("intermediate");
+        })
+        // Vertical pass: column-strided accesses, also random.
+        .loop_nest(&[spec.height, spec.width], |body| {
+            body.sub_loop("v_taps", taps, |t| {
+                t.load("intermediate").load("coeffs").mul().accumulate();
+            });
+            body.store("output");
+        })
+        .pragma(Pragma::data_motion("input", DataMover::ZeroCopy, AccessPattern::Random))
+        .pragma(Pragma::data_motion("intermediate", DataMover::ZeroCopy, AccessPattern::Random))
+        .pragma(Pragma::data_motion("output", DataMover::ZeroCopy, AccessPattern::Random))
+        .pragma(Pragma::data_motion("coeffs", DataMover::ZeroCopy, AccessPattern::Random))
+        .build()
+}
+
+/// Options selecting which optimization steps are applied to the
+/// restructured streaming kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamingOptions {
+    /// Apply `PIPELINE` to the per-pixel loop and `ARRAY_PARTITION` to the
+    /// line buffers and coefficient table (Table I, step 2).
+    pub pipelined: bool,
+    /// Compute in 16-bit fixed point instead of 32-bit floating point
+    /// (Table I, step 3).
+    pub fixed_point: bool,
+}
+
+/// The restructured streaming blur kernel (Table II, rows three to five).
+///
+/// Pixels are read sequentially from DDR into a line buffer of `taps` rows
+/// held in BRAM (Fig. 4); for each streamed pixel the horizontal MAC runs on
+/// the current row window and the vertical MAC on the per-column partial
+/// sums, and one output pixel is written back sequentially. The options
+/// select the pragma set and the arithmetic type:
+///
+/// * `{ pipelined: false, fixed_point: false }` → *Sequential memory
+///   accesses*
+/// * `{ pipelined: true, fixed_point: false }` → *HLS pragmas*
+/// * `{ pipelined: true, fixed_point: true }` → *FlP to FxP conversion*
+pub fn streaming_blur_kernel(spec: &BlurKernelSpec, options: StreamingOptions) -> Kernel {
+    let taps = spec.taps();
+    let dtype = if options.fixed_point {
+        DataType::FIXED16
+    } else {
+        DataType::Float32
+    };
+    let name = match (options.pipelined, options.fixed_point) {
+        (false, _) => "gaussian_blur_stream",
+        (true, false) => "gaussian_blur_pipelined",
+        (true, true) => "gaussian_blur_fixed",
+    };
+
+    let mut builder = KernelBuilder::new(name, dtype)
+        .external_array("input", spec.pixels(), dtype)
+        .external_array("output", spec.pixels(), dtype)
+        // Line buffer: `taps` rows of the image, the local buffer of Fig. 4.
+        .bram_array("line_buffer", taps * spec.width, dtype)
+        // Per-column vertical partial sums.
+        .bram_array("column_buffer", spec.width, dtype)
+        // Coefficient table.
+        .register_array("coeffs", taps, dtype)
+        .loop_nest(&[spec.height, spec.width], |body| {
+            // Stream one pixel in and rotate it into the line buffer.
+            body.load("input").store("line_buffer");
+            // Horizontal MAC over the row window.
+            body.sub_loop("h_taps", taps, |t| {
+                t.load("line_buffer").load("coeffs").mul().accumulate();
+            });
+            body.store("column_buffer");
+            // Vertical MAC over the buffered column of partial sums.
+            body.sub_loop("v_taps", taps, |t| {
+                t.load("line_buffer").load("coeffs").mul().accumulate();
+            });
+            // Stream the output pixel back to DDR.
+            body.store("output");
+        })
+        .pragma(Pragma::data_motion("input", DataMover::AxiFifo, AccessPattern::Sequential))
+        .pragma(Pragma::data_motion("output", DataMover::AxiFifo, AccessPattern::Sequential));
+
+    if options.pipelined {
+        builder = builder
+            // Pipeline the per-pixel loop (the inner tap loops unroll).
+            .pragma(Pragma::pipeline_loop("L1"))
+            .pragma(Pragma::array_partition("line_buffer", PartitionKind::Cyclic(taps)))
+            .pragma(Pragma::array_partition("column_buffer", PartitionKind::Cyclic(2)))
+            .pragma(Pragma::array_partition("coeffs", PartitionKind::Complete));
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_model::schedule::{Bottleneck, Scheduler};
+    use hls_model::tech::TechLibrary;
+
+    fn spec() -> BlurKernelSpec {
+        BlurKernelSpec::new(1024, 1024, BlurParams::paper_default())
+    }
+
+    fn scheduler() -> Scheduler {
+        Scheduler::new(TechLibrary::artix7_default())
+    }
+
+    #[test]
+    fn spec_accessors() {
+        let s = spec();
+        assert_eq!(s.pixels(), 1024 * 1024);
+        assert_eq!(s.taps(), 41);
+    }
+
+    #[test]
+    fn marked_kernel_is_bound_by_external_memory() {
+        let schedule = scheduler().schedule(&marked_hw_kernel(&spec()));
+        assert_eq!(schedule.bottleneck, Bottleneck::ExternalMemory);
+        // Catastrophic: minutes of execution at 100 MHz.
+        let seconds = schedule.seconds(&TechLibrary::artix7_default());
+        assert!(seconds > 60.0, "marked kernel took only {seconds:.1} s");
+    }
+
+    #[test]
+    fn restructuring_recovers_most_of_the_loss() {
+        let marked = scheduler().schedule(&marked_hw_kernel(&spec()));
+        let streamed = scheduler().schedule(&streaming_blur_kernel(
+            &spec(),
+            StreamingOptions { pipelined: false, fixed_point: false },
+        ));
+        assert!(streamed.total_cycles < marked.total_cycles / 5);
+    }
+
+    #[test]
+    fn pipelining_gives_an_order_of_magnitude() {
+        let seq = scheduler().schedule(&streaming_blur_kernel(
+            &spec(),
+            StreamingOptions { pipelined: false, fixed_point: false },
+        ));
+        let pipelined = scheduler().schedule(&streaming_blur_kernel(
+            &spec(),
+            StreamingOptions { pipelined: true, fixed_point: false },
+        ));
+        assert!(
+            pipelined.total_cycles * 8 < seq.total_cycles,
+            "pipelined {} vs sequential {}",
+            pipelined.total_cycles,
+            seq.total_cycles
+        );
+    }
+
+    #[test]
+    fn fixed_point_halves_the_streaming_initiation_interval() {
+        let float = scheduler().schedule(&streaming_blur_kernel(
+            &spec(),
+            StreamingOptions { pipelined: true, fixed_point: false },
+        ));
+        let fixed = scheduler().schedule(&streaming_blur_kernel(
+            &spec(),
+            StreamingOptions { pipelined: true, fixed_point: true },
+        ));
+        let ii_float = float.top_initiation_interval().unwrap();
+        let ii_fixed = fixed.top_initiation_interval().unwrap();
+        assert_eq!(ii_float, 2 * ii_fixed, "float II {ii_float} vs fixed II {ii_fixed}");
+        assert!(fixed.total_cycles < float.total_cycles);
+    }
+
+    #[test]
+    fn fixed_point_uses_fewer_resources_and_fits_the_device() {
+        let tech = TechLibrary::artix7_default();
+        let float = scheduler().schedule(&streaming_blur_kernel(
+            &spec(),
+            StreamingOptions { pipelined: true, fixed_point: false },
+        ));
+        let fixed = scheduler().schedule(&streaming_blur_kernel(
+            &spec(),
+            StreamingOptions { pipelined: true, fixed_point: true },
+        ));
+        assert!(fixed.resources.bram_18k < float.resources.bram_18k);
+        assert!(fixed.resources.lut < float.resources.lut);
+        assert!(float.resources.fits(&tech), "float design must fit the XC7Z020");
+        assert!(fixed.resources.fits(&tech), "fixed design must fit the XC7Z020");
+    }
+
+    #[test]
+    fn all_design_points_reproduce_the_paper_ordering() {
+        // Cycle ordering of Table II for the accelerated function:
+        // marked >> sequential > pipelined > fixed.
+        let s = spec();
+        let marked = scheduler().schedule(&marked_hw_kernel(&s)).total_cycles;
+        let sequential = scheduler()
+            .schedule(&streaming_blur_kernel(&s, StreamingOptions { pipelined: false, fixed_point: false }))
+            .total_cycles;
+        let pipelined = scheduler()
+            .schedule(&streaming_blur_kernel(&s, StreamingOptions { pipelined: true, fixed_point: false }))
+            .total_cycles;
+        let fixed = scheduler()
+            .schedule(&streaming_blur_kernel(&s, StreamingOptions { pipelined: true, fixed_point: true }))
+            .total_cycles;
+        assert!(marked > sequential);
+        assert!(sequential > pipelined);
+        assert!(pipelined > fixed);
+    }
+}

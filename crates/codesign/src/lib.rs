@@ -1,0 +1,83 @@
+//! The SDSoC-style hardware-software co-design flow of the paper.
+//!
+//! This crate ties the substrates together into the flow of Fig. 2:
+//!
+//! 1. **Profile** the tone-mapping application on the (modelled) ARM core to
+//!    find the most computationally-intensive function ([`profile`]).
+//! 2. **Mark** that function — the Gaussian blur — for hardware and build the
+//!    corresponding HLS kernel for each optimization step of Table I
+//!    ([`kernels`]).
+//! 3. **Schedule** each kernel with the HLS model, **simulate** the resulting
+//!    system on the Zynq platform model and **account** execution time and
+//!    per-rail energy ([`flow`]).
+//! 4. **Evaluate image quality** of the fixed-point accelerator against the
+//!    floating-point reference ([`quality`]).
+//! 5. **Render** the results in the shape of the paper's Table II and
+//!    Figs. 6, 7 and 8 ([`reports`]).
+//!
+//! # Example
+//!
+//! ```
+//! use codesign::flow::{CoDesignFlow, DesignImplementation};
+//!
+//! // A scaled-down run (128x128) so the example executes quickly; the
+//! // benches use the paper's full 1024x1024 resolution.
+//! let flow = CoDesignFlow::paper_setup(128, 128);
+//! let report = flow.evaluate(DesignImplementation::FixedPointConversion);
+//! assert!(report.total_seconds > 0.0);
+//! assert!(report.accelerated_seconds < report.total_seconds);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extension;
+pub mod flow;
+pub mod kernels;
+pub mod profile;
+pub mod quality;
+pub mod reports;
+
+pub use flow::{CoDesignFlow, DesignImplementation, DesignReport, FlowReport};
+pub use profile::{ProfileReport, Profiler};
+pub use quality::QualityReport;
+
+use tonemap_core::ops::OpCounts;
+use zynq_sim::arm::SoftwareWorkload;
+
+/// Converts the tone-mapping pipeline's operation counts into the platform
+/// model's workload description.
+pub fn workload_from_ops(ops: &OpCounts) -> SoftwareWorkload {
+    SoftwareWorkload {
+        adds: ops.adds,
+        muls: ops.muls,
+        divs: ops.divs,
+        pows: ops.pows,
+        compares: ops.compares,
+        loads: ops.loads,
+        stores: ops.stores,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_conversion_preserves_counts() {
+        let ops = OpCounts {
+            adds: 1,
+            muls: 2,
+            divs: 3,
+            pows: 4,
+            compares: 5,
+            loads: 6,
+            stores: 7,
+        };
+        let w = workload_from_ops(&ops);
+        assert_eq!(w.adds, 1);
+        assert_eq!(w.pows, 4);
+        assert_eq!(w.stores, 7);
+        assert_eq!(w.total_ops(), ops.total());
+    }
+}

@@ -1,0 +1,276 @@
+//! Application profiling on the processing system.
+//!
+//! The first step of the SDSoC flow (Fig. 2): run the application on the ARM
+//! core, measure where the time goes, and pick the hottest *function* for
+//! hardware acceleration. The reproduction performs this analytically from
+//! the pipeline's per-stage operation counts and the calibrated ARM cost
+//! model.
+//!
+//! The reference C++ application processes colour images, so the point-wise
+//! stages (normalization, non-linear masking, brightness/contrast) each break
+//! down into one function call per colour channel, while the Gaussian blur
+//! runs once on the single-channel mask. The profiler therefore reports both
+//! views: per *stage* (the four blocks of Fig. 1) and per *function* (what a
+//! call-graph profiler such as the one in SDSoC would show). It is the
+//! function view in which the Gaussian blur is the single most expensive
+//! entry — the paper's premise — even though the three masking calls
+//! together take longer.
+
+use crate::workload_from_ops;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tonemap_core::ops::{PipelineProfile, StageKind};
+use tonemap_core::ToneMapParams;
+use zynq_sim::arm::{ArmCostModel, PsModel, SoftwareWorkload};
+
+/// Time attributed to one pipeline stage by the profiler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageTime {
+    /// The pipeline stage.
+    pub stage: StageKind,
+    /// Estimated execution time on the PS, in seconds (all channels).
+    pub seconds: f64,
+    /// The operation counts the estimate is based on (all channels).
+    pub workload: SoftwareWorkload,
+}
+
+/// Time attributed to one *function* (per-channel call) by the profiler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionTime {
+    /// Function name as a call-graph profiler would show it.
+    pub name: String,
+    /// The pipeline stage the function belongs to.
+    pub stage: StageKind,
+    /// Estimated execution time of one call, in seconds.
+    pub seconds: f64,
+}
+
+/// The profiler's report: per-stage and per-function times.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// Per-stage times in pipeline order (each covering all channels).
+    pub stages: Vec<StageTime>,
+    /// Per-function times (point-wise stages split per colour channel).
+    pub functions: Vec<FunctionTime>,
+    /// Total application time on the PS, in seconds.
+    pub total_seconds: f64,
+    /// Image width the profile was computed for.
+    pub width: usize,
+    /// Image height the profile was computed for.
+    pub height: usize,
+}
+
+impl ProfileReport {
+    /// The hottest single function — the acceleration candidate the SDSoC
+    /// flow marks for hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report has no functions, which cannot happen for reports
+    /// produced by [`Profiler::profile`].
+    pub fn hottest_function(&self) -> &FunctionTime {
+        self.functions
+            .iter()
+            .max_by(|a, b| a.seconds.total_cmp(&b.seconds))
+            .expect("profile reports always contain the pipeline functions")
+    }
+
+    /// The time of a specific stage (all channels).
+    pub fn stage(&self, stage: StageKind) -> Option<StageTime> {
+        self.stages.iter().copied().find(|s| s.stage == stage)
+    }
+
+    /// Fraction of total time spent in a stage.
+    pub fn fraction(&self, stage: StageKind) -> f64 {
+        self.stage(stage).map_or(0.0, |s| s.seconds / self.total_seconds)
+    }
+
+    /// Total time of every stage except the given one (the "rest of the
+    /// algorithm" that stays on the PS after acceleration).
+    pub fn seconds_excluding(&self, stage: StageKind) -> f64 {
+        self.total_seconds - self.stage(stage).map_or(0.0, |s| s.seconds)
+    }
+}
+
+impl fmt::Display for ProfileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "profile of {}x{} image: total {:.2} s",
+            self.width, self.height, self.total_seconds
+        )?;
+        writeln!(f, " per stage:")?;
+        for s in &self.stages {
+            writeln!(
+                f,
+                "  {:<40} {:>8.3} s ({:>5.1}%)",
+                s.stage.to_string(),
+                s.seconds,
+                100.0 * s.seconds / self.total_seconds
+            )?;
+        }
+        writeln!(f, " per function (call-graph view):")?;
+        for func in &self.functions {
+            writeln!(
+                f,
+                "  {:<40} {:>8.3} s ({:>5.1}%)",
+                func.name,
+                func.seconds,
+                100.0 * func.seconds / self.total_seconds
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The analytical profiler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profiler {
+    params: ToneMapParams,
+    ps: PsModel,
+}
+
+impl Profiler {
+    /// Creates a profiler for the given tone-mapping parameters and PS model.
+    pub fn new(params: ToneMapParams, ps: PsModel) -> Self {
+        Profiler { params, ps }
+    }
+
+    /// Creates a profiler with the paper's parameters and the calibrated
+    /// Cortex-A9 cost model at 667 MHz.
+    pub fn paper_setup() -> Self {
+        Profiler::new(
+            ToneMapParams::paper_default(),
+            PsModel::new(667.0e6, ArmCostModel::cortex_a9_effective()),
+        )
+    }
+
+    /// The PS model used for the estimates.
+    pub const fn ps_model(&self) -> &PsModel {
+        &self.ps
+    }
+
+    /// The tone-mapping parameters being profiled.
+    pub const fn params(&self) -> &ToneMapParams {
+        &self.params
+    }
+
+    /// Profiles the pipeline for an image of the given dimensions.
+    pub fn profile(&self, width: usize, height: usize) -> ProfileReport {
+        let pipeline_profile = PipelineProfile::analytic(&self.params, width, height);
+        let channels = self.params.channels.max(1) as f64;
+
+        let stages: Vec<StageTime> = pipeline_profile
+            .stages
+            .iter()
+            .map(|s| {
+                let workload = workload_from_ops(&s.ops);
+                StageTime {
+                    stage: s.stage,
+                    seconds: self.ps.seconds(&workload),
+                    workload,
+                }
+            })
+            .collect();
+        let total_seconds = stages.iter().map(|s| s.seconds).sum();
+
+        let mut functions = Vec::new();
+        for s in &stages {
+            match s.stage {
+                StageKind::GaussianBlur => functions.push(FunctionTime {
+                    name: "gaussian_blur(mask)".to_string(),
+                    stage: s.stage,
+                    seconds: s.seconds,
+                }),
+                StageKind::Normalize | StageKind::NonlinearMasking | StageKind::Adjustment => {
+                    let base = match s.stage {
+                        StageKind::Normalize => "normalize_channel",
+                        StageKind::NonlinearMasking => "apply_masking_channel",
+                        StageKind::Adjustment => "adjust_channel",
+                        StageKind::GaussianBlur => unreachable!(),
+                    };
+                    for c in 0..self.params.channels.max(1) {
+                        functions.push(FunctionTime {
+                            name: format!("{base}({c})"),
+                            stage: s.stage,
+                            seconds: s.seconds / channels,
+                        });
+                    }
+                }
+            }
+        }
+
+        ProfileReport {
+            stages,
+            functions,
+            total_seconds,
+            width,
+            height,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_matches_paper_software_magnitudes() {
+        // Table II, "SW source code": Gaussian blur 7.29 s, total 26.66 s.
+        let report = Profiler::paper_setup().profile(1024, 1024);
+        let blur = report.stage(StageKind::GaussianBlur).unwrap().seconds;
+        assert!(blur > 5.5 && blur < 9.0, "blur time {blur:.2} s out of band");
+        assert!(
+            report.total_seconds > 22.0 && report.total_seconds < 31.0,
+            "total {:.2} s out of band",
+            report.total_seconds
+        );
+        // The blur is a substantial but minority share of the total, as in
+        // the paper (27 %).
+        let frac = report.fraction(StageKind::GaussianBlur);
+        assert!(frac > 0.15 && frac < 0.45, "blur fraction {frac:.2}");
+    }
+
+    #[test]
+    fn gaussian_blur_is_the_hottest_single_function() {
+        // The paper's premise: profiling identifies the Gaussian blur as the
+        // most computationally-intensive function.
+        let report = Profiler::paper_setup().profile(1024, 1024);
+        assert_eq!(report.hottest_function().stage, StageKind::GaussianBlur);
+    }
+
+    #[test]
+    fn per_function_times_sum_to_total() {
+        let report = Profiler::paper_setup().profile(512, 512);
+        let sum: f64 = report.functions.iter().map(|f| f.seconds).sum();
+        assert!((sum - report.total_seconds).abs() < 1e-9);
+        // 1 blur function + 3 channels x 3 point-wise stages.
+        assert_eq!(report.functions.len(), 10);
+    }
+
+    #[test]
+    fn seconds_excluding_blur_is_the_ps_residual() {
+        let report = Profiler::paper_setup().profile(1024, 1024);
+        let rest = report.seconds_excluding(StageKind::GaussianBlur);
+        let blur = report.stage(StageKind::GaussianBlur).unwrap().seconds;
+        assert!((rest + blur - report.total_seconds).abs() < 1e-9);
+        // Table II keeps ~19 s of PS work in every accelerated row.
+        assert!(rest > 15.0 && rest < 25.0, "rest {rest:.2} s out of band");
+    }
+
+    #[test]
+    fn profile_scales_with_resolution() {
+        let profiler = Profiler::paper_setup();
+        let small = profiler.profile(256, 256);
+        let large = profiler.profile(512, 512);
+        assert!((large.total_seconds / small.total_seconds - 4.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn display_lists_stages_and_functions() {
+        let text = Profiler::paper_setup().profile(128, 128).to_string();
+        assert!(text.contains("Gaussian blur"));
+        assert!(text.contains("apply_masking_channel(2)"));
+        assert!(text.contains("per function"));
+    }
+}

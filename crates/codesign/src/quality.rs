@@ -1,0 +1,161 @@
+//! Image-quality evaluation of the fixed-point accelerator (Fig. 5).
+//!
+//! Section IV-B compares the tone-mapped image produced with the 16-bit
+//! fixed-point Gaussian-blur accelerator against the one produced with the
+//! 32-bit floating-point accelerator: PSNR = 66 dB, SSIM = 1.0. This module
+//! runs the same comparison on the functional pipeline.
+
+use apfixed::Fix;
+use hdr_image::metrics::{mse, psnr, ssim};
+use hdr_image::LuminanceImage;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tonemap_core::{ToneMapParams, ToneMapper};
+
+/// The result of comparing the fixed-point accelerator output against the
+/// floating-point reference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualityReport {
+    /// Peak signal-to-noise ratio in decibels (peak = 1.0, the display
+    /// range).
+    pub psnr_db: f64,
+    /// Mean structural similarity index.
+    pub ssim: f64,
+    /// Mean squared error.
+    pub mse: f64,
+    /// Total word length of the fixed-point format evaluated.
+    pub fixed_width_bits: u32,
+    /// Fractional bits of the fixed-point format evaluated.
+    pub fixed_frac_bits: u32,
+    /// Image width.
+    pub width: usize,
+    /// Image height.
+    pub height: usize,
+}
+
+impl fmt::Display for QualityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} image, ap_fixed<{},{}> blur vs float blur: PSNR {:.1} dB, SSIM {:.4}",
+            self.width,
+            self.height,
+            self.fixed_width_bits,
+            self.fixed_width_bits - self.fixed_frac_bits,
+            self.psnr_db,
+            self.ssim
+        )
+    }
+}
+
+/// Tone-maps `hdr` twice — once with the floating-point blur and once with
+/// the `Fix<W, F>` blur — and compares the outputs.
+///
+/// # Panics
+///
+/// Panics if the tone-mapping parameters are invalid.
+pub fn evaluate_fixed_point_quality<const W: u32, const F: u32>(
+    hdr: &LuminanceImage,
+    params: ToneMapParams,
+) -> QualityReport {
+    let mapper = ToneMapper::new(params);
+    let float_out = mapper.map_luminance_hw_blur::<f32>(hdr);
+    let fixed_out = mapper.map_luminance_hw_blur::<Fix<W, F>>(hdr);
+    compare_outputs(&float_out, &fixed_out, W, F)
+}
+
+/// Compares two tone-mapped outputs (already display-referred in `[0, 1]`).
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+pub fn compare_outputs(
+    reference: &LuminanceImage,
+    candidate: &LuminanceImage,
+    width_bits: u32,
+    frac_bits: u32,
+) -> QualityReport {
+    let ssim_value = ssim(reference, candidate).expect("outputs have identical dimensions");
+    QualityReport {
+        psnr_db: psnr(reference, candidate, 1.0),
+        ssim: ssim_value,
+        mse: mse(reference, candidate),
+        fixed_width_bits: width_bits,
+        fixed_frac_bits: frac_bits,
+        width: reference.width(),
+        height: reference.height(),
+    }
+}
+
+/// Sweeps the fixed-point word length (the ablation the paper's Section III-C
+/// motivates: bus alignment allows 8, 16, 32 or 64 bits) and reports the
+/// quality of each.
+pub fn word_length_sweep(hdr: &LuminanceImage, params: ToneMapParams) -> Vec<QualityReport> {
+    vec![
+        evaluate_fixed_point_quality::<8, 6>(hdr, params),
+        evaluate_fixed_point_quality::<12, 9>(hdr, params),
+        evaluate_fixed_point_quality::<16, 12>(hdr, params),
+        evaluate_fixed_point_quality::<24, 18>(hdr, params),
+        evaluate_fixed_point_quality::<32, 24>(hdr, params),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdr_image::synth::SceneKind;
+
+    fn test_image() -> LuminanceImage {
+        SceneKind::WindowInDarkRoom.generate(128, 128, 2018)
+    }
+
+    #[test]
+    fn sixteen_bit_blur_is_visually_identical() {
+        // The Fig. 5 result: high PSNR, SSIM ~= 1.
+        let report = evaluate_fixed_point_quality::<16, 12>(&test_image(), ToneMapParams::paper_default());
+        assert!(report.psnr_db > 45.0, "PSNR {:.1} dB too low", report.psnr_db);
+        assert!(report.ssim > 0.99, "SSIM {:.4} too low", report.ssim);
+        assert_eq!(report.fixed_width_bits, 16);
+    }
+
+    #[test]
+    fn quality_improves_monotonically_with_word_length() {
+        let sweep = word_length_sweep(&test_image(), ToneMapParams::paper_default());
+        assert_eq!(sweep.len(), 5);
+        for pair in sweep.windows(2) {
+            assert!(
+                pair[1].psnr_db >= pair[0].psnr_db - 0.5,
+                "PSNR regressed from {} bits ({:.1} dB) to {} bits ({:.1} dB)",
+                pair[0].fixed_width_bits,
+                pair[0].psnr_db,
+                pair[1].fixed_width_bits,
+                pair[1].psnr_db
+            );
+        }
+        // Eight bits is visibly degraded; sixteen is not.
+        assert!(sweep[0].psnr_db < sweep[2].psnr_db);
+    }
+
+    #[test]
+    fn identical_outputs_give_infinite_psnr_and_unit_ssim() {
+        let img = test_image();
+        let mapper = ToneMapper::new(ToneMapParams::paper_default());
+        let out = mapper.map_luminance_f32(&img);
+        let report = compare_outputs(&out, &out, 32, 24);
+        assert!(report.psnr_db.is_infinite());
+        assert!((report.ssim - 1.0).abs() < 1e-9);
+        assert_eq!(report.mse, 0.0);
+    }
+
+    #[test]
+    fn display_mentions_format_and_metrics() {
+        let report = evaluate_fixed_point_quality::<16, 12>(
+            &SceneKind::GradientRamp.generate(48, 48, 3),
+            ToneMapParams::paper_default(),
+        );
+        let text = report.to_string();
+        assert!(text.contains("ap_fixed<16,4>"));
+        assert!(text.contains("PSNR"));
+        assert!(text.contains("SSIM"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Brightness and contrast adjustment — the final pipeline stage (Fig. 1).
+//!
+//! A global linear adjustment around mid-grey followed by a brightness offset
+//! and a clamp into the display range:
+//!
+//! ```text
+//! output = clamp( (input − 0.5) · contrast + 0.5 + brightness , 0, 1 )
+//! ```
+
+use crate::ops::OpCounts;
+use crate::params::AdjustParams;
+use crate::sample::Sample;
+use hdr_image::ImageBuffer;
+
+/// Applies the brightness/contrast adjustment to a display-referred image.
+pub fn apply_adjustment<S: Sample>(image: &ImageBuffer<S>, params: &AdjustParams) -> ImageBuffer<S> {
+    let half = S::from_f32(0.5);
+    let contrast = S::from_f32(params.contrast);
+    let offset = S::from_f32(0.5 + params.brightness);
+    image.map(|&v| v.sub(half).mul_add(contrast, offset).clamp01())
+}
+
+/// Analytic operation counts of the adjustment stage for `channels` colour
+/// channels: per sample, one load, one subtraction, one fused
+/// multiply-add (counted as a multiply and an add), a clamp (two compares)
+/// and one store.
+pub fn op_counts(width: usize, height: usize, channels: usize) -> OpCounts {
+    let samples = (width * height * channels) as u64;
+    OpCounts {
+        adds: 2 * samples,
+        muls: samples,
+        divs: 0,
+        pows: 0,
+        compares: 2 * samples,
+        loads: samples,
+        stores: samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apfixed::Fix16;
+    use hdr_image::LuminanceImage;
+
+    #[test]
+    fn identity_parameters_change_nothing() {
+        let p = AdjustParams { brightness: 0.0, contrast: 1.0 };
+        let img = LuminanceImage::from_fn(8, 8, |x, y| ((x * 8 + y) as f32 / 63.0).min(1.0));
+        let out = apply_adjustment(&img, &p);
+        for (a, b) in out.pixels().iter().zip(img.pixels()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mid_grey_is_fixed_point_of_pure_contrast() {
+        let p = AdjustParams { brightness: 0.0, contrast: 1.7 };
+        let img = LuminanceImage::filled(4, 4, 0.5);
+        let out = apply_adjustment(&img, &p);
+        for &v in out.pixels() {
+            assert!((v - 0.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn contrast_expands_around_mid_grey() {
+        let p = AdjustParams { brightness: 0.0, contrast: 2.0 };
+        let img = LuminanceImage::from_vec(3, 1, vec![0.25, 0.5, 0.75]).unwrap();
+        let out = apply_adjustment(&img, &p);
+        assert!((out.pixels()[0] - 0.0).abs() < 1e-6);
+        assert!((out.pixels()[1] - 0.5).abs() < 1e-6);
+        assert!((out.pixels()[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn brightness_shifts_values_up() {
+        let p = AdjustParams { brightness: 0.1, contrast: 1.0 };
+        let img = LuminanceImage::filled(2, 2, 0.3);
+        let out = apply_adjustment(&img, &p);
+        for &v in out.pixels() {
+            assert!((v - 0.4).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn output_is_clamped_to_unit_interval() {
+        let p = AdjustParams { brightness: 0.5, contrast: 3.0 };
+        let img = LuminanceImage::from_vec(3, 1, vec![0.0, 0.5, 1.0]).unwrap();
+        let out = apply_adjustment(&img, &p);
+        for &v in out.pixels() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+        assert_eq!(out.pixels()[2], 1.0);
+    }
+
+    #[test]
+    fn fixed_point_adjustment_tracks_float() {
+        let p = AdjustParams::paper_default();
+        let img = LuminanceImage::from_fn(16, 16, |x, y| ((x + y) as f32 / 30.0).min(1.0));
+        let float = apply_adjustment(&img, &p);
+        let fixed_in: hdr_image::ImageBuffer<Fix16> = img.map(|&v| Fix16::from_f32(v));
+        let fixed = apply_adjustment(&fixed_in, &p);
+        for (a, b) in float.pixels().iter().zip(fixed.pixels()) {
+            assert!((a - b.to_f32()).abs() < 3.0 * Fix16::FORMAT.epsilon() as f32);
+        }
+    }
+
+    #[test]
+    fn op_counts_match_hand_computation() {
+        let c = op_counts(10, 10, 3);
+        assert_eq!(c.adds, 600);
+        assert_eq!(c.muls, 300);
+        assert_eq!(c.compares, 600);
+        assert_eq!(c.loads, 300);
+        assert_eq!(c.stores, 300);
+    }
+}

@@ -1,0 +1,70 @@
+//! Local HDR-image tone mapping by non-linear masking.
+//!
+//! This crate implements the algorithm of Section II of the SOCC 2018 paper
+//! — a *local* tone-mapping operator derived from Moroney's "Local Color
+//! Correction Using Non-Linear Masking" (CIC 2000), the reference the paper
+//! builds on. The pipeline follows the block diagram of Fig. 1:
+//!
+//! 1. **Image normalization** — every pixel is divided by the maximum pixel
+//!    value, mapping the HDR input into `[0, 1]` ([`normalize`]).
+//! 2. **Gaussian blur** — a two-dimensional Gaussian filter produces a
+//!    low-pass *mask* describing the local neighbourhood brightness
+//!    ([`blur`]). This is the function the paper off-loads to the FPGA.
+//! 3. **Non-linear masking** — each pixel of the normalized image is
+//!    gamma-corrected with an exponent derived from the mask, brightening
+//!    dark regions and darkening bright ones ([`masking`]).
+//! 4. **Brightness and contrast adjustment** — a final global adjustment to
+//!    improve output quality ([`adjust`]).
+//!
+//! Every stage is generic over the sample type through the [`Sample`] trait,
+//! so the same code runs in `f32` (the paper's software reference and the
+//! 32-bit floating-point accelerator) and in 16-bit fixed point via
+//! [`apfixed::Fix`] (the paper's final accelerator), enabling the Fig. 5
+//! quality comparison.
+//!
+//! Each stage also reports its per-pixel operation counts ([`ops`]), which
+//! the `zynq-sim` processing-system model turns into ARM execution-time
+//! estimates and the `codesign` profiler uses to identify the Gaussian blur
+//! as the dominant function.
+//!
+//! # Example
+//!
+//! ```
+//! use hdr_image::synth::SceneKind;
+//! use tonemap_core::{ToneMapParams, ToneMapper};
+//!
+//! let hdr = SceneKind::WindowInDarkRoom.generate(64, 64, 1);
+//! let mapper = ToneMapper::new(ToneMapParams::paper_default());
+//! let ldr = mapper.map_luminance_f32(&hdr);
+//! // The output is display-referred, i.e. entirely inside [0, 1].
+//! assert!(ldr.pixels().iter().all(|&v| (0.0..=1.0).contains(&v)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adjust;
+pub mod blur;
+pub mod masking;
+pub mod normalize;
+pub mod ops;
+mod params;
+pub mod pipeline;
+mod sample;
+
+pub use params::{AdjustParams, BlurParams, MaskingParams, ToneMapParams};
+pub use pipeline::{PipelineStages, ToneMapper};
+pub use sample::Sample;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ToneMapParams>();
+        assert_send_sync::<ToneMapper>();
+        assert_send_sync::<ops::PipelineProfile>();
+    }
+}

@@ -1,0 +1,110 @@
+//! Image normalization — the first stage of the pipeline (Fig. 1).
+//!
+//! Each pixel of the HDR input is divided by the maximum pixel value of the
+//! image, mapping the data into `[0, 1]` regardless of the absolute radiance
+//! scale of the capture.
+
+use crate::ops::OpCounts;
+use crate::sample::Sample;
+use hdr_image::{ImageBuffer, LuminanceImage};
+
+/// Returns the maximum pixel value of an HDR image (ignoring NaNs), used as
+/// the normalization divisor.
+pub fn max_pixel(image: &LuminanceImage) -> f32 {
+    image.min_max().1
+}
+
+/// Normalizes an HDR luminance image into `[0, 1]` by dividing every pixel by
+/// the image maximum.
+///
+/// An all-zero (or all-NaN) image is returned unchanged: there is nothing to
+/// normalize and dividing by zero would poison the pipeline.
+pub fn normalize(image: &LuminanceImage) -> LuminanceImage {
+    let max = max_pixel(image);
+    if max <= 0.0 {
+        return image.clone();
+    }
+    let inv = 1.0 / max;
+    image.map(|&v| (v * inv).clamp(0.0, 1.0))
+}
+
+/// Normalizes and converts into the pipeline's working sample type in one
+/// pass (the form used by the fixed-point accelerator path, which quantises
+/// at the accelerator boundary).
+pub fn normalize_to<S: Sample>(image: &LuminanceImage) -> ImageBuffer<S> {
+    let normalized = normalize(image);
+    normalized.map(|&v| S::from_f32(v))
+}
+
+/// Analytic operation counts of the normalization stage for a
+/// `width × height` image with `channels` colour channels.
+///
+/// The stage makes one pass to find the maximum (one load and one compare per
+/// sample) and one pass to scale (one load, one multiply by the reciprocal
+/// and one store per sample), plus a single division to form the reciprocal.
+pub fn op_counts(width: usize, height: usize, channels: usize) -> OpCounts {
+    let samples = (width * height * channels) as u64;
+    OpCounts {
+        adds: 0,
+        muls: samples,
+        divs: 1,
+        pows: 0,
+        compares: samples,
+        loads: 2 * samples,
+        stores: samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdr_image::synth::SceneKind;
+
+    #[test]
+    fn normalized_image_is_in_unit_interval_with_max_one() {
+        let hdr = SceneKind::SunAndShadow.generate(64, 64, 2);
+        let n = normalize(&hdr);
+        let (lo, hi) = n.min_max();
+        assert!(lo >= 0.0);
+        assert!((hi - 1.0).abs() < 1e-6, "max after normalization was {hi}");
+    }
+
+    #[test]
+    fn normalization_preserves_pixel_ordering() {
+        let hdr = SceneKind::GradientRamp.generate(32, 8, 3);
+        let n = normalize(&hdr);
+        for y in 0..8 {
+            for x in 1..32 {
+                let before = hdr.get(x - 1, y).unwrap() <= hdr.get(x, y).unwrap();
+                let after = n.get(x - 1, y).unwrap() <= n.get(x, y).unwrap();
+                assert_eq!(before, after);
+            }
+        }
+    }
+
+    #[test]
+    fn all_zero_image_is_returned_unchanged() {
+        let zeros = LuminanceImage::filled(8, 8, 0.0);
+        assert_eq!(normalize(&zeros), zeros);
+    }
+
+    #[test]
+    fn normalize_to_fixed_point_quantises() {
+        use apfixed::Fix16;
+        let hdr = SceneKind::WindowInDarkRoom.generate(16, 16, 5);
+        let fixed = normalize_to::<Fix16>(&hdr);
+        let float = normalize(&hdr);
+        for (fx, fl) in fixed.pixels().iter().zip(float.pixels()) {
+            assert!((fx.to_f32() - fl).abs() <= Fix16::FORMAT.epsilon() as f32);
+        }
+    }
+
+    #[test]
+    fn op_counts_scale_with_samples() {
+        let c = op_counts(10, 10, 3);
+        assert_eq!(c.muls, 300);
+        assert_eq!(c.loads, 600);
+        assert_eq!(c.stores, 300);
+        assert_eq!(c.divs, 1);
+    }
+}

@@ -1,0 +1,345 @@
+//! Operation counting used for software profiling and timing estimation.
+//!
+//! The SDSoC flow of the paper starts by *profiling* the application on the
+//! ARM core to find the most computationally-intensive function (Section
+//! III-A). The reproduction performs that profiling analytically: every
+//! pipeline stage reports how many arithmetic and memory operations it
+//! performs per image, and the `zynq-sim` processing-system model converts
+//! those counts into cycle estimates with an ARM cost table. The same counts
+//! drive the HLS kernel construction in the `codesign` crate.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Categories of primitive operations the cost models distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Addition or subtraction.
+    Add,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Transcendental call (`pow`, `exp2`, `log2`).
+    Pow,
+    /// Comparison / select.
+    Compare,
+    /// Memory read of one sample.
+    Load,
+    /// Memory write of one sample.
+    Store,
+}
+
+impl OpKind {
+    /// All operation kinds in a stable order.
+    pub const ALL: [OpKind; 7] = [
+        OpKind::Add,
+        OpKind::Mul,
+        OpKind::Div,
+        OpKind::Pow,
+        OpKind::Compare,
+        OpKind::Load,
+        OpKind::Store,
+    ];
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            OpKind::Add => "add",
+            OpKind::Mul => "mul",
+            OpKind::Div => "div",
+            OpKind::Pow => "pow",
+            OpKind::Compare => "cmp",
+            OpKind::Load => "load",
+            OpKind::Store => "store",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A tally of primitive operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// Additions and subtractions.
+    pub adds: u64,
+    /// Multiplications.
+    pub muls: u64,
+    /// Divisions.
+    pub divs: u64,
+    /// Transcendental operations (`pow`, `exp2`, `log2`).
+    pub pows: u64,
+    /// Comparisons and selects.
+    pub compares: u64,
+    /// Sample loads.
+    pub loads: u64,
+    /// Sample stores.
+    pub stores: u64,
+}
+
+impl OpCounts {
+    /// A zero tally.
+    pub const fn zero() -> Self {
+        OpCounts {
+            adds: 0,
+            muls: 0,
+            divs: 0,
+            pows: 0,
+            compares: 0,
+            loads: 0,
+            stores: 0,
+        }
+    }
+
+    /// Total number of operations of every kind.
+    pub const fn total(&self) -> u64 {
+        self.adds + self.muls + self.divs + self.pows + self.compares + self.loads + self.stores
+    }
+
+    /// Number of arithmetic operations (everything except loads/stores).
+    pub const fn arithmetic(&self) -> u64 {
+        self.adds + self.muls + self.divs + self.pows + self.compares
+    }
+
+    /// Number of memory operations (loads + stores).
+    pub const fn memory(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Count for a specific kind.
+    pub const fn of(&self, kind: OpKind) -> u64 {
+        match kind {
+            OpKind::Add => self.adds,
+            OpKind::Mul => self.muls,
+            OpKind::Div => self.divs,
+            OpKind::Pow => self.pows,
+            OpKind::Compare => self.compares,
+            OpKind::Load => self.loads,
+            OpKind::Store => self.stores,
+        }
+    }
+
+    /// Scales every count by `factor` (e.g. per-pixel counts × pixel count,
+    /// or per-channel counts × channel count).
+    #[must_use]
+    pub const fn scaled(&self, factor: u64) -> Self {
+        OpCounts {
+            adds: self.adds * factor,
+            muls: self.muls * factor,
+            divs: self.divs * factor,
+            pows: self.pows * factor,
+            compares: self.compares * factor,
+            loads: self.loads * factor,
+            stores: self.stores * factor,
+        }
+    }
+}
+
+impl Add for OpCounts {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        OpCounts {
+            adds: self.adds + rhs.adds,
+            muls: self.muls + rhs.muls,
+            divs: self.divs + rhs.divs,
+            pows: self.pows + rhs.pows,
+            compares: self.compares + rhs.compares,
+            loads: self.loads + rhs.loads,
+            stores: self.stores + rhs.stores,
+        }
+    }
+}
+
+impl AddAssign for OpCounts {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+/// The four stages of the tone-mapping pipeline (Fig. 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StageKind {
+    /// Image normalization (divide by the maximum pixel value).
+    Normalize,
+    /// Gaussian blur producing the low-pass mask — the accelerated function.
+    GaussianBlur,
+    /// Non-linear masking (mask-driven gamma correction).
+    NonlinearMasking,
+    /// Final brightness and contrast adjustment.
+    Adjustment,
+}
+
+impl StageKind {
+    /// All stages in pipeline order.
+    pub const ALL: [StageKind; 4] = [
+        StageKind::Normalize,
+        StageKind::GaussianBlur,
+        StageKind::NonlinearMasking,
+        StageKind::Adjustment,
+    ];
+}
+
+impl fmt::Display for StageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            StageKind::Normalize => "image normalization",
+            StageKind::GaussianBlur => "Gaussian blur",
+            StageKind::NonlinearMasking => "non-linear masking",
+            StageKind::Adjustment => "brightness/contrast adjustment",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Operation counts of one pipeline stage over a whole image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageProfile {
+    /// Which stage this profile describes.
+    pub stage: StageKind,
+    /// Total operation counts for the whole image (all channels).
+    pub ops: OpCounts,
+}
+
+/// Operation counts for the whole pipeline over one image.
+///
+/// Produced analytically by
+/// [`PipelineProfile::analytic`]; consumed by the `codesign` profiler and the
+/// `zynq-sim` ARM timing model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineProfile {
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Number of colour channels processed by the point-wise stages.
+    pub channels: usize,
+    /// Per-stage operation counts, in pipeline order.
+    pub stages: Vec<StageProfile>,
+}
+
+impl PipelineProfile {
+    /// Builds the analytic profile of the pipeline for an image of
+    /// `width × height` pixels under the given parameters.
+    ///
+    /// The blur is profiled in its *separable software* form (two 1-D passes
+    /// over the single-channel mask), matching the reference C++ structure
+    /// described in Section II-A; the point-wise stages are profiled per
+    /// colour channel.
+    pub fn analytic(params: &crate::ToneMapParams, width: usize, height: usize) -> Self {
+        let stages = vec![
+            StageProfile {
+                stage: StageKind::Normalize,
+                ops: crate::normalize::op_counts(width, height, params.channels),
+            },
+            StageProfile {
+                stage: StageKind::GaussianBlur,
+                ops: crate::blur::op_counts_separable(&params.blur, width, height),
+            },
+            StageProfile {
+                stage: StageKind::NonlinearMasking,
+                ops: crate::masking::op_counts(width, height, params.channels),
+            },
+            StageProfile {
+                stage: StageKind::Adjustment,
+                ops: crate::adjust::op_counts(width, height, params.channels),
+            },
+        ];
+        PipelineProfile {
+            width,
+            height,
+            channels: params.channels,
+            stages,
+        }
+    }
+
+    /// Total operation counts over all stages.
+    pub fn total(&self) -> OpCounts {
+        self.stages.iter().fold(OpCounts::zero(), |acc, s| acc + s.ops)
+    }
+
+    /// The profile of a single stage.
+    pub fn stage(&self, stage: StageKind) -> Option<&StageProfile> {
+        self.stages.iter().find(|s| s.stage == stage)
+    }
+
+    /// Number of pixels in the profiled image.
+    pub const fn pixel_count(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Stages ordered by total operation count, heaviest first — the ranking
+    /// the SDSoC-style profiler uses to select the acceleration candidate.
+    pub fn ranked_by_ops(&self) -> Vec<&StageProfile> {
+        let mut ranked: Vec<&StageProfile> = self.stages.iter().collect();
+        ranked.sort_by_key(|s| std::cmp::Reverse(s.ops.total()));
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ToneMapParams;
+
+    #[test]
+    fn op_counts_arithmetic_and_scaling() {
+        let a = OpCounts {
+            adds: 1,
+            muls: 2,
+            divs: 3,
+            pows: 4,
+            compares: 5,
+            loads: 6,
+            stores: 7,
+        };
+        assert_eq!(a.total(), 28);
+        assert_eq!(a.arithmetic(), 15);
+        assert_eq!(a.memory(), 13);
+        assert_eq!(a.of(OpKind::Div), 3);
+        let b = a + a;
+        assert_eq!(b.total(), 56);
+        assert_eq!(a.scaled(10).muls, 20);
+        let mut c = OpCounts::zero();
+        c += a;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn analytic_profile_has_all_stages_in_order() {
+        let profile = PipelineProfile::analytic(&ToneMapParams::paper_default(), 64, 64);
+        let kinds: Vec<StageKind> = profile.stages.iter().map(|s| s.stage).collect();
+        assert_eq!(kinds, StageKind::ALL.to_vec());
+        assert_eq!(profile.pixel_count(), 4096);
+        assert!(profile.total().total() > 0);
+    }
+
+    #[test]
+    fn blur_dominates_arithmetic_with_paper_defaults() {
+        // The premise of the whole paper: profiling identifies the Gaussian
+        // blur as the most computationally-intensive function.
+        let profile = PipelineProfile::analytic(&ToneMapParams::paper_default(), 1024, 1024);
+        let ranked = profile.ranked_by_ops();
+        assert_eq!(ranked[0].stage, StageKind::GaussianBlur);
+    }
+
+    #[test]
+    fn profile_scales_linearly_with_pixel_count() {
+        let params = ToneMapParams::paper_default();
+        let small = PipelineProfile::analytic(&params, 64, 64);
+        let large = PipelineProfile::analytic(&params, 128, 128);
+        assert_eq!(large.total().muls, 4 * small.total().muls);
+        assert_eq!(large.total().loads, 4 * small.total().loads);
+    }
+
+    #[test]
+    fn display_names_exist_for_all_kinds() {
+        for k in OpKind::ALL {
+            assert!(!k.to_string().is_empty());
+        }
+        for s in StageKind::ALL {
+            assert!(!s.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Parameters of the tone-mapping pipeline.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the Gaussian-blur mask generation (Fig. 1, second block).
+///
+/// The paper describes the blur as a bi-dimensional filter realised as
+/// horizontal and vertical passes whose tap count and weights come from the
+/// width and magnitude of a Gaussian distribution; it does not give the exact
+/// σ. The default below produces the strong low-pass mask a local operator
+/// needs on a 1024×1024 image while keeping the line-buffer footprint
+/// realistic for a Zynq-7000 BRAM budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlurParams {
+    /// Standard deviation of the Gaussian, in pixels.
+    pub sigma: f32,
+    /// Half-width of the kernel; the kernel has `2 * radius + 1` taps.
+    pub radius: usize,
+}
+
+impl BlurParams {
+    /// The configuration used by every experiment in this repository: a
+    /// 41-tap kernel (σ = 7), the scale of low-pass mask a 1024×1024 local
+    /// operator needs, and a line-buffer footprint (41 image rows) that fits
+    /// comfortably in Zynq-7000 BRAM.
+    pub fn paper_default() -> Self {
+        BlurParams { sigma: 7.0, radius: 20 }
+    }
+
+    /// Number of taps of the one-dimensional kernel.
+    pub const fn taps(&self) -> usize {
+        2 * self.radius + 1
+    }
+
+    /// Validates the parameters (positive σ, non-zero radius).
+    pub fn is_valid(&self) -> bool {
+        self.sigma > 0.0 && self.sigma.is_finite() && self.radius > 0
+    }
+}
+
+impl Default for BlurParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Parameters of the non-linear masking stage (Fig. 1, third block).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaskingParams {
+    /// Strength of the local correction. 1.0 reproduces Moroney's original
+    /// exponent range `[0.5, 2]` (appropriate for display-encoded inputs);
+    /// 0.0 disables the correction entirely (output equals input). Linear
+    /// radiance inputs spanning several decades need a stronger range — the
+    /// paper-default configuration uses 3.0, giving exponents in `[1/8, 8]`.
+    pub strength: f32,
+    /// Whether the mask is computed from the *inverted* normalized image, as
+    /// in Moroney's formulation (dark neighbourhoods then raise the mask and
+    /// brighten the pixel). The paper's block diagram blurs the normalized
+    /// image directly, which is equivalent up to a sign in the exponent; both
+    /// conventions are supported.
+    pub invert_mask: bool,
+}
+
+impl MaskingParams {
+    /// The configuration used by every experiment in this repository.
+    pub fn paper_default() -> Self {
+        MaskingParams {
+            strength: 3.0,
+            invert_mask: true,
+        }
+    }
+}
+
+impl Default for MaskingParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Parameters of the final brightness/contrast adjustment (Fig. 1, fourth
+/// block).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdjustParams {
+    /// Additive brightness offset applied after the contrast stretch.
+    pub brightness: f32,
+    /// Multiplicative contrast factor applied around mid-grey (0.5).
+    pub contrast: f32,
+}
+
+impl AdjustParams {
+    /// The configuration used by every experiment in this repository: a mild
+    /// contrast boost, as the paper applies the adjustment "to improve
+    /// quality".
+    pub fn paper_default() -> Self {
+        AdjustParams {
+            brightness: 0.02,
+            contrast: 1.1,
+        }
+    }
+}
+
+impl Default for AdjustParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Complete parameter set of the tone-mapping pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ToneMapParams {
+    /// Gaussian-blur mask parameters.
+    pub blur: BlurParams,
+    /// Non-linear masking parameters.
+    pub masking: MaskingParams,
+    /// Brightness/contrast adjustment parameters.
+    pub adjust: AdjustParams,
+    /// Number of colour channels the reference software processes in the
+    /// normalization, masking and adjustment stages (the blur operates on the
+    /// single-channel mask). The paper's C++ reference processes RGB images,
+    /// so the default is 3; the functional pipeline in this crate operates on
+    /// the luminance plane and re-attaches colour afterwards, which is
+    /// numerically equivalent but cheaper — the profile keeps the paper's
+    /// cost structure.
+    pub channels: usize,
+}
+
+impl ToneMapParams {
+    /// The configuration used by every experiment in this repository.
+    pub fn paper_default() -> Self {
+        ToneMapParams {
+            blur: BlurParams::paper_default(),
+            masking: MaskingParams::paper_default(),
+            adjust: AdjustParams::paper_default(),
+            channels: 3,
+        }
+    }
+
+    /// Validates the parameter combination.
+    pub fn is_valid(&self) -> bool {
+        self.blur.is_valid()
+            && self.masking.strength >= 0.0
+            && self.adjust.contrast > 0.0
+            && self.channels >= 1
+    }
+}
+
+impl Default for ToneMapParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_are_valid() {
+        assert!(ToneMapParams::paper_default().is_valid());
+        assert!(BlurParams::paper_default().is_valid());
+        assert_eq!(BlurParams::paper_default().taps(), 41);
+    }
+
+    #[test]
+    fn invalid_parameters_are_detected() {
+        let mut p = ToneMapParams::paper_default();
+        p.blur.sigma = -1.0;
+        assert!(!p.is_valid());
+        let mut p = ToneMapParams::paper_default();
+        p.blur.radius = 0;
+        assert!(!p.is_valid());
+        let mut p = ToneMapParams::paper_default();
+        p.adjust.contrast = 0.0;
+        assert!(!p.is_valid());
+        let mut p = ToneMapParams::paper_default();
+        p.channels = 0;
+        assert!(!p.is_valid());
+    }
+
+    #[test]
+    fn defaults_equal_paper_defaults() {
+        assert_eq!(ToneMapParams::default(), ToneMapParams::paper_default());
+        assert_eq!(BlurParams::default(), BlurParams::paper_default());
+        assert_eq!(MaskingParams::default(), MaskingParams::paper_default());
+        assert_eq!(AdjustParams::default(), AdjustParams::paper_default());
+    }
+}

@@ -1,0 +1,364 @@
+//! The assembled tone-mapping pipeline.
+
+use crate::adjust::apply_adjustment;
+use crate::blur::blur_separable;
+use crate::masking::{apply_masking, invert};
+use crate::normalize::{normalize, normalize_to};
+use crate::ops::PipelineProfile;
+use crate::params::ToneMapParams;
+use crate::sample::Sample;
+use hdr_image::{ImageBuffer, LuminanceImage, RgbImage};
+
+/// The intermediate results of one pipeline execution.
+///
+/// Exposing the intermediates (rather than only the final image) lets the
+/// co-design flow substitute the accelerator's output for the software blur,
+/// lets the quality experiments compare stage-by-stage, and avoids
+/// recomputing shared work (C-INTERMEDIATE).
+#[derive(Debug, Clone)]
+pub struct PipelineStages<S> {
+    /// The normalized input image in the working sample type.
+    pub normalized: ImageBuffer<S>,
+    /// The Gaussian-blurred mask (of the inverted or direct normalized image,
+    /// depending on [`crate::MaskingParams::invert_mask`]).
+    pub mask: ImageBuffer<S>,
+    /// The image after non-linear masking.
+    pub masked: ImageBuffer<S>,
+    /// The final image after brightness/contrast adjustment.
+    pub adjusted: ImageBuffer<S>,
+}
+
+impl<S: Sample> PipelineStages<S> {
+    /// Converts the final adjusted image back to `f32` for display or metric
+    /// computation.
+    pub fn output_f32(&self) -> LuminanceImage {
+        self.adjusted.map(|&v| v.to_f32())
+    }
+}
+
+/// The local tone-mapping operator of the paper, assembled from the four
+/// stages of Fig. 1.
+///
+/// Two execution shapes mirror the paper's two platforms:
+///
+/// * [`ToneMapper::map_luminance`] runs *every* stage in the working sample
+///   type `S` (software reference when `S = f32`, an all-fixed-point ablation
+///   otherwise).
+/// * [`ToneMapper::map_luminance_hw_blur`] runs the point-wise stages in
+///   `f32` on the "processing system" and only the Gaussian blur in `S` —
+///   exactly the hardware/software split of the paper, where the accelerator
+///   receives the mask input over a 16-bit bus, blurs it in `ap_fixed`
+///   arithmetic and streams it back.
+///
+/// # Example
+///
+/// ```
+/// use hdr_image::synth::SceneKind;
+/// use tonemap_core::{ToneMapParams, ToneMapper};
+///
+/// let hdr = SceneKind::SunAndShadow.generate(32, 32, 9);
+/// let mapper = ToneMapper::new(ToneMapParams::paper_default());
+///
+/// // Software reference (32-bit float everywhere).
+/// let float_out = mapper.map_luminance_f32(&hdr);
+///
+/// // The paper's final accelerator: 16-bit fixed-point Gaussian blur.
+/// let fixed_out = mapper.map_luminance_hw_blur::<apfixed::Fix16>(&hdr);
+/// assert_eq!(float_out.dimensions(), fixed_out.dimensions());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToneMapper {
+    params: ToneMapParams,
+}
+
+impl ToneMapper {
+    /// Creates a tone mapper with the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are invalid (see
+    /// [`ToneMapParams::is_valid`]); use [`ToneMapper::try_new`] to handle
+    /// invalid parameters gracefully.
+    pub fn new(params: ToneMapParams) -> Self {
+        assert!(params.is_valid(), "invalid tone-mapping parameters: {params:?}");
+        ToneMapper { params }
+    }
+
+    /// Creates a tone mapper, returning `None` if the parameters are invalid.
+    pub fn try_new(params: ToneMapParams) -> Option<Self> {
+        params.is_valid().then(|| ToneMapper { params })
+    }
+
+    /// The parameters this mapper was built with.
+    pub const fn params(&self) -> &ToneMapParams {
+        &self.params
+    }
+
+    /// Runs the full pipeline in the working sample type `S`, returning every
+    /// intermediate stage.
+    pub fn run_stages<S: Sample>(&self, hdr: &LuminanceImage) -> PipelineStages<S> {
+        let normalized: ImageBuffer<S> = normalize_to::<S>(hdr);
+        let mask_input = if self.params.masking.invert_mask {
+            invert(&normalized)
+        } else {
+            normalized.clone()
+        };
+        let mask = blur_separable(&mask_input, &self.params.blur);
+        let masked = apply_masking(&normalized, &mask, &self.params.masking);
+        let adjusted = apply_adjustment(&masked, &self.params.adjust);
+        PipelineStages {
+            normalized,
+            mask,
+            masked,
+            adjusted,
+        }
+    }
+
+    /// Runs the pipeline with the paper's hardware/software split: the
+    /// point-wise stages execute in `f32` (processing system) while the
+    /// Gaussian blur executes in the sample type `S` (programmable logic),
+    /// with quantisation at the accelerator boundary in both directions.
+    pub fn run_stages_hw_blur<S: Sample>(&self, hdr: &LuminanceImage) -> PipelineStages<f32> {
+        let normalized = normalize(hdr);
+        let mask_input = if self.params.masking.invert_mask {
+            normalized.map(|&v| 1.0 - v)
+        } else {
+            normalized.clone()
+        };
+        // Accelerator boundary: quantise to S on the way in, blur in S,
+        // dequantise on the way back — the DDR → BRAM → DDR round trip of
+        // Fig. 4 with a W-bit data bus.
+        let accel_in: ImageBuffer<S> = mask_input.map(|&v| S::from_f32(v));
+        let accel_out = blur_separable(&accel_in, &self.params.blur);
+        let mask: LuminanceImage = accel_out.map(|&v| v.to_f32());
+        let masked = apply_masking(&normalized, &mask, &self.params.masking);
+        let adjusted = apply_adjustment(&masked, &self.params.adjust);
+        PipelineStages {
+            normalized,
+            mask,
+            masked,
+            adjusted,
+        }
+    }
+
+    /// Tone-maps an HDR luminance image, computing every stage in the sample
+    /// type `S` and returning the display-referred result as `f32` in
+    /// `[0, 1]`.
+    pub fn map_luminance<S: Sample>(&self, hdr: &LuminanceImage) -> LuminanceImage {
+        self.run_stages::<S>(hdr).output_f32()
+    }
+
+    /// Tone-maps an HDR luminance image entirely in 32-bit floating point —
+    /// the paper's software reference path.
+    pub fn map_luminance_f32(&self, hdr: &LuminanceImage) -> LuminanceImage {
+        self.map_luminance::<f32>(hdr)
+    }
+
+    /// Tone-maps an HDR luminance image with only the Gaussian blur computed
+    /// in the sample type `S` — the paper's accelerated configuration
+    /// (`S = f32` models the 32-bit floating-point accelerator, `S = Fix16`
+    /// the final 16-bit fixed-point one).
+    pub fn map_luminance_hw_blur<S: Sample>(&self, hdr: &LuminanceImage) -> LuminanceImage {
+        self.run_stages_hw_blur::<S>(hdr).output_f32()
+    }
+
+    /// Tone-maps a colour HDR image: the luminance plane is tone-mapped (all
+    /// stages in `S`) and the chrominance ratios of the input are re-applied.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension-mismatch errors from the colour re-application;
+    /// these cannot occur for images produced through this crate's public
+    /// API.
+    pub fn map_rgb<S: Sample>(&self, hdr: &RgbImage) -> Result<RgbImage, hdr_image::ImageError> {
+        let luminance = hdr_image::rgb::luminance_plane(hdr);
+        let mapped = self.map_luminance::<S>(&luminance);
+        // Re-attach colour: scale each pixel so its luminance equals the
+        // tone-mapped luminance while preserving chrominance ratios.
+        hdr.zip_map(&mapped, |&p, &new_luma| {
+            let old = p.luminance();
+            if old <= f32::EPSILON {
+                hdr_image::Rgb::splat(new_luma.clamp(0.0, 1.0))
+            } else {
+                p.scaled(new_luma / old).clamp(0.0, 1.0)
+            }
+        })
+    }
+
+    /// The analytic operation-count profile of this pipeline for an image of
+    /// the given dimensions (used by the SDSoC-style profiler and the ARM
+    /// timing model).
+    pub fn profile(&self, width: usize, height: usize) -> PipelineProfile {
+        PipelineProfile::analytic(&self.params, width, height)
+    }
+}
+
+impl Default for ToneMapper {
+    fn default() -> Self {
+        ToneMapper::new(ToneMapParams::paper_default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apfixed::Fix16;
+    use hdr_image::metrics::{psnr, ssim};
+    use hdr_image::synth::SceneKind;
+
+    fn mapper() -> ToneMapper {
+        ToneMapper::new(ToneMapParams::paper_default())
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid tone-mapping parameters")]
+    fn new_rejects_invalid_parameters() {
+        let mut p = ToneMapParams::paper_default();
+        p.blur.radius = 0;
+        let _ = ToneMapper::new(p);
+    }
+
+    #[test]
+    fn try_new_returns_none_for_invalid_parameters() {
+        let mut p = ToneMapParams::paper_default();
+        p.channels = 0;
+        assert!(ToneMapper::try_new(p).is_none());
+        assert!(ToneMapper::try_new(ToneMapParams::paper_default()).is_some());
+    }
+
+    #[test]
+    fn output_is_display_referred() {
+        let hdr = SceneKind::WindowInDarkRoom.generate(48, 48, 1);
+        let out = mapper().map_luminance_f32(&hdr);
+        assert_eq!(out.dimensions(), hdr.dimensions());
+        for &v in out.pixels() {
+            assert!((0.0..=1.0).contains(&v), "pixel {v} out of display range");
+        }
+    }
+
+    #[test]
+    fn tone_mapping_compresses_dynamic_range() {
+        let hdr = SceneKind::WindowInDarkRoom.generate(64, 64, 2);
+        let out = mapper().map_luminance_f32(&hdr);
+        let normalized = crate::normalize::normalize(&hdr);
+        // In the normalized HDR input the vast majority of pixels sit in the
+        // bottom 5% of the display range (that is what makes it HDR); after
+        // tone mapping most of that content must have been lifted into the
+        // usable range.
+        let dark_fraction = |im: &LuminanceImage| {
+            im.pixels().iter().filter(|&&v| v < 0.05).count() as f64 / im.pixel_count() as f64
+        };
+        let before = dark_fraction(&normalized);
+        let after = dark_fraction(&out);
+        assert!(before > 0.5, "test scene should be mostly dark, got {before}");
+        assert!(
+            after < before / 2.0,
+            "dark fraction only moved from {before} to {after}"
+        );
+    }
+
+    #[test]
+    fn dark_regions_are_lifted_relative_to_global_scaling() {
+        let hdr = SceneKind::WindowInDarkRoom.generate(64, 64, 4);
+        let normalized = crate::normalize::normalize(&hdr);
+        let out = mapper().map_luminance_f32(&hdr);
+        assert!(
+            out.mean() > 1.5 * normalized.mean(),
+            "output mean {} vs normalized mean {}",
+            out.mean(),
+            normalized.mean()
+        );
+    }
+
+    #[test]
+    fn stages_expose_consistent_intermediates() {
+        let hdr = SceneKind::MemorialComposite.generate(32, 32, 6);
+        let stages = mapper().run_stages::<f32>(&hdr);
+        assert_eq!(stages.normalized.dimensions(), (32, 32));
+        assert_eq!(stages.mask.dimensions(), (32, 32));
+        assert_eq!(stages.masked.dimensions(), (32, 32));
+        assert_eq!(stages.adjusted.dimensions(), (32, 32));
+        let out = stages.output_f32();
+        assert_eq!(out, mapper().map_luminance_f32(&hdr));
+    }
+
+    #[test]
+    fn hw_blur_with_f32_matches_pure_software_path() {
+        let hdr = SceneKind::SunAndShadow.generate(48, 48, 5);
+        let m = mapper();
+        let sw = m.map_luminance_f32(&hdr);
+        let hw = m.map_luminance_hw_blur::<f32>(&hdr);
+        for (a, b) in sw.pixels().iter().zip(hw.pixels()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fixed_point_blur_output_is_visually_identical_to_float() {
+        // The Fig. 5 experiment in miniature: only the blur runs in 16-bit
+        // fixed point; PSNR should be high and SSIM ~ 1.
+        let hdr = SceneKind::WindowInDarkRoom.generate(96, 96, 7);
+        let m = mapper();
+        let float = m.map_luminance_hw_blur::<f32>(&hdr);
+        let fixed = m.map_luminance_hw_blur::<Fix16>(&hdr);
+        let p = psnr(&float, &fixed, 1.0);
+        let s = ssim(&float, &fixed).unwrap();
+        assert!(p > 45.0, "psnr {p} dB too low");
+        assert!(s > 0.99, "ssim {s} too low");
+    }
+
+    #[test]
+    fn full_fixed_point_pipeline_degrades_more_than_blur_only() {
+        let hdr = SceneKind::WindowInDarkRoom.generate(64, 64, 9);
+        let m = mapper();
+        let reference = m.map_luminance_f32(&hdr);
+        let blur_only = m.map_luminance_hw_blur::<Fix16>(&hdr);
+        let all_fixed = m.map_luminance::<Fix16>(&hdr);
+        let psnr_blur_only = psnr(&reference, &blur_only, 1.0);
+        let psnr_all_fixed = psnr(&reference, &all_fixed, 1.0);
+        assert!(
+            psnr_blur_only > psnr_all_fixed,
+            "blur-only {psnr_blur_only} dB should beat all-fixed {psnr_all_fixed} dB"
+        );
+    }
+
+    #[test]
+    fn rgb_mapping_preserves_dimensions_and_range() {
+        let hdr = SceneKind::SunAndShadow.generate_rgb(32, 32, 3);
+        let out = mapper().map_rgb::<f32>(&hdr).unwrap();
+        assert_eq!(out.dimensions(), hdr.dimensions());
+        for p in out.pixels() {
+            assert!(p.r >= 0.0 && p.r <= 1.0);
+            assert!(p.g >= 0.0 && p.g <= 1.0);
+            assert!(p.b >= 0.0 && p.b <= 1.0);
+        }
+    }
+
+    #[test]
+    fn rgb_mapping_preserves_hue_ratios_in_midtones() {
+        let hdr = SceneKind::GradientRamp.generate_rgb(32, 32, 11);
+        let out = mapper().map_rgb::<f32>(&hdr).unwrap();
+        for (inp, outp) in hdr.pixels().iter().zip(out.pixels()) {
+            // Where nothing clipped, the channel ratios should match.
+            if outp.max_channel() < 0.95 && inp.r > 1e-3 && inp.g > 1e-3 {
+                let before = inp.r / inp.g;
+                let after = outp.r / outp.g;
+                assert!((before - after).abs() / before < 0.05);
+            }
+        }
+    }
+
+    #[test]
+    fn default_mapper_uses_paper_parameters() {
+        assert_eq!(*ToneMapper::default().params(), ToneMapParams::paper_default());
+    }
+
+    #[test]
+    fn profile_identifies_blur_as_hotspot() {
+        let profile = mapper().profile(1024, 1024);
+        assert_eq!(
+            profile.ranked_by_ops()[0].stage,
+            crate::ops::StageKind::GaussianBlur
+        );
+    }
+}

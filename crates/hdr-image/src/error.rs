@@ -1,0 +1,104 @@
+//! Error type for image container operations and file I/O.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors produced by image construction, access and format decoding.
+#[derive(Debug)]
+pub enum ImageError {
+    /// The requested dimensions are zero or would overflow the addressable
+    /// pixel count.
+    InvalidDimensions {
+        /// Requested width in pixels.
+        width: usize,
+        /// Requested height in pixels.
+        height: usize,
+    },
+    /// The provided pixel data length does not match `width * height`.
+    DataSizeMismatch {
+        /// Expected number of pixels.
+        expected: usize,
+        /// Number of pixels actually provided.
+        actual: usize,
+    },
+    /// Two images that must have identical dimensions do not.
+    DimensionMismatch {
+        /// Dimensions of the first image.
+        left: (usize, usize),
+        /// Dimensions of the second image.
+        right: (usize, usize),
+    },
+    /// A file did not conform to the expected format.
+    Decode {
+        /// The format being decoded (e.g. `"Radiance RGBE"`).
+        format: &'static str,
+        /// A human-readable description of what went wrong.
+        reason: String,
+    },
+    /// An underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::InvalidDimensions { width, height } => {
+                write!(f, "invalid image dimensions {width}x{height}")
+            }
+            ImageError::DataSizeMismatch { expected, actual } => write!(
+                f,
+                "pixel data length {actual} does not match expected {expected}"
+            ),
+            ImageError::DimensionMismatch { left, right } => write!(
+                f,
+                "image dimensions {}x{} and {}x{} do not match",
+                left.0, left.1, right.0, right.1
+            ),
+            ImageError::Decode { format, reason } => {
+                write!(f, "failed to decode {format} data: {reason}")
+            }
+            ImageError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for ImageError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ImageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ImageError {
+    fn from(value: io::Error) -> Self {
+        ImageError::Io(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ImageError::InvalidDimensions { width: 0, height: 4 };
+        assert!(format!("{e}").contains("0x4"));
+        let e = ImageError::DataSizeMismatch { expected: 16, actual: 12 };
+        assert!(format!("{e}").contains("12"));
+        let e = ImageError::DimensionMismatch { left: (2, 2), right: (3, 3) };
+        assert!(format!("{e}").contains("2x2"));
+        let e = ImageError::Decode { format: "PFM", reason: "bad magic".into() };
+        assert!(format!("{e}").contains("PFM"));
+    }
+
+    #[test]
+    fn io_error_is_wrapped_with_source() {
+        let inner = io::Error::new(io::ErrorKind::UnexpectedEof, "eof");
+        let e = ImageError::from(inner);
+        assert!(e.source().is_some());
+        assert!(format!("{e}").contains("eof"));
+    }
+}

@@ -1,0 +1,22 @@
+//! Image file format readers and writers.
+//!
+//! Three formats are supported, covering the ways HDR data is typically
+//! exchanged:
+//!
+//! * [`rgbe`] — the Radiance picture format (`.hdr` / `.pic`), the de-facto
+//!   standard container for HDR photographs like the paper's input image.
+//! * [`pfm`] — Portable FloatMap, a trivial raw-float format convenient for
+//!   debugging intermediate pipeline stages.
+//! * [`pnm`] — binary PPM/PGM, used to write the 8-bit tone-mapped outputs
+//!   (the equivalents of Fig. 5b and 5c).
+//!
+//! All readers take `R: Read` and writers take `W: Write` by value; pass
+//! `&mut reader` / `&mut writer` to retain access to the underlying stream.
+
+pub mod pfm;
+pub mod pnm;
+pub mod rgbe;
+
+pub use pfm::{read_pfm, write_pfm};
+pub use pnm::{read_pgm, write_pgm, write_ppm};
+pub use rgbe::{read_rgbe, write_rgbe};

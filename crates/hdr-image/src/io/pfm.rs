@@ -1,0 +1,141 @@
+//! Portable FloatMap (PFM) reader and writer for single-channel images.
+//!
+//! PFM stores raw IEEE-754 floats, which makes it the natural format for
+//! dumping intermediate pipeline stages (normalised image, blurred mask)
+//! without any quantisation. Only the greyscale variant (`Pf`) is
+//! implemented because the paper's pipeline operates on the luminance plane.
+
+use crate::error::ImageError;
+use crate::LuminanceImage;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Writes a single-channel image as a little-endian greyscale PFM (`Pf`).
+///
+/// # Errors
+///
+/// Returns an error if writing to `writer` fails.
+pub fn write_pfm<W: Write>(image: &LuminanceImage, mut writer: W) -> Result<(), ImageError> {
+    writeln!(writer, "Pf")?;
+    writeln!(writer, "{} {}", image.width(), image.height())?;
+    // Negative scale indicates little-endian data per the PFM convention.
+    writeln!(writer, "-1.0")?;
+    // PFM stores rows bottom-to-top.
+    for row in image.rows().collect::<Vec<_>>().into_iter().rev() {
+        for &v in row {
+            writer.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a greyscale PFM (`Pf`) image, accepting both endiannesses.
+///
+/// # Errors
+///
+/// Returns [`ImageError::Decode`] for malformed headers and
+/// [`ImageError::Io`] for read failures.
+pub fn read_pfm<R: Read>(reader: R) -> Result<LuminanceImage, ImageError> {
+    let mut reader = BufReader::new(reader);
+    let decode_err = |reason: &str| ImageError::Decode {
+        format: "PFM",
+        reason: reason.to_string(),
+    };
+
+    let mut magic = String::new();
+    reader.read_line(&mut magic)?;
+    let magic = magic.trim();
+    if magic != "Pf" {
+        return Err(decode_err(if magic == "PF" {
+            "colour PFM not supported, expected greyscale 'Pf'"
+        } else {
+            "missing 'Pf' magic"
+        }));
+    }
+
+    let mut dims = String::new();
+    reader.read_line(&mut dims)?;
+    let mut parts = dims.split_whitespace();
+    let width: usize = parts
+        .next()
+        .and_then(|p| p.parse().ok())
+        .ok_or_else(|| decode_err("bad width"))?;
+    let height: usize = parts
+        .next()
+        .and_then(|p| p.parse().ok())
+        .ok_or_else(|| decode_err("bad height"))?;
+    if width == 0 || height == 0 {
+        return Err(ImageError::InvalidDimensions { width, height });
+    }
+
+    let mut scale_line = String::new();
+    reader.read_line(&mut scale_line)?;
+    let scale: f32 = scale_line
+        .trim()
+        .parse()
+        .map_err(|_| decode_err("bad scale/endianness field"))?;
+    // The magnitude of the scale field is informational (absolute radiance
+    // scaling); only its sign (endianness) affects decoding.
+    let little_endian = scale < 0.0;
+
+    let mut raw = vec![0u8; width * height * 4];
+    reader.read_exact(&mut raw)?;
+
+    let mut rows: Vec<Vec<f32>> = Vec::with_capacity(height);
+    for y in 0..height {
+        let mut row = Vec::with_capacity(width);
+        for x in 0..width {
+            let offset = (y * width + x) * 4;
+            let bytes = [raw[offset], raw[offset + 1], raw[offset + 2], raw[offset + 3]];
+            let v = if little_endian {
+                f32::from_le_bytes(bytes)
+            } else {
+                f32::from_be_bytes(bytes)
+            };
+            row.push(v);
+        }
+        rows.push(row);
+    }
+    // PFM rows are stored bottom-to-top; flip back.
+    rows.reverse();
+    LuminanceImage::from_vec(width, height, rows.into_iter().flatten().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_exact_floats() {
+        let img = LuminanceImage::from_fn(7, 5, |x, y| (x as f32 * 0.123 + y as f32 * 7.5).exp());
+        let mut buf = Vec::new();
+        write_pfm(&img, &mut buf).unwrap();
+        let back = read_pfm(buf.as_slice()).unwrap();
+        assert_eq!(back.dimensions(), img.dimensions());
+        assert_eq!(back.pixels(), img.pixels());
+    }
+
+    #[test]
+    fn big_endian_data_is_accepted() {
+        // Hand-build a 2x1 big-endian PFM.
+        let mut data = b"Pf\n2 1\n1.0\n".to_vec();
+        data.extend_from_slice(&1.5f32.to_be_bytes());
+        data.extend_from_slice(&2.5f32.to_be_bytes());
+        let img = read_pfm(data.as_slice()).unwrap();
+        assert_eq!(img.pixels(), &[1.5, 2.5]);
+    }
+
+    #[test]
+    fn colour_pfm_is_rejected_with_clear_reason() {
+        let data = b"PF\n1 1\n-1.0\n\0\0\0\0\0\0\0\0\0\0\0\0".to_vec();
+        let err = read_pfm(data.as_slice()).unwrap_err();
+        assert!(format!("{err}").contains("greyscale"));
+    }
+
+    #[test]
+    fn bad_magic_and_truncated_data_are_rejected() {
+        assert!(read_pfm(b"P5\n1 1\n255\n\0".as_slice()).is_err());
+        let mut data = b"Pf\n4 4\n-1.0\n".to_vec();
+        data.extend_from_slice(&[0u8; 10]); // far too short
+        assert!(read_pfm(data.as_slice()).is_err());
+    }
+}

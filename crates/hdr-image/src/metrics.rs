@@ -1,0 +1,297 @@
+//! Image-quality metrics: MSE, PSNR and SSIM.
+//!
+//! Section IV-B of the paper compares the 16-bit fixed-point accelerator
+//! output against the 32-bit floating-point reference using PSNR (reported as
+//! 66 dB) and SSIM (reported as 1.0). These functions compute exactly those
+//! metrics so the comparison can be re-measured on the reproduced pipeline.
+
+use crate::error::ImageError;
+use crate::LuminanceImage;
+
+/// Mean squared error between two images.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions (the experiments always
+/// compare outputs of identical size; a mismatch is a programming error).
+pub fn mse(a: &LuminanceImage, b: &LuminanceImage) -> f64 {
+    assert_eq!(
+        a.dimensions(),
+        b.dimensions(),
+        "mse requires images of identical dimensions"
+    );
+    let sum: f64 = a
+        .pixels()
+        .iter()
+        .zip(b.pixels())
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum();
+    sum / a.pixel_count() as f64
+}
+
+/// Peak signal-to-noise ratio in decibels, with `peak` the maximum possible
+/// signal value (1.0 for normalised images, 255.0 for 8-bit images).
+///
+/// Returns `f64::INFINITY` for identical images.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+pub fn psnr(a: &LuminanceImage, b: &LuminanceImage, peak: f64) -> f64 {
+    let err = mse(a, b);
+    if err == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (peak * peak / err).log10()
+    }
+}
+
+/// Parameters of the SSIM computation.
+///
+/// Defaults follow Wang et al. (IEEE TIP 2004), the reference cited by the
+/// paper: an 11×11 Gaussian weighting window with σ = 1.5 and stabilisation
+/// constants K1 = 0.01, K2 = 0.03.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SsimParams {
+    /// Half-width of the Gaussian window (window size is `2 * radius + 1`).
+    pub window_radius: usize,
+    /// Standard deviation of the Gaussian window.
+    pub window_sigma: f64,
+    /// Stabilisation constant for the luminance term.
+    pub k1: f64,
+    /// Stabilisation constant for the contrast term.
+    pub k2: f64,
+    /// Dynamic range of the pixel values (1.0 for normalised images).
+    pub dynamic_range: f64,
+}
+
+impl Default for SsimParams {
+    fn default() -> Self {
+        SsimParams {
+            window_radius: 5,
+            window_sigma: 1.5,
+            k1: 0.01,
+            k2: 0.03,
+            dynamic_range: 1.0,
+        }
+    }
+}
+
+/// Mean structural similarity (SSIM) index between two images using the
+/// default parameters of [`SsimParams`].
+///
+/// Returns a value in `[-1, 1]`; 1.0 means structurally identical.
+///
+/// # Errors
+///
+/// Returns [`ImageError::DimensionMismatch`] if the dimensions differ.
+pub fn ssim(a: &LuminanceImage, b: &LuminanceImage) -> Result<f64, ImageError> {
+    ssim_with_params(a, b, SsimParams::default())
+}
+
+/// Mean SSIM with explicit parameters. See [`ssim`].
+///
+/// # Errors
+///
+/// Returns [`ImageError::DimensionMismatch`] if the dimensions differ.
+pub fn ssim_with_params(
+    a: &LuminanceImage,
+    b: &LuminanceImage,
+    params: SsimParams,
+) -> Result<f64, ImageError> {
+    let map = ssim_map(a, b, params)?;
+    Ok(map.pixels().iter().map(|&v| v as f64).sum::<f64>() / map.pixel_count() as f64)
+}
+
+/// Per-pixel SSIM map (useful for localising where quantisation hurts).
+///
+/// # Errors
+///
+/// Returns [`ImageError::DimensionMismatch`] if the dimensions differ.
+pub fn ssim_map(
+    a: &LuminanceImage,
+    b: &LuminanceImage,
+    params: SsimParams,
+) -> Result<LuminanceImage, ImageError> {
+    if a.dimensions() != b.dimensions() {
+        return Err(ImageError::DimensionMismatch {
+            left: a.dimensions(),
+            right: b.dimensions(),
+        });
+    }
+    let radius = params.window_radius as isize;
+    let window = gaussian_window(params.window_radius, params.window_sigma);
+    let c1 = (params.k1 * params.dynamic_range).powi(2);
+    let c2 = (params.k2 * params.dynamic_range).powi(2);
+
+    let (width, height) = a.dimensions();
+    Ok(LuminanceImage::from_fn(width, height, |x, y| {
+        // Weighted local statistics over the window centred at (x, y), with
+        // clamped (edge-replicating) boundary handling.
+        let mut mu_a = 0.0f64;
+        let mut mu_b = 0.0f64;
+        for dy in -radius..=radius {
+            for dx in -radius..=radius {
+                let w = window[(dy + radius) as usize][(dx + radius) as usize];
+                mu_a += w * *a.get_clamped(x as isize + dx, y as isize + dy) as f64;
+                mu_b += w * *b.get_clamped(x as isize + dx, y as isize + dy) as f64;
+            }
+        }
+        let mut var_a = 0.0f64;
+        let mut var_b = 0.0f64;
+        let mut cov = 0.0f64;
+        for dy in -radius..=radius {
+            for dx in -radius..=radius {
+                let w = window[(dy + radius) as usize][(dx + radius) as usize];
+                let va = *a.get_clamped(x as isize + dx, y as isize + dy) as f64 - mu_a;
+                let vb = *b.get_clamped(x as isize + dx, y as isize + dy) as f64 - mu_b;
+                var_a += w * va * va;
+                var_b += w * vb * vb;
+                cov += w * va * vb;
+            }
+        }
+        let numerator = (2.0 * mu_a * mu_b + c1) * (2.0 * cov + c2);
+        let denominator = (mu_a * mu_a + mu_b * mu_b + c1) * (var_a + var_b + c2);
+        (numerator / denominator) as f32
+    }))
+}
+
+/// Normalised 2-D Gaussian weighting window of half-width `radius`.
+fn gaussian_window(radius: usize, sigma: f64) -> Vec<Vec<f64>> {
+    let size = 2 * radius + 1;
+    let mut window = vec![vec![0.0f64; size]; size];
+    let mut total = 0.0;
+    for (j, row) in window.iter_mut().enumerate() {
+        for (i, w) in row.iter_mut().enumerate() {
+            let dx = i as f64 - radius as f64;
+            let dy = j as f64 - radius as f64;
+            *w = (-(dx * dx + dy * dy) / (2.0 * sigma * sigma)).exp();
+            total += *w;
+        }
+    }
+    for row in window.iter_mut() {
+        for w in row.iter_mut() {
+            *w /= total;
+        }
+    }
+    window
+}
+
+/// Root-mean-square error, a convenience wrapper over [`mse`].
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+pub fn rmse(a: &LuminanceImage, b: &LuminanceImage) -> f64 {
+    mse(a, b).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SceneKind;
+
+    fn test_image() -> LuminanceImage {
+        SceneKind::MemorialComposite
+            .generate(48, 48, 21)
+            .map(|&v| (v / 3000.0).clamp(0.0, 1.0))
+    }
+
+    #[test]
+    fn identical_images_have_zero_mse_and_infinite_psnr() {
+        let img = test_image();
+        assert_eq!(mse(&img, &img), 0.0);
+        assert!(psnr(&img, &img, 1.0).is_infinite());
+        assert_eq!(rmse(&img, &img), 0.0);
+    }
+
+    #[test]
+    fn identical_images_have_ssim_one() {
+        let img = test_image();
+        let s = ssim(&img, &img).unwrap();
+        assert!((s - 1.0).abs() < 1e-9, "ssim of identical images was {s}");
+    }
+
+    #[test]
+    fn known_mse_and_psnr_for_constant_offset() {
+        let a = LuminanceImage::filled(16, 16, 0.5);
+        let b = LuminanceImage::filled(16, 16, 0.6);
+        let e = mse(&a, &b);
+        assert!((e - 0.01).abs() < 1e-6);
+        let p = psnr(&a, &b, 1.0);
+        assert!((p - 20.0).abs() < 0.01, "psnr was {p}");
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise_amplitude() {
+        let img = test_image();
+        let noisy_small = img.map_with_coords(|x, y, &v| v + if (x + y) % 2 == 0 { 1e-3 } else { -1e-3 });
+        let noisy_large = img.map_with_coords(|x, y, &v| v + if (x + y) % 2 == 0 { 1e-2 } else { -1e-2 });
+        assert!(psnr(&img, &noisy_small, 1.0) > psnr(&img, &noisy_large, 1.0));
+    }
+
+    #[test]
+    fn quantisation_to_16bit_gives_psnr_in_expected_band() {
+        // This is the mechanism behind the paper's 66 dB figure: 16-bit
+        // fixed-point quantisation of a [0,1] image gives PSNR around
+        // 20*log10(2^12 * sqrt(12)) ≈ 83 dB for 12 fractional bits, and the
+        // additional error from a whole processing chain lands in the 60-70
+        // dB band. Check pure quantisation first.
+        let img = test_image();
+        let q = 1.0 / 4096.0;
+        let quantised = img.map(|&v| ((v / q).round() * q) as f32);
+        let p = psnr(&img, &quantised, 1.0);
+        assert!(p > 70.0, "pure 12-bit quantisation PSNR was {p}");
+    }
+
+    #[test]
+    fn ssim_detects_structural_change_more_than_constant_shift() {
+        let img = test_image();
+        // A small constant luminance shift barely affects structure (it only
+        // touches the luminance comparison term).
+        let shifted = img.map(|&v| (v + 0.005).min(1.0));
+        // Shuffling rows destroys structure.
+        let (w, h) = img.dimensions();
+        let scrambled = LuminanceImage::from_fn(w, h, |x, y| *img.get(x, (y * 7 + 3) % h).unwrap());
+        let s_shift = ssim(&img, &shifted).unwrap();
+        let s_scram = ssim(&img, &scrambled).unwrap();
+        assert!(s_shift > 0.7, "shift ssim {s_shift}");
+        assert!(s_scram < s_shift, "scrambled {s_scram} vs shifted {s_shift}");
+    }
+
+    #[test]
+    fn ssim_is_symmetric() {
+        let a = test_image();
+        let b = a.map_with_coords(|x, _, &v| v * (1.0 + 0.001 * (x % 3) as f32));
+        let ab = ssim(&a, &b).unwrap();
+        let ba = ssim(&b, &a).unwrap();
+        assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ssim_rejects_dimension_mismatch() {
+        let a = LuminanceImage::filled(8, 8, 0.5);
+        let b = LuminanceImage::filled(9, 8, 0.5);
+        assert!(ssim(&a, &b).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "identical dimensions")]
+    fn mse_panics_on_dimension_mismatch() {
+        let a = LuminanceImage::filled(8, 8, 0.5);
+        let b = LuminanceImage::filled(4, 4, 0.5);
+        let _ = mse(&a, &b);
+    }
+
+    #[test]
+    fn gaussian_window_is_normalised_and_symmetric() {
+        let w = gaussian_window(5, 1.5);
+        let total: f64 = w.iter().flatten().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((w[0][0] - w[10][10]).abs() < 1e-15);
+        assert!(w[5][5] > w[0][0]);
+    }
+}

@@ -1,0 +1,347 @@
+//! Synthetic HDR scene generation.
+//!
+//! The paper evaluates on a single 1024×1024 HDR photograph (Fig. 5a) that is
+//! not distributed with the paper. Per the substitution policy in DESIGN.md,
+//! this module generates synthetic HDR scenes with comparable properties:
+//!
+//! * a dynamic range of 4–6 orders of magnitude between the darkest and the
+//!   brightest detail, so the tone-mapping operator actually has work to do;
+//! * large smooth regions plus localised high-frequency texture, so the
+//!   Gaussian-blur mask behaves as it would on a photograph;
+//! * deterministic generation from a seed, so every experiment is exactly
+//!   reproducible.
+//!
+//! The quality numbers of Fig. 5 (PSNR/SSIM between float and fixed-point
+//! outputs) depend on image statistics rather than semantics, so these scenes
+//! preserve the relevant behaviour.
+
+use crate::rgb::Rgb;
+use crate::{LuminanceImage, RgbImage};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The synthetic HDR scenes available to the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SceneKind {
+    /// A dim interior with a very bright window: the classic HDR test case.
+    /// Most of the frame sits 3–4 decades below the window radiance.
+    WindowInDarkRoom,
+    /// An outdoor scene with a bright sky/sun patch, mid-tone ground and hard
+    /// shadows with fine texture.
+    SunAndShadow,
+    /// A smooth horizontal exponential luminance ramp spanning five decades;
+    /// useful for checking monotonicity and banding of the operator.
+    GradientRamp,
+    /// A composite reminiscent of the "memorial church" HDR: a bright
+    /// vertical window strip, radial falloff and textured walls.
+    MemorialComposite,
+    /// Mostly dark frame with a field of small, very bright point sources;
+    /// stresses the local (neighbourhood-dependent) behaviour of the
+    /// operator and the blur's boundary handling.
+    StarField,
+}
+
+impl SceneKind {
+    /// All scene kinds, in a stable order (used by sweeps and benches).
+    pub const ALL: [SceneKind; 5] = [
+        SceneKind::WindowInDarkRoom,
+        SceneKind::SunAndShadow,
+        SceneKind::GradientRamp,
+        SceneKind::MemorialComposite,
+        SceneKind::StarField,
+    ];
+
+    /// Generates the scene as a single-channel linear-radiance image.
+    ///
+    /// The same `(kind, width, height, seed)` tuple always produces the same
+    /// image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn generate(self, width: usize, height: usize, seed: u64) -> LuminanceImage {
+        assert!(width > 0 && height > 0, "scene dimensions must be non-zero");
+        let mut rng = StdRng::seed_from_u64(seed ^ self.seed_salt());
+        let noise = NoiseField::new(&mut rng);
+        let w = width as f32;
+        let h = height as f32;
+        LuminanceImage::from_fn(width, height, |xi, yi| {
+            let x = xi as f32 / w;
+            let y = yi as f32 / h;
+            let v = match self {
+                SceneKind::WindowInDarkRoom => window_in_dark_room(x, y, &noise),
+                SceneKind::SunAndShadow => sun_and_shadow(x, y, &noise),
+                SceneKind::GradientRamp => gradient_ramp(x, y, &noise),
+                SceneKind::MemorialComposite => memorial_composite(x, y, &noise),
+                SceneKind::StarField => star_field(x, y, &noise),
+            };
+            v.max(1e-6)
+        })
+    }
+
+    /// Generates the scene as a colour HDR image by modulating the luminance
+    /// with a slowly-varying synthetic chrominance field.
+    pub fn generate_rgb(self, width: usize, height: usize, seed: u64) -> RgbImage {
+        let luma = self.generate(width, height, seed);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(17));
+        let hue_phase: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+        let w = width as f32;
+        let h = height as f32;
+        luma.map_with_coords(|xi, yi, &l| {
+            let x = xi as f32 / w;
+            let y = yi as f32 / h;
+            let warm = 0.5 + 0.5 * (std::f32::consts::TAU * (x * 0.7 + y * 0.3) + hue_phase).sin();
+            // Keep the Rec.709-weighted luminance of the colour pixel equal
+            // to the generated luminance.
+            let r_w = 0.8 + 0.4 * warm;
+            let b_w = 1.2 - 0.4 * warm;
+            let g_w = (1.0 - 0.2126 * r_w - 0.0722 * b_w) / 0.7152;
+            Rgb::new(l * r_w, l * g_w, l * b_w)
+        })
+    }
+
+    /// The default 1024×1024 input used by every experiment in this
+    /// repository, standing in for the paper's Fig. 5a photograph.
+    pub fn paper_input() -> LuminanceImage {
+        SceneKind::WindowInDarkRoom.generate(1024, 1024, 2018)
+    }
+
+    fn seed_salt(self) -> u64 {
+        match self {
+            SceneKind::WindowInDarkRoom => 0x57_49_4e_44,
+            SceneKind::SunAndShadow => 0x53_55_4e_00,
+            SceneKind::GradientRamp => 0x47_52_41_44,
+            SceneKind::MemorialComposite => 0x4d_45_4d_4f,
+            SceneKind::StarField => 0x53_54_41_52,
+        }
+    }
+}
+
+impl fmt::Display for SceneKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SceneKind::WindowInDarkRoom => "window-in-dark-room",
+            SceneKind::SunAndShadow => "sun-and-shadow",
+            SceneKind::GradientRamp => "gradient-ramp",
+            SceneKind::MemorialComposite => "memorial-composite",
+            SceneKind::StarField => "star-field",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A small deterministic value-noise field built from random gradients and
+/// harmonics; enough texture to make the blur and the local operator
+/// meaningful without pulling in a full Perlin implementation.
+struct NoiseField {
+    phases: [(f32, f32, f32); 12],
+    star_seeds: Vec<(f32, f32, f32)>,
+}
+
+impl NoiseField {
+    fn new(rng: &mut StdRng) -> Self {
+        let mut phases = [(0.0f32, 0.0f32, 0.0f32); 12];
+        for (i, p) in phases.iter_mut().enumerate() {
+            let freq = 2.0f32.powi(i as i32 / 3 + 1);
+            *p = (
+                rng.gen_range(0.5..1.5) * freq,
+                rng.gen_range(0.5..1.5) * freq,
+                rng.gen_range(0.0..std::f32::consts::TAU),
+            );
+        }
+        let star_seeds = (0..160)
+            .map(|_| {
+                (
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.3..1.0),
+                )
+            })
+            .collect();
+        NoiseField { phases, star_seeds }
+    }
+
+    /// Band-limited pseudo-noise in roughly `[-1, 1]`.
+    fn sample(&self, x: f32, y: f32, octaves: usize) -> f32 {
+        let mut acc = 0.0;
+        let mut amp = 0.5;
+        let mut total = 0.0;
+        for (i, &(fx, fy, phase)) in self.phases.iter().enumerate().take(octaves.min(12) * 3) {
+            acc += amp * (std::f32::consts::TAU * (fx * x + fy * y) + phase).sin();
+            total += amp;
+            if i % 3 == 2 {
+                amp *= 0.55;
+            }
+        }
+        if total > 0.0 {
+            acc / total
+        } else {
+            0.0
+        }
+    }
+}
+
+fn smoothstep(edge0: f32, edge1: f32, x: f32) -> f32 {
+    let t = ((x - edge0) / (edge1 - edge0)).clamp(0.0, 1.0);
+    t * t * (3.0 - 2.0 * t)
+}
+
+fn window_in_dark_room(x: f32, y: f32, noise: &NoiseField) -> f32 {
+    // Dim room: base radiance around 0.5 cd-equivalent with wall texture.
+    let wall = 0.4 * (1.0 + 0.3 * noise.sample(x, y, 3));
+    // Bright window occupying the upper-right quadrant, ~4 decades brighter.
+    let in_window_x = smoothstep(0.55, 0.60, x) * (1.0 - smoothstep(0.90, 0.95, x));
+    let in_window_y = smoothstep(0.10, 0.15, y) * (1.0 - smoothstep(0.50, 0.55, y));
+    let window = 4000.0 * in_window_x * in_window_y * (1.0 + 0.05 * noise.sample(x * 3.0, y * 3.0, 2));
+    // Light spill on the floor below the window.
+    let spill = 8.0
+        * smoothstep(0.5, 0.8, x)
+        * smoothstep(0.55, 0.7, y)
+        * (1.0 - smoothstep(0.85, 1.0, y))
+        * (1.0 + 0.1 * noise.sample(x * 2.0, y * 2.0, 2));
+    wall + window + spill
+}
+
+fn sun_and_shadow(x: f32, y: f32, noise: &NoiseField) -> f32 {
+    // Sky gradient in the upper third.
+    let sky = if y < 0.35 {
+        60.0 * (1.0 - y) * (1.0 + 0.05 * noise.sample(x * 2.0, y * 2.0, 2))
+    } else {
+        0.0
+    };
+    // Sun disc.
+    let dx = x - 0.75;
+    let dy = y - 0.12;
+    let sun = 20000.0 * (-((dx * dx + dy * dy) / 0.0009)).exp();
+    // Ground with texture, mid-tones.
+    let ground = if y >= 0.35 {
+        12.0 * (1.0 + 0.4 * noise.sample(x * 4.0, y * 4.0, 4))
+    } else {
+        0.0
+    };
+    // Hard shadows cast across the ground.
+    let shadow = if y >= 0.35 {
+        let stripes = ((x * 6.0 + y * 2.0).fract() - 0.5).abs();
+        if stripes < 0.18 {
+            0.04
+        } else {
+            1.0
+        }
+    } else {
+        1.0
+    };
+    sky + sun + ground * shadow + 0.05
+}
+
+fn gradient_ramp(x: f32, y: f32, noise: &NoiseField) -> f32 {
+    // Five decades horizontally, gentle vertical modulation and faint noise.
+    let base = 10f32.powf(-2.0 + 5.0 * x);
+    base * (1.0 + 0.1 * (y * std::f32::consts::TAU * 2.0).sin() + 0.02 * noise.sample(x * 8.0, y * 8.0, 2))
+}
+
+fn memorial_composite(x: f32, y: f32, noise: &NoiseField) -> f32 {
+    // Radial falloff from the centre (vaulted ceiling lighting).
+    let dx = x - 0.5;
+    let dy = y - 0.45;
+    let radial = 30.0 * (-(dx * dx + dy * dy) * 6.0).exp();
+    // Tall bright window strip in the centre.
+    let strip = 2500.0
+        * smoothstep(0.46, 0.48, x)
+        * (1.0 - smoothstep(0.52, 0.54, x))
+        * smoothstep(0.05, 0.1, y)
+        * (1.0 - smoothstep(0.6, 0.65, y));
+    // Textured stone walls.
+    let wall = 1.5 * (1.0 + 0.5 * noise.sample(x * 6.0, y * 6.0, 4)).max(0.1);
+    radial + strip + wall
+}
+
+fn star_field(x: f32, y: f32, noise: &NoiseField) -> f32 {
+    let background = 0.02 * (1.0 + 0.3 * noise.sample(x * 2.0, y * 2.0, 2)).max(0.1);
+    let mut stars = 0.0;
+    for &(sx, sy, brightness) in &noise.star_seeds {
+        let dx = x - sx;
+        let dy = y - sy;
+        let d2 = dx * dx + dy * dy;
+        if d2 < 0.0004 {
+            stars += 3000.0 * brightness * (-d2 / 0.000015).exp();
+        }
+    }
+    background + stars
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SceneKind::WindowInDarkRoom.generate(32, 32, 5);
+        let b = SceneKind::WindowInDarkRoom.generate(32, 32, 5);
+        assert_eq!(a, b);
+        let c = SceneKind::WindowInDarkRoom.generate(32, 32, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn different_kinds_produce_different_images() {
+        let a = SceneKind::WindowInDarkRoom.generate(16, 16, 1);
+        let b = SceneKind::SunAndShadow.generate(16, 16, 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn scenes_are_high_dynamic_range() {
+        for kind in SceneKind::ALL {
+            let img = kind.generate(128, 128, 11);
+            let dr = img.dynamic_range();
+            assert!(
+                dr > 100.0,
+                "{kind} has dynamic range {dr:.1}, expected > 100 (HDR)"
+            );
+        }
+    }
+
+    #[test]
+    fn all_pixels_are_positive_and_finite() {
+        for kind in SceneKind::ALL {
+            let img = kind.generate(64, 64, 3);
+            for &p in img.pixels() {
+                assert!(p.is_finite() && p > 0.0, "{kind} produced pixel {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_ramp_is_monotone_in_x_on_average() {
+        let img = SceneKind::GradientRamp.generate(64, 16, 9);
+        let col_mean = |x: usize| -> f64 {
+            (0..16).map(|y| *img.get(x, y).unwrap() as f64).sum::<f64>() / 16.0
+        };
+        assert!(col_mean(60) > col_mean(32));
+        assert!(col_mean(32) > col_mean(4));
+    }
+
+    #[test]
+    fn rgb_generation_preserves_luminance() {
+        let luma = SceneKind::SunAndShadow.generate(32, 32, 4);
+        let rgb = SceneKind::SunAndShadow.generate_rgb(32, 32, 4);
+        for (a, p) in luma.pixels().iter().zip(rgb.pixels()) {
+            let l = p.luminance();
+            assert!((l - a).abs() / a.max(1e-6) < 0.02, "luminance drifted: {a} vs {l}");
+        }
+    }
+
+    #[test]
+    fn display_names_are_kebab_case() {
+        assert_eq!(SceneKind::WindowInDarkRoom.to_string(), "window-in-dark-room");
+        assert_eq!(SceneKind::StarField.to_string(), "star-field");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_panics() {
+        let _ = SceneKind::GradientRamp.generate(0, 4, 1);
+    }
+}

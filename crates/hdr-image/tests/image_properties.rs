@@ -1,0 +1,156 @@
+//! Property-based tests of the image substrate: container algebra, format
+//! round trips and metric axioms.
+
+use hdr_image::io::{read_pfm, read_pgm, write_pfm, write_pgm};
+use hdr_image::io::rgbe::{decode_rgbe, encode_rgbe};
+use hdr_image::metrics::{mse, psnr, ssim};
+use hdr_image::rgb::Rgb;
+use hdr_image::synth::SceneKind;
+use hdr_image::{ImageBuffer, LuminanceImage};
+use proptest::prelude::*;
+
+fn image_strategy(max_size: usize) -> impl Strategy<Value = LuminanceImage> {
+    (1usize..=max_size, 1usize..=max_size, 0u64..1_000).prop_map(|(w, h, seed)| {
+        LuminanceImage::from_fn(w, h, |x, y| {
+            let v = ((x * 131 + y * 197) as u64).wrapping_add(seed.wrapping_mul(7919)) % 1024;
+            v as f32 / 1023.0
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn transpose_is_an_involution(img in image_strategy(24)) {
+        prop_assert_eq!(img.transpose().transpose(), img);
+    }
+
+    #[test]
+    fn map_preserves_dimensions_and_composition(img in image_strategy(24)) {
+        let doubled_then_offset = img.map(|&v| v * 2.0).map(|&v| v + 1.0);
+        let fused = img.map(|&v| v * 2.0 + 1.0);
+        prop_assert_eq!(doubled_then_offset.dimensions(), img.dimensions());
+        for (a, b) in doubled_then_offset.pixels().iter().zip(fused.pixels()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn clamped_access_always_returns_an_existing_pixel(
+        img in image_strategy(16),
+        x in -50isize..70,
+        y in -50isize..70
+    ) {
+        let v = *img.get_clamped(x, y);
+        prop_assert!(img.pixels().iter().any(|&p| p == v));
+    }
+
+    #[test]
+    fn pgm_round_trip_is_lossless(img in image_strategy(24)) {
+        let ldr = img.to_ldr();
+        let mut buffer = Vec::new();
+        write_pgm(&ldr, &mut buffer).unwrap();
+        prop_assert_eq!(read_pgm(buffer.as_slice()).unwrap(), ldr);
+    }
+
+    #[test]
+    fn pfm_round_trip_is_bit_exact(img in image_strategy(24)) {
+        let mut buffer = Vec::new();
+        write_pfm(&img, &mut buffer).unwrap();
+        prop_assert_eq!(read_pfm(buffer.as_slice()).unwrap(), img);
+    }
+
+    #[test]
+    fn rgbe_encoding_keeps_relative_error_small(
+        magnitude in -4.0f32..4.0,
+        r in 0.1f32..1.0,
+        g in 0.1f32..1.0,
+        b in 0.1f32..1.0
+    ) {
+        let scale = 10f32.powf(magnitude);
+        let pixel = Rgb::new(r * scale, g * scale, b * scale);
+        let decoded = decode_rgbe(encode_rgbe(pixel));
+        for (orig, back) in [(pixel.r, decoded.r), (pixel.g, decoded.g), (pixel.b, decoded.b)] {
+            prop_assert!((back - orig).abs() / orig < 0.05, "{orig} -> {back}");
+        }
+    }
+
+    #[test]
+    fn mse_and_psnr_satisfy_metric_axioms(a in image_strategy(20), offset in 0.001f32..0.2) {
+        // Identity.
+        prop_assert_eq!(mse(&a, &a), 0.0);
+        // Symmetry.
+        let b = a.map(|&v| (v + offset).min(1.5));
+        prop_assert!((mse(&a, &b) - mse(&b, &a)).abs() < 1e-12);
+        // A larger perturbation gives larger error / smaller PSNR.
+        let c = a.map(|&v| (v + 2.0 * offset).min(1.5));
+        prop_assert!(mse(&a, &c) >= mse(&a, &b));
+        prop_assert!(psnr(&a, &c, 1.0) <= psnr(&a, &b, 1.0) + 1e-9);
+    }
+
+    #[test]
+    fn ssim_is_bounded_and_maximal_for_identical_images(img in image_strategy(20)) {
+        let s_same = ssim(&img, &img).unwrap();
+        prop_assert!((s_same - 1.0).abs() < 1e-9);
+        let perturbed = img.map_with_coords(|x, y, &v| if (x + y) % 2 == 0 { (v + 0.2).min(1.0) } else { v });
+        let s = ssim(&img, &perturbed).unwrap();
+        prop_assert!((-1.0..=1.0 + 1e-9).contains(&s));
+        prop_assert!(s <= s_same);
+    }
+
+    #[test]
+    fn synthetic_scenes_are_deterministic_in_every_size(
+        width in 2usize..48,
+        height in 2usize..48,
+        seed in 0u64..1_000
+    ) {
+        for kind in SceneKind::ALL {
+            let a = kind.generate(width, height, seed);
+            let b = kind.generate(width, height, seed);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn luminance_of_generated_rgb_matches_scalar_scene(
+        width in 4usize..32,
+        height in 4usize..32,
+        seed in 0u64..200
+    ) {
+        let luma = SceneKind::MemorialComposite.generate(width, height, seed);
+        let rgb = SceneKind::MemorialComposite.generate_rgb(width, height, seed);
+        for (l, p) in luma.pixels().iter().zip(rgb.pixels()) {
+            prop_assert!((p.luminance() - l).abs() / l.max(1e-6) < 0.02);
+        }
+    }
+
+    #[test]
+    fn zip_map_requires_matching_dimensions(
+        a in image_strategy(16),
+        b in image_strategy(16)
+    ) {
+        let result = a.zip_map(&b, |&x, &y| x + y);
+        prop_assert_eq!(result.is_ok(), a.dimensions() == b.dimensions());
+    }
+
+    #[test]
+    fn crop_never_exceeds_the_source(img in image_strategy(24), w in 1usize..30, h in 1usize..30) {
+        let cropped = img.crop(img.width() / 2, img.height() / 2, w, h);
+        prop_assert!(cropped.width() <= img.width());
+        prop_assert!(cropped.height() <= img.height());
+        prop_assert!(cropped.width() >= 1 && cropped.height() >= 1);
+    }
+}
+
+#[test]
+fn rgb_buffer_round_trips_through_rgbe_file() {
+    let original = SceneKind::SunAndShadow.generate_rgb(64, 48, 33);
+    let mut file = Vec::new();
+    hdr_image::io::write_rgbe(&original, &mut file).unwrap();
+    let decoded = hdr_image::io::read_rgbe(file.as_slice()).unwrap();
+    assert_eq!(decoded.dimensions(), original.dimensions());
+    let before: ImageBuffer<f32> = hdr_image::rgb::luminance_plane(&original);
+    let after: ImageBuffer<f32> = hdr_image::rgb::luminance_plane(&decoded);
+    assert!(psnr(&before.map(|&v| v / 30000.0), &after.map(|&v| v / 30000.0), 1.0) > 35.0);
+}

@@ -1,0 +1,610 @@
+//! Kernel intermediate representation: the function marked for hardware.
+//!
+//! A [`Kernel`] describes the loop nest, the operations in each loop body,
+//! the arrays those operations touch and the pragmas guiding synthesis — the
+//! information Vivado HLS extracts from the C++ source of the accelerated
+//! function. The `codesign` crate builds one kernel per design implementation
+//! of Table I/II (naive 2-D blur, restructured streaming blur, pipelined
+//! variants, fixed-point variant) and hands them to the
+//! [`Scheduler`](crate::schedule::Scheduler).
+
+use crate::pragma::Pragma;
+use crate::tech::ArithOp;
+use crate::types::DataType;
+use serde::{Deserialize, Serialize};
+
+/// Where an array physically lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArrayStorage {
+    /// On-chip block RAM inside the programmable logic (the local buffer of
+    /// Fig. 4).
+    Bram,
+    /// Registers / LUT-RAM (small constant tables such as the kernel
+    /// coefficients after complete partitioning).
+    Registers,
+    /// The off-chip DDR shared with the processing system, reached through a
+    /// data mover.
+    External,
+}
+
+/// One array (or stream) referenced by the kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArraySpec {
+    /// Array name, referenced by load/store operations and pragmas.
+    pub name: String,
+    /// Number of elements.
+    pub elements: u64,
+    /// Element data type.
+    pub element_type: DataType,
+    /// Physical storage.
+    pub storage: ArrayStorage,
+}
+
+impl ArraySpec {
+    /// Total size of the array in bits.
+    pub const fn total_bits(&self) -> u64 {
+        self.elements * self.element_type.bit_width() as u64
+    }
+}
+
+/// The kind of one operation in a loop body.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// An arithmetic operation of the given category and data type.
+    Arith(ArithOp, DataType),
+    /// Read one element of the named array.
+    Read(String),
+    /// Write one element of the named array.
+    Write(String),
+}
+
+/// One operation (possibly replicated `count` times) in a loop body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Operation {
+    /// What the operation does.
+    pub kind: OpKind,
+    /// How many identical instances of this operation the body performs per
+    /// iteration.
+    pub count: u64,
+    /// Whether the operation participates in a loop-carried recurrence (e.g.
+    /// the accumulator add of a multiply-accumulate reduction). Loop-carried
+    /// operations bound the initiation interval from below.
+    pub loop_carried: bool,
+}
+
+/// An element of a loop body: either an operation or a nested loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BodyItem {
+    /// A primitive operation.
+    Op(Operation),
+    /// A nested loop.
+    Loop(LoopNode),
+}
+
+/// A counted loop with a body of operations and nested loops.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoopNode {
+    /// Loop label, referenced by `PIPELINE`/`UNROLL` pragmas.
+    pub name: String,
+    /// Trip count.
+    pub trip_count: u64,
+    /// Body items in program order.
+    pub body: Vec<BodyItem>,
+}
+
+impl LoopNode {
+    /// `true` if this loop contains no nested loops.
+    pub fn is_leaf(&self) -> bool {
+        self.body.iter().all(|item| matches!(item, BodyItem::Op(_)))
+    }
+
+    /// Iterates over the directly-contained operations (not those of nested
+    /// loops).
+    pub fn own_ops(&self) -> impl Iterator<Item = &Operation> {
+        self.body.iter().filter_map(|item| match item {
+            BodyItem::Op(op) => Some(op),
+            BodyItem::Loop(_) => None,
+        })
+    }
+
+    /// Iterates over the directly-nested loops.
+    pub fn sub_loops(&self) -> impl Iterator<Item = &LoopNode> {
+        self.body.iter().filter_map(|item| match item {
+            BodyItem::Loop(l) => Some(l),
+            BodyItem::Op(_) => None,
+        })
+    }
+
+    fn collect_names<'a>(&'a self, names: &mut Vec<&'a str>) {
+        names.push(&self.name);
+        for l in self.sub_loops() {
+            l.collect_names(names);
+        }
+    }
+}
+
+/// The hardware function: arrays, loop nest and pragmas.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Kernel {
+    name: String,
+    default_type: DataType,
+    arrays: Vec<ArraySpec>,
+    loops: Vec<LoopNode>,
+    pragmas: Vec<Pragma>,
+}
+
+impl Kernel {
+    /// The kernel (hardware function) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The data type arithmetic defaults to.
+    pub const fn default_type(&self) -> DataType {
+        self.default_type
+    }
+
+    /// The arrays referenced by the kernel.
+    pub fn arrays(&self) -> &[ArraySpec] {
+        &self.arrays
+    }
+
+    /// Looks up an array by name.
+    pub fn array(&self, name: &str) -> Option<&ArraySpec> {
+        self.arrays.iter().find(|a| a.name == name)
+    }
+
+    /// The top-level loops of the kernel, in program order.
+    pub fn loops(&self) -> &[LoopNode] {
+        &self.loops
+    }
+
+    /// The pragmas attached to the kernel.
+    pub fn pragmas(&self) -> &[Pragma] {
+        &self.pragmas
+    }
+
+    /// Names of every loop in the kernel (depth-first).
+    pub fn loop_names(&self) -> Vec<&str> {
+        let mut names = Vec::new();
+        for l in &self.loops {
+            l.collect_names(&mut names);
+        }
+        names
+    }
+
+    /// Total number of elements transferred from/to external arrays per
+    /// kernel invocation, assuming each external element is read or written
+    /// exactly once per access operation in the loop nest (the scheduler
+    /// refines this; this accessor is used by the data-motion model for
+    /// transfer-size estimation).
+    pub fn external_bytes(&self) -> u64 {
+        self.arrays
+            .iter()
+            .filter(|a| a.storage == ArrayStorage::External)
+            .map(|a| a.total_bits() / 8)
+            .sum()
+    }
+}
+
+/// Builder for [`Kernel`].
+///
+/// # Example
+///
+/// A streaming multiply-accumulate over an external input:
+///
+/// ```
+/// use hls_model::kernel::KernelBuilder;
+/// use hls_model::pragma::Pragma;
+/// use hls_model::types::DataType;
+///
+/// let kernel = KernelBuilder::new("mac", DataType::FIXED16)
+///     .external_array("input", 4096, DataType::FIXED16)
+///     .bram_array("window", 64, DataType::FIXED16)
+///     .loop_nest(&[4096], |body| {
+///         body.load("input").store("window").mul().accumulate();
+///     })
+///     .pragma(Pragma::pipeline())
+///     .build();
+/// assert_eq!(kernel.loop_names(), vec!["L0"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KernelBuilder {
+    name: String,
+    default_type: DataType,
+    arrays: Vec<ArraySpec>,
+    loops: Vec<LoopNode>,
+    pragmas: Vec<Pragma>,
+}
+
+impl KernelBuilder {
+    /// Starts building a kernel with the given name and default arithmetic
+    /// data type.
+    pub fn new(name: impl Into<String>, default_type: DataType) -> Self {
+        KernelBuilder {
+            name: name.into(),
+            default_type,
+            arrays: Vec::new(),
+            loops: Vec::new(),
+            pragmas: Vec::new(),
+        }
+    }
+
+    /// Declares an array stored in on-chip BRAM.
+    #[must_use]
+    pub fn bram_array(mut self, name: impl Into<String>, elements: u64, ty: DataType) -> Self {
+        self.arrays.push(ArraySpec {
+            name: name.into(),
+            elements,
+            element_type: ty,
+            storage: ArrayStorage::Bram,
+        });
+        self
+    }
+
+    /// Declares a small array stored in registers / LUT-RAM.
+    #[must_use]
+    pub fn register_array(mut self, name: impl Into<String>, elements: u64, ty: DataType) -> Self {
+        self.arrays.push(ArraySpec {
+            name: name.into(),
+            elements,
+            element_type: ty,
+            storage: ArrayStorage::Registers,
+        });
+        self
+    }
+
+    /// Declares an array living in the external DDR, reached through a data
+    /// mover.
+    #[must_use]
+    pub fn external_array(mut self, name: impl Into<String>, elements: u64, ty: DataType) -> Self {
+        self.arrays.push(ArraySpec {
+            name: name.into(),
+            elements,
+            element_type: ty,
+            storage: ArrayStorage::External,
+        });
+        self
+    }
+
+    /// Adds a nest of counted loops (`trip_counts[0]` outermost). The closure
+    /// populates the body of the innermost loop; nested loops can be added
+    /// inside it with [`BodyBuilder::sub_loop`].
+    ///
+    /// Loops are named `L0`, `L1`, … from the outermost of this nest,
+    /// continuing across successive `loop_nest` calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trip_counts` is empty or contains a zero.
+    #[must_use]
+    pub fn loop_nest<F>(mut self, trip_counts: &[u64], f: F) -> Self
+    where
+        F: FnOnce(&mut BodyBuilder),
+    {
+        assert!(!trip_counts.is_empty(), "loop_nest requires at least one loop");
+        assert!(
+            trip_counts.iter().all(|&t| t > 0),
+            "loop trip counts must be non-zero"
+        );
+        let existing: usize = self.loops.iter().map(count_loops).sum();
+        let mut body = BodyBuilder {
+            default_type: self.default_type,
+            items: Vec::new(),
+            next_loop_index: existing + trip_counts.len(),
+        };
+        f(&mut body);
+        // Build innermost-out.
+        let mut node = LoopNode {
+            name: format!("L{}", existing + trip_counts.len() - 1),
+            trip_count: *trip_counts.last().expect("non-empty"),
+            body: body.items,
+        };
+        for (depth, &trip) in trip_counts.iter().enumerate().rev().skip(1) {
+            node = LoopNode {
+                name: format!("L{}", existing + depth),
+                trip_count: trip,
+                body: vec![BodyItem::Loop(node)],
+            };
+        }
+        self.loops.push(node);
+        self
+    }
+
+    /// Attaches a pragma to the kernel.
+    #[must_use]
+    pub fn pragma(mut self, pragma: Pragma) -> Self {
+        self.pragmas.push(pragma);
+        self
+    }
+
+    /// Finalises the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation or pragma references an array that was never
+    /// declared, or if a loop-targeted pragma names an unknown loop — these
+    /// indicate a malformed kernel description, the equivalent of an HLS
+    /// front-end error.
+    pub fn build(self) -> Kernel {
+        let kernel = Kernel {
+            name: self.name,
+            default_type: self.default_type,
+            arrays: self.arrays,
+            loops: self.loops,
+            pragmas: self.pragmas,
+        };
+        // Validate array references in the loop bodies.
+        fn check_loop(l: &LoopNode, kernel: &Kernel) {
+            for op in l.own_ops() {
+                if let OpKind::Read(a) | OpKind::Write(a) = &op.kind {
+                    assert!(
+                        kernel.array(a).is_some(),
+                        "operation references undeclared array `{a}` in kernel `{}`",
+                        kernel.name()
+                    );
+                }
+            }
+            for sub in l.sub_loops() {
+                check_loop(sub, kernel);
+            }
+        }
+        for l in &kernel.loops {
+            check_loop(l, &kernel);
+        }
+        // Validate pragma references.
+        let loop_names = kernel.loop_names();
+        for pragma in &kernel.pragmas {
+            match pragma {
+                Pragma::ArrayPartition(ap) => assert!(
+                    kernel.array(&ap.array).is_some(),
+                    "ARRAY_PARTITION references undeclared array `{}`",
+                    ap.array
+                ),
+                Pragma::DataMotion { array, .. } => assert!(
+                    kernel.array(array).is_some(),
+                    "data-motion pragma references undeclared array `{array}`"
+                ),
+                Pragma::Pipeline {
+                    target_loop: Some(l), ..
+                }
+                | Pragma::Unroll {
+                    target_loop: Some(l), ..
+                } => assert!(
+                    loop_names.contains(&l.as_str()),
+                    "pragma references unknown loop `{l}`"
+                ),
+                _ => {}
+            }
+        }
+        kernel
+    }
+}
+
+fn count_loops(node: &LoopNode) -> usize {
+    1 + node.sub_loops().map(count_loops).sum::<usize>()
+}
+
+/// Builds the body of a loop: operations and nested loops.
+#[derive(Debug)]
+pub struct BodyBuilder {
+    default_type: DataType,
+    items: Vec<BodyItem>,
+    next_loop_index: usize,
+}
+
+impl BodyBuilder {
+    fn push_op(&mut self, kind: OpKind, count: u64, loop_carried: bool) -> &mut Self {
+        self.items.push(BodyItem::Op(Operation {
+            kind,
+            count,
+            loop_carried,
+        }));
+        self
+    }
+
+    /// Reads one element of the named array.
+    pub fn load(&mut self, array: &str) -> &mut Self {
+        self.push_op(OpKind::Read(array.to_string()), 1, false)
+    }
+
+    /// Reads `count` elements of the named array.
+    pub fn load_n(&mut self, array: &str, count: u64) -> &mut Self {
+        self.push_op(OpKind::Read(array.to_string()), count, false)
+    }
+
+    /// Writes one element of the named array.
+    pub fn store(&mut self, array: &str) -> &mut Self {
+        self.push_op(OpKind::Write(array.to_string()), 1, false)
+    }
+
+    /// Writes `count` elements of the named array.
+    pub fn store_n(&mut self, array: &str, count: u64) -> &mut Self {
+        self.push_op(OpKind::Write(array.to_string()), count, false)
+    }
+
+    /// An addition in the kernel's default data type.
+    pub fn add(&mut self) -> &mut Self {
+        self.arith(ArithOp::Add, 1)
+    }
+
+    /// A subtraction in the kernel's default data type.
+    pub fn sub(&mut self) -> &mut Self {
+        self.arith(ArithOp::Sub, 1)
+    }
+
+    /// A multiplication in the kernel's default data type.
+    pub fn mul(&mut self) -> &mut Self {
+        self.arith(ArithOp::Mul, 1)
+    }
+
+    /// A division in the kernel's default data type.
+    pub fn div(&mut self) -> &mut Self {
+        self.arith(ArithOp::Div, 1)
+    }
+
+    /// A transcendental operation in the kernel's default data type.
+    pub fn exp(&mut self) -> &mut Self {
+        self.arith(ArithOp::Exp, 1)
+    }
+
+    /// A comparison / select.
+    pub fn compare(&mut self) -> &mut Self {
+        self.arith(ArithOp::Compare, 1)
+    }
+
+    /// `count` arithmetic operations of the given category in the kernel's
+    /// default type.
+    pub fn arith(&mut self, op: ArithOp, count: u64) -> &mut Self {
+        let ty = self.default_type;
+        self.push_op(OpKind::Arith(op, ty), count, false)
+    }
+
+    /// `count` arithmetic operations with an explicit data type.
+    pub fn arith_typed(&mut self, op: ArithOp, ty: DataType, count: u64) -> &mut Self {
+        self.push_op(OpKind::Arith(op, ty), count, false)
+    }
+
+    /// An addition participating in a loop-carried accumulation (bounds the
+    /// initiation interval from below by the adder latency).
+    pub fn accumulate(&mut self) -> &mut Self {
+        let ty = self.default_type;
+        self.push_op(OpKind::Arith(ArithOp::Add, ty), 1, true)
+    }
+
+    /// Adds a nested loop with the given name and trip count; the closure
+    /// populates its body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trip_count` is zero.
+    pub fn sub_loop<F>(&mut self, name: &str, trip_count: u64, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut BodyBuilder),
+    {
+        assert!(trip_count > 0, "loop trip counts must be non-zero");
+        let mut inner = BodyBuilder {
+            default_type: self.default_type,
+            items: Vec::new(),
+            next_loop_index: self.next_loop_index + 1,
+        };
+        f(&mut inner);
+        self.next_loop_index = inner.next_loop_index;
+        self.items.push(BodyItem::Loop(LoopNode {
+            name: name.to_string(),
+            trip_count,
+            body: inner.items,
+        }));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pragma::PartitionKind;
+
+    fn sample_kernel() -> Kernel {
+        KernelBuilder::new("blur_h", DataType::Float32)
+            .external_array("input", 1 << 20, DataType::Float32)
+            .external_array("output", 1 << 20, DataType::Float32)
+            .bram_array("line", 1024, DataType::Float32)
+            .register_array("coeffs", 41, DataType::Float32)
+            .loop_nest(&[1024, 1024], |body| {
+                body.load("input").store("line");
+                body.sub_loop("taps", 41, |t| {
+                    t.load("line").load("coeffs").mul().accumulate();
+                });
+                body.store("output");
+            })
+            .pragma(Pragma::pipeline_loop("taps"))
+            .pragma(Pragma::array_partition("coeffs", PartitionKind::Complete))
+            .build()
+    }
+
+    #[test]
+    fn builder_produces_expected_structure() {
+        let k = sample_kernel();
+        assert_eq!(k.name(), "blur_h");
+        assert_eq!(k.arrays().len(), 4);
+        assert_eq!(k.loops().len(), 1);
+        assert_eq!(k.loop_names(), vec!["L0", "L1", "taps"]);
+        let outer = &k.loops()[0];
+        assert_eq!(outer.trip_count, 1024);
+        assert!(!outer.is_leaf());
+        let inner = outer.sub_loops().next().unwrap();
+        assert_eq!(inner.trip_count, 1024);
+        assert_eq!(inner.own_ops().count(), 3); // input load, line store, output store
+        let taps = inner.sub_loops().next().unwrap();
+        assert_eq!(taps.trip_count, 41);
+        assert!(taps.is_leaf());
+        assert_eq!(taps.own_ops().map(|o| o.count).sum::<u64>(), 4);
+        assert!(taps.own_ops().any(|o| o.loop_carried));
+    }
+
+    #[test]
+    fn array_lookup_and_bits() {
+        let k = sample_kernel();
+        let line = k.array("line").unwrap();
+        assert_eq!(line.storage, ArrayStorage::Bram);
+        assert_eq!(line.total_bits(), 1024 * 32);
+        assert!(k.array("nonexistent").is_none());
+        assert_eq!(k.external_bytes(), 2 * (1 << 20) * 4);
+    }
+
+    #[test]
+    fn loop_names_are_sequential_across_nests() {
+        let k = KernelBuilder::new("two_nests", DataType::FIXED16)
+            .loop_nest(&[16], |b| {
+                b.add();
+            })
+            .loop_nest(&[32, 8], |b| {
+                b.mul();
+            })
+            .build();
+        assert_eq!(k.loop_names(), vec!["L0", "L1", "L2"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared array")]
+    fn build_rejects_undeclared_array_references() {
+        let _ = KernelBuilder::new("bad", DataType::Float32)
+            .loop_nest(&[8], |b| {
+                b.load("missing");
+            })
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown loop")]
+    fn build_rejects_unknown_loop_pragmas() {
+        let _ = KernelBuilder::new("bad", DataType::Float32)
+            .loop_nest(&[8], |b| {
+                b.add();
+            })
+            .pragma(Pragma::pipeline_loop("nope"))
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_trip_count_is_rejected() {
+        let _ = KernelBuilder::new("bad", DataType::Float32).loop_nest(&[0], |b| {
+            b.add();
+        });
+    }
+
+    #[test]
+    fn default_type_flows_into_arith_ops() {
+        let k = KernelBuilder::new("typed", DataType::FIXED16)
+            .loop_nest(&[4], |b| {
+                b.mul();
+                b.arith_typed(ArithOp::Add, DataType::Float32, 2);
+            })
+            .build();
+        let leaf = &k.loops()[0];
+        let kinds: Vec<&OpKind> = leaf.own_ops().map(|o| &o.kind).collect();
+        assert_eq!(kinds[0], &OpKind::Arith(ArithOp::Mul, DataType::FIXED16));
+        assert_eq!(kinds[1], &OpKind::Arith(ArithOp::Add, DataType::Float32));
+    }
+}

@@ -1,0 +1,63 @@
+//! A performance and resource model of High-Level Synthesis.
+//!
+//! The paper's flow (Fig. 2) feeds a C++ function through Xilinx SDSoC /
+//! Vivado HLS, guided by pragmas, and reads back a per-cycle performance
+//! report and a resource estimate. This crate is the software stand-in for
+//! that tool chain (see DESIGN.md §2 for the substitution rationale):
+//!
+//! * [`kernel`] — an intermediate representation of the function marked for
+//!   hardware: a loop nest whose body is a list of typed operations and whose
+//!   arrays are mapped to BRAM, registers or the external DDR.
+//! * [`pragma`] — the optimization knobs of Section III-B: `PIPELINE`,
+//!   `UNROLL`, `ARRAY_PARTITION` and the data-mover / access-pattern
+//!   selection.
+//! * [`tech`] — the operator technology library: latency, initiation
+//!   interval and resource cost of each operator class on a Zynq-7000-class
+//!   fabric, for 32-bit floating-point and fixed-point arithmetic.
+//! * [`schedule`] — the scheduler: computes loop initiation intervals from
+//!   recurrence and resource constraints, pipeline depths, total cycle counts
+//!   and the design bottleneck, exactly the quantities the paper reads off
+//!   the Vivado HLS report to decide the next optimization step.
+//! * [`report`] — a Vivado-HLS-style performance and utilization report.
+//!
+//! # Example
+//!
+//! ```
+//! use hls_model::kernel::KernelBuilder;
+//! use hls_model::pragma::Pragma;
+//! use hls_model::schedule::Scheduler;
+//! use hls_model::tech::TechLibrary;
+//! use hls_model::types::DataType;
+//!
+//! // A trivial kernel: for i in 0..1024 { acc += a[i] * b[i] }
+//! let kernel = KernelBuilder::new("dot", DataType::Float32)
+//!     .bram_array("a", 1024, DataType::Float32)
+//!     .bram_array("b", 1024, DataType::Float32)
+//!     .loop_nest(&[1024], |body| {
+//!         body.load("a").load("b").mul().accumulate();
+//!     })
+//!     .pragma(Pragma::pipeline())
+//!     .build();
+//!
+//! let schedule = Scheduler::new(TechLibrary::artix7_default()).schedule(&kernel);
+//! // The floating-point accumulation recurrence bounds the II from below.
+//! assert!(schedule.top_initiation_interval().unwrap() >= 1);
+//! assert!(schedule.total_cycles > 1024);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernel;
+pub mod pragma;
+pub mod report;
+pub mod schedule;
+pub mod tech;
+pub mod types;
+
+pub use kernel::{Kernel, KernelBuilder};
+pub use pragma::Pragma;
+pub use report::PerformanceReport;
+pub use schedule::{Schedule, Scheduler};
+pub use tech::TechLibrary;
+pub use types::DataType;

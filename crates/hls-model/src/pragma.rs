@@ -1,0 +1,288 @@
+//! SDSoC / Vivado HLS optimization directives.
+//!
+//! Section III-B of the paper lists the two knobs used to boost the
+//! accelerator: the *data motion network* (which data mover to use and
+//! whether the access pattern is sequential or random) and *system
+//! parallelism* (`PIPELINE`, `UNROLL` and `ARRAY_PARTITION`). This module
+//! models those directives; the scheduler interprets them.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How an array is split across physical memories
+/// (`#pragma HLS ARRAY_PARTITION`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartitionKind {
+    /// Every element becomes a register; unlimited parallel access.
+    Complete,
+    /// Elements are distributed round-robin across `factor` banks.
+    Cyclic(u64),
+    /// Elements are split into `factor` contiguous banks.
+    Block(u64),
+}
+
+impl PartitionKind {
+    /// Number of independent banks the partitioning produces (for
+    /// [`PartitionKind::Complete`] this is effectively unbounded and the
+    /// caller should treat port pressure as removed).
+    pub const fn banks(&self) -> u64 {
+        match self {
+            PartitionKind::Complete => u64::MAX,
+            PartitionKind::Cyclic(f) | PartitionKind::Block(f) => *f,
+        }
+    }
+}
+
+/// The SDSoC data movers available between the processing system and a
+/// hardware function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataMover {
+    /// `AXIDMA_SIMPLE`: a simple DMA engine streaming physically-contiguous
+    /// buffers.
+    AxiDmaSimple,
+    /// `AXIDMA_SG`: scatter-gather DMA, tolerates paged buffers at slightly
+    /// higher setup cost.
+    AxiDmaSg,
+    /// `AXIFIFO`: programmed-I/O FIFO, low throughput, no DMA setup.
+    AxiFifo,
+    /// `ZERO_COPY`: the accelerator masters the bus and accesses the shared
+    /// DDR directly (the mover used by the naive "marked" implementation).
+    ZeroCopy,
+}
+
+impl DataMover {
+    /// Fixed setup overhead of one transfer with this mover, in PL clock
+    /// cycles (descriptor programming, interrupt handling). Values follow the
+    /// relative ordering documented in the SDSoC profiling guide (UG1235).
+    pub const fn setup_cycles(&self) -> u64 {
+        match self {
+            DataMover::AxiDmaSimple => 1_500,
+            DataMover::AxiDmaSg => 3_000,
+            DataMover::AxiFifo => 300,
+            DataMover::ZeroCopy => 50,
+        }
+    }
+
+    /// `true` if the mover streams bursts (throughput ~1 beat/cycle once
+    /// running); `false` if every beat is an individual bus transaction.
+    pub const fn is_burst_capable(&self) -> bool {
+        matches!(self, DataMover::AxiDmaSimple | DataMover::AxiDmaSg)
+    }
+
+    /// PL cycles the interface is occupied to move `bytes` bytes of a
+    /// sequential stream.
+    ///
+    /// The burst-capable DMA movers ride the 64-bit AXI HP ports at about one
+    /// 8-byte beat per cycle; the programmed-I/O movers go through a
+    /// general-purpose port one narrow, non-burst transaction at a time and
+    /// sustain only a few megabytes per second. This throughput gap is what
+    /// limits the pipelined accelerator of the paper: halving the element
+    /// width (FlP → FxP) halves the cycles the interface is occupied per
+    /// pixel, and with it the achievable initiation interval.
+    pub const fn sequential_access_cycles(&self, bytes: u64) -> u64 {
+        match self {
+            DataMover::AxiDmaSimple | DataMover::AxiDmaSg => bytes.div_ceil(8),
+            DataMover::AxiFifo | DataMover::ZeroCopy => bytes * 8,
+        }
+    }
+}
+
+impl fmt::Display for DataMover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DataMover::AxiDmaSimple => "AXIDMA_SIMPLE",
+            DataMover::AxiDmaSg => "AXIDMA_SG",
+            DataMover::AxiFifo => "AXIFIFO",
+            DataMover::ZeroCopy => "ZERO_COPY",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The access pattern declared for a hardware-function argument
+/// (`#pragma SDS data access_pattern`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Elements are accessed in order; the data mover can stream bursts.
+    #[default]
+    Sequential,
+    /// Elements are accessed in arbitrary order; every access is an
+    /// individual (high-latency) bus transaction.
+    Random,
+}
+
+/// Shorthand for `ARRAY_PARTITION` directives used in pragma lists.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArrayPartition {
+    /// Name of the array being partitioned.
+    pub array: String,
+    /// Partitioning scheme.
+    pub kind: PartitionKind,
+}
+
+/// One optimization directive attached to a kernel.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pragma {
+    /// `#pragma HLS PIPELINE`: overlap iterations of a loop.
+    Pipeline {
+        /// Loop name the directive targets; `None` targets every innermost
+        /// (leaf) loop of the kernel.
+        target_loop: Option<String>,
+        /// Requested initiation interval; the scheduler may not achieve it if
+        /// recurrences or resource limits intervene.
+        ii: Option<u64>,
+    },
+    /// `#pragma HLS UNROLL`: replicate a loop body.
+    Unroll {
+        /// Loop name the directive targets; `None` targets every innermost
+        /// (leaf) loop.
+        target_loop: Option<String>,
+        /// Unroll factor (1 = no unrolling; 0 is invalid).
+        factor: u64,
+    },
+    /// `#pragma HLS ARRAY_PARTITION`: split an array across banks/registers.
+    ArrayPartition(ArrayPartition),
+    /// `#pragma SDS data data_mover / access_pattern`: how an external array
+    /// argument is moved between DDR and the accelerator.
+    DataMotion {
+        /// Name of the external array argument.
+        array: String,
+        /// Selected data mover.
+        mover: DataMover,
+        /// Declared access pattern.
+        pattern: AccessPattern,
+    },
+}
+
+impl Pragma {
+    /// A `PIPELINE` directive for every innermost loop, with no II target.
+    pub fn pipeline() -> Self {
+        Pragma::Pipeline {
+            target_loop: None,
+            ii: None,
+        }
+    }
+
+    /// A `PIPELINE` directive for the named loop.
+    pub fn pipeline_loop(target: impl Into<String>) -> Self {
+        Pragma::Pipeline {
+            target_loop: Some(target.into()),
+            ii: None,
+        }
+    }
+
+    /// An `UNROLL` directive for the named loop.
+    pub fn unroll(target: impl Into<String>, factor: u64) -> Self {
+        Pragma::Unroll {
+            target_loop: Some(target.into()),
+            factor,
+        }
+    }
+
+    /// An `ARRAY_PARTITION` directive.
+    pub fn array_partition(array: impl Into<String>, kind: PartitionKind) -> Self {
+        Pragma::ArrayPartition(ArrayPartition {
+            array: array.into(),
+            kind,
+        })
+    }
+
+    /// A data-motion directive for an external array.
+    pub fn data_motion(array: impl Into<String>, mover: DataMover, pattern: AccessPattern) -> Self {
+        Pragma::DataMotion {
+            array: array.into(),
+            mover,
+            pattern,
+        }
+    }
+}
+
+impl fmt::Display for Pragma {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pragma::Pipeline { target_loop, ii } => {
+                write!(f, "#pragma HLS PIPELINE")?;
+                if let Some(ii) = ii {
+                    write!(f, " II={ii}")?;
+                }
+                if let Some(l) = target_loop {
+                    write!(f, " // loop {l}")?;
+                }
+                Ok(())
+            }
+            Pragma::Unroll { target_loop, factor } => {
+                write!(f, "#pragma HLS UNROLL factor={factor}")?;
+                if let Some(l) = target_loop {
+                    write!(f, " // loop {l}")?;
+                }
+                Ok(())
+            }
+            Pragma::ArrayPartition(ap) => {
+                let kind = match ap.kind {
+                    PartitionKind::Complete => "complete".to_string(),
+                    PartitionKind::Cyclic(k) => format!("cyclic factor={k}"),
+                    PartitionKind::Block(k) => format!("block factor={k}"),
+                };
+                write!(f, "#pragma HLS ARRAY_PARTITION variable={} {kind}", ap.array)
+            }
+            Pragma::DataMotion { array, mover, pattern } => {
+                let pat = match pattern {
+                    AccessPattern::Sequential => "SEQUENTIAL",
+                    AccessPattern::Random => "RANDOM",
+                };
+                write!(
+                    f,
+                    "#pragma SDS data data_mover({array}:{mover}) access_pattern({array}:{pat})"
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_bank_counts() {
+        assert_eq!(PartitionKind::Cyclic(8).banks(), 8);
+        assert_eq!(PartitionKind::Block(4).banks(), 4);
+        assert_eq!(PartitionKind::Complete.banks(), u64::MAX);
+    }
+
+    #[test]
+    fn dma_movers_are_burst_capable_but_have_setup_cost() {
+        assert!(DataMover::AxiDmaSimple.is_burst_capable());
+        assert!(DataMover::AxiDmaSg.is_burst_capable());
+        assert!(!DataMover::ZeroCopy.is_burst_capable());
+        assert!(DataMover::AxiDmaSg.setup_cycles() > DataMover::AxiDmaSimple.setup_cycles());
+        assert!(DataMover::ZeroCopy.setup_cycles() < DataMover::AxiFifo.setup_cycles());
+    }
+
+    #[test]
+    fn streaming_cost_scales_with_width_and_mover() {
+        // A 32-bit element over the programmed-I/O path costs twice a 16-bit
+        // element; the DMA path moves a whole 64-bit beat per cycle.
+        assert_eq!(DataMover::AxiFifo.sequential_access_cycles(4), 32);
+        assert_eq!(DataMover::AxiFifo.sequential_access_cycles(2), 16);
+        assert_eq!(DataMover::AxiDmaSimple.sequential_access_cycles(8), 1);
+        assert_eq!(DataMover::AxiDmaSimple.sequential_access_cycles(4 * 1024 * 1024), 512 * 1024);
+    }
+
+    #[test]
+    fn pragma_constructors_and_display() {
+        assert_eq!(Pragma::pipeline().to_string(), "#pragma HLS PIPELINE");
+        assert!(Pragma::pipeline_loop("taps").to_string().contains("loop taps"));
+        assert!(Pragma::unroll("taps", 4).to_string().contains("factor=4"));
+        let ap = Pragma::array_partition("line_buffer", PartitionKind::Cyclic(41));
+        assert!(ap.to_string().contains("cyclic factor=41"));
+        let dm = Pragma::data_motion("input", DataMover::AxiDmaSimple, AccessPattern::Sequential);
+        assert!(dm.to_string().contains("AXIDMA_SIMPLE"));
+        assert!(dm.to_string().contains("SEQUENTIAL"));
+    }
+
+    #[test]
+    fn default_access_pattern_is_sequential() {
+        assert_eq!(AccessPattern::default(), AccessPattern::Sequential);
+    }
+}

@@ -1,0 +1,170 @@
+//! Vivado-HLS-style performance and utilization report.
+//!
+//! After every optimization step the paper's authors inspect the HLS report
+//! to find the next bottleneck; this module renders the model's [`Schedule`]
+//! in the same spirit: a loop-by-loop latency table followed by a resource
+//! utilization summary.
+
+use crate::schedule::Schedule;
+use crate::tech::TechLibrary;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A formatted performance/utilization report for one scheduled kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerformanceReport {
+    /// The schedule the report was generated from.
+    pub schedule: Schedule,
+    /// PL clock frequency used for time conversion, in hertz.
+    pub clock_hz: f64,
+    /// Device resource budget used for utilization percentages.
+    pub budget_lut: u64,
+    /// Flip-flop budget.
+    pub budget_ff: u64,
+    /// DSP budget.
+    pub budget_dsp: u64,
+    /// BRAM (18 kbit) budget.
+    pub budget_bram: u64,
+}
+
+impl PerformanceReport {
+    /// Builds a report from a schedule and the technology library it was
+    /// produced with.
+    pub fn new(schedule: Schedule, tech: &TechLibrary) -> Self {
+        PerformanceReport {
+            schedule,
+            clock_hz: tech.pl_clock_hz,
+            budget_lut: tech.budget.lut,
+            budget_ff: tech.budget.ff,
+            budget_dsp: tech.budget.dsp,
+            budget_bram: tech.budget.bram_18k,
+        }
+    }
+
+    /// Total execution time of one kernel invocation in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.schedule.total_cycles as f64 / self.clock_hz
+    }
+
+    fn pct(used: u64, budget: u64) -> f64 {
+        if budget == 0 {
+            0.0
+        } else {
+            100.0 * used as f64 / budget as f64
+        }
+    }
+}
+
+impl fmt::Display for PerformanceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== Performance estimates: {} ==", self.schedule.kernel_name)?;
+        writeln!(
+            f,
+            "  clock: {:.1} MHz   total latency: {} cycles ({:.6} s)",
+            self.clock_hz / 1.0e6,
+            self.schedule.total_cycles,
+            self.seconds()
+        )?;
+        writeln!(
+            f,
+            "  transfer setup: {} cycles   bottleneck: {}",
+            self.schedule.transfer_setup_cycles, self.schedule.bottleneck
+        )?;
+        writeln!(f, "  {:<14} {:>10} {:>6} {:>6} {:>8} {:>14}  bottleneck", "loop", "trip", "pipe", "II", "depth", "cycles")?;
+        for l in &self.schedule.loops {
+            writeln!(
+                f,
+                "  {:<14} {:>10} {:>6} {:>6} {:>8} {:>14}  {}",
+                l.name,
+                l.trip_count,
+                if l.pipelined { "yes" } else { "no" },
+                l.initiation_interval.map_or("-".to_string(), |ii| ii.to_string()),
+                l.iteration_latency,
+                l.total_cycles,
+                l.bottleneck
+            )?;
+        }
+        writeln!(f, "== Utilization estimates ==")?;
+        let r = &self.schedule.resources;
+        writeln!(
+            f,
+            "  LUT  {:>8} / {:>8} ({:>5.1}%)",
+            r.lut,
+            self.budget_lut,
+            Self::pct(r.lut, self.budget_lut)
+        )?;
+        writeln!(
+            f,
+            "  FF   {:>8} / {:>8} ({:>5.1}%)",
+            r.ff,
+            self.budget_ff,
+            Self::pct(r.ff, self.budget_ff)
+        )?;
+        writeln!(
+            f,
+            "  DSP  {:>8} / {:>8} ({:>5.1}%)",
+            r.dsp,
+            self.budget_dsp,
+            Self::pct(r.dsp, self.budget_dsp)
+        )?;
+        writeln!(
+            f,
+            "  BRAM {:>8} / {:>8} ({:>5.1}%)",
+            r.bram_18k,
+            self.budget_bram,
+            Self::pct(r.bram_18k, self.budget_bram)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelBuilder;
+    use crate::pragma::Pragma;
+    use crate::schedule::Scheduler;
+    use crate::types::DataType;
+
+    fn sample_report() -> PerformanceReport {
+        let kernel = KernelBuilder::new("blur_pass", DataType::FIXED16)
+            .external_array("in", 4096, DataType::FIXED16)
+            .external_array("out", 4096, DataType::FIXED16)
+            .bram_array("line", 1024, DataType::FIXED16)
+            .loop_nest(&[4096], |body| {
+                body.load("in").store("line");
+                body.sub_loop("taps", 9, |t| {
+                    t.load("line").mul().accumulate();
+                });
+                body.store("out");
+            })
+            .pragma(Pragma::pipeline_loop("taps"))
+            .build();
+        let tech = TechLibrary::artix7_default();
+        let schedule = Scheduler::new(tech.clone()).schedule(&kernel);
+        PerformanceReport::new(schedule, &tech)
+    }
+
+    #[test]
+    fn report_contains_loops_and_utilization() {
+        let report = sample_report();
+        let text = report.to_string();
+        assert!(text.contains("Performance estimates: blur_pass"));
+        assert!(text.contains("taps"));
+        assert!(text.contains("Utilization estimates"));
+        assert!(text.contains("BRAM"));
+        assert!(text.contains("DSP"));
+    }
+
+    #[test]
+    fn seconds_match_cycles_over_clock() {
+        let report = sample_report();
+        let expected = report.schedule.total_cycles as f64 / 100.0e6;
+        assert!((report.seconds() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pct_handles_zero_budget() {
+        assert_eq!(PerformanceReport::pct(10, 0), 0.0);
+        assert_eq!(PerformanceReport::pct(11, 220), 5.0);
+    }
+}

@@ -1,0 +1,927 @@
+//! The scheduler: turns a kernel and its pragmas into cycle counts,
+//! initiation intervals, resource estimates and a bottleneck diagnosis.
+//!
+//! This is the software stand-in for the Vivado HLS scheduling and binding
+//! engine whose report the paper reads at every optimization step ("this
+//! report shows for each clock cycle which operation is performed by the
+//! hardware module", Section III-B). The model distinguishes:
+//!
+//! * **Sequential (non-pipelined) loops** — every operation of an iteration
+//!   executes back-to-back; the iteration latency is the sum of operator
+//!   latencies plus loop control overhead.
+//! * **Pipelined loops** (`#pragma HLS PIPELINE`) — iterations overlap; the
+//!   achieved initiation interval is the maximum of the recurrence bound
+//!   (loop-carried dependences such as a floating-point accumulation), the
+//!   memory-port bound (BRAM accesses per iteration vs. ports provided by
+//!   `ARRAY_PARTITION`), the external-bus occupancy bound (bytes streamed per
+//!   iteration vs. data-mover throughput) and the DSP budget bound.
+//!
+//! Loops nested inside a pipelined loop are fully unrolled, as Vivado HLS
+//! requires.
+
+use crate::kernel::{ArraySpec, ArrayStorage, BodyItem, Kernel, LoopNode, OpKind, Operation};
+use crate::pragma::{AccessPattern, DataMover, PartitionKind, Pragma};
+use crate::tech::{OperatorClass, TechLibrary};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Cycles of control overhead per loop iteration in the sequential model
+/// (increment, compare, branch), and per loop entry/exit.
+const LOOP_OVERHEAD: u64 = 2;
+
+/// What limits the achieved initiation interval (or dominates the runtime of
+/// a sequential loop).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bottleneck {
+    /// Nothing in particular: the loop achieves II = 1 or is dominated by its
+    /// own trip count.
+    None,
+    /// A loop-carried recurrence (e.g. floating-point accumulation).
+    Recurrence,
+    /// Not enough memory ports on an on-chip array.
+    MemoryPorts {
+        /// The array whose ports saturate.
+        array: String,
+    },
+    /// The external (DDR) interface: either random-access latency or
+    /// streaming bandwidth.
+    ExternalMemory,
+    /// Not enough DSP slices to instantiate the required multipliers.
+    DspBudget,
+    /// The operation chain itself (sequential, non-pipelined execution).
+    Compute,
+}
+
+impl fmt::Display for Bottleneck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bottleneck::None => write!(f, "none"),
+            Bottleneck::Recurrence => write!(f, "loop-carried recurrence"),
+            Bottleneck::MemoryPorts { array } => write!(f, "memory ports on `{array}`"),
+            Bottleneck::ExternalMemory => write!(f, "external memory interface"),
+            Bottleneck::DspBudget => write!(f, "DSP budget"),
+            Bottleneck::Compute => write!(f, "sequential operation chain"),
+        }
+    }
+}
+
+/// Resource usage estimate of a scheduled kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ResourceEstimate {
+    /// Look-up tables.
+    pub lut: u64,
+    /// Flip-flops.
+    pub ff: u64,
+    /// DSP48 slices.
+    pub dsp: u64,
+    /// 18-kbit BRAM primitives.
+    pub bram_18k: u64,
+}
+
+impl ResourceEstimate {
+    /// Utilization of each resource as a fraction of the device budget, in
+    /// the order (LUT, FF, DSP, BRAM).
+    pub fn utilization(&self, tech: &TechLibrary) -> (f64, f64, f64, f64) {
+        let b = tech.budget;
+        (
+            self.lut as f64 / b.lut as f64,
+            self.ff as f64 / b.ff as f64,
+            self.dsp as f64 / b.dsp as f64,
+            self.bram_18k as f64 / b.bram_18k as f64,
+        )
+    }
+
+    /// The largest utilization fraction across all resource types.
+    pub fn max_utilization(&self, tech: &TechLibrary) -> f64 {
+        let (a, b, c, d) = self.utilization(tech);
+        a.max(b).max(c).max(d)
+    }
+
+    /// `true` if every resource fits the device budget.
+    pub fn fits(&self, tech: &TechLibrary) -> bool {
+        self.max_utilization(tech) <= 1.0
+    }
+}
+
+/// Schedule of a single loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoopSchedule {
+    /// Loop name.
+    pub name: String,
+    /// Trip count after unrolling.
+    pub trip_count: u64,
+    /// Whether the loop is pipelined.
+    pub pipelined: bool,
+    /// Achieved initiation interval (pipelined loops only).
+    pub initiation_interval: Option<u64>,
+    /// Pipeline depth (pipelined) or single-iteration latency (sequential).
+    pub iteration_latency: u64,
+    /// Total cycles for the whole loop, including nested loops.
+    pub total_cycles: u64,
+    /// What limits this loop.
+    pub bottleneck: Bottleneck,
+}
+
+/// The complete schedule of a kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Name of the scheduled kernel.
+    pub kernel_name: String,
+    /// Total cycles for one kernel invocation (all top-level loops, in
+    /// sequence, plus data-mover setup).
+    pub total_cycles: u64,
+    /// Cycles spent in data-mover setup (DMA descriptor programming etc.).
+    pub transfer_setup_cycles: u64,
+    /// Per-loop schedules, depth-first in program order.
+    pub loops: Vec<LoopSchedule>,
+    /// Estimated resource usage.
+    pub resources: ResourceEstimate,
+    /// The dominant bottleneck of the kernel (the bottleneck of the loop that
+    /// contributes the most cycles).
+    pub bottleneck: Bottleneck,
+}
+
+impl Schedule {
+    /// The initiation interval of the innermost pipelined loop that dominates
+    /// the cycle count, if any loop is pipelined.
+    pub fn top_initiation_interval(&self) -> Option<u64> {
+        self.loops
+            .iter()
+            .filter(|l| l.pipelined)
+            .max_by_key(|l| l.total_cycles)
+            .and_then(|l| l.initiation_interval)
+    }
+
+    /// Execution time of one kernel invocation in seconds at the given PL
+    /// clock.
+    pub fn seconds(&self, tech: &TechLibrary) -> f64 {
+        tech.cycles_to_seconds(self.total_cycles)
+    }
+
+    /// The schedule of a named loop.
+    pub fn loop_schedule(&self, name: &str) -> Option<&LoopSchedule> {
+        self.loops.iter().find(|l| l.name == name)
+    }
+}
+
+/// Pragma context resolved for one kernel.
+struct PragmaContext {
+    pipeline_targets: Vec<Option<String>>, // None = innermost loops
+    pipeline_ii_hints: BTreeMap<String, u64>,
+    unroll: BTreeMap<String, u64>,
+    partitions: BTreeMap<String, PartitionKind>,
+    data_motion: BTreeMap<String, (DataMover, AccessPattern)>,
+}
+
+impl PragmaContext {
+    fn from_kernel(kernel: &Kernel) -> Self {
+        let mut ctx = PragmaContext {
+            pipeline_targets: Vec::new(),
+            pipeline_ii_hints: BTreeMap::new(),
+            unroll: BTreeMap::new(),
+            partitions: BTreeMap::new(),
+            data_motion: BTreeMap::new(),
+        };
+        for pragma in kernel.pragmas() {
+            match pragma {
+                Pragma::Pipeline { target_loop, ii } => {
+                    if let (Some(name), Some(ii)) = (target_loop, ii) {
+                        ctx.pipeline_ii_hints.insert(name.clone(), *ii);
+                    }
+                    ctx.pipeline_targets.push(target_loop.clone());
+                }
+                Pragma::Unroll { target_loop, factor } => {
+                    if let Some(name) = target_loop {
+                        ctx.unroll.insert(name.clone(), (*factor).max(1));
+                    }
+                }
+                Pragma::ArrayPartition(ap) => {
+                    ctx.partitions.insert(ap.array.clone(), ap.kind);
+                }
+                Pragma::DataMotion { array, mover, pattern } => {
+                    ctx.data_motion.insert(array.clone(), (*mover, *pattern));
+                }
+            }
+        }
+        ctx
+    }
+
+    fn is_pipelined(&self, loop_name: &str, is_leaf: bool) -> bool {
+        self.pipeline_targets.iter().any(|t| match t {
+            Some(name) => name == loop_name,
+            None => is_leaf,
+        })
+    }
+
+    fn unroll_factor(&self, loop_name: &str) -> u64 {
+        self.unroll.get(loop_name).copied().unwrap_or(1)
+    }
+
+    fn partition(&self, array: &str) -> Option<PartitionKind> {
+        self.partitions.get(array).copied()
+    }
+
+    fn motion(&self, array: &str) -> (DataMover, AccessPattern) {
+        self.data_motion
+            .get(array)
+            .copied()
+            .unwrap_or((DataMover::AxiFifo, AccessPattern::Sequential))
+    }
+}
+
+/// Aggregated operation statistics of one (possibly flattened) loop body.
+#[derive(Debug, Default, Clone)]
+struct BodyStats {
+    /// Uses per operator class per iteration.
+    class_uses: BTreeMap<OperatorClass, u64>,
+    /// Accesses per array per iteration.
+    array_accesses: BTreeMap<String, u64>,
+    /// Critical-path latency of one iteration (loop-carried chains counted in
+    /// full).
+    depth: u64,
+    /// Sum of operator latencies (sequential-execution latency).
+    serial_latency: u64,
+    /// Maximum single loop-carried operator latency (recurrence bound).
+    recurrence: u64,
+}
+
+/// The HLS scheduler.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    tech: TechLibrary,
+}
+
+impl Scheduler {
+    /// Creates a scheduler over the given technology library.
+    pub fn new(tech: TechLibrary) -> Self {
+        Scheduler { tech }
+    }
+
+    /// The technology library in use.
+    pub const fn tech(&self) -> &TechLibrary {
+        &self.tech
+    }
+
+    /// Schedules a kernel, producing cycle counts, resource estimates and the
+    /// bottleneck diagnosis.
+    pub fn schedule(&self, kernel: &Kernel) -> Schedule {
+        let ctx = PragmaContext::from_kernel(kernel);
+        let mut loops = Vec::new();
+        let mut resources = ResourceEstimate::default();
+        let mut total = 0u64;
+
+        for top in kernel.loops() {
+            let (cycles, _) = self.schedule_loop(kernel, &ctx, top, &mut loops, &mut resources);
+            total += cycles;
+        }
+
+        // Data-mover setup: one transfer setup per external array.
+        let transfer_setup_cycles: u64 = kernel
+            .arrays()
+            .iter()
+            .filter(|a| a.storage == ArrayStorage::External)
+            .map(|a| ctx.motion(&a.name).0.setup_cycles())
+            .sum();
+        total += transfer_setup_cycles;
+
+        // BRAM usage is a property of the arrays, independent of the loops.
+        resources.bram_18k += self.bram_usage(kernel, &ctx);
+
+        let bottleneck = loops
+            .iter()
+            .max_by_key(|l| l.total_cycles)
+            .map(|l| l.bottleneck.clone())
+            .unwrap_or(Bottleneck::None);
+
+        Schedule {
+            kernel_name: kernel.name().to_string(),
+            total_cycles: total,
+            transfer_setup_cycles,
+            loops,
+            resources,
+            bottleneck,
+        }
+    }
+
+    /// Recursively schedules one loop; returns (total cycles, stats of the
+    /// flattened body for use by an enclosing pipelined loop).
+    fn schedule_loop(
+        &self,
+        kernel: &Kernel,
+        ctx: &PragmaContext,
+        node: &LoopNode,
+        out: &mut Vec<LoopSchedule>,
+        resources: &mut ResourceEstimate,
+    ) -> (u64, BodyStats) {
+        let unroll = ctx.unroll_factor(&node.name).max(1).min(node.trip_count);
+        let effective_trip = node.trip_count.div_ceil(unroll);
+        let pipelined = ctx.is_pipelined(&node.name, node.is_leaf());
+
+        if pipelined {
+            // Flatten the whole subtree (inner loops are fully unrolled).
+            let mut stats = BodyStats::default();
+            self.accumulate_stats(kernel, ctx, node, 1, true, &mut stats);
+            // Unrolling the pipelined loop itself replicates its body.
+            if unroll > 1 {
+                stats = scale_stats(&stats, unroll);
+            }
+
+            let (ii, bottleneck) = self.initiation_interval(kernel, ctx, &stats, &node.name);
+            let ii = ii.max(ctx.pipeline_ii_hints.get(&node.name).copied().unwrap_or(1));
+            let depth = stats.depth.max(1);
+            let cycles = depth + (effective_trip.saturating_sub(1)) * ii + LOOP_OVERHEAD;
+
+            self.account_resources(resources, &stats, ii);
+
+            out.push(LoopSchedule {
+                name: node.name.clone(),
+                trip_count: effective_trip,
+                pipelined: true,
+                initiation_interval: Some(ii),
+                iteration_latency: depth,
+                total_cycles: cycles,
+                bottleneck: bottleneck.clone(),
+            });
+            (cycles, stats)
+        } else {
+            // Sequential loop: schedule children first.
+            let mut iter_cycles = 0u64;
+            let mut own_stats = BodyStats::default();
+            let mut dominant_sub: Option<(u64, Bottleneck)> = None;
+            for item in &node.body {
+                match item {
+                    BodyItem::Op(op) => {
+                        self.add_op_stats(kernel, ctx, op, 1, true, &mut own_stats);
+                    }
+                    BodyItem::Loop(sub) => {
+                        let (sub_cycles, _) = self.schedule_loop(kernel, ctx, sub, out, resources);
+                        iter_cycles += sub_cycles;
+                        let sub_bottleneck = out
+                            .iter()
+                            .rfind(|l| l.name == sub.name)
+                            .map(|l| l.bottleneck.clone())
+                            .unwrap_or(Bottleneck::Compute);
+                        if dominant_sub.as_ref().map_or(true, |(c, _)| sub_cycles > *c) {
+                            dominant_sub = Some((sub_cycles, sub_bottleneck));
+                        }
+                    }
+                }
+            }
+            iter_cycles += own_stats.serial_latency + LOOP_OVERHEAD;
+            if unroll > 1 {
+                // Unrolled sequential loop: the replicated bodies still share
+                // operators, so the work per (original) iteration is
+                // unchanged; only the loop overhead amortises.
+                iter_cycles = iter_cycles * unroll - LOOP_OVERHEAD * (unroll - 1);
+            }
+            let cycles = effective_trip * iter_cycles + LOOP_OVERHEAD;
+
+            self.account_resources(resources, &own_stats, u64::MAX);
+
+            // The loop's limiter: its own operation chain, the external
+            // interface if that is what its own accesses spend their time on,
+            // or — when nested loops dominate the iteration — whatever limits
+            // the dominant nested loop.
+            let own_external = own_stats
+                .class_uses
+                .keys()
+                .any(|c| matches!(c, OperatorClass::ExternalRead | OperatorClass::ExternalWrite))
+                && self.external_dominates(kernel, ctx, &own_stats);
+            let bottleneck = match (&dominant_sub, own_external) {
+                (_, true) => Bottleneck::ExternalMemory,
+                (Some((sub_cycles, sub_bottleneck)), false)
+                    if *sub_cycles > own_stats.serial_latency =>
+                {
+                    sub_bottleneck.clone()
+                }
+                _ => Bottleneck::Compute,
+            };
+
+            out.push(LoopSchedule {
+                name: node.name.clone(),
+                trip_count: effective_trip,
+                pipelined: false,
+                initiation_interval: None,
+                iteration_latency: iter_cycles,
+                total_cycles: cycles,
+                bottleneck: bottleneck.clone(),
+            });
+            (cycles, own_stats)
+        }
+    }
+
+    /// Accumulates flattened statistics of a loop subtree, with every nested
+    /// loop fully unrolled (`multiplier` carries the product of enclosing
+    /// trip counts relative to the pipelined loop's single iteration).
+    ///
+    /// `direct` is `true` only for the body of the pipelined loop itself:
+    /// loop-carried dependences of *inner* loops (e.g. a per-pixel tap
+    /// accumulation) turn into combinational chains when those loops are
+    /// unrolled, so they contribute to the pipeline depth but not to the
+    /// recurrence bound of the outer loop's II.
+    fn accumulate_stats(
+        &self,
+        kernel: &Kernel,
+        ctx: &PragmaContext,
+        node: &LoopNode,
+        multiplier: u64,
+        direct: bool,
+        stats: &mut BodyStats,
+    ) {
+        for item in &node.body {
+            match item {
+                BodyItem::Op(op) => self.add_op_stats(kernel, ctx, op, multiplier, direct, stats),
+                BodyItem::Loop(sub) => {
+                    self.accumulate_stats(kernel, ctx, sub, multiplier * sub.trip_count, false, stats)
+                }
+            }
+        }
+    }
+
+    /// Adds one operation (times `multiplier`) to the body statistics.
+    /// `allow_recurrence` gates whether a loop-carried flag feeds the
+    /// recurrence bound (see [`Scheduler::accumulate_stats`]).
+    fn add_op_stats(
+        &self,
+        kernel: &Kernel,
+        ctx: &PragmaContext,
+        op: &Operation,
+        multiplier: u64,
+        allow_recurrence: bool,
+        stats: &mut BodyStats,
+    ) {
+        let count = op.count * multiplier;
+        match &op.kind {
+            OpKind::Arith(arith, ty) => {
+                let class = self.tech.class_for(*arith, *ty);
+                let spec = self.tech.spec(class);
+                *stats.class_uses.entry(class).or_default() += count;
+                stats.serial_latency += spec.latency * count;
+                if op.loop_carried {
+                    // A loop-carried chain accumulates its full latency into
+                    // the depth and, when it is carried by the pipelined loop
+                    // itself, bounds the recurrence II.
+                    stats.depth += spec.latency * count;
+                    if allow_recurrence {
+                        stats.recurrence = stats.recurrence.max(spec.latency);
+                    }
+                } else {
+                    stats.depth += spec.latency;
+                }
+            }
+            OpKind::Read(array) | OpKind::Write(array) => {
+                let spec = kernel
+                    .array(array)
+                    .expect("validated at kernel build time");
+                let is_read = matches!(op.kind, OpKind::Read(_));
+                let (class, latency) = self.memory_access(spec, ctx, is_read);
+                *stats.class_uses.entry(class).or_default() += count;
+                *stats.array_accesses.entry(array.clone()).or_default() += count;
+                stats.serial_latency += latency * count;
+                stats.depth += latency;
+                if op.loop_carried && allow_recurrence {
+                    stats.recurrence = stats.recurrence.max(latency);
+                }
+            }
+        }
+    }
+
+    /// Operator class and latency of a memory access to the given array.
+    fn memory_access(&self, array: &ArraySpec, ctx: &PragmaContext, is_read: bool) -> (OperatorClass, u64) {
+        match array.storage {
+            ArrayStorage::Bram => {
+                if is_read {
+                    (OperatorClass::BramRead, self.tech.spec(OperatorClass::BramRead).latency)
+                } else {
+                    (OperatorClass::BramWrite, self.tech.spec(OperatorClass::BramWrite).latency)
+                }
+            }
+            ArrayStorage::Registers => {
+                // Register reads are wired; model as a single cycle.
+                if is_read {
+                    (OperatorClass::BramRead, 1)
+                } else {
+                    (OperatorClass::BramWrite, 1)
+                }
+            }
+            ArrayStorage::External => {
+                let (mover, pattern) = ctx.motion(&array.name);
+                let class = if is_read {
+                    OperatorClass::ExternalRead
+                } else {
+                    OperatorClass::ExternalWrite
+                };
+                let latency = match pattern {
+                    AccessPattern::Random => self.tech.ddr_random_access_cycles,
+                    AccessPattern::Sequential => {
+                        let bus_bytes =
+                            u64::from(array.element_type.bus_width().unwrap_or(64)) / 8;
+                        mover
+                            .sequential_access_cycles(bus_bytes)
+                            .max(self.tech.ddr_sequential_cycles_per_beat)
+                            .max(1)
+                    }
+                };
+                (class, latency)
+            }
+        }
+    }
+
+    /// Computes the achieved initiation interval of a pipelined loop and the
+    /// binding constraint.
+    fn initiation_interval(
+        &self,
+        kernel: &Kernel,
+        ctx: &PragmaContext,
+        stats: &BodyStats,
+        _loop_name: &str,
+    ) -> (u64, Bottleneck) {
+        let mut ii = 1u64;
+        let mut bottleneck = Bottleneck::None;
+
+        // Recurrence bound.
+        if stats.recurrence > ii {
+            ii = stats.recurrence;
+            bottleneck = Bottleneck::Recurrence;
+        }
+
+        // Memory-port bound per on-chip array.
+        for (array_name, &accesses) in &stats.array_accesses {
+            let array = kernel.array(array_name).expect("validated");
+            let bound = match array.storage {
+                ArrayStorage::Bram => {
+                    let banks = ctx
+                        .partition(array_name)
+                        .map(|p| p.banks())
+                        .unwrap_or(1)
+                        .min(array.elements.max(1));
+                    if banks == u64::MAX {
+                        1
+                    } else {
+                        accesses.div_ceil(banks.saturating_mul(2).max(1))
+                    }
+                }
+                ArrayStorage::Registers => 1,
+                ArrayStorage::External => 0, // handled below as bus occupancy
+            };
+            if bound > ii {
+                ii = bound;
+                bottleneck = Bottleneck::MemoryPorts {
+                    array: array_name.clone(),
+                };
+            }
+        }
+
+        // External bus occupancy: the accelerator shares one master interface
+        // for all its external arguments, so the cycles the bus is busy per
+        // iteration bound the II.
+        let mut bus_cycles = 0u64;
+        for (array_name, &accesses) in &stats.array_accesses {
+            let array = kernel.array(array_name).expect("validated");
+            if array.storage == ArrayStorage::External {
+                let (_, latency) = self.memory_access(array, ctx, true);
+                let (_, pattern) = ctx.motion(array_name);
+                let occupancy = match pattern {
+                    // Random accesses occupy the bus for their full latency.
+                    AccessPattern::Random => latency,
+                    // Sequential streams occupy it for the beat time.
+                    AccessPattern::Sequential => latency,
+                };
+                bus_cycles += accesses * occupancy;
+            }
+        }
+        if bus_cycles > ii {
+            ii = bus_cycles;
+            bottleneck = Bottleneck::ExternalMemory;
+        }
+
+        // DSP budget bound.
+        let dsp_at_ii1: u64 = stats
+            .class_uses
+            .iter()
+            .map(|(class, &uses)| uses * u64::from(self.tech.spec(*class).dsp))
+            .sum();
+        let dsp_bound = dsp_at_ii1.div_ceil(self.tech.budget.dsp.max(1));
+        if dsp_bound > ii {
+            ii = dsp_bound;
+            bottleneck = Bottleneck::DspBudget;
+        }
+
+        (ii.max(1), bottleneck)
+    }
+
+    /// `true` if external accesses account for most of the serial latency.
+    fn external_dominates(&self, kernel: &Kernel, ctx: &PragmaContext, stats: &BodyStats) -> bool {
+        let mut external = 0u64;
+        for (array_name, &accesses) in &stats.array_accesses {
+            let array = kernel.array(array_name).expect("validated");
+            if array.storage == ArrayStorage::External {
+                let (_, latency) = self.memory_access(array, ctx, true);
+                external += accesses * latency;
+            }
+        }
+        external * 2 > stats.serial_latency
+    }
+
+    /// Adds operator instances to the resource estimate. For pipelined loops
+    /// (`ii < u64::MAX`) each class needs `ceil(uses / ii)` instances; for
+    /// sequential loops one shared instance per class suffices.
+    fn account_resources(&self, resources: &mut ResourceEstimate, stats: &BodyStats, ii: u64) {
+        for (class, &uses) in &stats.class_uses {
+            if class.is_memory() {
+                continue;
+            }
+            let instances = if ii == u64::MAX { 1 } else { uses.div_ceil(ii.max(1)) };
+            let spec = self.tech.spec(*class);
+            resources.lut += instances * u64::from(spec.lut);
+            resources.ff += instances * u64::from(spec.ff);
+            resources.dsp += instances * u64::from(spec.dsp);
+        }
+    }
+
+    /// 18-kbit BRAM usage of the kernel's on-chip arrays under the declared
+    /// partitioning.
+    fn bram_usage(&self, kernel: &Kernel, ctx: &PragmaContext) -> u64 {
+        kernel
+            .arrays()
+            .iter()
+            .filter(|a| a.storage == ArrayStorage::Bram)
+            .map(|a| {
+                match ctx.partition(&a.name) {
+                    Some(PartitionKind::Complete) => 0, // becomes registers
+                    Some(PartitionKind::Cyclic(f)) | Some(PartitionKind::Block(f)) => {
+                        let f = f.max(1).min(a.elements.max(1));
+                        let bits_per_bank = a.total_bits().div_ceil(f);
+                        f * bits_per_bank.div_ceil(18 * 1024).max(1)
+                    }
+                    None => a.total_bits().div_ceil(18 * 1024).max(1),
+                }
+            })
+            .sum()
+    }
+}
+
+fn scale_stats(stats: &BodyStats, factor: u64) -> BodyStats {
+    let mut scaled = stats.clone();
+    for v in scaled.class_uses.values_mut() {
+        *v *= factor;
+    }
+    for v in scaled.array_accesses.values_mut() {
+        *v *= factor;
+    }
+    scaled.serial_latency *= factor;
+    // Replicated bodies execute in parallel, so the critical path and the
+    // recurrence bound are unchanged.
+    scaled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelBuilder;
+    use crate::types::DataType;
+
+    fn tech() -> TechLibrary {
+        TechLibrary::artix7_default()
+    }
+
+    fn mac_kernel(dtype: DataType, pipelined: bool) -> Kernel {
+        let mut b = KernelBuilder::new("mac", dtype)
+            .bram_array("a", 1024, dtype)
+            .bram_array("b", 1024, dtype)
+            .loop_nest(&[1024], |body| {
+                body.load("a").load("b").mul().accumulate();
+            });
+        if pipelined {
+            b = b.pragma(Pragma::pipeline());
+        }
+        b.build()
+    }
+
+    #[test]
+    fn sequential_loop_latency_is_sum_of_op_latencies() {
+        let schedule = Scheduler::new(tech()).schedule(&mac_kernel(DataType::Float32, false));
+        let l = schedule.loop_schedule("L0").unwrap();
+        assert!(!l.pipelined);
+        // 2 BRAM reads (2 each) + fmul (4) + fadd (8) + loop overhead (2).
+        assert_eq!(l.iteration_latency, 2 + 2 + 4 + 8 + LOOP_OVERHEAD);
+        assert_eq!(l.total_cycles, 1024 * l.iteration_latency + LOOP_OVERHEAD);
+        assert_eq!(l.bottleneck, Bottleneck::Compute);
+    }
+
+    #[test]
+    fn pipelined_float_mac_is_bound_by_the_accumulation_recurrence() {
+        let schedule = Scheduler::new(tech()).schedule(&mac_kernel(DataType::Float32, true));
+        let l = schedule.loop_schedule("L0").unwrap();
+        assert!(l.pipelined);
+        assert_eq!(l.initiation_interval, Some(8)); // float adder latency
+        assert_eq!(l.bottleneck, Bottleneck::Recurrence);
+        assert!(l.total_cycles < 1024 * 16); // much faster than sequential
+    }
+
+    #[test]
+    fn pipelined_fixed_mac_achieves_ii_one() {
+        let schedule = Scheduler::new(tech()).schedule(&mac_kernel(DataType::FIXED16, true));
+        let l = schedule.loop_schedule("L0").unwrap();
+        assert_eq!(l.initiation_interval, Some(1));
+        assert!(l.total_cycles < 1200);
+    }
+
+    #[test]
+    fn pipelining_always_helps() {
+        for dtype in [DataType::Float32, DataType::FIXED16] {
+            let seq = Scheduler::new(tech()).schedule(&mac_kernel(dtype, false));
+            let pip = Scheduler::new(tech()).schedule(&mac_kernel(dtype, true));
+            assert!(
+                pip.total_cycles < seq.total_cycles,
+                "{dtype}: pipelined {} vs sequential {}",
+                pip.total_cycles,
+                seq.total_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn memory_ports_bound_ii_without_array_partition() {
+        // Eight reads of the same single-bank BRAM per iteration: with two
+        // ports the best achievable II is 4; partitioning removes the bound.
+        let base = |partition: Option<PartitionKind>| {
+            let mut b = KernelBuilder::new("ports", DataType::FIXED16)
+                .bram_array("buf", 4096, DataType::FIXED16)
+                .loop_nest(&[512], |body| {
+                    body.load_n("buf", 8).arith(crate::tech::ArithOp::Add, 7);
+                })
+                .pragma(Pragma::pipeline());
+            if let Some(kind) = partition {
+                b = b.pragma(Pragma::array_partition("buf", kind));
+            }
+            b.build()
+        };
+        let unpartitioned = Scheduler::new(tech()).schedule(&base(None));
+        let l = unpartitioned.loop_schedule("L0").unwrap();
+        assert_eq!(l.initiation_interval, Some(4));
+        assert_eq!(
+            l.bottleneck,
+            Bottleneck::MemoryPorts { array: "buf".to_string() }
+        );
+
+        let partitioned = Scheduler::new(tech()).schedule(&base(Some(PartitionKind::Cyclic(8))));
+        let l = partitioned.loop_schedule("L0").unwrap();
+        assert_eq!(l.initiation_interval, Some(1));
+        assert!(partitioned.total_cycles < unpartitioned.total_cycles);
+    }
+
+    #[test]
+    fn array_partition_trades_bram_for_parallelism() {
+        let kernel = |kind: Option<PartitionKind>| {
+            let mut b = KernelBuilder::new("bram", DataType::Float32)
+                .bram_array("line", 8192, DataType::Float32)
+                .loop_nest(&[128], |body| {
+                    body.load("line").add();
+                });
+            if let Some(kind) = kind {
+                b = b.pragma(Pragma::array_partition("line", kind));
+            }
+            b.build()
+        };
+        let none = Scheduler::new(tech()).schedule(&kernel(None));
+        let cyclic = Scheduler::new(tech()).schedule(&kernel(Some(PartitionKind::Cyclic(8))));
+        let complete = Scheduler::new(tech()).schedule(&kernel(Some(PartitionKind::Complete)));
+        assert!(cyclic.resources.bram_18k >= none.resources.bram_18k);
+        assert_eq!(complete.resources.bram_18k, 0);
+    }
+
+    #[test]
+    fn random_external_access_is_catastrophically_slower_than_sequential() {
+        let kernel = |pattern: AccessPattern, mover: DataMover| {
+            KernelBuilder::new("ext", DataType::Float32)
+                .external_array("img", 65_536, DataType::Float32)
+                .loop_nest(&[65_536], |body| {
+                    body.load("img").accumulate();
+                })
+                .pragma(Pragma::pipeline())
+                .pragma(Pragma::data_motion("img", mover, pattern))
+                .build()
+        };
+        let random =
+            Scheduler::new(tech()).schedule(&kernel(AccessPattern::Random, DataMover::ZeroCopy));
+        let sequential = Scheduler::new(tech())
+            .schedule(&kernel(AccessPattern::Sequential, DataMover::AxiDmaSimple));
+        assert!(
+            random.total_cycles > 10 * sequential.total_cycles,
+            "random {} vs sequential {}",
+            random.total_cycles,
+            sequential.total_cycles
+        );
+        assert_eq!(random.bottleneck, Bottleneck::ExternalMemory);
+    }
+
+    #[test]
+    fn narrower_elements_halve_streaming_bus_occupancy() {
+        // The FlP → FxP effect on the data-motion network: 16-bit elements
+        // stream in half the interface cycles of 32-bit elements.
+        let kernel = |ty: DataType| {
+            KernelBuilder::new("stream", ty)
+                .external_array("in", 1 << 20, ty)
+                .external_array("out", 1 << 20, ty)
+                .loop_nest(&[1 << 20], |body| {
+                    body.load("in").mul().store("out");
+                })
+                .pragma(Pragma::pipeline())
+                .build()
+        };
+        let float = Scheduler::new(tech()).schedule(&kernel(DataType::Float32));
+        let fixed = Scheduler::new(tech()).schedule(&kernel(DataType::FIXED16));
+        let ii_f = float.top_initiation_interval().unwrap();
+        let ii_x = fixed.top_initiation_interval().unwrap();
+        assert_eq!(ii_f, 64); // 4 bytes in + 4 bytes out over the PIO path
+        assert_eq!(ii_x, 32);
+        assert!(fixed.total_cycles < float.total_cycles);
+    }
+
+    #[test]
+    fn dma_movers_add_setup_but_raise_throughput() {
+        let kernel = |mover: DataMover| {
+            KernelBuilder::new("dma", DataType::Float32)
+                .external_array("in", 1 << 16, DataType::Float32)
+                .loop_nest(&[1 << 16], |body| {
+                    body.load("in").mul().add();
+                })
+                .pragma(Pragma::pipeline())
+                .pragma(Pragma::data_motion("in", mover, AccessPattern::Sequential))
+                .build()
+        };
+        let fifo = Scheduler::new(tech()).schedule(&kernel(DataMover::AxiFifo));
+        let dma = Scheduler::new(tech()).schedule(&kernel(DataMover::AxiDmaSimple));
+        assert!(dma.transfer_setup_cycles > fifo.transfer_setup_cycles);
+        // The DMA's burst throughput more than compensates on a 64 Ki-element
+        // stream.
+        assert!(dma.total_cycles < fifo.total_cycles);
+    }
+
+    #[test]
+    fn fixed_point_kernel_uses_fewer_resources_than_float() {
+        let float = Scheduler::new(tech()).schedule(&mac_kernel(DataType::Float32, true));
+        let fixed = Scheduler::new(tech()).schedule(&mac_kernel(DataType::FIXED16, true));
+        assert!(fixed.resources.lut < float.resources.lut);
+        assert!(fixed.resources.dsp <= float.resources.dsp);
+        assert!(float.resources.fits(&tech()));
+        assert!(fixed.resources.fits(&tech()));
+    }
+
+    #[test]
+    fn dsp_budget_bounds_wide_unrolled_kernels() {
+        // 256 parallel float multiplies need 768 DSPs, far beyond the 220 of
+        // the device: the II must rise to share them.
+        let kernel = KernelBuilder::new("wide", DataType::Float32)
+            .bram_array("a", 1 << 16, DataType::Float32)
+            .loop_nest(&[256], |body| {
+                body.sub_loop("inner", 256, |t| {
+                    t.load("a").mul().add();
+                });
+            })
+            .pragma(Pragma::pipeline_loop("L0"))
+            .pragma(Pragma::array_partition("a", PartitionKind::Complete))
+            .build();
+        let schedule = Scheduler::new(tech()).schedule(&kernel);
+        let l = schedule.loop_schedule("L0").unwrap();
+        assert!(l.initiation_interval.unwrap() >= 4);
+        assert_eq!(l.bottleneck, Bottleneck::DspBudget);
+    }
+
+    #[test]
+    fn unroll_reduces_trip_count_of_pipelined_loops() {
+        let kernel = |factor: u64| {
+            let mut b = KernelBuilder::new("unrolled", DataType::FIXED16)
+                .bram_array("a", 4096, DataType::FIXED16)
+                .loop_nest(&[4096], |body| {
+                    body.load("a").mul().add();
+                })
+                .pragma(Pragma::pipeline());
+            if factor > 1 {
+                b = b
+                    .pragma(Pragma::unroll("L0", factor))
+                    .pragma(Pragma::array_partition("a", PartitionKind::Cyclic(factor)));
+            }
+            b.build()
+        };
+        let plain = Scheduler::new(tech()).schedule(&kernel(1));
+        let unrolled = Scheduler::new(tech()).schedule(&kernel(8));
+        assert!(unrolled.total_cycles < plain.total_cycles);
+        assert_eq!(unrolled.loop_schedule("L0").unwrap().trip_count, 512);
+    }
+
+    #[test]
+    fn schedule_reports_seconds_at_pl_clock() {
+        let schedule = Scheduler::new(tech()).schedule(&mac_kernel(DataType::FIXED16, true));
+        let seconds = schedule.seconds(&tech());
+        assert!((seconds - schedule.total_cycles as f64 / 100.0e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bottleneck_display_is_informative() {
+        assert!(Bottleneck::Recurrence.to_string().contains("recurrence"));
+        assert!(Bottleneck::MemoryPorts { array: "line".into() }.to_string().contains("line"));
+    }
+}

@@ -1,0 +1,335 @@
+//! Operator technology library and device resource budget.
+//!
+//! The scheduler needs to know, for every primitive operation, how many
+//! cycles it takes on the programmable logic, whether it can accept a new
+//! input every cycle, and how many DSP slices / LUTs / flip-flops / BRAMs it
+//! consumes. Those figures are the "technology library" of the fabric; the
+//! defaults below correspond to a Zynq-7000 (Artix-7-class logic) running at
+//! around 100 MHz, the configuration of the paper's platform, and track the
+//! figures Vivado HLS reports for its floating-point and integer operator
+//! cores at that clock.
+
+use crate::types::DataType;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The classes of hardware operators the scheduler distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OperatorClass {
+    /// Floating-point addition/subtraction.
+    FloatAdd,
+    /// Floating-point multiplication.
+    FloatMul,
+    /// Floating-point division.
+    FloatDiv,
+    /// Floating-point transcendental (exp/log/pow core).
+    FloatExp,
+    /// Fixed-point / integer addition or subtraction.
+    FixedAdd,
+    /// Fixed-point / integer multiplication.
+    FixedMul,
+    /// Fixed-point / integer division.
+    FixedDiv,
+    /// Fixed-point transcendental approximation (LUT + polynomial).
+    FixedExp,
+    /// Comparison / selection (either arithmetic family).
+    Compare,
+    /// Read from an on-chip memory (BRAM) port.
+    BramRead,
+    /// Write to an on-chip memory (BRAM) port.
+    BramWrite,
+    /// Read of one element from external DDR through the data mover.
+    ExternalRead,
+    /// Write of one element to external DDR through the data mover.
+    ExternalWrite,
+}
+
+impl OperatorClass {
+    /// All operator classes, in a stable order.
+    pub const ALL: [OperatorClass; 13] = [
+        OperatorClass::FloatAdd,
+        OperatorClass::FloatMul,
+        OperatorClass::FloatDiv,
+        OperatorClass::FloatExp,
+        OperatorClass::FixedAdd,
+        OperatorClass::FixedMul,
+        OperatorClass::FixedDiv,
+        OperatorClass::FixedExp,
+        OperatorClass::Compare,
+        OperatorClass::BramRead,
+        OperatorClass::BramWrite,
+        OperatorClass::ExternalRead,
+        OperatorClass::ExternalWrite,
+    ];
+
+    /// `true` if this class is a memory access rather than arithmetic.
+    pub const fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            OperatorClass::BramRead
+                | OperatorClass::BramWrite
+                | OperatorClass::ExternalRead
+                | OperatorClass::ExternalWrite
+        )
+    }
+}
+
+impl fmt::Display for OperatorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            OperatorClass::FloatAdd => "fadd",
+            OperatorClass::FloatMul => "fmul",
+            OperatorClass::FloatDiv => "fdiv",
+            OperatorClass::FloatExp => "fexp",
+            OperatorClass::FixedAdd => "add",
+            OperatorClass::FixedMul => "mul",
+            OperatorClass::FixedDiv => "div",
+            OperatorClass::FixedExp => "exp_lut",
+            OperatorClass::Compare => "cmp",
+            OperatorClass::BramRead => "bram_rd",
+            OperatorClass::BramWrite => "bram_wr",
+            OperatorClass::ExternalRead => "ddr_rd",
+            OperatorClass::ExternalWrite => "ddr_wr",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Latency, throughput and resource cost of one operator class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OperatorSpec {
+    /// Cycles from operand availability to result availability.
+    pub latency: u64,
+    /// Minimum cycles between successive inputs to one operator instance
+    /// (1 = fully pipelined).
+    pub initiation_interval: u64,
+    /// DSP48 slices per instance.
+    pub dsp: u32,
+    /// LUTs per instance.
+    pub lut: u32,
+    /// Flip-flops per instance.
+    pub ff: u32,
+}
+
+impl OperatorSpec {
+    /// A convenience constructor.
+    pub const fn new(latency: u64, initiation_interval: u64, dsp: u32, lut: u32, ff: u32) -> Self {
+        OperatorSpec {
+            latency,
+            initiation_interval,
+            dsp,
+            lut,
+            ff,
+        }
+    }
+}
+
+/// Resources available on the target device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceBudget {
+    /// Look-up tables.
+    pub lut: u64,
+    /// Flip-flops.
+    pub ff: u64,
+    /// DSP48E1 slices.
+    pub dsp: u64,
+    /// 18-kbit block-RAM primitives.
+    pub bram_18k: u64,
+}
+
+impl ResourceBudget {
+    /// The XC7Z020 device of the ZC702 board used in the paper's experiments.
+    pub const fn zynq7020() -> Self {
+        ResourceBudget {
+            lut: 53_200,
+            ff: 106_400,
+            dsp: 220,
+            bram_18k: 280,
+        }
+    }
+}
+
+/// The operator technology library: per-class specs, the PL clock and the
+/// device resource budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TechLibrary {
+    specs: BTreeMap<OperatorClass, OperatorSpec>,
+    /// Programmable-logic clock frequency in hertz.
+    pub pl_clock_hz: f64,
+    /// Device resource budget.
+    pub budget: ResourceBudget,
+    /// Latency in PL cycles of a single-beat (non-burst) read from external
+    /// DDR, used for the `ExternalRead` class when the access pattern is
+    /// random. Sequential/burst accesses are cheaper (see
+    /// [`TechLibrary::external_sequential_cycles_per_beat`]).
+    pub ddr_random_access_cycles: u64,
+    /// Effective cycles per beat of a sequential/burst external access once a
+    /// stream is established (data-mover pipelining hides most of the
+    /// latency).
+    pub ddr_sequential_cycles_per_beat: u64,
+}
+
+impl TechLibrary {
+    /// Technology library for the Zynq-7000 programmable logic at 100 MHz —
+    /// the paper's platform. Latencies follow the ranges Vivado HLS reports
+    /// for its single-precision floating-point and integer cores on Artix-7
+    /// fabric at that clock.
+    pub fn artix7_default() -> Self {
+        let mut specs = BTreeMap::new();
+        specs.insert(OperatorClass::FloatAdd, OperatorSpec::new(8, 1, 2, 390, 205));
+        specs.insert(OperatorClass::FloatMul, OperatorSpec::new(4, 1, 3, 150, 128));
+        specs.insert(OperatorClass::FloatDiv, OperatorSpec::new(28, 1, 0, 800, 760));
+        specs.insert(OperatorClass::FloatExp, OperatorSpec::new(20, 1, 7, 1400, 1100));
+        specs.insert(OperatorClass::FixedAdd, OperatorSpec::new(1, 1, 0, 32, 16));
+        specs.insert(OperatorClass::FixedMul, OperatorSpec::new(2, 1, 1, 45, 40));
+        specs.insert(OperatorClass::FixedDiv, OperatorSpec::new(18, 1, 0, 380, 360));
+        specs.insert(OperatorClass::FixedExp, OperatorSpec::new(6, 1, 2, 420, 300));
+        specs.insert(OperatorClass::Compare, OperatorSpec::new(1, 1, 0, 18, 8));
+        specs.insert(OperatorClass::BramRead, OperatorSpec::new(2, 1, 0, 0, 0));
+        specs.insert(OperatorClass::BramWrite, OperatorSpec::new(1, 1, 0, 0, 0));
+        // External (DDR) access costs are pattern-dependent; the per-class
+        // spec carries the sequential-stream cost and the scheduler swaps in
+        // `ddr_random_access_cycles` when the data mover is random-access.
+        specs.insert(OperatorClass::ExternalRead, OperatorSpec::new(8, 1, 0, 0, 0));
+        specs.insert(OperatorClass::ExternalWrite, OperatorSpec::new(8, 1, 0, 0, 0));
+        TechLibrary {
+            specs,
+            pl_clock_hz: 100.0e6,
+            budget: ResourceBudget::zynq7020(),
+            ddr_random_access_cycles: 95,
+            ddr_sequential_cycles_per_beat: 2,
+        }
+    }
+
+    /// The spec of an operator class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class is missing from the library (the default
+    /// constructors populate every class; a gap is a programming error).
+    pub fn spec(&self, class: OperatorClass) -> OperatorSpec {
+        *self
+            .specs
+            .get(&class)
+            .unwrap_or_else(|| panic!("operator class {class} missing from technology library"))
+    }
+
+    /// Overrides the spec of one operator class (used by ablation sweeps).
+    pub fn set_spec(&mut self, class: OperatorClass, spec: OperatorSpec) {
+        self.specs.insert(class, spec);
+    }
+
+    /// Maps an arithmetic operation in the kernel IR to the operator class
+    /// implementing it for the given data type.
+    pub fn class_for(&self, op: ArithOp, data_type: DataType) -> OperatorClass {
+        use ArithOp::*;
+        if data_type.is_float() {
+            match op {
+                Add | Sub => OperatorClass::FloatAdd,
+                Mul => OperatorClass::FloatMul,
+                Div => OperatorClass::FloatDiv,
+                Exp => OperatorClass::FloatExp,
+                Compare => OperatorClass::Compare,
+            }
+        } else {
+            match op {
+                Add | Sub => OperatorClass::FixedAdd,
+                Mul => OperatorClass::FixedMul,
+                Div => OperatorClass::FixedDiv,
+                Exp => OperatorClass::FixedExp,
+                Compare => OperatorClass::Compare,
+            }
+        }
+    }
+
+    /// Period of one PL clock cycle in seconds.
+    pub fn clock_period(&self) -> f64 {
+        1.0 / self.pl_clock_hz
+    }
+
+    /// Converts a cycle count into seconds at the PL clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.clock_period()
+    }
+}
+
+/// Arithmetic operation categories as they appear in the kernel IR (the
+/// mapping to [`OperatorClass`] depends on the data type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArithOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Transcendental (exp/log/pow).
+    Exp,
+    /// Comparison / select.
+    Compare,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_library_covers_every_class() {
+        let lib = TechLibrary::artix7_default();
+        for class in OperatorClass::ALL {
+            let spec = lib.spec(class);
+            assert!(spec.latency >= 1, "{class} has zero latency");
+            assert!(spec.initiation_interval >= 1);
+        }
+    }
+
+    #[test]
+    fn fixed_point_operators_are_cheaper_than_float() {
+        let lib = TechLibrary::artix7_default();
+        assert!(lib.spec(OperatorClass::FixedAdd).latency < lib.spec(OperatorClass::FloatAdd).latency);
+        assert!(lib.spec(OperatorClass::FixedMul).latency < lib.spec(OperatorClass::FloatMul).latency);
+        assert!(lib.spec(OperatorClass::FixedMul).dsp < lib.spec(OperatorClass::FloatMul).dsp);
+        assert!(lib.spec(OperatorClass::FixedAdd).lut < lib.spec(OperatorClass::FloatAdd).lut);
+    }
+
+    #[test]
+    fn class_mapping_respects_data_type() {
+        let lib = TechLibrary::artix7_default();
+        assert_eq!(lib.class_for(ArithOp::Add, DataType::Float32), OperatorClass::FloatAdd);
+        assert_eq!(lib.class_for(ArithOp::Add, DataType::FIXED16), OperatorClass::FixedAdd);
+        assert_eq!(lib.class_for(ArithOp::Mul, DataType::Float32), OperatorClass::FloatMul);
+        assert_eq!(lib.class_for(ArithOp::Mul, DataType::UInt(16)), OperatorClass::FixedMul);
+        assert_eq!(lib.class_for(ArithOp::Compare, DataType::Float32), OperatorClass::Compare);
+    }
+
+    #[test]
+    fn random_ddr_access_dwarfs_sequential_streaming() {
+        // The premise of the algorithm-restructuring step (Section III-B).
+        let lib = TechLibrary::artix7_default();
+        assert!(lib.ddr_random_access_cycles >= 20 * lib.ddr_sequential_cycles_per_beat);
+    }
+
+    #[test]
+    fn clock_conversion() {
+        let lib = TechLibrary::artix7_default();
+        assert!((lib.cycles_to_seconds(100_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zynq7020_budget_matches_datasheet() {
+        let b = ResourceBudget::zynq7020();
+        assert_eq!(b.dsp, 220);
+        assert_eq!(b.bram_18k, 280);
+        assert_eq!(b.lut, 53_200);
+    }
+
+    #[test]
+    fn set_spec_overrides() {
+        let mut lib = TechLibrary::artix7_default();
+        lib.set_spec(OperatorClass::FloatAdd, OperatorSpec::new(3, 1, 1, 100, 50));
+        assert_eq!(lib.spec(OperatorClass::FloatAdd).latency, 3);
+    }
+}

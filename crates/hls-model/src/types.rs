@@ -1,0 +1,117 @@
+//! Data types understood by the HLS model.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The data type of an operation or array element in the hardware function.
+///
+/// The paper's accelerator exists in two arithmetic flavours — 32-bit
+/// floating point and 16-bit `ap_fixed` — and the conversion between them is
+/// one of the optimization steps of Table I. The scheduler selects operator
+/// latencies and resource costs based on this type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// IEEE-754 single precision (`float`).
+    Float32,
+    /// IEEE-754 double precision (`double`).
+    Float64,
+    /// Signed fixed point with the given total and fractional bit counts
+    /// (`ap_fixed<width, width - frac>`).
+    Fixed {
+        /// Total word length in bits.
+        width: u32,
+        /// Fractional bits.
+        frac: u32,
+    },
+    /// Unsigned integer of the given width (loop counters, addresses).
+    UInt(u32),
+}
+
+impl DataType {
+    /// A 16-bit fixed-point type matching the paper's accelerator
+    /// (`ap_fixed<16, 4>`).
+    pub const FIXED16: DataType = DataType::Fixed { width: 16, frac: 12 };
+
+    /// Width of the type in bits.
+    pub const fn bit_width(&self) -> u32 {
+        match self {
+            DataType::Float32 => 32,
+            DataType::Float64 => 64,
+            DataType::Fixed { width, .. } => *width,
+            DataType::UInt(w) => *w,
+        }
+    }
+
+    /// Width of the type rounded up to the nearest AXI-compatible bus width
+    /// (8, 16, 32 or 64 bits). Section III-C notes that hardware-function
+    /// argument widths must respect this alignment; `None` if wider than 64.
+    pub const fn bus_width(&self) -> Option<u32> {
+        let w = self.bit_width();
+        if w <= 8 {
+            Some(8)
+        } else if w <= 16 {
+            Some(16)
+        } else if w <= 32 {
+            Some(32)
+        } else if w <= 64 {
+            Some(64)
+        } else {
+            None
+        }
+    }
+
+    /// `true` for the floating-point types.
+    pub const fn is_float(&self) -> bool {
+        matches!(self, DataType::Float32 | DataType::Float64)
+    }
+
+    /// `true` for fixed-point and integer types.
+    pub const fn is_integral(&self) -> bool {
+        !self.is_float()
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Float32 => write!(f, "float"),
+            DataType::Float64 => write!(f, "double"),
+            DataType::Fixed { width, frac } => write!(f, "ap_fixed<{},{}>", width, width - frac),
+            DataType::UInt(w) => write!(f, "ap_uint<{w}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_and_bus_widths() {
+        assert_eq!(DataType::Float32.bit_width(), 32);
+        assert_eq!(DataType::Float32.bus_width(), Some(32));
+        assert_eq!(DataType::FIXED16.bit_width(), 16);
+        assert_eq!(DataType::FIXED16.bus_width(), Some(16));
+        assert_eq!(DataType::Fixed { width: 12, frac: 10 }.bus_width(), Some(16));
+        assert_eq!(DataType::Fixed { width: 18, frac: 10 }.bus_width(), Some(32));
+        assert_eq!(DataType::UInt(5).bus_width(), Some(8));
+        assert_eq!(DataType::Float64.bus_width(), Some(64));
+        assert_eq!(DataType::Fixed { width: 80, frac: 10 }.bus_width(), None);
+    }
+
+    #[test]
+    fn float_and_integral_classification() {
+        assert!(DataType::Float32.is_float());
+        assert!(DataType::Float64.is_float());
+        assert!(!DataType::FIXED16.is_float());
+        assert!(DataType::FIXED16.is_integral());
+        assert!(DataType::UInt(8).is_integral());
+    }
+
+    #[test]
+    fn display_matches_hls_spelling() {
+        assert_eq!(DataType::Float32.to_string(), "float");
+        assert_eq!(DataType::FIXED16.to_string(), "ap_fixed<16,4>");
+        assert_eq!(DataType::UInt(10).to_string(), "ap_uint<10>");
+    }
+}

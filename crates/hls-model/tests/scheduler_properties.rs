@@ -1,0 +1,164 @@
+//! Property-based tests of the HLS scheduler invariants.
+
+use hls_model::kernel::{Kernel, KernelBuilder};
+use hls_model::pragma::{AccessPattern, DataMover, PartitionKind, Pragma};
+use hls_model::schedule::Scheduler;
+use hls_model::tech::{ArithOp, TechLibrary};
+use hls_model::types::DataType;
+use proptest::prelude::*;
+
+/// A randomly-shaped multiply-accumulate kernel over a BRAM window plus an
+/// external stream, parameterised by the knobs the paper's flow turns.
+#[derive(Debug, Clone)]
+struct KernelShape {
+    trip: u64,
+    taps: u64,
+    fixed_point: bool,
+    pipelined: bool,
+    partition: Option<u64>,
+    mover: DataMover,
+}
+
+fn shape_strategy() -> impl Strategy<Value = KernelShape> {
+    (
+        16u64..2048,
+        1u64..32,
+        any::<bool>(),
+        any::<bool>(),
+        prop_oneof![Just(None), (1u64..32).prop_map(Some)],
+        prop_oneof![
+            Just(DataMover::AxiFifo),
+            Just(DataMover::AxiDmaSimple),
+            Just(DataMover::ZeroCopy)
+        ],
+    )
+        .prop_map(|(trip, taps, fixed_point, pipelined, partition, mover)| KernelShape {
+            trip,
+            taps,
+            fixed_point,
+            pipelined,
+            partition,
+            mover,
+        })
+}
+
+fn build_kernel(shape: &KernelShape) -> Kernel {
+    let dtype = if shape.fixed_point {
+        DataType::FIXED16
+    } else {
+        DataType::Float32
+    };
+    let taps = shape.taps;
+    let mut builder = KernelBuilder::new("prop_kernel", dtype)
+        .external_array("input", shape.trip, dtype)
+        .external_array("output", shape.trip, dtype)
+        .bram_array("window", 4 * taps.max(1), dtype)
+        .register_array("coeffs", taps, dtype)
+        .loop_nest(&[shape.trip], |body| {
+            body.load("input").store("window");
+            body.sub_loop("taps", taps, |t| {
+                t.load("window").load("coeffs").mul().accumulate();
+            });
+            body.arith(ArithOp::Compare, 1);
+            body.store("output");
+        })
+        .pragma(Pragma::data_motion("input", shape.mover, AccessPattern::Sequential))
+        .pragma(Pragma::data_motion("output", shape.mover, AccessPattern::Sequential));
+    if shape.pipelined {
+        builder = builder.pragma(Pragma::pipeline_loop("L0"));
+    }
+    if let Some(factor) = shape.partition {
+        builder = builder.pragma(Pragma::array_partition("window", PartitionKind::Cyclic(factor)));
+    }
+    builder.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn schedules_are_well_formed(shape in shape_strategy()) {
+        let tech = TechLibrary::artix7_default();
+        let schedule = Scheduler::new(tech.clone()).schedule(&build_kernel(&shape));
+        prop_assert!(schedule.total_cycles > 0);
+        prop_assert!(schedule.seconds(&tech) > 0.0);
+        for l in &schedule.loops {
+            prop_assert!(l.iteration_latency >= 1);
+            prop_assert!(l.total_cycles >= l.iteration_latency);
+            if let Some(ii) = l.initiation_interval {
+                prop_assert!(ii >= 1);
+                prop_assert!(l.pipelined);
+            }
+        }
+    }
+
+    #[test]
+    fn pipelining_never_slows_a_kernel_down(mut shape in shape_strategy()) {
+        shape.pipelined = false;
+        let sequential = Scheduler::new(TechLibrary::artix7_default()).schedule(&build_kernel(&shape));
+        shape.pipelined = true;
+        let pipelined = Scheduler::new(TechLibrary::artix7_default()).schedule(&build_kernel(&shape));
+        prop_assert!(
+            pipelined.total_cycles <= sequential.total_cycles,
+            "pipelined {} > sequential {}",
+            pipelined.total_cycles,
+            sequential.total_cycles
+        );
+    }
+
+    #[test]
+    fn array_partitioning_never_raises_the_ii(mut shape in shape_strategy()) {
+        shape.pipelined = true;
+        shape.partition = None;
+        let unpartitioned = Scheduler::new(TechLibrary::artix7_default()).schedule(&build_kernel(&shape));
+        shape.partition = Some(shape.taps.max(2));
+        let partitioned = Scheduler::new(TechLibrary::artix7_default()).schedule(&build_kernel(&shape));
+        let ii_a = unpartitioned.top_initiation_interval().unwrap_or(1);
+        let ii_b = partitioned.top_initiation_interval().unwrap_or(1);
+        prop_assert!(ii_b <= ii_a, "partitioning raised II from {ii_a} to {ii_b}");
+    }
+
+    #[test]
+    fn fixed_point_never_needs_more_cycles_or_dsp_than_float(mut shape in shape_strategy()) {
+        shape.fixed_point = false;
+        let float = Scheduler::new(TechLibrary::artix7_default()).schedule(&build_kernel(&shape));
+        shape.fixed_point = true;
+        let fixed = Scheduler::new(TechLibrary::artix7_default()).schedule(&build_kernel(&shape));
+        prop_assert!(fixed.total_cycles <= float.total_cycles);
+        prop_assert!(fixed.resources.dsp <= float.resources.dsp);
+        prop_assert!(fixed.resources.lut <= float.resources.lut);
+        prop_assert!(fixed.resources.bram_18k <= float.resources.bram_18k);
+    }
+
+    #[test]
+    fn cycles_grow_monotonically_with_trip_count(mut shape in shape_strategy()) {
+        let small_trip = shape.trip;
+        let small = Scheduler::new(TechLibrary::artix7_default()).schedule(&build_kernel(&shape));
+        shape.trip = small_trip * 2;
+        let large = Scheduler::new(TechLibrary::artix7_default()).schedule(&build_kernel(&shape));
+        prop_assert!(large.total_cycles > small.total_cycles);
+    }
+
+    #[test]
+    fn burst_dma_is_never_slower_than_programmed_io(mut shape in shape_strategy()) {
+        // Ignore the fixed per-transfer setup (compare steady-state loops).
+        shape.mover = DataMover::AxiFifo;
+        let fifo = Scheduler::new(TechLibrary::artix7_default()).schedule(&build_kernel(&shape));
+        shape.mover = DataMover::AxiDmaSimple;
+        let dma = Scheduler::new(TechLibrary::artix7_default()).schedule(&build_kernel(&shape));
+        prop_assert!(
+            dma.total_cycles - dma.transfer_setup_cycles
+                <= fifo.total_cycles - fifo.transfer_setup_cycles
+        );
+    }
+
+    #[test]
+    fn resource_estimates_are_finite_and_bram_tracks_array_sizes(shape in shape_strategy()) {
+        let tech = TechLibrary::artix7_default();
+        let schedule = Scheduler::new(tech.clone()).schedule(&build_kernel(&shape));
+        // The window array is tiny (<= 128 elements), so BRAM usage stays
+        // small regardless of partitioning.
+        prop_assert!(schedule.resources.bram_18k <= 64);
+        prop_assert!(schedule.resources.max_utilization(&tech) >= 0.0);
+    }
+}

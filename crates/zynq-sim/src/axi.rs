@@ -1,0 +1,104 @@
+//! Data movers between the shared DDR and the programmable logic.
+//!
+//! The SDSoC data-motion network (Section III-B) determines how hardware
+//! function arguments travel between the processing system's DDR and the
+//! accelerator. The per-access costs used *inside* a kernel schedule live in
+//! the `hls-model` technology library; this module models whole-buffer
+//! transfers (as used by copy-in/copy-out argument passing) and the software
+//! cost the PS pays to set them up.
+
+use hls_model::pragma::DataMover;
+use serde::{Deserialize, Serialize};
+
+/// A whole-buffer transfer between DDR and the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transfer {
+    /// Number of bytes moved.
+    pub bytes: u64,
+    /// The data mover used.
+    pub mover: DataMover,
+}
+
+/// Timing model of the data movers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataMoverModel {
+    /// PL clock in hertz (the movers live in the PL clock domain).
+    pub pl_clock_hz: f64,
+    /// Additional PS-side software overhead per transfer in seconds (cache
+    /// flush/invalidate of the shared buffer, driver call).
+    pub ps_overhead_seconds: f64,
+}
+
+impl DataMoverModel {
+    /// Model for the paper's platform: 100 MHz movers, ~20 µs of PS driver
+    /// and cache-maintenance overhead per transfer.
+    pub fn zc702_default() -> Self {
+        DataMoverModel {
+            pl_clock_hz: 100.0e6,
+            ps_overhead_seconds: 20.0e-6,
+        }
+    }
+
+    /// Time for one transfer in seconds (setup + streaming), excluding the
+    /// PS-side overhead.
+    pub fn transfer_seconds(&self, transfer: &Transfer) -> f64 {
+        let cycles = transfer.mover.setup_cycles() as f64
+            + transfer.mover.sequential_access_cycles(transfer.bytes) as f64;
+        cycles / self.pl_clock_hz
+    }
+
+    /// Total time including the PS-side software overhead.
+    pub fn total_seconds(&self, transfer: &Transfer) -> f64 {
+        self.transfer_seconds(transfer) + self.ps_overhead_seconds
+    }
+
+    /// Effective bandwidth of a transfer in bytes per second.
+    pub fn effective_bandwidth(&self, transfer: &Transfer) -> f64 {
+        transfer.bytes as f64 / self.total_seconds(transfer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dma_beats_fifo_on_large_transfers() {
+        let model = DataMoverModel::zc702_default();
+        let big = 4 * 1024 * 1024; // one 1024x1024 float plane
+        let dma = model.total_seconds(&Transfer { bytes: big, mover: DataMover::AxiDmaSimple });
+        let fifo = model.total_seconds(&Transfer { bytes: big, mover: DataMover::AxiFifo });
+        assert!(dma < fifo / 4.0, "dma {dma} vs fifo {fifo}");
+    }
+
+    #[test]
+    fn fifo_beats_dma_on_tiny_transfers() {
+        // Setup cost dominates small transfers, the reason SDSoC recommends
+        // AXIFIFO for small arguments.
+        let model = DataMoverModel::zc702_default();
+        let tiny = 64;
+        let dma = model.transfer_seconds(&Transfer { bytes: tiny, mover: DataMover::AxiDmaSimple });
+        let fifo = model.transfer_seconds(&Transfer { bytes: tiny, mover: DataMover::AxiFifo });
+        assert!(fifo < dma);
+    }
+
+    #[test]
+    fn bandwidth_increases_with_transfer_size() {
+        let model = DataMoverModel::zc702_default();
+        let small = model.effective_bandwidth(&Transfer { bytes: 4 * 1024, mover: DataMover::AxiDmaSimple });
+        let large = model.effective_bandwidth(&Transfer { bytes: 4 * 1024 * 1024, mover: DataMover::AxiDmaSimple });
+        assert!(large > small);
+        // Streaming bandwidth approaches 8 bytes/cycle * 100 MHz = 800 MB/s.
+        assert!(large < 800.0e6);
+        assert!(large > 300.0e6);
+    }
+
+    #[test]
+    fn transfer_time_scales_linearly_beyond_setup() {
+        let model = DataMoverModel::zc702_default();
+        let t1 = model.transfer_seconds(&Transfer { bytes: 1 << 20, mover: DataMover::AxiDmaSimple });
+        let t2 = model.transfer_seconds(&Transfer { bytes: 1 << 21, mover: DataMover::AxiDmaSimple });
+        let setup = DataMover::AxiDmaSimple.setup_cycles() as f64 / model.pl_clock_hz;
+        assert!(((t2 - setup) / (t1 - setup) - 2.0).abs() < 1e-6);
+    }
+}

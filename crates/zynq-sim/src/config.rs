@@ -1,0 +1,63 @@
+//! Platform configuration: clocks and identification.
+
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of the modelled Zynq platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZynqConfig {
+    /// Human-readable platform name.
+    pub name: String,
+    /// Processing-system (ARM Cortex-A9) clock frequency in hertz.
+    pub ps_clock_hz: f64,
+    /// Programmable-logic clock frequency in hertz.
+    pub pl_clock_hz: f64,
+    /// DDR interface clock frequency in hertz (informational; the effective
+    /// access costs live in the technology library and the ARM cost model).
+    pub ddr_clock_hz: f64,
+}
+
+impl ZynqConfig {
+    /// The ZC702 evaluation board used in the paper: XC7Z020, ARM Cortex-A9
+    /// at 667 MHz, PL clocked at 100 MHz by the SDSoC platform, DDR3-1066.
+    pub fn zc702_default() -> Self {
+        ZynqConfig {
+            name: "Zynq-7000 ZC702 (XC7Z020)".to_string(),
+            ps_clock_hz: 667.0e6,
+            pl_clock_hz: 100.0e6,
+            ddr_clock_hz: 533.0e6,
+        }
+    }
+
+    /// Validates the configuration (all clocks strictly positive).
+    pub fn is_valid(&self) -> bool {
+        self.ps_clock_hz > 0.0 && self.pl_clock_hz > 0.0 && self.ddr_clock_hz > 0.0
+    }
+}
+
+impl Default for ZynqConfig {
+    fn default() -> Self {
+        Self::zc702_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_platform() {
+        let c = ZynqConfig::zc702_default();
+        assert!(c.is_valid());
+        assert_eq!(c.ps_clock_hz, 667.0e6);
+        assert_eq!(c.pl_clock_hz, 100.0e6);
+        assert!(c.name.contains("ZC702"));
+        assert_eq!(ZynqConfig::default(), c);
+    }
+
+    #[test]
+    fn invalid_clock_detected() {
+        let mut c = ZynqConfig::zc702_default();
+        c.pl_clock_hz = 0.0;
+        assert!(!c.is_valid());
+    }
+}

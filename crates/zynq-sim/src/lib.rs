@@ -1,0 +1,53 @@
+//! Analytical model of the Zynq-7000 FPGA-CPU platform used in the paper.
+//!
+//! The paper's experiments run on a ZC702 board: a Zynq-7000 AP SoC whose
+//! processing system (PS, a dual-core ARM Cortex-A9 at 667 MHz) executes the
+//! bulk of the tone-mapping pipeline while the programmable logic (PL)
+//! executes the accelerated Gaussian blur, with both sharing an off-chip DDR
+//! and instrumented through PMBus power controllers. None of that hardware is
+//! available here, so this crate models it analytically (see DESIGN.md §2):
+//!
+//! * [`config`] — platform clocks and identification.
+//! * [`arm`] — the PS timing model: effective per-operation cycle costs for
+//!   the ARM core, applied to operation counts produced by the tone-mapping
+//!   pipeline's profiler.
+//! * [`axi`] — the data movers between DDR and the accelerator.
+//! * [`pl`] — the PL execution model, driven by schedules produced by the
+//!   `hls-model` scheduler.
+//! * [`power`] — the per-rail (PS, PL, DDR, BRAM) power model, split into the
+//!   *bottomline* (idle) and *execution overhead* terms of Fig. 8.
+//! * [`system`] — the system simulator combining PS phases, PL phases and
+//!   transfers into total execution time and energy (Figs. 6 and 7).
+//!
+//! # Example
+//!
+//! ```
+//! use zynq_sim::arm::{ArmCostModel, PsModel, SoftwareWorkload};
+//! use zynq_sim::config::ZynqConfig;
+//!
+//! let config = ZynqConfig::zc702_default();
+//! let ps = PsModel::new(config.ps_clock_hz, ArmCostModel::cortex_a9_effective());
+//! let workload = SoftwareWorkload {
+//!     muls: 1_000_000,
+//!     adds: 1_000_000,
+//!     loads: 2_000_000,
+//!     ..SoftwareWorkload::default()
+//! };
+//! let seconds = ps.seconds(&workload);
+//! assert!(seconds > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arm;
+pub mod axi;
+pub mod config;
+pub mod pl;
+pub mod power;
+pub mod system;
+
+pub use arm::{ArmCostModel, PsModel, SoftwareWorkload};
+pub use config::ZynqConfig;
+pub use power::{EnergyReport, PowerRails};
+pub use system::{ExecutionPlan, Phase, SystemReport, SystemSimulator};

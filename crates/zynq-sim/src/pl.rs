@@ -1,0 +1,116 @@
+//! Programmable-logic execution model.
+//!
+//! The PL executes the hardware function described by an `hls-model`
+//! [`Schedule`]; this module converts schedules into wall-clock time at the
+//! platform's PL clock and derives the utilization figure the power model
+//! needs for the PL static-power (bottomline) term of Fig. 8b.
+
+use hls_model::schedule::Schedule;
+use hls_model::tech::TechLibrary;
+use serde::{Deserialize, Serialize};
+
+/// One accelerator invocation as seen by the platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorRun {
+    /// Name of the hardware function.
+    pub kernel_name: String,
+    /// Execution time of one invocation in seconds.
+    pub seconds: f64,
+    /// Fraction of the device resources occupied by the accelerator
+    /// (maximum across LUT/FF/DSP/BRAM), used for static-power scaling.
+    pub utilization: f64,
+    /// Total cycles of one invocation.
+    pub cycles: u64,
+}
+
+/// The PL execution model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlModel {
+    /// PL clock frequency in hertz.
+    pub clock_hz: f64,
+}
+
+impl PlModel {
+    /// Creates a PL model at the given clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock is not strictly positive.
+    pub fn new(clock_hz: f64) -> Self {
+        assert!(clock_hz > 0.0, "PL clock must be positive, got {clock_hz}");
+        PlModel { clock_hz }
+    }
+
+    /// Converts a kernel schedule into an accelerator run at this PL clock.
+    ///
+    /// The schedule's own technology library is only used for the resource
+    /// budget (utilization); timing uses this model's clock so that clock
+    /// sweeps can reuse one schedule.
+    pub fn run(&self, schedule: &Schedule, tech: &TechLibrary) -> AcceleratorRun {
+        AcceleratorRun {
+            kernel_name: schedule.kernel_name.clone(),
+            seconds: schedule.total_cycles as f64 / self.clock_hz,
+            utilization: schedule.resources.max_utilization(tech).min(1.0),
+            cycles: schedule.total_cycles,
+        }
+    }
+
+    /// Time for `invocations` back-to-back runs of the same schedule.
+    pub fn repeated_seconds(&self, schedule: &Schedule, invocations: u64) -> f64 {
+        schedule.total_cycles as f64 * invocations as f64 / self.clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_model::kernel::KernelBuilder;
+    use hls_model::pragma::Pragma;
+    use hls_model::schedule::Scheduler;
+    use hls_model::types::DataType;
+
+    fn schedule() -> (Schedule, TechLibrary) {
+        let tech = TechLibrary::artix7_default();
+        let kernel = KernelBuilder::new("k", DataType::FIXED16)
+            .bram_array("a", 1024, DataType::FIXED16)
+            .loop_nest(&[1024], |b| {
+                b.load("a").mul().accumulate();
+            })
+            .pragma(Pragma::pipeline())
+            .build();
+        (Scheduler::new(tech.clone()).schedule(&kernel), tech)
+    }
+
+    #[test]
+    fn run_converts_cycles_to_seconds() {
+        let (schedule, tech) = schedule();
+        let pl = PlModel::new(100.0e6);
+        let run = pl.run(&schedule, &tech);
+        assert!((run.seconds - schedule.total_cycles as f64 / 100.0e6).abs() < 1e-12);
+        assert!(run.utilization > 0.0 && run.utilization <= 1.0);
+        assert_eq!(run.kernel_name, "k");
+    }
+
+    #[test]
+    fn faster_clock_shortens_runs() {
+        let (schedule, tech) = schedule();
+        let slow = PlModel::new(100.0e6).run(&schedule, &tech);
+        let fast = PlModel::new(142.0e6).run(&schedule, &tech);
+        assert!(fast.seconds < slow.seconds);
+    }
+
+    #[test]
+    fn repeated_runs_scale_linearly() {
+        let (schedule, _) = schedule();
+        let pl = PlModel::new(100.0e6);
+        let one = pl.repeated_seconds(&schedule, 1);
+        let ten = pl.repeated_seconds(&schedule, 10);
+        assert!((ten - 10.0 * one).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "PL clock must be positive")]
+    fn zero_clock_rejected() {
+        let _ = PlModel::new(-1.0);
+    }
+}

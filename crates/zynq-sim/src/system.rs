@@ -1,0 +1,296 @@
+//! System-level simulation: phases on the PS and the PL combined into total
+//! execution time and per-rail energy.
+
+use crate::config::ZynqConfig;
+use crate::power::{ActivityProfile, EnergyReport, PowerRails};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which part of the platform executes a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecutionUnit {
+    /// The ARM processing system.
+    Ps,
+    /// The programmable-logic accelerator.
+    Pl,
+    /// A data transfer between DDR and the accelerator (occupies the bus and
+    /// the PS driver, so it is counted as busy time for both PS and PL).
+    Transfer,
+}
+
+impl fmt::Display for ExecutionUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecutionUnit::Ps => write!(f, "PS"),
+            ExecutionUnit::Pl => write!(f, "PL"),
+            ExecutionUnit::Transfer => write!(f, "XFER"),
+        }
+    }
+}
+
+/// One phase of an application run (e.g. "image normalization on the PS",
+/// "Gaussian blur on the PL").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Human-readable phase name.
+    pub name: String,
+    /// Where it executes.
+    pub unit: ExecutionUnit,
+    /// Duration in seconds.
+    pub seconds: f64,
+}
+
+impl Phase {
+    /// Creates a PS phase.
+    pub fn ps(name: impl Into<String>, seconds: f64) -> Self {
+        Phase {
+            name: name.into(),
+            unit: ExecutionUnit::Ps,
+            seconds,
+        }
+    }
+
+    /// Creates a PL phase.
+    pub fn pl(name: impl Into<String>, seconds: f64) -> Self {
+        Phase {
+            name: name.into(),
+            unit: ExecutionUnit::Pl,
+            seconds,
+        }
+    }
+
+    /// Creates a transfer phase.
+    pub fn transfer(name: impl Into<String>, seconds: f64) -> Self {
+        Phase {
+            name: name.into(),
+            unit: ExecutionUnit::Transfer,
+            seconds,
+        }
+    }
+}
+
+/// A complete application run: an ordered list of phases executed
+/// sequentially (the paper's flow is strictly sequential: the PS waits for
+/// the accelerator to finish before continuing).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionPlan {
+    /// Phases in execution order.
+    pub phases: Vec<Phase>,
+    /// Fraction of the PL resources occupied by the configured accelerator
+    /// (0.0 for a software-only run).
+    pub pl_utilization: f64,
+}
+
+impl ExecutionPlan {
+    /// A software-only plan: every phase on the PS, no logic configured.
+    pub fn software_only(phases: Vec<Phase>) -> Self {
+        ExecutionPlan {
+            phases,
+            pl_utilization: 0.0,
+        }
+    }
+}
+
+/// The outcome of one simulated run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemReport {
+    /// Total wall-clock time in seconds.
+    pub total_seconds: f64,
+    /// Time spent in PS phases.
+    pub ps_seconds: f64,
+    /// Time spent in PL phases.
+    pub pl_seconds: f64,
+    /// Time spent in transfer phases.
+    pub transfer_seconds: f64,
+    /// Per-rail energy of the run.
+    pub energy: EnergyReport,
+    /// The phases of the plan, echoed for reporting.
+    pub phases: Vec<Phase>,
+}
+
+impl SystemReport {
+    /// Average power over the run in watts.
+    pub fn average_power_w(&self) -> f64 {
+        if self.total_seconds > 0.0 {
+            self.energy.total_j() / self.total_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for SystemReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "total {:.3} s (PS {:.3} s, PL {:.3} s, transfers {:.3} s), energy {:.2} J, avg power {:.2} W",
+            self.total_seconds,
+            self.ps_seconds,
+            self.pl_seconds,
+            self.transfer_seconds,
+            self.energy.total_j(),
+            self.average_power_w()
+        )?;
+        for p in &self.phases {
+            writeln!(f, "  [{:>4}] {:<40} {:>10.4} s", p.unit, p.name, p.seconds)?;
+        }
+        Ok(())
+    }
+}
+
+/// The system simulator: platform configuration plus power rails.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemSimulator {
+    /// Platform configuration.
+    pub config: ZynqConfig,
+    /// Power-rail parameters.
+    pub rails: PowerRails,
+}
+
+impl SystemSimulator {
+    /// Creates a simulator for the ZC702 with default power rails.
+    pub fn zc702_default() -> Self {
+        SystemSimulator {
+            config: ZynqConfig::zc702_default(),
+            rails: PowerRails::zc702_default(),
+        }
+    }
+
+    /// Creates a simulator with explicit configuration and rails.
+    pub fn new(config: ZynqConfig, rails: PowerRails) -> Self {
+        SystemSimulator { config, rails }
+    }
+
+    /// Runs an execution plan, producing timing and energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any phase has a negative duration or the PL utilization is
+    /// outside `[0, 1]`.
+    pub fn run(&self, plan: &ExecutionPlan) -> SystemReport {
+        assert!(
+            plan.phases.iter().all(|p| p.seconds >= 0.0),
+            "phase durations must be non-negative"
+        );
+        assert!(
+            (0.0..=1.0).contains(&plan.pl_utilization),
+            "PL utilization must be in [0, 1], got {}",
+            plan.pl_utilization
+        );
+        let mut ps = 0.0;
+        let mut pl = 0.0;
+        let mut transfer = 0.0;
+        for phase in &plan.phases {
+            match phase.unit {
+                ExecutionUnit::Ps => ps += phase.seconds,
+                ExecutionUnit::Pl => pl += phase.seconds,
+                ExecutionUnit::Transfer => transfer += phase.seconds,
+            }
+        }
+        let total = ps + pl + transfer;
+        let activity = ActivityProfile {
+            total_seconds: total,
+            // The PS drives the data movers, so transfers count as PS busy
+            // time; the accelerator's interface is also active, so they count
+            // as PL busy time as well.
+            ps_busy_seconds: ps + transfer,
+            pl_busy_seconds: pl + transfer,
+            pl_utilization: plan.pl_utilization,
+        };
+        SystemReport {
+            total_seconds: total,
+            ps_seconds: ps,
+            pl_seconds: pl,
+            transfer_seconds: transfer,
+            energy: self.rails.energy(&activity),
+            phases: plan.phases.clone(),
+        }
+    }
+}
+
+impl Default for SystemSimulator {
+    fn default() -> Self {
+        Self::zc702_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simulator() -> SystemSimulator {
+        SystemSimulator::zc702_default()
+    }
+
+    #[test]
+    fn phase_times_add_up() {
+        let plan = ExecutionPlan {
+            phases: vec![
+                Phase::ps("normalize", 0.4),
+                Phase::transfer("stream in", 0.05),
+                Phase::pl("blur", 0.5),
+                Phase::transfer("stream out", 0.05),
+                Phase::ps("masking", 15.0),
+            ],
+            pl_utilization: 0.2,
+        };
+        let report = simulator().run(&plan);
+        assert!((report.total_seconds - 16.0).abs() < 1e-12);
+        assert!((report.ps_seconds - 15.4).abs() < 1e-12);
+        assert!((report.pl_seconds - 0.5).abs() < 1e-12);
+        assert!((report.transfer_seconds - 0.1).abs() < 1e-12);
+        assert_eq!(report.phases.len(), 5);
+    }
+
+    #[test]
+    fn software_only_plan_has_no_pl_activity_energy() {
+        let plan = ExecutionPlan::software_only(vec![Phase::ps("everything", 10.0)]);
+        let report = simulator().run(&plan);
+        assert_eq!(report.energy.pl.overhead_j, 0.0);
+        assert!(report.energy.ps.overhead_j > 0.0);
+        assert!(report.average_power_w() > 0.5 && report.average_power_w() < 2.5);
+    }
+
+    #[test]
+    fn accelerating_a_phase_reduces_total_time_and_energy() {
+        let software = ExecutionPlan::software_only(vec![
+            Phase::ps("rest", 19.4),
+            Phase::ps("blur", 7.3),
+        ]);
+        let accelerated = ExecutionPlan {
+            phases: vec![Phase::ps("rest", 19.4), Phase::pl("blur", 0.4)],
+            pl_utilization: 0.3,
+        };
+        let sim = simulator();
+        let sw = sim.run(&software);
+        let acc = sim.run(&accelerated);
+        assert!(acc.total_seconds < sw.total_seconds);
+        assert!(acc.energy.total_j() < sw.energy.total_j());
+        assert!(acc.average_power_w() > sw.average_power_w());
+    }
+
+    #[test]
+    fn report_display_lists_phases() {
+        let plan = ExecutionPlan::software_only(vec![Phase::ps("stage-a", 1.0)]);
+        let text = simulator().run(&plan).to_string();
+        assert!(text.contains("stage-a"));
+        assert!(text.contains("total 1.000 s"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_phase_duration_is_rejected() {
+        let plan = ExecutionPlan::software_only(vec![Phase::ps("bad", -1.0)]);
+        let _ = simulator().run(&plan);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn utilization_out_of_range_is_rejected() {
+        let plan = ExecutionPlan {
+            phases: vec![Phase::ps("ok", 1.0)],
+            pl_utilization: 1.5,
+        };
+        let _ = simulator().run(&plan);
+    }
+}

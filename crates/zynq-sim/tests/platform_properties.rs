@@ -1,0 +1,161 @@
+//! Property-based tests of the platform model invariants: timing linearity
+//! and energy-accounting consistency.
+
+use proptest::prelude::*;
+use zynq_sim::arm::{ArmCostModel, PsModel, SoftwareWorkload};
+use zynq_sim::power::{ActivityProfile, PowerRails, Rail};
+use zynq_sim::system::{ExecutionPlan, Phase, SystemSimulator};
+
+fn workload_strategy() -> impl Strategy<Value = SoftwareWorkload> {
+    (
+        0u64..1_000_000,
+        0u64..1_000_000,
+        0u64..10_000,
+        0u64..100_000,
+        0u64..1_000_000,
+        0u64..2_000_000,
+        0u64..1_000_000,
+    )
+        .prop_map(|(adds, muls, divs, pows, compares, loads, stores)| SoftwareWorkload {
+            adds,
+            muls,
+            divs,
+            pows,
+            compares,
+            loads,
+            stores,
+        })
+}
+
+fn phases_strategy() -> impl Strategy<Value = Vec<Phase>> {
+    prop::collection::vec(
+        (0u8..3, 0.0f64..30.0).prop_map(|(kind, seconds)| match kind {
+            0 => Phase::ps("ps work", seconds),
+            1 => Phase::pl("pl work", seconds),
+            _ => Phase::transfer("transfer", seconds),
+        }),
+        1..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ps_time_is_additive_over_workloads(a in workload_strategy(), b in workload_strategy()) {
+        let ps = PsModel::new(667.0e6, ArmCostModel::cortex_a9_effective());
+        let separate = ps.seconds(&a) + ps.seconds(&b);
+        let merged = ps.seconds(&a.merged(&b));
+        prop_assert!((separate - merged).abs() < 1e-9 * separate.max(1.0));
+    }
+
+    #[test]
+    fn ps_time_is_monotone_in_every_operation_count(w in workload_strategy()) {
+        let ps = PsModel::new(667.0e6, ArmCostModel::cortex_a9_effective());
+        let base = ps.seconds(&w);
+        let mut heavier = w;
+        heavier.pows += 1;
+        heavier.loads += 1;
+        prop_assert!(ps.seconds(&heavier) > base);
+    }
+
+    #[test]
+    fn faster_clock_never_increases_time(w in workload_strategy()) {
+        let slow = PsModel::new(400.0e6, ArmCostModel::cortex_a9_effective());
+        let fast = PsModel::new(1.0e9, ArmCostModel::cortex_a9_effective());
+        prop_assert!(fast.seconds(&w) <= slow.seconds(&w));
+    }
+
+    #[test]
+    fn energy_is_non_negative_and_rails_sum_to_total(
+        total in 0.1f64..60.0,
+        ps_fraction in 0.0f64..=1.0,
+        pl_fraction in 0.0f64..=1.0,
+        utilization in 0.0f64..=1.0
+    ) {
+        let rails = PowerRails::zc702_default();
+        let activity = ActivityProfile {
+            total_seconds: total,
+            ps_busy_seconds: total * ps_fraction,
+            pl_busy_seconds: total * pl_fraction,
+            pl_utilization: utilization,
+        };
+        let report = rails.energy(&activity);
+        let mut sum = 0.0;
+        for rail in Rail::ALL {
+            let e = report.rail(rail);
+            prop_assert!(e.bottomline_j >= 0.0);
+            prop_assert!(e.overhead_j >= 0.0);
+            sum += e.total_j();
+        }
+        prop_assert!((sum - report.total_j()).abs() < 1e-9);
+        // Energy is at least the idle energy for the duration.
+        prop_assert!(report.total_j() >= rails.idle_power_w() * total - 1e-9);
+    }
+
+    #[test]
+    fn energy_grows_with_busy_time_and_utilization(
+        total in 1.0f64..40.0,
+        busy_a in 0.0f64..=0.5,
+        busy_b in 0.5f64..=1.0,
+        util_a in 0.0f64..=0.5,
+        util_b in 0.5f64..=1.0
+    ) {
+        let rails = PowerRails::zc702_default();
+        let low = rails.energy(&ActivityProfile {
+            total_seconds: total,
+            ps_busy_seconds: total * busy_a,
+            pl_busy_seconds: total * busy_a,
+            pl_utilization: util_a,
+        });
+        let high = rails.energy(&ActivityProfile {
+            total_seconds: total,
+            ps_busy_seconds: total * busy_b,
+            pl_busy_seconds: total * busy_b,
+            pl_utilization: util_b,
+        });
+        prop_assert!(high.total_j() >= low.total_j());
+    }
+
+    #[test]
+    fn system_report_times_match_phase_sums(phases in phases_strategy(), utilization in 0.0f64..=1.0) {
+        let simulator = SystemSimulator::zc702_default();
+        let plan = ExecutionPlan { phases: phases.clone(), pl_utilization: utilization };
+        let report = simulator.run(&plan);
+        let expected_total: f64 = phases.iter().map(|p| p.seconds).sum();
+        prop_assert!((report.total_seconds - expected_total).abs() < 1e-9);
+        prop_assert!(report.ps_seconds <= report.total_seconds + 1e-9);
+        prop_assert!(report.pl_seconds <= report.total_seconds + 1e-9);
+        prop_assert!(report.energy.total_j() >= 0.0);
+        prop_assert_eq!(report.phases.len(), phases.len());
+    }
+
+    #[test]
+    fn shortening_a_ps_phase_reduces_time_and_energy(
+        rest in 1.0f64..30.0,
+        blur_sw in 1.0f64..10.0,
+        blur_hw_fraction in 0.01f64..0.5,
+        utilization in 0.05f64..0.6
+    ) {
+        // The co-design transformation in miniature: moving a phase from the
+        // PS to a (faster) accelerator must reduce both time and energy when
+        // the accelerated phase is sufficiently shorter.
+        let simulator = SystemSimulator::zc702_default();
+        let software = simulator.run(&ExecutionPlan::software_only(vec![
+            Phase::ps("rest", rest),
+            Phase::ps("blur", blur_sw),
+        ]));
+        let accelerated = simulator.run(&ExecutionPlan {
+            phases: vec![Phase::ps("rest", rest), Phase::pl("blur", blur_sw * blur_hw_fraction)],
+            pl_utilization: utilization,
+        });
+        prop_assert!(accelerated.total_seconds < software.total_seconds);
+        // Energy may not always drop (a marginal speed-up of a small phase
+        // cannot pay for the added PL static power), but it must whenever the
+        // accelerator is at least 4x faster, occupies a modest share of the
+        // fabric, and the accelerated phase is a meaningful share of the run.
+        if blur_hw_fraction < 0.25 && utilization < 0.2 && blur_sw >= 0.2 * rest {
+            prop_assert!(accelerated.energy.total_j() < software.energy.total_j());
+        }
+    }
+}

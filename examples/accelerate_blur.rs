@@ -1,0 +1,46 @@
+//! The paper's co-design story end to end: profile the application on the
+//! modelled ARM core, mark the Gaussian blur for hardware, walk through the
+//! optimization steps of Table I and print the execution-time results of
+//! Table II together with the Vivado-HLS-style report of the final design.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example accelerate_blur
+//! ```
+
+use tonemap_zynq_repro::prelude::*;
+
+fn main() {
+    let flow = CoDesignFlow::paper_setup(1024, 1024);
+
+    // Step 1: profile the software to find the acceleration candidate.
+    let profile = flow.profile();
+    println!("=== Step 1: software profiling on the ARM core ===");
+    print!("{profile}");
+    let hottest = profile.hottest_function();
+    println!("-> hottest function: {} ({:.2} s) — marked for hardware\n", hottest.name, hottest.seconds);
+
+    // Steps 2-4: evaluate every design implementation of Table II.
+    println!("=== Steps 2-4: optimization flow (Table II) ===");
+    let report = flow.run_all();
+    let breakdown = ExecutionBreakdown::from_flow(&report);
+    println!("{breakdown}");
+
+    let sw = report.software_reference();
+    let fxp = report
+        .design(DesignImplementation::FixedPointConversion)
+        .expect("fixed-point design evaluated");
+    println!(
+        "final accelerated blur: {:.2} s -> {:.2} s ({:.1}x function speed-up, paper reports 17x)\n",
+        sw.accelerated_seconds,
+        fxp.accelerated_seconds,
+        fxp.function_speedup_vs(sw)
+    );
+
+    // The HLS report the designer would inspect for the final design.
+    println!("=== Vivado-HLS-style report of the final fixed-point accelerator ===");
+    if let Some(hls) = flow.hls_report(DesignImplementation::FixedPointConversion) {
+        println!("{hls}");
+    }
+}

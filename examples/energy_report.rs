@@ -1,0 +1,48 @@
+//! Energy analysis of the co-design flow: the per-rail breakdown of Fig. 7
+//! and the bottomline / execution-overhead split of Fig. 8, computed by the
+//! Zynq platform's power model.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example energy_report
+//! ```
+
+use tonemap_zynq_repro::prelude::*;
+
+fn main() {
+    let flow = CoDesignFlow::paper_setup(1024, 1024);
+    let report = flow.run_all();
+    let energy = EnergyBreakdown::from_flow(&report);
+    println!("{energy}");
+
+    let sw = report.software_reference();
+    let fxp = report
+        .design(DesignImplementation::FixedPointConversion)
+        .expect("fixed-point design evaluated");
+
+    println!("Average power and per-image energy:");
+    for design in DesignImplementation::ALL {
+        let d = report.design(design).expect("all designs evaluated");
+        println!(
+            "  {:<30} {:>6.2} W  {:>7.2} J  ({:.1} s)",
+            design.label(),
+            d.system.average_power_w(),
+            d.energy.total_j(),
+            d.total_seconds
+        );
+    }
+
+    println!();
+    println!(
+        "The accelerated system draws more power ({:.2} W vs {:.2} W) but finishes sooner,",
+        fxp.system.average_power_w(),
+        sw.system.average_power_w()
+    );
+    println!(
+        "so each image costs {:.1}% less energy ({:.1} J vs {:.1} J) — the paper reports a 23% reduction.",
+        100.0 * fxp.energy_reduction_vs(sw),
+        fxp.energy.total_j(),
+        sw.energy.total_j()
+    );
+}

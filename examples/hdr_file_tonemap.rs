@@ -1,0 +1,56 @@
+//! Tone-map a Radiance `.hdr` file from disk — the workflow a user with real
+//! HDR photographs (like the paper's input image) would follow.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --example hdr_file_tonemap -- path/to/image.hdr
+//! ```
+//!
+//! When no path is given, the example first writes a synthetic scene as a
+//! Radiance file and then processes that file, so it is runnable out of the
+//! box.
+
+use std::env;
+use std::error::Error;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use tonemap_zynq_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let path = match env::args().nth(1) {
+        Some(path) => path,
+        None => {
+            // No input supplied: create one from the synthetic generator.
+            let synthetic = SceneKind::SunAndShadow.generate_rgb(512, 512, 7);
+            let path = "synthetic_input.hdr".to_string();
+            let file = File::create(&path)?;
+            hdr_image::io::write_rgbe(&synthetic, BufWriter::new(file))?;
+            println!("no input given; wrote synthetic Radiance file {path}");
+            path
+        }
+    };
+
+    // Load the HDR image.
+    let file = File::open(&path)?;
+    let hdr = hdr_image::io::read_rgbe(BufReader::new(file))?;
+    println!(
+        "loaded {path}: {}x{} pixels, luminance dynamic range {:.0}:1",
+        hdr.width(),
+        hdr.height(),
+        hdr_image::rgb::luminance_plane(&hdr).dynamic_range()
+    );
+
+    // Tone map the colour image (luminance-domain operator, chrominance
+    // preserved), using the 16-bit fixed-point pipeline of the accelerator.
+    let mapper = ToneMapper::new(ToneMapParams::paper_default());
+    let mapped = mapper.map_rgb::<apfixed::Fix16>(&hdr)?;
+
+    // Save as PPM.
+    let out_path = "hdr_file_tonemapped.ppm";
+    let ldr = hdr_image::rgb::to_ldr_rgb(&mapped);
+    let out = File::create(out_path)?;
+    hdr_image::io::write_ppm(&ldr, BufWriter::new(out))?;
+    println!("wrote {out_path}");
+    Ok(())
+}

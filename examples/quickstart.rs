@@ -1,0 +1,40 @@
+//! Quickstart: generate a synthetic HDR scene, tone-map it with the paper's
+//! operator (software reference path) and write the result as a PGM image.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::error::Error;
+use std::fs::File;
+use std::io::BufWriter;
+use tonemap_zynq_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. Input: a 1024x1024 synthetic HDR scene standing in for the paper's
+    //    photograph (DESIGN.md §2 explains the substitution).
+    let hdr = SceneKind::WindowInDarkRoom.generate(1024, 1024, 2018);
+    println!(
+        "input: {}x{} pixels, dynamic range {:.0}:1",
+        hdr.width(),
+        hdr.height(),
+        hdr.dynamic_range()
+    );
+
+    // 2. Tone map with the paper's parameters (normalization, Gaussian-blur
+    //    mask, non-linear masking, brightness/contrast adjustment).
+    let mapper = ToneMapper::new(ToneMapParams::paper_default());
+    let ldr = mapper.map_luminance_f32(&hdr);
+    let (lo, hi) = ldr.min_max();
+    println!("output: display-referred range [{lo:.3}, {hi:.3}], mean {:.3}", ldr.mean());
+
+    // 3. Save as an 8-bit PGM for inspection.
+    let out_path = "quickstart_tonemapped.pgm";
+    let file = File::create(out_path)?;
+    hdr_image::io::write_pgm(&ldr.to_ldr(), BufWriter::new(file))?;
+    println!("wrote {out_path}");
+
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Workspace facade crate for the SOCC 2018 HDR tone-mapping / Zynq HLS
+//! acceleration reproduction.
+//!
+//! This crate re-exports the public surface of every member crate so that the
+//! examples under `examples/` and the integration tests under `tests/` can use
+//! one coherent namespace. Library users normally depend on the individual
+//! crates (`tonemap-core`, `codesign`, …) directly.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tonemap_zynq_repro::prelude::*;
+//!
+//! // Generate a small synthetic HDR scene and tone-map it in software.
+//! let hdr = SceneKind::WindowInDarkRoom.generate(64, 64, 42);
+//! let params = ToneMapParams::paper_default();
+//! let ldr = ToneMapper::new(params).map_luminance_f32(&hdr);
+//! assert_eq!(ldr.width(), 64);
+//! ```
+
+pub use apfixed;
+pub use codesign;
+pub use hdr_image;
+pub use hls_model;
+pub use tonemap_core;
+pub use zynq_sim;
+
+/// Convenience prelude used by the examples and integration tests.
+pub mod prelude {
+    pub use apfixed::{DynFix, Fix, QFormat, RoundingMode, SaturationMode};
+    pub use codesign::flow::{CoDesignFlow, DesignImplementation, FlowReport};
+    pub use codesign::profile::Profiler;
+    pub use codesign::reports::{EnergyBreakdown, ExecutionBreakdown, QualityReport};
+    pub use hdr_image::metrics::{mse, psnr, ssim};
+    pub use hdr_image::synth::SceneKind;
+    pub use hdr_image::{ImageBuffer, LdrImage, LuminanceImage, RgbImage};
+    pub use hls_model::kernel::{Kernel, KernelBuilder};
+    pub use hls_model::pragma::{ArrayPartition, DataMover, Pragma};
+    pub use hls_model::schedule::Scheduler;
+    pub use hls_model::tech::TechLibrary;
+    pub use tonemap_core::{BlurParams, ToneMapParams, ToneMapper};
+    pub use zynq_sim::config::ZynqConfig;
+    pub use zynq_sim::power::{EnergyReport, PowerRails};
+    pub use zynq_sim::system::SystemSimulator;
+}

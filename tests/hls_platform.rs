@@ -1,0 +1,88 @@
+//! Cross-crate integration test of the HLS model and the platform simulator:
+//! the accelerator kernels built by the co-design layer schedule onto the
+//! modelled device, fit its resources, and their timing feeds the system
+//! simulation consistently.
+
+use codesign::flow::{CoDesignFlow, DesignImplementation};
+use codesign::kernels::{streaming_blur_kernel, BlurKernelSpec, StreamingOptions};
+use hls_model::schedule::Scheduler;
+use hls_model::tech::TechLibrary;
+use tonemap_zynq_repro::prelude::*;
+
+#[test]
+fn every_accelerator_design_fits_the_zc702_device() {
+    let flow = CoDesignFlow::paper_setup(1024, 1024);
+    let tech = TechLibrary::artix7_default();
+    for design in DesignImplementation::ALL {
+        if let Some(schedule) = flow.schedule_for(design) {
+            assert!(
+                schedule.resources.fits(&tech),
+                "{design} exceeds the device budget: {:?}",
+                schedule.resources
+            );
+            assert!(schedule.total_cycles > 0);
+        }
+    }
+}
+
+#[test]
+fn accelerator_time_in_the_flow_matches_the_schedule_directly() {
+    let flow = CoDesignFlow::paper_setup(512, 512);
+    let report = flow.evaluate(DesignImplementation::HlsPragmas);
+    let schedule = report.schedule.as_ref().expect("accelerated design has a schedule");
+    let expected = schedule.total_cycles as f64 / ZynqConfig::zc702_default().pl_clock_hz;
+    assert!((report.accelerated_seconds - expected).abs() < 1e-9);
+    assert!((report.pl_seconds - expected).abs() < 1e-9);
+}
+
+#[test]
+fn blur_kernel_cycles_scale_linearly_with_resolution() {
+    let scheduler = Scheduler::new(TechLibrary::artix7_default());
+    let cycles = |size: usize| {
+        let spec = BlurKernelSpec::new(size, size, BlurParams::paper_default());
+        scheduler
+            .schedule(&streaming_blur_kernel(
+                &spec,
+                StreamingOptions { pipelined: true, fixed_point: true },
+            ))
+            .total_cycles as f64
+    };
+    let small = cycles(256);
+    let large = cycles(512);
+    let ratio = large / small;
+    assert!((ratio - 4.0).abs() < 0.1, "cycles should scale with pixel count, ratio {ratio:.2}");
+}
+
+#[test]
+fn system_simulator_energy_is_consistent_with_power_rails() {
+    let simulator = SystemSimulator::zc702_default();
+    let plan = zynq_sim::system::ExecutionPlan {
+        phases: vec![
+            zynq_sim::system::Phase::ps("rest of the algorithm", 19.0),
+            zynq_sim::system::Phase::pl("accelerated blur", 0.4),
+        ],
+        pl_utilization: 0.3,
+    };
+    let report = simulator.run(&plan);
+    assert!((report.total_seconds - 19.4).abs() < 1e-12);
+    // Energy must equal power-rail model applied to the same activity.
+    let expected = PowerRails::zc702_default().energy(&zynq_sim::power::ActivityProfile {
+        total_seconds: 19.4,
+        ps_busy_seconds: 19.0,
+        pl_busy_seconds: 0.4,
+        pl_utilization: 0.3,
+    });
+    assert!((report.energy.total_j() - expected.total_j()).abs() < 1e-12);
+}
+
+#[test]
+fn hls_performance_report_renders_for_the_final_design() {
+    let flow = CoDesignFlow::paper_setup(1024, 1024);
+    let report = flow
+        .hls_report(DesignImplementation::FixedPointConversion)
+        .expect("accelerated design");
+    let text = report.to_string();
+    assert!(text.contains("gaussian_blur_fixed"));
+    assert!(text.contains("Utilization estimates"));
+    assert!(report.seconds() < 1.0, "final accelerator should run in well under a second");
+}

@@ -1,0 +1,93 @@
+//! Cross-crate integration test of the functional pipeline and the quality
+//! metrics: the Fig. 5 experiment and its invariants, exercised through the
+//! public API.
+
+use apfixed::{Fix, Fix16};
+use tonemap_zynq_repro::prelude::*;
+
+fn input() -> LuminanceImage {
+    SceneKind::WindowInDarkRoom.generate(256, 256, 2018)
+}
+
+#[test]
+fn fixed_point_blur_quality_matches_the_paper_band() {
+    let hdr = input();
+    let mapper = ToneMapper::new(ToneMapParams::paper_default());
+    let float_out = mapper.map_luminance_hw_blur::<f32>(&hdr);
+    let fixed_out = mapper.map_luminance_hw_blur::<Fix16>(&hdr);
+
+    let p = psnr(&float_out, &fixed_out, 1.0);
+    let s = ssim(&float_out, &fixed_out).unwrap();
+    // Paper: 66 dB and SSIM 1.0; accept a generous band around it since the
+    // input image differs.
+    assert!(p > 45.0, "PSNR {p:.1} dB below the acceptance band");
+    assert!(s > 0.995, "SSIM {s:.4} below the acceptance band");
+}
+
+#[test]
+fn narrower_formats_degrade_quality_monotonically() {
+    let hdr = SceneKind::MemorialComposite.generate(128, 128, 5);
+    let mapper = ToneMapper::new(ToneMapParams::paper_default());
+    let reference = mapper.map_luminance_hw_blur::<f32>(&hdr);
+
+    let psnr_8 = psnr(&reference, &mapper.map_luminance_hw_blur::<Fix<8, 6>>(&hdr), 1.0);
+    let psnr_16 = psnr(&reference, &mapper.map_luminance_hw_blur::<Fix<16, 12>>(&hdr), 1.0);
+    let psnr_32 = psnr(&reference, &mapper.map_luminance_hw_blur::<Fix<32, 24>>(&hdr), 1.0);
+    assert!(psnr_8 < psnr_16, "8-bit {psnr_8:.1} dB vs 16-bit {psnr_16:.1} dB");
+    assert!(psnr_16 < psnr_32, "16-bit {psnr_16:.1} dB vs 32-bit {psnr_32:.1} dB");
+}
+
+#[test]
+fn tone_mapping_all_scenes_stays_display_referred() {
+    let mapper = ToneMapper::new(ToneMapParams::paper_default());
+    for scene in SceneKind::ALL {
+        let hdr = scene.generate(96, 96, 3);
+        for out in [
+            mapper.map_luminance_f32(&hdr),
+            mapper.map_luminance_hw_blur::<Fix16>(&hdr),
+        ] {
+            assert_eq!(out.dimensions(), (96, 96));
+            for &v in out.pixels() {
+                assert!(
+                    (0.0..=1.0).contains(&v),
+                    "{scene}: pixel {v} outside the display range"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn quality_report_through_the_codesign_api_agrees_with_direct_metrics() {
+    let hdr = input();
+    let params = ToneMapParams::paper_default();
+    let report = codesign::quality::evaluate_fixed_point_quality::<16, 12>(&hdr, params);
+
+    let mapper = ToneMapper::new(params);
+    let float_out = mapper.map_luminance_hw_blur::<f32>(&hdr);
+    let fixed_out = mapper.map_luminance_hw_blur::<Fix16>(&hdr);
+    let direct_psnr = psnr(&float_out, &fixed_out, 1.0);
+    let direct_mse = mse(&float_out, &fixed_out);
+
+    assert!((report.psnr_db - direct_psnr).abs() < 1e-9);
+    assert!((report.mse - direct_mse).abs() < 1e-15);
+    assert_eq!(report.width, 256);
+}
+
+#[test]
+fn colour_tone_mapping_preserves_dimensions_and_hue() {
+    let rgb = SceneKind::SunAndShadow.generate_rgb(128, 128, 9);
+    let mapper = ToneMapper::new(ToneMapParams::paper_default());
+    let out = mapper.map_rgb::<f32>(&rgb).unwrap();
+    assert_eq!(out.dimensions(), rgb.dimensions());
+    let mut checked = 0usize;
+    for (i, o) in rgb.pixels().iter().zip(out.pixels()) {
+        if o.max_channel() < 0.9 && i.r > 1e-3 && i.b > 1e-3 {
+            let before = i.r / i.b;
+            let after = o.r / o.b;
+            assert!((before - after).abs() / before < 0.08, "hue shifted: {before} -> {after}");
+            checked += 1;
+        }
+    }
+    assert!(checked > 1000, "too few unclipped pixels checked ({checked})");
+}
