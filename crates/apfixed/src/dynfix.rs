@@ -172,7 +172,9 @@ mod tests {
     use crate::qformat::RoundingMode;
 
     fn q16() -> QFormat {
-        QFormat::new(16, 12).unwrap().with_rounding(RoundingMode::Nearest)
+        QFormat::new(16, 12)
+            .unwrap()
+            .with_rounding(RoundingMode::Nearest)
     }
 
     #[test]

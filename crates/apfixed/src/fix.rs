@@ -454,7 +454,10 @@ mod tests {
         let v = F16::from_f64(-2.5);
         assert_eq!(v.abs().to_f64(), 2.5);
         assert_eq!(v.clamp(F16::ZERO, F16::ONE).to_f64(), 0.0);
-        assert_eq!(F16::from_f64(0.375).clamp(F16::ZERO, F16::ONE).to_f64(), 0.375);
+        assert_eq!(
+            F16::from_f64(0.375).clamp(F16::ZERO, F16::ONE).to_f64(),
+            0.375
+        );
     }
 
     #[test]

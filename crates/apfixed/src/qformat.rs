@@ -248,7 +248,8 @@ impl QFormat {
         if value.is_infinite() {
             return self.min_raw();
         }
-        let scaled = value * (1u64 << self.frac.min(62)) as f64
+        let scaled = value
+            * (1u64 << self.frac.min(62)) as f64
             * if self.frac > 62 {
                 (0.5f64).powi(-((self.frac - 62) as i32))
             } else {
@@ -325,7 +326,9 @@ mod tests {
         let sat = QFormat::new(8, 0).unwrap();
         assert_eq!(sat.saturate_raw(1000), 127);
         assert_eq!(sat.saturate_raw(-1000), -128);
-        let wrap = QFormat::new(8, 0).unwrap().with_saturation(SaturationMode::Wrap);
+        let wrap = QFormat::new(8, 0)
+            .unwrap()
+            .with_saturation(SaturationMode::Wrap);
         assert_eq!(wrap.saturate_raw(130), 130 - 256);
         assert_eq!(wrap.saturate_raw(-129), 127);
         assert_eq!(wrap.saturate_raw(256), 0);
@@ -340,7 +343,9 @@ mod tests {
 
     #[test]
     fn round_shift_nearest_ties_away_from_zero() {
-        let q = QFormat::new(16, 8).unwrap().with_rounding(RoundingMode::Nearest);
+        let q = QFormat::new(16, 8)
+            .unwrap()
+            .with_rounding(RoundingMode::Nearest);
         assert_eq!(q.round_shift(3, 1), 2); // 1.5 -> 2
         assert_eq!(q.round_shift(-3, 1), -2); // -1.5 -> -2
         assert_eq!(q.round_shift(5, 2), 1); // 1.25 -> 1
@@ -348,7 +353,9 @@ mod tests {
 
     #[test]
     fn round_shift_nearest_even() {
-        let q = QFormat::new(16, 8).unwrap().with_rounding(RoundingMode::NearestEven);
+        let q = QFormat::new(16, 8)
+            .unwrap()
+            .with_rounding(RoundingMode::NearestEven);
         assert_eq!(q.round_shift(3, 1), 2); // 1.5 -> 2 (even)
         assert_eq!(q.round_shift(5, 1), 2); // 2.5 -> 2 (even)
         assert_eq!(q.round_shift(7, 1), 4); // 3.5 -> 4 (even)
@@ -356,7 +363,9 @@ mod tests {
 
     #[test]
     fn f64_round_trip_within_epsilon() {
-        let q = QFormat::new(16, 12).unwrap().with_rounding(RoundingMode::Nearest);
+        let q = QFormat::new(16, 12)
+            .unwrap()
+            .with_rounding(RoundingMode::Nearest);
         for &v in &[0.0, 0.5, -0.5, 1.2345, -3.999, 7.9, -7.9] {
             let raw = q.raw_from_f64(v);
             let back = q.raw_to_f64(raw);
@@ -380,7 +389,9 @@ mod tests {
     #[test]
     fn requantize_between_formats() {
         let wide = QFormat::new(32, 24).unwrap();
-        let narrow = QFormat::new(16, 12).unwrap().with_rounding(RoundingMode::Nearest);
+        let narrow = QFormat::new(16, 12)
+            .unwrap()
+            .with_rounding(RoundingMode::Nearest);
         let raw_wide = wide.raw_from_f64(1.5);
         let raw_narrow = narrow.requantize(raw_wide, &wide);
         assert_eq!(narrow.raw_to_f64(raw_narrow), 1.5);

@@ -1,0 +1,155 @@
+//! Backends that wrap the simulated PL accelerators of Table II.
+
+use crate::engine::TonemapBackend;
+use crate::output::{BackendOutput, BackendTelemetry, ModeledCost};
+use crate::paper_platform_flow;
+use codesign::flow::{DesignImplementation, DesignReport};
+use hdr_image::LuminanceImage;
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::Mutex;
+use std::time::Instant;
+use tonemap_core::{Sample, ToneMapParams, ToneMapper};
+
+/// Lazily computed, per-resolution platform-model evaluations of one
+/// Table II design.
+///
+/// The evaluation (profiling + HLS scheduling + system simulation) is
+/// analytic but not free; caching it per image size means a batch of
+/// same-sized scenes pays for it once.
+#[derive(Debug)]
+pub(crate) struct ModelCache {
+    design: DesignImplementation,
+    params: ToneMapParams,
+    reports: Mutex<HashMap<(usize, usize), DesignReport>>,
+}
+
+impl ModelCache {
+    pub(crate) fn new(design: DesignImplementation, params: ToneMapParams) -> Self {
+        ModelCache {
+            design,
+            params,
+            reports: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub(crate) fn report(&self, width: usize, height: usize) -> DesignReport {
+        let key = (width, height);
+        if let Some(report) = self.reports.lock().expect("model cache poisoned").get(&key) {
+            return report.clone();
+        }
+        // Evaluate outside the lock: the platform-model run is the expensive
+        // part, and holding the mutex across it would serialize concurrent
+        // callers (and poison the cache if the evaluation panicked). Two
+        // threads may race to compute the same key; the evaluation is
+        // deterministic, so whichever insert wins is equivalent.
+        let computed = paper_platform_flow(self.params, width, height).evaluate(self.design);
+        self.reports
+            .lock()
+            .expect("model cache poisoned")
+            .entry(key)
+            .or_insert(computed)
+            .clone()
+    }
+}
+
+/// Shared body of every backend's [`TonemapBackend::run`]: time the
+/// functional execution, attach op counts and (when the backend maps to a
+/// Table II design) the cached platform-model cost.
+pub(crate) fn run_with(
+    name: &'static str,
+    mapper: &ToneMapper,
+    model: Option<&ModelCache>,
+    input: &LuminanceImage,
+    execute: impl FnOnce(&ToneMapper, &LuminanceImage) -> LuminanceImage,
+) -> BackendOutput {
+    let start = Instant::now();
+    let image = execute(mapper, input);
+    let wall = start.elapsed();
+    let (width, height) = input.dimensions();
+    BackendOutput {
+        image,
+        telemetry: BackendTelemetry {
+            backend: name,
+            wall,
+            ops: mapper.profile(width, height).total(),
+            modeled: model.map(|m| ModeledCost::from(&m.report(width, height))),
+        },
+    }
+}
+
+/// A simulated-accelerator backend: the Gaussian blur executes in the
+/// sample type `S` behind the accelerator boundary (quantise in, blur,
+/// dequantise out — the DDR → BRAM → DDR round trip of Fig. 4), while the
+/// point-wise stages stay in `f32` on the processing system.
+///
+/// `S = f32` models the 32-bit floating-point accelerators
+/// (`MarkedHwFunction`, `SequentialMemoryAccesses`, `HlsPragmas` — these
+/// share one functional output and differ in modeled cost), and
+/// `S = apfixed::Fix16` the final 16-bit fixed-point design
+/// (`FixedPointConversion`).
+#[derive(Debug)]
+pub struct AcceleratedBackend<S: Sample> {
+    name: &'static str,
+    description: &'static str,
+    design: DesignImplementation,
+    mapper: ToneMapper,
+    model: ModelCache,
+    _sample: PhantomData<S>,
+}
+
+impl<S: Sample> AcceleratedBackend<S> {
+    /// Creates an accelerated backend for one Table II design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` are invalid or if `design` is the pure-software
+    /// row (use [`crate::SoftwareF32Backend`] for that).
+    pub fn new(
+        name: &'static str,
+        description: &'static str,
+        design: DesignImplementation,
+        params: ToneMapParams,
+    ) -> Self {
+        assert!(
+            design.is_accelerated(),
+            "AcceleratedBackend requires an accelerated design, got {design}"
+        );
+        AcceleratedBackend {
+            name,
+            description,
+            design,
+            mapper: ToneMapper::new(params),
+            model: ModelCache::new(design, params),
+            _sample: PhantomData,
+        }
+    }
+}
+
+impl<S: Sample> TonemapBackend for AcceleratedBackend<S> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn description(&self) -> &'static str {
+        self.description
+    }
+
+    fn design(&self) -> Option<DesignImplementation> {
+        Some(self.design)
+    }
+
+    fn run(&self, input: &LuminanceImage) -> BackendOutput {
+        run_with(
+            self.name,
+            &self.mapper,
+            Some(&self.model),
+            input,
+            |mapper, hdr| mapper.run_stages_hw_blur::<S>(hdr).output_f32(),
+        )
+    }
+
+    fn design_report(&self, width: usize, height: usize) -> Option<DesignReport> {
+        Some(self.model.report(width, height))
+    }
+}

@@ -1,0 +1,52 @@
+//! Colour tone mapping through any backend.
+
+use crate::engine::TonemapBackend;
+use crate::output::BackendTelemetry;
+use hdr_image::rgb::{luminance_plane, reapply_color};
+use hdr_image::{ImageError, RgbImage};
+
+/// Tone-maps a colour HDR image through `backend`: the luminance plane runs
+/// through [`TonemapBackend::run`], then each pixel is rescaled so its
+/// luminance matches the tone-mapped value while chrominance ratios are
+/// preserved — the same colour re-application the paper's C++ application
+/// performs around the accelerated kernel.
+///
+/// Returns the mapped image together with the luminance run's telemetry.
+///
+/// # Errors
+///
+/// Propagates dimension-mismatch errors from the colour re-application;
+/// these cannot occur for images produced through this workspace's public
+/// API.
+pub fn map_rgb_via(
+    backend: &dyn TonemapBackend,
+    hdr: &RgbImage,
+) -> Result<(RgbImage, BackendTelemetry), ImageError> {
+    let luminance = luminance_plane(hdr);
+    let run = backend.run(&luminance);
+    let mapped = reapply_color(hdr, &run.image)?;
+    Ok((mapped, run.telemetry))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BackendRegistry;
+    use hdr_image::synth::SceneKind;
+
+    #[test]
+    fn rgb_mapping_preserves_dimensions_and_range_for_every_backend() {
+        let hdr = SceneKind::SunAndShadow.generate_rgb(24, 24, 3);
+        let registry = BackendRegistry::standard();
+        for backend in registry.iter() {
+            let (out, telemetry) = map_rgb_via(backend, &hdr).unwrap();
+            assert_eq!(out.dimensions(), hdr.dimensions(), "{}", backend.name());
+            assert_eq!(telemetry.backend, backend.name());
+            for p in out.pixels() {
+                assert!(p.r >= 0.0 && p.r <= 1.0);
+                assert!(p.g >= 0.0 && p.g <= 1.0);
+                assert!(p.b >= 0.0 && p.b <= 1.0);
+            }
+        }
+    }
+}

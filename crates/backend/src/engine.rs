@@ -1,0 +1,48 @@
+//! The [`TonemapBackend`] trait: the single execution contract.
+
+use crate::output::BackendOutput;
+use codesign::flow::{DesignImplementation, DesignReport};
+use hdr_image::LuminanceImage;
+
+/// One way of executing the paper's tone-mapping pipeline.
+///
+/// Implementations cover the software float reference, the all-fixed-point
+/// software ablation, and each simulated accelerator design of Table II.
+/// Everything downstream — benches, examples, figure binaries, future
+/// serving layers — selects a backend by name from the
+/// [`crate::BackendRegistry`] and calls [`TonemapBackend::run`] /
+/// [`TonemapBackend::run_batch`]; nothing outside the engine layer calls
+/// the `ToneMapper` execution methods directly.
+///
+/// Backends are `Send + Sync` so a future serving layer can share one
+/// registry across worker threads.
+pub trait TonemapBackend: Send + Sync {
+    /// Stable, unique registry name (e.g. `"sw-f32"`, `"hw-fix16"`).
+    fn name(&self) -> &'static str;
+
+    /// One-line human description of the execution path.
+    fn description(&self) -> &'static str;
+
+    /// The Table II design this backend corresponds to, if any.
+    fn design(&self) -> Option<DesignImplementation> {
+        None
+    }
+
+    /// Tone-maps one HDR luminance image, returning the display-referred
+    /// result plus telemetry.
+    fn run(&self, input: &LuminanceImage) -> BackendOutput;
+
+    /// Tone-maps many scenes through this backend.
+    ///
+    /// The default implementation runs the inputs sequentially; backends
+    /// with per-resolution state (e.g. the accelerated backends' cached
+    /// platform-model evaluation) amortise it across the batch.
+    fn run_batch(&self, inputs: &[LuminanceImage]) -> Vec<BackendOutput> {
+        inputs.iter().map(|input| self.run(input)).collect()
+    }
+
+    /// The platform model's full evaluation of this backend's design at the
+    /// given image dimensions — the row this backend contributes to
+    /// Table II. `None` for backends without a Table II design.
+    fn design_report(&self, width: usize, height: usize) -> Option<DesignReport>;
+}

@@ -1,0 +1,87 @@
+//! The engine layer: every way of executing the paper's tone-mapping
+//! pipeline behind one [`TonemapBackend`] trait.
+//!
+//! The seed reproduction exposed three parallel entry points to the Fig. 1
+//! pipeline — `ToneMapper::map_luminance_f32`,
+//! `ToneMapper::map_luminance_hw_blur::<S>` and
+//! `CoDesignFlow::evaluate(DesignImplementation)` — which made the paper's
+//! CPU/accelerator variants hard to compare and impossible to select by
+//! configuration. Following the single-description / many-targets idea of
+//! AnyHLS (Özkan et al., 2020) and Halide-to-heterogeneous-systems (Pu et
+//! al., 2016), this crate funnels all of them through one contract:
+//!
+//! ```text
+//!            TonemapBackend::run(&LuminanceImage) -> BackendOutput
+//!                 │
+//!    ┌────────────┼──────────────────────────────┐
+//!    │            │                              │
+//!  sw-f32      sw-fix16                hw-marked / hw-sequential /
+//!  (float      (all-stages             hw-pragmas / hw-fix16
+//!  reference)  fixed ablation)         (simulated PL accelerators,
+//!                                       Table II designs)
+//! ```
+//!
+//! Each [`BackendOutput`] carries the tone-mapped image *and* telemetry:
+//! host wall-clock time, analytic operation counts, and — for the backends
+//! that correspond to a Table II design — the platform model's
+//! execution-time/energy prediction ([`ModeledCost`]).
+//!
+//! Backends are resolved by name through the [`BackendRegistry`], and a
+//! batch API ([`TonemapBackend::run_batch`], [`BackendRegistry::run_batch`])
+//! processes many scenes through one engine — the seam the roadmap's
+//! sharding/async/serving work builds on.
+//!
+//! # Example
+//!
+//! ```
+//! use hdr_image::synth::SceneKind;
+//! use tonemap_backend::BackendRegistry;
+//!
+//! let registry = BackendRegistry::standard();
+//! let hdr = SceneKind::WindowInDarkRoom.generate(64, 64, 42);
+//!
+//! // Select engines by configuration, not by hard-coded method calls.
+//! let reference = registry.resolve("sw-f32").unwrap().run(&hdr);
+//! let accelerated = registry.resolve("hw-fix16").unwrap().run(&hdr);
+//!
+//! assert_eq!(reference.image.dimensions(), accelerated.image.dimensions());
+//! // The fixed-point accelerator backend carries the platform model's
+//! // prediction of the paper's final design.
+//! let modeled = accelerated.telemetry.modeled.unwrap();
+//! assert!(modeled.total_seconds > 0.0);
+//! assert!(modeled.energy_j > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accelerated;
+mod color;
+mod engine;
+mod output;
+mod registry;
+mod software;
+
+pub use accelerated::AcceleratedBackend;
+pub use color::map_rgb_via;
+pub use engine::TonemapBackend;
+pub use output::{BackendOutput, BackendTelemetry, ModeledCost};
+pub use registry::{BackendRegistry, UnknownBackendError};
+pub use software::{SoftwareF32Backend, SoftwareFixedBackend};
+
+use codesign::flow::CoDesignFlow;
+use tonemap_core::ToneMapParams;
+
+/// Builds a [`CoDesignFlow`] with the paper's platform setup (ZC702,
+/// calibrated Cortex-A9 cost model, Artix-7 technology library) but
+/// arbitrary tone-mapping parameters and image dimensions.
+///
+/// This is what lets every backend answer "what would this run cost on the
+/// modelled Zynq platform?" for the exact image it just processed.
+pub(crate) fn paper_platform_flow(
+    params: ToneMapParams,
+    width: usize,
+    height: usize,
+) -> CoDesignFlow {
+    CoDesignFlow::paper_setup_with_params(params, width, height)
+}

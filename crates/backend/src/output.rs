@@ -1,0 +1,69 @@
+//! The uniform result type every backend returns.
+
+use codesign::flow::{DesignImplementation, DesignReport};
+use hdr_image::LuminanceImage;
+use std::time::Duration;
+use tonemap_core::ops::OpCounts;
+use zynq_sim::power::EnergyReport;
+
+/// The platform model's prediction of what one run costs on the modelled
+/// Zynq platform, extracted from a [`DesignReport`].
+///
+/// Only backends that correspond to a Table II design carry this; the
+/// all-fixed-point software ablation, for example, has no Table II row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModeledCost {
+    /// The Table II design this prediction is for.
+    pub design: DesignImplementation,
+    /// Predicted total application time per image, in seconds.
+    pub total_seconds: f64,
+    /// Predicted time on the processing system, in seconds.
+    pub ps_seconds: f64,
+    /// Predicted time in the programmable logic, in seconds (zero for the
+    /// software design).
+    pub pl_seconds: f64,
+    /// Predicted per-image energy across all rails, in joules.
+    pub energy_j: f64,
+    /// Predicted per-rail energy breakdown.
+    pub energy: EnergyReport,
+    /// Predicted PL resource utilization (max across LUT/FF/DSP/BRAM).
+    pub pl_utilization: f64,
+}
+
+impl From<&DesignReport> for ModeledCost {
+    fn from(report: &DesignReport) -> Self {
+        ModeledCost {
+            design: report.design,
+            total_seconds: report.total_seconds,
+            ps_seconds: report.ps_seconds,
+            pl_seconds: report.pl_seconds,
+            energy_j: report.energy.total_j(),
+            energy: report.energy,
+            pl_utilization: report.pl_utilization,
+        }
+    }
+}
+
+/// Telemetry attached to every backend run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendTelemetry {
+    /// Name of the backend that produced this output.
+    pub backend: &'static str,
+    /// Measured host wall-clock time of the functional execution.
+    pub wall: Duration,
+    /// Analytic operation counts of the pipeline for this image size.
+    pub ops: OpCounts,
+    /// The platform model's cost prediction, when the backend maps to a
+    /// Table II design.
+    pub modeled: Option<ModeledCost>,
+}
+
+/// The result of one [`crate::TonemapBackend::run`]: the tone-mapped image
+/// plus telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendOutput {
+    /// The display-referred tone-mapped image, every pixel in `[0, 1]`.
+    pub image: LuminanceImage,
+    /// Timing / energy / operation-count telemetry for the run.
+    pub telemetry: BackendTelemetry,
+}

@@ -1,0 +1,301 @@
+//! Name-based backend lookup and whole-registry operations.
+
+use crate::accelerated::AcceleratedBackend;
+use crate::engine::TonemapBackend;
+use crate::output::BackendOutput;
+use crate::software::{SoftwareF32Backend, SoftwareFixedBackend};
+use apfixed::Fix16;
+use codesign::flow::{DesignImplementation, FlowReport};
+use hdr_image::LuminanceImage;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use tonemap_core::ToneMapParams;
+
+/// Error returned when a backend name does not resolve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownBackendError {
+    /// The name that failed to resolve.
+    pub name: String,
+    /// Every name the registry knows, for the error message.
+    pub known: Vec<String>,
+}
+
+impl fmt::Display for UnknownBackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown tonemap backend `{}`; known backends: {}",
+            self.name,
+            self.known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownBackendError {}
+
+/// A named collection of [`TonemapBackend`] engines.
+///
+/// Backends are stored behind `Arc` so callers (worker threads, batch
+/// drivers) can hold onto an engine independently of the registry's
+/// lifetime. Iteration order is name order (deterministic).
+#[derive(Clone, Default)]
+pub struct BackendRegistry {
+    backends: BTreeMap<&'static str, Arc<dyn TonemapBackend>>,
+}
+
+impl BackendRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        BackendRegistry::default()
+    }
+
+    /// The standard registry: every execution path of the reproduction,
+    /// configured with the paper's tone-mapping parameters.
+    ///
+    /// | Name | Path | Table II design |
+    /// |---|---|---|
+    /// | `sw-f32` | software float reference | SW source code |
+    /// | `sw-fix16` | all-stages fixed-point ablation | — |
+    /// | `hw-marked` | naive PL blur, random DDR accesses | Marked HW function |
+    /// | `hw-sequential` | streaming PL blur, line buffers | Sequential memory accesses |
+    /// | `hw-pragmas` | + `PIPELINE` / `ARRAY_PARTITION` | HLS pragmas |
+    /// | `hw-fix16` | + 16-bit fixed-point datapath | FlP to FxP conversion |
+    pub fn standard() -> Self {
+        BackendRegistry::standard_with_params(ToneMapParams::paper_default())
+    }
+
+    /// The standard registry with custom tone-mapping parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` are invalid.
+    pub fn standard_with_params(params: ToneMapParams) -> Self {
+        let mut registry = BackendRegistry::new();
+        registry.register(Arc::new(SoftwareF32Backend::new(params)));
+        registry.register(Arc::new(SoftwareFixedBackend::new(params)));
+        registry.register(Arc::new(AcceleratedBackend::<f32>::new(
+            "hw-marked",
+            "blur naively marked for hardware: random DDR accesses from the PL (Table II `Marked HW function`)",
+            DesignImplementation::MarkedHwFunction,
+            params,
+        )));
+        registry.register(Arc::new(AcceleratedBackend::<f32>::new(
+            "hw-sequential",
+            "streaming blur accelerator with BRAM line buffers (Table II `Sequential memory accesses`)",
+            DesignImplementation::SequentialMemoryAccesses,
+            params,
+        )));
+        registry.register(Arc::new(AcceleratedBackend::<f32>::new(
+            "hw-pragmas",
+            "pipelined 32-bit floating-point blur accelerator (Table II `HLS pragmas`)",
+            DesignImplementation::HlsPragmas,
+            params,
+        )));
+        registry.register(Arc::new(AcceleratedBackend::<Fix16>::new(
+            "hw-fix16",
+            "the paper's final design: pipelined 16-bit fixed-point blur accelerator (Table II `FlP to FxP conversion`)",
+            DesignImplementation::FixedPointConversion,
+            params,
+        )));
+        registry
+    }
+
+    /// Adds (or replaces) a backend under its own name.
+    pub fn register(&mut self, backend: Arc<dyn TonemapBackend>) {
+        self.backends.insert(backend.name(), backend);
+    }
+
+    /// Looks a backend up by name.
+    pub fn get(&self, name: &str) -> Option<&dyn TonemapBackend> {
+        self.backends.get(name).map(Arc::as_ref)
+    }
+
+    /// Looks a backend up by name, returning a descriptive error listing
+    /// the known names when it does not resolve.
+    pub fn resolve(&self, name: &str) -> Result<&dyn TonemapBackend, UnknownBackendError> {
+        self.get(name).ok_or_else(|| UnknownBackendError {
+            name: name.to_string(),
+            known: self.names().iter().map(|n| n.to_string()).collect(),
+        })
+    }
+
+    /// A clonable handle to a backend, for callers that outlive the
+    /// registry borrow (worker threads, async tasks).
+    pub fn get_shared(&self, name: &str) -> Option<Arc<dyn TonemapBackend>> {
+        self.backends.get(name).cloned()
+    }
+
+    /// Every registered name, in deterministic (sorted) order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.backends.keys().copied().collect()
+    }
+
+    /// Number of registered backends.
+    pub fn len(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// `true` when no backend is registered.
+    pub fn is_empty(&self) -> bool {
+        self.backends.is_empty()
+    }
+
+    /// Iterates over the backends in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn TonemapBackend> {
+        self.backends.values().map(Arc::as_ref)
+    }
+
+    /// Runs one named backend over a batch of scenes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownBackendError`] when the name does not resolve.
+    pub fn run_batch(
+        &self,
+        name: &str,
+        inputs: &[LuminanceImage],
+    ) -> Result<Vec<BackendOutput>, UnknownBackendError> {
+        Ok(self.resolve(name)?.run_batch(inputs))
+    }
+
+    /// Assembles the paper's Table II evaluation ([`FlowReport`]) from the
+    /// registered backends' platform-model reports, in Table II order.
+    ///
+    /// This is the engine-layer replacement for calling
+    /// `CoDesignFlow::run_all` directly: the figure/table binaries ask the
+    /// *registry* for the flow report, so adding or swapping a backend
+    /// automatically changes what they evaluate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no registered backend covers a Table II design, which
+    /// cannot happen for [`BackendRegistry::standard`].
+    pub fn flow_report(&self, width: usize, height: usize) -> FlowReport {
+        let designs = DesignImplementation::ALL
+            .iter()
+            .map(|&design| {
+                self.iter()
+                    .find(|b| b.design() == Some(design))
+                    .and_then(|b| b.design_report(width, height))
+                    .unwrap_or_else(|| panic!("no registered backend covers design `{design}`"))
+            })
+            .collect();
+        FlowReport {
+            designs,
+            width,
+            height,
+        }
+    }
+}
+
+impl fmt::Debug for BackendRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BackendRegistry")
+            .field("backends", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdr_image::synth::SceneKind;
+
+    #[test]
+    fn standard_registry_resolves_every_documented_name() {
+        let registry = BackendRegistry::standard();
+        for name in [
+            "sw-f32",
+            "sw-fix16",
+            "hw-marked",
+            "hw-sequential",
+            "hw-pragmas",
+            "hw-fix16",
+        ] {
+            let backend = registry.resolve(name).expect("standard backend resolves");
+            assert_eq!(backend.name(), name);
+            assert!(!backend.description().is_empty());
+        }
+        assert_eq!(registry.len(), 6);
+        assert!(!registry.is_empty());
+    }
+
+    #[test]
+    fn unknown_name_lists_known_backends() {
+        let registry = BackendRegistry::standard();
+        let err = registry
+            .resolve("gpu-cuda")
+            .err()
+            .expect("unknown name must not resolve");
+        assert_eq!(err.name, "gpu-cuda");
+        assert!(err.to_string().contains("sw-f32"));
+        assert!(err.to_string().contains("hw-fix16"));
+    }
+
+    #[test]
+    fn every_backend_produces_display_referred_output() {
+        let registry = BackendRegistry::standard();
+        let hdr = SceneKind::WindowInDarkRoom.generate(32, 32, 3);
+        for backend in registry.iter() {
+            let out = backend.run(&hdr);
+            assert_eq!(
+                out.image.dimensions(),
+                hdr.dimensions(),
+                "{}",
+                backend.name()
+            );
+            assert!(
+                out.image.pixels().iter().all(|v| (0.0..=1.0).contains(v)),
+                "{} produced out-of-range pixels",
+                backend.name()
+            );
+            assert_eq!(out.telemetry.backend, backend.name());
+            assert!(out.telemetry.ops.total() > 0);
+        }
+    }
+
+    #[test]
+    fn accelerated_backends_carry_modeled_cost_and_ablation_does_not() {
+        let registry = BackendRegistry::standard();
+        let hdr = SceneKind::SunAndShadow.generate(32, 32, 5);
+        let fixed = registry.resolve("hw-fix16").unwrap().run(&hdr);
+        let modeled = fixed
+            .telemetry
+            .modeled
+            .expect("hw-fix16 has a Table II row");
+        assert_eq!(modeled.design, DesignImplementation::FixedPointConversion);
+        assert!(modeled.pl_seconds > 0.0);
+        assert!(modeled.energy_j > 0.0);
+        assert!(modeled.pl_utilization > 0.0);
+
+        let ablation = registry.resolve("sw-fix16").unwrap().run(&hdr);
+        assert!(ablation.telemetry.modeled.is_none());
+    }
+
+    #[test]
+    fn run_batch_preserves_order_and_count() {
+        let registry = BackendRegistry::standard();
+        let scenes: Vec<_> = [1u64, 2, 3]
+            .iter()
+            .map(|&seed| SceneKind::WindowInDarkRoom.generate(24, 24, seed))
+            .collect();
+        let outputs = registry.run_batch("sw-f32", &scenes).unwrap();
+        assert_eq!(outputs.len(), 3);
+        for (scene, out) in scenes.iter().zip(&outputs) {
+            assert_eq!(out.image.dimensions(), scene.dimensions());
+        }
+        assert!(registry.run_batch("no-such", &scenes).is_err());
+    }
+
+    #[test]
+    fn flow_report_covers_every_table_two_design_in_order() {
+        let registry = BackendRegistry::standard();
+        let report = registry.flow_report(64, 64);
+        assert_eq!(report.designs.len(), DesignImplementation::ALL.len());
+        for (expected, actual) in DesignImplementation::ALL.iter().zip(&report.designs) {
+            assert_eq!(*expected, actual.design);
+        }
+        assert_eq!((report.width, report.height), (64, 64));
+    }
+}

@@ -1,0 +1,115 @@
+//! The software execution paths: float reference and all-fixed ablation.
+
+use crate::accelerated::{run_with, ModelCache};
+use crate::engine::TonemapBackend;
+use crate::output::BackendOutput;
+use apfixed::Fix16;
+use codesign::flow::{DesignImplementation, DesignReport};
+use hdr_image::LuminanceImage;
+use tonemap_core::{ToneMapParams, ToneMapper};
+
+/// The paper's software reference: every stage in 32-bit floating point on
+/// the (modelled) ARM core — the "SW source code" row of Table II.
+#[derive(Debug)]
+pub struct SoftwareF32Backend {
+    mapper: ToneMapper,
+    model: ModelCache,
+}
+
+impl SoftwareF32Backend {
+    /// Creates the reference backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` are invalid.
+    pub fn new(params: ToneMapParams) -> Self {
+        SoftwareF32Backend {
+            mapper: ToneMapper::new(params),
+            model: ModelCache::new(DesignImplementation::SwSourceCode, params),
+        }
+    }
+}
+
+impl Default for SoftwareF32Backend {
+    fn default() -> Self {
+        SoftwareF32Backend::new(ToneMapParams::paper_default())
+    }
+}
+
+impl TonemapBackend for SoftwareF32Backend {
+    fn name(&self) -> &'static str {
+        "sw-f32"
+    }
+
+    fn description(&self) -> &'static str {
+        "software reference: all four stages in 32-bit floating point (Table II `SW source code`)"
+    }
+
+    fn design(&self) -> Option<DesignImplementation> {
+        Some(DesignImplementation::SwSourceCode)
+    }
+
+    fn run(&self, input: &LuminanceImage) -> BackendOutput {
+        run_with(
+            self.name(),
+            &self.mapper,
+            Some(&self.model),
+            input,
+            |mapper, hdr| mapper.run_stages::<f32>(hdr).output_f32(),
+        )
+    }
+
+    fn design_report(&self, width: usize, height: usize) -> Option<DesignReport> {
+        Some(self.model.report(width, height))
+    }
+}
+
+/// The all-fixed-point software ablation: every stage computes in 16-bit
+/// fixed point (`apfixed::Fix16`).
+///
+/// This is *not* a Table II design — the paper only moves the blur to fixed
+/// point — but it bounds how much precision the full pipeline would lose on
+/// an all-`ap_fixed` datapath, so it rides along as a quality baseline.
+#[derive(Debug)]
+pub struct SoftwareFixedBackend {
+    mapper: ToneMapper,
+}
+
+impl SoftwareFixedBackend {
+    /// Creates the all-fixed-point ablation backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` are invalid.
+    pub fn new(params: ToneMapParams) -> Self {
+        SoftwareFixedBackend {
+            mapper: ToneMapper::new(params),
+        }
+    }
+}
+
+impl Default for SoftwareFixedBackend {
+    fn default() -> Self {
+        SoftwareFixedBackend::new(ToneMapParams::paper_default())
+    }
+}
+
+impl TonemapBackend for SoftwareFixedBackend {
+    fn name(&self) -> &'static str {
+        "sw-fix16"
+    }
+
+    fn description(&self) -> &'static str {
+        "all-fixed-point ablation: every stage in 16-bit fixed point (no Table II row)"
+    }
+
+    fn run(&self, input: &LuminanceImage) -> BackendOutput {
+        run_with(self.name(), &self.mapper, None, input, |mapper, hdr| {
+            mapper.run_stages::<Fix16>(hdr).output_f32()
+        })
+    }
+
+    fn design_report(&self, _width: usize, _height: usize) -> Option<DesignReport> {
+        None
+    }
+}

@@ -17,7 +17,10 @@ fn blur_benchmarks(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(2));
 
-    let params = BlurParams { sigma: 3.0, radius: 8 };
+    let params = BlurParams {
+        sigma: 3.0,
+        radius: 8,
+    };
     for &size in &[128usize, 256] {
         let image = bench_input(size).map(|&v| (v / 4000.0).min(1.0));
         let fixed_image: ImageBuffer<Fix16> = image.map(|&v| Fix16::from_f32(v));
@@ -51,7 +54,10 @@ fn kernel_radius_sweep(c: &mut Criterion) {
 
     let image = bench_input(128).map(|&v| (v / 4000.0).min(1.0));
     for &radius in &[4usize, 8, 16, 20] {
-        let params = BlurParams { sigma: radius as f32 / 3.0, radius };
+        let params = BlurParams {
+            sigma: radius as f32 / 3.0,
+            radius,
+        };
         group.bench_with_input(BenchmarkId::from_parameter(radius), &params, |b, p| {
             b.iter(|| blur_separable(&image, p))
         });

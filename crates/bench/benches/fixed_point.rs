@@ -13,8 +13,12 @@ fn arithmetic(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(2));
 
-    let xs_f32: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.001).sin() * 0.5 + 0.5).collect();
-    let ws_f32: Vec<f32> = (0..4096).map(|i| ((i * 7) as f32 * 0.002).cos() * 0.4 + 0.5).collect();
+    let xs_f32: Vec<f32> = (0..4096)
+        .map(|i| (i as f32 * 0.001).sin() * 0.5 + 0.5)
+        .collect();
+    let ws_f32: Vec<f32> = (0..4096)
+        .map(|i| ((i * 7) as f32 * 0.002).cos() * 0.4 + 0.5)
+        .collect();
     let xs_fix: Vec<Fix16> = xs_f32.iter().map(|&v| Fix16::from_f32(v)).collect();
     let ws_fix: Vec<Fix16> = ws_f32.iter().map(|&v| Fix16::from_f32(v)).collect();
     let xs_fix32: Vec<Fix<32, 24>> = xs_f32.iter().map(|&v| Fix::from_f32(v)).collect();

@@ -1,12 +1,12 @@
-//! Wall-clock benchmarks of the full tone-mapping pipeline: software float
-//! path, fixed-point-blur path and the colour path.
+//! Wall-clock benchmarks of the full tone-mapping pipeline, executed
+//! through the backend engine layer: software float reference, fixed-point
+//! accelerator configuration, the colour path and a batch run.
 
-use apfixed::Fix16;
 use bench::bench_input;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hdr_image::synth::SceneKind;
 use std::time::Duration;
-use tonemap_core::{ToneMapParams, ToneMapper};
+use tonemap_backend::{map_rgb_via, BackendRegistry};
 
 fn pipeline_benchmarks(c: &mut Criterion) {
     let mut group = c.benchmark_group("tonemap_pipeline");
@@ -15,20 +15,29 @@ fn pipeline_benchmarks(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(3));
 
-    let mapper = ToneMapper::new(ToneMapParams::paper_default());
+    let registry = BackendRegistry::standard();
+    let reference = registry.resolve("sw-f32").expect("standard backend");
+    let fixed = registry.resolve("hw-fix16").expect("standard backend");
     for &size in &[128usize, 256] {
         let hdr = bench_input(size);
         group.bench_with_input(BenchmarkId::new("float_reference", size), &hdr, |b, img| {
-            b.iter(|| mapper.map_luminance_f32(img))
+            b.iter(|| reference.run(img))
         });
         group.bench_with_input(BenchmarkId::new("hw_blur_fix16", size), &hdr, |b, img| {
-            b.iter(|| mapper.map_luminance_hw_blur::<Fix16>(img))
+            b.iter(|| fixed.run(img))
         });
     }
 
     let rgb = SceneKind::SunAndShadow.generate_rgb(128, 128, 7);
     group.bench_function("rgb_float_128", |b| {
-        b.iter(|| mapper.map_rgb::<f32>(&rgb).expect("dimensions always match"))
+        b.iter(|| map_rgb_via(reference, &rgb).expect("dimensions always match"))
+    });
+
+    let batch: Vec<_> = (0..4u64)
+        .map(|seed| bench_input(64 + seed as usize))
+        .collect();
+    group.bench_function("batch_of_4_sw_f32", |b| {
+        b.iter(|| reference.run_batch(&batch))
     });
 
     group.finish();
@@ -41,11 +50,12 @@ fn scene_sweep(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(2));
 
-    let mapper = ToneMapper::new(ToneMapParams::paper_default());
+    let registry = BackendRegistry::standard();
+    let reference = registry.resolve("sw-f32").expect("standard backend");
     for scene in SceneKind::ALL {
         let hdr = scene.generate(128, 128, 11);
         group.bench_with_input(BenchmarkId::from_parameter(scene), &hdr, |b, img| {
-            b.iter(|| mapper.map_luminance_f32(img))
+            b.iter(|| reference.run(img))
         });
     }
     group.finish();

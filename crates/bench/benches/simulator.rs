@@ -5,7 +5,9 @@
 
 use bench::{paper_flow, PAPER_HEIGHT, PAPER_WIDTH};
 use codesign::flow::{CoDesignFlow, DesignImplementation};
-use codesign::kernels::{marked_hw_kernel, streaming_blur_kernel, BlurKernelSpec, StreamingOptions};
+use codesign::kernels::{
+    marked_hw_kernel, streaming_blur_kernel, BlurKernelSpec, StreamingOptions,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hls_model::schedule::Scheduler;
 use hls_model::tech::TechLibrary;
@@ -26,15 +28,33 @@ fn scheduler_benchmarks(c: &mut Criterion) {
         ("marked", marked_hw_kernel(&spec)),
         (
             "streaming",
-            streaming_blur_kernel(&spec, StreamingOptions { pipelined: false, fixed_point: false }),
+            streaming_blur_kernel(
+                &spec,
+                StreamingOptions {
+                    pipelined: false,
+                    fixed_point: false,
+                },
+            ),
         ),
         (
             "pipelined",
-            streaming_blur_kernel(&spec, StreamingOptions { pipelined: true, fixed_point: false }),
+            streaming_blur_kernel(
+                &spec,
+                StreamingOptions {
+                    pipelined: true,
+                    fixed_point: false,
+                },
+            ),
         ),
         (
             "fixed",
-            streaming_blur_kernel(&spec, StreamingOptions { pipelined: true, fixed_point: true }),
+            streaming_blur_kernel(
+                &spec,
+                StreamingOptions {
+                    pipelined: true,
+                    fixed_point: true,
+                },
+            ),
         ),
     ];
     for (name, kernel) in &kernels {

@@ -35,8 +35,16 @@ fn spec() -> BlurKernelSpec {
 fn dma_variant(fixed_point: bool) -> Kernel {
     let s = spec();
     let taps = s.taps();
-    let dtype = if fixed_point { DataType::FIXED16 } else { DataType::Float32 };
-    let name = if fixed_point { "gaussian_blur_fixed_dma" } else { "gaussian_blur_pipelined_dma" };
+    let dtype = if fixed_point {
+        DataType::FIXED16
+    } else {
+        DataType::Float32
+    };
+    let name = if fixed_point {
+        "gaussian_blur_fixed_dma"
+    } else {
+        "gaussian_blur_pipelined_dma"
+    };
     KernelBuilder::new(name, dtype)
         .external_array("input", s.pixels(), dtype)
         .external_array("output", s.pixels(), dtype)
@@ -55,11 +63,25 @@ fn dma_variant(fixed_point: bool) -> Kernel {
             body.store("output");
         })
         .pragma(Pragma::pipeline_loop("L1"))
-        .pragma(Pragma::array_partition("line_buffer", PartitionKind::Cyclic(taps)))
-        .pragma(Pragma::array_partition("column_buffer", PartitionKind::Cyclic(2)))
+        .pragma(Pragma::array_partition(
+            "line_buffer",
+            PartitionKind::Cyclic(taps),
+        ))
+        .pragma(Pragma::array_partition(
+            "column_buffer",
+            PartitionKind::Cyclic(2),
+        ))
         .pragma(Pragma::array_partition("coeffs", PartitionKind::Complete))
-        .pragma(Pragma::data_motion("input", DataMover::AxiDmaSimple, AccessPattern::Sequential))
-        .pragma(Pragma::data_motion("output", DataMover::AxiDmaSimple, AccessPattern::Sequential))
+        .pragma(Pragma::data_motion(
+            "input",
+            DataMover::AxiDmaSimple,
+            AccessPattern::Sequential,
+        ))
+        .pragma(Pragma::data_motion(
+            "output",
+            DataMover::AxiDmaSimple,
+            AccessPattern::Sequential,
+        ))
         .build()
 }
 
@@ -69,18 +91,27 @@ fn main() {
 
     // --- 1. Data-mover ablation -------------------------------------------
     println!("--- Ablation 1: data mover for the pipelined accelerator ---");
-    println!(
-        "{:<34} {:>14} {:>10}",
-        "variant", "blur cycles", "blur (s)"
-    );
+    println!("{:<34} {:>14} {:>10}", "variant", "blur cycles", "blur (s)");
     for (label, kernel) in [
         (
             "PIO mover, float (paper step 2)",
-            streaming_blur_kernel(&spec(), StreamingOptions { pipelined: true, fixed_point: false }),
+            streaming_blur_kernel(
+                &spec(),
+                StreamingOptions {
+                    pipelined: true,
+                    fixed_point: false,
+                },
+            ),
         ),
         (
             "PIO mover, fixed (paper step 3)",
-            streaming_blur_kernel(&spec(), StreamingOptions { pipelined: true, fixed_point: true }),
+            streaming_blur_kernel(
+                &spec(),
+                StreamingOptions {
+                    pipelined: true,
+                    fixed_point: true,
+                },
+            ),
         ),
         ("AXI DMA mover, float", dma_variant(false)),
         ("AXI DMA mover, fixed", dma_variant(true)),
@@ -99,7 +130,10 @@ fn main() {
     println!("--- Ablation 2: PL clock frequency ---");
     let fixed_schedule = scheduler.schedule(&streaming_blur_kernel(
         &spec(),
-        StreamingOptions { pipelined: true, fixed_point: true },
+        StreamingOptions {
+            pipelined: true,
+            fixed_point: true,
+        },
     ));
     for clock_mhz in [100.0f64, 142.86, 200.0] {
         let seconds = fixed_schedule.total_cycles as f64 / (clock_mhz * 1.0e6);
@@ -111,19 +145,22 @@ fn main() {
     println!("--- Ablation 3: strength of the software baseline ---");
     for (label, cost) in [
         ("paper reference build", ArmCostModel::cortex_a9_effective()),
-        ("optimised NEON baseline", ArmCostModel::cortex_a9_optimized()),
+        (
+            "optimised NEON baseline",
+            ArmCostModel::cortex_a9_optimized(),
+        ),
     ] {
-        let profiler = Profiler::new(
-            ToneMapParams::paper_default(),
-            PsModel::new(667.0e6, cost),
-        );
+        let profiler = Profiler::new(ToneMapParams::paper_default(), PsModel::new(667.0e6, cost));
         let flow = CoDesignFlow::new(
             ToneMapParams::paper_default(),
             PAPER_WIDTH,
             PAPER_HEIGHT,
             profiler,
             tech.clone(),
-            SystemSimulator::new(ZynqConfig::zc702_default(), zynq_sim::PowerRails::zc702_default()),
+            SystemSimulator::new(
+                ZynqConfig::zc702_default(),
+                zynq_sim::PowerRails::zc702_default(),
+            ),
         );
         let report = flow.run_all();
         let sw = report.software_reference();

@@ -66,7 +66,9 @@ fn main() {
     let energy = EnergyBreakdown::from_flow(&report);
     println!("--- Fig. 7 + Fig. 8 ---");
     println!("{energy}");
-    let sw_row = energy.row(DesignImplementation::SwSourceCode).expect("sw row");
+    let sw_row = energy
+        .row(DesignImplementation::SwSourceCode)
+        .expect("sw row");
     let fxp_row = energy
         .row(DesignImplementation::FixedPointConversion)
         .expect("fxp row");
@@ -84,7 +86,8 @@ fn main() {
 
     // --- Fig. 5 (quality) ---------------------------------------------------
     println!("--- Fig. 5: image quality (16-bit fixed vs 32-bit float accelerator) ---");
-    let quality = evaluate_fixed_point_quality::<16, 12>(&paper_input(), ToneMapParams::paper_default());
+    let quality =
+        evaluate_fixed_point_quality::<16, 12>(&paper_input(), ToneMapParams::paper_default());
     println!("  {quality}");
     println!("  paper reference: PSNR {PAPER_PSNR_DB:.0} dB, SSIM {PAPER_SSIM:.2}");
 }

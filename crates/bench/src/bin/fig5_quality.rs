@@ -2,27 +2,39 @@
 //! fixed-point accelerator output against the 32-bit floating-point output,
 //! plus the word-length sweep ablation, and writes the tone-mapped images as
 //! PGM files for visual inspection.
+//!
+//! Both images come out of the backend engine layer: `hw-pragmas` is the
+//! 32-bit floating-point accelerator, `hw-fix16` the final fixed-point one.
 
-use bench::{paper_input, PAPER_PSNR_DB, PAPER_SSIM};
-use codesign::quality::{evaluate_fixed_point_quality, word_length_sweep};
+use bench::{paper_input, paper_registry, PAPER_PSNR_DB, PAPER_SSIM};
+use codesign::quality::{compare_outputs, word_length_sweep};
 use hdr_image::io::write_pgm;
 use std::fs::File;
 use std::io::BufWriter;
-use tonemap_core::{ToneMapParams, ToneMapper};
+use tonemap_core::ToneMapParams;
 
 fn main() {
     let hdr = paper_input();
-    let params = ToneMapParams::paper_default();
+    let registry = paper_registry();
+
+    let float_run = registry
+        .resolve("hw-pragmas")
+        .expect("standard backend")
+        .run(&hdr);
+    let fixed_run = registry
+        .resolve("hw-fix16")
+        .expect("standard backend")
+        .run(&hdr);
 
     println!("Fig. 5: image quality of the fixed-point accelerator (synthetic 1024x1024 input).");
-    let report = evaluate_fixed_point_quality::<16, 12>(&hdr, params);
+    let report = compare_outputs(&float_run.image, &fixed_run.image, 16, 12);
     println!("  {report}");
     println!("  paper reference: PSNR {PAPER_PSNR_DB:.0} dB, SSIM {PAPER_SSIM:.2}");
 
     println!();
     println!("Word-length sweep (ablation):");
     println!("  {:>6} {:>12} {:>10}", "bits", "PSNR (dB)", "SSIM");
-    for entry in word_length_sweep(&hdr, params) {
+    for entry in word_length_sweep(&hdr, ToneMapParams::paper_default()) {
         println!(
             "  {:>6} {:>12.1} {:>10.4}",
             entry.fixed_width_bits, entry.psnr_db, entry.ssim
@@ -31,10 +43,12 @@ fn main() {
 
     // Write the Fig. 5b / 5c equivalents next to the binary's working
     // directory for visual inspection.
-    let mapper = ToneMapper::new(params);
-    let float_out = mapper.map_luminance_hw_blur::<f32>(&hdr).to_ldr();
-    let fixed_out = mapper.map_luminance_hw_blur::<apfixed::Fix16>(&hdr).to_ldr();
-    for (name, image) in [("fig5b_float_blur.pgm", &float_out), ("fig5c_fixed_blur.pgm", &fixed_out)] {
+    let float_out = float_run.image.to_ldr();
+    let fixed_out = fixed_run.image.to_ldr();
+    for (name, image) in [
+        ("fig5b_float_blur.pgm", &float_out),
+        ("fig5c_fixed_blur.pgm", &fixed_out),
+    ] {
         match File::create(name) {
             Ok(file) => {
                 if write_pgm(image, BufWriter::new(file)).is_ok() {

@@ -69,9 +69,21 @@ pub fn masking_kernel(spec: &MaskingKernelSpec) -> Kernel {
         })
         .pragma(Pragma::pipeline())
         .pragma(Pragma::array_partition("strength", PartitionKind::Complete))
-        .pragma(Pragma::data_motion("input", mover, AccessPattern::Sequential))
-        .pragma(Pragma::data_motion("mask", mover, AccessPattern::Sequential))
-        .pragma(Pragma::data_motion("output", mover, AccessPattern::Sequential))
+        .pragma(Pragma::data_motion(
+            "input",
+            mover,
+            AccessPattern::Sequential,
+        ))
+        .pragma(Pragma::data_motion(
+            "mask",
+            mover,
+            AccessPattern::Sequential,
+        ))
+        .pragma(Pragma::data_motion(
+            "output",
+            mover,
+            AccessPattern::Sequential,
+        ))
         .build()
 }
 
@@ -142,7 +154,11 @@ mod tests {
         let ii = schedule.top_initiation_interval().unwrap();
         assert!(ii <= 8, "masking accelerator II {ii} too large");
         // Three channels of a megapixel image in well under a second.
-        assert!(schedule.seconds(&tech) < 0.5, "masking took {:.3} s", schedule.seconds(&tech));
+        assert!(
+            schedule.seconds(&tech) < 0.5,
+            "masking took {:.3} s",
+            schedule.seconds(&tech)
+        );
     }
 
     #[test]

@@ -163,16 +163,20 @@ impl CoDesignFlow {
     /// ARM cost model, Artix-7 technology library, paper tone-mapping
     /// parameters) for an image of the given dimensions.
     pub fn paper_setup(width: usize, height: usize) -> Self {
-        let tech = TechLibrary::artix7_default();
-        CoDesignFlow {
-            params: ToneMapParams::paper_default(),
+        CoDesignFlow::paper_setup_with_params(ToneMapParams::paper_default(), width, height)
+    }
+
+    /// Creates the flow with the paper's platform setup but custom
+    /// tone-mapping parameters (used by the backend engine layer).
+    pub fn paper_setup_with_params(params: ToneMapParams, width: usize, height: usize) -> Self {
+        CoDesignFlow::new(
+            params,
             width,
             height,
-            profiler: Profiler::paper_setup(),
-            scheduler: Scheduler::new(tech.clone()),
-            tech,
-            simulator: SystemSimulator::zc702_default(),
-        }
+            Profiler::paper_platform(params),
+            TechLibrary::artix7_default(),
+            SystemSimulator::zc702_default(),
+        )
     }
 
     /// Creates a flow with explicit components (used by the ablation benches
@@ -220,15 +224,24 @@ impl CoDesignFlow {
             DesignImplementation::MarkedHwFunction => marked_hw_kernel(&spec),
             DesignImplementation::SequentialMemoryAccesses => streaming_blur_kernel(
                 &spec,
-                StreamingOptions { pipelined: false, fixed_point: false },
+                StreamingOptions {
+                    pipelined: false,
+                    fixed_point: false,
+                },
             ),
             DesignImplementation::HlsPragmas => streaming_blur_kernel(
                 &spec,
-                StreamingOptions { pipelined: true, fixed_point: false },
+                StreamingOptions {
+                    pipelined: true,
+                    fixed_point: false,
+                },
             ),
             DesignImplementation::FixedPointConversion => streaming_blur_kernel(
                 &spec,
-                StreamingOptions { pipelined: true, fixed_point: true },
+                StreamingOptions {
+                    pipelined: true,
+                    fixed_point: true,
+                },
             ),
         };
         Some(self.scheduler.schedule(&kernel))
@@ -379,8 +392,14 @@ mod tests {
         // Blur times: marked >> sw > sequential-vs-sw ordering per the paper:
         // marked is catastrophically worse, sequential is worse than sw,
         // pragmas and fixed point are much better.
-        assert!(b(DesignImplementation::MarkedHwFunction) > 10.0 * b(DesignImplementation::SwSourceCode));
-        assert!(b(DesignImplementation::SequentialMemoryAccesses) > b(DesignImplementation::SwSourceCode));
+        assert!(
+            b(DesignImplementation::MarkedHwFunction)
+                > 10.0 * b(DesignImplementation::SwSourceCode)
+        );
+        assert!(
+            b(DesignImplementation::SequentialMemoryAccesses)
+                > b(DesignImplementation::SwSourceCode)
+        );
         assert!(b(DesignImplementation::HlsPragmas) < b(DesignImplementation::SwSourceCode) / 4.0);
         assert!(
             b(DesignImplementation::FixedPointConversion) < b(DesignImplementation::HlsPragmas)
@@ -388,10 +407,18 @@ mod tests {
 
         // Total times: marked worst, sequential worse than software, the
         // pipelined designs best.
-        assert!(t(DesignImplementation::MarkedHwFunction) > t(DesignImplementation::SequentialMemoryAccesses));
-        assert!(t(DesignImplementation::SequentialMemoryAccesses) > t(DesignImplementation::SwSourceCode));
+        assert!(
+            t(DesignImplementation::MarkedHwFunction)
+                > t(DesignImplementation::SequentialMemoryAccesses)
+        );
+        assert!(
+            t(DesignImplementation::SequentialMemoryAccesses)
+                > t(DesignImplementation::SwSourceCode)
+        );
         assert!(t(DesignImplementation::HlsPragmas) < t(DesignImplementation::SwSourceCode));
-        assert!(t(DesignImplementation::FixedPointConversion) < t(DesignImplementation::SwSourceCode));
+        assert!(
+            t(DesignImplementation::FixedPointConversion) < t(DesignImplementation::SwSourceCode)
+        );
     }
 
     #[test]
@@ -403,21 +430,27 @@ mod tests {
         assert!(sw.accelerated_seconds > 5.5 && sw.accelerated_seconds < 9.0);
         assert!(sw.total_seconds > 22.0 && sw.total_seconds < 31.0);
 
-        let marked = report.design(DesignImplementation::MarkedHwFunction).unwrap();
+        let marked = report
+            .design(DesignImplementation::MarkedHwFunction)
+            .unwrap();
         assert!(
             marked.accelerated_seconds > 100.0 && marked.accelerated_seconds < 260.0,
             "marked blur {:.1} s",
             marked.accelerated_seconds
         );
 
-        let seq = report.design(DesignImplementation::SequentialMemoryAccesses).unwrap();
+        let seq = report
+            .design(DesignImplementation::SequentialMemoryAccesses)
+            .unwrap();
         assert!(
             seq.accelerated_seconds > 10.0 && seq.accelerated_seconds < 25.0,
             "sequential blur {:.1} s",
             seq.accelerated_seconds
         );
 
-        let fxp = report.design(DesignImplementation::FixedPointConversion).unwrap();
+        let fxp = report
+            .design(DesignImplementation::FixedPointConversion)
+            .unwrap();
         let speedup = fxp.function_speedup_vs(sw);
         assert!(
             speedup > 10.0,
@@ -429,7 +462,9 @@ mod tests {
     fn energy_reduction_matches_paper_shape() {
         let report = full_flow();
         let sw = report.software_reference();
-        let fxp = report.design(DesignImplementation::FixedPointConversion).unwrap();
+        let fxp = report
+            .design(DesignImplementation::FixedPointConversion)
+            .unwrap();
 
         // Fig. 7: ~30 J software, reduced by roughly a quarter.
         assert!(
@@ -488,8 +523,12 @@ mod tests {
     #[test]
     fn hls_report_is_available_for_accelerated_designs() {
         let flow = CoDesignFlow::paper_setup(256, 256);
-        assert!(flow.hls_report(DesignImplementation::SwSourceCode).is_none());
-        let report = flow.hls_report(DesignImplementation::FixedPointConversion).unwrap();
+        assert!(flow
+            .hls_report(DesignImplementation::SwSourceCode)
+            .is_none());
+        let report = flow
+            .hls_report(DesignImplementation::FixedPointConversion)
+            .unwrap();
         assert!(report.to_string().contains("gaussian_blur_fixed"));
     }
 
@@ -510,7 +549,10 @@ mod tests {
     #[test]
     fn labels_match_table_two() {
         assert_eq!(DesignImplementation::SwSourceCode.label(), "SW source code");
-        assert_eq!(DesignImplementation::FixedPointConversion.label(), "FlP to FxP conversion");
+        assert_eq!(
+            DesignImplementation::FixedPointConversion.label(),
+            "FlP to FxP conversion"
+        );
         assert_eq!(DesignImplementation::ALL.len(), 5);
         assert_eq!(DesignImplementation::OPTIMIZATION_STEPS.len(), 3);
         assert!(!DesignImplementation::SwSourceCode.is_accelerated());

@@ -75,10 +75,26 @@ pub fn marked_hw_kernel(spec: &BlurKernelSpec) -> Kernel {
             });
             body.store("output");
         })
-        .pragma(Pragma::data_motion("input", DataMover::ZeroCopy, AccessPattern::Random))
-        .pragma(Pragma::data_motion("intermediate", DataMover::ZeroCopy, AccessPattern::Random))
-        .pragma(Pragma::data_motion("output", DataMover::ZeroCopy, AccessPattern::Random))
-        .pragma(Pragma::data_motion("coeffs", DataMover::ZeroCopy, AccessPattern::Random))
+        .pragma(Pragma::data_motion(
+            "input",
+            DataMover::ZeroCopy,
+            AccessPattern::Random,
+        ))
+        .pragma(Pragma::data_motion(
+            "intermediate",
+            DataMover::ZeroCopy,
+            AccessPattern::Random,
+        ))
+        .pragma(Pragma::data_motion(
+            "output",
+            DataMover::ZeroCopy,
+            AccessPattern::Random,
+        ))
+        .pragma(Pragma::data_motion(
+            "coeffs",
+            DataMover::ZeroCopy,
+            AccessPattern::Random,
+        ))
         .build()
 }
 
@@ -143,15 +159,29 @@ pub fn streaming_blur_kernel(spec: &BlurKernelSpec, options: StreamingOptions) -
             // Stream the output pixel back to DDR.
             body.store("output");
         })
-        .pragma(Pragma::data_motion("input", DataMover::AxiFifo, AccessPattern::Sequential))
-        .pragma(Pragma::data_motion("output", DataMover::AxiFifo, AccessPattern::Sequential));
+        .pragma(Pragma::data_motion(
+            "input",
+            DataMover::AxiFifo,
+            AccessPattern::Sequential,
+        ))
+        .pragma(Pragma::data_motion(
+            "output",
+            DataMover::AxiFifo,
+            AccessPattern::Sequential,
+        ));
 
     if options.pipelined {
         builder = builder
             // Pipeline the per-pixel loop (the inner tap loops unroll).
             .pragma(Pragma::pipeline_loop("L1"))
-            .pragma(Pragma::array_partition("line_buffer", PartitionKind::Cyclic(taps)))
-            .pragma(Pragma::array_partition("column_buffer", PartitionKind::Cyclic(2)))
+            .pragma(Pragma::array_partition(
+                "line_buffer",
+                PartitionKind::Cyclic(taps),
+            ))
+            .pragma(Pragma::array_partition(
+                "column_buffer",
+                PartitionKind::Cyclic(2),
+            ))
             .pragma(Pragma::array_partition("coeffs", PartitionKind::Complete));
     }
     builder.build()
@@ -192,7 +222,10 @@ mod tests {
         let marked = scheduler().schedule(&marked_hw_kernel(&spec()));
         let streamed = scheduler().schedule(&streaming_blur_kernel(
             &spec(),
-            StreamingOptions { pipelined: false, fixed_point: false },
+            StreamingOptions {
+                pipelined: false,
+                fixed_point: false,
+            },
         ));
         assert!(streamed.total_cycles < marked.total_cycles / 5);
     }
@@ -201,11 +234,17 @@ mod tests {
     fn pipelining_gives_an_order_of_magnitude() {
         let seq = scheduler().schedule(&streaming_blur_kernel(
             &spec(),
-            StreamingOptions { pipelined: false, fixed_point: false },
+            StreamingOptions {
+                pipelined: false,
+                fixed_point: false,
+            },
         ));
         let pipelined = scheduler().schedule(&streaming_blur_kernel(
             &spec(),
-            StreamingOptions { pipelined: true, fixed_point: false },
+            StreamingOptions {
+                pipelined: true,
+                fixed_point: false,
+            },
         ));
         assert!(
             pipelined.total_cycles * 8 < seq.total_cycles,
@@ -219,15 +258,25 @@ mod tests {
     fn fixed_point_halves_the_streaming_initiation_interval() {
         let float = scheduler().schedule(&streaming_blur_kernel(
             &spec(),
-            StreamingOptions { pipelined: true, fixed_point: false },
+            StreamingOptions {
+                pipelined: true,
+                fixed_point: false,
+            },
         ));
         let fixed = scheduler().schedule(&streaming_blur_kernel(
             &spec(),
-            StreamingOptions { pipelined: true, fixed_point: true },
+            StreamingOptions {
+                pipelined: true,
+                fixed_point: true,
+            },
         ));
         let ii_float = float.top_initiation_interval().unwrap();
         let ii_fixed = fixed.top_initiation_interval().unwrap();
-        assert_eq!(ii_float, 2 * ii_fixed, "float II {ii_float} vs fixed II {ii_fixed}");
+        assert_eq!(
+            ii_float,
+            2 * ii_fixed,
+            "float II {ii_float} vs fixed II {ii_fixed}"
+        );
         assert!(fixed.total_cycles < float.total_cycles);
     }
 
@@ -236,16 +285,28 @@ mod tests {
         let tech = TechLibrary::artix7_default();
         let float = scheduler().schedule(&streaming_blur_kernel(
             &spec(),
-            StreamingOptions { pipelined: true, fixed_point: false },
+            StreamingOptions {
+                pipelined: true,
+                fixed_point: false,
+            },
         ));
         let fixed = scheduler().schedule(&streaming_blur_kernel(
             &spec(),
-            StreamingOptions { pipelined: true, fixed_point: true },
+            StreamingOptions {
+                pipelined: true,
+                fixed_point: true,
+            },
         ));
         assert!(fixed.resources.bram_18k < float.resources.bram_18k);
         assert!(fixed.resources.lut < float.resources.lut);
-        assert!(float.resources.fits(&tech), "float design must fit the XC7Z020");
-        assert!(fixed.resources.fits(&tech), "fixed design must fit the XC7Z020");
+        assert!(
+            float.resources.fits(&tech),
+            "float design must fit the XC7Z020"
+        );
+        assert!(
+            fixed.resources.fits(&tech),
+            "fixed design must fit the XC7Z020"
+        );
     }
 
     #[test]
@@ -255,13 +316,31 @@ mod tests {
         let s = spec();
         let marked = scheduler().schedule(&marked_hw_kernel(&s)).total_cycles;
         let sequential = scheduler()
-            .schedule(&streaming_blur_kernel(&s, StreamingOptions { pipelined: false, fixed_point: false }))
+            .schedule(&streaming_blur_kernel(
+                &s,
+                StreamingOptions {
+                    pipelined: false,
+                    fixed_point: false,
+                },
+            ))
             .total_cycles;
         let pipelined = scheduler()
-            .schedule(&streaming_blur_kernel(&s, StreamingOptions { pipelined: true, fixed_point: false }))
+            .schedule(&streaming_blur_kernel(
+                &s,
+                StreamingOptions {
+                    pipelined: true,
+                    fixed_point: false,
+                },
+            ))
             .total_cycles;
         let fixed = scheduler()
-            .schedule(&streaming_blur_kernel(&s, StreamingOptions { pipelined: true, fixed_point: true }))
+            .schedule(&streaming_blur_kernel(
+                &s,
+                StreamingOptions {
+                    pipelined: true,
+                    fixed_point: true,
+                },
+            ))
             .total_cycles;
         assert!(marked > sequential);
         assert!(sequential > pipelined);

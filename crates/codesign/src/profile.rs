@@ -82,7 +82,8 @@ impl ProfileReport {
 
     /// Fraction of total time spent in a stage.
     pub fn fraction(&self, stage: StageKind) -> f64 {
-        self.stage(stage).map_or(0.0, |s| s.seconds / self.total_seconds)
+        self.stage(stage)
+            .map_or(0.0, |s| s.seconds / self.total_seconds)
     }
 
     /// Total time of every stage except the given one (the "rest of the
@@ -136,13 +137,19 @@ impl Profiler {
         Profiler { params, ps }
     }
 
+    /// Creates a profiler for custom tone-mapping parameters on the paper's
+    /// processing system (calibrated Cortex-A9 cost model at 667 MHz).
+    pub fn paper_platform(params: ToneMapParams) -> Self {
+        Profiler::new(
+            params,
+            PsModel::new(667.0e6, ArmCostModel::cortex_a9_effective()),
+        )
+    }
+
     /// Creates a profiler with the paper's parameters and the calibrated
     /// Cortex-A9 cost model at 667 MHz.
     pub fn paper_setup() -> Self {
-        Profiler::new(
-            ToneMapParams::paper_default(),
-            PsModel::new(667.0e6, ArmCostModel::cortex_a9_effective()),
-        )
+        Profiler::paper_platform(ToneMapParams::paper_default())
     }
 
     /// The PS model used for the estimates.
@@ -219,7 +226,10 @@ mod tests {
         // Table II, "SW source code": Gaussian blur 7.29 s, total 26.66 s.
         let report = Profiler::paper_setup().profile(1024, 1024);
         let blur = report.stage(StageKind::GaussianBlur).unwrap().seconds;
-        assert!(blur > 5.5 && blur < 9.0, "blur time {blur:.2} s out of band");
+        assert!(
+            blur > 5.5 && blur < 9.0,
+            "blur time {blur:.2} s out of band"
+        );
         assert!(
             report.total_seconds > 22.0 && report.total_seconds < 31.0,
             "total {:.2} s out of band",

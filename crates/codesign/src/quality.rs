@@ -112,8 +112,13 @@ mod tests {
     #[test]
     fn sixteen_bit_blur_is_visually_identical() {
         // The Fig. 5 result: high PSNR, SSIM ~= 1.
-        let report = evaluate_fixed_point_quality::<16, 12>(&test_image(), ToneMapParams::paper_default());
-        assert!(report.psnr_db > 45.0, "PSNR {:.1} dB too low", report.psnr_db);
+        let report =
+            evaluate_fixed_point_quality::<16, 12>(&test_image(), ToneMapParams::paper_default());
+        assert!(
+            report.psnr_db > 45.0,
+            "PSNR {:.1} dB too low",
+            report.psnr_db
+        );
         assert!(report.ssim > 0.99, "SSIM {:.4} too low", report.ssim);
         assert_eq!(report.fixed_width_bits, 16);
     }

@@ -13,7 +13,10 @@ use crate::sample::Sample;
 use hdr_image::ImageBuffer;
 
 /// Applies the brightness/contrast adjustment to a display-referred image.
-pub fn apply_adjustment<S: Sample>(image: &ImageBuffer<S>, params: &AdjustParams) -> ImageBuffer<S> {
+pub fn apply_adjustment<S: Sample>(
+    image: &ImageBuffer<S>,
+    params: &AdjustParams,
+) -> ImageBuffer<S> {
     let half = S::from_f32(0.5);
     let contrast = S::from_f32(params.contrast);
     let offset = S::from_f32(0.5 + params.brightness);
@@ -45,7 +48,10 @@ mod tests {
 
     #[test]
     fn identity_parameters_change_nothing() {
-        let p = AdjustParams { brightness: 0.0, contrast: 1.0 };
+        let p = AdjustParams {
+            brightness: 0.0,
+            contrast: 1.0,
+        };
         let img = LuminanceImage::from_fn(8, 8, |x, y| ((x * 8 + y) as f32 / 63.0).min(1.0));
         let out = apply_adjustment(&img, &p);
         for (a, b) in out.pixels().iter().zip(img.pixels()) {
@@ -55,7 +61,10 @@ mod tests {
 
     #[test]
     fn mid_grey_is_fixed_point_of_pure_contrast() {
-        let p = AdjustParams { brightness: 0.0, contrast: 1.7 };
+        let p = AdjustParams {
+            brightness: 0.0,
+            contrast: 1.7,
+        };
         let img = LuminanceImage::filled(4, 4, 0.5);
         let out = apply_adjustment(&img, &p);
         for &v in out.pixels() {
@@ -65,7 +74,10 @@ mod tests {
 
     #[test]
     fn contrast_expands_around_mid_grey() {
-        let p = AdjustParams { brightness: 0.0, contrast: 2.0 };
+        let p = AdjustParams {
+            brightness: 0.0,
+            contrast: 2.0,
+        };
         let img = LuminanceImage::from_vec(3, 1, vec![0.25, 0.5, 0.75]).unwrap();
         let out = apply_adjustment(&img, &p);
         assert!((out.pixels()[0] - 0.0).abs() < 1e-6);
@@ -75,7 +87,10 @@ mod tests {
 
     #[test]
     fn brightness_shifts_values_up() {
-        let p = AdjustParams { brightness: 0.1, contrast: 1.0 };
+        let p = AdjustParams {
+            brightness: 0.1,
+            contrast: 1.0,
+        };
         let img = LuminanceImage::filled(2, 2, 0.3);
         let out = apply_adjustment(&img, &p);
         for &v in out.pixels() {
@@ -85,7 +100,10 @@ mod tests {
 
     #[test]
     fn output_is_clamped_to_unit_interval() {
-        let p = AdjustParams { brightness: 0.5, contrast: 3.0 };
+        let p = AdjustParams {
+            brightness: 0.5,
+            contrast: 3.0,
+        };
         let img = LuminanceImage::from_vec(3, 1, vec![0.0, 0.5, 1.0]).unwrap();
         let out = apply_adjustment(&img, &p);
         for &v in out.pixels() {

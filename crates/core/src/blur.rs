@@ -161,7 +161,10 @@ mod tests {
     }
 
     fn default_params() -> BlurParams {
-        BlurParams { sigma: 2.0, radius: 5 }
+        BlurParams {
+            sigma: 2.0,
+            radius: 5,
+        }
     }
 
     #[test]
@@ -179,7 +182,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid blur parameters")]
     fn kernel_rejects_invalid_parameters() {
-        let _ = gaussian_kernel(&BlurParams { sigma: 0.0, radius: 3 });
+        let _ = gaussian_kernel(&BlurParams {
+            sigma: 0.0,
+            radius: 3,
+        });
     }
 
     #[test]
@@ -204,7 +210,11 @@ mod tests {
         let out = blur_separable(&img, &default_params());
         let variance = |im: &LuminanceImage| {
             let mean = im.mean();
-            im.pixels().iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / im.pixel_count() as f64
+            im.pixels()
+                .iter()
+                .map(|&v| (v as f64 - mean).powi(2))
+                .sum::<f64>()
+                / im.pixel_count() as f64
         };
         assert!(variance(&out) < variance(&img));
     }
@@ -212,7 +222,10 @@ mod tests {
     #[test]
     fn separable_and_naive_agree_in_f32() {
         let img = unit_image(24);
-        let params = BlurParams { sigma: 1.5, radius: 3 };
+        let params = BlurParams {
+            sigma: 1.5,
+            radius: 3,
+        };
         let sep = blur_separable(&img, &params);
         let naive = blur_naive_2d(&img, &params);
         for (a, b) in sep.pixels().iter().zip(naive.pixels()) {
@@ -226,7 +239,10 @@ mod tests {
     #[test]
     fn separable_and_naive_agree_exactly_away_from_edges() {
         let img = unit_image(32);
-        let params = BlurParams { sigma: 1.5, radius: 3 };
+        let params = BlurParams {
+            sigma: 1.5,
+            radius: 3,
+        };
         let sep = blur_separable(&img, &params);
         let naive = blur_naive_2d(&img, &params);
         for y in 4..28 {
@@ -251,7 +267,10 @@ mod tests {
         }
         // Error should be a small multiple of the 16-bit LSB, nowhere near
         // visually significant — the mechanism behind SSIM = 1.0 in Fig. 5.
-        assert!(max_err < 30.0 * Fix16::FORMAT.epsilon() as f32, "max error {max_err}");
+        assert!(
+            max_err < 30.0 * Fix16::FORMAT.epsilon() as f32,
+            "max error {max_err}"
+        );
     }
 
     #[test]
@@ -267,7 +286,10 @@ mod tests {
 
     #[test]
     fn op_counts_match_hand_computation() {
-        let params = BlurParams { sigma: 1.0, radius: 2 }; // 5 taps
+        let params = BlurParams {
+            sigma: 1.0,
+            radius: 2,
+        }; // 5 taps
         let sep = op_counts_separable(&params, 10, 10);
         assert_eq!(sep.loads, 2 * 5 * 100);
         assert_eq!(sep.muls, 1000);

@@ -121,8 +121,14 @@ mod tests {
 
     #[test]
     fn inverted_and_direct_conventions_are_mirrored() {
-        let inv = MaskingParams { invert_mask: true, strength: 1.0 };
-        let dir = MaskingParams { invert_mask: false, strength: 1.0 };
+        let inv = MaskingParams {
+            invert_mask: true,
+            strength: 1.0,
+        };
+        let dir = MaskingParams {
+            invert_mask: false,
+            strength: 1.0,
+        };
         for m in [0.0f32, 0.25, 0.5, 0.75, 1.0] {
             let a = exponent_for_mask(m, &inv);
             let b = exponent_for_mask(1.0 - m, &dir);
@@ -132,7 +138,10 @@ mod tests {
 
     #[test]
     fn zero_strength_is_identity() {
-        let p = MaskingParams { strength: 0.0, invert_mask: true };
+        let p = MaskingParams {
+            strength: 0.0,
+            invert_mask: true,
+        };
         let img = LuminanceImage::from_fn(8, 8, |x, y| ((x + y) as f32 / 14.0).min(1.0));
         let mask = LuminanceImage::filled(8, 8, 0.9);
         let out = apply_masking(&img, &mask, &p);
@@ -146,7 +155,10 @@ mod tests {
         // Build a normalized image with a dark and a bright half and use the
         // inverted blurred image as the mask, as the full pipeline does.
         let img = LuminanceImage::from_fn(32, 32, |x, _| if x < 16 { 0.05 } else { 0.9 });
-        let blur_params = BlurParams { sigma: 2.0, radius: 4 };
+        let blur_params = BlurParams {
+            sigma: 2.0,
+            radius: 4,
+        };
         let kernel = quantize_kernel::<f32>(&gaussian_kernel(&blur_params));
         let _ = kernel;
         let mask = blur_separable(&invert(&img), &blur_params);
@@ -157,7 +169,10 @@ mod tests {
         let bright_in = *img.get(28, 16).unwrap();
         let bright_out = *out.get(28, 16).unwrap();
         assert!(dark_out > dark_in, "dark pixel {dark_in} -> {dark_out}");
-        assert!(bright_out < bright_in, "bright pixel {bright_in} -> {bright_out}");
+        assert!(
+            bright_out < bright_in,
+            "bright pixel {bright_in} -> {bright_out}"
+        );
     }
 
     #[test]
@@ -186,15 +201,26 @@ mod tests {
         // Values comfortably above the 16-bit quantisation floor: this is the
         // regime of the accelerator (the mask is the blur of an inverted,
         // mostly mid-to-high-valued image).
-        let normalized = LuminanceImage::from_fn(24, 24, |x, y| 0.03 + 0.9 * ((x + y) as f32 / 46.0));
-        let mask = blur_separable(&invert(&normalized), &BlurParams { sigma: 2.0, radius: 4 });
+        let normalized =
+            LuminanceImage::from_fn(24, 24, |x, y| 0.03 + 0.9 * ((x + y) as f32 / 46.0));
+        let mask = blur_separable(
+            &invert(&normalized),
+            &BlurParams {
+                sigma: 2.0,
+                radius: 4,
+            },
+        );
         let float = apply_masking(&normalized, &mask, &params());
 
         let nfix: hdr_image::ImageBuffer<Fix16> = normalized.map(|&v| Fix16::from_f32(v));
         let mfix: hdr_image::ImageBuffer<Fix16> = mask.map(|&v| Fix16::from_f32(v));
         let fixed = apply_masking(&nfix, &mfix, &params());
         for (a, b) in float.pixels().iter().zip(fixed.pixels()) {
-            assert!((a - b.to_f32()).abs() < 0.02, "float {a} vs fixed {}", b.to_f32());
+            assert!(
+                (a - b.to_f32()).abs() < 0.02,
+                "float {a} vs fixed {}",
+                b.to_f32()
+            );
         }
     }
 

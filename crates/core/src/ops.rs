@@ -256,7 +256,9 @@ impl PipelineProfile {
 
     /// Total operation counts over all stages.
     pub fn total(&self) -> OpCounts {
-        self.stages.iter().fold(OpCounts::zero(), |acc, s| acc + s.ops)
+        self.stages
+            .iter()
+            .fold(OpCounts::zero(), |acc, s| acc + s.ops)
     }
 
     /// The profile of a single stage.

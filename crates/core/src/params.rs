@@ -24,7 +24,10 @@ impl BlurParams {
     /// operator needs, and a line-buffer footprint (41 image rows) that fits
     /// comfortably in Zynq-7000 BRAM.
     pub fn paper_default() -> Self {
-        BlurParams { sigma: 7.0, radius: 20 }
+        BlurParams {
+            sigma: 7.0,
+            radius: 20,
+        }
     }
 
     /// Number of taps of the one-dimensional kernel.

@@ -80,13 +80,16 @@ impl ToneMapper {
     /// [`ToneMapParams::is_valid`]); use [`ToneMapper::try_new`] to handle
     /// invalid parameters gracefully.
     pub fn new(params: ToneMapParams) -> Self {
-        assert!(params.is_valid(), "invalid tone-mapping parameters: {params:?}");
+        assert!(
+            params.is_valid(),
+            "invalid tone-mapping parameters: {params:?}"
+        );
         ToneMapper { params }
     }
 
     /// Creates a tone mapper, returning `None` if the parameters are invalid.
     pub fn try_new(params: ToneMapParams) -> Option<Self> {
-        params.is_valid().then(|| ToneMapper { params })
+        params.is_valid().then_some(ToneMapper { params })
     }
 
     /// The parameters this mapper was built with.
@@ -173,16 +176,7 @@ impl ToneMapper {
     pub fn map_rgb<S: Sample>(&self, hdr: &RgbImage) -> Result<RgbImage, hdr_image::ImageError> {
         let luminance = hdr_image::rgb::luminance_plane(hdr);
         let mapped = self.map_luminance::<S>(&luminance);
-        // Re-attach colour: scale each pixel so its luminance equals the
-        // tone-mapped luminance while preserving chrominance ratios.
-        hdr.zip_map(&mapped, |&p, &new_luma| {
-            let old = p.luminance();
-            if old <= f32::EPSILON {
-                hdr_image::Rgb::splat(new_luma.clamp(0.0, 1.0))
-            } else {
-                p.scaled(new_luma / old).clamp(0.0, 1.0)
-            }
-        })
+        hdr_image::rgb::reapply_color(hdr, &mapped)
     }
 
     /// The analytic operation-count profile of this pipeline for an image of
@@ -250,7 +244,10 @@ mod tests {
         };
         let before = dark_fraction(&normalized);
         let after = dark_fraction(&out);
-        assert!(before > 0.5, "test scene should be mostly dark, got {before}");
+        assert!(
+            before > 0.5,
+            "test scene should be mostly dark, got {before}"
+        );
         assert!(
             after < before / 2.0,
             "dark fraction only moved from {before} to {after}"
@@ -350,7 +347,10 @@ mod tests {
 
     #[test]
     fn default_mapper_uses_paper_parameters() {
-        assert_eq!(*ToneMapper::default().params(), ToneMapParams::paper_default());
+        assert_eq!(
+            *ToneMapper::default().params(),
+            ToneMapParams::paper_default()
+        );
     }
 
     #[test]

@@ -50,7 +50,11 @@ impl<T> ImageBuffer<T> {
                 actual: data.len(),
             });
         }
-        Ok(ImageBuffer { width, height, data })
+        Ok(ImageBuffer {
+            width,
+            height,
+            data,
+        })
     }
 
     /// Creates an image by evaluating `f(x, y)` for every pixel.
@@ -69,7 +73,11 @@ impl<T> ImageBuffer<T> {
                 data.push(f(x, y));
             }
         }
-        ImageBuffer { width, height, data }
+        ImageBuffer {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Image width in pixels.
@@ -198,7 +206,11 @@ impl<T> ImageBuffer<T> {
     /// # Errors
     ///
     /// Returns [`ImageError::DimensionMismatch`] if the dimensions differ.
-    pub fn zip_map<U, V, F>(&self, other: &ImageBuffer<U>, mut f: F) -> Result<ImageBuffer<V>, ImageError>
+    pub fn zip_map<U, V, F>(
+        &self,
+        other: &ImageBuffer<U>,
+        mut f: F,
+    ) -> Result<ImageBuffer<V>, ImageError>
     where
         F: FnMut(&T, &U) -> V,
     {
@@ -239,7 +251,9 @@ impl<T> ImageBuffer<T> {
         );
         let w = w.min(self.width - x0);
         let h = h.min(self.height - y0);
-        ImageBuffer::from_fn(w, h, |x, y| self.data[(y0 + y) * self.width + (x0 + x)].clone())
+        ImageBuffer::from_fn(w, h, |x, y| {
+            self.data[(y0 + y) * self.width + (x0 + x)].clone()
+        })
     }
 }
 
@@ -322,7 +336,13 @@ impl ImageBuffer<f32> {
 
 impl<T> fmt::Display for ImageBuffer<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}x{} image ({} pixels)", self.width, self.height, self.pixel_count())
+        write!(
+            f,
+            "{}x{} image ({} pixels)",
+            self.width,
+            self.height,
+            self.pixel_count()
+        )
     }
 }
 
@@ -398,7 +418,7 @@ mod tests {
         let img = ImageBuffer::from_fn(5, 3, |x, y| x * 7 + y);
         let t = img.transpose();
         assert_eq!(t.dimensions(), (3, 5));
-        assert_eq!(t.get(2, 4), img.get(4, 2).map(|v| v).copied().as_ref());
+        assert_eq!(t.get(2, 4), img.get(4, 2).copied().as_ref());
         assert_eq!(t.transpose(), img);
     }
 

@@ -84,13 +84,25 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = ImageError::InvalidDimensions { width: 0, height: 4 };
+        let e = ImageError::InvalidDimensions {
+            width: 0,
+            height: 4,
+        };
         assert!(format!("{e}").contains("0x4"));
-        let e = ImageError::DataSizeMismatch { expected: 16, actual: 12 };
+        let e = ImageError::DataSizeMismatch {
+            expected: 16,
+            actual: 12,
+        };
         assert!(format!("{e}").contains("12"));
-        let e = ImageError::DimensionMismatch { left: (2, 2), right: (3, 3) };
+        let e = ImageError::DimensionMismatch {
+            left: (2, 2),
+            right: (3, 3),
+        };
         assert!(format!("{e}").contains("2x2"));
-        let e = ImageError::Decode { format: "PFM", reason: "bad magic".into() };
+        let e = ImageError::Decode {
+            format: "PFM",
+            reason: "bad magic".into(),
+        };
         assert!(format!("{e}").contains("PFM"));
     }
 

@@ -85,7 +85,12 @@ pub fn read_pfm<R: Read>(reader: R) -> Result<LuminanceImage, ImageError> {
         let mut row = Vec::with_capacity(width);
         for x in 0..width {
             let offset = (y * width + x) * 4;
-            let bytes = [raw[offset], raw[offset + 1], raw[offset + 2], raw[offset + 3]];
+            let bytes = [
+                raw[offset],
+                raw[offset + 1],
+                raw[offset + 2],
+                raw[offset + 3],
+            ];
             let v = if little_endian {
                 f32::from_le_bytes(bytes)
             } else {

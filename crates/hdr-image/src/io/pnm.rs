@@ -63,9 +63,15 @@ pub fn read_pgm<R: Read>(reader: R) -> Result<LdrImage, ImageError> {
     if header_tokens[0] != "P5" {
         return Err(decode_err("missing P5 magic"));
     }
-    let width: usize = header_tokens[1].parse().map_err(|_| decode_err("bad width"))?;
-    let height: usize = header_tokens[2].parse().map_err(|_| decode_err("bad height"))?;
-    let maxval: usize = header_tokens[3].parse().map_err(|_| decode_err("bad maxval"))?;
+    let width: usize = header_tokens[1]
+        .parse()
+        .map_err(|_| decode_err("bad width"))?;
+    let height: usize = header_tokens[2]
+        .parse()
+        .map_err(|_| decode_err("bad height"))?;
+    let maxval: usize = header_tokens[3]
+        .parse()
+        .map_err(|_| decode_err("bad maxval"))?;
     if maxval != 255 {
         return Err(decode_err("only maxval 255 is supported"));
     }

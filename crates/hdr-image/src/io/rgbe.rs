@@ -140,7 +140,10 @@ fn read_scanline<R: BufRead>(reader: &mut R, width: usize) -> Result<Vec<[u8; 4]
     let mut lead = [0u8; 4];
     reader.read_exact(&mut lead)?;
 
-    let is_new_rle = lead[0] == 2 && lead[1] == 2 && ((lead[2] as usize) << 8 | lead[3] as usize) == width && width >= 8 && width < 32768;
+    let is_new_rle = lead[0] == 2
+        && lead[1] == 2
+        && ((lead[2] as usize) << 8 | lead[3] as usize) == width
+        && (8..32768).contains(&width);
     if !is_new_rle {
         // Flat scanline: the four bytes already read are the first pixel.
         let mut pixels = Vec::with_capacity(width);

@@ -228,8 +228,10 @@ mod tests {
     #[test]
     fn psnr_decreases_with_noise_amplitude() {
         let img = test_image();
-        let noisy_small = img.map_with_coords(|x, y, &v| v + if (x + y) % 2 == 0 { 1e-3 } else { -1e-3 });
-        let noisy_large = img.map_with_coords(|x, y, &v| v + if (x + y) % 2 == 0 { 1e-2 } else { -1e-2 });
+        let noisy_small =
+            img.map_with_coords(|x, y, &v| v + if (x + y) % 2 == 0 { 1e-3 } else { -1e-3 });
+        let noisy_large =
+            img.map_with_coords(|x, y, &v| v + if (x + y) % 2 == 0 { 1e-2 } else { -1e-2 });
         assert!(psnr(&img, &noisy_small, 1.0) > psnr(&img, &noisy_large, 1.0));
     }
 
@@ -242,7 +244,7 @@ mod tests {
         // dB band. Check pure quantisation first.
         let img = test_image();
         let q = 1.0 / 4096.0;
-        let quantised = img.map(|&v| ((v / q).round() * q) as f32);
+        let quantised = img.map(|&v| (v / q).round() * q);
         let p = psnr(&img, &quantised, 1.0);
         assert!(p > 70.0, "pure 12-bit quantisation PSNR was {p}");
     }
@@ -259,7 +261,10 @@ mod tests {
         let s_shift = ssim(&img, &shifted).unwrap();
         let s_scram = ssim(&img, &scrambled).unwrap();
         assert!(s_shift > 0.7, "shift ssim {s_shift}");
-        assert!(s_scram < s_shift, "scrambled {s_scram} vs shifted {s_shift}");
+        assert!(
+            s_scram < s_shift,
+            "scrambled {s_scram} vs shifted {s_shift}"
+        );
     }
 
     #[test]

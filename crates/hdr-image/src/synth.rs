@@ -194,7 +194,8 @@ fn window_in_dark_room(x: f32, y: f32, noise: &NoiseField) -> f32 {
     // Bright window occupying the upper-right quadrant, ~4 decades brighter.
     let in_window_x = smoothstep(0.55, 0.60, x) * (1.0 - smoothstep(0.90, 0.95, x));
     let in_window_y = smoothstep(0.10, 0.15, y) * (1.0 - smoothstep(0.50, 0.55, y));
-    let window = 4000.0 * in_window_x * in_window_y * (1.0 + 0.05 * noise.sample(x * 3.0, y * 3.0, 2));
+    let window =
+        4000.0 * in_window_x * in_window_y * (1.0 + 0.05 * noise.sample(x * 3.0, y * 3.0, 2));
     // Light spill on the floor below the window.
     let spill = 8.0
         * smoothstep(0.5, 0.8, x)
@@ -238,7 +239,9 @@ fn sun_and_shadow(x: f32, y: f32, noise: &NoiseField) -> f32 {
 fn gradient_ramp(x: f32, y: f32, noise: &NoiseField) -> f32 {
     // Five decades horizontally, gentle vertical modulation and faint noise.
     let base = 10f32.powf(-2.0 + 5.0 * x);
-    base * (1.0 + 0.1 * (y * std::f32::consts::TAU * 2.0).sin() + 0.02 * noise.sample(x * 8.0, y * 8.0, 2))
+    base * (1.0
+        + 0.1 * (y * std::f32::consts::TAU * 2.0).sin()
+        + 0.02 * noise.sample(x * 8.0, y * 8.0, 2))
 }
 
 fn memorial_composite(x: f32, y: f32, noise: &NoiseField) -> f32 {
@@ -329,13 +332,19 @@ mod tests {
         let rgb = SceneKind::SunAndShadow.generate_rgb(32, 32, 4);
         for (a, p) in luma.pixels().iter().zip(rgb.pixels()) {
             let l = p.luminance();
-            assert!((l - a).abs() / a.max(1e-6) < 0.02, "luminance drifted: {a} vs {l}");
+            assert!(
+                (l - a).abs() / a.max(1e-6) < 0.02,
+                "luminance drifted: {a} vs {l}"
+            );
         }
     }
 
     #[test]
     fn display_names_are_kebab_case() {
-        assert_eq!(SceneKind::WindowInDarkRoom.to_string(), "window-in-dark-room");
+        assert_eq!(
+            SceneKind::WindowInDarkRoom.to_string(),
+            "window-in-dark-room"
+        );
         assert_eq!(SceneKind::StarField.to_string(), "star-field");
     }
 

@@ -1,8 +1,8 @@
 //! Property-based tests of the image substrate: container algebra, format
 //! round trips and metric axioms.
 
-use hdr_image::io::{read_pfm, read_pgm, write_pfm, write_pgm};
 use hdr_image::io::rgbe::{decode_rgbe, encode_rgbe};
+use hdr_image::io::{read_pfm, read_pgm, write_pfm, write_pgm};
 use hdr_image::metrics::{mse, psnr, ssim};
 use hdr_image::rgb::Rgb;
 use hdr_image::synth::SceneKind;
@@ -43,7 +43,7 @@ proptest! {
         y in -50isize..70
     ) {
         let v = *img.get_clamped(x, y);
-        prop_assert!(img.pixels().iter().any(|&p| p == v));
+        prop_assert!(img.pixels().contains(&v));
     }
 
     #[test]
@@ -152,5 +152,11 @@ fn rgb_buffer_round_trips_through_rgbe_file() {
     assert_eq!(decoded.dimensions(), original.dimensions());
     let before: ImageBuffer<f32> = hdr_image::rgb::luminance_plane(&original);
     let after: ImageBuffer<f32> = hdr_image::rgb::luminance_plane(&decoded);
-    assert!(psnr(&before.map(|&v| v / 30000.0), &after.map(|&v| v / 30000.0), 1.0) > 35.0);
+    assert!(
+        psnr(
+            &before.map(|&v| v / 30000.0),
+            &after.map(|&v| v / 30000.0),
+            1.0
+        ) > 35.0
+    );
 }

@@ -282,7 +282,10 @@ impl KernelBuilder {
     where
         F: FnOnce(&mut BodyBuilder),
     {
-        assert!(!trip_counts.is_empty(), "loop_nest requires at least one loop");
+        assert!(
+            !trip_counts.is_empty(),
+            "loop_nest requires at least one loop"
+        );
         assert!(
             trip_counts.iter().all(|&t| t > 0),
             "loop trip counts must be non-zero"
@@ -366,10 +369,12 @@ impl KernelBuilder {
                     "data-motion pragma references undeclared array `{array}`"
                 ),
                 Pragma::Pipeline {
-                    target_loop: Some(l), ..
+                    target_loop: Some(l),
+                    ..
                 }
                 | Pragma::Unroll {
-                    target_loop: Some(l), ..
+                    target_loop: Some(l),
+                    ..
                 } => assert!(
                     loop_names.contains(&l.as_str()),
                     "pragma references unknown loop `{l}`"

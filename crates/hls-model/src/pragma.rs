@@ -210,7 +210,10 @@ impl fmt::Display for Pragma {
                 }
                 Ok(())
             }
-            Pragma::Unroll { target_loop, factor } => {
+            Pragma::Unroll {
+                target_loop,
+                factor,
+            } => {
                 write!(f, "#pragma HLS UNROLL factor={factor}")?;
                 if let Some(l) = target_loop {
                     write!(f, " // loop {l}")?;
@@ -223,9 +226,17 @@ impl fmt::Display for Pragma {
                     PartitionKind::Cyclic(k) => format!("cyclic factor={k}"),
                     PartitionKind::Block(k) => format!("block factor={k}"),
                 };
-                write!(f, "#pragma HLS ARRAY_PARTITION variable={} {kind}", ap.array)
+                write!(
+                    f,
+                    "#pragma HLS ARRAY_PARTITION variable={} {kind}",
+                    ap.array
+                )
             }
-            Pragma::DataMotion { array, mover, pattern } => {
+            Pragma::DataMotion {
+                array,
+                mover,
+                pattern,
+            } => {
                 let pat = match pattern {
                     AccessPattern::Sequential => "SEQUENTIAL",
                     AccessPattern::Random => "RANDOM",
@@ -266,13 +277,18 @@ mod tests {
         assert_eq!(DataMover::AxiFifo.sequential_access_cycles(4), 32);
         assert_eq!(DataMover::AxiFifo.sequential_access_cycles(2), 16);
         assert_eq!(DataMover::AxiDmaSimple.sequential_access_cycles(8), 1);
-        assert_eq!(DataMover::AxiDmaSimple.sequential_access_cycles(4 * 1024 * 1024), 512 * 1024);
+        assert_eq!(
+            DataMover::AxiDmaSimple.sequential_access_cycles(4 * 1024 * 1024),
+            512 * 1024
+        );
     }
 
     #[test]
     fn pragma_constructors_and_display() {
         assert_eq!(Pragma::pipeline().to_string(), "#pragma HLS PIPELINE");
-        assert!(Pragma::pipeline_loop("taps").to_string().contains("loop taps"));
+        assert!(Pragma::pipeline_loop("taps")
+            .to_string()
+            .contains("loop taps"));
         assert!(Pragma::unroll("taps", 4).to_string().contains("factor=4"));
         let ap = Pragma::array_partition("line_buffer", PartitionKind::Cyclic(41));
         assert!(ap.to_string().contains("cyclic factor=41"));

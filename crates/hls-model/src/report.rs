@@ -57,7 +57,11 @@ impl PerformanceReport {
 
 impl fmt::Display for PerformanceReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "== Performance estimates: {} ==", self.schedule.kernel_name)?;
+        writeln!(
+            f,
+            "== Performance estimates: {} ==",
+            self.schedule.kernel_name
+        )?;
         writeln!(
             f,
             "  clock: {:.1} MHz   total latency: {} cycles ({:.6} s)",
@@ -70,7 +74,11 @@ impl fmt::Display for PerformanceReport {
             "  transfer setup: {} cycles   bottleneck: {}",
             self.schedule.transfer_setup_cycles, self.schedule.bottleneck
         )?;
-        writeln!(f, "  {:<14} {:>10} {:>6} {:>6} {:>8} {:>14}  bottleneck", "loop", "trip", "pipe", "II", "depth", "cycles")?;
+        writeln!(
+            f,
+            "  {:<14} {:>10} {:>6} {:>6} {:>8} {:>14}  bottleneck",
+            "loop", "trip", "pipe", "II", "depth", "cycles"
+        )?;
         for l in &self.schedule.loops {
             writeln!(
                 f,
@@ -78,7 +86,8 @@ impl fmt::Display for PerformanceReport {
                 l.name,
                 l.trip_count,
                 if l.pipelined { "yes" } else { "no" },
-                l.initiation_interval.map_or("-".to_string(), |ii| ii.to_string()),
+                l.initiation_interval
+                    .map_or("-".to_string(), |ii| ii.to_string()),
                 l.iteration_latency,
                 l.total_cycles,
                 l.bottleneck

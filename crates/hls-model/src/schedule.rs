@@ -191,7 +191,10 @@ impl PragmaContext {
                     }
                     ctx.pipeline_targets.push(target_loop.clone());
                 }
-                Pragma::Unroll { target_loop, factor } => {
+                Pragma::Unroll {
+                    target_loop,
+                    factor,
+                } => {
                     if let Some(name) = target_loop {
                         ctx.unroll.insert(name.clone(), (*factor).max(1));
                     }
@@ -199,7 +202,11 @@ impl PragmaContext {
                 Pragma::ArrayPartition(ap) => {
                     ctx.partitions.insert(ap.array.clone(), ap.kind);
                 }
-                Pragma::DataMotion { array, mover, pattern } => {
+                Pragma::DataMotion {
+                    array,
+                    mover,
+                    pattern,
+                } => {
                     ctx.data_motion.insert(array.clone(), (*mover, *pattern));
                 }
             }
@@ -362,7 +369,7 @@ impl Scheduler {
                             .rfind(|l| l.name == sub.name)
                             .map(|l| l.bottleneck.clone())
                             .unwrap_or(Bottleneck::Compute);
-                        if dominant_sub.as_ref().map_or(true, |(c, _)| sub_cycles > *c) {
+                        if dominant_sub.as_ref().is_none_or(|(c, _)| sub_cycles > *c) {
                             dominant_sub = Some((sub_cycles, sub_bottleneck));
                         }
                     }
@@ -383,11 +390,12 @@ impl Scheduler {
             // interface if that is what its own accesses spend their time on,
             // or — when nested loops dominate the iteration — whatever limits
             // the dominant nested loop.
-            let own_external = own_stats
-                .class_uses
-                .keys()
-                .any(|c| matches!(c, OperatorClass::ExternalRead | OperatorClass::ExternalWrite))
-                && self.external_dominates(kernel, ctx, &own_stats);
+            let own_external = own_stats.class_uses.keys().any(|c| {
+                matches!(
+                    c,
+                    OperatorClass::ExternalRead | OperatorClass::ExternalWrite
+                )
+            }) && self.external_dominates(kernel, ctx, &own_stats);
             let bottleneck = match (&dominant_sub, own_external) {
                 (_, true) => Bottleneck::ExternalMemory,
                 (Some((sub_cycles, sub_bottleneck)), false)
@@ -432,9 +440,14 @@ impl Scheduler {
         for item in &node.body {
             match item {
                 BodyItem::Op(op) => self.add_op_stats(kernel, ctx, op, multiplier, direct, stats),
-                BodyItem::Loop(sub) => {
-                    self.accumulate_stats(kernel, ctx, sub, multiplier * sub.trip_count, false, stats)
-                }
+                BodyItem::Loop(sub) => self.accumulate_stats(
+                    kernel,
+                    ctx,
+                    sub,
+                    multiplier * sub.trip_count,
+                    false,
+                    stats,
+                ),
             }
         }
     }
@@ -471,9 +484,7 @@ impl Scheduler {
                 }
             }
             OpKind::Read(array) | OpKind::Write(array) => {
-                let spec = kernel
-                    .array(array)
-                    .expect("validated at kernel build time");
+                let spec = kernel.array(array).expect("validated at kernel build time");
                 let is_read = matches!(op.kind, OpKind::Read(_));
                 let (class, latency) = self.memory_access(spec, ctx, is_read);
                 *stats.class_uses.entry(class).or_default() += count;
@@ -488,13 +499,24 @@ impl Scheduler {
     }
 
     /// Operator class and latency of a memory access to the given array.
-    fn memory_access(&self, array: &ArraySpec, ctx: &PragmaContext, is_read: bool) -> (OperatorClass, u64) {
+    fn memory_access(
+        &self,
+        array: &ArraySpec,
+        ctx: &PragmaContext,
+        is_read: bool,
+    ) -> (OperatorClass, u64) {
         match array.storage {
             ArrayStorage::Bram => {
                 if is_read {
-                    (OperatorClass::BramRead, self.tech.spec(OperatorClass::BramRead).latency)
+                    (
+                        OperatorClass::BramRead,
+                        self.tech.spec(OperatorClass::BramRead).latency,
+                    )
                 } else {
-                    (OperatorClass::BramWrite, self.tech.spec(OperatorClass::BramWrite).latency)
+                    (
+                        OperatorClass::BramWrite,
+                        self.tech.spec(OperatorClass::BramWrite).latency,
+                    )
                 }
             }
             ArrayStorage::Registers => {
@@ -515,8 +537,7 @@ impl Scheduler {
                 let latency = match pattern {
                     AccessPattern::Random => self.tech.ddr_random_access_cycles,
                     AccessPattern::Sequential => {
-                        let bus_bytes =
-                            u64::from(array.element_type.bus_width().unwrap_or(64)) / 8;
+                        let bus_bytes = u64::from(array.element_type.bus_width().unwrap_or(64)) / 8;
                         mover
                             .sequential_access_cycles(bus_bytes)
                             .max(self.tech.ddr_sequential_cycles_per_beat)
@@ -632,7 +653,11 @@ impl Scheduler {
             if class.is_memory() {
                 continue;
             }
-            let instances = if ii == u64::MAX { 1 } else { uses.div_ceil(ii.max(1)) };
+            let instances = if ii == u64::MAX {
+                1
+            } else {
+                uses.div_ceil(ii.max(1))
+            };
             let spec = self.tech.spec(*class);
             resources.lut += instances * u64::from(spec.lut);
             resources.ff += instances * u64::from(spec.ff);
@@ -763,7 +788,9 @@ mod tests {
         assert_eq!(l.initiation_interval, Some(4));
         assert_eq!(
             l.bottleneck,
-            Bottleneck::MemoryPorts { array: "buf".to_string() }
+            Bottleneck::MemoryPorts {
+                array: "buf".to_string()
+            }
         );
 
         let partitioned = Scheduler::new(tech()).schedule(&base(Some(PartitionKind::Cyclic(8))));
@@ -922,6 +949,10 @@ mod tests {
     #[test]
     fn bottleneck_display_is_informative() {
         assert!(Bottleneck::Recurrence.to_string().contains("recurrence"));
-        assert!(Bottleneck::MemoryPorts { array: "line".into() }.to_string().contains("line"));
+        assert!(Bottleneck::MemoryPorts {
+            array: "line".into()
+        }
+        .to_string()
+        .contains("line"));
     }
 }

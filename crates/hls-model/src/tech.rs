@@ -177,22 +177,46 @@ impl TechLibrary {
     /// fabric at that clock.
     pub fn artix7_default() -> Self {
         let mut specs = BTreeMap::new();
-        specs.insert(OperatorClass::FloatAdd, OperatorSpec::new(8, 1, 2, 390, 205));
-        specs.insert(OperatorClass::FloatMul, OperatorSpec::new(4, 1, 3, 150, 128));
-        specs.insert(OperatorClass::FloatDiv, OperatorSpec::new(28, 1, 0, 800, 760));
-        specs.insert(OperatorClass::FloatExp, OperatorSpec::new(20, 1, 7, 1400, 1100));
+        specs.insert(
+            OperatorClass::FloatAdd,
+            OperatorSpec::new(8, 1, 2, 390, 205),
+        );
+        specs.insert(
+            OperatorClass::FloatMul,
+            OperatorSpec::new(4, 1, 3, 150, 128),
+        );
+        specs.insert(
+            OperatorClass::FloatDiv,
+            OperatorSpec::new(28, 1, 0, 800, 760),
+        );
+        specs.insert(
+            OperatorClass::FloatExp,
+            OperatorSpec::new(20, 1, 7, 1400, 1100),
+        );
         specs.insert(OperatorClass::FixedAdd, OperatorSpec::new(1, 1, 0, 32, 16));
         specs.insert(OperatorClass::FixedMul, OperatorSpec::new(2, 1, 1, 45, 40));
-        specs.insert(OperatorClass::FixedDiv, OperatorSpec::new(18, 1, 0, 380, 360));
-        specs.insert(OperatorClass::FixedExp, OperatorSpec::new(6, 1, 2, 420, 300));
+        specs.insert(
+            OperatorClass::FixedDiv,
+            OperatorSpec::new(18, 1, 0, 380, 360),
+        );
+        specs.insert(
+            OperatorClass::FixedExp,
+            OperatorSpec::new(6, 1, 2, 420, 300),
+        );
         specs.insert(OperatorClass::Compare, OperatorSpec::new(1, 1, 0, 18, 8));
         specs.insert(OperatorClass::BramRead, OperatorSpec::new(2, 1, 0, 0, 0));
         specs.insert(OperatorClass::BramWrite, OperatorSpec::new(1, 1, 0, 0, 0));
         // External (DDR) access costs are pattern-dependent; the per-class
         // spec carries the sequential-stream cost and the scheduler swaps in
         // `ddr_random_access_cycles` when the data mover is random-access.
-        specs.insert(OperatorClass::ExternalRead, OperatorSpec::new(8, 1, 0, 0, 0));
-        specs.insert(OperatorClass::ExternalWrite, OperatorSpec::new(8, 1, 0, 0, 0));
+        specs.insert(
+            OperatorClass::ExternalRead,
+            OperatorSpec::new(8, 1, 0, 0, 0),
+        );
+        specs.insert(
+            OperatorClass::ExternalWrite,
+            OperatorSpec::new(8, 1, 0, 0, 0),
+        );
         TechLibrary {
             specs,
             pl_clock_hz: 100.0e6,
@@ -289,8 +313,12 @@ mod tests {
     #[test]
     fn fixed_point_operators_are_cheaper_than_float() {
         let lib = TechLibrary::artix7_default();
-        assert!(lib.spec(OperatorClass::FixedAdd).latency < lib.spec(OperatorClass::FloatAdd).latency);
-        assert!(lib.spec(OperatorClass::FixedMul).latency < lib.spec(OperatorClass::FloatMul).latency);
+        assert!(
+            lib.spec(OperatorClass::FixedAdd).latency < lib.spec(OperatorClass::FloatAdd).latency
+        );
+        assert!(
+            lib.spec(OperatorClass::FixedMul).latency < lib.spec(OperatorClass::FloatMul).latency
+        );
         assert!(lib.spec(OperatorClass::FixedMul).dsp < lib.spec(OperatorClass::FloatMul).dsp);
         assert!(lib.spec(OperatorClass::FixedAdd).lut < lib.spec(OperatorClass::FloatAdd).lut);
     }
@@ -298,11 +326,26 @@ mod tests {
     #[test]
     fn class_mapping_respects_data_type() {
         let lib = TechLibrary::artix7_default();
-        assert_eq!(lib.class_for(ArithOp::Add, DataType::Float32), OperatorClass::FloatAdd);
-        assert_eq!(lib.class_for(ArithOp::Add, DataType::FIXED16), OperatorClass::FixedAdd);
-        assert_eq!(lib.class_for(ArithOp::Mul, DataType::Float32), OperatorClass::FloatMul);
-        assert_eq!(lib.class_for(ArithOp::Mul, DataType::UInt(16)), OperatorClass::FixedMul);
-        assert_eq!(lib.class_for(ArithOp::Compare, DataType::Float32), OperatorClass::Compare);
+        assert_eq!(
+            lib.class_for(ArithOp::Add, DataType::Float32),
+            OperatorClass::FloatAdd
+        );
+        assert_eq!(
+            lib.class_for(ArithOp::Add, DataType::FIXED16),
+            OperatorClass::FixedAdd
+        );
+        assert_eq!(
+            lib.class_for(ArithOp::Mul, DataType::Float32),
+            OperatorClass::FloatMul
+        );
+        assert_eq!(
+            lib.class_for(ArithOp::Mul, DataType::UInt(16)),
+            OperatorClass::FixedMul
+        );
+        assert_eq!(
+            lib.class_for(ArithOp::Compare, DataType::Float32),
+            OperatorClass::Compare
+        );
     }
 
     #[test]

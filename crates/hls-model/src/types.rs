@@ -30,7 +30,10 @@ pub enum DataType {
 impl DataType {
     /// A 16-bit fixed-point type matching the paper's accelerator
     /// (`ap_fixed<16, 4>`).
-    pub const FIXED16: DataType = DataType::Fixed { width: 16, frac: 12 };
+    pub const FIXED16: DataType = DataType::Fixed {
+        width: 16,
+        frac: 12,
+    };
 
     /// Width of the type in bits.
     pub const fn bit_width(&self) -> u32 {
@@ -92,11 +95,32 @@ mod tests {
         assert_eq!(DataType::Float32.bus_width(), Some(32));
         assert_eq!(DataType::FIXED16.bit_width(), 16);
         assert_eq!(DataType::FIXED16.bus_width(), Some(16));
-        assert_eq!(DataType::Fixed { width: 12, frac: 10 }.bus_width(), Some(16));
-        assert_eq!(DataType::Fixed { width: 18, frac: 10 }.bus_width(), Some(32));
+        assert_eq!(
+            DataType::Fixed {
+                width: 12,
+                frac: 10
+            }
+            .bus_width(),
+            Some(16)
+        );
+        assert_eq!(
+            DataType::Fixed {
+                width: 18,
+                frac: 10
+            }
+            .bus_width(),
+            Some(32)
+        );
         assert_eq!(DataType::UInt(5).bus_width(), Some(8));
         assert_eq!(DataType::Float64.bus_width(), Some(64));
-        assert_eq!(DataType::Fixed { width: 80, frac: 10 }.bus_width(), None);
+        assert_eq!(
+            DataType::Fixed {
+                width: 80,
+                frac: 10
+            }
+            .bus_width(),
+            None
+        );
     }
 
     #[test]

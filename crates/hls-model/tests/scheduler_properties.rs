@@ -32,14 +32,16 @@ fn shape_strategy() -> impl Strategy<Value = KernelShape> {
             Just(DataMover::ZeroCopy)
         ],
     )
-        .prop_map(|(trip, taps, fixed_point, pipelined, partition, mover)| KernelShape {
-            trip,
-            taps,
-            fixed_point,
-            pipelined,
-            partition,
-            mover,
-        })
+        .prop_map(
+            |(trip, taps, fixed_point, pipelined, partition, mover)| KernelShape {
+                trip,
+                taps,
+                fixed_point,
+                pipelined,
+                partition,
+                mover,
+            },
+        )
 }
 
 fn build_kernel(shape: &KernelShape) -> Kernel {
@@ -62,13 +64,24 @@ fn build_kernel(shape: &KernelShape) -> Kernel {
             body.arith(ArithOp::Compare, 1);
             body.store("output");
         })
-        .pragma(Pragma::data_motion("input", shape.mover, AccessPattern::Sequential))
-        .pragma(Pragma::data_motion("output", shape.mover, AccessPattern::Sequential));
+        .pragma(Pragma::data_motion(
+            "input",
+            shape.mover,
+            AccessPattern::Sequential,
+        ))
+        .pragma(Pragma::data_motion(
+            "output",
+            shape.mover,
+            AccessPattern::Sequential,
+        ));
     if shape.pipelined {
         builder = builder.pragma(Pragma::pipeline_loop("L0"));
     }
     if let Some(factor) = shape.partition {
-        builder = builder.pragma(Pragma::array_partition("window", PartitionKind::Cyclic(factor)));
+        builder = builder.pragma(Pragma::array_partition(
+            "window",
+            PartitionKind::Cyclic(factor),
+        ));
     }
     builder.build()
 }

@@ -1,0 +1,303 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmarking harness covering the API surface the
+//! `bench` crate uses (`benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros), so `cargo bench` runs end
+//! to end without network access. Each benchmark executes its closure for up
+//! to `sample_size` timed samples (bounded by `measurement_time`) after a
+//! short warm-up, then prints mean / min / max per iteration.
+//!
+//! Statistical analysis, outlier detection, HTML reports and baselines of
+//! the real crate are intentionally out of scope; see
+//! `crates/vendor/README.md` for the swap-in path.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Entry point handed to every benchmark function (stand-in for
+/// `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    default_sample_size: usize,
+    default_warm_up: Duration,
+    default_measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 30,
+            default_warm_up: Duration::from_millis(200),
+            default_measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            warm_up: self.default_warm_up,
+            measurement: self.default_measurement,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration (stand-in for
+/// `criterion::BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets how long each benchmark warms up before timing starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Bounds the total time spent collecting samples for one benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs a benchmark with no separate input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = self.new_bencher();
+        f(&mut bencher);
+        self.report(&id.into(), &bencher);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = self.new_bencher();
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Ends the group (provided for API compatibility; reporting already
+    /// happened per benchmark).
+    pub fn finish(self) {}
+
+    fn new_bencher(&self) -> Bencher {
+        Bencher {
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            samples: Vec::new(),
+        }
+    }
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let samples = &bencher.samples;
+        if samples.is_empty() {
+            println!("{}/{}: no samples collected", self.name, id.0);
+            return;
+        }
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "{}/{:<32} time: [{} {} {}] ({} samples)",
+            self.name,
+            id.0,
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max),
+            samples.len()
+        );
+    }
+}
+
+/// Times closures (stand-in for `criterion::Bencher`).
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Repeatedly calls `f`, timing each call, until `sample_size` samples
+    /// were collected or the measurement budget is spent.
+    ///
+    /// When the `CI` environment variable is set, warm-up and measurement
+    /// budgets are capped so a whole bench suite stays a smoke run.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let (warm_up, measurement) = if std::env::var_os("CI").is_some() {
+            (
+                self.warm_up.min(Duration::from_millis(20)),
+                self.measurement.min(Duration::from_millis(200)),
+            )
+        } else {
+            (self.warm_up, self.measurement)
+        };
+
+        // Warm-up: at least one call, then keep going until the warm-up
+        // budget is spent.
+        let warm_start = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            if warm_start.elapsed() >= warm_up {
+                break;
+            }
+        }
+
+        self.samples.clear();
+        let run_start = Instant::now();
+        while self.samples.len() < self.sample_size {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t.elapsed());
+            if run_start.elapsed() >= measurement {
+                break;
+            }
+        }
+    }
+}
+
+/// A benchmark identifier: a function name plus an optional parameter
+/// (stand-in for `criterion::BenchmarkId`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id carrying a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.4} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.4} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.4} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Declares a benchmark group function from a list of `fn(&mut Criterion)`
+/// targets (stand-in for `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from a list of benchmark groups (stand-in for
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_bounded_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50));
+        let mut calls = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        assert!(calls >= 5, "closure should have run warm-up + samples");
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("blur", 128).0, "blur/128");
+        assert_eq!(BenchmarkId::from_parameter(7).0, "7");
+    }
+
+    criterion_group!(demo_group, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.benchmark_group("noop")
+            .sample_size(1)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .bench_function("nothing", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macro_expands_to_runnable_fn() {
+        demo_group();
+    }
+}

@@ -1,0 +1,114 @@
+//! Offline stand-in for `rand`.
+//!
+//! Covers the surface this workspace uses: `rngs::StdRng` seeded through
+//! [`SeedableRng::seed_from_u64`] and sampled through [`Rng::gen_range`] on
+//! `f32` ranges. The generator is SplitMix64 — fast, statistically fine for
+//! synthetic-scene generation, and (importantly for the tests) fully
+//! deterministic for a given seed. See `crates/vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+/// Seeding interface (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface (subset of `rand::Rng`).
+pub trait Rng {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed `f32` in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or reversed.
+    fn gen_range(&mut self, range: core::ops::Range<f32>) -> f32 {
+        assert!(
+            range.start < range.end,
+            "gen_range called with empty range {}..{}",
+            range.start,
+            range.end
+        );
+        // 24 high bits -> uniform in [0, 1) with full f32 mantissa coverage.
+        let unit = (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators (subset of `rand::rngs`).
+
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand::rngs::StdRng`.
+    ///
+    /// Not the real StdRng algorithm (ChaCha12), but this workspace only
+    /// relies on determinism and rough uniformity, not on matching the real
+    /// crate's stream.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should differ, {same}/64 collisions");
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_varies() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut lo = f32::MAX;
+        let mut hi = f32::MIN;
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0.5..1.5);
+            assert!((0.5..1.5).contains(&v), "{v} out of range");
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo < 0.6 && hi > 1.4, "poor coverage: [{lo}, {hi}]");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn gen_range_rejects_empty_range() {
+        let _ = StdRng::seed_from_u64(0).gen_range(1.0..1.0);
+    }
+}

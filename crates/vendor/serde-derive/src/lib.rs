@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace's `serde` stub implements `Serialize` / `Deserialize` as
+//! blanket marker traits, so the derives have nothing to generate: they are
+//! accepted (including `#[serde(...)]` helper attributes) and expand to
+//! nothing. See `crates/vendor/README.md`.
+
+use proc_macro::TokenStream;
+
+/// No-op derive for `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op derive for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

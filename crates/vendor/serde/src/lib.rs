@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides `Serialize` / `Deserialize` as blanket marker traits together
+//! with no-op derive macros, so types annotated with
+//! `#[derive(Serialize, Deserialize)]` compile without any code generation.
+//! Swapping in the real `serde` later requires no call-site changes; see
+//! `crates/vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; implemented for every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; implemented for every type.
+pub trait Deserialize {}
+
+impl<T: ?Sized> Deserialize for T {}

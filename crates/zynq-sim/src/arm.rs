@@ -201,7 +201,10 @@ mod tests {
         let ps = PsModel::new(667.0e6, ArmCostModel::cortex_a9_effective());
         let w = blur_like_workload(1024 * 1024, 41);
         let t = ps.seconds(&w);
-        assert!(t > 5.0 && t < 9.5, "software blur time {t:.2} s out of band");
+        assert!(
+            t > 5.0 && t < 9.5,
+            "software blur time {t:.2} s out of band"
+        );
     }
 
     #[test]

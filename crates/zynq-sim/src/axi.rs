@@ -66,8 +66,14 @@ mod tests {
     fn dma_beats_fifo_on_large_transfers() {
         let model = DataMoverModel::zc702_default();
         let big = 4 * 1024 * 1024; // one 1024x1024 float plane
-        let dma = model.total_seconds(&Transfer { bytes: big, mover: DataMover::AxiDmaSimple });
-        let fifo = model.total_seconds(&Transfer { bytes: big, mover: DataMover::AxiFifo });
+        let dma = model.total_seconds(&Transfer {
+            bytes: big,
+            mover: DataMover::AxiDmaSimple,
+        });
+        let fifo = model.total_seconds(&Transfer {
+            bytes: big,
+            mover: DataMover::AxiFifo,
+        });
         assert!(dma < fifo / 4.0, "dma {dma} vs fifo {fifo}");
     }
 
@@ -77,16 +83,28 @@ mod tests {
         // AXIFIFO for small arguments.
         let model = DataMoverModel::zc702_default();
         let tiny = 64;
-        let dma = model.transfer_seconds(&Transfer { bytes: tiny, mover: DataMover::AxiDmaSimple });
-        let fifo = model.transfer_seconds(&Transfer { bytes: tiny, mover: DataMover::AxiFifo });
+        let dma = model.transfer_seconds(&Transfer {
+            bytes: tiny,
+            mover: DataMover::AxiDmaSimple,
+        });
+        let fifo = model.transfer_seconds(&Transfer {
+            bytes: tiny,
+            mover: DataMover::AxiFifo,
+        });
         assert!(fifo < dma);
     }
 
     #[test]
     fn bandwidth_increases_with_transfer_size() {
         let model = DataMoverModel::zc702_default();
-        let small = model.effective_bandwidth(&Transfer { bytes: 4 * 1024, mover: DataMover::AxiDmaSimple });
-        let large = model.effective_bandwidth(&Transfer { bytes: 4 * 1024 * 1024, mover: DataMover::AxiDmaSimple });
+        let small = model.effective_bandwidth(&Transfer {
+            bytes: 4 * 1024,
+            mover: DataMover::AxiDmaSimple,
+        });
+        let large = model.effective_bandwidth(&Transfer {
+            bytes: 4 * 1024 * 1024,
+            mover: DataMover::AxiDmaSimple,
+        });
         assert!(large > small);
         // Streaming bandwidth approaches 8 bytes/cycle * 100 MHz = 800 MB/s.
         assert!(large < 800.0e6);
@@ -96,8 +114,14 @@ mod tests {
     #[test]
     fn transfer_time_scales_linearly_beyond_setup() {
         let model = DataMoverModel::zc702_default();
-        let t1 = model.transfer_seconds(&Transfer { bytes: 1 << 20, mover: DataMover::AxiDmaSimple });
-        let t2 = model.transfer_seconds(&Transfer { bytes: 1 << 21, mover: DataMover::AxiDmaSimple });
+        let t1 = model.transfer_seconds(&Transfer {
+            bytes: 1 << 20,
+            mover: DataMover::AxiDmaSimple,
+        });
+        let t2 = model.transfer_seconds(&Transfer {
+            bytes: 1 << 21,
+            mover: DataMover::AxiDmaSimple,
+        });
         let setup = DataMover::AxiDmaSimple.setup_cycles() as f64 / model.pl_clock_hz;
         assert!(((t2 - setup) / (t1 - setup) - 2.0).abs() < 1e-6);
     }

@@ -176,8 +176,8 @@ impl PowerRails {
             "inconsistent activity profile: {activity:?}"
         );
         let t = activity.total_seconds;
-        let pl_static =
-            self.pl_static_min_w + activity.pl_utilization * (self.pl_static_max_w - self.pl_static_min_w);
+        let pl_static = self.pl_static_min_w
+            + activity.pl_utilization * (self.pl_static_max_w - self.pl_static_min_w);
         EnergyReport {
             ps: RailEnergy {
                 bottomline_j: self.ps_idle_w * t,
@@ -225,7 +225,10 @@ mod tests {
         let rails = PowerRails::zc702_default();
         let report = rails.energy(&software_only(26.66));
         let total = report.total_j();
-        assert!(total > 25.0 && total < 35.0, "software energy {total:.1} J out of band");
+        assert!(
+            total > 25.0 && total < 35.0,
+            "software energy {total:.1} J out of band"
+        );
         // PS dominates, DDR second, as in Fig. 7.
         assert!(report.ps.total_j() > report.ddr.total_j());
         assert!(report.ddr.total_j() > report.pl.total_j());

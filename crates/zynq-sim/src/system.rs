@@ -253,10 +253,8 @@ mod tests {
 
     #[test]
     fn accelerating_a_phase_reduces_total_time_and_energy() {
-        let software = ExecutionPlan::software_only(vec![
-            Phase::ps("rest", 19.4),
-            Phase::ps("blur", 7.3),
-        ]);
+        let software =
+            ExecutionPlan::software_only(vec![Phase::ps("rest", 19.4), Phase::ps("blur", 7.3)]);
         let accelerated = ExecutionPlan {
             phases: vec![Phase::ps("rest", 19.4), Phase::pl("blur", 0.4)],
             pl_utilization: 0.3,

@@ -16,15 +16,17 @@ fn workload_strategy() -> impl Strategy<Value = SoftwareWorkload> {
         0u64..2_000_000,
         0u64..1_000_000,
     )
-        .prop_map(|(adds, muls, divs, pows, compares, loads, stores)| SoftwareWorkload {
-            adds,
-            muls,
-            divs,
-            pows,
-            compares,
-            loads,
-            stores,
-        })
+        .prop_map(
+            |(adds, muls, divs, pows, compares, loads, stores)| SoftwareWorkload {
+                adds,
+                muls,
+                divs,
+                pows,
+                compares,
+                loads,
+                stores,
+            },
+        )
 }
 
 fn phases_strategy() -> impl Strategy<Value = Vec<Phase>> {

@@ -13,17 +13,22 @@ use tonemap_zynq_repro::prelude::*;
 
 fn main() {
     let flow = CoDesignFlow::paper_setup(1024, 1024);
+    let registry = BackendRegistry::standard();
 
     // Step 1: profile the software to find the acceleration candidate.
     let profile = flow.profile();
     println!("=== Step 1: software profiling on the ARM core ===");
     print!("{profile}");
     let hottest = profile.hottest_function();
-    println!("-> hottest function: {} ({:.2} s) — marked for hardware\n", hottest.name, hottest.seconds);
+    println!(
+        "-> hottest function: {} ({:.2} s) — marked for hardware\n",
+        hottest.name, hottest.seconds
+    );
 
-    // Steps 2-4: evaluate every design implementation of Table II.
+    // Steps 2-4: evaluate every design implementation of Table II through
+    // the engine layer (one backend per design).
     println!("=== Steps 2-4: optimization flow (Table II) ===");
-    let report = flow.run_all();
+    let report = registry.flow_report(1024, 1024);
     let breakdown = ExecutionBreakdown::from_flow(&report);
     println!("{breakdown}");
 

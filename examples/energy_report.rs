@@ -11,8 +11,7 @@
 use tonemap_zynq_repro::prelude::*;
 
 fn main() {
-    let flow = CoDesignFlow::paper_setup(1024, 1024);
-    let report = flow.run_all();
+    let report = BackendRegistry::standard().flow_report(1024, 1024);
     let energy = EnergyBreakdown::from_flow(&report);
     println!("{energy}");
 

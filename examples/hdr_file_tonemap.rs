@@ -42,9 +42,15 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     // Tone map the colour image (luminance-domain operator, chrominance
-    // preserved), using the 16-bit fixed-point pipeline of the accelerator.
-    let mapper = ToneMapper::new(ToneMapParams::paper_default());
-    let mapped = mapper.map_rgb::<apfixed::Fix16>(&hdr)?;
+    // preserved) through the engine layer, using the paper's final 16-bit
+    // fixed-point accelerator backend.
+    let registry = BackendRegistry::standard();
+    let (mapped, telemetry) = map_rgb_via(registry.resolve("hw-fix16")?, &hdr)?;
+    println!(
+        "tone-mapped via `{}` in {:.1} ms",
+        telemetry.backend,
+        telemetry.wall.as_secs_f64() * 1e3
+    );
 
     // Save as PPM.
     let out_path = "hdr_file_tonemapped.ppm";

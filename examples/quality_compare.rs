@@ -1,7 +1,8 @@
-//! The Fig. 5 experiment: compare the tone-mapped image produced with the
-//! 16-bit fixed-point Gaussian-blur accelerator against the 32-bit
-//! floating-point one (PSNR / SSIM), sweep the word length, and write both
-//! outputs to disk for visual inspection.
+//! The Fig. 5 experiment: compare the tone-mapped image produced by the
+//! 16-bit fixed-point Gaussian-blur accelerator backend (`hw-fix16`)
+//! against the 32-bit floating-point one (`hw-pragmas`) — PSNR / SSIM —
+//! sweep the word length, and write both outputs to disk for visual
+//! inspection.
 //!
 //! Run with:
 //!
@@ -9,8 +10,7 @@
 //! cargo run --release --example quality_compare
 //! ```
 
-use apfixed::Fix16;
-use codesign::quality::{evaluate_fixed_point_quality, word_length_sweep};
+use codesign::quality::{compare_outputs, word_length_sweep};
 use std::error::Error;
 use std::fs::File;
 use std::io::BufWriter;
@@ -18,16 +18,19 @@ use tonemap_zynq_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn Error>> {
     let hdr = SceneKind::paper_input();
-    let params = ToneMapParams::paper_default();
+    let registry = BackendRegistry::standard();
 
-    let report = evaluate_fixed_point_quality::<16, 12>(&hdr, params);
+    let float_run = registry.resolve("hw-pragmas")?.run(&hdr);
+    let fixed_run = registry.resolve("hw-fix16")?.run(&hdr);
+
+    let report = compare_outputs(&float_run.image, &fixed_run.image, 16, 12);
     println!("16-bit fixed-point accelerator vs 32-bit float accelerator:");
     println!("  PSNR {:.1} dB (paper: 66 dB)", report.psnr_db);
     println!("  SSIM {:.4} (paper: 1.00)", report.ssim);
 
     println!();
     println!("Word-length sweep:");
-    for entry in word_length_sweep(&hdr, params) {
+    for entry in word_length_sweep(&hdr, ToneMapParams::paper_default()) {
         println!(
             "  {:>2}-bit blur: PSNR {:>6.1} dB, SSIM {:.4}",
             entry.fixed_width_bits, entry.psnr_db, entry.ssim
@@ -35,15 +38,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
 
     // Write the two tone-mapped outputs (the Fig. 5b / 5c equivalents).
-    let mapper = ToneMapper::new(params);
-    let float_out = mapper.map_luminance_hw_blur::<f32>(&hdr).to_ldr();
-    let fixed_out = mapper.map_luminance_hw_blur::<Fix16>(&hdr).to_ldr();
     for (path, image) in [
-        ("quality_float_blur.pgm", &float_out),
-        ("quality_fixed_blur.pgm", &fixed_out),
+        ("quality_float_blur.pgm", &float_run.image),
+        ("quality_fixed_blur.pgm", &fixed_run.image),
     ] {
         let file = File::create(path)?;
-        hdr_image::io::write_pgm(image, BufWriter::new(file))?;
+        hdr_image::io::write_pgm(&image.to_ldr(), BufWriter::new(file))?;
         println!("wrote {path}");
     }
     Ok(())

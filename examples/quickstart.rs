@@ -1,5 +1,6 @@
-//! Quickstart: generate a synthetic HDR scene, tone-map it with the paper's
-//! operator (software reference path) and write the result as a PGM image.
+//! Quickstart: generate a synthetic HDR scene, tone-map it through the
+//! engine layer (software reference backend) and write the result as a PGM
+//! image.
 //!
 //! Run with:
 //!
@@ -23,17 +24,32 @@ fn main() -> Result<(), Box<dyn Error>> {
         hdr.dynamic_range()
     );
 
-    // 2. Tone map with the paper's parameters (normalization, Gaussian-blur
-    //    mask, non-linear masking, brightness/contrast adjustment).
-    let mapper = ToneMapper::new(ToneMapParams::paper_default());
-    let ldr = mapper.map_luminance_f32(&hdr);
-    let (lo, hi) = ldr.min_max();
-    println!("output: display-referred range [{lo:.3}, {hi:.3}], mean {:.3}", ldr.mean());
+    // 2. Tone map through the engine layer: pick the software float
+    //    reference by name. Swap the name for "hw-fix16" to run the paper's
+    //    final accelerated configuration instead.
+    let registry = BackendRegistry::standard();
+    let backend = registry.resolve("sw-f32")?;
+    let run = backend.run(&hdr);
+    let (lo, hi) = run.image.min_max();
+    println!(
+        "backend `{}`: display-referred range [{lo:.3}, {hi:.3}], mean {:.3}",
+        backend.name(),
+        run.image.mean()
+    );
+    println!(
+        "telemetry: {:.1} ms wall, {} pipeline ops, modeled total {:.2} s on the Zynq PS",
+        run.telemetry.wall.as_secs_f64() * 1e3,
+        run.telemetry.ops.total(),
+        run.telemetry
+            .modeled
+            .as_ref()
+            .map_or(f64::NAN, |m| m.total_seconds)
+    );
 
     // 3. Save as an 8-bit PGM for inspection.
     let out_path = "quickstart_tonemapped.pgm";
     let file = File::create(out_path)?;
-    hdr_image::io::write_pgm(&ldr.to_ldr(), BufWriter::new(file))?;
+    hdr_image::io::write_pgm(&run.image.to_ldr(), BufWriter::new(file))?;
     println!("wrote {out_path}");
 
     Ok(())

@@ -11,17 +11,20 @@
 //! ```
 //! use tonemap_zynq_repro::prelude::*;
 //!
-//! // Generate a small synthetic HDR scene and tone-map it in software.
+//! // Generate a small synthetic HDR scene and tone-map it through the
+//! // engine layer: backends are selected by name, not by method calls.
 //! let hdr = SceneKind::WindowInDarkRoom.generate(64, 64, 42);
-//! let params = ToneMapParams::paper_default();
-//! let ldr = ToneMapper::new(params).map_luminance_f32(&hdr);
-//! assert_eq!(ldr.width(), 64);
+//! let registry = BackendRegistry::standard();
+//! let run = registry.resolve("sw-f32").unwrap().run(&hdr);
+//! assert_eq!(run.image.width(), 64);
+//! assert!(run.telemetry.ops.total() > 0);
 //! ```
 
 pub use apfixed;
 pub use codesign;
 pub use hdr_image;
 pub use hls_model;
+pub use tonemap_backend;
 pub use tonemap_core;
 pub use zynq_sim;
 
@@ -38,6 +41,10 @@ pub mod prelude {
     pub use hls_model::pragma::{ArrayPartition, DataMover, Pragma};
     pub use hls_model::schedule::Scheduler;
     pub use hls_model::tech::TechLibrary;
+    pub use tonemap_backend::{
+        map_rgb_via, AcceleratedBackend, BackendOutput, BackendRegistry, BackendTelemetry,
+        ModeledCost, SoftwareF32Backend, SoftwareFixedBackend, TonemapBackend, UnknownBackendError,
+    };
     pub use tonemap_core::{BlurParams, ToneMapParams, ToneMapper};
     pub use zynq_sim::config::ZynqConfig;
     pub use zynq_sim::power::{EnergyReport, PowerRails};

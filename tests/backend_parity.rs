@@ -1,0 +1,115 @@
+//! Backend-parity integration test: every registered backend tone-maps the
+//! same scene and stays within a PSNR tolerance of the f32 software
+//! reference.
+//!
+//! This is the engine-layer counterpart of the paper's Fig. 5 quality
+//! comparison: the floating-point accelerator designs must match the
+//! software reference almost exactly, and the fixed-point paths must stay
+//! comfortably above the ~30 dB threshold of visually transparent
+//! tone mapping.
+
+use tonemap_zynq_repro::prelude::*;
+
+fn scene() -> LuminanceImage {
+    SceneKind::WindowInDarkRoom.generate(64, 64, 42)
+}
+
+/// Minimum acceptable PSNR (dB) against the f32 reference, per backend.
+///
+/// The float-blur accelerator backends compute bit-identical point-wise
+/// stages, so they sit far above any threshold. `hw-fix16` — the paper's
+/// final design, quantising only the blur — gets the Fig. 5-derived
+/// ≥ 30 dB bound. `sw-fix16` quantises *every* stage including the
+/// normalization, where dark HDR pixels fall below `Fix16`'s 2^-12 epsilon;
+/// that heavy degradation is the ablation's point (it is why the paper only
+/// moves the blur to fixed point), so it gets a looser floor that still
+/// catches outright breakage.
+fn min_psnr_db(name: &str) -> f64 {
+    match name {
+        "sw-f32" => f64::INFINITY, // identical to the reference by definition
+        "hw-marked" | "hw-sequential" | "hw-pragmas" => 60.0,
+        "hw-fix16" => 30.0,
+        "sw-fix16" => 12.0,
+        other => panic!("no parity tolerance defined for backend `{other}`"),
+    }
+}
+
+#[test]
+fn every_registered_backend_matches_the_f32_reference() {
+    let registry = BackendRegistry::standard();
+    let hdr = scene();
+    let reference = registry
+        .resolve("sw-f32")
+        .expect("reference backend registered")
+        .run(&hdr);
+
+    for backend in registry.iter() {
+        let run = backend.run(&hdr);
+        assert_eq!(
+            run.image.dimensions(),
+            reference.image.dimensions(),
+            "backend `{}` changed the image dimensions",
+            backend.name()
+        );
+        assert!(
+            run.image.pixels().iter().all(|v| (0.0..=1.0).contains(v)),
+            "backend `{}` produced non-display-referred output",
+            backend.name()
+        );
+
+        let required = min_psnr_db(backend.name());
+        if required.is_infinite() {
+            assert_eq!(
+                run.image, reference.image,
+                "reference backend must be bit-identical to itself"
+            );
+            continue;
+        }
+        let p = psnr(&reference.image, &run.image, 1.0);
+        assert!(
+            p >= required,
+            "backend `{}`: PSNR {p:.1} dB below the required {required:.0} dB",
+            backend.name()
+        );
+    }
+}
+
+#[test]
+fn registry_resolves_every_backend_the_parity_test_covers() {
+    let registry = BackendRegistry::standard();
+    assert_eq!(
+        registry.names(),
+        vec![
+            "hw-fix16",
+            "hw-marked",
+            "hw-pragmas",
+            "hw-sequential",
+            "sw-f32",
+            "sw-fix16"
+        ],
+        "standard registry contents changed; update the parity tolerances"
+    );
+    for name in registry.names() {
+        assert!(registry.resolve(name).is_ok());
+        // Every backend has a defined tolerance (panics otherwise).
+        let _ = min_psnr_db(name);
+    }
+}
+
+#[test]
+fn batch_execution_matches_single_runs() {
+    let registry = BackendRegistry::standard();
+    let scenes: Vec<LuminanceImage> = [7u64, 8, 9]
+        .iter()
+        .map(|&seed| SceneKind::SunAndShadow.generate(32, 32, seed))
+        .collect();
+    let batch = registry
+        .run_batch("hw-fix16", &scenes)
+        .expect("hw-fix16 registered");
+    assert_eq!(batch.len(), scenes.len());
+    let backend = registry.resolve("hw-fix16").unwrap();
+    for (scene, from_batch) in scenes.iter().zip(&batch) {
+        let single = backend.run(scene);
+        assert_eq!(single.image, from_batch.image, "batch output diverged");
+    }
+}

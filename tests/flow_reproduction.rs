@@ -15,28 +15,44 @@ fn table2_shape_is_reproduced_end_to_end() {
     let total = |d: DesignImplementation| report.design(d).unwrap().total_seconds;
 
     // Ordering of the accelerated-function times across the five rows.
-    assert!(blur(DesignImplementation::MarkedHwFunction) > blur(DesignImplementation::SequentialMemoryAccesses));
-    assert!(blur(DesignImplementation::SequentialMemoryAccesses) > blur(DesignImplementation::SwSourceCode));
+    assert!(
+        blur(DesignImplementation::MarkedHwFunction)
+            > blur(DesignImplementation::SequentialMemoryAccesses)
+    );
+    assert!(
+        blur(DesignImplementation::SequentialMemoryAccesses)
+            > blur(DesignImplementation::SwSourceCode)
+    );
     assert!(blur(DesignImplementation::SwSourceCode) > blur(DesignImplementation::HlsPragmas));
-    assert!(blur(DesignImplementation::HlsPragmas) > blur(DesignImplementation::FixedPointConversion));
+    assert!(
+        blur(DesignImplementation::HlsPragmas) > blur(DesignImplementation::FixedPointConversion)
+    );
 
     // The naive offload degrades the *total* by an order of magnitude
     // relative to software (195 s vs 27 s in the paper).
-    assert!(total(DesignImplementation::MarkedHwFunction) > 4.0 * total(DesignImplementation::SwSourceCode));
+    assert!(
+        total(DesignImplementation::MarkedHwFunction)
+            > 4.0 * total(DesignImplementation::SwSourceCode)
+    );
 
     // The final design beats software overall, but the total is dominated by
     // the non-accelerated stages, as in the paper (19.27 s vs 26.66 s).
     let sw_total = total(DesignImplementation::SwSourceCode);
     let fxp_total = total(DesignImplementation::FixedPointConversion);
     assert!(fxp_total < sw_total);
-    assert!(fxp_total > 0.5 * sw_total, "total speed-up should be modest, not dramatic");
+    assert!(
+        fxp_total > 0.5 * sw_total,
+        "total speed-up should be modest, not dramatic"
+    );
 }
 
 #[test]
 fn headline_numbers_are_in_the_paper_band() {
     let report = report();
     let sw = report.software_reference();
-    let fxp = report.design(DesignImplementation::FixedPointConversion).unwrap();
+    let fxp = report
+        .design(DesignImplementation::FixedPointConversion)
+        .unwrap();
 
     // >17x function speed-up claimed in the abstract ("more than 17x").
     let function_speedup = fxp.function_speedup_vs(sw);
@@ -48,7 +64,10 @@ fn headline_numbers_are_in_the_paper_band() {
     // Energy: ~30 J software, 20-30% reduction for the final design.
     assert!(sw.energy.total_j() > 24.0 && sw.energy.total_j() < 36.0);
     let reduction = fxp.energy_reduction_vs(sw);
-    assert!(reduction > 0.10 && reduction < 0.40, "energy reduction {reduction:.2}");
+    assert!(
+        reduction > 0.10 && reduction < 0.40,
+        "energy reduction {reduction:.2}"
+    );
 }
 
 #[test]
@@ -73,11 +92,18 @@ fn fig7_and_fig8_energy_accounting_is_consistent() {
     let energy = EnergyBreakdown::from_flow(&report);
     for design in DesignImplementation::ALL {
         let row = energy.row(design).unwrap();
-        let rails_sum: f64 = row.rails.iter().map(|r| r.bottomline_j + r.overhead_j).sum();
+        let rails_sum: f64 = row
+            .rails
+            .iter()
+            .map(|r| r.bottomline_j + r.overhead_j)
+            .sum();
         assert!((rails_sum - row.total_j).abs() < 1e-9);
         // DDR and BRAM carry no execution overhead (the paper's observation).
         for rail in &row.rails {
-            if matches!(rail.rail, zynq_sim::power::Rail::Ddr | zynq_sim::power::Rail::Bram) {
+            if matches!(
+                rail.rail,
+                zynq_sim::power::Rail::Ddr | zynq_sim::power::Rail::Bram
+            ) {
                 assert_eq!(rail.overhead_j, 0.0);
             }
         }
@@ -93,9 +119,11 @@ fn fig7_and_fig8_energy_accounting_is_consistent() {
             .unwrap()
             .bottomline_j
     };
-    let per_second_sw = pl_bottom(DesignImplementation::SwSourceCode)
-        / report.software_reference().total_seconds;
-    let fxp = report.design(DesignImplementation::FixedPointConversion).unwrap();
+    let per_second_sw =
+        pl_bottom(DesignImplementation::SwSourceCode) / report.software_reference().total_seconds;
+    let fxp = report
+        .design(DesignImplementation::FixedPointConversion)
+        .unwrap();
     let per_second_fxp = pl_bottom(DesignImplementation::FixedPointConversion) / fxp.total_seconds;
     assert!(per_second_fxp > per_second_sw);
 }
@@ -110,5 +138,8 @@ fn profiling_identifies_the_blur_and_its_share_matches_the_paper() {
     );
     // Paper: 7.29 s of 26.66 s ≈ 27 % of the runtime is the blur.
     let fraction = profile.fraction(tonemap_core::ops::StageKind::GaussianBlur);
-    assert!(fraction > 0.18 && fraction < 0.40, "blur fraction {fraction:.2}");
+    assert!(
+        fraction > 0.18 && fraction < 0.40,
+        "blur fraction {fraction:.2}"
+    );
 }

@@ -29,7 +29,10 @@ fn every_accelerator_design_fits_the_zc702_device() {
 fn accelerator_time_in_the_flow_matches_the_schedule_directly() {
     let flow = CoDesignFlow::paper_setup(512, 512);
     let report = flow.evaluate(DesignImplementation::HlsPragmas);
-    let schedule = report.schedule.as_ref().expect("accelerated design has a schedule");
+    let schedule = report
+        .schedule
+        .as_ref()
+        .expect("accelerated design has a schedule");
     let expected = schedule.total_cycles as f64 / ZynqConfig::zc702_default().pl_clock_hz;
     assert!((report.accelerated_seconds - expected).abs() < 1e-9);
     assert!((report.pl_seconds - expected).abs() < 1e-9);
@@ -43,14 +46,20 @@ fn blur_kernel_cycles_scale_linearly_with_resolution() {
         scheduler
             .schedule(&streaming_blur_kernel(
                 &spec,
-                StreamingOptions { pipelined: true, fixed_point: true },
+                StreamingOptions {
+                    pipelined: true,
+                    fixed_point: true,
+                },
             ))
             .total_cycles as f64
     };
     let small = cycles(256);
     let large = cycles(512);
     let ratio = large / small;
-    assert!((ratio - 4.0).abs() < 0.1, "cycles should scale with pixel count, ratio {ratio:.2}");
+    assert!(
+        (ratio - 4.0).abs() < 0.1,
+        "cycles should scale with pixel count, ratio {ratio:.2}"
+    );
 }
 
 #[test]
@@ -84,5 +93,8 @@ fn hls_performance_report_renders_for_the_final_design() {
     let text = report.to_string();
     assert!(text.contains("gaussian_blur_fixed"));
     assert!(text.contains("Utilization estimates"));
-    assert!(report.seconds() < 1.0, "final accelerator should run in well under a second");
+    assert!(
+        report.seconds() < 1.0,
+        "final accelerator should run in well under a second"
+    );
 }

@@ -62,7 +62,11 @@ fn malformed_files_are_rejected_not_panicked_on() {
     assert!(hdr_image::io::read_pgm(&b"garbage"[..]).is_err());
     // Truncated but well-formed header.
     let mut truncated = Vec::new();
-    hdr_image::io::write_rgbe(&SceneKind::SunAndShadow.generate_rgb(16, 16, 1), &mut truncated).unwrap();
+    hdr_image::io::write_rgbe(
+        &SceneKind::SunAndShadow.generate_rgb(16, 16, 1),
+        &mut truncated,
+    )
+    .unwrap();
     truncated.truncate(truncated.len() / 2);
     assert!(hdr_image::io::read_rgbe(truncated.as_slice()).is_err());
 }

@@ -30,11 +30,29 @@ fn narrower_formats_degrade_quality_monotonically() {
     let mapper = ToneMapper::new(ToneMapParams::paper_default());
     let reference = mapper.map_luminance_hw_blur::<f32>(&hdr);
 
-    let psnr_8 = psnr(&reference, &mapper.map_luminance_hw_blur::<Fix<8, 6>>(&hdr), 1.0);
-    let psnr_16 = psnr(&reference, &mapper.map_luminance_hw_blur::<Fix<16, 12>>(&hdr), 1.0);
-    let psnr_32 = psnr(&reference, &mapper.map_luminance_hw_blur::<Fix<32, 24>>(&hdr), 1.0);
-    assert!(psnr_8 < psnr_16, "8-bit {psnr_8:.1} dB vs 16-bit {psnr_16:.1} dB");
-    assert!(psnr_16 < psnr_32, "16-bit {psnr_16:.1} dB vs 32-bit {psnr_32:.1} dB");
+    let psnr_8 = psnr(
+        &reference,
+        &mapper.map_luminance_hw_blur::<Fix<8, 6>>(&hdr),
+        1.0,
+    );
+    let psnr_16 = psnr(
+        &reference,
+        &mapper.map_luminance_hw_blur::<Fix<16, 12>>(&hdr),
+        1.0,
+    );
+    let psnr_32 = psnr(
+        &reference,
+        &mapper.map_luminance_hw_blur::<Fix<32, 24>>(&hdr),
+        1.0,
+    );
+    assert!(
+        psnr_8 < psnr_16,
+        "8-bit {psnr_8:.1} dB vs 16-bit {psnr_16:.1} dB"
+    );
+    assert!(
+        psnr_16 < psnr_32,
+        "16-bit {psnr_16:.1} dB vs 32-bit {psnr_32:.1} dB"
+    );
 }
 
 #[test]
@@ -85,9 +103,15 @@ fn colour_tone_mapping_preserves_dimensions_and_hue() {
         if o.max_channel() < 0.9 && i.r > 1e-3 && i.b > 1e-3 {
             let before = i.r / i.b;
             let after = o.r / o.b;
-            assert!((before - after).abs() / before < 0.08, "hue shifted: {before} -> {after}");
+            assert!(
+                (before - after).abs() / before < 0.08,
+                "hue shifted: {before} -> {after}"
+            );
             checked += 1;
         }
     }
-    assert!(checked > 1000, "too few unclipped pixels checked ({checked})");
+    assert!(
+        checked > 1000,
+        "too few unclipped pixels checked ({checked})"
+    );
 }
