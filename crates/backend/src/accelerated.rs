@@ -1,13 +1,14 @@
 //! Backends that wrap the simulated PL accelerators of Table II.
 
 use crate::engine::TonemapBackend;
+use crate::error::TonemapError;
 use crate::output::{BackendOutput, BackendTelemetry, ModeledCost};
 use crate::paper_platform_flow;
 use codesign::flow::{DesignImplementation, DesignReport};
 use hdr_image::LuminanceImage;
 use std::collections::HashMap;
 use std::marker::PhantomData;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use tonemap_core::{Sample, ToneMapParams, ToneMapper};
 
@@ -53,9 +54,8 @@ impl ModelCache {
     }
 }
 
-/// Shared body of every backend's [`TonemapBackend::run`]: time the
-/// functional execution, attach op counts and (when the backend maps to a
-/// Table II design) the cached platform-model cost.
+/// Times one functional execution and assembles the [`BackendOutput`] with
+/// op counts and (when a model cache is supplied) the platform-model cost.
 pub(crate) fn run_with(
     name: &'static str,
     mapper: &ToneMapper,
@@ -75,6 +75,47 @@ pub(crate) fn run_with(
             ops: mapper.profile(width, height).total(),
             modeled: model.map(|m| ModeledCost::from(&m.report(width, height))),
         },
+    }
+}
+
+/// Shared body of every backend's [`TonemapBackend::run_luminance`]: with no
+/// override the engine's configured mapper and cached platform model run;
+/// with an override the parameters are validated into a fresh mapper (and a
+/// fresh, uncached model evaluation when telemetry wants one).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_request(
+    name: &'static str,
+    mapper: &ToneMapper,
+    design: Option<DesignImplementation>,
+    cached_model: Option<&ModelCache>,
+    input: &LuminanceImage,
+    params: Option<&ToneMapParams>,
+    with_model: bool,
+    execute: impl FnOnce(&ToneMapper, &LuminanceImage) -> LuminanceImage,
+) -> Result<BackendOutput, TonemapError> {
+    match params {
+        None => Ok(run_with(
+            name,
+            mapper,
+            if with_model { cached_model } else { None },
+            input,
+            execute,
+        )),
+        Some(&override_params) => {
+            let mapper = ToneMapper::try_new(override_params).map_err(TonemapError::from)?;
+            let fresh_model = if with_model {
+                design.map(|d| ModelCache::new(d, override_params))
+            } else {
+                None
+            };
+            Ok(run_with(
+                name,
+                &mapper,
+                fresh_model.as_ref(),
+                input,
+                execute,
+            ))
+        }
     }
 }
 
@@ -101,28 +142,28 @@ pub struct AcceleratedBackend<S: Sample> {
 impl<S: Sample> AcceleratedBackend<S> {
     /// Creates an accelerated backend for one Table II design.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `params` are invalid or if `design` is the pure-software
+    /// [`TonemapError::InvalidParams`] if `params` fail validation;
+    /// [`TonemapError::NotAccelerated`] if `design` is the pure-software
     /// row (use [`crate::SoftwareF32Backend`] for that).
     pub fn new(
         name: &'static str,
         description: &'static str,
         design: DesignImplementation,
         params: ToneMapParams,
-    ) -> Self {
-        assert!(
-            design.is_accelerated(),
-            "AcceleratedBackend requires an accelerated design, got {design}"
-        );
-        AcceleratedBackend {
+    ) -> Result<Self, TonemapError> {
+        if !design.is_accelerated() {
+            return Err(TonemapError::NotAccelerated(design));
+        }
+        Ok(AcceleratedBackend {
             name,
             description,
             design,
-            mapper: ToneMapper::new(params),
+            mapper: ToneMapper::try_new(params)?,
             model: ModelCache::new(design, params),
             _sample: PhantomData,
-        }
+        })
     }
 }
 
@@ -139,12 +180,33 @@ impl<S: Sample> TonemapBackend for AcceleratedBackend<S> {
         Some(self.design)
     }
 
-    fn run(&self, input: &LuminanceImage) -> BackendOutput {
-        run_with(
+    fn params(&self) -> ToneMapParams {
+        *self.mapper.params()
+    }
+
+    fn reconfigured(&self, params: ToneMapParams) -> Result<Arc<dyn TonemapBackend>, TonemapError> {
+        Ok(Arc::new(AcceleratedBackend::<S>::new(
+            self.name,
+            self.description,
+            self.design,
+            params,
+        )?))
+    }
+
+    fn run_luminance(
+        &self,
+        input: &LuminanceImage,
+        params: Option<&ToneMapParams>,
+        with_model: bool,
+    ) -> Result<BackendOutput, TonemapError> {
+        run_request(
             self.name,
             &self.mapper,
+            Some(self.design),
             Some(&self.model),
             input,
+            params,
+            with_model,
             |mapper, hdr| mapper.run_stages_hw_blur::<S>(hdr).output_f32(),
         )
     }

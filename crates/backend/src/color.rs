@@ -1,31 +1,36 @@
-//! Colour tone mapping through any backend.
+//! Colour tone mapping through any backend (deprecated shim).
+//!
+//! The RGB path is now a first-class request form:
+//! `TonemapRequest::rgb(&hdr)` executed through
+//! [`TonemapBackend::execute`]. This module keeps the old helper alive as a
+//! thin shim for one release.
 
 use crate::engine::TonemapBackend;
+use crate::error::TonemapError;
 use crate::output::BackendTelemetry;
-use hdr_image::rgb::{luminance_plane, reapply_color};
-use hdr_image::{ImageError, RgbImage};
+use crate::request::{TonemapPayload, TonemapRequest};
+use hdr_image::RgbImage;
 
-/// Tone-maps a colour HDR image through `backend`: the luminance plane runs
-/// through [`TonemapBackend::run`], then each pixel is rescaled so its
-/// luminance matches the tone-mapped value while chrominance ratios are
-/// preserved — the same colour re-application the paper's C++ application
-/// performs around the accelerated kernel.
-///
-/// Returns the mapped image together with the luminance run's telemetry.
+/// Tone-maps a colour HDR image through `backend`.
 ///
 /// # Errors
 ///
-/// Propagates dimension-mismatch errors from the colour re-application;
-/// these cannot occur for images produced through this workspace's public
-/// API.
+/// Propagates the request execution error; for images produced through
+/// this workspace's public API the call cannot fail.
+#[deprecated(note = "build a `TonemapRequest::rgb` and call `TonemapBackend::execute`")]
 pub fn map_rgb_via(
     backend: &dyn TonemapBackend,
     hdr: &RgbImage,
-) -> Result<(RgbImage, BackendTelemetry), ImageError> {
-    let luminance = luminance_plane(hdr);
-    let run = backend.run(&luminance);
-    let mapped = reapply_color(hdr, &run.image)?;
-    Ok((mapped, run.telemetry))
+) -> Result<(RgbImage, BackendTelemetry), TonemapError> {
+    let response = backend.execute(&TonemapRequest::rgb(hdr).with_telemetry())?;
+    let telemetry = response
+        .telemetry()
+        .cloned()
+        .expect("telemetry was requested");
+    match response.into_payload() {
+        TonemapPayload::Rgb(mapped) => Ok((mapped, telemetry)),
+        _ => unreachable!("an RGB display-referred request yields an RGB payload"),
+    }
 }
 
 #[cfg(test)]
@@ -35,18 +40,33 @@ mod tests {
     use hdr_image::synth::SceneKind;
 
     #[test]
-    fn rgb_mapping_preserves_dimensions_and_range_for_every_backend() {
+    fn rgb_requests_preserve_dimensions_and_range_for_every_backend() {
         let hdr = SceneKind::SunAndShadow.generate_rgb(24, 24, 3);
         let registry = BackendRegistry::standard();
         for backend in registry.iter() {
-            let (out, telemetry) = map_rgb_via(backend, &hdr).unwrap();
+            let response = backend
+                .execute(&TonemapRequest::rgb(&hdr).with_telemetry())
+                .expect("valid RGB request executes");
+            let out = response.rgb().expect("display-referred RGB payload");
             assert_eq!(out.dimensions(), hdr.dimensions(), "{}", backend.name());
-            assert_eq!(telemetry.backend, backend.name());
+            assert_eq!(response.telemetry().unwrap().backend, backend.name());
             for p in out.pixels() {
                 assert!(p.r >= 0.0 && p.r <= 1.0);
                 assert!(p.g >= 0.0 && p.g <= 1.0);
                 assert!(p.b >= 0.0 && p.b <= 1.0);
             }
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_rgb_shim_matches_the_request_path() {
+        let hdr = SceneKind::SunAndShadow.generate_rgb(16, 16, 5);
+        let registry = BackendRegistry::standard();
+        let backend = registry.resolve("sw-f32").unwrap();
+        let (shim, telemetry) = map_rgb_via(backend, &hdr).unwrap();
+        let response = backend.execute(&TonemapRequest::rgb(&hdr)).unwrap();
+        assert_eq!(&shim, response.rgb().unwrap());
+        assert_eq!(telemetry.backend, "sw-f32");
     }
 }

@@ -1,21 +1,65 @@
-//! The [`TonemapBackend`] trait: the single execution contract.
+//! The [`TonemapBackend`] trait: the single, fallible execution contract.
 
+use crate::error::TonemapError;
 use crate::output::BackendOutput;
+use crate::request::{OutputKind, RequestInput, TonemapPayload, TonemapRequest, TonemapResponse};
 use codesign::flow::{DesignImplementation, DesignReport};
-use hdr_image::LuminanceImage;
+use hdr_image::rgb::{luminance_plane, reapply_color, to_ldr_rgb};
+use hdr_image::{LuminanceImage, RgbImage};
+use std::fmt;
+use std::sync::Arc;
+use tonemap_core::ToneMapParams;
+
+/// Introspection data for one engine — what a serving layer lists to its
+/// clients and what an operator reads to pick a spec string.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendInfo {
+    /// Stable registry name (the spec string's name part).
+    pub name: &'static str,
+    /// One-line human description of the execution path.
+    pub description: &'static str,
+    /// The Table II design the engine corresponds to, if any.
+    pub design: Option<DesignImplementation>,
+    /// The tone-mapping parameters the engine was configured with.
+    pub params: ToneMapParams,
+}
+
+impl BackendInfo {
+    /// `true` when the engine's blur runs in the (simulated) programmable
+    /// logic.
+    pub fn is_accelerated(&self) -> bool {
+        self.design.is_some_and(|d| d.is_accelerated())
+    }
+
+    /// `true` when the engine can attach a platform-model cost prediction
+    /// to its telemetry.
+    pub fn has_platform_model(&self) -> bool {
+        self.design.is_some()
+    }
+}
+
+impl fmt::Display for BackendInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:<14} {}", self.name, self.description)?;
+        if let Some(design) = self.design {
+            write!(f, " [Table II: {design}]")?;
+        }
+        Ok(())
+    }
+}
 
 /// One way of executing the paper's tone-mapping pipeline.
 ///
 /// Implementations cover the software float reference, the all-fixed-point
 /// software ablation, and each simulated accelerator design of Table II.
 /// Everything downstream — benches, examples, figure binaries, future
-/// serving layers — selects a backend by name from the
-/// [`crate::BackendRegistry`] and calls [`TonemapBackend::run`] /
-/// [`TonemapBackend::run_batch`]; nothing outside the engine layer calls
-/// the `ToneMapper` execution methods directly.
+/// serving layers — selects an engine by name from the
+/// [`crate::BackendRegistry`] and calls [`TonemapBackend::execute`] with a
+/// [`TonemapRequest`]; nothing outside the engine layer calls the
+/// `ToneMapper` execution methods directly.
 ///
-/// Backends are `Send + Sync` so a future serving layer can share one
-/// registry across worker threads.
+/// Backends are `Send + Sync` so a serving layer can share one registry
+/// across worker threads.
 pub trait TonemapBackend: Send + Sync {
     /// Stable, unique registry name (e.g. `"sw-f32"`, `"hw-fix16"`).
     fn name(&self) -> &'static str;
@@ -28,21 +72,154 @@ pub trait TonemapBackend: Send + Sync {
         None
     }
 
-    /// Tone-maps one HDR luminance image, returning the display-referred
-    /// result plus telemetry.
-    fn run(&self, input: &LuminanceImage) -> BackendOutput;
+    /// The tone-mapping parameters this backend was configured with.
+    fn params(&self) -> ToneMapParams;
 
-    /// Tone-maps many scenes through this backend.
+    /// A new engine of the same kind configured with `params`, with its own
+    /// (empty) per-resolution platform-model cache.
     ///
-    /// The default implementation runs the inputs sequentially; backends
-    /// with per-resolution state (e.g. the accelerated backends' cached
-    /// platform-model evaluation) amortise it across the batch.
-    fn run_batch(&self, inputs: &[LuminanceImage]) -> Vec<BackendOutput> {
-        inputs.iter().map(|input| self.run(input)).collect()
+    /// This is how the registry turns a spec override
+    /// (`"hw-fix16?sigma=3"`) into a long-lived engine: the reconfigured
+    /// instance amortises platform-model evaluations across every request
+    /// it serves, where a per-request parameter override cannot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TonemapError::InvalidParams`] if `params` fail validation.
+    fn reconfigured(&self, params: ToneMapParams) -> Result<Arc<dyn TonemapBackend>, TonemapError>;
+
+    /// The execution primitive every request funnels into: tone-maps one
+    /// luminance plane, optionally with per-request parameters (validated
+    /// here, surfacing [`TonemapError::InvalidParams`]) and optionally with
+    /// the platform model's cost prediction attached to the telemetry.
+    ///
+    /// Prefer [`TonemapBackend::execute`]; this method is the hook backend
+    /// implementations provide, not the API callers consume.
+    fn run_luminance(
+        &self,
+        input: &LuminanceImage,
+        params: Option<&ToneMapParams>,
+        with_model: bool,
+    ) -> Result<BackendOutput, TonemapError>;
+
+    /// Executes one [`TonemapRequest`]: validates the input image and any
+    /// parameter override, runs the pipeline, applies colour re-application
+    /// for RGB requests, and shapes the payload per the requested
+    /// [`OutputKind`].
+    ///
+    /// The request's backend spec (if any) is ignored here — the engine is
+    /// already chosen; [`crate::BackendRegistry::execute`] is the entry
+    /// point that interprets it.
+    ///
+    /// # Errors
+    ///
+    /// [`TonemapError::InvalidParams`] for a bad parameter override,
+    /// [`TonemapError::Image`] for a zero-dimension or mis-sized raw input
+    /// (or a colour re-application mismatch).
+    fn execute(&self, request: &TonemapRequest<'_>) -> Result<TonemapResponse, TonemapError> {
+        let params = request.params_override();
+        let with_telemetry = request.wants_telemetry();
+        match *request.input() {
+            RequestInput::Luminance(image) => {
+                let run = self.run_luminance(image, params, with_telemetry)?;
+                Ok(luminance_response(
+                    run,
+                    request.output_kind(),
+                    with_telemetry,
+                ))
+            }
+            RequestInput::RawLuminance {
+                width,
+                height,
+                pixels,
+            } => {
+                let image = LuminanceImage::from_vec(width, height, pixels.to_vec())?;
+                let run = self.run_luminance(&image, params, with_telemetry)?;
+                Ok(luminance_response(
+                    run,
+                    request.output_kind(),
+                    with_telemetry,
+                ))
+            }
+            RequestInput::Rgb(image) => {
+                let luminance = luminance_plane(image);
+                let run = self.run_luminance(&luminance, params, with_telemetry)?;
+                let mapped = reapply_color(image, &run.image)?;
+                Ok(rgb_response(
+                    mapped,
+                    run,
+                    request.output_kind(),
+                    with_telemetry,
+                ))
+            }
+        }
+    }
+
+    /// Executes many requests through this engine, in order, failing fast
+    /// on the first error. Same-sized scenes amortise the platform-model
+    /// evaluation through the engine's per-resolution cache.
+    fn execute_batch(
+        &self,
+        requests: &[TonemapRequest<'_>],
+    ) -> Result<Vec<TonemapResponse>, TonemapError> {
+        requests
+            .iter()
+            .map(|request| self.execute(request))
+            .collect()
+    }
+
+    /// Introspection data for this engine.
+    fn info(&self) -> BackendInfo {
+        BackendInfo {
+            name: self.name(),
+            description: self.description(),
+            design: self.design(),
+            params: self.params(),
+        }
     }
 
     /// The platform model's full evaluation of this backend's design at the
     /// given image dimensions — the row this backend contributes to
     /// Table II. `None` for backends without a Table II design.
     fn design_report(&self, width: usize, height: usize) -> Option<DesignReport>;
+
+    /// Tone-maps one HDR luminance image with this engine's configured
+    /// parameters, returning the display-referred result plus telemetry.
+    #[deprecated(note = "build a `TonemapRequest` and call `TonemapBackend::execute`")]
+    fn run(&self, input: &LuminanceImage) -> BackendOutput {
+        self.run_luminance(input, None, true)
+            .expect("a typed luminance image with configured parameters cannot fail")
+    }
+
+    /// Tone-maps many scenes through this backend.
+    #[deprecated(note = "build `TonemapRequest`s and call `TonemapBackend::execute_batch`")]
+    fn run_batch(&self, inputs: &[LuminanceImage]) -> Vec<BackendOutput> {
+        #[allow(deprecated)]
+        inputs.iter().map(|input| self.run(input)).collect()
+    }
+}
+
+fn luminance_response(
+    run: BackendOutput,
+    output: OutputKind,
+    with_telemetry: bool,
+) -> TonemapResponse {
+    let payload = match output {
+        OutputKind::DisplayReferred => TonemapPayload::Luminance(run.image),
+        OutputKind::Ldr8 => TonemapPayload::LuminanceLdr(run.image.to_ldr()),
+    };
+    TonemapResponse::new(payload, with_telemetry.then_some(run.telemetry))
+}
+
+fn rgb_response(
+    mapped: RgbImage,
+    run: BackendOutput,
+    output: OutputKind,
+    with_telemetry: bool,
+) -> TonemapResponse {
+    let payload = match output {
+        OutputKind::DisplayReferred => TonemapPayload::Rgb(mapped),
+        OutputKind::Ldr8 => TonemapPayload::RgbLdr(to_ldr_rgb(&mapped)),
+    };
+    TonemapResponse::new(payload, with_telemetry.then_some(run.telemetry))
 }

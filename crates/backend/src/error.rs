@@ -1,0 +1,120 @@
+//! The one exhaustive error type of the engine layer.
+
+use crate::registry::UnknownBackendError;
+use codesign::flow::DesignImplementation;
+use hdr_image::ImageError;
+use std::error::Error;
+use std::fmt;
+use tonemap_core::ParamError;
+
+/// Everything that can go wrong between building a [`crate::TonemapRequest`]
+/// and receiving a [`crate::TonemapResponse`].
+///
+/// This is the single error surface of `tonemap-backend`: registry
+/// construction, spec resolution and request execution all fail through it —
+/// none of them panic on user input. The enum is exhaustive on purpose; a
+/// serving layer can match on it to map each failure to a response code.
+#[derive(Debug)]
+pub enum TonemapError {
+    /// A backend name (or the name part of a spec string) did not resolve.
+    UnknownBackend(UnknownBackendError),
+    /// A spec string (`"name?key=value&…"`) could not be parsed.
+    InvalidSpec {
+        /// The spec string that failed to parse.
+        spec: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// Tone-mapping parameters (per-request override, spec override, or
+    /// registry construction input) failed validation.
+    InvalidParams(ParamError),
+    /// The input image was rejected (zero dimensions, size mismatch) or the
+    /// colour re-application failed.
+    Image(ImageError),
+    /// No registered backend covers the requested Table II design.
+    MissingDesign(DesignImplementation),
+    /// The design cannot be wrapped by an accelerated backend (it has no
+    /// hardware function).
+    NotAccelerated(DesignImplementation),
+}
+
+impl fmt::Display for TonemapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TonemapError::UnknownBackend(e) => e.fmt(f),
+            TonemapError::InvalidSpec { spec, reason } => {
+                write!(f, "invalid backend spec `{spec}`: {reason}")
+            }
+            TonemapError::InvalidParams(e) => write!(f, "invalid tone-mapping parameters: {e}"),
+            TonemapError::Image(e) => write!(f, "invalid image input: {e}"),
+            TonemapError::MissingDesign(design) => {
+                write!(f, "no registered backend covers design `{design}`")
+            }
+            TonemapError::NotAccelerated(design) => write!(
+                f,
+                "design `{design}` has no hardware function and cannot back an accelerated engine"
+            ),
+        }
+    }
+}
+
+impl Error for TonemapError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TonemapError::UnknownBackend(e) => Some(e),
+            TonemapError::InvalidParams(e) => Some(e),
+            TonemapError::Image(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<UnknownBackendError> for TonemapError {
+    fn from(value: UnknownBackendError) -> Self {
+        TonemapError::UnknownBackend(value)
+    }
+}
+
+impl From<ParamError> for TonemapError {
+    fn from(value: ParamError) -> Self {
+        TonemapError::InvalidParams(value)
+    }
+}
+
+impl From<ImageError> for TonemapError {
+    fn from(value: ImageError) -> Self {
+        TonemapError::Image(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_failure() {
+        let e = TonemapError::from(ParamError::ZeroBlurRadius);
+        assert!(e.to_string().contains("parameters"));
+        assert!(e.source().is_some());
+
+        let e = TonemapError::InvalidSpec {
+            spec: "hw-fix16?bogus=1".into(),
+            reason: "unknown key `bogus`".into(),
+        };
+        assert!(e.to_string().contains("hw-fix16?bogus=1"));
+        assert!(e.to_string().contains("bogus"));
+
+        let e = TonemapError::MissingDesign(DesignImplementation::HlsPragmas);
+        assert!(e.to_string().contains("HLS pragmas"));
+
+        let e = TonemapError::NotAccelerated(DesignImplementation::SwSourceCode);
+        assert!(e.to_string().contains("SW source code"));
+
+        let e = TonemapError::from(ImageError::InvalidDimensions {
+            width: 0,
+            height: 3,
+        });
+        assert!(e.to_string().contains("0x3"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,19 +1,25 @@
 //! The engine layer: every way of executing the paper's tone-mapping
-//! pipeline behind one [`TonemapBackend`] trait.
+//! pipeline behind one fallible request/response job contract.
 //!
 //! The seed reproduction exposed three parallel entry points to the Fig. 1
-//! pipeline — `ToneMapper::map_luminance_f32`,
-//! `ToneMapper::map_luminance_hw_blur::<S>` and
-//! `CoDesignFlow::evaluate(DesignImplementation)` — which made the paper's
-//! CPU/accelerator variants hard to compare and impossible to select by
-//! configuration. Following the single-description / many-targets idea of
-//! AnyHLS (Özkan et al., 2020) and Halide-to-heterogeneous-systems (Pu et
-//! al., 2016), this crate funnels all of them through one contract:
+//! pipeline; PR 1 funnelled them through a `TonemapBackend` trait, but the
+//! contract was still shaped like a figure-reproduction script — infallible
+//! `run(&LuminanceImage)`, panicking constructors, RGB through a side-door
+//! helper. This revision reshapes the API around *jobs*, following the
+//! single-description / many-targets idea of AnyHLS (Özkan et al., 2020)
+//! and Halide-to-heterogeneous-systems (Pu et al., 2016) at the API
+//! boundary: one [`TonemapRequest`] describes what to tone-map, with which
+//! parameters, into which output form, on which engine — and execution is
+//! always fallible:
 //!
 //! ```text
-//!            TonemapBackend::run(&LuminanceImage) -> BackendOutput
-//!                 │
-//!    ┌────────────┼──────────────────────────────┐
+//!   TonemapRequest ──► TonemapBackend::execute ──► Result<TonemapResponse,
+//!        │                      ▲                            TonemapError>
+//!        │ "hw-fix16?sigma=3"   │
+//!        ▼                      │
+//!   BackendRegistry::execute ───┘   (spec string → engine + param override)
+//!
+//!    ┌────────────┬──────────────────────────────┐
 //!    │            │                              │
 //!  sw-f32      sw-fix16                hw-marked / hw-sequential /
 //!  (float      (all-stages             hw-pragmas / hw-fix16
@@ -21,35 +27,51 @@
 //!                                       Table II designs)
 //! ```
 //!
-//! Each [`BackendOutput`] carries the tone-mapped image *and* telemetry:
-//! host wall-clock time, analytic operation counts, and — for the backends
-//! that correspond to a Table II design — the platform model's
+//! Every input is validated into a typed [`TonemapError`] — unknown specs,
+//! invalid parameters, zero-dimension images — never a panic. A
+//! [`TonemapResponse`] carries the tone-mapped payload (luminance or RGB,
+//! display-referred `f32` or quantised 8-bit) and, when the request opted
+//! in, telemetry: host wall-clock time, analytic operation counts, and —
+//! for engines that correspond to a Table II design — the platform model's
 //! execution-time/energy prediction ([`ModeledCost`]).
 //!
-//! Backends are resolved by name through the [`BackendRegistry`], and a
-//! batch API ([`TonemapBackend::run_batch`], [`BackendRegistry::run_batch`])
-//! processes many scenes through one engine — the seam the roadmap's
-//! sharding/async/serving work builds on.
+//! Engines are resolved by spec string through the [`BackendRegistry`]
+//! (`"hw-fix16"`, or `"sw-f32?sigma=3.5&radius=10"` to override parameters
+//! from configuration), introspected through [`BackendInfo`], and batches
+//! of heterogeneous requests execute through
+//! [`BackendRegistry::execute_batch`], which amortises both spec
+//! resolution and each engine's per-resolution platform-model cache — the
+//! seam the roadmap's sharding/async/serving work builds on.
 //!
 //! # Example
 //!
 //! ```
 //! use hdr_image::synth::SceneKind;
-//! use tonemap_backend::BackendRegistry;
+//! use tonemap_backend::{BackendRegistry, TonemapRequest};
 //!
 //! let registry = BackendRegistry::standard();
 //! let hdr = SceneKind::WindowInDarkRoom.generate(64, 64, 42);
 //!
-//! // Select engines by configuration, not by hard-coded method calls.
-//! let reference = registry.resolve("sw-f32").unwrap().run(&hdr);
-//! let accelerated = registry.resolve("hw-fix16").unwrap().run(&hdr);
+//! // Select engines by spec string, not by hard-coded method calls.
+//! let reference = registry.execute(&TonemapRequest::luminance(&hdr))?;
+//! let accelerated = registry.execute(
+//!     &TonemapRequest::luminance(&hdr)
+//!         .on_backend("hw-fix16")
+//!         .with_telemetry(),
+//! )?;
 //!
-//! assert_eq!(reference.image.dimensions(), accelerated.image.dimensions());
-//! // The fixed-point accelerator backend carries the platform model's
+//! assert_eq!(reference.dimensions(), accelerated.dimensions());
+//! // The fixed-point accelerator engine carries the platform model's
 //! // prediction of the paper's final design.
-//! let modeled = accelerated.telemetry.modeled.unwrap();
+//! let modeled = accelerated.telemetry().unwrap().modeled.as_ref().unwrap();
 //! assert!(modeled.total_seconds > 0.0);
 //! assert!(modeled.energy_j > 0.0);
+//!
+//! // Bad input is a typed error, not a panic.
+//! assert!(registry
+//!     .execute(&TonemapRequest::luminance(&hdr).on_backend("gpu-cuda"))
+//!     .is_err());
+//! # Ok::<(), tonemap_backend::TonemapError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -58,16 +80,24 @@
 mod accelerated;
 mod color;
 mod engine;
+mod error;
 mod output;
 mod registry;
+mod request;
 mod software;
+mod spec;
+
+#[allow(deprecated)]
+pub use color::map_rgb_via;
 
 pub use accelerated::AcceleratedBackend;
-pub use color::map_rgb_via;
-pub use engine::TonemapBackend;
+pub use engine::{BackendInfo, TonemapBackend};
+pub use error::TonemapError;
 pub use output::{BackendOutput, BackendTelemetry, ModeledCost};
-pub use registry::{BackendRegistry, UnknownBackendError};
+pub use registry::{BackendRegistry, ResolvedBackend, UnknownBackendError};
+pub use request::{OutputKind, TonemapPayload, TonemapRequest, TonemapResponse};
 pub use software::{SoftwareF32Backend, SoftwareFixedBackend};
+pub use spec::BackendSpec;
 
 use codesign::flow::CoDesignFlow;
 use tonemap_core::ToneMapParams;
@@ -77,11 +107,15 @@ use tonemap_core::ToneMapParams;
 /// arbitrary tone-mapping parameters and image dimensions.
 ///
 /// This is what lets every backend answer "what would this run cost on the
-/// modelled Zynq platform?" for the exact image it just processed.
+/// modelled Zynq platform?" for the exact image it just processed. The
+/// parameters are validated before they reach this point (engine
+/// construction and request execution both go through
+/// `ToneMapParams::validate`).
 pub(crate) fn paper_platform_flow(
     params: ToneMapParams,
     width: usize,
     height: usize,
 ) -> CoDesignFlow {
-    CoDesignFlow::paper_setup_with_params(params, width, height)
+    CoDesignFlow::try_paper_setup_with_params(params, width, height)
+        .expect("engine-layer parameters are validated before reaching the platform model")
 }

@@ -1,4 +1,8 @@
-//! The uniform result type every backend returns.
+//! The uniform functional result the execution primitive produces.
+//!
+//! [`BackendOutput`] is what [`crate::TonemapBackend::run_luminance`]
+//! returns; the request API wraps it into a [`crate::TonemapResponse`]
+//! (payload shaping, telemetry opt-in) before it reaches callers.
 
 use codesign::flow::{DesignImplementation, DesignReport};
 use hdr_image::LuminanceImage;
@@ -44,7 +48,8 @@ impl From<&DesignReport> for ModeledCost {
     }
 }
 
-/// Telemetry attached to every backend run.
+/// Telemetry attached to a run when the request opts in with
+/// [`crate::TonemapRequest::with_telemetry`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct BackendTelemetry {
     /// Name of the backend that produced this output.
@@ -58,7 +63,7 @@ pub struct BackendTelemetry {
     pub modeled: Option<ModeledCost>,
 }
 
-/// The result of one [`crate::TonemapBackend::run`]: the tone-mapped image
+/// The functional result of one pipeline execution: the tone-mapped image
 /// plus telemetry.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BackendOutput {

@@ -1,15 +1,18 @@
-//! Name-based backend lookup and whole-registry operations.
+//! Name-based backend lookup, spec resolution and whole-registry operations.
 
 use crate::accelerated::AcceleratedBackend;
-use crate::engine::TonemapBackend;
+use crate::engine::{BackendInfo, TonemapBackend};
+use crate::error::TonemapError;
 use crate::output::BackendOutput;
+use crate::request::{TonemapRequest, TonemapResponse};
 use crate::software::{SoftwareF32Backend, SoftwareFixedBackend};
+use crate::spec::BackendSpec;
 use apfixed::Fix16;
 use codesign::flow::{DesignImplementation, FlowReport};
 use hdr_image::LuminanceImage;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use tonemap_core::ToneMapParams;
 
 /// Error returned when a backend name does not resolve.
@@ -34,17 +37,85 @@ impl fmt::Display for UnknownBackendError {
 
 impl std::error::Error for UnknownBackendError {}
 
-/// A named collection of [`TonemapBackend`] engines.
+/// A spec string resolved against a registry: a shared handle to the
+/// engine that serves it, ready to execute requests.
+///
+/// When the spec carries parameter overrides
+/// (`"hw-fix16?sigma=3"`), the handle is a *reconfigured* instance of the
+/// named engine ([`TonemapBackend::reconfigured`]) with the merged
+/// parameters baked in — so holding a `ResolvedBackend` across many
+/// [`ResolvedBackend::execute`] calls amortises its per-resolution
+/// platform-model cache exactly like the registry's shared engines do.
+/// The registry's batch API does exactly that.
+#[derive(Clone)]
+pub struct ResolvedBackend {
+    backend: Arc<dyn TonemapBackend>,
+    params_override: Option<ToneMapParams>,
+}
+
+impl ResolvedBackend {
+    /// The engine serving this spec (the registry's shared instance, or a
+    /// reconfigured one when the spec overrides parameters).
+    pub fn backend(&self) -> &dyn TonemapBackend {
+        self.backend.as_ref()
+    }
+
+    /// A clonable handle to the engine, for callers that outlive the
+    /// registry borrow (worker threads, async tasks).
+    pub fn backend_shared(&self) -> Arc<dyn TonemapBackend> {
+        Arc::clone(&self.backend)
+    }
+
+    /// The parameters the spec's query part merged onto the named engine's
+    /// configured parameters, if any — already baked into
+    /// [`ResolvedBackend::backend`].
+    pub fn params_override(&self) -> Option<&ToneMapParams> {
+        self.params_override.as_ref()
+    }
+
+    /// Executes a request on the resolved engine.
+    ///
+    /// Precedence: a request-level [`TonemapRequest::with_params`] wins
+    /// over the spec's query overrides (the request is the more specific
+    /// description of the job).
+    pub fn execute(&self, request: &TonemapRequest<'_>) -> Result<TonemapResponse, TonemapError> {
+        self.backend.execute(request)
+    }
+}
+
+impl fmt::Debug for ResolvedBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResolvedBackend")
+            .field("backend", &self.backend.name())
+            .field("params_override", &self.params_override)
+            .finish()
+    }
+}
+
+/// A named collection of [`TonemapBackend`] engines and the resolution
+/// layer of the request/response API: spec strings in, executed
+/// [`TonemapResponse`]s out.
 ///
 /// Backends are stored behind `Arc` so callers (worker threads, batch
 /// drivers) can hold onto an engine independently of the registry's
 /// lifetime. Iteration order is name order (deterministic).
+///
+/// Specs with parameter overrides resolve to reconfigured engines; those
+/// are memoized (shared across clones of the registry), so repeated
+/// [`BackendRegistry::execute`] calls with the same override spec reuse
+/// one engine and its per-resolution platform-model cache instead of
+/// rebuilding both per request.
 #[derive(Clone, Default)]
 pub struct BackendRegistry {
     backends: BTreeMap<&'static str, Arc<dyn TonemapBackend>>,
+    resolved_overrides: Arc<Mutex<HashMap<String, ResolvedBackend>>>,
 }
 
 impl BackendRegistry {
+    /// The engine a request without [`TonemapRequest::on_backend`] runs on:
+    /// the software float reference.
+    pub const DEFAULT_BACKEND: &'static str = "sw-f32";
+
     /// An empty registry.
     pub fn new() -> Self {
         BackendRegistry::default()
@@ -63,47 +134,55 @@ impl BackendRegistry {
     /// | `hw-fix16` | + 16-bit fixed-point datapath | FlP to FxP conversion |
     pub fn standard() -> Self {
         BackendRegistry::standard_with_params(ToneMapParams::paper_default())
+            .expect("paper-default parameters are valid")
     }
 
     /// The standard registry with custom tone-mapping parameters.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `params` are invalid.
-    pub fn standard_with_params(params: ToneMapParams) -> Self {
+    /// Returns [`TonemapError::InvalidParams`] if `params` fail validation.
+    pub fn standard_with_params(params: ToneMapParams) -> Result<Self, TonemapError> {
         let mut registry = BackendRegistry::new();
-        registry.register(Arc::new(SoftwareF32Backend::new(params)));
-        registry.register(Arc::new(SoftwareFixedBackend::new(params)));
+        registry.register(Arc::new(SoftwareF32Backend::new(params)?));
+        registry.register(Arc::new(SoftwareFixedBackend::new(params)?));
         registry.register(Arc::new(AcceleratedBackend::<f32>::new(
             "hw-marked",
             "blur naively marked for hardware: random DDR accesses from the PL (Table II `Marked HW function`)",
             DesignImplementation::MarkedHwFunction,
             params,
-        )));
+        )?));
         registry.register(Arc::new(AcceleratedBackend::<f32>::new(
             "hw-sequential",
             "streaming blur accelerator with BRAM line buffers (Table II `Sequential memory accesses`)",
             DesignImplementation::SequentialMemoryAccesses,
             params,
-        )));
+        )?));
         registry.register(Arc::new(AcceleratedBackend::<f32>::new(
             "hw-pragmas",
             "pipelined 32-bit floating-point blur accelerator (Table II `HLS pragmas`)",
             DesignImplementation::HlsPragmas,
             params,
-        )));
+        )?));
         registry.register(Arc::new(AcceleratedBackend::<Fix16>::new(
             "hw-fix16",
             "the paper's final design: pipelined 16-bit fixed-point blur accelerator (Table II `FlP to FxP conversion`)",
             DesignImplementation::FixedPointConversion,
             params,
-        )));
-        registry
+        )?));
+        Ok(registry)
     }
 
     /// Adds (or replaces) a backend under its own name.
+    ///
+    /// Invalidates the memoized override-spec resolutions, since a cached
+    /// engine may have been reconfigured from a name this call rebinds.
     pub fn register(&mut self, backend: Arc<dyn TonemapBackend>) {
         self.backends.insert(backend.name(), backend);
+        self.resolved_overrides
+            .lock()
+            .expect("override-spec cache poisoned")
+            .clear();
     }
 
     /// Looks a backend up by name.
@@ -114,10 +193,7 @@ impl BackendRegistry {
     /// Looks a backend up by name, returning a descriptive error listing
     /// the known names when it does not resolve.
     pub fn resolve(&self, name: &str) -> Result<&dyn TonemapBackend, UnknownBackendError> {
-        self.get(name).ok_or_else(|| UnknownBackendError {
-            name: name.to_string(),
-            known: self.names().iter().map(|n| n.to_string()).collect(),
-        })
+        self.get(name).ok_or_else(|| self.unknown(name))
     }
 
     /// A clonable handle to a backend, for callers that outlive the
@@ -126,9 +202,118 @@ impl BackendRegistry {
         self.backends.get(name).cloned()
     }
 
+    /// Resolves a full spec string (`"hw-fix16"`,
+    /// `"sw-f32?sigma=3.5&radius=10"`) into an engine ready to execute
+    /// requests. A spec without overrides resolves to the registry's
+    /// shared instance; a spec with overrides resolves to a reconfigured
+    /// instance with the merged, validated parameters baked in (and its
+    /// own platform-model cache).
+    ///
+    /// # Errors
+    ///
+    /// [`TonemapError::InvalidSpec`] for a malformed spec,
+    /// [`TonemapError::UnknownBackend`] for an unregistered name, and
+    /// [`TonemapError::InvalidParams`] when the merged parameters fail
+    /// validation.
+    pub fn resolve_spec(&self, spec: &str) -> Result<ResolvedBackend, TonemapError> {
+        let parsed = BackendSpec::parse(spec)?;
+        let backend = self
+            .get_shared(parsed.name())
+            .ok_or_else(|| self.unknown(parsed.name()))?;
+        let params_override = parsed.merged_params(backend.params())?;
+        let Some(params) = params_override else {
+            return Ok(ResolvedBackend {
+                backend,
+                params_override: None,
+            });
+        };
+        // Memoize reconfigured engines per spec string so repeated
+        // single-request execution reuses one platform-model cache.
+        if let Some(resolved) = self
+            .resolved_overrides
+            .lock()
+            .expect("override-spec cache poisoned")
+            .get(spec)
+        {
+            return Ok(resolved.clone());
+        }
+        let resolved = ResolvedBackend {
+            backend: backend.reconfigured(params)?,
+            params_override: Some(params),
+        };
+        self.resolved_overrides
+            .lock()
+            .expect("override-spec cache poisoned")
+            .entry(spec.to_string())
+            .or_insert(resolved.clone());
+        Ok(resolved)
+    }
+
+    /// The backend covering one Table II design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TonemapError::MissingDesign`] when no registered backend
+    /// covers `design`.
+    pub fn backend_for_design(
+        &self,
+        design: DesignImplementation,
+    ) -> Result<Arc<dyn TonemapBackend>, TonemapError> {
+        self.backends
+            .values()
+            .find(|b| b.design() == Some(design))
+            .cloned()
+            .ok_or(TonemapError::MissingDesign(design))
+    }
+
+    /// Executes one request: the request's spec string (or
+    /// [`BackendRegistry::DEFAULT_BACKEND`] when none was set) is resolved
+    /// and the job runs on that engine.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`BackendRegistry::resolve_spec`] and
+    /// [`TonemapBackend::execute`] can return.
+    pub fn execute(&self, request: &TonemapRequest<'_>) -> Result<TonemapResponse, TonemapError> {
+        let spec = request.backend_spec().unwrap_or(Self::DEFAULT_BACKEND);
+        self.resolve_spec(spec)?.execute(request)
+    }
+
+    /// Executes a batch of heterogeneous requests, in order, failing fast
+    /// on the first error.
+    ///
+    /// Each distinct spec string is resolved once per batch, so requests
+    /// sharing an engine share its per-resolution platform-model cache —
+    /// the amortisation the roadmap's serving work builds on.
+    pub fn execute_batch(
+        &self,
+        requests: &[TonemapRequest<'_>],
+    ) -> Result<Vec<TonemapResponse>, TonemapError> {
+        let mut resolved: BTreeMap<&str, ResolvedBackend> = BTreeMap::new();
+        requests
+            .iter()
+            .map(|request| {
+                let spec = request.backend_spec().unwrap_or(Self::DEFAULT_BACKEND);
+                let engine = match resolved.get(spec) {
+                    Some(engine) => engine,
+                    None => {
+                        let engine = self.resolve_spec(spec)?;
+                        resolved.entry(spec).or_insert(engine)
+                    }
+                };
+                engine.execute(request)
+            })
+            .collect()
+    }
+
     /// Every registered name, in deterministic (sorted) order.
     pub fn names(&self) -> Vec<&'static str> {
         self.backends.keys().copied().collect()
+    }
+
+    /// Introspection data for every registered engine, in name order.
+    pub fn infos(&self) -> Vec<BackendInfo> {
+        self.iter().map(|b| b.info()).collect()
     }
 
     /// Number of registered backends.
@@ -151,11 +336,13 @@ impl BackendRegistry {
     /// # Errors
     ///
     /// Returns [`UnknownBackendError`] when the name does not resolve.
+    #[deprecated(note = "build `TonemapRequest`s and call `BackendRegistry::execute_batch`")]
     pub fn run_batch(
         &self,
         name: &str,
         inputs: &[LuminanceImage],
     ) -> Result<Vec<BackendOutput>, UnknownBackendError> {
+        #[allow(deprecated)]
         Ok(self.resolve(name)?.run_batch(inputs))
     }
 
@@ -167,24 +354,31 @@ impl BackendRegistry {
     /// *registry* for the flow report, so adding or swapping a backend
     /// automatically changes what they evaluate.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no registered backend covers a Table II design, which
-    /// cannot happen for [`BackendRegistry::standard`].
-    pub fn flow_report(&self, width: usize, height: usize) -> FlowReport {
+    /// Returns [`TonemapError::MissingDesign`] when a Table II design has
+    /// no registered backend (cannot happen for
+    /// [`BackendRegistry::standard`]).
+    pub fn flow_report(&self, width: usize, height: usize) -> Result<FlowReport, TonemapError> {
         let designs = DesignImplementation::ALL
             .iter()
             .map(|&design| {
-                self.iter()
-                    .find(|b| b.design() == Some(design))
-                    .and_then(|b| b.design_report(width, height))
-                    .unwrap_or_else(|| panic!("no registered backend covers design `{design}`"))
+                self.backend_for_design(design)?
+                    .design_report(width, height)
+                    .ok_or(TonemapError::MissingDesign(design))
             })
-            .collect();
-        FlowReport {
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FlowReport {
             designs,
             width,
             height,
+        })
+    }
+
+    fn unknown(&self, name: &str) -> UnknownBackendError {
+        UnknownBackendError {
+            name: name.to_string(),
+            known: self.names().iter().map(|n| n.to_string()).collect(),
         }
     }
 }
@@ -222,6 +416,16 @@ mod tests {
     }
 
     #[test]
+    fn standard_with_params_rejects_invalid_parameters() {
+        let mut params = ToneMapParams::paper_default();
+        params.blur.radius = 0;
+        assert!(matches!(
+            BackendRegistry::standard_with_params(params),
+            Err(TonemapError::InvalidParams(_))
+        ));
+    }
+
+    #[test]
     fn unknown_name_lists_known_backends() {
         let registry = BackendRegistry::standard();
         let err = registry
@@ -238,20 +442,19 @@ mod tests {
         let registry = BackendRegistry::standard();
         let hdr = SceneKind::WindowInDarkRoom.generate(32, 32, 3);
         for backend in registry.iter() {
-            let out = backend.run(&hdr);
-            assert_eq!(
-                out.image.dimensions(),
-                hdr.dimensions(),
-                "{}",
-                backend.name()
-            );
+            let response = backend
+                .execute(&TonemapRequest::luminance(&hdr).with_telemetry())
+                .expect("valid request executes");
+            let image = response.luminance().expect("display-referred payload");
+            assert_eq!(image.dimensions(), hdr.dimensions(), "{}", backend.name());
             assert!(
-                out.image.pixels().iter().all(|v| (0.0..=1.0).contains(v)),
+                image.pixels().iter().all(|v| (0.0..=1.0).contains(v)),
                 "{} produced out-of-range pixels",
                 backend.name()
             );
-            assert_eq!(out.telemetry.backend, backend.name());
-            assert!(out.telemetry.ops.total() > 0);
+            let telemetry = response.telemetry().expect("telemetry requested");
+            assert_eq!(telemetry.backend, backend.name());
+            assert!(telemetry.ops.total() > 0);
         }
     }
 
@@ -259,43 +462,208 @@ mod tests {
     fn accelerated_backends_carry_modeled_cost_and_ablation_does_not() {
         let registry = BackendRegistry::standard();
         let hdr = SceneKind::SunAndShadow.generate(32, 32, 5);
-        let fixed = registry.resolve("hw-fix16").unwrap().run(&hdr);
+        let fixed = registry
+            .execute(
+                &TonemapRequest::luminance(&hdr)
+                    .on_backend("hw-fix16")
+                    .with_telemetry(),
+            )
+            .expect("hw-fix16 registered");
         let modeled = fixed
-            .telemetry
+            .telemetry()
+            .expect("telemetry requested")
             .modeled
-            .expect("hw-fix16 has a Table II row");
+            .as_ref()
+            .expect("hw-fix16 has a Table II row")
+            .clone();
         assert_eq!(modeled.design, DesignImplementation::FixedPointConversion);
         assert!(modeled.pl_seconds > 0.0);
         assert!(modeled.energy_j > 0.0);
         assert!(modeled.pl_utilization > 0.0);
 
-        let ablation = registry.resolve("sw-fix16").unwrap().run(&hdr);
-        assert!(ablation.telemetry.modeled.is_none());
+        let ablation = registry
+            .execute(
+                &TonemapRequest::luminance(&hdr)
+                    .on_backend("sw-fix16")
+                    .with_telemetry(),
+            )
+            .expect("sw-fix16 registered");
+        assert!(ablation.telemetry().unwrap().modeled.is_none());
     }
 
     #[test]
-    fn run_batch_preserves_order_and_count() {
+    fn telemetry_is_opt_in() {
+        let registry = BackendRegistry::standard();
+        let hdr = SceneKind::WindowInDarkRoom.generate(16, 16, 4);
+        let silent = registry
+            .execute(&TonemapRequest::luminance(&hdr).on_backend("hw-fix16"))
+            .unwrap();
+        assert!(silent.telemetry().is_none());
+    }
+
+    #[test]
+    fn execute_batch_amortises_spec_resolution_and_preserves_order() {
         let registry = BackendRegistry::standard();
         let scenes: Vec<_> = [1u64, 2, 3]
             .iter()
             .map(|&seed| SceneKind::WindowInDarkRoom.generate(24, 24, seed))
             .collect();
-        let outputs = registry.run_batch("sw-f32", &scenes).unwrap();
-        assert_eq!(outputs.len(), 3);
-        for (scene, out) in scenes.iter().zip(&outputs) {
-            assert_eq!(out.image.dimensions(), scene.dimensions());
+        let requests: Vec<TonemapRequest<'_>> = scenes
+            .iter()
+            .enumerate()
+            .map(|(i, scene)| {
+                // Heterogeneous batch: alternate engines per request.
+                let spec = if i % 2 == 0 { "sw-f32" } else { "hw-fix16" };
+                TonemapRequest::luminance(scene).on_backend(spec)
+            })
+            .collect();
+        let responses = registry.execute_batch(&requests).expect("batch executes");
+        assert_eq!(responses.len(), 3);
+        for (scene, response) in scenes.iter().zip(&responses) {
+            assert_eq!(response.dimensions(), scene.dimensions());
         }
-        assert!(registry.run_batch("no-such", &scenes).is_err());
+
+        let bad: Vec<TonemapRequest<'_>> = scenes
+            .iter()
+            .map(|scene| TonemapRequest::luminance(scene).on_backend("no-such"))
+            .collect();
+        assert!(matches!(
+            registry.execute_batch(&bad),
+            Err(TonemapError::UnknownBackend(_))
+        ));
+    }
+
+    #[test]
+    fn spec_overrides_change_the_effective_parameters() {
+        let registry = BackendRegistry::standard();
+        let resolved = registry
+            .resolve_spec("sw-f32?sigma=2.5&radius=6")
+            .expect("valid spec resolves");
+        let params = resolved.params_override().expect("overrides present");
+        assert_eq!(params.blur.sigma, 2.5);
+        assert_eq!(params.blur.radius, 6);
+        // The merged parameters are baked into a reconfigured engine, so
+        // its per-resolution platform-model cache serves every request the
+        // handle executes (no per-request override path involved).
+        assert_eq!(resolved.backend().params(), *params);
+        assert_ne!(
+            registry.resolve("sw-f32").unwrap().params(),
+            *params,
+            "the registry's shared engine must stay untouched"
+        );
+
+        let hdr = SceneKind::WindowInDarkRoom.generate(32, 32, 9);
+        let narrow = resolved.execute(&TonemapRequest::luminance(&hdr)).unwrap();
+        let default = registry.execute(&TonemapRequest::luminance(&hdr)).unwrap();
+        assert_ne!(
+            narrow.luminance().unwrap(),
+            default.luminance().unwrap(),
+            "a narrower blur must change the output"
+        );
+    }
+
+    #[test]
+    fn override_spec_resolution_is_memoized_until_registration() {
+        let registry = BackendRegistry::standard();
+        let first = registry.resolve_spec("hw-fix16?sigma=3.0").unwrap();
+        let second = registry.resolve_spec("hw-fix16?sigma=3.0").unwrap();
+        assert!(
+            Arc::ptr_eq(&first.backend_shared(), &second.backend_shared()),
+            "repeated resolution must reuse the reconfigured engine (and its model cache)"
+        );
+
+        let mut registry = registry;
+        registry.register(Arc::new(SoftwareF32Backend::default()));
+        let third = registry.resolve_spec("hw-fix16?sigma=3.0").unwrap();
+        assert!(
+            !Arc::ptr_eq(&first.backend_shared(), &third.backend_shared()),
+            "registering a backend must invalidate memoized resolutions"
+        );
+    }
+
+    #[test]
+    fn request_params_take_precedence_over_spec_overrides() {
+        let registry = BackendRegistry::standard();
+        let resolved = registry.resolve_spec("sw-f32?sigma=2.5").unwrap();
+        let hdr = SceneKind::WindowInDarkRoom.generate(24, 24, 8);
+        let explicit = resolved
+            .execute(&TonemapRequest::luminance(&hdr).with_params(ToneMapParams::paper_default()))
+            .unwrap();
+        let default = registry.execute(&TonemapRequest::luminance(&hdr)).unwrap();
+        assert_eq!(explicit.luminance().unwrap(), default.luminance().unwrap());
+    }
+
+    #[test]
+    fn backend_for_design_reports_missing_designs() {
+        let registry = BackendRegistry::standard();
+        let backend = registry
+            .backend_for_design(DesignImplementation::HlsPragmas)
+            .expect("standard registry covers Table II");
+        assert_eq!(backend.name(), "hw-pragmas");
+
+        let empty = BackendRegistry::new();
+        assert!(matches!(
+            empty.backend_for_design(DesignImplementation::HlsPragmas),
+            Err(TonemapError::MissingDesign(
+                DesignImplementation::HlsPragmas
+            ))
+        ));
+    }
+
+    #[test]
+    fn infos_describe_every_engine() {
+        let registry = BackendRegistry::standard();
+        let infos = registry.infos();
+        assert_eq!(infos.len(), registry.len());
+        let fixed = infos.iter().find(|i| i.name == "hw-fix16").unwrap();
+        assert!(fixed.is_accelerated());
+        assert!(fixed.has_platform_model());
+        assert_eq!(fixed.params, ToneMapParams::paper_default());
+        assert!(fixed.to_string().contains("FlP to FxP conversion"));
+        let ablation = infos.iter().find(|i| i.name == "sw-fix16").unwrap();
+        assert!(!ablation.is_accelerated());
+        assert!(!ablation.has_platform_model());
     }
 
     #[test]
     fn flow_report_covers_every_table_two_design_in_order() {
         let registry = BackendRegistry::standard();
-        let report = registry.flow_report(64, 64);
+        let report = registry
+            .flow_report(64, 64)
+            .expect("standard registry covers Table II");
         assert_eq!(report.designs.len(), DesignImplementation::ALL.len());
         for (expected, actual) in DesignImplementation::ALL.iter().zip(&report.designs) {
             assert_eq!(*expected, actual.design);
         }
         assert_eq!((report.width, report.height), (64, 64));
+    }
+
+    #[test]
+    fn flow_report_on_an_incomplete_registry_is_a_typed_error() {
+        let mut registry = BackendRegistry::new();
+        registry.register(Arc::new(SoftwareF32Backend::default()));
+        assert!(matches!(
+            registry.flow_report(32, 32),
+            Err(TonemapError::MissingDesign(_))
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work_for_one_release() {
+        let registry = BackendRegistry::standard();
+        let scenes: Vec<_> = [1u64, 2]
+            .iter()
+            .map(|&seed| SceneKind::WindowInDarkRoom.generate(16, 16, seed))
+            .collect();
+        let outputs = registry.run_batch("sw-f32", &scenes).unwrap();
+        assert_eq!(outputs.len(), 2);
+        for (scene, out) in scenes.iter().zip(&outputs) {
+            assert_eq!(out.image.dimensions(), scene.dimensions());
+        }
+        assert!(registry.run_batch("no-such", &scenes).is_err());
+
+        let single = registry.resolve("sw-f32").unwrap().run(&scenes[0]);
+        assert_eq!(single.image, outputs[0].image);
     }
 }

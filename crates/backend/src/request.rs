@@ -1,0 +1,347 @@
+//! The job contract: [`TonemapRequest`] in, [`TonemapResponse`] out.
+//!
+//! One request describes *what* to tone-map (a luminance plane, an RGB
+//! image, or raw pixels straight off a wire), *with which parameters*
+//! (optional per-request override), *into which output form* (display-
+//! referred `f32` or quantised 8-bit), and *on which engine* (an optional
+//! backend spec string interpreted by [`crate::BackendRegistry`]). Execution
+//! is always fallible: [`crate::TonemapBackend::execute`] and
+//! [`crate::BackendRegistry::execute`] return `Result<TonemapResponse,
+//! TonemapError>` and never panic on user input.
+
+use crate::output::BackendTelemetry;
+use hdr_image::{LdrImage, LdrRgbImage, LuminanceImage, RgbImage};
+use tonemap_core::ToneMapParams;
+
+/// The form of image a [`TonemapResponse`] should carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputKind {
+    /// The display-referred `f32` image, every pixel in `[0, 1]` (default).
+    #[default]
+    DisplayReferred,
+    /// The 8-bit quantised image a display sink consumes directly.
+    Ldr8,
+}
+
+/// What a request tone-maps. Borrowed, so building a request never copies
+/// pixel data.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RequestInput<'a> {
+    /// An HDR luminance plane.
+    Luminance(&'a LuminanceImage),
+    /// An HDR colour image; the luminance plane is tone-mapped and the
+    /// chrominance ratios are re-applied.
+    Rgb(&'a RgbImage),
+    /// Raw row-major luminance pixels with claimed dimensions, validated at
+    /// execution time — the shape a serving layer receives off the wire.
+    RawLuminance {
+        width: usize,
+        height: usize,
+        pixels: &'a [f32],
+    },
+}
+
+/// A description of one tone-mapping job.
+///
+/// Built with a fluent API and executed through
+/// [`crate::TonemapBackend::execute`] (engine already in hand) or
+/// [`crate::BackendRegistry::execute`] (engine chosen by the request's spec
+/// string).
+///
+/// # Example
+///
+/// ```
+/// use hdr_image::synth::SceneKind;
+/// use tonemap_backend::{BackendRegistry, OutputKind, TonemapRequest};
+///
+/// let registry = BackendRegistry::standard();
+/// let hdr = SceneKind::WindowInDarkRoom.generate(32, 32, 1);
+///
+/// // What to map, on which engine, with telemetry attached.
+/// let request = TonemapRequest::luminance(&hdr)
+///     .on_backend("hw-fix16")
+///     .with_telemetry();
+/// let response = registry.execute(&request)?;
+/// assert_eq!(response.luminance().unwrap().dimensions(), (32, 32));
+/// assert!(response.telemetry().unwrap().modeled.is_some());
+///
+/// // The same scene as an 8-bit output, parameters overridden per request.
+/// let mut params = tonemap_core::ToneMapParams::paper_default();
+/// params.blur.sigma = 3.0;
+/// let ldr = registry.execute(
+///     &TonemapRequest::luminance(&hdr)
+///         .with_params(params)
+///         .with_output(OutputKind::Ldr8),
+/// )?;
+/// assert!(ldr.ldr_luminance().is_some());
+/// # Ok::<(), tonemap_backend::TonemapError>(())
+/// ```
+#[derive(Debug, Clone)]
+#[must_use = "a request does nothing until executed"]
+pub struct TonemapRequest<'a> {
+    input: RequestInput<'a>,
+    params: Option<ToneMapParams>,
+    backend: Option<String>,
+    output: OutputKind,
+    telemetry: bool,
+}
+
+impl<'a> TonemapRequest<'a> {
+    fn new(input: RequestInput<'a>) -> Self {
+        TonemapRequest {
+            input,
+            params: None,
+            backend: None,
+            output: OutputKind::DisplayReferred,
+            telemetry: false,
+        }
+    }
+
+    /// A request to tone-map an HDR luminance plane.
+    pub fn luminance(image: &'a LuminanceImage) -> Self {
+        TonemapRequest::new(RequestInput::Luminance(image))
+    }
+
+    /// A request to tone-map an HDR colour image: the luminance plane runs
+    /// through the engine and each pixel is rescaled so its luminance
+    /// matches the tone-mapped value while chrominance ratios are preserved
+    /// — the colour re-application the paper's C++ host code performs
+    /// around the accelerated kernel.
+    pub fn rgb(image: &'a RgbImage) -> Self {
+        TonemapRequest::new(RequestInput::Rgb(image))
+    }
+
+    /// A request carrying raw row-major luminance pixels with claimed
+    /// dimensions. The dimensions are validated at execution time, so a
+    /// zero-sized or mis-sized payload fails with
+    /// [`crate::TonemapError::Image`] instead of panicking.
+    pub fn raw_luminance(width: usize, height: usize, pixels: &'a [f32]) -> Self {
+        TonemapRequest::new(RequestInput::RawLuminance {
+            width,
+            height,
+            pixels,
+        })
+    }
+
+    /// Overrides the engine's configured tone-mapping parameters for this
+    /// request only. Validated at execution time.
+    pub fn with_params(mut self, params: ToneMapParams) -> Self {
+        self.params = Some(params);
+        self
+    }
+
+    /// Names the engine this request should run on, as a spec string
+    /// understood by [`crate::BackendRegistry::execute`] — a registry name
+    /// (`"hw-fix16"`), optionally with parameter overrides
+    /// (`"sw-f32?sigma=3.5&radius=10"`). Ignored by
+    /// [`crate::TonemapBackend::execute`], where the engine is already
+    /// chosen.
+    pub fn on_backend(mut self, spec: impl Into<String>) -> Self {
+        self.backend = Some(spec.into());
+        self
+    }
+
+    /// Selects the output form of the response.
+    pub fn with_output(mut self, output: OutputKind) -> Self {
+        self.output = output;
+        self
+    }
+
+    /// Opts into telemetry: the response carries wall time, operation
+    /// counts and (for engines with a Table II design) the platform model's
+    /// cost prediction. Off by default because the first platform-model
+    /// evaluation per image size is not free.
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = true;
+        self
+    }
+
+    /// The per-request parameter override, if any.
+    pub fn params_override(&self) -> Option<&ToneMapParams> {
+        self.params.as_ref()
+    }
+
+    /// The backend spec string, if one was set with
+    /// [`TonemapRequest::on_backend`].
+    pub fn backend_spec(&self) -> Option<&str> {
+        self.backend.as_deref()
+    }
+
+    /// The requested output form.
+    pub fn output_kind(&self) -> OutputKind {
+        self.output
+    }
+
+    /// `true` when the response should carry telemetry.
+    pub fn wants_telemetry(&self) -> bool {
+        self.telemetry
+    }
+
+    /// `true` when the request maps a colour image.
+    pub fn is_rgb(&self) -> bool {
+        matches!(self.input, RequestInput::Rgb(_))
+    }
+
+    /// The claimed input dimensions. For raw inputs these are the caller's
+    /// claim and are only validated at execution time.
+    pub fn input_dimensions(&self) -> (usize, usize) {
+        match self.input {
+            RequestInput::Luminance(im) => im.dimensions(),
+            RequestInput::Rgb(im) => im.dimensions(),
+            RequestInput::RawLuminance { width, height, .. } => (width, height),
+        }
+    }
+
+    pub(crate) fn input(&self) -> &RequestInput<'a> {
+        &self.input
+    }
+}
+
+/// The image a [`TonemapResponse`] carries, shaped by the request's input
+/// form and [`OutputKind`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TonemapPayload {
+    /// Display-referred luminance output.
+    Luminance(LuminanceImage),
+    /// Display-referred colour output.
+    Rgb(RgbImage),
+    /// 8-bit luminance output.
+    LuminanceLdr(LdrImage),
+    /// 8-bit colour output.
+    RgbLdr(LdrRgbImage),
+}
+
+impl TonemapPayload {
+    /// `(width, height)` of the payload image.
+    pub fn dimensions(&self) -> (usize, usize) {
+        match self {
+            TonemapPayload::Luminance(im) => im.dimensions(),
+            TonemapPayload::Rgb(im) => im.dimensions(),
+            TonemapPayload::LuminanceLdr(im) => im.dimensions(),
+            TonemapPayload::RgbLdr(im) => im.dimensions(),
+        }
+    }
+}
+
+/// The result of executing one [`TonemapRequest`].
+#[derive(Debug, Clone)]
+pub struct TonemapResponse {
+    payload: TonemapPayload,
+    telemetry: Option<BackendTelemetry>,
+}
+
+impl TonemapResponse {
+    pub(crate) fn new(payload: TonemapPayload, telemetry: Option<BackendTelemetry>) -> Self {
+        TonemapResponse { payload, telemetry }
+    }
+
+    /// The tone-mapped image.
+    pub fn payload(&self) -> &TonemapPayload {
+        &self.payload
+    }
+
+    /// Consumes the response, returning the tone-mapped image.
+    pub fn into_payload(self) -> TonemapPayload {
+        self.payload
+    }
+
+    /// Telemetry of the run, present when the request opted in with
+    /// [`TonemapRequest::with_telemetry`].
+    pub fn telemetry(&self) -> Option<&BackendTelemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// `(width, height)` of the payload image.
+    pub fn dimensions(&self) -> (usize, usize) {
+        self.payload.dimensions()
+    }
+
+    /// The display-referred luminance image, when the request asked for one.
+    pub fn luminance(&self) -> Option<&LuminanceImage> {
+        match &self.payload {
+            TonemapPayload::Luminance(im) => Some(im),
+            _ => None,
+        }
+    }
+
+    /// The display-referred colour image, when the request asked for one.
+    pub fn rgb(&self) -> Option<&RgbImage> {
+        match &self.payload {
+            TonemapPayload::Rgb(im) => Some(im),
+            _ => None,
+        }
+    }
+
+    /// The 8-bit luminance image, when the request asked for one.
+    pub fn ldr_luminance(&self) -> Option<&LdrImage> {
+        match &self.payload {
+            TonemapPayload::LuminanceLdr(im) => Some(im),
+            _ => None,
+        }
+    }
+
+    /// The 8-bit colour image, when the request asked for one.
+    pub fn ldr_rgb(&self) -> Option<&LdrRgbImage> {
+        match &self.payload {
+            TonemapPayload::RgbLdr(im) => Some(im),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdr_image::synth::SceneKind;
+
+    #[test]
+    fn builder_records_every_field() {
+        let hdr = SceneKind::GradientRamp.generate(8, 8, 1);
+        let request = TonemapRequest::luminance(&hdr)
+            .on_backend("hw-fix16?sigma=3")
+            .with_params(ToneMapParams::paper_default())
+            .with_output(OutputKind::Ldr8)
+            .with_telemetry();
+        assert_eq!(request.backend_spec(), Some("hw-fix16?sigma=3"));
+        assert!(request.params_override().is_some());
+        assert_eq!(request.output_kind(), OutputKind::Ldr8);
+        assert!(request.wants_telemetry());
+        assert!(!request.is_rgb());
+        assert_eq!(request.input_dimensions(), (8, 8));
+    }
+
+    #[test]
+    fn defaults_are_display_referred_without_telemetry() {
+        let hdr = SceneKind::GradientRamp.generate_rgb(4, 4, 1);
+        let request = TonemapRequest::rgb(&hdr);
+        assert_eq!(request.output_kind(), OutputKind::DisplayReferred);
+        assert!(!request.wants_telemetry());
+        assert!(request.backend_spec().is_none());
+        assert!(request.is_rgb());
+    }
+
+    #[test]
+    fn raw_requests_report_claimed_dimensions() {
+        let pixels = vec![0.5f32; 12];
+        let request = TonemapRequest::raw_luminance(4, 3, &pixels);
+        assert_eq!(request.input_dimensions(), (4, 3));
+        let empty = TonemapRequest::raw_luminance(0, 0, &[]);
+        assert_eq!(empty.input_dimensions(), (0, 0));
+    }
+
+    #[test]
+    fn payload_accessors_are_exclusive() {
+        let image = SceneKind::GradientRamp.generate(4, 4, 2);
+        let response = TonemapResponse::new(TonemapPayload::Luminance(image), None);
+        assert!(response.luminance().is_some());
+        assert!(response.rgb().is_none());
+        assert!(response.ldr_luminance().is_none());
+        assert!(response.ldr_rgb().is_none());
+        assert!(response.telemetry().is_none());
+        assert_eq!(response.dimensions(), (4, 4));
+        assert!(matches!(
+            response.into_payload(),
+            TonemapPayload::Luminance(_)
+        ));
+    }
+}

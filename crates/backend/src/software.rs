@@ -1,11 +1,13 @@
 //! The software execution paths: float reference and all-fixed ablation.
 
-use crate::accelerated::{run_with, ModelCache};
+use crate::accelerated::{run_request, ModelCache};
 use crate::engine::TonemapBackend;
+use crate::error::TonemapError;
 use crate::output::BackendOutput;
 use apfixed::Fix16;
 use codesign::flow::{DesignImplementation, DesignReport};
 use hdr_image::LuminanceImage;
+use std::sync::Arc;
 use tonemap_core::{ToneMapParams, ToneMapper};
 
 /// The paper's software reference: every stage in 32-bit floating point on
@@ -19,20 +21,21 @@ pub struct SoftwareF32Backend {
 impl SoftwareF32Backend {
     /// Creates the reference backend.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `params` are invalid.
-    pub fn new(params: ToneMapParams) -> Self {
-        SoftwareF32Backend {
-            mapper: ToneMapper::new(params),
+    /// Returns [`TonemapError::InvalidParams`] if `params` fail validation.
+    pub fn new(params: ToneMapParams) -> Result<Self, TonemapError> {
+        Ok(SoftwareF32Backend {
+            mapper: ToneMapper::try_new(params)?,
             model: ModelCache::new(DesignImplementation::SwSourceCode, params),
-        }
+        })
     }
 }
 
 impl Default for SoftwareF32Backend {
     fn default() -> Self {
         SoftwareF32Backend::new(ToneMapParams::paper_default())
+            .expect("paper-default parameters are valid")
     }
 }
 
@@ -49,12 +52,28 @@ impl TonemapBackend for SoftwareF32Backend {
         Some(DesignImplementation::SwSourceCode)
     }
 
-    fn run(&self, input: &LuminanceImage) -> BackendOutput {
-        run_with(
+    fn params(&self) -> ToneMapParams {
+        *self.mapper.params()
+    }
+
+    fn reconfigured(&self, params: ToneMapParams) -> Result<Arc<dyn TonemapBackend>, TonemapError> {
+        Ok(Arc::new(SoftwareF32Backend::new(params)?))
+    }
+
+    fn run_luminance(
+        &self,
+        input: &LuminanceImage,
+        params: Option<&ToneMapParams>,
+        with_model: bool,
+    ) -> Result<BackendOutput, TonemapError> {
+        run_request(
             self.name(),
             &self.mapper,
+            Some(DesignImplementation::SwSourceCode),
             Some(&self.model),
             input,
+            params,
+            with_model,
             |mapper, hdr| mapper.run_stages::<f32>(hdr).output_f32(),
         )
     }
@@ -78,19 +97,20 @@ pub struct SoftwareFixedBackend {
 impl SoftwareFixedBackend {
     /// Creates the all-fixed-point ablation backend.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `params` are invalid.
-    pub fn new(params: ToneMapParams) -> Self {
-        SoftwareFixedBackend {
-            mapper: ToneMapper::new(params),
-        }
+    /// Returns [`TonemapError::InvalidParams`] if `params` fail validation.
+    pub fn new(params: ToneMapParams) -> Result<Self, TonemapError> {
+        Ok(SoftwareFixedBackend {
+            mapper: ToneMapper::try_new(params)?,
+        })
     }
 }
 
 impl Default for SoftwareFixedBackend {
     fn default() -> Self {
         SoftwareFixedBackend::new(ToneMapParams::paper_default())
+            .expect("paper-default parameters are valid")
     }
 }
 
@@ -103,10 +123,30 @@ impl TonemapBackend for SoftwareFixedBackend {
         "all-fixed-point ablation: every stage in 16-bit fixed point (no Table II row)"
     }
 
-    fn run(&self, input: &LuminanceImage) -> BackendOutput {
-        run_with(self.name(), &self.mapper, None, input, |mapper, hdr| {
-            mapper.run_stages::<Fix16>(hdr).output_f32()
-        })
+    fn params(&self) -> ToneMapParams {
+        *self.mapper.params()
+    }
+
+    fn reconfigured(&self, params: ToneMapParams) -> Result<Arc<dyn TonemapBackend>, TonemapError> {
+        Ok(Arc::new(SoftwareFixedBackend::new(params)?))
+    }
+
+    fn run_luminance(
+        &self,
+        input: &LuminanceImage,
+        params: Option<&ToneMapParams>,
+        with_model: bool,
+    ) -> Result<BackendOutput, TonemapError> {
+        run_request(
+            self.name(),
+            &self.mapper,
+            None,
+            None,
+            input,
+            params,
+            with_model,
+            |mapper, hdr| mapper.run_stages::<Fix16>(hdr).output_f32(),
+        )
     }
 
     fn design_report(&self, _width: usize, _height: usize) -> Option<DesignReport> {

@@ -1,0 +1,288 @@
+//! Backend spec strings: `"name"` or `"name?key=value&key=value"`.
+//!
+//! A spec is how configuration (CLI flags, job queues, config files) names
+//! an engine *and* tweaks its tone-mapping parameters without touching
+//! code — the registry resolves `"sw-f32?sigma=3.5&radius=10"` into the
+//! `sw-f32` engine plus a validated parameter override.
+
+use crate::error::TonemapError;
+use std::str::FromStr;
+use tonemap_core::ToneMapParams;
+
+/// The single source of truth for spec override keys: each entry pairs the
+/// key with its parse-and-store action, so the parser's dispatch and the
+/// "known keys" error message cannot drift apart.
+type KeySetter = fn(&mut ParamOverrides, &str) -> Result<(), ()>;
+const KNOWN_KEYS: &[(&str, KeySetter)] = &[
+    ("sigma", |o, v| {
+        o.sigma = Some(v.parse().map_err(drop)?);
+        Ok(())
+    }),
+    ("radius", |o, v| {
+        o.radius = Some(v.parse().map_err(drop)?);
+        Ok(())
+    }),
+    ("strength", |o, v| {
+        o.strength = Some(v.parse().map_err(drop)?);
+        Ok(())
+    }),
+    ("invert_mask", |o, v| {
+        o.invert_mask = Some(v.parse().map_err(drop)?);
+        Ok(())
+    }),
+    ("brightness", |o, v| {
+        o.brightness = Some(v.parse().map_err(drop)?);
+        Ok(())
+    }),
+    ("contrast", |o, v| {
+        o.contrast = Some(v.parse().map_err(drop)?);
+        Ok(())
+    }),
+    ("channels", |o, v| {
+        o.channels = Some(v.parse().map_err(drop)?);
+        Ok(())
+    }),
+];
+
+/// Field-wise overrides of [`ToneMapParams`] parsed from a spec string's
+/// query part. Unset fields keep the base value.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct ParamOverrides {
+    sigma: Option<f32>,
+    radius: Option<usize>,
+    strength: Option<f32>,
+    invert_mask: Option<bool>,
+    brightness: Option<f32>,
+    contrast: Option<f32>,
+    channels: Option<usize>,
+}
+
+impl ParamOverrides {
+    fn is_empty(&self) -> bool {
+        *self == ParamOverrides::default()
+    }
+
+    fn apply(&self, mut base: ToneMapParams) -> ToneMapParams {
+        if let Some(sigma) = self.sigma {
+            base.blur.sigma = sigma;
+        }
+        if let Some(radius) = self.radius {
+            base.blur.radius = radius;
+        }
+        if let Some(strength) = self.strength {
+            base.masking.strength = strength;
+        }
+        if let Some(invert) = self.invert_mask {
+            base.masking.invert_mask = invert;
+        }
+        if let Some(brightness) = self.brightness {
+            base.adjust.brightness = brightness;
+        }
+        if let Some(contrast) = self.contrast {
+            base.adjust.contrast = contrast;
+        }
+        if let Some(channels) = self.channels {
+            base.channels = channels;
+        }
+        base
+    }
+}
+
+/// A parsed backend spec: an engine name plus optional parameter overrides.
+///
+/// # Example
+///
+/// ```
+/// use tonemap_backend::BackendSpec;
+///
+/// let spec: BackendSpec = "hw-fix16?sigma=3.5&radius=10".parse()?;
+/// assert_eq!(spec.name(), "hw-fix16");
+/// assert!(spec.has_overrides());
+///
+/// let plain: BackendSpec = "sw-f32".parse()?;
+/// assert!(!plain.has_overrides());
+/// # Ok::<(), tonemap_backend::TonemapError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendSpec {
+    name: String,
+    overrides: ParamOverrides,
+}
+
+impl BackendSpec {
+    /// Parses a spec string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TonemapError::InvalidSpec`] when the string is empty, has
+    /// an empty name, an unknown override key, or an unparsable value.
+    /// Whether the *applied* parameters are valid is checked separately by
+    /// [`BackendSpec::merged_params`].
+    pub fn parse(spec: &str) -> Result<Self, TonemapError> {
+        let invalid = |reason: String| TonemapError::InvalidSpec {
+            spec: spec.to_string(),
+            reason,
+        };
+        let (name, query) = match spec.split_once('?') {
+            Some((name, query)) => (name, Some(query)),
+            None => (spec, None),
+        };
+        if name.trim().is_empty() {
+            return Err(invalid("missing backend name".to_string()));
+        }
+        let mut overrides = ParamOverrides::default();
+        if let Some(query) = query {
+            for pair in query.split('&').filter(|p| !p.is_empty()) {
+                let (key, value) = pair
+                    .split_once('=')
+                    .ok_or_else(|| invalid(format!("override `{pair}` is not `key=value`")))?;
+                let (_, setter) = KNOWN_KEYS
+                    .iter()
+                    .find(|(known, _)| *known == key)
+                    .ok_or_else(|| {
+                        invalid(format!(
+                            "unknown key `{key}`; known keys: {}",
+                            KNOWN_KEYS
+                                .iter()
+                                .map(|(known, _)| *known)
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ))
+                    })?;
+                setter(&mut overrides, value).map_err(|()| {
+                    invalid(format!("cannot parse `{value}` as a value for `{key}`"))
+                })?;
+            }
+        }
+        Ok(BackendSpec {
+            name: name.to_string(),
+            overrides,
+        })
+    }
+
+    /// The engine name part of the spec.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `true` when the spec carries at least one parameter override.
+    pub fn has_overrides(&self) -> bool {
+        !self.overrides.is_empty()
+    }
+
+    /// Applies the spec's overrides on top of `base` and validates the
+    /// result. Returns `None` when the spec has no overrides (the engine's
+    /// own parameters stand).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TonemapError::InvalidParams`] when the merged parameters
+    /// fail validation.
+    pub fn merged_params(
+        &self,
+        base: ToneMapParams,
+    ) -> Result<Option<ToneMapParams>, TonemapError> {
+        if !self.has_overrides() {
+            return Ok(None);
+        }
+        let merged = self.overrides.apply(base);
+        merged.validate()?;
+        Ok(Some(merged))
+    }
+}
+
+impl FromStr for BackendSpec {
+    type Err = TonemapError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BackendSpec::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_name_has_no_overrides() {
+        let spec = BackendSpec::parse("hw-fix16").unwrap();
+        assert_eq!(spec.name(), "hw-fix16");
+        assert!(!spec.has_overrides());
+        assert_eq!(
+            spec.merged_params(ToneMapParams::paper_default()).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn overrides_merge_onto_the_base() {
+        let spec = BackendSpec::parse(
+            "sw-f32?sigma=3.5&radius=10&strength=1.5&invert_mask=false&brightness=0.0&contrast=1.0&channels=1",
+        )
+        .unwrap();
+        assert!(spec.has_overrides());
+        let merged = spec
+            .merged_params(ToneMapParams::paper_default())
+            .unwrap()
+            .expect("overrides present");
+        assert_eq!(merged.blur.sigma, 3.5);
+        assert_eq!(merged.blur.radius, 10);
+        assert_eq!(merged.masking.strength, 1.5);
+        assert!(!merged.masking.invert_mask);
+        assert_eq!(merged.adjust.brightness, 0.0);
+        assert_eq!(merged.adjust.contrast, 1.0);
+        assert_eq!(merged.channels, 1);
+    }
+
+    #[test]
+    fn partial_overrides_keep_the_rest_of_the_base() {
+        let spec = BackendSpec::parse("sw-f32?sigma=2.0").unwrap();
+        let merged = spec
+            .merged_params(ToneMapParams::paper_default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(merged.blur.sigma, 2.0);
+        assert_eq!(
+            merged.blur.radius,
+            ToneMapParams::paper_default().blur.radius
+        );
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_reasons() {
+        for (spec, needle) in [
+            ("", "missing backend name"),
+            ("?sigma=1", "missing backend name"),
+            ("sw-f32?sigma", "not `key=value`"),
+            ("sw-f32?sigma=abc", "cannot parse"),
+            ("sw-f32?warp=9", "unknown key"),
+            ("sw-f32?radius=-2", "cannot parse"),
+        ] {
+            let err = BackendSpec::parse(spec).err().unwrap_or_else(|| {
+                panic!("spec `{spec}` should fail to parse");
+            });
+            match err {
+                TonemapError::InvalidSpec { reason, .. } => {
+                    assert!(reason.contains(needle), "`{reason}` lacks `{needle}`")
+                }
+                other => panic!("unexpected error for `{spec}`: {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn merged_params_validate_the_result() {
+        let spec = BackendSpec::parse("sw-f32?radius=0").unwrap();
+        assert!(matches!(
+            spec.merged_params(ToneMapParams::paper_default()),
+            Err(TonemapError::InvalidParams(_))
+        ));
+    }
+
+    #[test]
+    fn from_str_round_trips() {
+        let spec: BackendSpec = "hw-pragmas?contrast=1.3".parse().unwrap();
+        assert_eq!(spec.name(), "hw-pragmas");
+        assert!(spec.has_overrides());
+    }
+}

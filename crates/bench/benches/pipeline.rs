@@ -1,12 +1,13 @@
 //! Wall-clock benchmarks of the full tone-mapping pipeline, executed
-//! through the backend engine layer: software float reference, fixed-point
-//! accelerator configuration, the colour path and a batch run.
+//! through the backend engine layer's request/response contract: software
+//! float reference, fixed-point accelerator configuration, the colour
+//! path and a batch of heterogeneous requests.
 
 use bench::bench_input;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hdr_image::synth::SceneKind;
 use std::time::Duration;
-use tonemap_backend::{map_rgb_via, BackendRegistry};
+use tonemap_backend::{BackendRegistry, TonemapRequest};
 
 fn pipeline_benchmarks(c: &mut Criterion) {
     let mut group = c.benchmark_group("tonemap_pipeline");
@@ -21,23 +22,44 @@ fn pipeline_benchmarks(c: &mut Criterion) {
     for &size in &[128usize, 256] {
         let hdr = bench_input(size);
         group.bench_with_input(BenchmarkId::new("float_reference", size), &hdr, |b, img| {
-            b.iter(|| reference.run(img))
+            b.iter(|| {
+                reference
+                    .execute(&TonemapRequest::luminance(img))
+                    .expect("valid request")
+            })
         });
         group.bench_with_input(BenchmarkId::new("hw_blur_fix16", size), &hdr, |b, img| {
-            b.iter(|| fixed.run(img))
+            b.iter(|| {
+                fixed
+                    .execute(&TonemapRequest::luminance(img))
+                    .expect("valid request")
+            })
         });
     }
 
     let rgb = SceneKind::SunAndShadow.generate_rgb(128, 128, 7);
     group.bench_function("rgb_float_128", |b| {
-        b.iter(|| map_rgb_via(reference, &rgb).expect("dimensions always match"))
+        b.iter(|| {
+            reference
+                .execute(&TonemapRequest::rgb(&rgb))
+                .expect("valid request")
+        })
     });
 
     let batch: Vec<_> = (0..4u64)
         .map(|seed| bench_input(64 + seed as usize))
         .collect();
-    group.bench_function("batch_of_4_sw_f32", |b| {
-        b.iter(|| reference.run_batch(&batch))
+    let requests: Vec<TonemapRequest<'_>> = batch
+        .iter()
+        .enumerate()
+        .map(|(i, img)| {
+            // Heterogeneous batch: half reference, half accelerated.
+            let spec = if i % 2 == 0 { "sw-f32" } else { "hw-fix16" };
+            TonemapRequest::luminance(img).on_backend(spec)
+        })
+        .collect();
+    group.bench_function("heterogeneous_batch_of_4", |b| {
+        b.iter(|| registry.execute_batch(&requests).expect("valid batch"))
     });
 
     group.finish();
@@ -55,7 +77,11 @@ fn scene_sweep(c: &mut Criterion) {
     for scene in SceneKind::ALL {
         let hdr = scene.generate(128, 128, 11);
         group.bench_with_input(BenchmarkId::from_parameter(scene), &hdr, |b, img| {
-            b.iter(|| reference.run(img))
+            b.iter(|| {
+                reference
+                    .execute(&TonemapRequest::luminance(img))
+                    .expect("valid request")
+            })
         });
     }
     group.finish();

@@ -11,6 +11,7 @@ use codesign::quality::{compare_outputs, word_length_sweep};
 use hdr_image::io::write_pgm;
 use std::fs::File;
 use std::io::BufWriter;
+use tonemap_backend::TonemapRequest;
 use tonemap_core::ToneMapParams;
 
 fn main() {
@@ -18,16 +19,16 @@ fn main() {
     let registry = paper_registry();
 
     let float_run = registry
-        .resolve("hw-pragmas")
-        .expect("standard backend")
-        .run(&hdr);
+        .execute(&TonemapRequest::luminance(&hdr).on_backend("hw-pragmas"))
+        .expect("standard backend executes the paper input");
+    let float_image = float_run.luminance().expect("display-referred payload");
     let fixed_run = registry
-        .resolve("hw-fix16")
-        .expect("standard backend")
-        .run(&hdr);
+        .execute(&TonemapRequest::luminance(&hdr).on_backend("hw-fix16"))
+        .expect("standard backend executes the paper input");
+    let fixed_image = fixed_run.luminance().expect("display-referred payload");
 
     println!("Fig. 5: image quality of the fixed-point accelerator (synthetic 1024x1024 input).");
-    let report = compare_outputs(&float_run.image, &fixed_run.image, 16, 12);
+    let report = compare_outputs(float_image, fixed_image, 16, 12);
     println!("  {report}");
     println!("  paper reference: PSNR {PAPER_PSNR_DB:.0} dB, SSIM {PAPER_SSIM:.2}");
 
@@ -43,8 +44,8 @@ fn main() {
 
     // Write the Fig. 5b / 5c equivalents next to the binary's working
     // directory for visual inspection.
-    let float_out = float_run.image.to_ldr();
-    let fixed_out = fixed_run.image.to_ldr();
+    let float_out = float_image.to_ldr();
+    let fixed_out = fixed_image.to_ldr();
     for (name, image) in [
         ("fig5b_float_blur.pgm", &float_out),
         ("fig5c_fixed_blur.pgm", &fixed_out),

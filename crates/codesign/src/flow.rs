@@ -9,7 +9,7 @@ use hls_model::tech::TechLibrary;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use tonemap_core::ops::StageKind;
-use tonemap_core::ToneMapParams;
+use tonemap_core::{ParamError, ToneMapParams};
 use zynq_sim::pl::PlModel;
 use zynq_sim::power::EnergyReport;
 use zynq_sim::system::{ExecutionPlan, Phase, SystemReport, SystemSimulator};
@@ -164,6 +164,19 @@ impl CoDesignFlow {
     /// parameters) for an image of the given dimensions.
     pub fn paper_setup(width: usize, height: usize) -> Self {
         CoDesignFlow::paper_setup_with_params(ToneMapParams::paper_default(), width, height)
+    }
+
+    /// Fallible variant of [`CoDesignFlow::paper_setup_with_params`]: the
+    /// entry point for callers holding unvalidated user parameters (the
+    /// request/response engine layer). Returns a typed [`ParamError`]
+    /// instead of letting invalid parameters reach the profiler.
+    pub fn try_paper_setup_with_params(
+        params: ToneMapParams,
+        width: usize,
+        height: usize,
+    ) -> Result<Self, ParamError> {
+        params.validate()?;
+        Ok(CoDesignFlow::paper_setup_with_params(params, width, height))
     }
 
     /// Creates the flow with the paper's platform setup but custom
@@ -544,6 +557,20 @@ mod tests {
         assert!(extended.masking_seconds > 0.0 && extended.blur_seconds > 0.0);
         let text = extended.to_string();
         assert!(text.contains("blur + masking"));
+    }
+
+    #[test]
+    fn try_paper_setup_rejects_invalid_parameters() {
+        let mut p = ToneMapParams::paper_default();
+        p.blur.radius = 0;
+        assert_eq!(
+            CoDesignFlow::try_paper_setup_with_params(p, 64, 64).err(),
+            Some(ParamError::ZeroBlurRadius)
+        );
+        let flow =
+            CoDesignFlow::try_paper_setup_with_params(ToneMapParams::paper_default(), 64, 64)
+                .expect("paper defaults are valid");
+        assert_eq!(flow.dimensions(), (64, 64));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //!   of Fig. 6.
 //! * [`EnergyBreakdown`] — the per-rail stacked energies of Fig. 7 and the
 //!   bottomline/overhead split of Fig. 8.
-//! * [`QualityReport`](crate::quality::QualityReport) (re-exported) — the
+//! * [`QualityReport`] (re-exported) — the
 //!   PSNR/SSIM comparison of Fig. 5.
 
 use crate::flow::{DesignImplementation, FlowReport};

@@ -52,7 +52,7 @@ mod params;
 pub mod pipeline;
 mod sample;
 
-pub use params::{AdjustParams, BlurParams, MaskingParams, ToneMapParams};
+pub use params::{AdjustParams, BlurParams, MaskingParams, ParamError, ToneMapParams};
 pub use pipeline::{PipelineStages, ToneMapper};
 pub use sample::Sample;
 

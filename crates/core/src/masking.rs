@@ -1,6 +1,6 @@
 //! Non-linear masking — the tone-mapping core (Fig. 1, third block).
 //!
-//! Following Moroney's local colour correction (the paper's reference [9]),
+//! Following Moroney's local colour correction (the paper's reference \[9\]),
 //! every pixel of the normalized image is gamma-corrected with an exponent
 //! that depends on the Gaussian-blurred *mask* at that location:
 //!

@@ -1,6 +1,53 @@
 //! Parameters of the tone-mapping pipeline.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A typed description of why a parameter set is invalid.
+///
+/// Every constructor that consumes [`ToneMapParams`] validates through
+/// [`ToneMapParams::validate`] and surfaces this error instead of panicking,
+/// so a serving layer can reject a bad request with a precise message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamError {
+    /// The Gaussian σ is zero, negative, NaN or infinite.
+    NonPositiveSigma(f32),
+    /// The blur radius is zero (the kernel would be a single tap).
+    ZeroBlurRadius,
+    /// The masking strength is negative or not finite.
+    InvalidMaskingStrength(f32),
+    /// The contrast factor is zero, negative or not finite.
+    NonPositiveContrast(f32),
+    /// The brightness offset is not finite.
+    NonFiniteBrightness(f32),
+    /// The channel count is zero.
+    ZeroChannels,
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::NonPositiveSigma(sigma) => {
+                write!(f, "blur sigma must be positive and finite, got {sigma}")
+            }
+            ParamError::ZeroBlurRadius => write!(f, "blur radius must be at least 1"),
+            ParamError::InvalidMaskingStrength(strength) => write!(
+                f,
+                "masking strength must be non-negative and finite, got {strength}"
+            ),
+            ParamError::NonPositiveContrast(contrast) => write!(
+                f,
+                "contrast factor must be positive and finite, got {contrast}"
+            ),
+            ParamError::NonFiniteBrightness(brightness) => {
+                write!(f, "brightness offset must be finite, got {brightness}")
+            }
+            ParamError::ZeroChannels => write!(f, "channel count must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
 
 /// Parameters of the Gaussian-blur mask generation (Fig. 1, second block).
 ///
@@ -35,9 +82,21 @@ impl BlurParams {
         2 * self.radius + 1
     }
 
-    /// Validates the parameters (positive σ, non-zero radius).
+    /// Validates the parameters (positive σ, non-zero radius), returning a
+    /// typed error describing the first violation.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if !(self.sigma > 0.0 && self.sigma.is_finite()) {
+            return Err(ParamError::NonPositiveSigma(self.sigma));
+        }
+        if self.radius == 0 {
+            return Err(ParamError::ZeroBlurRadius);
+        }
+        Ok(())
+    }
+
+    /// `true` when [`BlurParams::validate`] succeeds.
     pub fn is_valid(&self) -> bool {
-        self.sigma > 0.0 && self.sigma.is_finite() && self.radius > 0
+        self.validate().is_ok()
     }
 }
 
@@ -138,12 +197,28 @@ impl ToneMapParams {
         }
     }
 
-    /// Validates the parameter combination.
+    /// Validates the parameter combination, returning a typed error
+    /// describing the first violation.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        self.blur.validate()?;
+        if !(self.masking.strength >= 0.0 && self.masking.strength.is_finite()) {
+            return Err(ParamError::InvalidMaskingStrength(self.masking.strength));
+        }
+        if !(self.adjust.contrast > 0.0 && self.adjust.contrast.is_finite()) {
+            return Err(ParamError::NonPositiveContrast(self.adjust.contrast));
+        }
+        if !self.adjust.brightness.is_finite() {
+            return Err(ParamError::NonFiniteBrightness(self.adjust.brightness));
+        }
+        if self.channels == 0 {
+            return Err(ParamError::ZeroChannels);
+        }
+        Ok(())
+    }
+
+    /// `true` when [`ToneMapParams::validate`] succeeds.
     pub fn is_valid(&self) -> bool {
-        self.blur.is_valid()
-            && self.masking.strength >= 0.0
-            && self.adjust.contrast > 0.0
-            && self.channels >= 1
+        self.validate().is_ok()
     }
 }
 
@@ -168,16 +243,41 @@ mod tests {
     fn invalid_parameters_are_detected() {
         let mut p = ToneMapParams::paper_default();
         p.blur.sigma = -1.0;
+        assert_eq!(p.validate(), Err(ParamError::NonPositiveSigma(-1.0)));
         assert!(!p.is_valid());
         let mut p = ToneMapParams::paper_default();
         p.blur.radius = 0;
-        assert!(!p.is_valid());
+        assert_eq!(p.validate(), Err(ParamError::ZeroBlurRadius));
+        let mut p = ToneMapParams::paper_default();
+        p.masking.strength = f32::NAN;
+        assert!(matches!(
+            p.validate(),
+            Err(ParamError::InvalidMaskingStrength(_))
+        ));
         let mut p = ToneMapParams::paper_default();
         p.adjust.contrast = 0.0;
-        assert!(!p.is_valid());
+        assert_eq!(p.validate(), Err(ParamError::NonPositiveContrast(0.0)));
+        let mut p = ToneMapParams::paper_default();
+        p.adjust.brightness = f32::INFINITY;
+        assert!(matches!(
+            p.validate(),
+            Err(ParamError::NonFiniteBrightness(_))
+        ));
         let mut p = ToneMapParams::paper_default();
         p.channels = 0;
-        assert!(!p.is_valid());
+        assert_eq!(p.validate(), Err(ParamError::ZeroChannels));
+    }
+
+    #[test]
+    fn param_errors_display_the_offending_value() {
+        assert!(ParamError::NonPositiveSigma(-2.0)
+            .to_string()
+            .contains("-2"));
+        assert!(ParamError::ZeroBlurRadius.to_string().contains("radius"));
+        assert!(ParamError::NonPositiveContrast(0.0)
+            .to_string()
+            .contains("contrast"));
+        assert!(ParamError::ZeroChannels.to_string().contains("channel"));
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::blur::blur_separable;
 use crate::masking::{apply_masking, invert};
 use crate::normalize::{normalize, normalize_to};
 use crate::ops::PipelineProfile;
-use crate::params::ToneMapParams;
+use crate::params::{ParamError, ToneMapParams};
 use crate::sample::Sample;
 use hdr_image::{ImageBuffer, LuminanceImage, RgbImage};
 
@@ -77,19 +77,18 @@ impl ToneMapper {
     /// # Panics
     ///
     /// Panics if the parameters are invalid (see
-    /// [`ToneMapParams::is_valid`]); use [`ToneMapper::try_new`] to handle
+    /// [`ToneMapParams::validate`]); use [`ToneMapper::try_new`] to handle
     /// invalid parameters gracefully.
     pub fn new(params: ToneMapParams) -> Self {
-        assert!(
-            params.is_valid(),
-            "invalid tone-mapping parameters: {params:?}"
-        );
-        ToneMapper { params }
+        ToneMapper::try_new(params)
+            .unwrap_or_else(|e| panic!("invalid tone-mapping parameters: {e}"))
     }
 
-    /// Creates a tone mapper, returning `None` if the parameters are invalid.
-    pub fn try_new(params: ToneMapParams) -> Option<Self> {
-        params.is_valid().then_some(ToneMapper { params })
+    /// Creates a tone mapper, returning a typed [`ParamError`] if the
+    /// parameters are invalid.
+    pub fn try_new(params: ToneMapParams) -> Result<Self, ParamError> {
+        params.validate()?;
+        Ok(ToneMapper { params })
     }
 
     /// The parameters this mapper was built with.
@@ -213,11 +212,11 @@ mod tests {
     }
 
     #[test]
-    fn try_new_returns_none_for_invalid_parameters() {
+    fn try_new_returns_typed_error_for_invalid_parameters() {
         let mut p = ToneMapParams::paper_default();
         p.channels = 0;
-        assert!(ToneMapper::try_new(p).is_none());
-        assert!(ToneMapper::try_new(ToneMapParams::paper_default()).is_some());
+        assert_eq!(ToneMapper::try_new(p), Err(ParamError::ZeroChannels));
+        assert!(ToneMapper::try_new(ToneMapParams::paper_default()).is_ok());
     }
 
     #[test]

@@ -162,7 +162,7 @@ pub struct TechLibrary {
     /// Latency in PL cycles of a single-beat (non-burst) read from external
     /// DDR, used for the `ExternalRead` class when the access pattern is
     /// random. Sequential/burst accesses are cheaper (see
-    /// [`TechLibrary::external_sequential_cycles_per_beat`]).
+    /// [`TechLibrary::ddr_sequential_cycles_per_beat`]).
     pub ddr_random_access_cycles: u64,
     /// Effective cycles per beat of a sequential/burst external access once a
     /// stream is established (data-mover pipelining hides most of the

@@ -296,7 +296,7 @@ pub mod prop {
             VecStrategy { element, len }
         }
 
-        /// The strategy returned by [`vec`].
+        /// The strategy returned by [`vec()`].
         #[derive(Debug, Clone)]
         pub struct VecStrategy<S> {
             element: S,

@@ -9,9 +9,10 @@
 //! cargo run --release --example accelerate_blur
 //! ```
 
+use std::error::Error;
 use tonemap_zynq_repro::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let flow = CoDesignFlow::paper_setup(1024, 1024);
     let registry = BackendRegistry::standard();
 
@@ -28,7 +29,7 @@ fn main() {
     // Steps 2-4: evaluate every design implementation of Table II through
     // the engine layer (one backend per design).
     println!("=== Steps 2-4: optimization flow (Table II) ===");
-    let report = registry.flow_report(1024, 1024);
+    let report = registry.flow_report(1024, 1024)?;
     let breakdown = ExecutionBreakdown::from_flow(&report);
     println!("{breakdown}");
 
@@ -48,4 +49,5 @@ fn main() {
     if let Some(hls) = flow.hls_report(DesignImplementation::FixedPointConversion) {
         println!("{hls}");
     }
+    Ok(())
 }

@@ -8,10 +8,11 @@
 //! cargo run --release --example energy_report
 //! ```
 
+use std::error::Error;
 use tonemap_zynq_repro::prelude::*;
 
-fn main() {
-    let report = BackendRegistry::standard().flow_report(1024, 1024);
+fn main() -> Result<(), Box<dyn Error>> {
+    let report = BackendRegistry::standard().flow_report(1024, 1024)?;
     let energy = EnergyBreakdown::from_flow(&report);
     println!("{energy}");
 
@@ -44,4 +45,5 @@ fn main() {
         fxp.energy.total_j(),
         sw.energy.total_j()
     );
+    Ok(())
 }

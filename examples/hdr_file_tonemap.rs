@@ -42,10 +42,16 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     // Tone map the colour image (luminance-domain operator, chrominance
-    // preserved) through the engine layer, using the paper's final 16-bit
-    // fixed-point accelerator backend.
+    // preserved) through the engine layer: one RGB request on the paper's
+    // final 16-bit fixed-point accelerator, asking for an 8-bit payload
+    // ready to write to disk.
     let registry = BackendRegistry::standard();
-    let (mapped, telemetry) = map_rgb_via(registry.resolve("hw-fix16")?, &hdr)?;
+    let request = TonemapRequest::rgb(&hdr)
+        .on_backend("hw-fix16")
+        .with_output(OutputKind::Ldr8)
+        .with_telemetry();
+    let response = registry.execute(&request)?;
+    let telemetry = response.telemetry().expect("telemetry was requested");
     println!(
         "tone-mapped via `{}` in {:.1} ms",
         telemetry.backend,
@@ -54,9 +60,9 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // Save as PPM.
     let out_path = "hdr_file_tonemapped.ppm";
-    let ldr = hdr_image::rgb::to_ldr_rgb(&mapped);
+    let ldr = response.ldr_rgb().expect("8-bit RGB payload was requested");
     let out = File::create(out_path)?;
-    hdr_image::io::write_ppm(&ldr, BufWriter::new(out))?;
+    hdr_image::io::write_ppm(ldr, BufWriter::new(out))?;
     println!("wrote {out_path}");
     Ok(())
 }

@@ -20,10 +20,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     let hdr = SceneKind::paper_input();
     let registry = BackendRegistry::standard();
 
-    let float_run = registry.resolve("hw-pragmas")?.run(&hdr);
-    let fixed_run = registry.resolve("hw-fix16")?.run(&hdr);
+    let float_run = registry.execute(&TonemapRequest::luminance(&hdr).on_backend("hw-pragmas"))?;
+    let fixed_run = registry.execute(&TonemapRequest::luminance(&hdr).on_backend("hw-fix16"))?;
+    let float_image = float_run.luminance().expect("display-referred payload");
+    let fixed_image = fixed_run.luminance().expect("display-referred payload");
 
-    let report = compare_outputs(&float_run.image, &fixed_run.image, 16, 12);
+    let report = compare_outputs(float_image, fixed_image, 16, 12);
     println!("16-bit fixed-point accelerator vs 32-bit float accelerator:");
     println!("  PSNR {:.1} dB (paper: 66 dB)", report.psnr_db);
     println!("  SSIM {:.4} (paper: 1.00)", report.ssim);
@@ -39,8 +41,8 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // Write the two tone-mapped outputs (the Fig. 5b / 5c equivalents).
     for (path, image) in [
-        ("quality_float_blur.pgm", &float_run.image),
-        ("quality_fixed_blur.pgm", &fixed_run.image),
+        ("quality_float_blur.pgm", float_image),
+        ("quality_fixed_blur.pgm", fixed_image),
     ] {
         let file = File::create(path)?;
         hdr_image::io::write_pgm(&image.to_ldr(), BufWriter::new(file))?;

@@ -1,6 +1,6 @@
-//! Quickstart: generate a synthetic HDR scene, tone-map it through the
-//! engine layer (software reference backend) and write the result as a PGM
-//! image.
+//! Quickstart: generate a synthetic HDR scene, describe one tone-mapping
+//! job as a `TonemapRequest`, execute it through the engine layer and write
+//! the result as a PGM image.
 //!
 //! Run with:
 //!
@@ -24,23 +24,28 @@ fn main() -> Result<(), Box<dyn Error>> {
         hdr.dynamic_range()
     );
 
-    // 2. Tone map through the engine layer: pick the software float
-    //    reference by name. Swap the name for "hw-fix16" to run the paper's
-    //    final accelerated configuration instead.
+    // 2. Describe the job: what to map, on which engine, with telemetry.
+    //    Swap the spec for "hw-fix16" to run the paper's final accelerated
+    //    configuration, or append overrides like "sw-f32?sigma=3.5".
     let registry = BackendRegistry::standard();
-    let backend = registry.resolve("sw-f32")?;
-    let run = backend.run(&hdr);
-    let (lo, hi) = run.image.min_max();
+    let request = TonemapRequest::luminance(&hdr)
+        .on_backend("sw-f32")
+        .with_telemetry();
+    let response = registry.execute(&request)?;
+
+    let image = response.luminance().expect("display-referred payload");
+    let telemetry = response.telemetry().expect("telemetry was requested");
+    let (lo, hi) = image.min_max();
     println!(
         "backend `{}`: display-referred range [{lo:.3}, {hi:.3}], mean {:.3}",
-        backend.name(),
-        run.image.mean()
+        telemetry.backend,
+        image.mean()
     );
     println!(
         "telemetry: {:.1} ms wall, {} pipeline ops, modeled total {:.2} s on the Zynq PS",
-        run.telemetry.wall.as_secs_f64() * 1e3,
-        run.telemetry.ops.total(),
-        run.telemetry
+        telemetry.wall.as_secs_f64() * 1e3,
+        telemetry.ops.total(),
+        telemetry
             .modeled
             .as_ref()
             .map_or(f64::NAN, |m| m.total_seconds)
@@ -49,7 +54,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     // 3. Save as an 8-bit PGM for inspection.
     let out_path = "quickstart_tonemapped.pgm";
     let file = File::create(out_path)?;
-    hdr_image::io::write_pgm(&run.image.to_ldr(), BufWriter::new(file))?;
+    hdr_image::io::write_pgm(&image.to_ldr(), BufWriter::new(file))?;
     println!("wrote {out_path}");
 
     Ok(())

@@ -12,12 +12,14 @@
 //! use tonemap_zynq_repro::prelude::*;
 //!
 //! // Generate a small synthetic HDR scene and tone-map it through the
-//! // engine layer: backends are selected by name, not by method calls.
+//! // engine layer: one request describes the job, execution is fallible.
 //! let hdr = SceneKind::WindowInDarkRoom.generate(64, 64, 42);
 //! let registry = BackendRegistry::standard();
-//! let run = registry.resolve("sw-f32").unwrap().run(&hdr);
-//! assert_eq!(run.image.width(), 64);
-//! assert!(run.telemetry.ops.total() > 0);
+//! let response = registry
+//!     .execute(&TonemapRequest::luminance(&hdr).with_telemetry())
+//!     .expect("the default engine executes a valid scene");
+//! assert_eq!(response.dimensions(), (64, 64));
+//! assert!(response.telemetry().unwrap().ops.total() > 0);
 //! ```
 
 pub use apfixed;
@@ -41,11 +43,16 @@ pub mod prelude {
     pub use hls_model::pragma::{ArrayPartition, DataMover, Pragma};
     pub use hls_model::schedule::Scheduler;
     pub use hls_model::tech::TechLibrary;
+    // Deprecated shim kept for one release alongside its replacement.
+    #[allow(deprecated)]
+    pub use tonemap_backend::map_rgb_via;
     pub use tonemap_backend::{
-        map_rgb_via, AcceleratedBackend, BackendOutput, BackendRegistry, BackendTelemetry,
-        ModeledCost, SoftwareF32Backend, SoftwareFixedBackend, TonemapBackend, UnknownBackendError,
+        AcceleratedBackend, BackendInfo, BackendOutput, BackendRegistry, BackendSpec,
+        BackendTelemetry, ModeledCost, OutputKind, ResolvedBackend, SoftwareF32Backend,
+        SoftwareFixedBackend, TonemapBackend, TonemapError, TonemapPayload, TonemapRequest,
+        TonemapResponse, UnknownBackendError,
     };
-    pub use tonemap_core::{BlurParams, ToneMapParams, ToneMapper};
+    pub use tonemap_core::{BlurParams, ParamError, ToneMapParams, ToneMapper};
     pub use zynq_sim::config::ZynqConfig;
     pub use zynq_sim::power::{EnergyReport, PowerRails};
     pub use zynq_sim::system::SystemSimulator;

@@ -1,6 +1,6 @@
 //! Backend-parity integration test: every registered backend tone-maps the
-//! same scene and stays within a PSNR tolerance of the f32 software
-//! reference.
+//! same scene through the request/response API and stays within a PSNR
+//! tolerance of the f32 software reference.
 //!
 //! This is the engine-layer counterpart of the paper's Fig. 5 quality
 //! comparison: the floating-point accelerator designs must match the
@@ -39,20 +39,23 @@ fn every_registered_backend_matches_the_f32_reference() {
     let registry = BackendRegistry::standard();
     let hdr = scene();
     let reference = registry
-        .resolve("sw-f32")
-        .expect("reference backend registered")
-        .run(&hdr);
+        .execute(&TonemapRequest::luminance(&hdr).on_backend("sw-f32"))
+        .expect("reference backend registered");
+    let reference_image = reference.luminance().expect("display-referred payload");
 
     for backend in registry.iter() {
-        let run = backend.run(&hdr);
+        let response = backend
+            .execute(&TonemapRequest::luminance(&hdr))
+            .expect("valid luminance request executes");
+        let image = response.luminance().expect("display-referred payload");
         assert_eq!(
-            run.image.dimensions(),
-            reference.image.dimensions(),
+            image.dimensions(),
+            reference_image.dimensions(),
             "backend `{}` changed the image dimensions",
             backend.name()
         );
         assert!(
-            run.image.pixels().iter().all(|v| (0.0..=1.0).contains(v)),
+            image.pixels().iter().all(|v| (0.0..=1.0).contains(v)),
             "backend `{}` produced non-display-referred output",
             backend.name()
         );
@@ -60,12 +63,12 @@ fn every_registered_backend_matches_the_f32_reference() {
         let required = min_psnr_db(backend.name());
         if required.is_infinite() {
             assert_eq!(
-                run.image, reference.image,
+                image, reference_image,
                 "reference backend must be bit-identical to itself"
             );
             continue;
         }
-        let p = psnr(&reference.image, &run.image, 1.0);
+        let p = psnr(reference_image, image, 1.0);
         assert!(
             p >= required,
             "backend `{}`: PSNR {p:.1} dB below the required {required:.0} dB",
@@ -91,6 +94,7 @@ fn registry_resolves_every_backend_the_parity_test_covers() {
     );
     for name in registry.names() {
         assert!(registry.resolve(name).is_ok());
+        assert!(registry.resolve_spec(name).is_ok());
         // Every backend has a defined tolerance (panics otherwise).
         let _ = min_psnr_db(name);
     }
@@ -103,13 +107,23 @@ fn batch_execution_matches_single_runs() {
         .iter()
         .map(|&seed| SceneKind::SunAndShadow.generate(32, 32, seed))
         .collect();
+    let requests: Vec<TonemapRequest<'_>> = scenes
+        .iter()
+        .map(|scene| TonemapRequest::luminance(scene).on_backend("hw-fix16"))
+        .collect();
     let batch = registry
-        .run_batch("hw-fix16", &scenes)
+        .execute_batch(&requests)
         .expect("hw-fix16 registered");
     assert_eq!(batch.len(), scenes.len());
     let backend = registry.resolve("hw-fix16").unwrap();
     for (scene, from_batch) in scenes.iter().zip(&batch) {
-        let single = backend.run(scene);
-        assert_eq!(single.image, from_batch.image, "batch output diverged");
+        let single = backend
+            .execute(&TonemapRequest::luminance(scene))
+            .expect("valid request executes");
+        assert_eq!(
+            single.luminance().unwrap(),
+            from_batch.luminance().unwrap(),
+            "batch output diverged"
+        );
     }
 }
