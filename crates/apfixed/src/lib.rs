@@ -18,6 +18,13 @@
 //!   used by the design-space-exploration helpers where the word length is a
 //!   sweep parameter.
 //!
+//! # Paper mapping
+//!
+//! §III-C ("FlP to FxP conversion") and the Fig. 5 quality evaluation: the
+//! `hw-fix16` engine's blur runs on [`Fix16`] values from this crate, and
+//! the Fig. 5b/5c word-length sweep (`cargo run -p bench --release --bin
+//! fig5_quality`) sweeps [`DynFix`] formats.
+//!
 //! # Semantics
 //!
 //! A value is stored as a two's-complement integer `raw` of `W` bits; the

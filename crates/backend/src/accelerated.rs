@@ -1,4 +1,9 @@
 //! Backends that wrap the simulated PL accelerators of Table II.
+//!
+//! Each engine owns a [`ModelCache`] guarded by a mutex held only around
+//! the map lookup/insert (never across a platform-model evaluation), so a
+//! `tonemap-service` worker pool sharing one engine behind an `Arc` pays
+//! for each image size's Table II evaluation once across all workers.
 
 use crate::engine::TonemapBackend;
 use crate::error::TonemapError;

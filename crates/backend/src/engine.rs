@@ -52,14 +52,16 @@ impl fmt::Display for BackendInfo {
 ///
 /// Implementations cover the software float reference, the all-fixed-point
 /// software ablation, and each simulated accelerator design of Table II.
-/// Everything downstream — benches, examples, figure binaries, future
-/// serving layers — selects an engine by name from the
+/// Everything downstream — benches, examples, figure binaries, and the
+/// `tonemap-service` job server — selects an engine by name from the
 /// [`crate::BackendRegistry`] and calls [`TonemapBackend::execute`] with a
 /// [`TonemapRequest`]; nothing outside the engine layer calls the
 /// `ToneMapper` execution methods directly.
 ///
 /// Backends are `Send + Sync` so a serving layer can share one registry
-/// across worker threads.
+/// across worker threads — `tonemap-service`'s worker pool does exactly
+/// that, holding each engine behind an `Arc` so concurrent jobs share its
+/// per-resolution platform-model cache.
 pub trait TonemapBackend: Send + Sync {
     /// Stable, unique registry name (e.g. `"sw-f32"`, `"hw-fix16"`).
     fn name(&self) -> &'static str;
@@ -182,21 +184,6 @@ pub trait TonemapBackend: Send + Sync {
     /// given image dimensions — the row this backend contributes to
     /// Table II. `None` for backends without a Table II design.
     fn design_report(&self, width: usize, height: usize) -> Option<DesignReport>;
-
-    /// Tone-maps one HDR luminance image with this engine's configured
-    /// parameters, returning the display-referred result plus telemetry.
-    #[deprecated(note = "build a `TonemapRequest` and call `TonemapBackend::execute`")]
-    fn run(&self, input: &LuminanceImage) -> BackendOutput {
-        self.run_luminance(input, None, true)
-            .expect("a typed luminance image with configured parameters cannot fail")
-    }
-
-    /// Tone-maps many scenes through this backend.
-    #[deprecated(note = "build `TonemapRequest`s and call `TonemapBackend::execute_batch`")]
-    fn run_batch(&self, inputs: &[LuminanceImage]) -> Vec<BackendOutput> {
-        #[allow(deprecated)]
-        inputs.iter().map(|input| self.run(input)).collect()
-    }
 }
 
 fn luminance_response(

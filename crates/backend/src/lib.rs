@@ -41,7 +41,8 @@
 //! of heterogeneous requests execute through
 //! [`BackendRegistry::execute_batch`], which amortises both spec
 //! resolution and each engine's per-resolution platform-model cache — the
-//! seam the roadmap's sharding/async/serving work builds on.
+//! seam the `tonemap-service` worker pool builds on to serve jobs
+//! concurrently (see `ARCHITECTURE.md` for the full stack).
 //!
 //! # Example
 //!
@@ -78,7 +79,6 @@
 #![warn(missing_docs)]
 
 mod accelerated;
-mod color;
 mod engine;
 mod error;
 mod output;
@@ -86,9 +86,6 @@ mod registry;
 mod request;
 mod software;
 mod spec;
-
-#[allow(deprecated)]
-pub use color::map_rgb_via;
 
 pub use accelerated::AcceleratedBackend;
 pub use engine::{BackendInfo, TonemapBackend};

@@ -3,13 +3,11 @@
 use crate::accelerated::AcceleratedBackend;
 use crate::engine::{BackendInfo, TonemapBackend};
 use crate::error::TonemapError;
-use crate::output::BackendOutput;
 use crate::request::{TonemapRequest, TonemapResponse};
 use crate::software::{SoftwareF32Backend, SoftwareFixedBackend};
 use crate::spec::BackendSpec;
 use apfixed::Fix16;
 use codesign::flow::{DesignImplementation, FlowReport};
-use hdr_image::LuminanceImage;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -331,21 +329,6 @@ impl BackendRegistry {
         self.backends.values().map(Arc::as_ref)
     }
 
-    /// Runs one named backend over a batch of scenes.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`UnknownBackendError`] when the name does not resolve.
-    #[deprecated(note = "build `TonemapRequest`s and call `BackendRegistry::execute_batch`")]
-    pub fn run_batch(
-        &self,
-        name: &str,
-        inputs: &[LuminanceImage],
-    ) -> Result<Vec<BackendOutput>, UnknownBackendError> {
-        #[allow(deprecated)]
-        Ok(self.resolve(name)?.run_batch(inputs))
-    }
-
     /// Assembles the paper's Table II evaluation ([`FlowReport`]) from the
     /// registered backends' platform-model reports, in Table II order.
     ///
@@ -649,21 +632,21 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work_for_one_release() {
+    fn rgb_requests_preserve_dimensions_and_range_for_every_backend() {
+        let hdr = SceneKind::SunAndShadow.generate_rgb(24, 24, 3);
         let registry = BackendRegistry::standard();
-        let scenes: Vec<_> = [1u64, 2]
-            .iter()
-            .map(|&seed| SceneKind::WindowInDarkRoom.generate(16, 16, seed))
-            .collect();
-        let outputs = registry.run_batch("sw-f32", &scenes).unwrap();
-        assert_eq!(outputs.len(), 2);
-        for (scene, out) in scenes.iter().zip(&outputs) {
-            assert_eq!(out.image.dimensions(), scene.dimensions());
+        for backend in registry.iter() {
+            let response = backend
+                .execute(&TonemapRequest::rgb(&hdr).with_telemetry())
+                .expect("valid RGB request executes");
+            let out = response.rgb().expect("display-referred RGB payload");
+            assert_eq!(out.dimensions(), hdr.dimensions(), "{}", backend.name());
+            assert_eq!(response.telemetry().unwrap().backend, backend.name());
+            for p in out.pixels() {
+                assert!(p.r >= 0.0 && p.r <= 1.0);
+                assert!(p.g >= 0.0 && p.g <= 1.0);
+                assert!(p.b >= 0.0 && p.b <= 1.0);
+            }
         }
-        assert!(registry.run_batch("no-such", &scenes).is_err());
-
-        let single = registry.resolve("sw-f32").unwrap().run(&scenes[0]);
-        assert_eq!(single.image, outputs[0].image);
     }
 }

@@ -1,4 +1,9 @@
 //! The software execution paths: float reference and all-fixed ablation.
+//!
+//! Both engines are stateless apart from their configured parameters and
+//! (for the reference) a [`ModelCache`] behind interior mutability, so one
+//! instance serves any number of `tonemap-service` worker threads
+//! concurrently.
 
 use crate::accelerated::{run_request, ModelCache};
 use crate::engine::TonemapBackend;

@@ -6,42 +6,73 @@
 //! `sw-f32` engine plus a validated parameter override.
 
 use crate::error::TonemapError;
+use std::fmt;
 use std::str::FromStr;
 use tonemap_core::ToneMapParams;
 
 /// The single source of truth for spec override keys: each entry pairs the
-/// key with its parse-and-store action, so the parser's dispatch and the
-/// "known keys" error message cannot drift apart.
+/// key with its parse-and-store action *and* its render-back getter, so
+/// the parser's dispatch, the "known keys" error message and the canonical
+/// `Display` form cannot drift apart.
 type KeySetter = fn(&mut ParamOverrides, &str) -> Result<(), ()>;
-const KNOWN_KEYS: &[(&str, KeySetter)] = &[
-    ("sigma", |o, v| {
-        o.sigma = Some(v.parse().map_err(drop)?);
-        Ok(())
-    }),
-    ("radius", |o, v| {
-        o.radius = Some(v.parse().map_err(drop)?);
-        Ok(())
-    }),
-    ("strength", |o, v| {
-        o.strength = Some(v.parse().map_err(drop)?);
-        Ok(())
-    }),
-    ("invert_mask", |o, v| {
-        o.invert_mask = Some(v.parse().map_err(drop)?);
-        Ok(())
-    }),
-    ("brightness", |o, v| {
-        o.brightness = Some(v.parse().map_err(drop)?);
-        Ok(())
-    }),
-    ("contrast", |o, v| {
-        o.contrast = Some(v.parse().map_err(drop)?);
-        Ok(())
-    }),
-    ("channels", |o, v| {
-        o.channels = Some(v.parse().map_err(drop)?);
-        Ok(())
-    }),
+type KeyGetter = fn(&ParamOverrides) -> Option<String>;
+const KNOWN_KEYS: &[(&str, KeySetter, KeyGetter)] = &[
+    (
+        "sigma",
+        |o, v| {
+            o.sigma = Some(v.parse().map_err(drop)?);
+            Ok(())
+        },
+        |o| o.sigma.map(|v| v.to_string()),
+    ),
+    (
+        "radius",
+        |o, v| {
+            o.radius = Some(v.parse().map_err(drop)?);
+            Ok(())
+        },
+        |o| o.radius.map(|v| v.to_string()),
+    ),
+    (
+        "strength",
+        |o, v| {
+            o.strength = Some(v.parse().map_err(drop)?);
+            Ok(())
+        },
+        |o| o.strength.map(|v| v.to_string()),
+    ),
+    (
+        "invert_mask",
+        |o, v| {
+            o.invert_mask = Some(v.parse().map_err(drop)?);
+            Ok(())
+        },
+        |o| o.invert_mask.map(|v| v.to_string()),
+    ),
+    (
+        "brightness",
+        |o, v| {
+            o.brightness = Some(v.parse().map_err(drop)?);
+            Ok(())
+        },
+        |o| o.brightness.map(|v| v.to_string()),
+    ),
+    (
+        "contrast",
+        |o, v| {
+            o.contrast = Some(v.parse().map_err(drop)?);
+            Ok(())
+        },
+        |o| o.contrast.map(|v| v.to_string()),
+    ),
+    (
+        "channels",
+        |o, v| {
+            o.channels = Some(v.parse().map_err(drop)?);
+            Ok(())
+        },
+        |o| o.channels.map(|v| v.to_string()),
+    ),
 ];
 
 /// Field-wise overrides of [`ToneMapParams`] parsed from a spec string's
@@ -60,6 +91,16 @@ struct ParamOverrides {
 impl ParamOverrides {
     fn is_empty(&self) -> bool {
         *self == ParamOverrides::default()
+    }
+
+    /// The set overrides as `(key, value)` pairs, in [`KNOWN_KEYS`] order —
+    /// the canonical field order of the rendered spec string. Driven by the
+    /// same table as the parser, so a key added there renders here too.
+    fn pairs(&self) -> Vec<(&'static str, String)> {
+        KNOWN_KEYS
+            .iter()
+            .filter_map(|(key, _, getter)| getter(self).map(|value| (*key, value)))
+            .collect()
     }
 
     fn apply(&self, mut base: ToneMapParams) -> ToneMapParams {
@@ -136,15 +177,15 @@ impl BackendSpec {
                 let (key, value) = pair
                     .split_once('=')
                     .ok_or_else(|| invalid(format!("override `{pair}` is not `key=value`")))?;
-                let (_, setter) = KNOWN_KEYS
+                let (_, setter, _) = KNOWN_KEYS
                     .iter()
-                    .find(|(known, _)| *known == key)
+                    .find(|(known, _, _)| *known == key)
                     .ok_or_else(|| {
                         invalid(format!(
                             "unknown key `{key}`; known keys: {}",
                             KNOWN_KEYS
                                 .iter()
-                                .map(|(known, _)| *known)
+                                .map(|(known, _, _)| *known)
                                 .collect::<Vec<_>>()
                                 .join(", ")
                         ))
@@ -188,6 +229,23 @@ impl BackendSpec {
         let merged = self.overrides.apply(base);
         merged.validate()?;
         Ok(Some(merged))
+    }
+}
+
+/// Renders the spec in canonical form: the engine name, then any
+/// overrides in known-keys order (`"hw-fix16?sigma=3.5&radius=10"`).
+/// Useful wherever a resolved job must be logged or keyed by a stable
+/// string — e.g. the service layer's telemetry — independent of the order
+/// the caller wrote the query part in. Parsing the rendered string yields
+/// an equal spec.
+impl fmt::Display for BackendSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)?;
+        for (index, (key, value)) in self.overrides.pairs().iter().enumerate() {
+            let separator = if index == 0 { '?' } else { '&' };
+            write!(f, "{separator}{key}={value}")?;
+        }
+        Ok(())
     }
 }
 
@@ -284,5 +342,18 @@ mod tests {
         let spec: BackendSpec = "hw-pragmas?contrast=1.3".parse().unwrap();
         assert_eq!(spec.name(), "hw-pragmas");
         assert!(spec.has_overrides());
+    }
+
+    #[test]
+    fn display_renders_the_canonical_form() {
+        // Keys are re-ordered into KNOWN_KEYS order and the result
+        // re-parses to an equal spec.
+        let spec = BackendSpec::parse("hw-fix16?radius=10&sigma=3.5").unwrap();
+        assert_eq!(spec.to_string(), "hw-fix16?sigma=3.5&radius=10");
+        let reparsed: BackendSpec = spec.to_string().parse().unwrap();
+        assert_eq!(reparsed, spec);
+
+        let plain = BackendSpec::parse("sw-f32").unwrap();
+        assert_eq!(plain.to_string(), "sw-f32");
     }
 }

@@ -15,6 +15,13 @@
 //! 5. **Render** the results in the shape of the paper's Table II and
 //!    Figs. 6, 7 and 8 ([`reports`]).
 //!
+//! # Paper mapping
+//!
+//! Fig. 2 (the SDSoC flow) end-to-end, and through it Figs. 5–8: the
+//! [`quality`] module measures the Fig. 5 PSNR/SSIM of the fixed-point
+//! design, and [`reports`] shapes Tables I/II and the Fig. 6–8 charts that
+//! the `bench` binaries print.
+//!
 //! # Example
 //!
 //! ```

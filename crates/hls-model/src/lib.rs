@@ -20,6 +20,15 @@
 //!   the Vivado HLS report to decide the next optimization step.
 //! * [`report`] — a Vivado-HLS-style performance and utilization report.
 //!
+//! # Paper mapping
+//!
+//! The Table II pragma variants: each optimization step of Table I
+//! (`Marked HW function` → `Sequential memory accesses` → `HLS pragmas` →
+//! `FlP to FxP conversion`) is a differently-pragma'd kernel scheduled by
+//! this crate, and the resulting cycle counts feed the Table II execution
+//! times (`cargo run -p bench --release --bin hls_reports` prints the
+//! per-design reports).
+//!
 //! # Example
 //!
 //! ```

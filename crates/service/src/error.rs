@@ -1,0 +1,69 @@
+//! The service layer's single error surface.
+
+use std::error::Error;
+use std::fmt;
+use tonemap_backend::TonemapError;
+
+/// Everything that can go wrong between submitting a [`crate::JobRequest`]
+/// and receiving its response.
+///
+/// The first two variants are *admission* outcomes (the job never entered
+/// the queue); the last two are *execution* outcomes reported through the
+/// [`crate::JobHandle`].
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The bounded submission queue is at capacity — backpressure. Retry,
+    /// shed load, or use the blocking [`crate::TonemapService::submit`].
+    QueueFull,
+    /// The service has been shut down and admits no further jobs.
+    ShutDown,
+    /// The job executed and the engine layer reported a typed failure.
+    Tonemap(TonemapError),
+    /// The worker executing the job died before reporting a result (a task
+    /// panic); the job's outcome is unknown.
+    Lost,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::QueueFull => write!(f, "submission queue is full (backpressure)"),
+            ServiceError::ShutDown => write!(f, "tonemap service is shut down"),
+            ServiceError::Tonemap(e) => write!(f, "job failed: {e}"),
+            ServiceError::Lost => write!(f, "job was lost: its worker died before reporting"),
+        }
+    }
+}
+
+impl Error for ServiceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServiceError::Tonemap(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TonemapError> for ServiceError {
+    fn from(value: TonemapError) -> Self {
+        ServiceError::Tonemap(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_failure() {
+        assert!(ServiceError::QueueFull.to_string().contains("full"));
+        assert!(ServiceError::ShutDown.to_string().contains("shut down"));
+        assert!(ServiceError::Lost.to_string().contains("lost"));
+        let e = ServiceError::from(TonemapError::InvalidSpec {
+            spec: "x?y".into(),
+            reason: "unknown key `y`".into(),
+        });
+        assert!(e.to_string().contains("job failed"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,251 @@
+//! Owned job descriptions and completion handles.
+//!
+//! [`tonemap_backend::TonemapRequest`] borrows its pixel data, which is the
+//! right shape for synchronous callers but cannot cross a thread boundary
+//! into the worker pool. A [`JobRequest`] is the owned equivalent: the
+//! image lives behind an [`Arc`], so submitting a job never copies pixels
+//! and many jobs can share one input scene. Completion travels back over a
+//! per-job channel wrapped in a [`JobHandle`] — the futures-by-channel
+//! pattern, with no async runtime required.
+
+use crate::error::ServiceError;
+use hdr_image::{LuminanceImage, RgbImage};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::Duration;
+use tonemap_backend::{OutputKind, TonemapRequest, TonemapResponse};
+use tonemap_core::ToneMapParams;
+
+/// What a job tone-maps, owned and cheaply clonable.
+#[derive(Debug, Clone)]
+pub enum JobInput {
+    /// An HDR luminance plane.
+    Luminance(Arc<LuminanceImage>),
+    /// An HDR colour image (tone-mapped via its luminance plane, with
+    /// chrominance ratios preserved).
+    Rgb(Arc<RgbImage>),
+    /// Raw row-major luminance pixels with claimed dimensions, validated
+    /// at execution time — the shape a network serving layer receives off
+    /// the wire.
+    RawLuminance {
+        /// Claimed width in pixels.
+        width: usize,
+        /// Claimed height in pixels.
+        height: usize,
+        /// Row-major luminance samples (`width * height` expected).
+        pixels: Arc<Vec<f32>>,
+    },
+}
+
+/// An owned description of one tone-mapping job, the unit the
+/// [`crate::TonemapService`] queues and shards across its workers.
+///
+/// Mirrors the builder surface of [`TonemapRequest`]; at execution time the
+/// worker borrows it back into a `TonemapRequest` via
+/// [`JobRequest::to_request`].
+#[derive(Debug, Clone)]
+#[must_use = "a job request does nothing until submitted to a service"]
+pub struct JobRequest {
+    input: JobInput,
+    params: Option<ToneMapParams>,
+    backend: Option<String>,
+    output: OutputKind,
+    telemetry: bool,
+}
+
+impl JobRequest {
+    fn new(input: JobInput) -> Self {
+        JobRequest {
+            input,
+            params: None,
+            backend: None,
+            output: OutputKind::DisplayReferred,
+            telemetry: false,
+        }
+    }
+
+    /// A job tone-mapping an HDR luminance plane.
+    pub fn luminance(image: impl Into<Arc<LuminanceImage>>) -> Self {
+        JobRequest::new(JobInput::Luminance(image.into()))
+    }
+
+    /// A job tone-mapping an HDR colour image.
+    pub fn rgb(image: impl Into<Arc<RgbImage>>) -> Self {
+        JobRequest::new(JobInput::Rgb(image.into()))
+    }
+
+    /// A job carrying raw row-major luminance pixels with claimed
+    /// dimensions, validated when the worker executes it.
+    pub fn raw_luminance(width: usize, height: usize, pixels: impl Into<Arc<Vec<f32>>>) -> Self {
+        JobRequest::new(JobInput::RawLuminance {
+            width,
+            height,
+            pixels: pixels.into(),
+        })
+    }
+
+    /// Overrides the engine's configured tone-mapping parameters for this
+    /// job only. Validated at execution time.
+    pub fn with_params(mut self, params: ToneMapParams) -> Self {
+        self.params = Some(params);
+        self
+    }
+
+    /// Names the engine this job should run on, as a spec string resolved
+    /// by the service's registry (`"hw-fix16"`,
+    /// `"sw-f32?sigma=3.5&radius=10"`). Jobs without a spec run on
+    /// [`tonemap_backend::BackendRegistry::DEFAULT_BACKEND`].
+    pub fn on_backend(mut self, spec: impl Into<String>) -> Self {
+        self.backend = Some(spec.into());
+        self
+    }
+
+    /// Selects the output form of the response.
+    pub fn with_output(mut self, output: OutputKind) -> Self {
+        self.output = output;
+        self
+    }
+
+    /// Opts into per-run telemetry on the response.
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = true;
+        self
+    }
+
+    /// The backend spec string, if one was set with
+    /// [`JobRequest::on_backend`].
+    pub fn backend_spec(&self) -> Option<&str> {
+        self.backend.as_deref()
+    }
+
+    /// The claimed input dimensions (for raw inputs, the caller's claim).
+    pub fn input_dimensions(&self) -> (usize, usize) {
+        match &self.input {
+            JobInput::Luminance(im) => im.dimensions(),
+            JobInput::Rgb(im) => im.dimensions(),
+            JobInput::RawLuminance { width, height, .. } => (*width, *height),
+        }
+    }
+
+    /// Borrows this owned job back into the engine layer's
+    /// [`TonemapRequest`].
+    ///
+    /// The spec string is deliberately *not* propagated: the service
+    /// resolves it once (through the registry, sharing the resolved
+    /// engine's per-resolution model cache) before the request reaches an
+    /// engine, and [`tonemap_backend::TonemapBackend::execute`] ignores it
+    /// anyway.
+    pub fn to_request(&self) -> TonemapRequest<'_> {
+        let mut request = match &self.input {
+            JobInput::Luminance(image) => TonemapRequest::luminance(image),
+            JobInput::Rgb(image) => TonemapRequest::rgb(image),
+            JobInput::RawLuminance {
+                width,
+                height,
+                pixels,
+            } => TonemapRequest::raw_luminance(*width, *height, pixels),
+        };
+        if let Some(params) = self.params {
+            request = request.with_params(params);
+        }
+        request = request.with_output(self.output);
+        if self.telemetry {
+            request = request.with_telemetry();
+        }
+        request
+    }
+}
+
+/// The outcome of one executed job: what the worker sends over the
+/// completion channel and what [`JobHandle::wait`] /
+/// [`JobHandle::wait_timeout`] yield once the job completed.
+pub type JobOutcomeResult = Result<TonemapResponse, ServiceError>;
+
+/// A handle to a submitted job: a future-by-channel.
+///
+/// The worker that executes the job sends exactly one outcome over a
+/// private channel; waiting on the handle receives it. Dropping the
+/// handle is allowed — the job still executes, its result is discarded.
+#[derive(Debug)]
+#[must_use = "dropping a job handle discards the job's result"]
+pub struct JobHandle {
+    id: u64,
+    receiver: Receiver<JobOutcomeResult>,
+}
+
+impl JobHandle {
+    pub(crate) fn new(id: u64, receiver: Receiver<JobOutcomeResult>) -> Self {
+        JobHandle { id, receiver }
+    }
+
+    /// The service-assigned job id (monotonic per service, in submission
+    /// order).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the job completes.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Tonemap`] when the job executed and failed, or
+    /// [`ServiceError::Lost`] when the executing worker died (task panic)
+    /// before reporting.
+    pub fn wait(self) -> Result<TonemapResponse, ServiceError> {
+        self.receiver.recv().unwrap_or(Err(ServiceError::Lost))
+    }
+
+    /// Waits up to `timeout` for the job to complete, handing the handle
+    /// back on timeout so the caller can keep waiting later.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` on timeout; otherwise the job's outcome, as in
+    /// [`JobHandle::wait`].
+    #[allow(clippy::result_large_err)] // Err is the handle itself, by design
+    pub fn wait_timeout(self, timeout: Duration) -> Result<JobOutcomeResult, JobHandle> {
+        match self.receiver.recv_timeout(timeout) {
+            Ok(outcome) => Ok(outcome),
+            Err(RecvTimeoutError::Disconnected) => Ok(Err(ServiceError::Lost)),
+            Err(RecvTimeoutError::Timeout) => Err(self),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdr_image::synth::SceneKind;
+
+    #[test]
+    fn builder_records_every_field_and_round_trips_to_a_request() {
+        let scene = SceneKind::GradientRamp.generate(8, 8, 1);
+        let job = JobRequest::luminance(scene)
+            .on_backend("hw-fix16")
+            .with_output(OutputKind::Ldr8)
+            .with_telemetry();
+        assert_eq!(job.backend_spec(), Some("hw-fix16"));
+        assert_eq!(job.input_dimensions(), (8, 8));
+        let request = job.to_request();
+        assert_eq!(request.output_kind(), OutputKind::Ldr8);
+        assert!(request.wants_telemetry());
+        // Spec resolution is the service's duty, not the engine's.
+        assert_eq!(request.backend_spec(), None);
+    }
+
+    #[test]
+    fn shared_inputs_are_not_copied() {
+        let scene = Arc::new(SceneKind::GradientRamp.generate(4, 4, 2));
+        let a = JobRequest::luminance(Arc::clone(&scene));
+        let b = JobRequest::rgb(SceneKind::GradientRamp.generate_rgb(4, 4, 2));
+        assert_eq!(a.input_dimensions(), b.input_dimensions());
+        assert_eq!(Arc::strong_count(&scene), 2);
+    }
+
+    #[test]
+    fn raw_jobs_report_claimed_dimensions() {
+        let job = JobRequest::raw_luminance(4, 3, vec![0.25f32; 12]);
+        assert_eq!(job.input_dimensions(), (4, 3));
+        assert!(matches!(job.to_request().input_dimensions(), (4, 3)));
+    }
+}

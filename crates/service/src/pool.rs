@@ -1,0 +1,258 @@
+//! A hand-rolled worker thread pool over `std::thread` and `std::sync::mpsc`.
+//!
+//! The workspace builds fully offline, so there is no rayon/tokio to lean
+//! on; the pool is the minimal classic shape instead. Tasks enter a
+//! *bounded* [`std::sync::mpsc::sync_channel`] — the bound is the service's
+//! backpressure: [`WorkerPool::try_execute`] refuses with
+//! [`PoolError::QueueFull`] when the queue is at capacity, while
+//! [`WorkerPool::execute`] blocks the submitter until a slot frees up.
+//! Every worker thread loops on the shared receiving end (behind a mutex,
+//! locked only for the dequeue itself, never across task execution) until
+//! the channel disconnects.
+//!
+//! Shutdown is graceful by construction: [`WorkerPool::shutdown`] drops the
+//! sending end and joins the workers, and a worker only exits once `recv`
+//! reports disconnection — which cannot happen before the queue has been
+//! drained. Already-queued and in-flight tasks therefore always complete.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work the pool executes on one of its worker threads.
+pub type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why the pool refused a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// The bounded submission queue is at capacity (backpressure): retry
+    /// later, or use the blocking [`WorkerPool::execute`].
+    QueueFull,
+    /// The pool has been shut down and accepts no further tasks.
+    ShutDown,
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::QueueFull => write!(f, "submission queue is full"),
+            PoolError::ShutDown => write!(f, "worker pool is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// A fixed-size pool of worker threads fed from one bounded task queue.
+pub struct WorkerPool {
+    sender: Mutex<Option<SyncSender<Task>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    worker_count: usize,
+    queue_capacity: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads fed from a queue bounded at
+    /// `queue_capacity` pending tasks. Both are clamped to at least 1: a
+    /// zero-capacity queue would turn every submission into a rendezvous
+    /// and a zero-worker pool would never drain it.
+    pub fn new(workers: usize, queue_capacity: usize) -> Self {
+        let worker_count = workers.max(1);
+        let queue_capacity = queue_capacity.max(1);
+        let (sender, receiver) = sync_channel::<Task>(queue_capacity);
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..worker_count)
+            .map(|index| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("tonemap-worker-{index}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("spawning a worker thread cannot fail on this platform")
+            })
+            .collect();
+        WorkerPool {
+            sender: Mutex::new(Some(sender)),
+            workers: Mutex::new(workers),
+            worker_count,
+            queue_capacity,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Capacity of the bounded submission queue.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// `true` once [`WorkerPool::shutdown`] has run.
+    pub fn is_shut_down(&self) -> bool {
+        self.sender.lock().expect("pool sender poisoned").is_none()
+    }
+
+    /// Enqueues a task without blocking, refusing with
+    /// [`PoolError::QueueFull`] when the bounded queue is at capacity.
+    pub fn try_execute(&self, task: Task) -> Result<(), PoolError> {
+        match self.cloned_sender()?.try_send(task) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(PoolError::QueueFull),
+            Err(TrySendError::Disconnected(_)) => Err(PoolError::ShutDown),
+        }
+    }
+
+    /// Enqueues a task, blocking the caller while the queue is at capacity
+    /// (backpressure on the submitter).
+    pub fn execute(&self, task: Task) -> Result<(), PoolError> {
+        self.cloned_sender()?
+            .send(task)
+            .map_err(|_| PoolError::ShutDown)
+    }
+
+    /// Closes the submission queue and joins every worker. Queued and
+    /// in-flight tasks complete before this returns; further submissions
+    /// fail with [`PoolError::ShutDown`]. Idempotent.
+    pub fn shutdown(&self) {
+        drop(self.sender.lock().expect("pool sender poisoned").take());
+        let workers = std::mem::take(&mut *self.workers.lock().expect("pool workers poisoned"));
+        for worker in workers {
+            // A worker that panicked already reported through the task's
+            // responder channel going dead; joining it is best-effort.
+            let _ = worker.join();
+        }
+    }
+
+    fn cloned_sender(&self) -> Result<SyncSender<Task>, PoolError> {
+        // Clone under the lock, send outside it: a blocking `send` while
+        // holding the mutex would serialize all submitters behind one full
+        // queue.
+        self.sender
+            .lock()
+            .expect("pool sender poisoned")
+            .clone()
+            .ok_or(PoolError::ShutDown)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.worker_count)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("shut_down", &self.is_shut_down())
+            .finish()
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Task>>) {
+    loop {
+        // Hold the dequeue lock only for the `recv` itself; executing the
+        // task with the lock held would serialize the whole pool.
+        let task = match receiver.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        match task {
+            Ok(task) => {
+                // A panicking task must not take the worker (and its share
+                // of the pool's capacity) down with it. Waiters observe the
+                // failure through their responder channel disconnecting.
+                let _ = catch_unwind(AssertUnwindSafe(task));
+            }
+            Err(_) => return, // channel closed and drained: shutdown
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn executes_tasks_on_worker_threads() {
+        let pool = WorkerPool::new(2, 8);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let counter = Arc::clone(&counter);
+            pool.execute(Box::new(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }))
+            .expect("pool accepts tasks");
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+        assert!(pool.is_shut_down());
+        assert!(matches!(
+            pool.execute(Box::new(|| {})),
+            Err(PoolError::ShutDown)
+        ));
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure_deterministically() {
+        let pool = WorkerPool::new(1, 1);
+        let (started_tx, started_rx) = mpsc::channel();
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        // Occupy the single worker with a task that blocks on the gate.
+        pool.execute(Box::new(move || {
+            started_tx.send(()).unwrap();
+            gate_rx.recv().unwrap();
+        }))
+        .unwrap();
+        started_rx.recv().unwrap(); // the worker is now busy, queue empty
+        pool.try_execute(Box::new(|| {})).unwrap(); // fills the 1-slot queue
+        assert_eq!(
+            pool.try_execute(Box::new(|| {})).unwrap_err(),
+            PoolError::QueueFull
+        );
+        gate_tx.send(()).unwrap();
+        pool.shutdown(); // drains the queued no-op before joining
+    }
+
+    #[test]
+    fn shutdown_completes_queued_tasks() {
+        let pool = WorkerPool::new(1, 32);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..20 {
+            let counter = Arc::clone(&counter);
+            pool.execute(Box::new(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn a_panicking_task_does_not_kill_the_pool() {
+        let pool = WorkerPool::new(1, 4);
+        pool.execute(Box::new(|| panic!("task panic"))).unwrap();
+        let (tx, rx) = mpsc::channel();
+        pool.execute(Box::new(move || tx.send(42).unwrap()))
+            .unwrap();
+        assert_eq!(rx.recv().unwrap(), 42);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn zero_sized_configuration_is_clamped() {
+        let pool = WorkerPool::new(0, 0);
+        assert_eq!(pool.worker_count(), 1);
+        assert_eq!(pool.queue_capacity(), 1);
+        pool.execute(Box::new(|| {})).unwrap();
+        pool.shutdown();
+    }
+}

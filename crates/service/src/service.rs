@@ -1,0 +1,343 @@
+//! The [`TonemapService`]: the registry turned into a concurrent job
+//! server.
+
+use crate::error::ServiceError;
+use crate::job::{JobHandle, JobOutcomeResult, JobRequest};
+use crate::pool::{PoolError, Task, WorkerPool};
+use crate::stats::{ServiceStats, StatsInner};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
+use tonemap_backend::{BackendRegistry, TonemapResponse};
+
+/// Sizing of a [`TonemapService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads serving the queue (clamped to at least 1).
+    pub workers: usize,
+    /// Bound of the submission queue — the backpressure point (clamped to
+    /// at least 1).
+    pub queue_capacity: usize,
+}
+
+impl ServiceConfig {
+    /// A config with `workers` threads and the default queue bound of
+    /// four slots per worker.
+    pub fn with_workers(workers: usize) -> Self {
+        ServiceConfig {
+            workers,
+            queue_capacity: workers.max(1) * 4,
+        }
+    }
+
+    /// Overrides the submission-queue bound.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+}
+
+impl Default for ServiceConfig {
+    /// Four workers, sixteen queue slots — deterministic regardless of the
+    /// host's core count, so documentation and tests behave identically
+    /// everywhere.
+    fn default() -> Self {
+        ServiceConfig::with_workers(4)
+    }
+}
+
+/// A concurrent tone-mapping job server over a [`BackendRegistry`].
+///
+/// Jobs ([`JobRequest`]) enter a bounded queue and are executed by a fixed
+/// pool of worker threads; completion is delivered through per-job
+/// [`JobHandle`]s. All workers share one registry, so jobs naming the same
+/// engine share that engine's per-resolution platform-model cache (and
+/// jobs with the same override spec share the registry's memoized
+/// reconfigured engine) — concurrency multiplies throughput without
+/// duplicating model state.
+///
+/// See the crate-level docs for the job lifecycle and an example.
+pub struct TonemapService {
+    registry: Arc<BackendRegistry>,
+    pool: WorkerPool,
+    stats: Arc<StatsInner>,
+    next_id: AtomicU64,
+}
+
+impl TonemapService {
+    /// Starts a service over `registry` with the given sizing.
+    pub fn new(registry: BackendRegistry, config: ServiceConfig) -> Self {
+        TonemapService {
+            registry: Arc::new(registry),
+            pool: WorkerPool::new(config.workers, config.queue_capacity),
+            stats: Arc::new(StatsInner::new()),
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Starts a service over [`BackendRegistry::standard`] — every engine
+    /// of the reproduction behind one queue.
+    pub fn standard(config: ServiceConfig) -> Self {
+        TonemapService::new(BackendRegistry::standard(), config)
+    }
+
+    /// The registry the workers execute against.
+    pub fn registry(&self) -> &BackendRegistry {
+        &self.registry
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.pool.worker_count()
+    }
+
+    /// Capacity of the bounded submission queue.
+    pub fn queue_capacity(&self) -> usize {
+        self.pool.queue_capacity()
+    }
+
+    /// Submits a job, blocking while the queue is at capacity
+    /// (backpressure on the submitter).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::ShutDown`] after [`TonemapService::shutdown`].
+    pub fn submit(&self, job: JobRequest) -> Result<JobHandle, ServiceError> {
+        self.submit_inner(job, false)
+    }
+
+    /// Submits a job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::QueueFull`] when the bounded queue is at capacity
+    /// (the rejection is counted in [`ServiceStats::rejected`]), or
+    /// [`ServiceError::ShutDown`] after [`TonemapService::shutdown`].
+    pub fn try_submit(&self, job: JobRequest) -> Result<JobHandle, ServiceError> {
+        self.submit_inner(job, true)
+    }
+
+    /// Executes a batch of jobs sharded across the worker pool, returning
+    /// responses in submission order.
+    ///
+    /// Sharding is at job granularity: each job goes to whichever worker
+    /// frees up first, so heterogeneous batches load-balance naturally
+    /// while every engine's shared model cache keeps same-sized scenes
+    /// amortised. Submission respects the queue bound (this call blocks
+    /// while the queue is full); the first failing job fails the batch.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::ShutDown`] at admission, or the first job's
+    /// execution error ([`ServiceError::Tonemap`] / [`ServiceError::Lost`]).
+    pub fn execute_batch(
+        &self,
+        jobs: Vec<JobRequest>,
+    ) -> Result<Vec<TonemapResponse>, ServiceError> {
+        let handles = jobs
+            .into_iter()
+            .map(|job| self.submit(job))
+            .collect::<Result<Vec<_>, _>>()?;
+        handles.into_iter().map(JobHandle::wait).collect()
+    }
+
+    /// A snapshot of the service's aggregate telemetry.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+            .snapshot(self.pool.worker_count(), self.pool.queue_capacity())
+    }
+
+    /// Stops admission and waits for every queued and in-flight job to
+    /// complete, then joins the workers. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        self.pool.shutdown();
+    }
+
+    /// `true` once [`TonemapService::shutdown`] has run.
+    pub fn is_shut_down(&self) -> bool {
+        self.pool.is_shut_down()
+    }
+
+    fn submit_inner(&self, job: JobRequest, non_blocking: bool) -> Result<JobHandle, ServiceError> {
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let (responder, receiver) = mpsc::channel::<JobOutcomeResult>();
+        let registry = Arc::clone(&self.registry);
+        let stats = Arc::clone(&self.stats);
+        let task: Task = Box::new(move || {
+            stats.record_started();
+            // If the job panics mid-execution the pool swallows the unwind
+            // to keep the worker alive; this guard then records the job as
+            // lost so started/completed/failed/lost stay reconciled.
+            let guard = LostJobGuard::new(Arc::clone(&stats));
+            let started = Instant::now();
+            let result = execute_job(&registry, &job);
+            let busy_seconds = started.elapsed().as_secs_f64();
+            let outcome = match result {
+                Ok((engine, response)) => {
+                    stats.record_completed(engine, busy_seconds);
+                    Ok(response)
+                }
+                Err(error) => {
+                    stats.record_failed();
+                    Err(ServiceError::Tonemap(error))
+                }
+            };
+            guard.disarm();
+            // The submitter may have dropped its handle; the job's work is
+            // done either way.
+            let _ = responder.send(outcome);
+        });
+        // Count the submission before enqueueing: the worker may dequeue
+        // and finish the job before this thread resumes, and a snapshot
+        // must never observe completed > submitted.
+        self.stats.record_submitted();
+        let enqueued = if non_blocking {
+            self.pool.try_execute(task)
+        } else {
+            self.pool.execute(task)
+        };
+        match enqueued {
+            Ok(()) => Ok(JobHandle::new(id, receiver)),
+            Err(PoolError::QueueFull) => {
+                self.stats.record_not_admitted();
+                self.stats.record_rejected();
+                Err(ServiceError::QueueFull)
+            }
+            Err(PoolError::ShutDown) => {
+                self.stats.record_not_admitted();
+                Err(ServiceError::ShutDown)
+            }
+        }
+    }
+}
+
+/// Marks a job as lost if its task unwinds before recording an outcome.
+struct LostJobGuard {
+    stats: Option<Arc<StatsInner>>,
+}
+
+impl LostJobGuard {
+    fn new(stats: Arc<StatsInner>) -> Self {
+        LostJobGuard { stats: Some(stats) }
+    }
+
+    fn disarm(mut self) {
+        self.stats = None;
+    }
+}
+
+impl Drop for LostJobGuard {
+    fn drop(&mut self) {
+        if let Some(stats) = self.stats.take() {
+            stats.record_lost();
+        }
+    }
+}
+
+impl Drop for TonemapService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for TonemapService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TonemapService")
+            .field("workers", &self.pool.worker_count())
+            .field("queue_capacity", &self.pool.queue_capacity())
+            .field("backends", &self.registry.names())
+            .field("shut_down", &self.pool.is_shut_down())
+            .finish()
+    }
+}
+
+/// Resolves the job's spec through the shared registry and executes it,
+/// reporting which engine served it (for the per-engine utilisation split).
+fn execute_job(
+    registry: &BackendRegistry,
+    job: &JobRequest,
+) -> Result<(&'static str, TonemapResponse), tonemap_backend::TonemapError> {
+    let spec = job
+        .backend_spec()
+        .unwrap_or(BackendRegistry::DEFAULT_BACKEND);
+    let resolved = registry.resolve_spec(spec)?;
+    let engine = resolved.backend().name();
+    let response = resolved.execute(&job.to_request())?;
+    Ok((engine, response))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdr_image::synth::SceneKind;
+    use std::sync::Arc;
+    use tonemap_backend::{TonemapError, TonemapRequest};
+
+    #[test]
+    fn a_submitted_job_matches_direct_execution() {
+        let service = TonemapService::standard(ServiceConfig::with_workers(2));
+        let scene = SceneKind::WindowInDarkRoom.generate(24, 24, 7);
+        let direct = BackendRegistry::standard()
+            .execute(&TonemapRequest::luminance(&scene).on_backend("hw-fix16"))
+            .unwrap();
+        let handle = service
+            .submit(JobRequest::luminance(scene).on_backend("hw-fix16"))
+            .unwrap();
+        let response = handle.wait().unwrap();
+        assert_eq!(response.payload(), direct.payload());
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.per_engine.len(), 1);
+        assert_eq!(stats.per_engine[0].engine, "hw-fix16");
+    }
+
+    #[test]
+    fn job_failures_are_reported_through_the_handle() {
+        let service = TonemapService::standard(ServiceConfig::default());
+        let scene = SceneKind::GradientRamp.generate(8, 8, 1);
+        let handle = service
+            .submit(JobRequest::luminance(scene).on_backend("gpu-cuda"))
+            .unwrap();
+        match handle.wait() {
+            Err(ServiceError::Tonemap(TonemapError::UnknownBackend(e))) => {
+                assert_eq!(e.name, "gpu-cuda");
+            }
+            other => panic!("expected an unknown-backend failure, got {other:?}"),
+        }
+        let stats = service.stats();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 0);
+    }
+
+    #[test]
+    fn batches_preserve_submission_order() {
+        let service = TonemapService::standard(ServiceConfig::with_workers(4));
+        let scenes: Vec<Arc<_>> = (1u64..=6)
+            .map(|seed| Arc::new(SceneKind::WindowInDarkRoom.generate(16, 16, seed)))
+            .collect();
+        let jobs = scenes
+            .iter()
+            .map(|scene| JobRequest::luminance(Arc::clone(scene)))
+            .collect();
+        let responses = service.execute_batch(jobs).unwrap();
+        let registry = BackendRegistry::standard();
+        for (scene, response) in scenes.iter().zip(&responses) {
+            let direct = registry.execute(&TonemapRequest::luminance(scene)).unwrap();
+            assert_eq!(response.payload(), direct.payload());
+        }
+    }
+
+    #[test]
+    fn submission_after_shutdown_is_refused() {
+        let service = TonemapService::standard(ServiceConfig::default());
+        service.shutdown();
+        assert!(service.is_shut_down());
+        let scene = SceneKind::GradientRamp.generate(8, 8, 2);
+        assert!(matches!(
+            service.submit(JobRequest::luminance(scene)),
+            Err(ServiceError::ShutDown)
+        ));
+    }
+}

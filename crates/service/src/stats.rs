@@ -1,0 +1,380 @@
+//! Aggregate service telemetry, including the multi-core host model.
+//!
+//! The reproduction's whole method is to model hardware it does not have:
+//! the Zynq PS/PL costs behind Tables I and II are analytic predictions
+//! calibrated against measured operation counts. [`ServiceStats`] extends
+//! that idea to the *host* side of the co-design: every job's measured
+//! service time is recorded, and [`ServiceStats::modeled_makespan_seconds`]
+//! schedules those measured times onto `n` model workers (greedy
+//! longest-processing-time assignment) to predict what a multi-core host
+//! would achieve — so batch throughput can be evaluated at worker counts
+//! the machine running the bench may not physically have, exactly as the
+//! PL speed-ups are evaluated without an FPGA.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How many recent per-job service times are retained for the host model.
+/// Bounded so a long-lived service does not grow without limit (aggregate
+/// counters cover the full lifetime); 4096 samples is plenty for a stable
+/// LPT schedule and keeps every snapshot clone small.
+pub const JOB_SAMPLE_CAP: usize = 4096;
+
+/// How one engine was used by the service, for the per-engine utilisation
+/// split of [`ServiceStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineUtilisation {
+    /// Registry name of the engine.
+    pub engine: &'static str,
+    /// Jobs this engine completed.
+    pub jobs: u64,
+    /// Total busy time this engine accounted for, in seconds.
+    pub busy_seconds: f64,
+    /// This engine's share of the service's total busy time, in `[0, 1]`
+    /// (zero when the service has done no work yet).
+    pub share: f64,
+}
+
+/// A point-in-time snapshot of a [`crate::TonemapService`]'s counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Worker threads serving the queue.
+    pub workers: usize,
+    /// Capacity of the bounded submission queue.
+    pub queue_capacity: usize,
+    /// Jobs admitted into the queue.
+    pub submitted: u64,
+    /// Jobs refused at admission because the queue was full.
+    pub rejected: u64,
+    /// Jobs that completed successfully.
+    pub completed: u64,
+    /// Jobs that executed and failed with a typed error.
+    pub failed: u64,
+    /// Jobs whose task unwound before reporting an outcome (the waiter saw
+    /// [`crate::ServiceError::Lost`]); kept so
+    /// `completed + failed + lost` reconciles with `started` forever.
+    pub lost: u64,
+    /// Jobs submitted but not yet picked up by a worker. Submissions are
+    /// counted optimistically (before enqueueing, so a snapshot never
+    /// shows `completed > submitted`), which means submitters currently
+    /// *blocked* in [`crate::TonemapService::submit`] are included — under
+    /// heavy backpressure this can transiently exceed
+    /// [`ServiceStats::queue_capacity`].
+    pub queue_depth: u64,
+    /// Jobs currently executing on a worker.
+    pub in_flight: u64,
+    /// Seconds since the service started.
+    pub elapsed_seconds: f64,
+    /// Total worker busy time across all jobs, in seconds.
+    pub busy_seconds: f64,
+    /// Measured service times of recently completed jobs, in seconds —
+    /// the input to the multi-core host model. Bounded to the most recent
+    /// [`JOB_SAMPLE_CAP`] jobs so a long-lived service's snapshot stays
+    /// cheap; the aggregate counters above cover the full lifetime.
+    pub job_seconds: Vec<f64>,
+    /// Busy time and job count split per engine, in registry-name order.
+    pub per_engine: Vec<EngineUtilisation>,
+}
+
+impl ServiceStats {
+    /// Measured throughput: completed jobs per elapsed wall-clock second.
+    pub fn throughput_jobs_per_sec(&self) -> f64 {
+        if self.elapsed_seconds > 0.0 {
+            self.completed as f64 / self.elapsed_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of the pool's capacity that was busy: total busy time over
+    /// `elapsed * workers`, in `[0, 1]` under normal operation.
+    pub fn utilisation(&self) -> f64 {
+        let available = self.elapsed_seconds * self.workers as f64;
+        if available > 0.0 {
+            self.busy_seconds / available
+        } else {
+            0.0
+        }
+    }
+
+    /// The modeled makespan of the recorded jobs on `workers` model
+    /// workers: measured per-job service times, scheduled greedily
+    /// longest-first onto the least-loaded worker (the classic LPT bound).
+    ///
+    /// This is the host-side analogue of the platform model's Table II
+    /// predictions — it answers "what would this job set take on an
+    /// `n`-core host?" from measurements taken on whatever machine ran the
+    /// jobs. Returns `0.0` when no job has completed.
+    pub fn modeled_makespan_seconds(&self, workers: usize) -> f64 {
+        let workers = workers.max(1);
+        let mut jobs = self.job_seconds.clone();
+        jobs.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        let mut loads = vec![0.0f64; workers];
+        for job in jobs {
+            let least = loads
+                .iter_mut()
+                .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("workers >= 1");
+            *least += job;
+        }
+        loads.iter().fold(0.0f64, |acc, &l| acc.max(l))
+    }
+
+    /// Modeled throughput (jobs per second) of the recorded job set on
+    /// `workers` model workers. Returns `0.0` when no job has completed.
+    pub fn modeled_throughput(&self, workers: usize) -> f64 {
+        let makespan = self.modeled_makespan_seconds(workers);
+        if makespan > 0.0 {
+            self.job_seconds.len() as f64 / makespan
+        } else {
+            0.0
+        }
+    }
+
+    /// Modeled batch speed-up of `workers` model workers over a single
+    /// worker — the service-layer counterpart of the paper's accelerated-
+    /// function speed-ups. Returns `1.0` when no job has completed.
+    pub fn modeled_speedup(&self, workers: usize) -> f64 {
+        let single = self.modeled_makespan_seconds(1);
+        let many = self.modeled_makespan_seconds(workers);
+        if single > 0.0 && many > 0.0 {
+            single / many
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Live counters shared between the service handle and its workers.
+#[derive(Debug)]
+pub(crate) struct StatsInner {
+    started_at: Instant,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    started: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    lost: AtomicU64,
+    engines: Mutex<BTreeMap<&'static str, (u64, f64)>>,
+    job_seconds: Mutex<VecDeque<f64>>,
+}
+
+impl StatsInner {
+    pub(crate) fn new() -> Self {
+        StatsInner {
+            started_at: Instant::now(),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            started: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            lost: AtomicU64::new(0),
+            engines: Mutex::new(BTreeMap::new()),
+            job_seconds: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub(crate) fn record_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Revokes a [`StatsInner::record_submitted`] for a job the pool
+    /// refused: submissions are counted optimistically *before* the
+    /// enqueue, so a worker finishing the job early can never make a
+    /// snapshot show `completed > submitted`.
+    pub(crate) fn record_not_admitted(&self) {
+        self.submitted.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn record_lost(&self) {
+        self.lost.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn record_started(&self) {
+        self.started.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn record_completed(&self, engine: &'static str, busy_seconds: f64) {
+        self.completed.fetch_add(1, Ordering::SeqCst);
+        let mut engines = self.engines.lock().expect("engine stats poisoned");
+        let entry = engines.entry(engine).or_insert((0, 0.0));
+        entry.0 += 1;
+        entry.1 += busy_seconds;
+        drop(engines);
+        let mut job_seconds = self.job_seconds.lock().expect("job timings poisoned");
+        if job_seconds.len() == JOB_SAMPLE_CAP {
+            job_seconds.pop_front();
+        }
+        job_seconds.push_back(busy_seconds);
+    }
+
+    pub(crate) fn record_failed(&self) {
+        self.failed.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn snapshot(&self, workers: usize, queue_capacity: usize) -> ServiceStats {
+        let submitted = self.submitted.load(Ordering::SeqCst);
+        let rejected = self.rejected.load(Ordering::SeqCst);
+        let started = self.started.load(Ordering::SeqCst);
+        let completed = self.completed.load(Ordering::SeqCst);
+        let failed = self.failed.load(Ordering::SeqCst);
+        let lost = self.lost.load(Ordering::SeqCst);
+        let engines = self.engines.lock().expect("engine stats poisoned").clone();
+        let job_seconds = self
+            .job_seconds
+            .lock()
+            .expect("job timings poisoned")
+            .iter()
+            .copied()
+            .collect();
+        let busy_seconds: f64 = engines.values().map(|(_, busy)| busy).sum();
+        let per_engine = engines
+            .into_iter()
+            .map(|(engine, (jobs, busy))| EngineUtilisation {
+                engine,
+                jobs,
+                busy_seconds: busy,
+                share: if busy_seconds > 0.0 {
+                    busy / busy_seconds
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+        ServiceStats {
+            workers,
+            queue_capacity,
+            submitted,
+            rejected,
+            completed,
+            failed,
+            lost,
+            queue_depth: submitted.saturating_sub(started),
+            in_flight: started.saturating_sub(completed + failed + lost),
+            elapsed_seconds: self.started_at.elapsed().as_secs_f64(),
+            busy_seconds,
+            job_seconds,
+            per_engine,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with_jobs(job_seconds: Vec<f64>) -> ServiceStats {
+        ServiceStats {
+            workers: 1,
+            queue_capacity: 1,
+            submitted: job_seconds.len() as u64,
+            rejected: 0,
+            completed: job_seconds.len() as u64,
+            failed: 0,
+            lost: 0,
+            queue_depth: 0,
+            in_flight: 0,
+            elapsed_seconds: job_seconds.iter().sum(),
+            busy_seconds: job_seconds.iter().sum(),
+            job_seconds,
+            per_engine: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn lpt_schedule_of_identical_jobs_divides_evenly() {
+        let stats = stats_with_jobs(vec![1.0; 24]);
+        assert!((stats.modeled_makespan_seconds(1) - 24.0).abs() < 1e-12);
+        assert!((stats.modeled_makespan_seconds(8) - 3.0).abs() < 1e-12);
+        assert!((stats.modeled_speedup(8) - 8.0).abs() < 1e-9);
+        assert!((stats.modeled_throughput(8) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lpt_schedule_is_bounded_by_the_longest_job() {
+        let stats = stats_with_jobs(vec![10.0, 1.0, 1.0, 1.0]);
+        // One job dominates: adding workers cannot beat its length.
+        assert!((stats.modeled_makespan_seconds(4) - 10.0).abs() < 1e-12);
+        assert!(stats.modeled_speedup(4) < 2.0);
+    }
+
+    #[test]
+    fn empty_stats_are_well_defined() {
+        let stats = stats_with_jobs(Vec::new());
+        assert_eq!(stats.modeled_makespan_seconds(8), 0.0);
+        assert_eq!(stats.modeled_throughput(8), 0.0);
+        assert_eq!(stats.modeled_speedup(8), 1.0);
+        assert_eq!(stats.utilisation(), 0.0);
+        assert_eq!(stats.throughput_jobs_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn lost_jobs_and_refused_admissions_keep_counters_reconciled() {
+        let inner = StatsInner::new();
+        // A submission the pool refused: optimistically counted, revoked.
+        inner.record_submitted();
+        inner.record_not_admitted();
+        inner.record_rejected();
+        // A job whose task unwound before reporting.
+        inner.record_submitted();
+        inner.record_started();
+        inner.record_lost();
+        let stats = inner.snapshot(1, 1);
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.lost, 1);
+        assert_eq!(
+            stats.in_flight, 0,
+            "a lost job must not look in-flight forever"
+        );
+        assert_eq!(stats.queue_depth, 0);
+    }
+
+    #[test]
+    fn job_timings_are_bounded_to_the_sample_cap() {
+        let inner = StatsInner::new();
+        for i in 0..(JOB_SAMPLE_CAP + 10) {
+            inner.record_completed("sw-f32", i as f64);
+        }
+        let stats = inner.snapshot(1, 1);
+        assert_eq!(stats.completed as usize, JOB_SAMPLE_CAP + 10);
+        assert_eq!(stats.job_seconds.len(), JOB_SAMPLE_CAP);
+        // The retained window is the most recent samples.
+        assert_eq!(stats.job_seconds[0], 10.0);
+        assert_eq!(
+            *stats.job_seconds.last().unwrap(),
+            (JOB_SAMPLE_CAP + 9) as f64
+        );
+    }
+
+    #[test]
+    fn inner_counters_roll_up_per_engine() {
+        let inner = StatsInner::new();
+        inner.record_submitted();
+        inner.record_submitted();
+        inner.record_started();
+        inner.record_started();
+        inner.record_completed("sw-f32", 0.25);
+        inner.record_completed("hw-fix16", 0.75);
+        let stats = inner.snapshot(2, 8);
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.in_flight, 0);
+        assert!((stats.busy_seconds - 1.0).abs() < 1e-12);
+        assert_eq!(stats.per_engine.len(), 2);
+        let hw = stats
+            .per_engine
+            .iter()
+            .find(|e| e.engine == "hw-fix16")
+            .unwrap();
+        assert_eq!(hw.jobs, 1);
+        assert!((hw.share - 0.75).abs() < 1e-12);
+    }
+}

@@ -19,6 +19,13 @@
 //! * [`system`] — the system simulator combining PS phases, PL phases and
 //!   transfers into total execution time and energy (Figs. 6 and 7).
 //!
+//! # Paper mapping
+//!
+//! The platform half of every result: Table II execution times, the
+//! Fig. 6 PS/PL split, the Fig. 7 per-rail energy and the Fig. 8
+//! bottomline-vs-overhead decomposition are all produced by this model
+//! (`cargo run -p bench --release --bin fig6`/`fig7`/`fig8`).
+//!
 //! # Example
 //!
 //! ```

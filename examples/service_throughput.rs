@@ -1,0 +1,123 @@
+//! The concurrent serving layer end-to-end: a worker pool over the engine
+//! registry, jobs submitted as owned `JobRequest`s, completion through
+//! `JobHandle`s, backpressure on a bounded queue, batch sharding, and the
+//! aggregate `ServiceStats` telemetry — including the modeled multi-core
+//! host throughput that extends the paper's Table I/II cost methodology to
+//! the serving host.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example service_throughput   # CI=true caps sizes
+//! ```
+
+use std::error::Error;
+use std::sync::Arc;
+use tonemap_zynq_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let ci = std::env::var("CI").is_ok();
+    let (side, batch) = if ci { (64, 8) } else { (256, 24) };
+
+    // 1. A service over the standard registry: four workers, bounded queue.
+    let service = TonemapService::standard(ServiceConfig::with_workers(4));
+    println!(
+        "service: {} workers, queue capacity {}, engines: {:?}",
+        service.worker_count(),
+        service.queue_capacity(),
+        service.registry().names()
+    );
+
+    // 2. Individual async-style submissions: handles resolve in any order,
+    //    and every request form of the engine layer works through the pool.
+    let scene = Arc::new(SceneKind::WindowInDarkRoom.generate(side, side, 2018));
+    let rgb = SceneKind::SunAndShadow.generate_rgb(side, side, 7);
+    let raw = scene.pixels().to_vec();
+    let handles = vec![
+        service.submit(JobRequest::luminance(Arc::clone(&scene)).with_telemetry())?,
+        service.submit(
+            JobRequest::luminance(Arc::clone(&scene))
+                .on_backend("hw-fix16")
+                .with_telemetry(),
+        )?,
+        service.submit(
+            JobRequest::rgb(rgb)
+                .on_backend("hw-pragmas")
+                .with_output(OutputKind::Ldr8),
+        )?,
+        service
+            .submit(JobRequest::raw_luminance(side, side, raw).on_backend("sw-f32?sigma=3.5"))?,
+    ];
+    for handle in handles {
+        let id = handle.id();
+        let response = handle.wait()?;
+        let (width, height) = response.dimensions();
+        match response.telemetry() {
+            Some(t) => println!(
+                "job {id}: {width}x{height} via {:<9} wall {:>7.1} ms, modeled Zynq total {:.3} s",
+                t.backend,
+                t.wall.as_secs_f64() * 1e3,
+                t.modeled.as_ref().map_or(f64::NAN, |m| m.total_seconds),
+            ),
+            None => println!("job {id}: {width}x{height} (telemetry not requested)"),
+        }
+    }
+
+    // 3. A sharded batch across every registered engine, with outputs
+    //    verified against single-threaded execution — determinism is part
+    //    of the service contract.
+    let specs = service.registry().names();
+    let scenes: Vec<Arc<LuminanceImage>> = (0..batch)
+        .map(|i| Arc::new(SceneKind::WindowInDarkRoom.generate(side, side, 100 + i as u64)))
+        .collect();
+    let jobs = scenes
+        .iter()
+        .enumerate()
+        .map(|(i, s)| JobRequest::luminance(Arc::clone(s)).on_backend(specs[i % specs.len()]))
+        .collect();
+    let responses = service.execute_batch(jobs)?;
+    let registry = service.registry();
+    let identical = scenes
+        .iter()
+        .zip(&responses)
+        .enumerate()
+        .all(|(i, (s, r))| {
+            let direct = registry
+                .execute(&TonemapRequest::luminance(s).on_backend(specs[i % specs.len()]))
+                .expect("standard specs execute");
+            direct.payload() == r.payload()
+        });
+    println!("\nbatch of {batch}: outputs bit-identical to single-threaded execution: {identical}");
+    assert!(identical);
+
+    // 4. Aggregate telemetry, including the analytic multi-core host model.
+    let stats = service.stats();
+    println!(
+        "stats: {} submitted, {} completed, {} failed, {} rejected; {:.1} jobs/s measured",
+        stats.submitted,
+        stats.completed,
+        stats.failed,
+        stats.rejected,
+        stats.throughput_jobs_per_sec()
+    );
+    for engine in &stats.per_engine {
+        println!(
+            "  {:<14} {:>3} jobs  {:>5.1}% of busy time",
+            engine.engine,
+            engine.jobs,
+            engine.share * 100.0
+        );
+    }
+    println!(
+        "modeled batch speedup on an 8-core host: {:.2}x (LPT schedule of measured job times)",
+        stats.modeled_speedup(8)
+    );
+
+    // 5. Graceful shutdown: everything queued has completed; further
+    //    submissions are refused.
+    service.shutdown();
+    let refused = service.submit(JobRequest::luminance(Arc::clone(&scene)));
+    println!("after shutdown, submit is refused: {}", refused.is_err());
+
+    Ok(())
+}

@@ -4,7 +4,8 @@
 //! This crate re-exports the public surface of every member crate so that the
 //! examples under `examples/` and the integration tests under `tests/` can use
 //! one coherent namespace. Library users normally depend on the individual
-//! crates (`tonemap-core`, `codesign`, …) directly.
+//! crates (`tonemap-core`, `codesign`, …) directly. `ARCHITECTURE.md` at the
+//! repository root maps every crate to the part of the paper it reproduces.
 //!
 //! # Quickstart
 //!
@@ -28,6 +29,7 @@ pub use hdr_image;
 pub use hls_model;
 pub use tonemap_backend;
 pub use tonemap_core;
+pub use tonemap_service;
 pub use zynq_sim;
 
 /// Convenience prelude used by the examples and integration tests.
@@ -43,9 +45,6 @@ pub mod prelude {
     pub use hls_model::pragma::{ArrayPartition, DataMover, Pragma};
     pub use hls_model::schedule::Scheduler;
     pub use hls_model::tech::TechLibrary;
-    // Deprecated shim kept for one release alongside its replacement.
-    #[allow(deprecated)]
-    pub use tonemap_backend::map_rgb_via;
     pub use tonemap_backend::{
         AcceleratedBackend, BackendInfo, BackendOutput, BackendRegistry, BackendSpec,
         BackendTelemetry, ModeledCost, OutputKind, ResolvedBackend, SoftwareF32Backend,
@@ -53,6 +52,10 @@ pub mod prelude {
         TonemapResponse, UnknownBackendError,
     };
     pub use tonemap_core::{BlurParams, ParamError, ToneMapParams, ToneMapper};
+    pub use tonemap_service::{
+        EngineUtilisation, JobHandle, JobInput, JobRequest, ServiceConfig, ServiceError,
+        ServiceStats, TonemapService, WorkerPool,
+    };
     pub use zynq_sim::config::ZynqConfig;
     pub use zynq_sim::power::{EnergyReport, PowerRails};
     pub use zynq_sim::system::SystemSimulator;
