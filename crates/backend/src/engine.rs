@@ -116,13 +116,16 @@ pub trait TonemapBackend: Send + Sync {
     /// # Errors
     ///
     /// [`TonemapError::InvalidParams`] for a bad parameter override,
-    /// [`TonemapError::Image`] for a zero-dimension or mis-sized raw input
-    /// (or a colour re-application mismatch).
+    /// [`TonemapError::Image`] for a zero-dimension or mis-sized raw input,
+    /// an input with no finite pixel at all (normalization sanitizes
+    /// scattered non-finite samples to 0, but an all-non-finite frame has
+    /// nothing left to map), or a colour re-application mismatch.
     fn execute(&self, request: &TonemapRequest<'_>) -> Result<TonemapResponse, TonemapError> {
         let params = request.params_override();
         let with_telemetry = request.wants_telemetry();
         match *request.input() {
             RequestInput::Luminance(image) => {
+                ensure_some_finite_pixels(image)?;
                 let run = self.run_luminance(image, params, with_telemetry)?;
                 Ok(luminance_response(
                     run,
@@ -136,6 +139,7 @@ pub trait TonemapBackend: Send + Sync {
                 pixels,
             } => {
                 let image = LuminanceImage::from_vec(width, height, pixels.to_vec())?;
+                ensure_some_finite_pixels(&image)?;
                 let run = self.run_luminance(&image, params, with_telemetry)?;
                 Ok(luminance_response(
                     run,
@@ -144,9 +148,26 @@ pub trait TonemapBackend: Send + Sync {
                 ))
             }
             RequestInput::Rgb(image) => {
-                let luminance = luminance_plane(image);
+                // Reject only a frame with no finite channel anywhere; a
+                // systematically dead channel (e.g. all-NaN red) still
+                // leaves recoverable data in the others.
+                if !image
+                    .pixels()
+                    .iter()
+                    .any(|p| p.r.is_finite() || p.g.is_finite() || p.b.is_finite())
+                {
+                    return Err(TonemapError::Image(hdr_image::ImageError::NoFinitePixels));
+                }
+                // Sanitize non-finite channels before the luminance plane
+                // and the colour re-application are derived: normalization
+                // zeroes non-finite *luminance* samples, but reapply_color
+                // reads the original channels, where one NaN channel would
+                // otherwise poison the whole output pixel.
+                let sanitized = sanitized_rgb(image);
+                let source = sanitized.as_ref().unwrap_or(image);
+                let luminance = luminance_plane(source);
                 let run = self.run_luminance(&luminance, params, with_telemetry)?;
-                let mapped = reapply_color(image, &run.image)?;
+                let mapped = reapply_color(source, &run.image)?;
                 Ok(rgb_response(
                     mapped,
                     run,
@@ -184,6 +205,36 @@ pub trait TonemapBackend: Send + Sync {
     /// given image dimensions — the row this backend contributes to
     /// Table II. `None` for backends without a Table II design.
     fn design_report(&self, width: usize, height: usize) -> Option<DesignReport>;
+}
+
+/// Rejects inputs with no finite pixel at all. Scattered NaN/∞ samples are
+/// sanitized to 0 by normalization; a frame that is *entirely* non-finite
+/// would sanitize to all-black, which is a broken capture the caller should
+/// hear about rather than receive.
+fn ensure_some_finite_pixels(image: &LuminanceImage) -> Result<(), TonemapError> {
+    if image.pixels().iter().any(|v| v.is_finite()) {
+        Ok(())
+    } else {
+        Err(TonemapError::Image(hdr_image::ImageError::NoFinitePixels))
+    }
+}
+
+/// A copy of `image` with every non-finite channel zeroed, or `None` when
+/// the image is already fully finite (the common case pays one scan, no
+/// copy).
+fn sanitized_rgb(image: &RgbImage) -> Option<RgbImage> {
+    let finite = |c: f32| if c.is_finite() { c } else { 0.0 };
+    image
+        .pixels()
+        .iter()
+        .any(|p| !(p.r.is_finite() && p.g.is_finite() && p.b.is_finite()))
+        .then(|| {
+            image.map(|p| hdr_image::Rgb {
+                r: finite(p.r),
+                g: finite(p.g),
+                b: finite(p.b),
+            })
+        })
 }
 
 fn luminance_response(

@@ -19,12 +19,12 @@
 //!        ▼                      │
 //!   BackendRegistry::execute ───┘   (spec string → engine + param override)
 //!
-//!    ┌────────────┬──────────────────────────────┐
-//!    │            │                              │
-//!  sw-f32      sw-fix16                hw-marked / hw-sequential /
-//!  (float      (all-stages             hw-pragmas / hw-fix16
-//!  reference)  fixed ablation)         (simulated PL accelerators,
-//!                                       Table II designs)
+//!    ┌────────────┬──────────────────────────────┬─────────────────────┐
+//!    │            │                              │                     │
+//!  sw-f32      sw-fix16                hw-marked / hw-sequential /  sw-f32-stream /
+//!  (float      (all-stages             hw-pragmas / hw-fix16       hw-fix16-stream
+//!  reference)  fixed ablation)         (simulated PL accelerators, (fused streaming
+//!                                       Table II designs)           line-buffer pass)
 //! ```
 //!
 //! Every input is validated into a typed [`TonemapError`] — unknown specs,
@@ -86,6 +86,7 @@ mod registry;
 mod request;
 mod software;
 mod spec;
+mod streaming;
 
 pub use accelerated::AcceleratedBackend;
 pub use engine::{BackendInfo, TonemapBackend};
@@ -95,6 +96,7 @@ pub use registry::{BackendRegistry, ResolvedBackend, UnknownBackendError};
 pub use request::{OutputKind, TonemapPayload, TonemapRequest, TonemapResponse};
 pub use software::{SoftwareF32Backend, SoftwareFixedBackend};
 pub use spec::BackendSpec;
+pub use streaming::{default_stream_threads, StreamingBackend};
 
 use codesign::flow::CoDesignFlow;
 use tonemap_core::ToneMapParams;

@@ -6,6 +6,7 @@ use crate::error::TonemapError;
 use crate::request::{TonemapRequest, TonemapResponse};
 use crate::software::{SoftwareF32Backend, SoftwareFixedBackend};
 use crate::spec::BackendSpec;
+use crate::streaming::StreamingBackend;
 use apfixed::Fix16;
 use codesign::flow::{DesignImplementation, FlowReport};
 use std::collections::{BTreeMap, HashMap};
@@ -130,6 +131,8 @@ impl BackendRegistry {
     /// | `hw-sequential` | streaming PL blur, line buffers | Sequential memory accesses |
     /// | `hw-pragmas` | + `PIPELINE` / `ARRAY_PARTITION` | HLS pragmas |
     /// | `hw-fix16` | + 16-bit fixed-point datapath | FlP to FxP conversion |
+    /// | `sw-f32-stream` | fused streaming pass, row ring buffer | — |
+    /// | `hw-fix16-stream` | streaming pass, fixed-point blur | — |
     pub fn standard() -> Self {
         BackendRegistry::standard_with_params(ToneMapParams::paper_default())
             .expect("paper-default parameters are valid")
@@ -167,6 +170,23 @@ impl BackendRegistry {
             "the paper's final design: pipelined 16-bit fixed-point blur accelerator (Table II `FlP to FxP conversion`)",
             DesignImplementation::FixedPointConversion,
             params,
+        )?));
+        // Single-threaded on purpose: a service worker pool already runs
+        // one job per thread, so per-job row slicing on top would
+        // oversubscribe the host. Callers with a dedicated machine
+        // register their own StreamingBackend with more threads (see
+        // `default_stream_threads`).
+        registry.register(Arc::new(StreamingBackend::<f32>::new(
+            "sw-f32-stream",
+            "streaming software reference: fused single pass over a row ring buffer (the Fig. 4 line buffer in software), bit-identical to sw-f32",
+            params,
+            1,
+        )?));
+        registry.register(Arc::new(StreamingBackend::<Fix16>::new(
+            "hw-fix16-stream",
+            "streaming fixed-point engine: fused single pass with the 16-bit blur datapath behind the row ring buffer, bit-identical to hw-fix16",
+            params,
+            1,
         )?));
         Ok(registry)
     }
@@ -385,16 +405,18 @@ mod tests {
         for name in [
             "sw-f32",
             "sw-fix16",
+            "sw-f32-stream",
             "hw-marked",
             "hw-sequential",
             "hw-pragmas",
             "hw-fix16",
+            "hw-fix16-stream",
         ] {
             let backend = registry.resolve(name).expect("standard backend resolves");
             assert_eq!(backend.name(), name);
             assert!(!backend.description().is_empty());
         }
-        assert_eq!(registry.len(), 6);
+        assert_eq!(registry.len(), 8);
         assert!(!registry.is_empty());
     }
 

@@ -1,0 +1,205 @@
+//! The streaming execution engines: the fused line-buffer pass as backends.
+//!
+//! `sw-f32-stream` and `hw-fix16-stream` run the same pipeline as `sw-f32`
+//! and `hw-fix16` but through [`tonemap_core::StreamingToneMapper`]: one
+//! raster-order pass over a rolling row ring buffer (the software analogue
+//! of the paper's Fig. 4 BRAM line buffer), no full-size intermediate
+//! images, the blur kernel quantised once at engine construction, and
+//! row-sliced multi-threading. Outputs are bit-identical to the two-pass
+//! engines — only the schedule (and the wall clock) changes, which is why
+//! these are execution *shapes*, not new Table II designs: `design()` is
+//! `None` and telemetry carries no modeled cost.
+
+use crate::engine::TonemapBackend;
+use crate::error::TonemapError;
+use crate::output::{BackendOutput, BackendTelemetry};
+use codesign::flow::DesignReport;
+use hdr_image::LuminanceImage;
+use std::sync::Arc;
+use std::time::Instant;
+use tonemap_core::ops::PipelineProfile;
+use tonemap_core::{Sample, StreamingToneMapper, ToneMapParams};
+
+/// A reasonable row-slice thread count for a streaming engine that has a
+/// whole host to itself (a CLI run, a dedicated bench): the available
+/// parallelism, capped at 8.
+///
+/// The standard registry deliberately does *not* use this — its streaming
+/// engines are single-threaded, because a `tonemap-service` worker pool
+/// already supplies one thread per concurrent job and per-job row slicing
+/// on top of that would oversubscribe the machine (`workers × threads`
+/// compute threads). Callers who want intra-job parallelism register
+/// their own [`StreamingBackend`] with an explicit thread count, or use
+/// [`StreamingToneMapper`] directly.
+pub fn default_stream_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// A backend executing the pipeline through the streaming line-buffer pass.
+///
+/// `S = f32` is the streaming software reference (`sw-f32-stream`);
+/// `S = apfixed::Fix16` streams the paper's final fixed-point blur datapath
+/// (`hw-fix16-stream`). Both produce pixels bit-identical to their two-pass
+/// counterparts.
+#[derive(Debug)]
+pub struct StreamingBackend<S: Sample> {
+    name: &'static str,
+    description: &'static str,
+    mapper: StreamingToneMapper<S>,
+}
+
+impl<S: Sample> StreamingBackend<S> {
+    /// Creates a streaming backend. The blur kernel is quantised into `S`
+    /// here, once, instead of on every request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TonemapError::InvalidParams`] if `params` fail validation.
+    pub fn new(
+        name: &'static str,
+        description: &'static str,
+        params: ToneMapParams,
+        threads: usize,
+    ) -> Result<Self, TonemapError> {
+        Ok(StreamingBackend {
+            name,
+            description,
+            mapper: StreamingToneMapper::try_new(params)?.with_threads(threads),
+        })
+    }
+}
+
+impl<S: Sample> TonemapBackend for StreamingBackend<S> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn description(&self) -> &'static str {
+        self.description
+    }
+
+    fn params(&self) -> ToneMapParams {
+        *self.mapper.params()
+    }
+
+    fn reconfigured(&self, params: ToneMapParams) -> Result<Arc<dyn TonemapBackend>, TonemapError> {
+        Ok(Arc::new(StreamingBackend::<S>::new(
+            self.name,
+            self.description,
+            params,
+            self.mapper.threads(),
+        )?))
+    }
+
+    fn run_luminance(
+        &self,
+        input: &LuminanceImage,
+        params: Option<&ToneMapParams>,
+        _with_model: bool,
+    ) -> Result<BackendOutput, TonemapError> {
+        match params {
+            None => Ok(run_streaming(self.name, &self.mapper, input)),
+            Some(&override_params) => {
+                let fresh = StreamingToneMapper::<S>::try_new(override_params)
+                    .map_err(TonemapError::from)?
+                    .with_threads(self.mapper.threads());
+                Ok(run_streaming(self.name, &fresh, input))
+            }
+        }
+    }
+
+    fn design_report(&self, _width: usize, _height: usize) -> Option<DesignReport> {
+        None
+    }
+}
+
+/// Times one streaming execution and assembles the [`BackendOutput`]. The
+/// analytic operation counts are those of the pipeline's math, which the
+/// streaming schedule does not change.
+fn run_streaming<S: Sample>(
+    name: &'static str,
+    mapper: &StreamingToneMapper<S>,
+    input: &LuminanceImage,
+) -> BackendOutput {
+    let start = Instant::now();
+    let image = mapper.map_luminance(input);
+    let wall = start.elapsed();
+    let (width, height) = input.dimensions();
+    BackendOutput {
+        image,
+        telemetry: BackendTelemetry {
+            backend: name,
+            wall,
+            ops: PipelineProfile::analytic(mapper.params(), width, height).total(),
+            modeled: None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::BackendRegistry;
+    use crate::request::TonemapRequest;
+    use hdr_image::synth::SceneKind;
+
+    #[test]
+    fn streaming_engines_match_their_two_pass_counterparts_exactly() {
+        let registry = BackendRegistry::standard();
+        let hdr = SceneKind::WindowInDarkRoom.generate(48, 37, 6);
+        for (streamed, classic) in [("sw-f32-stream", "sw-f32"), ("hw-fix16-stream", "hw-fix16")] {
+            let a = registry
+                .execute(&TonemapRequest::luminance(&hdr).on_backend(streamed))
+                .expect("streaming engine registered");
+            let b = registry
+                .execute(&TonemapRequest::luminance(&hdr).on_backend(classic))
+                .expect("classic engine registered");
+            assert_eq!(
+                a.luminance().unwrap(),
+                b.luminance().unwrap(),
+                "{streamed} diverged from {classic}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_engines_honour_parameter_overrides() {
+        let registry = BackendRegistry::standard();
+        let hdr = SceneKind::SunAndShadow.generate(32, 32, 8);
+        let narrow = registry
+            .execute(
+                &TonemapRequest::luminance(&hdr).on_backend("sw-f32-stream?sigma=1.5&radius=3"),
+            )
+            .expect("override spec resolves");
+        let classic = registry
+            .execute(&TonemapRequest::luminance(&hdr).on_backend("sw-f32?sigma=1.5&radius=3"))
+            .expect("override spec resolves");
+        assert_eq!(narrow.luminance().unwrap(), classic.luminance().unwrap());
+        let default = registry
+            .execute(&TonemapRequest::luminance(&hdr).on_backend("sw-f32-stream"))
+            .unwrap();
+        assert_ne!(narrow.luminance().unwrap(), default.luminance().unwrap());
+    }
+
+    #[test]
+    fn streaming_telemetry_has_ops_but_no_modeled_cost() {
+        let registry = BackendRegistry::standard();
+        let hdr = SceneKind::GradientRamp.generate(16, 16, 2);
+        let response = registry
+            .execute(
+                &TonemapRequest::luminance(&hdr)
+                    .on_backend("hw-fix16-stream")
+                    .with_telemetry(),
+            )
+            .unwrap();
+        let telemetry = response.telemetry().expect("telemetry requested");
+        assert_eq!(telemetry.backend, "hw-fix16-stream");
+        assert!(telemetry.ops.total() > 0);
+        assert!(
+            telemetry.modeled.is_none(),
+            "streaming shapes have no Table II row"
+        );
+    }
+}

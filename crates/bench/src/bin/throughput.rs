@@ -2,7 +2,7 @@
 //! a multi-core host.
 //!
 //! Shards one batch of synthetic 256×256 tone-mapping jobs (cycling
-//! through all six engine specs) across `tonemap-service` worker pools of
+//! through every registered engine spec) across `tonemap-service` worker pools of
 //! 1, 2, 4 and 8 threads, and reports:
 //!
 //! * **measured** wall-clock throughput of each pool on *this* machine

@@ -12,6 +12,15 @@ use crate::params::AdjustParams;
 use crate::sample::Sample;
 use hdr_image::ImageBuffer;
 
+/// Applies the brightness/contrast adjustment to one sample, with the
+/// constants pre-quantised by the caller — the per-pixel core shared by
+/// [`apply_adjustment`] and the streaming execution path, so the two stay
+/// bit-identical.
+#[inline]
+pub fn adjusted_sample<S: Sample>(value: S, half: S, contrast: S, offset: S) -> S {
+    value.sub(half).mul_add(contrast, offset).clamp01()
+}
+
 /// Applies the brightness/contrast adjustment to a display-referred image.
 pub fn apply_adjustment<S: Sample>(
     image: &ImageBuffer<S>,
@@ -20,7 +29,7 @@ pub fn apply_adjustment<S: Sample>(
     let half = S::from_f32(0.5);
     let contrast = S::from_f32(params.contrast);
     let offset = S::from_f32(0.5 + params.brightness);
-    image.map(|&v| v.sub(half).mul_add(contrast, offset).clamp01())
+    image.map(|&v| adjusted_sample(v, half, contrast, offset))
 }
 
 /// Analytic operation counts of the adjustment stage for `channels` colour

@@ -44,9 +44,22 @@ pub fn gaussian_kernel(params: &BlurParams) -> Vec<f32> {
     taps.into_iter().map(|t| t as f32).collect()
 }
 
-/// Quantises a kernel into the working sample type (identity for `f32`).
+/// Quantises a kernel into the working sample type, renormalizing in the
+/// sample domain.
+///
+/// Per-tap rounding leaves the quantised taps summing to slightly more or
+/// less than one — a DC gain error of up to `taps·ε/2` that visibly drifts
+/// constant regions through the two blur passes. The residual `1 − Σ taps`
+/// (computed in `S`'s own arithmetic) is folded into the centre tap, so the
+/// quantised kernel sums to exactly one in the sample domain. For `f32` the
+/// correction is at the last-ulp level; for fixed point it removes the
+/// systematic drift entirely (fixed-point addition is exact).
 pub fn quantize_kernel<S: Sample>(kernel: &[f32]) -> Vec<S> {
-    kernel.iter().map(|&t| S::from_f32(t)).collect()
+    let mut taps: Vec<S> = kernel.iter().map(|&t| S::from_f32(t)).collect();
+    let sum = taps.iter().fold(S::zero(), |acc, &t| acc.add(t));
+    let centre = taps.len() / 2;
+    taps[centre] = taps[centre].add(S::one().sub(sum));
+    taps
 }
 
 /// Horizontal 1-D convolution pass with edge-replicating boundary handling.
@@ -194,6 +207,37 @@ mod tests {
         let out = blur_separable(&img, &default_params());
         for &v in out.pixels() {
             assert!((v - 0.37).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn quantized_kernel_sums_to_one_in_the_sample_domain() {
+        // Regression for the DC gain error: before the centre-tap fold the
+        // 41 quantised taps of the paper-default kernel summed to ~1 ± 20ε.
+        let kernel = gaussian_kernel(&BlurParams::paper_default());
+        let fixed = quantize_kernel::<Fix16>(&kernel);
+        let sum = fixed.iter().fold(Fix16::ZERO, |acc, &t| acc + t);
+        assert_eq!(sum, Fix16::ONE, "fixed-point taps must sum to exactly 1");
+        let float = quantize_kernel::<f32>(&kernel);
+        let sum: f32 = float.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "f32 taps sum to {sum}");
+    }
+
+    #[test]
+    fn fixed_point_blur_preserves_constant_images_without_dc_drift() {
+        // Regression: with the unrenormalized kernel the systematic DC gain
+        // drifted a constant image by tens of LSBs across the two passes;
+        // with the fold only per-step rounding remains.
+        let img: hdr_image::ImageBuffer<Fix16> =
+            hdr_image::ImageBuffer::filled(32, 32, Fix16::from_f32(0.37));
+        let out = blur_separable(&img, &default_params());
+        let eps = Fix16::FORMAT.epsilon() as f32;
+        for &v in out.pixels() {
+            assert!(
+                (v.to_f32() - 0.37).abs() <= 4.0 * eps,
+                "constant image drifted to {}",
+                v.to_f32()
+            );
         }
     }
 

@@ -22,6 +22,14 @@
 //! [`apfixed::Fix`] (the paper's final accelerator), enabling the Fig. 5
 //! quality comparison.
 //!
+//! Two execution schedules cover the same pipeline: the stage-by-stage
+//! [`ToneMapper`] (one full-size intermediate per stage, the shape of the
+//! paper's original software) and the fused [`StreamingToneMapper`]
+//! ([`stream`]), which runs everything as one raster-order pass over a
+//! rolling row ring buffer — the software analogue of the BRAM line buffer
+//! of Fig. 4 — producing bit-identical pixels with no full-size
+//! intermediates.
+//!
 //! Each stage also reports its per-pixel operation counts ([`ops`]), which
 //! the `zynq-sim` processing-system model turns into ARM execution-time
 //! estimates and the `codesign` profiler uses to identify the Gaussian blur
@@ -51,10 +59,12 @@ pub mod ops;
 mod params;
 pub mod pipeline;
 mod sample;
+pub mod stream;
 
 pub use params::{AdjustParams, BlurParams, MaskingParams, ParamError, ToneMapParams};
 pub use pipeline::{PipelineStages, ToneMapper};
 pub use sample::Sample;
+pub use stream::StreamingToneMapper;
 
 #[cfg(test)]
 mod tests {

@@ -40,6 +40,15 @@ pub fn exponent_for_mask(mask: f32, params: &MaskingParams) -> f32 {
     (params.strength * centred).exp2()
 }
 
+/// Applies the non-linear masking to one sample given its mask sample — the
+/// per-pixel core shared by [`apply_masking`] and the streaming execution
+/// path, so the two stay bit-identical.
+#[inline]
+pub fn masked_sample<S: Sample>(value: S, mask: S, params: &MaskingParams) -> S {
+    let exponent = exponent_for_mask(mask.to_f32(), params);
+    value.powf(exponent).clamp01()
+}
+
 /// Applies the non-linear masking to a normalized image given its blurred
 /// mask.
 ///
@@ -60,10 +69,7 @@ pub fn apply_masking<S: Sample>(
         "image and mask dimensions must match"
     );
     normalized
-        .zip_map(mask, |&v, &m| {
-            let exponent = exponent_for_mask(m.to_f32(), params);
-            v.powf(exponent).clamp01()
-        })
+        .zip_map(mask, |&v, &m| masked_sample(v, m, params))
         .expect("dimensions checked above")
 }
 

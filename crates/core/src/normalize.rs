@@ -8,24 +8,51 @@ use crate::ops::OpCounts;
 use crate::sample::Sample;
 use hdr_image::{ImageBuffer, LuminanceImage};
 
-/// Returns the maximum pixel value of an HDR image (ignoring NaNs), used as
-/// the normalization divisor.
+/// Returns the maximum pixel value of an HDR image (ignoring non-finite
+/// samples), used as the normalization divisor.
 pub fn max_pixel(image: &LuminanceImage) -> f32 {
-    image.min_max().1
+    image
+        .pixels()
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(0.0f32, f32::max)
+}
+
+/// The reciprocal of the normalization divisor, or `None` when the image
+/// maximum is not positive (there is nothing to normalize and dividing by
+/// zero would poison the pipeline).
+pub fn normalization_scale(image: &LuminanceImage) -> Option<f32> {
+    let max = max_pixel(image);
+    (max > 0.0).then(|| 1.0 / max)
+}
+
+/// Normalizes one sample with the scale from [`normalization_scale`].
+///
+/// Non-finite samples are sanitized to 0 here: `clamp` propagates NaN, so a
+/// single NaN sensor pixel would otherwise survive normalization and poison
+/// the blurred mask (and through it a whole neighbourhood of the output).
+/// This is the per-sample core shared by [`normalize`] and the streaming
+/// execution path, so the two stay bit-identical.
+#[inline]
+pub fn normalize_sample(value: f32, scale: Option<f32>) -> f32 {
+    if !value.is_finite() {
+        return 0.0;
+    }
+    match scale {
+        Some(inv) => (value * inv).clamp(0.0, 1.0),
+        None => value,
+    }
 }
 
 /// Normalizes an HDR luminance image into `[0, 1]` by dividing every pixel by
 /// the image maximum.
 ///
-/// An all-zero (or all-NaN) image is returned unchanged: there is nothing to
-/// normalize and dividing by zero would poison the pipeline.
+/// An all-zero image is returned unchanged; non-finite samples become 0 (see
+/// [`normalize_sample`]).
 pub fn normalize(image: &LuminanceImage) -> LuminanceImage {
-    let max = max_pixel(image);
-    if max <= 0.0 {
-        return image.clone();
-    }
-    let inv = 1.0 / max;
-    image.map(|&v| (v * inv).clamp(0.0, 1.0))
+    let scale = normalization_scale(image);
+    image.map(|&v| normalize_sample(v, scale))
 }
 
 /// Normalizes and converts into the pipeline's working sample type in one
@@ -86,6 +113,39 @@ mod tests {
     fn all_zero_image_is_returned_unchanged() {
         let zeros = LuminanceImage::filled(8, 8, 0.0);
         assert_eq!(normalize(&zeros), zeros);
+    }
+
+    #[test]
+    fn non_finite_samples_are_sanitized_to_zero() {
+        // Regression: `clamp` on NaN returns NaN, so NaN pixels used to
+        // survive normalization and poison masking downstream.
+        let img =
+            LuminanceImage::from_vec(2, 2, vec![f32::NAN, 4.0, f32::INFINITY, f32::NEG_INFINITY])
+                .unwrap();
+        let n = normalize(&img);
+        assert!(n.pixels().iter().all(|v| v.is_finite()));
+        assert_eq!(n.pixels(), &[0.0, 1.0, 0.0, 0.0]);
+        // The non-finite samples do not take part in the maximum either.
+        assert_eq!(max_pixel(&img), 4.0);
+    }
+
+    #[test]
+    fn non_finite_samples_are_sanitized_even_without_a_scale() {
+        // max <= 0 means nothing to normalize, but NaNs must still die.
+        let img = LuminanceImage::from_vec(3, 1, vec![0.0, f32::NAN, -1.0]).unwrap();
+        let n = normalize(&img);
+        assert_eq!(n.pixels(), &[0.0, 0.0, -1.0]);
+        assert_eq!(normalization_scale(&img), None);
+    }
+
+    #[test]
+    fn normalize_sample_matches_normalize() {
+        let hdr = SceneKind::SunAndShadow.generate(16, 16, 11);
+        let scale = normalization_scale(&hdr);
+        let n = normalize(&hdr);
+        for (&raw, &mapped) in hdr.pixels().iter().zip(n.pixels()) {
+            assert_eq!(normalize_sample(raw, scale), mapped);
+        }
     }
 
     #[test]

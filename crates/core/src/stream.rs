@@ -1,0 +1,360 @@
+//! Streaming single-pass execution — the Fig. 4 line buffer in software.
+//!
+//! [`crate::ToneMapper::run_stages`] materialises a full-size intermediate
+//! image after every stage (normalized, inverted, horizontally blurred,
+//! vertically blurred, masked, adjusted) — six full DDR round trips for one
+//! output, exactly the memory traffic the paper's restructured accelerator
+//! eliminates with its BRAM line buffer. [`StreamingToneMapper`] is the
+//! software analogue of that restructuring: the whole pipeline runs as one
+//! raster-order pass in which
+//!
+//! * each input row is normalized, inverted and horizontally blurred the
+//!   moment it is first needed, into a **rolling ring of `2·radius + 1`
+//!   rows** (the line buffer), and
+//! * each output row is produced by the vertical blur over the ring plus the
+//!   fused point-wise masking and adjustment — no full-size intermediate is
+//!   ever allocated.
+//!
+//! The arithmetic is *bit-identical* to the two-pass reference: every sample
+//! goes through the same operations in the same order
+//! ([`crate::normalize::normalize_sample`],
+//! [`crate::blur::quantize_kernel`]'s taps applied in ascending tap order,
+//! [`crate::masking::masked_sample`], [`crate::adjust::adjusted_sample`]),
+//! only the schedule changes. That makes the streaming engines drop-in
+//! replacements whose outputs equal the classic engines' exactly — the
+//! property the paper relies on when it swaps the software blur for the
+//! line-buffered accelerator.
+//!
+//! Like [`crate::ToneMapper::run_stages_hw_blur`], the pipeline uses the
+//! paper's hardware/software split: the point-wise stages compute in `f32`
+//! (the processing system) while the blur computes in the sample type `S`
+//! (the programmable logic), with quantisation at the accelerator boundary.
+//! `S = f32` therefore reproduces the pure software reference and
+//! `S = apfixed::Fix16` the paper's final fixed-point accelerator.
+//!
+//! Rows are an embarrassingly parallel unit: [`StreamingToneMapper`] can
+//! slice the output rows across scoped threads
+//! ([`StreamingToneMapper::with_threads`]), each slice re-deriving the few
+//! ring rows it shares with its neighbour. Outputs stay bit-identical at
+//! any thread count because every output row's computation is
+//! self-contained.
+//!
+//! # Example
+//!
+//! ```
+//! use hdr_image::synth::SceneKind;
+//! use tonemap_core::{StreamingToneMapper, ToneMapParams, ToneMapper};
+//!
+//! let hdr = SceneKind::WindowInDarkRoom.generate(48, 48, 3);
+//! let classic = ToneMapper::new(ToneMapParams::paper_default());
+//! let streaming = StreamingToneMapper::<f32>::new(ToneMapParams::paper_default());
+//! // Same pixels, one pass, no full-size intermediates.
+//! assert_eq!(streaming.map_luminance(&hdr), classic.map_luminance_f32(&hdr));
+//! ```
+
+use crate::adjust::adjusted_sample;
+use crate::blur::{gaussian_kernel, quantize_kernel};
+use crate::masking::masked_sample;
+use crate::normalize::{normalization_scale, normalize_sample};
+use crate::params::{ParamError, ToneMapParams};
+use crate::sample::Sample;
+use hdr_image::LuminanceImage;
+
+/// The streaming tone mapper: one raster-order pass over the image with a
+/// rolling row ring buffer, no full-size intermediates.
+///
+/// Unlike [`crate::ToneMapper`], the blur kernel is quantised into `S`
+/// **once at construction** and reused for every image this mapper
+/// processes — the classic path re-derives and re-quantises it on every
+/// call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingToneMapper<S: Sample> {
+    params: ToneMapParams,
+    kernel: Vec<S>,
+    threads: usize,
+}
+
+impl<S: Sample> StreamingToneMapper<S> {
+    /// Creates a streaming mapper with the given parameters, single-threaded
+    /// by default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are invalid; use
+    /// [`StreamingToneMapper::try_new`] to handle invalid parameters
+    /// gracefully.
+    pub fn new(params: ToneMapParams) -> Self {
+        StreamingToneMapper::try_new(params)
+            .unwrap_or_else(|e| panic!("invalid tone-mapping parameters: {e}"))
+    }
+
+    /// Creates a streaming mapper, returning a typed [`ParamError`] if the
+    /// parameters are invalid. The blur kernel is quantised into `S` here,
+    /// once.
+    pub fn try_new(params: ToneMapParams) -> Result<Self, ParamError> {
+        params.validate()?;
+        Ok(StreamingToneMapper {
+            params,
+            kernel: quantize_kernel::<S>(&gaussian_kernel(&params.blur)),
+            threads: 1,
+        })
+    }
+
+    /// Sets how many row slices to process concurrently (clamped to at
+    /// least 1). Outputs are bit-identical at any thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The parameters this mapper was built with.
+    pub const fn params(&self) -> &ToneMapParams {
+        &self.params
+    }
+
+    /// The configured row-slice thread count.
+    pub const fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The blur kernel quantised into the working sample type at
+    /// construction.
+    pub fn kernel(&self) -> &[S] {
+        &self.kernel
+    }
+
+    /// Tone-maps an HDR luminance image in one streaming pass, returning
+    /// the display-referred result — the same pixels
+    /// [`crate::ToneMapper::run_stages_hw_blur`] produces (and, for
+    /// `S = f32`, the same pixels as the all-float reference).
+    pub fn map_luminance(&self, hdr: &LuminanceImage) -> LuminanceImage {
+        let (width, height) = hdr.dimensions();
+        let mut out = vec![0.0f32; width * height];
+        let scale = normalization_scale(hdr);
+        let threads = self.threads.min(height);
+        if threads <= 1 {
+            self.run_rows(hdr, scale, 0, &mut out);
+        } else {
+            let rows_per_slice = height.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (slice, chunk) in out.chunks_mut(rows_per_slice * width).enumerate() {
+                    let first_row = slice * rows_per_slice;
+                    scope.spawn(move || self.run_rows(hdr, scale, first_row, chunk));
+                }
+            });
+        }
+        LuminanceImage::from_vec(width, height, out)
+            .expect("output dimensions equal input dimensions")
+    }
+
+    /// Processes the output rows `first_row ..` covered by `out` (a
+    /// whole-row-aligned slice of the output buffer) in raster order.
+    fn run_rows(
+        &self,
+        hdr: &LuminanceImage,
+        scale: Option<f32>,
+        first_row: usize,
+        out: &mut [f32],
+    ) {
+        let (width, height) = hdr.dimensions();
+        let rows = out.len() / width;
+        let radius = self.kernel.len() / 2;
+        let taps = self.kernel.len();
+        let invert = self.params.masking.invert_mask;
+        let half = 0.5f32;
+        let contrast = self.params.adjust.contrast;
+        let offset = 0.5 + self.params.adjust.brightness;
+
+        // The line buffer of Fig. 4: a rolling ring of `2·radius + 1`
+        // horizontally blurred rows, indexed by source row modulo taps.
+        let mut ring: Vec<Vec<S>> = vec![vec![S::zero(); width]; taps.min(height)];
+        // Row-sized scratch: the edge-padded mask-input row and the
+        // vertical accumulator. Nothing here scales with the image height.
+        let mut padded: Vec<S> = vec![S::zero(); width + 2 * radius];
+        let mut vacc: Vec<S> = vec![S::zero(); width];
+
+        // Rows are produced lazily, in order, the moment the vertical
+        // window first reaches them.
+        let mut next_row = first_row.saturating_sub(radius);
+        for (row_index, out_row) in out.chunks_exact_mut(width).enumerate() {
+            let y = first_row + row_index;
+            debug_assert!(row_index < rows);
+            let newest_needed = (y + radius).min(height - 1);
+            while next_row <= newest_needed {
+                let slot = next_row % ring.len();
+                fill_blurred_row(
+                    &mut ring[slot],
+                    &mut padded,
+                    &hdr.pixels()[next_row * width..(next_row + 1) * width],
+                    scale,
+                    invert,
+                    &self.kernel,
+                    radius,
+                );
+                next_row += 1;
+            }
+
+            // Vertical pass over the ring, tap-major so the inner loop
+            // walks each buffered row sequentially. Per output sample the
+            // taps are applied in the same ascending order as the two-pass
+            // reference, so the accumulation is bit-identical.
+            for a in vacc.iter_mut() {
+                *a = S::zero();
+            }
+            for (k, &weight) in self.kernel.iter().enumerate() {
+                let source_row = (y + k).saturating_sub(radius).min(height - 1);
+                let row = &ring[source_row % ring.len()];
+                for (acc, &sample) in vacc.iter_mut().zip(row) {
+                    *acc = weight.mul_add(sample, *acc);
+                }
+            }
+
+            // Fused point-wise tail: normalize the input row again (two
+            // multiplies beat a second full-size buffer), mask, adjust.
+            let input_row = &hdr.pixels()[y * width..(y + 1) * width];
+            for ((dst, &raw), &mask) in out_row.iter_mut().zip(input_row).zip(vacc.iter()) {
+                let normalized = normalize_sample(raw, scale);
+                let masked = masked_sample(normalized, mask.to_f32(), &self.params.masking);
+                *dst = adjusted_sample(masked, half, contrast, offset);
+            }
+        }
+    }
+}
+
+/// Normalizes, inverts and horizontally blurs one source row into `dst` —
+/// the producer side of the line buffer.
+///
+/// The row is edge-padded by `radius` replicated samples so the horizontal
+/// window never needs a clamp; the blur itself runs tap-major with
+/// unit-stride loads. Per output sample the taps are applied in ascending
+/// order, matching [`crate::blur::blur_horizontal`] bit-for-bit.
+fn fill_blurred_row<S: Sample>(
+    dst: &mut [S],
+    padded: &mut [S],
+    input_row: &[f32],
+    scale: Option<f32>,
+    invert: bool,
+    kernel: &[S],
+    radius: usize,
+) {
+    let width = input_row.len();
+    for (slot, &raw) in padded[radius..radius + width].iter_mut().zip(input_row) {
+        let normalized = normalize_sample(raw, scale);
+        let mask_input = if invert { 1.0 - normalized } else { normalized };
+        *slot = S::from_f32(mask_input);
+    }
+    let first = padded[radius];
+    let last = padded[radius + width - 1];
+    padded[..radius].fill(first);
+    padded[radius + width..].fill(last);
+
+    for d in dst.iter_mut() {
+        *d = S::zero();
+    }
+    for (k, &weight) in kernel.iter().enumerate() {
+        let window = &padded[k..k + width];
+        for (d, &sample) in dst.iter_mut().zip(window) {
+            *d = weight.mul_add(sample, *d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::ToneMapper;
+    use apfixed::Fix16;
+    use hdr_image::synth::SceneKind;
+
+    fn params() -> ToneMapParams {
+        let mut p = ToneMapParams::paper_default();
+        // A narrower kernel keeps the unit tests quick; the paper-default
+        // radius is covered by the integration and property tests.
+        p.blur.sigma = 2.0;
+        p.blur.radius = 5;
+        p
+    }
+
+    #[test]
+    fn f32_streaming_is_bit_identical_to_the_two_pass_reference() {
+        for (w, h) in [(48, 48), (33, 17), (64, 9)] {
+            let hdr = SceneKind::WindowInDarkRoom.generate(w, h, 7);
+            let classic = ToneMapper::new(params()).map_luminance_f32(&hdr);
+            let streaming = StreamingToneMapper::<f32>::new(params()).map_luminance(&hdr);
+            assert_eq!(streaming, classic, "diverged at {w}x{h}");
+        }
+    }
+
+    #[test]
+    fn fix16_streaming_is_bit_identical_to_the_hw_blur_reference() {
+        let hdr = SceneKind::SunAndShadow.generate(40, 31, 5);
+        let classic = ToneMapper::new(params()).map_luminance_hw_blur::<Fix16>(&hdr);
+        let streaming = StreamingToneMapper::<Fix16>::new(params()).map_luminance(&hdr);
+        assert_eq!(streaming, classic);
+    }
+
+    #[test]
+    fn outputs_are_bit_identical_at_any_thread_count() {
+        let hdr = SceneKind::MemorialComposite.generate(37, 29, 9);
+        let single = StreamingToneMapper::<f32>::new(params()).map_luminance(&hdr);
+        for threads in [2, 3, 5, 8, 64] {
+            let sliced = StreamingToneMapper::<f32>::new(params())
+                .with_threads(threads)
+                .map_luminance(&hdr);
+            assert_eq!(sliced, single, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn degenerate_geometries_match_the_reference() {
+        // 1×N, N×1 and images smaller than the kernel radius exercise the
+        // fully clamped window paths.
+        let p = params();
+        for (w, h) in [(1, 24), (24, 1), (1, 1), (3, 2), (4, 12), (2, 2)] {
+            let hdr = SceneKind::GradientRamp.generate(w, h, 3);
+            let classic = ToneMapper::new(p).map_luminance_f32(&hdr);
+            let streaming = StreamingToneMapper::<f32>::new(p).map_luminance(&hdr);
+            assert_eq!(streaming, classic, "diverged at {w}x{h}");
+            let classic_fx = ToneMapper::new(p).map_luminance_hw_blur::<Fix16>(&hdr);
+            let streaming_fx = StreamingToneMapper::<Fix16>::new(p).map_luminance(&hdr);
+            assert_eq!(streaming_fx, classic_fx, "Fix16 diverged at {w}x{h}");
+        }
+    }
+
+    #[test]
+    fn nan_pixels_are_sanitized_like_the_reference() {
+        let mut hdr = SceneKind::WindowInDarkRoom.generate(24, 24, 4);
+        hdr.set(3, 3, f32::NAN);
+        hdr.set(10, 20, f32::INFINITY);
+        let classic = ToneMapper::new(params()).map_luminance_f32(&hdr);
+        let streaming = StreamingToneMapper::<f32>::new(params()).map_luminance(&hdr);
+        assert!(streaming.pixels().iter().all(|v| v.is_finite()));
+        assert_eq!(streaming, classic);
+    }
+
+    #[test]
+    fn kernel_is_quantised_once_at_construction() {
+        let mapper = StreamingToneMapper::<Fix16>::new(params());
+        assert_eq!(
+            mapper.kernel(),
+            quantize_kernel::<Fix16>(&gaussian_kernel(&params().blur)).as_slice()
+        );
+        assert_eq!(mapper.kernel().len(), params().blur.taps());
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_parameters() {
+        let mut p = ToneMapParams::paper_default();
+        p.blur.radius = 0;
+        assert_eq!(
+            StreamingToneMapper::<f32>::try_new(p),
+            Err(ParamError::ZeroBlurRadius)
+        );
+    }
+
+    #[test]
+    fn thread_count_is_clamped_to_at_least_one() {
+        let mapper = StreamingToneMapper::<f32>::new(params()).with_threads(0);
+        assert_eq!(mapper.threads(), 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for streaming/two-pass parity on degenerate geometries.
+//!
+//! The streaming engine's clamped-window handling is most fragile exactly
+//! where the clamp does the most work: 1×N rows, N×1 columns, and images
+//! smaller than the kernel radius, where *every* pixel sits in the
+//! replicated border region. These properties pin the streaming pass to
+//! the two-pass reference — bit for bit, in both `f32` and `Fix16` — over
+//! randomly drawn degenerate shapes, kernel widths and pixel contents.
+
+use apfixed::Fix16;
+use hdr_image::LuminanceImage;
+use proptest::prelude::*;
+use tonemap_core::{BlurParams, StreamingToneMapper, ToneMapParams, ToneMapper};
+
+/// A deterministic pseudo-random HDR image: several decades of dynamic
+/// range, seeded per case so failures replay.
+fn synthetic_image(width: usize, height: usize, seed: u64) -> LuminanceImage {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    LuminanceImage::from_fn(width, height, |_, _| {
+        // xorshift64* — enough structure for a pixel soup.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let unit = (state >> 11) as f32 / (1u64 << 53) as f32 * (1u32 << 21) as f32;
+        // Spread over [~1e-3, ~2e3] to make the normalization matter.
+        0.001 + unit.fract() * 10.0f32.powi((state % 7) as i32 - 3)
+    })
+}
+
+fn params_with(radius: usize, sigma: f32) -> ToneMapParams {
+    let mut p = ToneMapParams::paper_default();
+    p.blur = BlurParams { sigma, radius };
+    p
+}
+
+/// Degenerate shapes: single-row, single-column, and tiny images smaller
+/// than the blur radius in one or both dimensions.
+fn degenerate_dims() -> impl Strategy<Value = (usize, usize)> {
+    prop_oneof![
+        (Just(1usize), 1usize..48).prop_map(|(w, h)| (w, h)),
+        (1usize..48, Just(1usize)).prop_map(|(w, h)| (w, h)),
+        (1usize..7, 1usize..7).prop_map(|(w, h)| (w, h)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn f32_streaming_matches_two_pass_on_degenerate_geometries(
+        (width, height) in degenerate_dims(),
+        radius in 1usize..9,
+        sigma in 0.4f32..6.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let hdr = synthetic_image(width, height, seed);
+        let params = params_with(radius, sigma);
+        let classic = ToneMapper::new(params).map_luminance_f32(&hdr);
+        let streaming = StreamingToneMapper::<f32>::new(params).map_luminance(&hdr);
+        prop_assert_eq!(&streaming, &classic);
+        // Row slicing must not disturb the clamped windows either.
+        let sliced = StreamingToneMapper::<f32>::new(params)
+            .with_threads(3)
+            .map_luminance(&hdr);
+        prop_assert_eq!(&sliced, &classic);
+    }
+
+    #[test]
+    fn fix16_streaming_matches_two_pass_on_degenerate_geometries(
+        (width, height) in degenerate_dims(),
+        radius in 1usize..9,
+        sigma in 0.4f32..6.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let hdr = synthetic_image(width, height, seed);
+        let params = params_with(radius, sigma);
+        let classic = ToneMapper::new(params).map_luminance_hw_blur::<Fix16>(&hdr);
+        let streaming = StreamingToneMapper::<Fix16>::new(params).map_luminance(&hdr);
+        prop_assert_eq!(&streaming, &classic);
+    }
+
+    #[test]
+    fn streaming_blur_windows_stay_display_referred_on_degenerate_geometries(
+        (width, height) in degenerate_dims(),
+        radius in 1usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        // Even when the whole image is border, the output must stay in the
+        // display range (a mis-weighted clamped window would escape it).
+        let hdr = synthetic_image(width, height, seed);
+        let params = params_with(radius, radius as f32 / 2.0);
+        let out = StreamingToneMapper::<f32>::new(params).map_luminance(&hdr);
+        prop_assert!(out.pixels().iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+}

@@ -29,6 +29,10 @@ pub enum ImageError {
         /// Dimensions of the second image.
         right: (usize, usize),
     },
+    /// The image carries no finite sample at all (every pixel is NaN or
+    /// infinite), so there is nothing meaningful to process: normalization
+    /// has no defined maximum and sanitization would black the whole frame.
+    NoFinitePixels,
     /// A file did not conform to the expected format.
     Decode {
         /// The format being decoded (e.g. `"Radiance RGBE"`).
@@ -55,6 +59,9 @@ impl fmt::Display for ImageError {
                 "image dimensions {}x{} and {}x{} do not match",
                 left.0, left.1, right.0, right.1
             ),
+            ImageError::NoFinitePixels => {
+                write!(f, "image contains no finite pixels")
+            }
             ImageError::Decode { format, reason } => {
                 write!(f, "failed to decode {format} data: {reason}")
             }
@@ -104,6 +111,7 @@ mod tests {
             reason: "bad magic".into(),
         };
         assert!(format!("{e}").contains("PFM"));
+        assert!(format!("{}", ImageError::NoFinitePixels).contains("finite"));
     }
 
     #[test]

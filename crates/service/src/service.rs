@@ -198,7 +198,13 @@ impl TonemapService {
             self.pool.execute(task)
         };
         match enqueued {
-            Ok(()) => Ok(JobHandle::new(id, receiver)),
+            Ok(()) => {
+                // The job is really in the system now: start the service
+                // clock (idempotent) so telemetry measures traffic time,
+                // not time since construction.
+                self.stats.record_admitted();
+                Ok(JobHandle::new(id, receiver))
+            }
             Err(PoolError::QueueFull) => {
                 self.stats.record_not_admitted();
                 self.stats.record_rejected();
@@ -327,6 +333,37 @@ mod tests {
             let direct = registry.execute(&TonemapRequest::luminance(scene)).unwrap();
             assert_eq!(response.payload(), direct.payload());
         }
+    }
+
+    #[test]
+    fn streaming_engines_serve_jobs_through_the_shared_pool() {
+        // The streaming line-buffer engines are ordinary registry entries,
+        // so jobs select them by spec and share the same worker pool — and
+        // their outputs equal the two-pass engines' bit for bit.
+        let service = TonemapService::standard(ServiceConfig::with_workers(2));
+        let scene = SceneKind::WindowInDarkRoom.generate(32, 32, 11);
+        let registry = BackendRegistry::standard();
+        for (streamed, classic) in [("sw-f32-stream", "sw-f32"), ("hw-fix16-stream", "hw-fix16")] {
+            let handle = service
+                .submit(JobRequest::luminance(scene.clone()).on_backend(streamed))
+                .unwrap();
+            let response = handle.wait().unwrap();
+            let direct = registry
+                .execute(&TonemapRequest::luminance(&scene).on_backend(classic))
+                .unwrap();
+            assert_eq!(
+                response.payload(),
+                direct.payload(),
+                "{streamed} through the pool diverged from {classic}"
+            );
+        }
+        let stats = service.stats();
+        assert_eq!(stats.completed, 2);
+        assert!(stats.per_engine.iter().any(|e| e.engine == "sw-f32-stream"));
+        assert!(stats
+            .per_engine
+            .iter()
+            .any(|e| e.engine == "hw-fix16-stream"));
     }
 
     #[test]

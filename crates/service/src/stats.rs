@@ -13,7 +13,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// How many recent per-job service times are retained for the host model.
@@ -65,7 +65,12 @@ pub struct ServiceStats {
     pub queue_depth: u64,
     /// Jobs currently executing on a worker.
     pub in_flight: u64,
-    /// Seconds since the service started.
+    /// Seconds since the first submission was admitted into the queue
+    /// (zero while the service has never held a job). Anchoring the clock
+    /// at first admission rather than construction keeps idle warm-up
+    /// time — a service brought up ahead of traffic — from deflating
+    /// [`ServiceStats::throughput_jobs_per_sec`] and
+    /// [`ServiceStats::utilisation`].
     pub elapsed_seconds: f64,
     /// Total worker busy time across all jobs, in seconds.
     pub busy_seconds: f64,
@@ -150,7 +155,10 @@ impl ServiceStats {
 /// Live counters shared between the service handle and its workers.
 #[derive(Debug)]
 pub(crate) struct StatsInner {
-    started_at: Instant,
+    /// Set once, by the first submission the pool actually admitted — the
+    /// anchor of [`ServiceStats::elapsed_seconds`]. Refused submissions
+    /// (queue full, shut down) do not start the clock.
+    first_admission: OnceLock<Instant>,
     submitted: AtomicU64,
     rejected: AtomicU64,
     started: AtomicU64,
@@ -164,7 +172,7 @@ pub(crate) struct StatsInner {
 impl StatsInner {
     pub(crate) fn new() -> Self {
         StatsInner {
-            started_at: Instant::now(),
+            first_admission: OnceLock::new(),
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             started: AtomicU64::new(0),
@@ -178,6 +186,15 @@ impl StatsInner {
 
     pub(crate) fn record_submitted(&self) {
         self.submitted.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Starts the service clock on the first submission the pool admitted
+    /// (idempotent). Called after a successful enqueue, so a refused
+    /// submission — which [`StatsInner::record_not_admitted`] also revokes
+    /// from the counters — cannot leave the clock running on a service
+    /// that has never held a job.
+    pub(crate) fn record_admitted(&self) {
+        self.first_admission.get_or_init(Instant::now);
     }
 
     pub(crate) fn record_rejected(&self) {
@@ -197,6 +214,11 @@ impl StatsInner {
     }
 
     pub(crate) fn record_started(&self) {
+        // A worker can dequeue and even finish a job before the submitter
+        // resumes and calls `record_admitted`; anchoring here too closes
+        // that window, so a snapshot can never observe completed work with
+        // a stopped clock.
+        self.first_admission.get_or_init(Instant::now);
         self.started.fetch_add(1, Ordering::SeqCst);
     }
 
@@ -257,7 +279,11 @@ impl StatsInner {
             lost,
             queue_depth: submitted.saturating_sub(started),
             in_flight: started.saturating_sub(completed + failed + lost),
-            elapsed_seconds: self.started_at.elapsed().as_secs_f64(),
+            elapsed_seconds: self
+                .first_admission
+                .get()
+                .map(|t| t.elapsed().as_secs_f64())
+                .unwrap_or(0.0),
             busy_seconds,
             job_seconds,
             per_engine,
@@ -334,6 +360,42 @@ mod tests {
             "a lost job must not look in-flight forever"
         );
         assert_eq!(stats.queue_depth, 0);
+    }
+
+    #[test]
+    fn throughput_clock_is_anchored_at_first_admission_not_construction() {
+        // Regression: the clock used to start at service construction, so a
+        // service idling before its first job reported deflated throughput
+        // and utilisation.
+        let inner = StatsInner::new();
+        let idle = std::time::Duration::from_millis(200);
+        std::thread::sleep(idle);
+        let before_traffic = inner.snapshot(1, 1);
+        assert_eq!(
+            before_traffic.elapsed_seconds, 0.0,
+            "no submission yet: the clock must not be running"
+        );
+        // A submission the pool refused must not start the clock either.
+        inner.record_submitted();
+        inner.record_not_admitted();
+        inner.record_rejected();
+        assert_eq!(inner.snapshot(1, 1).elapsed_seconds, 0.0);
+        inner.record_submitted();
+        inner.record_admitted();
+        inner.record_started();
+        inner.record_completed("sw-f32", 0.001);
+        let stats = inner.snapshot(1, 1);
+        assert!(
+            stats.elapsed_seconds < idle.as_secs_f64() / 2.0,
+            "elapsed {}s still includes the {}s idle gap",
+            stats.elapsed_seconds,
+            idle.as_secs_f64()
+        );
+        assert!(
+            stats.throughput_jobs_per_sec() > 1.0 / (idle.as_secs_f64() / 2.0),
+            "throughput {} jobs/s was deflated by pre-traffic idle time",
+            stats.throughput_jobs_per_sec()
+        );
     }
 
     #[test]

@@ -48,10 +48,12 @@ pub mod prelude {
     pub use tonemap_backend::{
         AcceleratedBackend, BackendInfo, BackendOutput, BackendRegistry, BackendSpec,
         BackendTelemetry, ModeledCost, OutputKind, ResolvedBackend, SoftwareF32Backend,
-        SoftwareFixedBackend, TonemapBackend, TonemapError, TonemapPayload, TonemapRequest,
-        TonemapResponse, UnknownBackendError,
+        SoftwareFixedBackend, StreamingBackend, TonemapBackend, TonemapError, TonemapPayload,
+        TonemapRequest, TonemapResponse, UnknownBackendError,
     };
-    pub use tonemap_core::{BlurParams, ParamError, ToneMapParams, ToneMapper};
+    pub use tonemap_core::{
+        BlurParams, ParamError, StreamingToneMapper, ToneMapParams, ToneMapper,
+    };
     pub use tonemap_service::{
         EngineUtilisation, JobHandle, JobInput, JobRequest, ServiceConfig, ServiceError,
         ServiceStats, TonemapService, WorkerPool,

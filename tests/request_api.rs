@@ -103,9 +103,11 @@ fn valid_raw_input_round_trips_through_the_typed_path() {
 /// `sw-f32` RGB output, mirroring the luminance parity bounds.
 fn min_rgb_psnr_db(name: &str) -> f64 {
     match name {
-        "sw-f32" => f64::INFINITY,
+        // The streaming engines re-schedule the same arithmetic, so they
+        // are bit-identical to the engines they stream.
+        "sw-f32" | "sw-f32-stream" => f64::INFINITY,
         "hw-marked" | "hw-sequential" | "hw-pragmas" => 60.0,
-        "hw-fix16" => 30.0,
+        "hw-fix16" | "hw-fix16-stream" => 30.0,
         "sw-fix16" => 12.0,
         other => panic!("no RGB parity tolerance defined for backend `{other}`"),
     }
@@ -232,11 +234,112 @@ fn spec_overrides_produce_a_different_image_than_the_defaults() {
 fn registry_introspection_lists_all_engines() {
     let registry = BackendRegistry::standard();
     let infos = registry.infos();
-    assert_eq!(infos.len(), 6);
+    assert_eq!(infos.len(), 8);
     assert!(infos
         .iter()
         .any(|i| i.name == "hw-fix16" && i.is_accelerated()));
     assert!(infos
         .iter()
         .any(|i| i.name == "sw-f32" && !i.is_accelerated()));
+    // The streaming shapes are execution schedules, not Table II designs.
+    assert!(infos
+        .iter()
+        .any(|i| i.name == "sw-f32-stream" && !i.has_platform_model()));
+}
+
+// --- non-finite input handling -------------------------------------------
+
+#[test]
+fn scattered_nan_pixels_are_sanitized_not_propagated() {
+    // Regression: NaN pixels used to survive normalization (`clamp` on NaN
+    // returns NaN) and poison the blurred mask, the masking stage and the
+    // adjustment downstream.
+    let registry = BackendRegistry::standard();
+    let mut hdr = scene();
+    hdr.set(0, 0, f32::NAN);
+    hdr.set(20, 31, f32::INFINITY);
+    hdr.set(31, 20, f32::NEG_INFINITY);
+    for backend in registry.iter() {
+        let response = backend
+            .execute(&TonemapRequest::luminance(&hdr))
+            .expect("scattered non-finite pixels must not fail the request");
+        assert!(
+            response
+                .luminance()
+                .unwrap()
+                .pixels()
+                .iter()
+                .all(|v| v.is_finite() && (0.0..=1.0).contains(v)),
+            "backend `{}` let non-finite input poison its output",
+            backend.name()
+        );
+    }
+}
+
+#[test]
+fn nan_channels_in_rgb_inputs_do_not_poison_the_colour_path() {
+    // Regression: a single non-finite channel used to survive into
+    // `reapply_color`, where the NaN luminance ratio poisoned all three
+    // output channels of the pixel.
+    let registry = BackendRegistry::standard();
+    let mut hdr = SceneKind::SunAndShadow.generate_rgb(24, 24, 17);
+    let poisoned = hdr_image::Rgb {
+        r: f32::NAN,
+        g: 0.4,
+        b: 0.6,
+    };
+    hdr.set(5, 5, poisoned);
+    hdr.set(10, 10, hdr_image::Rgb::splat(f32::INFINITY));
+    let response = registry
+        .execute(&TonemapRequest::rgb(&hdr))
+        .expect("scattered non-finite channels must not fail the request");
+    for (x, y, p) in response.rgb().unwrap().enumerate_pixels() {
+        assert!(
+            p.r.is_finite() && p.g.is_finite() && p.b.is_finite(),
+            "non-finite output channel at ({x}, {y}): {p:?}"
+        );
+    }
+}
+
+#[test]
+fn all_non_finite_inputs_are_rejected_with_a_typed_error() {
+    let registry = BackendRegistry::standard();
+    let all_nan = LuminanceImage::filled(8, 8, f32::NAN);
+    let err = registry
+        .execute(&TonemapRequest::luminance(&all_nan))
+        .expect_err("an all-NaN frame has nothing to tone-map");
+    assert!(
+        matches!(err, TonemapError::Image(_)),
+        "expected a typed image error, got {err}"
+    );
+    assert!(err.to_string().contains("finite"), "got {err}");
+
+    // The same validation covers raw wire payloads and RGB inputs.
+    let raw = vec![f32::INFINITY; 16];
+    assert!(matches!(
+        registry.execute(&TonemapRequest::raw_luminance(4, 4, &raw)),
+        Err(TonemapError::Image(_))
+    ));
+    let all_nan_rgb = RgbImage::filled(4, 4, hdr_image::Rgb::splat(f32::NAN));
+    assert!(matches!(
+        registry.execute(&TonemapRequest::rgb(&all_nan_rgb)),
+        Err(TonemapError::Image(_))
+    ));
+
+    // A single systematically dead channel is *not* all-non-finite: the
+    // finite channels still carry the scene, so the request succeeds.
+    let dead_red = RgbImage::from_fn(4, 4, |x, y| hdr_image::Rgb {
+        r: f32::NAN,
+        g: 0.1 + 0.05 * x as f32,
+        b: 0.1 + 0.05 * y as f32,
+    });
+    let recovered = registry
+        .execute(&TonemapRequest::rgb(&dead_red))
+        .expect("two live channels are recoverable");
+    assert!(recovered
+        .rgb()
+        .unwrap()
+        .pixels()
+        .iter()
+        .all(|p| p.r.is_finite() && p.g.is_finite() && p.b.is_finite()));
 }
