@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use std::marker::PhantomData;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
-use tonemap_core::{Sample, ToneMapParams, ToneMapper};
+use tonemap_core::{PipelinePlan, Sample, ToneMapParams, ToneMapper};
 
 /// Lazily computed, per-resolution platform-model evaluations of one
 /// Table II design.
@@ -23,18 +23,29 @@ use tonemap_core::{Sample, ToneMapParams, ToneMapper};
 /// The evaluation (profiling + HLS scheduling + system simulation) is
 /// analytic but not free; caching it per image size means a batch of
 /// same-sized scenes pays for it once.
+///
+/// When the engine was compiled with a custom [`PipelinePlan`], the
+/// evaluation goes through the per-stage plan costing
+/// (`CoDesignFlow::evaluate_plan`), so Table-II-style telemetry covers
+/// arbitrary plans; the classic engines keep the classic evaluation.
 #[derive(Debug)]
 pub(crate) struct ModelCache {
     design: DesignImplementation,
     params: ToneMapParams,
+    plan: Option<PipelinePlan>,
     reports: Mutex<HashMap<(usize, usize), DesignReport>>,
 }
 
 impl ModelCache {
-    pub(crate) fn new(design: DesignImplementation, params: ToneMapParams) -> Self {
+    pub(crate) fn with_plan(
+        design: DesignImplementation,
+        params: ToneMapParams,
+        plan: Option<PipelinePlan>,
+    ) -> Self {
         ModelCache {
             design,
             params,
+            plan,
             reports: Mutex::new(HashMap::new()),
         }
     }
@@ -49,7 +60,11 @@ impl ModelCache {
         // callers (and poison the cache if the evaluation panicked). Two
         // threads may race to compute the same key; the evaluation is
         // deterministic, so whichever insert wins is equivalent.
-        let computed = paper_platform_flow(self.params, width, height).evaluate(self.design);
+        let flow = paper_platform_flow(self.params, width, height);
+        let computed = match &self.plan {
+            None => flow.evaluate(self.design),
+            Some(plan) => flow.evaluate_plan(plan, self.design),
+        };
         self.reports
             .lock()
             .expect("model cache poisoned")
@@ -85,8 +100,10 @@ pub(crate) fn run_with(
 
 /// Shared body of every backend's [`TonemapBackend::run_luminance`]: with no
 /// override the engine's configured mapper and cached platform model run;
-/// with an override the parameters are validated into a fresh mapper (and a
-/// fresh, uncached model evaluation when telemetry wants one).
+/// with a parameter or plan override the job is compiled into a fresh
+/// mapper (and a fresh, uncached model evaluation when telemetry wants
+/// one). A request-level plan wins over a parameter override's Fig. 1
+/// chain; the override parameters still seed everything outside the plan.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_request(
     name: &'static str,
@@ -95,31 +112,41 @@ pub(crate) fn run_request(
     cached_model: Option<&ModelCache>,
     input: &LuminanceImage,
     params: Option<&ToneMapParams>,
+    plan: Option<&PipelinePlan>,
     with_model: bool,
     execute: impl FnOnce(&ToneMapper, &LuminanceImage) -> LuminanceImage,
 ) -> Result<BackendOutput, TonemapError> {
-    match params {
-        None => Ok(run_with(
+    match (params, plan) {
+        (None, None) => Ok(run_with(
             name,
             mapper,
             if with_model { cached_model } else { None },
             input,
             execute,
         )),
-        Some(&override_params) => {
-            let mapper = ToneMapper::try_new(override_params).map_err(TonemapError::from)?;
+        (params, plan) => {
+            let effective_params = params.copied().unwrap_or_else(|| *mapper.params());
+            // A params override must not silently discard a custom plan the
+            // engine was compiled with (a `pipeline=reinhard` engine given
+            // `.with_params(..)` still serves Reinhard); only the
+            // parameter-derived Fig. 1 chain is re-derived from the merged
+            // parameters.
+            let effective_plan: Option<PipelinePlan> = match plan {
+                Some(plan) => Some(plan.clone()),
+                None if !mapper.plan().is_paper_shaped() => Some(mapper.plan().clone()),
+                None => None,
+            };
+            let fresh = match &effective_plan {
+                Some(plan) => ToneMapper::compile(plan.clone(), effective_params)
+                    .map_err(TonemapError::from)?,
+                None => ToneMapper::try_new(effective_params).map_err(TonemapError::from)?,
+            };
             let fresh_model = if with_model {
-                design.map(|d| ModelCache::new(d, override_params))
+                design.map(|d| ModelCache::with_plan(d, effective_params, effective_plan.clone()))
             } else {
                 None
             };
-            Ok(run_with(
-                name,
-                &mapper,
-                fresh_model.as_ref(),
-                input,
-                execute,
-            ))
+            Ok(run_with(name, &fresh, fresh_model.as_ref(), input, execute))
         }
     }
 }
@@ -158,15 +185,37 @@ impl<S: Sample> AcceleratedBackend<S> {
         design: DesignImplementation,
         params: ToneMapParams,
     ) -> Result<Self, TonemapError> {
+        AcceleratedBackend::with_plan(name, description, design, params, None)
+    }
+
+    /// Creates an accelerated backend that compiles and serves an arbitrary
+    /// [`PipelinePlan`] instead of the Fig. 1 chain — the engine shape the
+    /// registry builds for `pipeline=` specs. Its platform model costs the
+    /// plan per stage.
+    ///
+    /// # Errors
+    ///
+    /// As [`AcceleratedBackend::new`].
+    pub fn with_plan(
+        name: &'static str,
+        description: &'static str,
+        design: DesignImplementation,
+        params: ToneMapParams,
+        plan: Option<PipelinePlan>,
+    ) -> Result<Self, TonemapError> {
         if !design.is_accelerated() {
             return Err(TonemapError::NotAccelerated(design));
         }
+        let mapper = match &plan {
+            Some(plan) => ToneMapper::compile(plan.clone(), params)?,
+            None => ToneMapper::try_new(params)?,
+        };
         Ok(AcceleratedBackend {
             name,
             description,
             design,
-            mapper: ToneMapper::try_new(params)?,
-            model: ModelCache::new(design, params),
+            mapper,
+            model: ModelCache::with_plan(design, params, plan),
             _sample: PhantomData,
         })
     }
@@ -189,12 +238,17 @@ impl<S: Sample> TonemapBackend for AcceleratedBackend<S> {
         *self.mapper.params()
     }
 
-    fn reconfigured(&self, params: ToneMapParams) -> Result<Arc<dyn TonemapBackend>, TonemapError> {
-        Ok(Arc::new(AcceleratedBackend::<S>::new(
+    fn reconfigured(
+        &self,
+        params: ToneMapParams,
+        plan: Option<PipelinePlan>,
+    ) -> Result<Arc<dyn TonemapBackend>, TonemapError> {
+        Ok(Arc::new(AcceleratedBackend::<S>::with_plan(
             self.name,
             self.description,
             self.design,
             params,
+            plan,
         )?))
     }
 
@@ -202,6 +256,7 @@ impl<S: Sample> TonemapBackend for AcceleratedBackend<S> {
         &self,
         input: &LuminanceImage,
         params: Option<&ToneMapParams>,
+        plan: Option<&PipelinePlan>,
         with_model: bool,
     ) -> Result<BackendOutput, TonemapError> {
         run_request(
@@ -211,8 +266,9 @@ impl<S: Sample> TonemapBackend for AcceleratedBackend<S> {
             Some(&self.model),
             input,
             params,
+            plan,
             with_model,
-            |mapper, hdr| mapper.run_stages_hw_blur::<S>(hdr).output_f32(),
+            |mapper, hdr| mapper.map_luminance_hw_blur::<S>(hdr),
         )
     }
 

@@ -8,7 +8,7 @@ use hdr_image::rgb::{luminance_plane, reapply_color, to_ldr_rgb};
 use hdr_image::{LuminanceImage, RgbImage};
 use std::fmt;
 use std::sync::Arc;
-use tonemap_core::ToneMapParams;
+use tonemap_core::{PipelineOpKind, PipelinePlan, ToneMapParams};
 
 /// Introspection data for one engine — what a serving layer lists to its
 /// clients and what an operator reads to pick a spec string.
@@ -22,6 +22,10 @@ pub struct BackendInfo {
     pub design: Option<DesignImplementation>,
     /// The tone-mapping parameters the engine was configured with.
     pub params: ToneMapParams,
+    /// The pipeline operators this engine can compile and execute — what a
+    /// client consults before submitting a `pipeline=` spec or a request
+    /// plan.
+    pub supported_ops: Vec<PipelineOpKind>,
 }
 
 impl BackendInfo {
@@ -35,6 +39,12 @@ impl BackendInfo {
     /// to its telemetry.
     pub fn has_platform_model(&self) -> bool {
         self.design.is_some()
+    }
+
+    /// `true` when the engine can execute plans containing the given
+    /// operator.
+    pub fn supports_op(&self, op: PipelineOpKind) -> bool {
+        self.supported_ops.contains(&op)
     }
 }
 
@@ -77,23 +87,39 @@ pub trait TonemapBackend: Send + Sync {
     /// The tone-mapping parameters this backend was configured with.
     fn params(&self) -> ToneMapParams;
 
-    /// A new engine of the same kind configured with `params`, with its own
-    /// (empty) per-resolution platform-model cache.
+    /// The pipeline operators this backend can compile and execute. Every
+    /// in-tree engine compiles arbitrary plans through the core planners,
+    /// so the default is the full catalogue; a restricted engine (say, a
+    /// real FPGA bitstream serving exactly one chain) would narrow this.
+    fn supported_ops(&self) -> Vec<PipelineOpKind> {
+        PipelineOpKind::ALL.to_vec()
+    }
+
+    /// A new engine of the same kind configured with `params` — and, when
+    /// `plan` is given, with that compiled [`PipelinePlan`] baked in —
+    /// with its own (empty) per-resolution platform-model cache.
     ///
-    /// This is how the registry turns a spec override
-    /// (`"hw-fix16?sigma=3"`) into a long-lived engine: the reconfigured
-    /// instance amortises platform-model evaluations across every request
-    /// it serves, where a per-request parameter override cannot.
+    /// This is how the registry turns a spec
+    /// (`"hw-fix16?sigma=3"`, `"sw-f32?pipeline=reinhard"`) into a
+    /// long-lived engine: the reconfigured instance compiles the plan once
+    /// and amortises platform-model evaluations across every request it
+    /// serves, where a per-request override cannot.
     ///
     /// # Errors
     ///
     /// Returns [`TonemapError::InvalidParams`] if `params` fail validation.
-    fn reconfigured(&self, params: ToneMapParams) -> Result<Arc<dyn TonemapBackend>, TonemapError>;
+    fn reconfigured(
+        &self,
+        params: ToneMapParams,
+        plan: Option<PipelinePlan>,
+    ) -> Result<Arc<dyn TonemapBackend>, TonemapError>;
 
     /// The execution primitive every request funnels into: tone-maps one
     /// luminance plane, optionally with per-request parameters (validated
-    /// here, surfacing [`TonemapError::InvalidParams`]) and optionally with
-    /// the platform model's cost prediction attached to the telemetry.
+    /// here, surfacing [`TonemapError::InvalidParams`]), optionally with a
+    /// per-request pipeline plan (compiled here; it wins over the engine's
+    /// configured chain), and optionally with the platform model's cost
+    /// prediction attached to the telemetry.
     ///
     /// Prefer [`TonemapBackend::execute`]; this method is the hook backend
     /// implementations provide, not the API callers consume.
@@ -101,6 +127,7 @@ pub trait TonemapBackend: Send + Sync {
         &self,
         input: &LuminanceImage,
         params: Option<&ToneMapParams>,
+        plan: Option<&PipelinePlan>,
         with_model: bool,
     ) -> Result<BackendOutput, TonemapError>;
 
@@ -122,11 +149,12 @@ pub trait TonemapBackend: Send + Sync {
     /// nothing left to map), or a colour re-application mismatch.
     fn execute(&self, request: &TonemapRequest<'_>) -> Result<TonemapResponse, TonemapError> {
         let params = request.params_override();
+        let plan = request.pipeline_plan();
         let with_telemetry = request.wants_telemetry();
         match *request.input() {
             RequestInput::Luminance(image) => {
                 ensure_some_finite_pixels(image)?;
-                let run = self.run_luminance(image, params, with_telemetry)?;
+                let run = self.run_luminance(image, params, plan, with_telemetry)?;
                 Ok(luminance_response(
                     run,
                     request.output_kind(),
@@ -140,7 +168,7 @@ pub trait TonemapBackend: Send + Sync {
             } => {
                 let image = LuminanceImage::from_vec(width, height, pixels.to_vec())?;
                 ensure_some_finite_pixels(&image)?;
-                let run = self.run_luminance(&image, params, with_telemetry)?;
+                let run = self.run_luminance(&image, params, plan, with_telemetry)?;
                 Ok(luminance_response(
                     run,
                     request.output_kind(),
@@ -166,7 +194,7 @@ pub trait TonemapBackend: Send + Sync {
                 let sanitized = sanitized_rgb(image);
                 let source = sanitized.as_ref().unwrap_or(image);
                 let luminance = luminance_plane(source);
-                let run = self.run_luminance(&luminance, params, with_telemetry)?;
+                let run = self.run_luminance(&luminance, params, plan, with_telemetry)?;
                 let mapped = reapply_color(source, &run.image)?;
                 Ok(rgb_response(
                     mapped,
@@ -198,6 +226,7 @@ pub trait TonemapBackend: Send + Sync {
             description: self.description(),
             design: self.design(),
             params: self.params(),
+            supported_ops: self.supported_ops(),
         }
     }
 

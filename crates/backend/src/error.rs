@@ -5,7 +5,7 @@ use codesign::flow::DesignImplementation;
 use hdr_image::ImageError;
 use std::error::Error;
 use std::fmt;
-use tonemap_core::ParamError;
+use tonemap_core::{ParamError, PlanError};
 
 /// Everything that can go wrong between building a [`crate::TonemapRequest`]
 /// and receiving a [`crate::TonemapResponse`].
@@ -28,6 +28,9 @@ pub enum TonemapError {
     /// Tone-mapping parameters (per-request override, spec override, or
     /// registry construction input) failed validation.
     InvalidParams(ParamError),
+    /// A pipeline plan (named preset tuning or a request-level plan) failed
+    /// validation.
+    InvalidPlan(PlanError),
     /// The input image was rejected (zero dimensions, size mismatch) or the
     /// colour re-application failed.
     Image(ImageError),
@@ -46,6 +49,7 @@ impl fmt::Display for TonemapError {
                 write!(f, "invalid backend spec `{spec}`: {reason}")
             }
             TonemapError::InvalidParams(e) => write!(f, "invalid tone-mapping parameters: {e}"),
+            TonemapError::InvalidPlan(e) => write!(f, "invalid pipeline plan: {e}"),
             TonemapError::Image(e) => write!(f, "invalid image input: {e}"),
             TonemapError::MissingDesign(design) => {
                 write!(f, "no registered backend covers design `{design}`")
@@ -63,6 +67,7 @@ impl Error for TonemapError {
         match self {
             TonemapError::UnknownBackend(e) => Some(e),
             TonemapError::InvalidParams(e) => Some(e),
+            TonemapError::InvalidPlan(e) => Some(e),
             TonemapError::Image(e) => Some(e),
             _ => None,
         }
@@ -84,6 +89,12 @@ impl From<ParamError> for TonemapError {
 impl From<ImageError> for TonemapError {
     fn from(value: ImageError) -> Self {
         TonemapError::Image(value)
+    }
+}
+
+impl From<PlanError> for TonemapError {
+    fn from(value: PlanError) -> Self {
+        TonemapError::InvalidPlan(value)
     }
 }
 

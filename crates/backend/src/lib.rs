@@ -16,8 +16,10 @@
 //!   TonemapRequest ──► TonemapBackend::execute ──► Result<TonemapResponse,
 //!        │                      ▲                            TonemapError>
 //!        │ "hw-fix16?sigma=3"   │
+//!        │ "sw-f32?pipeline=…"  │
 //!        ▼                      │
-//!   BackendRegistry::execute ───┘   (spec string → engine + param override)
+//!   BackendRegistry::execute ───┘   (spec string → engine + param override
+//!                                    + compiled PipelinePlan)
 //!
 //!    ┌────────────┬──────────────────────────────┬─────────────────────┐
 //!    │            │                              │                     │
@@ -36,8 +38,10 @@
 //! execution-time/energy prediction ([`ModeledCost`]).
 //!
 //! Engines are resolved by spec string through the [`BackendRegistry`]
-//! (`"hw-fix16"`, or `"sw-f32?sigma=3.5&radius=10"` to override parameters
-//! from configuration), introspected through [`BackendInfo`], and batches
+//! (`"hw-fix16"`, `"sw-f32?sigma=3.5&radius=10"` to override parameters
+//! from configuration, or `"sw-f32-stream?pipeline=reinhard"` to compile a
+//! whole different operator chain — see [`tonemap_core::plan`]),
+//! introspected through [`BackendInfo`], and batches
 //! of heterogeneous requests execute through
 //! [`BackendRegistry::execute_batch`], which amortises both spec
 //! resolution and each engine's per-resolution platform-model cache — the

@@ -12,7 +12,7 @@ use codesign::flow::{DesignImplementation, FlowReport};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::{Arc, Mutex};
-use tonemap_core::ToneMapParams;
+use tonemap_core::{PipelinePlan, ToneMapParams};
 
 /// Error returned when a backend name does not resolve.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,17 +39,19 @@ impl std::error::Error for UnknownBackendError {}
 /// A spec string resolved against a registry: a shared handle to the
 /// engine that serves it, ready to execute requests.
 ///
-/// When the spec carries parameter overrides
-/// (`"hw-fix16?sigma=3"`), the handle is a *reconfigured* instance of the
-/// named engine ([`TonemapBackend::reconfigured`]) with the merged
-/// parameters baked in — so holding a `ResolvedBackend` across many
-/// [`ResolvedBackend::execute`] calls amortises its per-resolution
-/// platform-model cache exactly like the registry's shared engines do.
-/// The registry's batch API does exactly that.
+/// When the spec carries parameter overrides or a `pipeline=` selection
+/// (`"hw-fix16?sigma=3"`, `"sw-f32?pipeline=reinhard"`), the handle is a
+/// *reconfigured* instance of the named engine
+/// ([`TonemapBackend::reconfigured`]) with the merged parameters — and the
+/// compiled plan — baked in; so holding a `ResolvedBackend` across many
+/// [`ResolvedBackend::execute`] calls amortises both the plan compilation
+/// and its per-resolution platform-model cache exactly like the registry's
+/// shared engines do. The registry's batch API does exactly that.
 #[derive(Clone)]
 pub struct ResolvedBackend {
     backend: Arc<dyn TonemapBackend>,
     params_override: Option<ToneMapParams>,
+    plan: Option<PipelinePlan>,
 }
 
 impl ResolvedBackend {
@@ -70,6 +72,12 @@ impl ResolvedBackend {
     /// [`ResolvedBackend::backend`].
     pub fn params_override(&self) -> Option<&ToneMapParams> {
         self.params_override.as_ref()
+    }
+
+    /// The pipeline plan the spec's `pipeline=` selection resolved to, if
+    /// any — already compiled into [`ResolvedBackend::backend`].
+    pub fn pipeline_plan(&self) -> Option<&PipelinePlan> {
+        self.plan.as_ref()
     }
 
     /// Executes a request on the resolved engine.
@@ -221,32 +229,39 @@ impl BackendRegistry {
     }
 
     /// Resolves a full spec string (`"hw-fix16"`,
-    /// `"sw-f32?sigma=3.5&radius=10"`) into an engine ready to execute
-    /// requests. A spec without overrides resolves to the registry's
-    /// shared instance; a spec with overrides resolves to a reconfigured
-    /// instance with the merged, validated parameters baked in (and its
-    /// own platform-model cache).
+    /// `"sw-f32?sigma=3.5&radius=10"`,
+    /// `"sw-f32-stream?pipeline=reinhard&reinhard_key=4"`) into an engine
+    /// ready to execute requests. A spec without overrides resolves to the
+    /// registry's shared instance; a spec with parameter overrides and/or a
+    /// `pipeline=` selection resolves to a reconfigured instance with the
+    /// merged, validated parameters — and the compiled plan — baked in (and
+    /// its own platform-model cache).
     ///
     /// # Errors
     ///
     /// [`TonemapError::InvalidSpec`] for a malformed spec,
-    /// [`TonemapError::UnknownBackend`] for an unregistered name, and
+    /// [`TonemapError::UnknownBackend`] for an unregistered name,
     /// [`TonemapError::InvalidParams`] when the merged parameters fail
-    /// validation.
+    /// validation, and [`TonemapError::InvalidPlan`] when the plan tuning
+    /// fails plan validation.
     pub fn resolve_spec(&self, spec: &str) -> Result<ResolvedBackend, TonemapError> {
         let parsed = BackendSpec::parse(spec)?;
         let backend = self
             .get_shared(parsed.name())
             .ok_or_else(|| self.unknown(parsed.name()))?;
         let params_override = parsed.merged_params(backend.params())?;
-        let Some(params) = params_override else {
+        let effective = params_override.unwrap_or_else(|| backend.params());
+        let plan = parsed.resolved_plan(&effective)?;
+        if params_override.is_none() && plan.is_none() {
             return Ok(ResolvedBackend {
                 backend,
                 params_override: None,
+                plan: None,
             });
-        };
+        }
         // Memoize reconfigured engines per spec string so repeated
-        // single-request execution reuses one platform-model cache.
+        // single-request execution reuses one compiled plan and one
+        // platform-model cache.
         if let Some(resolved) = self
             .resolved_overrides
             .lock()
@@ -256,8 +271,9 @@ impl BackendRegistry {
             return Ok(resolved.clone());
         }
         let resolved = ResolvedBackend {
-            backend: backend.reconfigured(params)?,
-            params_override: Some(params),
+            backend: backend.reconfigured(effective, plan.clone())?,
+            params_override,
+            plan,
         };
         self.resolved_overrides
             .lock()
@@ -596,6 +612,191 @@ mod tests {
             .unwrap();
         let default = registry.execute(&TonemapRequest::luminance(&hdr)).unwrap();
         assert_eq!(explicit.luminance().unwrap(), default.luminance().unwrap());
+    }
+
+    #[test]
+    fn pipeline_specs_resolve_compile_and_serve_new_operators() {
+        use tonemap_core::plan::{PipelinePlan, PlanTuning};
+        let registry = BackendRegistry::standard();
+        let hdr = SceneKind::WindowInDarkRoom.generate(40, 30, 13);
+        let paper = registry
+            .execute(&TonemapRequest::luminance(&hdr))
+            .unwrap()
+            .luminance()
+            .unwrap()
+            .clone();
+        for preset in ["reinhard", "histeq", "gamma", "log"] {
+            let spec = format!("sw-f32?pipeline={preset}");
+            let resolved = registry.resolve_spec(&spec).expect("plan spec resolves");
+            let plan = resolved.pipeline_plan().expect("plan recorded");
+            assert_eq!(
+                *plan,
+                PipelinePlan::preset(
+                    preset,
+                    &ToneMapParams::paper_default(),
+                    &PlanTuning::default()
+                )
+                .unwrap()
+                .unwrap()
+            );
+            let out = registry
+                .execute(&TonemapRequest::luminance(&hdr).on_backend(&spec))
+                .unwrap();
+            let image = out.luminance().unwrap();
+            assert!(image.pixels().iter().all(|v| (0.0..=1.0).contains(v)));
+            assert_ne!(image, &paper, "{preset} must differ from the paper chain");
+            // The engine serves the plan, not the Fig. 1 chain: direct
+            // compilation agrees exactly.
+            let direct =
+                tonemap_core::ToneMapper::compile(plan.clone(), ToneMapParams::paper_default())
+                    .unwrap()
+                    .map_luminance_f32(&hdr);
+            assert_eq!(image, &direct, "{preset}");
+        }
+
+        // `pipeline=paper` is the identity of the default chain.
+        let explicit = registry
+            .execute(&TonemapRequest::luminance(&hdr).on_backend("sw-f32?pipeline=paper"))
+            .unwrap();
+        assert_eq!(explicit.luminance().unwrap(), &paper);
+
+        // Streaming engines serve plans too (fused or via their reported
+        // fallback), identically to the two-pass engines.
+        for preset in ["reinhard", "histeq"] {
+            let streamed = registry
+                .execute(
+                    &TonemapRequest::luminance(&hdr)
+                        .on_backend(format!("sw-f32-stream?pipeline={preset}")),
+                )
+                .unwrap();
+            let classic = registry
+                .execute(
+                    &TonemapRequest::luminance(&hdr)
+                        .on_backend(format!("sw-f32?pipeline={preset}")),
+                )
+                .unwrap();
+            assert_eq!(
+                streamed.luminance().unwrap(),
+                classic.luminance().unwrap(),
+                "{preset} diverged between planners"
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_spec_resolution_is_memoized_and_modeled_costs_follow_the_plan() {
+        let registry = BackendRegistry::standard();
+        let first = registry.resolve_spec("hw-fix16?pipeline=reinhard").unwrap();
+        let second = registry.resolve_spec("hw-fix16?pipeline=reinhard").unwrap();
+        assert!(
+            Arc::ptr_eq(&first.backend_shared(), &second.backend_shared()),
+            "repeated resolution must reuse the compiled plan engine"
+        );
+        // A stencil-free plan has nothing to accelerate: the plan-aware
+        // platform model reports zero PL time.
+        let hdr = SceneKind::SunAndShadow.generate(32, 32, 3);
+        let response = registry
+            .execute(
+                &TonemapRequest::luminance(&hdr)
+                    .on_backend("hw-fix16?pipeline=reinhard")
+                    .with_telemetry(),
+            )
+            .unwrap();
+        let modeled = response.telemetry().unwrap().modeled.clone().unwrap();
+        assert_eq!(modeled.pl_seconds, 0.0);
+        let classic = registry
+            .execute(
+                &TonemapRequest::luminance(&hdr)
+                    .on_backend("hw-fix16")
+                    .with_telemetry(),
+            )
+            .unwrap();
+        assert!(
+            classic
+                .telemetry()
+                .unwrap()
+                .modeled
+                .clone()
+                .unwrap()
+                .pl_seconds
+                > 0.0
+        );
+    }
+
+    #[test]
+    fn params_overrides_do_not_discard_a_plan_engine_compiled_chain() {
+        // Regression: a `pipeline=reinhard` engine receiving a
+        // request-level params override used to silently rebuild the Fig. 1
+        // chain — serving a different tone-mapping operator than the spec
+        // selected.
+        let registry = BackendRegistry::standard();
+        let hdr = SceneKind::WindowInDarkRoom.generate(28, 28, 21);
+        for engine in ["sw-f32", "sw-f32-stream"] {
+            let spec = format!("{engine}?pipeline=reinhard");
+            let with_override = registry
+                .execute(
+                    &TonemapRequest::luminance(&hdr)
+                        .on_backend(&*spec)
+                        .with_params(ToneMapParams::paper_default()),
+                )
+                .unwrap();
+            let plain = registry
+                .execute(&TonemapRequest::luminance(&hdr).on_backend(&*spec))
+                .unwrap();
+            assert_eq!(
+                with_override.luminance().unwrap(),
+                plain.luminance().unwrap(),
+                "{engine}: params override must keep serving the Reinhard plan"
+            );
+            let paper = registry
+                .execute(&TonemapRequest::luminance(&hdr).on_backend(engine))
+                .unwrap();
+            assert_ne!(
+                with_override.luminance().unwrap(),
+                paper.luminance().unwrap(),
+                "{engine}: override must not fall back to the Fig. 1 chain"
+            );
+        }
+    }
+
+    #[test]
+    fn request_level_plans_override_the_engine_chain() {
+        use tonemap_core::plan::{PipelinePlan, PlanTuning};
+        let registry = BackendRegistry::standard();
+        let hdr = SceneKind::GradientRamp.generate(24, 24, 5);
+        let plan = PipelinePlan::preset(
+            "reinhard",
+            &ToneMapParams::paper_default(),
+            &PlanTuning::default(),
+        )
+        .unwrap()
+        .unwrap();
+        let via_request = registry
+            .execute(&TonemapRequest::luminance(&hdr).with_pipeline(plan.clone()))
+            .unwrap();
+        let via_spec = registry
+            .execute(&TonemapRequest::luminance(&hdr).on_backend("sw-f32?pipeline=reinhard"))
+            .unwrap();
+        assert_eq!(
+            via_request.luminance().unwrap(),
+            via_spec.luminance().unwrap()
+        );
+    }
+
+    #[test]
+    fn infos_expose_the_supported_operator_catalogue() {
+        use tonemap_core::PipelineOpKind;
+        let registry = BackendRegistry::standard();
+        for info in registry.infos() {
+            assert_eq!(
+                info.supported_ops,
+                PipelineOpKind::ALL.to_vec(),
+                "{}",
+                info.name
+            );
+            assert!(info.supports_op(PipelineOpKind::HistogramEq));
+            assert!(info.supports_op(PipelineOpKind::Reinhard));
+        }
     }
 
     #[test]

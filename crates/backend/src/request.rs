@@ -11,7 +11,7 @@
 
 use crate::output::BackendTelemetry;
 use hdr_image::{LdrImage, LdrRgbImage, LuminanceImage, RgbImage};
-use tonemap_core::ToneMapParams;
+use tonemap_core::{PipelinePlan, ToneMapParams};
 
 /// The form of image a [`TonemapResponse`] should carry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -81,6 +81,7 @@ pub(crate) enum RequestInput<'a> {
 pub struct TonemapRequest<'a> {
     input: RequestInput<'a>,
     params: Option<ToneMapParams>,
+    pipeline: Option<PipelinePlan>,
     backend: Option<String>,
     output: OutputKind,
     telemetry: bool,
@@ -91,6 +92,7 @@ impl<'a> TonemapRequest<'a> {
         TonemapRequest {
             input,
             params: None,
+            pipeline: None,
             backend: None,
             output: OutputKind::DisplayReferred,
             telemetry: false,
@@ -130,6 +132,17 @@ impl<'a> TonemapRequest<'a> {
         self
     }
 
+    /// Overrides the engine's compiled pipeline plan for this request only:
+    /// the engine compiles and executes `plan` instead of its configured
+    /// chain (the most specific description of the job — it also wins over
+    /// any `pipeline=` preset in the backend spec). Prefer a `pipeline=`
+    /// spec for repeated jobs, which caches the compiled plan; a request
+    /// plan is compiled per request.
+    pub fn with_pipeline(mut self, plan: PipelinePlan) -> Self {
+        self.pipeline = Some(plan);
+        self
+    }
+
     /// Names the engine this request should run on, as a spec string
     /// understood by [`crate::BackendRegistry::execute`] — a registry name
     /// (`"hw-fix16"`), optionally with parameter overrides
@@ -159,6 +172,11 @@ impl<'a> TonemapRequest<'a> {
     /// The per-request parameter override, if any.
     pub fn params_override(&self) -> Option<&ToneMapParams> {
         self.params.as_ref()
+    }
+
+    /// The per-request pipeline-plan override, if any.
+    pub fn pipeline_plan(&self) -> Option<&PipelinePlan> {
+        self.pipeline.as_ref()
     }
 
     /// The backend spec string, if one was set with

@@ -13,7 +13,7 @@ use apfixed::Fix16;
 use codesign::flow::{DesignImplementation, DesignReport};
 use hdr_image::LuminanceImage;
 use std::sync::Arc;
-use tonemap_core::{ToneMapParams, ToneMapper};
+use tonemap_core::{PipelinePlan, ToneMapParams, ToneMapper};
 
 /// The paper's software reference: every stage in 32-bit floating point on
 /// the (modelled) ARM core — the "SW source code" row of Table II.
@@ -30,9 +30,27 @@ impl SoftwareF32Backend {
     ///
     /// Returns [`TonemapError::InvalidParams`] if `params` fail validation.
     pub fn new(params: ToneMapParams) -> Result<Self, TonemapError> {
+        SoftwareF32Backend::with_plan(params, None)
+    }
+
+    /// Creates a reference backend that compiles and serves an arbitrary
+    /// [`PipelinePlan`] instead of the Fig. 1 chain — the engine shape the
+    /// registry builds for `pipeline=` specs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TonemapError::InvalidParams`] if `params` fail validation.
+    pub fn with_plan(
+        params: ToneMapParams,
+        plan: Option<PipelinePlan>,
+    ) -> Result<Self, TonemapError> {
+        let mapper = match &plan {
+            Some(plan) => ToneMapper::compile(plan.clone(), params)?,
+            None => ToneMapper::try_new(params)?,
+        };
         Ok(SoftwareF32Backend {
-            mapper: ToneMapper::try_new(params)?,
-            model: ModelCache::new(DesignImplementation::SwSourceCode, params),
+            mapper,
+            model: ModelCache::with_plan(DesignImplementation::SwSourceCode, params, plan),
         })
     }
 }
@@ -61,14 +79,19 @@ impl TonemapBackend for SoftwareF32Backend {
         *self.mapper.params()
     }
 
-    fn reconfigured(&self, params: ToneMapParams) -> Result<Arc<dyn TonemapBackend>, TonemapError> {
-        Ok(Arc::new(SoftwareF32Backend::new(params)?))
+    fn reconfigured(
+        &self,
+        params: ToneMapParams,
+        plan: Option<PipelinePlan>,
+    ) -> Result<Arc<dyn TonemapBackend>, TonemapError> {
+        Ok(Arc::new(SoftwareF32Backend::with_plan(params, plan)?))
     }
 
     fn run_luminance(
         &self,
         input: &LuminanceImage,
         params: Option<&ToneMapParams>,
+        plan: Option<&PipelinePlan>,
         with_model: bool,
     ) -> Result<BackendOutput, TonemapError> {
         run_request(
@@ -78,8 +101,9 @@ impl TonemapBackend for SoftwareF32Backend {
             Some(&self.model),
             input,
             params,
+            plan,
             with_model,
-            |mapper, hdr| mapper.run_stages::<f32>(hdr).output_f32(),
+            |mapper, hdr| mapper.map_luminance::<f32>(hdr),
         )
     }
 
@@ -106,9 +130,24 @@ impl SoftwareFixedBackend {
     ///
     /// Returns [`TonemapError::InvalidParams`] if `params` fail validation.
     pub fn new(params: ToneMapParams) -> Result<Self, TonemapError> {
-        Ok(SoftwareFixedBackend {
-            mapper: ToneMapper::try_new(params)?,
-        })
+        SoftwareFixedBackend::with_plan(params, None)
+    }
+
+    /// Creates an all-fixed-point ablation backend serving an arbitrary
+    /// [`PipelinePlan`] (every stage computed in 16-bit fixed point).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TonemapError::InvalidParams`] if `params` fail validation.
+    pub fn with_plan(
+        params: ToneMapParams,
+        plan: Option<PipelinePlan>,
+    ) -> Result<Self, TonemapError> {
+        let mapper = match plan {
+            Some(plan) => ToneMapper::compile(plan, params)?,
+            None => ToneMapper::try_new(params)?,
+        };
+        Ok(SoftwareFixedBackend { mapper })
     }
 }
 
@@ -132,14 +171,19 @@ impl TonemapBackend for SoftwareFixedBackend {
         *self.mapper.params()
     }
 
-    fn reconfigured(&self, params: ToneMapParams) -> Result<Arc<dyn TonemapBackend>, TonemapError> {
-        Ok(Arc::new(SoftwareFixedBackend::new(params)?))
+    fn reconfigured(
+        &self,
+        params: ToneMapParams,
+        plan: Option<PipelinePlan>,
+    ) -> Result<Arc<dyn TonemapBackend>, TonemapError> {
+        Ok(Arc::new(SoftwareFixedBackend::with_plan(params, plan)?))
     }
 
     fn run_luminance(
         &self,
         input: &LuminanceImage,
         params: Option<&ToneMapParams>,
+        plan: Option<&PipelinePlan>,
         with_model: bool,
     ) -> Result<BackendOutput, TonemapError> {
         run_request(
@@ -149,8 +193,9 @@ impl TonemapBackend for SoftwareFixedBackend {
             None,
             input,
             params,
+            plan,
             with_model,
-            |mapper, hdr| mapper.run_stages::<Fix16>(hdr).output_f32(),
+            |mapper, hdr| mapper.map_luminance::<Fix16>(hdr),
         )
     }
 

@@ -4,11 +4,20 @@
 //! an engine *and* tweaks its tone-mapping parameters without touching
 //! code — the registry resolves `"sw-f32?sigma=3.5&radius=10"` into the
 //! `sw-f32` engine plus a validated parameter override.
+//!
+//! Since the pipeline became data ([`tonemap_core::plan`]), a spec also
+//! selects *which operator chain* the engine compiles: `pipeline=<preset>`
+//! picks a named [`PipelinePlan`] preset (`paper`, `reinhard`, `histeq`,
+//! `gamma`, `log`), and the plan-tuning keys (`reinhard_key`,
+//! `reinhard_white`, `bins`, `gamma`, `log_scale`) override that preset's
+//! stage parameters — so `"sw-f32-stream?pipeline=reinhard&reinhard_key=4"`
+//! serves a global Reinhard operator through the streaming engine without
+//! touching code.
 
 use crate::error::TonemapError;
 use std::fmt;
 use std::str::FromStr;
-use tonemap_core::ToneMapParams;
+use tonemap_core::{PipelinePlan, PlanTuning, ToneMapParams};
 
 /// The single source of truth for spec override keys: each entry pairs the
 /// key with its parse-and-store action *and* its render-back getter, so
@@ -75,6 +84,67 @@ const KNOWN_KEYS: &[(&str, KeySetter, KeyGetter)] = &[
     ),
 ];
 
+/// The plan-selecting part of a spec's query: the preset name plus its
+/// tuning keys, driven by [`KNOWN_TUNING_KEYS`] the same way the parameter
+/// overrides are driven by [`KNOWN_KEYS`].
+type TuningSetter = fn(&mut PlanTuning, &str) -> Result<(), ()>;
+type TuningGetter = fn(&PlanTuning) -> Option<String>;
+const KNOWN_TUNING_KEYS: &[(&str, TuningSetter, TuningGetter)] = &[
+    (
+        "reinhard_key",
+        |t, v| {
+            t.reinhard_key = Some(v.parse().map_err(drop)?);
+            Ok(())
+        },
+        |t| t.reinhard_key.map(|v| v.to_string()),
+    ),
+    (
+        "reinhard_white",
+        |t, v| {
+            t.reinhard_white = Some(v.parse().map_err(drop)?);
+            Ok(())
+        },
+        |t| t.reinhard_white.map(|v| v.to_string()),
+    ),
+    (
+        "bins",
+        |t, v| {
+            t.bins = Some(v.parse().map_err(drop)?);
+            Ok(())
+        },
+        |t| t.bins.map(|v| v.to_string()),
+    ),
+    (
+        "gamma",
+        |t, v| {
+            t.gamma = Some(v.parse().map_err(drop)?);
+            Ok(())
+        },
+        |t| t.gamma.map(|v| v.to_string()),
+    ),
+    (
+        "log_scale",
+        |t, v| {
+            t.log_scale = Some(v.parse().map_err(drop)?);
+            Ok(())
+        },
+        |t| t.log_scale.map(|v| v.to_string()),
+    ),
+];
+
+/// The tuning keys each named preset actually reads; any other tuning key
+/// in a spec selecting that preset is rejected at parse time rather than
+/// silently ignored.
+fn preset_tuning_keys(preset: &str) -> &'static [&'static str] {
+    match preset {
+        "reinhard" => &["reinhard_key", "reinhard_white"],
+        "histeq" => &["bins"],
+        "gamma" => &["gamma"],
+        "log" => &["log_scale"],
+        _ => &[],
+    }
+}
+
 /// Field-wise overrides of [`ToneMapParams`] parsed from a spec string's
 /// query part. Unset fields keep the base value.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -86,6 +156,34 @@ struct ParamOverrides {
     brightness: Option<f32>,
     contrast: Option<f32>,
     channels: Option<usize>,
+}
+
+/// The parsed `pipeline=` selection: a validated preset name plus tuning.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct PlanSelection {
+    preset: Option<String>,
+    tuning: PlanTuning,
+}
+
+impl PlanSelection {
+    fn is_empty(&self) -> bool {
+        *self == PlanSelection::default()
+    }
+
+    /// The set plan keys as `(key, value)` pairs in canonical order
+    /// (`pipeline` first, then [`KNOWN_TUNING_KEYS`] order).
+    fn pairs(&self) -> Vec<(&'static str, String)> {
+        let mut pairs = Vec::new();
+        if let Some(preset) = &self.preset {
+            pairs.push(("pipeline", preset.clone()));
+        }
+        pairs.extend(
+            KNOWN_TUNING_KEYS
+                .iter()
+                .filter_map(|(key, _, getter)| getter(&self.tuning).map(|value| (*key, value))),
+        );
+        pairs
+    }
 }
 
 impl ParamOverrides {
@@ -148,17 +246,25 @@ impl ParamOverrides {
 pub struct BackendSpec {
     name: String,
     overrides: ParamOverrides,
+    plan: PlanSelection,
 }
 
 impl BackendSpec {
     /// Parses a spec string.
     ///
+    /// The engine name is trimmed of surrounding whitespace (so a config
+    /// file's `" sw-f32"` resolves instead of failing registry lookup as a
+    /// confusing `UnknownBackend`); a name with *embedded* whitespace is
+    /// rejected here, where the problem is visible.
+    ///
     /// # Errors
     ///
     /// Returns [`TonemapError::InvalidSpec`] when the string is empty, has
-    /// an empty name, an unknown override key, or an unparsable value.
-    /// Whether the *applied* parameters are valid is checked separately by
-    /// [`BackendSpec::merged_params`].
+    /// an empty or whitespace-embedding name, an unknown override key, a
+    /// duplicate key, an unknown `pipeline=` preset, a tuning key without a
+    /// `pipeline=` selection, or an unparsable value. Whether the *applied*
+    /// parameters are valid is checked separately by
+    /// [`BackendSpec::merged_params`] / [`BackendSpec::resolved_plan`].
     pub fn parse(spec: &str) -> Result<Self, TonemapError> {
         let invalid = |reason: String| TonemapError::InvalidSpec {
             spec: spec.to_string(),
@@ -168,36 +274,104 @@ impl BackendSpec {
             Some((name, query)) => (name, Some(query)),
             None => (spec, None),
         };
-        if name.trim().is_empty() {
+        let name = name.trim();
+        if name.is_empty() {
             return Err(invalid("missing backend name".to_string()));
         }
+        if name.contains(char::is_whitespace) {
+            return Err(invalid(format!(
+                "backend name `{name}` contains whitespace"
+            )));
+        }
         let mut overrides = ParamOverrides::default();
+        let mut plan = PlanSelection::default();
+        let mut seen: Vec<&str> = Vec::new();
         if let Some(query) = query {
-            for pair in query.split('&').filter(|p| !p.is_empty()) {
+            for pair in query.split('&') {
+                if pair.is_empty() {
+                    return Err(invalid(
+                        "empty `key=value` segment (stray `&` or trailing `?`)".to_string(),
+                    ));
+                }
                 let (key, value) = pair
                     .split_once('=')
                     .ok_or_else(|| invalid(format!("override `{pair}` is not `key=value`")))?;
-                let (_, setter, _) = KNOWN_KEYS
+                if seen.contains(&key) {
+                    return Err(invalid(format!(
+                        "duplicate key `{key}`; each key may appear at most once"
+                    )));
+                }
+                let cannot_parse =
+                    |()| invalid(format!("cannot parse `{value}` as a value for `{key}`"));
+                if key == "pipeline" {
+                    if !PipelinePlan::PRESETS.contains(&value) {
+                        return Err(invalid(format!(
+                            "unknown pipeline preset `{value}`; known presets: {}",
+                            PipelinePlan::PRESETS.join(", ")
+                        )));
+                    }
+                    plan.preset = Some(value.to_string());
+                } else if let Some((_, setter, _)) =
+                    KNOWN_KEYS.iter().find(|(known, _, _)| *known == key)
+                {
+                    setter(&mut overrides, value).map_err(cannot_parse)?;
+                } else if let Some((_, setter, _)) =
+                    KNOWN_TUNING_KEYS.iter().find(|(known, _, _)| *known == key)
+                {
+                    setter(&mut plan.tuning, value).map_err(cannot_parse)?;
+                } else {
+                    return Err(invalid(format!(
+                        "unknown key `{key}`; known keys: {}",
+                        KNOWN_KEYS
+                            .iter()
+                            .map(|(known, _, _)| *known)
+                            .chain(std::iter::once("pipeline"))
+                            .chain(KNOWN_TUNING_KEYS.iter().map(|(known, _, _)| *known))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )));
+                }
+                seen.push(key);
+            }
+        }
+        match &plan.preset {
+            None => {
+                if let Some((key, _, _)) = KNOWN_TUNING_KEYS
                     .iter()
-                    .find(|(known, _, _)| *known == key)
-                    .ok_or_else(|| {
-                        invalid(format!(
-                            "unknown key `{key}`; known keys: {}",
-                            KNOWN_KEYS
-                                .iter()
-                                .map(|(known, _, _)| *known)
-                                .collect::<Vec<_>>()
-                                .join(", ")
-                        ))
-                    })?;
-                setter(&mut overrides, value).map_err(|()| {
-                    invalid(format!("cannot parse `{value}` as a value for `{key}`"))
-                })?;
+                    .find(|(_, _, getter)| getter(&plan.tuning).is_some())
+                {
+                    return Err(invalid(format!(
+                        "plan-tuning key `{key}` requires a `pipeline=` preset selection"
+                    )));
+                }
+            }
+            Some(preset) => {
+                // A tuning key the preset never reads would be silently
+                // ignored — the same misconfiguration class as duplicate
+                // keys, so it is rejected the same way.
+                let allowed = preset_tuning_keys(preset);
+                if let Some((key, _, _)) = KNOWN_TUNING_KEYS.iter().find(|(key, _, getter)| {
+                    getter(&plan.tuning).is_some() && !allowed.contains(key)
+                }) {
+                    return Err(invalid(if allowed.is_empty() {
+                        format!(
+                            "tuning key `{key}` is not used by pipeline preset `{preset}` \
+                             (it takes no tuning keys)"
+                        )
+                    } else {
+                        format!(
+                            "tuning key `{key}` is not used by pipeline preset `{preset}`; \
+                             its keys: {}",
+                            allowed.join(", ")
+                        )
+                    }));
+                }
             }
         }
         Ok(BackendSpec {
             name: name.to_string(),
             overrides,
+            plan,
         })
     }
 
@@ -209,6 +383,40 @@ impl BackendSpec {
     /// `true` when the spec carries at least one parameter override.
     pub fn has_overrides(&self) -> bool {
         !self.overrides.is_empty()
+    }
+
+    /// The `pipeline=` preset name, if the spec selects one.
+    pub fn pipeline_preset(&self) -> Option<&str> {
+        self.plan.preset.as_deref()
+    }
+
+    /// `true` when the spec selects a pipeline plan (preset and/or tuning).
+    pub fn has_plan(&self) -> bool {
+        !self.plan.is_empty()
+    }
+
+    /// Builds the [`PipelinePlan`] this spec selects, seeding the preset's
+    /// classic stages (blur/masking/adjust) from `base` — normally the
+    /// merged parameters, so `"sw-f32?sigma=2&pipeline=paper"` blurs with
+    /// σ = 2.
+    ///
+    /// Returns `None` when the spec selects no plan (the engine's compiled
+    /// chain stands).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TonemapError::InvalidPlan`] when the tuning values fail
+    /// plan validation (e.g. `bins=1`).
+    pub fn resolved_plan(
+        &self,
+        base: &ToneMapParams,
+    ) -> Result<Option<PipelinePlan>, TonemapError> {
+        let Some(preset) = &self.plan.preset else {
+            return Ok(None);
+        };
+        let plan = PipelinePlan::preset(preset, base, &self.plan.tuning)?
+            .expect("preset names are validated at parse time");
+        Ok(Some(plan))
     }
 
     /// Applies the spec's overrides on top of `base` and validates the
@@ -232,8 +440,10 @@ impl BackendSpec {
     }
 }
 
-/// Renders the spec in canonical form: the engine name, then any
-/// overrides in known-keys order (`"hw-fix16?sigma=3.5&radius=10"`).
+/// Renders the spec in canonical form: the engine name, then any parameter
+/// overrides in known-keys order, then the plan selection (`pipeline=`
+/// first, tuning keys after) —
+/// `"hw-fix16?sigma=3.5&radius=10&pipeline=reinhard&reinhard_key=4"`.
 /// Useful wherever a resolved job must be logged or keyed by a stable
 /// string — e.g. the service layer's telemetry — independent of the order
 /// the caller wrote the query part in. Parsing the rendered string yields
@@ -241,7 +451,9 @@ impl BackendSpec {
 impl fmt::Display for BackendSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.name)?;
-        for (index, (key, value)) in self.overrides.pairs().iter().enumerate() {
+        let mut pairs = self.overrides.pairs();
+        pairs.extend(self.plan.pairs());
+        for (index, (key, value)) in pairs.iter().enumerate() {
             let separator = if index == 0 { '?' } else { '&' };
             write!(f, "{separator}{key}={value}")?;
         }
@@ -335,6 +547,149 @@ mod tests {
             spec.merged_params(ToneMapParams::paper_default()),
             Err(TonemapError::InvalidParams(_))
         ));
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected_with_a_typed_error() {
+        // Regression: last-wins used to silently accept contradictory specs
+        // like `sigma=2&sigma=9`, serving whichever the parser saw last.
+        for spec in [
+            "sw-f32?sigma=2&sigma=9",
+            "hw-fix16?radius=3&sigma=1&radius=4",
+            "sw-f32?pipeline=paper&pipeline=reinhard",
+            "sw-f32?pipeline=histeq&bins=64&bins=128",
+        ] {
+            match BackendSpec::parse(spec) {
+                Err(TonemapError::InvalidSpec { reason, .. }) => {
+                    assert!(reason.contains("duplicate key"), "`{reason}` for `{spec}`")
+                }
+                other => panic!("`{spec}` must fail with InvalidSpec, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_trimmed_and_embedded_whitespace_is_rejected() {
+        // Regression: `" sw-f32"` used to pass the empty-name check and then
+        // fail registry lookup as a confusing UnknownBackend.
+        for spec in [" sw-f32", "sw-f32 ", "  hw-fix16?sigma=2", "\tsw-f32\n"] {
+            let parsed = BackendSpec::parse(spec).expect("padded names parse");
+            assert_eq!(parsed.name(), parsed.name().trim());
+            assert!(!parsed.name().is_empty());
+        }
+        assert_eq!(BackendSpec::parse(" sw-f32").unwrap().name(), "sw-f32");
+        match BackendSpec::parse("sw f32") {
+            Err(TonemapError::InvalidSpec { reason, .. }) => {
+                assert!(reason.contains("whitespace"), "{reason}")
+            }
+            other => panic!("embedded whitespace must fail, got {other:?}"),
+        }
+        assert!(matches!(
+            BackendSpec::parse("   "),
+            Err(TonemapError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn pipeline_presets_parse_and_resolve_plans() {
+        use tonemap_core::plan::PipelineOp;
+        let spec = BackendSpec::parse("sw-f32?pipeline=reinhard&reinhard_key=4").unwrap();
+        assert_eq!(spec.pipeline_preset(), Some("reinhard"));
+        assert!(spec.has_plan());
+        assert!(!spec.has_overrides());
+        let plan = spec
+            .resolved_plan(&ToneMapParams::paper_default())
+            .unwrap()
+            .expect("pipeline selected");
+        assert_eq!(
+            plan.ops()[1],
+            PipelineOp::Reinhard {
+                key: 4.0,
+                white: 4.0
+            }
+        );
+
+        // Classic overrides seed the preset's stages.
+        let spec = BackendSpec::parse("sw-f32?sigma=2&radius=3&pipeline=paper").unwrap();
+        let plan = spec
+            .resolved_plan(
+                &spec
+                    .merged_params(ToneMapParams::paper_default())
+                    .unwrap()
+                    .unwrap(),
+            )
+            .unwrap()
+            .unwrap();
+        let (_, blur, _) = plan.stencil_stages().next().unwrap();
+        assert_eq!(blur.sigma, 2.0);
+        assert_eq!(blur.radius, 3);
+
+        // No pipeline key: no plan.
+        let plain = BackendSpec::parse("sw-f32?sigma=2").unwrap();
+        assert!(!plain.has_plan());
+        assert_eq!(
+            plain
+                .resolved_plan(&ToneMapParams::paper_default())
+                .unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn plan_key_errors_are_typed() {
+        match BackendSpec::parse("sw-f32?pipeline=vaporwave") {
+            Err(TonemapError::InvalidSpec { reason, .. }) => {
+                assert!(reason.contains("unknown pipeline preset"), "{reason}");
+                assert!(reason.contains("reinhard"), "{reason}");
+            }
+            other => panic!("unknown preset must fail, got {other:?}"),
+        }
+        match BackendSpec::parse("sw-f32?bins=64") {
+            Err(TonemapError::InvalidSpec { reason, .. }) => {
+                assert!(reason.contains("requires a `pipeline=`"), "{reason}")
+            }
+            other => panic!("tuning without pipeline must fail, got {other:?}"),
+        }
+        // A tuning key the selected preset never reads would be silently
+        // ignored — rejected like a duplicate key instead.
+        for (spec, needle) in [
+            (
+                "sw-f32?pipeline=log&gamma=0.45",
+                "not used by pipeline preset `log`",
+            ),
+            ("sw-f32?pipeline=paper&bins=64", "takes no tuning keys"),
+            ("sw-f32?pipeline=reinhard&log_scale=9", "reinhard_key"),
+        ] {
+            match BackendSpec::parse(spec) {
+                Err(TonemapError::InvalidSpec { reason, .. }) => {
+                    assert!(reason.contains(needle), "`{reason}` lacks `{needle}`")
+                }
+                other => panic!("`{spec}` must fail, got {other:?}"),
+            }
+        }
+        assert!(matches!(
+            BackendSpec::parse("sw-f32?pipeline=histeq&bins=nope"),
+            Err(TonemapError::InvalidSpec { .. })
+        ));
+        // Tuning that parses but fails plan validation is an InvalidPlan at
+        // resolution time.
+        let spec = BackendSpec::parse("sw-f32?pipeline=histeq&bins=1").unwrap();
+        assert!(matches!(
+            spec.resolved_plan(&ToneMapParams::paper_default()),
+            Err(TonemapError::InvalidPlan(_))
+        ));
+    }
+
+    #[test]
+    fn canonical_display_includes_plan_keys_and_round_trips() {
+        let spec =
+            BackendSpec::parse("hw-fix16?reinhard_key=4&pipeline=reinhard&sigma=3.5").unwrap();
+        assert_eq!(
+            spec.to_string(),
+            "hw-fix16?sigma=3.5&pipeline=reinhard&reinhard_key=4"
+        );
+        let reparsed: BackendSpec = spec.to_string().parse().unwrap();
+        assert_eq!(reparsed, spec);
     }
 
     #[test]

@@ -17,8 +17,7 @@ use codesign::flow::DesignReport;
 use hdr_image::LuminanceImage;
 use std::sync::Arc;
 use std::time::Instant;
-use tonemap_core::ops::PipelineProfile;
-use tonemap_core::{Sample, StreamingToneMapper, ToneMapParams};
+use tonemap_core::{PipelinePlan, Sample, StreamingToneMapper, ToneMapParams};
 
 /// A reasonable row-slice thread count for a streaming engine that has a
 /// whole host to itself (a CLI run, a dedicated bench): the available
@@ -64,10 +63,32 @@ impl<S: Sample> StreamingBackend<S> {
         params: ToneMapParams,
         threads: usize,
     ) -> Result<Self, TonemapError> {
+        StreamingBackend::with_plan(name, description, params, None, threads)
+    }
+
+    /// Creates a streaming backend that compiles an arbitrary
+    /// [`PipelinePlan`] — fused into one raster-order pass where legal,
+    /// with the streaming planner's two-pass fallback (and its reported
+    /// reasons, see [`StreamingToneMapper::decision`]) otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TonemapError::InvalidParams`] if `params` fail validation.
+    pub fn with_plan(
+        name: &'static str,
+        description: &'static str,
+        params: ToneMapParams,
+        plan: Option<PipelinePlan>,
+        threads: usize,
+    ) -> Result<Self, TonemapError> {
+        let mapper = match plan {
+            Some(plan) => StreamingToneMapper::compile(plan, params)?,
+            None => StreamingToneMapper::try_new(params)?,
+        };
         Ok(StreamingBackend {
             name,
             description,
-            mapper: StreamingToneMapper::try_new(params)?.with_threads(threads),
+            mapper: mapper.with_threads(threads),
         })
     }
 }
@@ -85,11 +106,16 @@ impl<S: Sample> TonemapBackend for StreamingBackend<S> {
         *self.mapper.params()
     }
 
-    fn reconfigured(&self, params: ToneMapParams) -> Result<Arc<dyn TonemapBackend>, TonemapError> {
-        Ok(Arc::new(StreamingBackend::<S>::new(
+    fn reconfigured(
+        &self,
+        params: ToneMapParams,
+        plan: Option<PipelinePlan>,
+    ) -> Result<Arc<dyn TonemapBackend>, TonemapError> {
+        Ok(Arc::new(StreamingBackend::<S>::with_plan(
             self.name,
             self.description,
             params,
+            plan,
             self.mapper.threads(),
         )?))
     }
@@ -98,14 +124,28 @@ impl<S: Sample> TonemapBackend for StreamingBackend<S> {
         &self,
         input: &LuminanceImage,
         params: Option<&ToneMapParams>,
+        plan: Option<&PipelinePlan>,
         _with_model: bool,
     ) -> Result<BackendOutput, TonemapError> {
-        match params {
-            None => Ok(run_streaming(self.name, &self.mapper, input)),
-            Some(&override_params) => {
-                let fresh = StreamingToneMapper::<S>::try_new(override_params)
-                    .map_err(TonemapError::from)?
-                    .with_threads(self.mapper.threads());
+        match (params, plan) {
+            (None, None) => Ok(run_streaming(self.name, &self.mapper, input)),
+            (params, plan) => {
+                let effective = params.copied().unwrap_or_else(|| *self.mapper.params());
+                // As in `run_request`: a params override re-derives the
+                // Fig. 1 chain but never discards a custom compiled plan.
+                let effective_plan = match plan {
+                    Some(plan) => Some(plan.clone()),
+                    None if !self.mapper.plan().is_paper_shaped() => {
+                        Some(self.mapper.plan().clone())
+                    }
+                    None => None,
+                };
+                let fresh = match effective_plan {
+                    Some(plan) => StreamingToneMapper::<S>::compile(plan, effective),
+                    None => StreamingToneMapper::<S>::try_new(effective),
+                }
+                .map_err(TonemapError::from)?
+                .with_threads(self.mapper.threads());
                 Ok(run_streaming(self.name, &fresh, input))
             }
         }
@@ -133,7 +173,10 @@ fn run_streaming<S: Sample>(
         telemetry: BackendTelemetry {
             backend: name,
             wall,
-            ops: PipelineProfile::analytic(mapper.params(), width, height).total(),
+            ops: mapper
+                .plan()
+                .profile(width, height, mapper.params().channels)
+                .total(),
             modeled: None,
         },
     }

@@ -1,0 +1,191 @@
+//! Property tests for the spec-string grammar: `parse → Display → parse`
+//! is the identity over generated specs — including the `pipeline=` plan
+//! dimension — and malformed inputs always fail with a typed
+//! `InvalidSpec`, never a panic or a silently-wrong accept.
+
+use proptest::prelude::*;
+use tonemap_backend::{BackendSpec, TonemapError};
+use tonemap_core::{PipelinePlan, ToneMapParams};
+
+/// A valid engine name: no whitespace, no `?`/`&`/`=`.
+fn name_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("sw-f32".to_string()),
+        Just("hw-fix16".to_string()),
+        Just("sw-f32-stream".to_string()),
+        Just("x".to_string()),
+        (0u32..26, 0u32..26, 1usize..4).prop_map(|(a, b, n)| {
+            let a = (b'a' + a as u8) as char;
+            let b = (b'a' + b as u8) as char;
+            format!("eng-{a}{b}{n}")
+        }),
+    ]
+}
+
+/// One optional `key=value` pair with a value that round-trips through
+/// `Display` (Rust float formatting is shortest-round-trip, so re-parsing
+/// reproduces the bits).
+fn maybe<S: Strategy + 'static>(
+    key: &'static str,
+    value: S,
+) -> BoxedStrategy<Option<(&'static str, String)>>
+where
+    S::Value: ToString,
+{
+    prop_oneof![
+        Just(None),
+        value.prop_map(move |v| Some((key, v.to_string()))),
+    ]
+    .boxed()
+}
+
+/// The parameter-override pairs (KNOWN_KEYS values in valid ranges).
+fn param_pairs() -> impl Strategy<Value = Vec<(&'static str, String)>> {
+    (
+        maybe("sigma", 0.1f32..9.0),
+        maybe("radius", 1usize..30),
+        maybe("strength", 0.0f32..5.0),
+        prop_oneof![
+            Just(None),
+            any::<bool>().prop_map(|b| Some(("invert_mask", b.to_string()))),
+        ],
+        maybe("brightness", -0.4f32..0.4),
+        maybe("contrast", 0.1f32..3.0),
+        maybe("channels", 1usize..4),
+    )
+        .prop_map(|(a, b, c, d, e, f, g)| [a, b, c, d, e, f, g].into_iter().flatten().collect())
+}
+
+/// The plan-selection pairs: tuning keys only ever appear together with
+/// the `pipeline=` preset that reads them (the grammar rejects orphaned
+/// and unused tuning keys alike).
+fn plan_pairs() -> impl Strategy<Value = Vec<(&'static str, String)>> {
+    fn with_preset(
+        preset: &'static str,
+        tail: Vec<Option<(&'static str, String)>>,
+    ) -> Vec<(&'static str, String)> {
+        let mut pairs = vec![("pipeline", preset.to_string())];
+        pairs.extend(tail.into_iter().flatten());
+        pairs
+    }
+    prop_oneof![
+        Just(Vec::new()),
+        Just(vec![("pipeline", "paper".to_string())]),
+        (
+            maybe("reinhard_key", 0.5f32..16.0),
+            maybe("reinhard_white", 0.5f32..16.0),
+        )
+            .prop_map(move |(a, b)| with_preset("reinhard", vec![a, b])),
+        maybe("bins", 2usize..1024).prop_map(move |a| with_preset("histeq", vec![a])),
+        maybe("gamma", 0.1f32..4.0).prop_map(move |a| with_preset("gamma", vec![a])),
+        maybe("log_scale", 1.0f32..500.0).prop_map(move |a| with_preset("log", vec![a])),
+    ]
+}
+
+/// Renders a spec string with the pairs rotated out of canonical order, so
+/// the round-trip property covers arbitrary key orderings.
+fn render(name: &str, mut pairs: Vec<(&'static str, String)>, rotation: usize) -> String {
+    if !pairs.is_empty() {
+        let r = rotation % pairs.len();
+        pairs.rotate_left(r);
+    }
+    let mut spec = name.to_string();
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        spec.push(if i == 0 { '?' } else { '&' });
+        spec.push_str(k);
+        spec.push('=');
+        spec.push_str(v);
+    }
+    spec
+}
+
+proptest! {
+    #[test]
+    fn parse_display_parse_is_identity(
+        name in name_strategy(),
+        params in param_pairs(),
+        plan in plan_pairs(),
+        rotation in 0usize..16,
+        padding in 0usize..3,
+    ) {
+        let mut pairs = params;
+        pairs.extend(plan);
+        let raw = render(&name, pairs, rotation);
+        // Leading/trailing name whitespace must be absorbed, not leaked.
+        let raw = format!("{}{raw}", " ".repeat(padding));
+        let parsed = BackendSpec::parse(&raw).expect("generated specs are valid");
+        prop_assert_eq!(parsed.name(), name.trim());
+
+        let canonical = parsed.to_string();
+        let reparsed = BackendSpec::parse(&canonical).expect("canonical form re-parses");
+        prop_assert_eq!(&reparsed, &parsed);
+        // The canonical form is a fixed point of Display.
+        prop_assert_eq!(reparsed.to_string(), canonical);
+
+        // Resolution surfaces stay panic-free over the generated space:
+        // merged parameters and plans either validate or fail typed.
+        match parsed.merged_params(ToneMapParams::paper_default()) {
+            Ok(Some(merged)) => {
+                prop_assert!(merged.validate().is_ok());
+                if let Ok(Some(plan)) = parsed.resolved_plan(&merged) {
+                    prop_assert!(PipelinePlan::new(plan.ops().to_vec()).is_ok());
+                }
+            }
+            Ok(None) => {
+                if let Ok(Some(plan)) = parsed.resolved_plan(&ToneMapParams::paper_default()) {
+                    prop_assert!(PipelinePlan::new(plan.ops().to_vec()).is_ok());
+                }
+            }
+            Err(TonemapError::InvalidParams(_)) => {}
+            Err(other) => prop_assert!(false, "unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_always_fail_typed(
+        name in name_strategy(),
+        params in param_pairs(),
+        plan in plan_pairs(),
+        dup_index in 0usize..32,
+    ) {
+        let mut pairs = params;
+        pairs.extend(plan);
+        if !pairs.is_empty() {
+            let dup = pairs[dup_index % pairs.len()].clone();
+            pairs.push(dup);
+            let raw = render(&name, pairs, 0);
+            match BackendSpec::parse(&raw) {
+                Err(TonemapError::InvalidSpec { reason, .. }) => {
+                    prop_assert!(reason.contains("duplicate key"), "{}", reason);
+                }
+                other => prop_assert!(false, "`{}` must fail on duplicates, got {:?}", raw, other),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_specs_always_fail_typed(
+        name in name_strategy(),
+        junk in prop_oneof![
+            Just("??".to_string()),
+            Just("&&".to_string()),
+            Just("key=".to_string()),
+            Just("sigma".to_string()),
+            Just("sigma=abc".to_string()),
+            Just("=3".to_string()),
+            Just("warp=9".to_string()),
+            Just("pipeline=vaporwave".to_string()),
+            Just("bins=64".to_string()),
+            Just("sigma=2&sigma=3".to_string()),
+        ],
+    ) {
+        let raw = format!("{name}?{junk}");
+        match BackendSpec::parse(&raw) {
+            Err(TonemapError::InvalidSpec { spec, reason }) => {
+                prop_assert_eq!(spec, raw);
+                prop_assert!(!reason.is_empty());
+            }
+            other => prop_assert!(false, "`{}` must fail, got {:?}", raw, other),
+        }
+    }
+}

@@ -231,7 +231,19 @@ impl CoDesignFlow {
     /// Builds and schedules the accelerator kernel of a design
     /// implementation; `None` for the software-only design.
     pub fn schedule_for(&self, design: DesignImplementation) -> Option<Schedule> {
-        let spec = BlurKernelSpec::new(self.width, self.height, self.params.blur);
+        self.schedule_for_blur(design, self.params.blur)
+    }
+
+    /// Builds and schedules the accelerator kernel of a design
+    /// implementation for an explicit blur-stage shape — the per-stage hook
+    /// [`CoDesignFlow::evaluate_plan`] uses to cost each stencil stage of an
+    /// arbitrary plan with its own kernel geometry.
+    pub fn schedule_for_blur(
+        &self,
+        design: DesignImplementation,
+        blur: tonemap_core::BlurParams,
+    ) -> Option<Schedule> {
+        let spec = BlurKernelSpec::new(self.width, self.height, blur);
         let kernel = match design {
             DesignImplementation::SwSourceCode => return None,
             DesignImplementation::MarkedHwFunction => marked_hw_kernel(&spec),
@@ -310,6 +322,90 @@ impl CoDesignFlow {
         DesignReport {
             design,
             accelerated_seconds: blur_seconds,
+            total_seconds: system.total_seconds,
+            ps_seconds: system.ps_seconds,
+            pl_seconds: system.pl_seconds,
+            energy: system.energy,
+            pl_utilization,
+            schedule,
+            system,
+        }
+    }
+
+    /// Evaluates one design implementation for an *arbitrary*
+    /// [`tonemap_core::PipelinePlan`] — the Table-II-style view of plans the
+    /// paper never ran.
+    ///
+    /// Per-stage costing: every non-stencil stage is costed on the
+    /// processing system through [`crate::Profiler::profile_plan`]; each
+    /// stencil stage is scheduled as its own accelerator kernel (with its
+    /// own kernel geometry) when the design accelerates the blur, or costed
+    /// on the PS otherwise. Plans without a stencil stage have nothing to
+    /// accelerate — every design then degenerates to the pure-software
+    /// phases (zero `accelerated_seconds`, no schedule).
+    ///
+    /// For multi-stencil plans, [`DesignReport::accelerated_seconds`] and
+    /// [`DesignReport::pl_utilization`] aggregate *all* stencil stages and
+    /// each stage appears as its own PL phase in
+    /// [`DesignReport::system`]; [`DesignReport::schedule`] carries only
+    /// the **first** stencil stage's kernel schedule (the field models one
+    /// accelerator) — read the per-stage phases for the others.
+    ///
+    /// For the paper-shaped plan this reproduces every number of
+    /// [`CoDesignFlow::evaluate`] exactly (only the phase labels differ).
+    pub fn evaluate_plan(
+        &self,
+        plan: &tonemap_core::PipelinePlan,
+        design: DesignImplementation,
+    ) -> DesignReport {
+        let profile = self.profiler.profile_plan(plan, self.width, self.height);
+        let sw_blur: f64 = profile
+            .stages
+            .iter()
+            .filter(|s| s.stage == StageKind::GaussianBlur)
+            .map(|s| s.seconds)
+            .sum();
+        let ps_rest = profile.total_seconds - sw_blur;
+        let pl_model = PlModel::new(self.simulator.config.pl_clock_hz);
+
+        let stencils: Vec<_> = plan.stencil_stages().collect();
+        let mut phases = vec![Phase::ps("point/reduction stages (PS)", ps_rest)];
+        let mut schedule = None;
+        let mut pl_utilization = 0.0f64;
+        let mut accelerated_seconds = 0.0f64;
+        if stencils.is_empty() || !design.is_accelerated() {
+            if sw_blur > 0.0 {
+                phases.push(Phase::ps("Gaussian blur (PS)", sw_blur));
+                accelerated_seconds = sw_blur;
+            }
+        } else {
+            for (index, blur, _) in stencils {
+                let stage_schedule = self
+                    .schedule_for_blur(design, blur)
+                    .expect("accelerated designs schedule a blur kernel");
+                let run = pl_model.run(&stage_schedule, &self.tech);
+                phases.push(Phase::pl(
+                    format!("stage {index}: Gaussian blur (PL accelerator)"),
+                    run.seconds,
+                ));
+                accelerated_seconds += run.seconds;
+                // Coexisting accelerators add utilization, capped at the
+                // full device (as in the extended design).
+                pl_utilization = (pl_utilization + run.utilization).min(1.0);
+                if schedule.is_none() {
+                    schedule = Some(stage_schedule);
+                }
+            }
+        }
+
+        let plan_exec = ExecutionPlan {
+            phases,
+            pl_utilization,
+        };
+        let system = self.simulator.run(&plan_exec);
+        DesignReport {
+            design,
+            accelerated_seconds,
             total_seconds: system.total_seconds,
             ps_seconds: system.ps_seconds,
             pl_seconds: system.pl_seconds,
@@ -557,6 +653,80 @@ mod tests {
         assert!(extended.masking_seconds > 0.0 && extended.blur_seconds > 0.0);
         let text = extended.to_string();
         assert!(text.contains("blur + masking"));
+    }
+
+    #[test]
+    fn evaluate_plan_reproduces_table_two_numbers_for_the_paper_plan() {
+        use tonemap_core::PipelinePlan;
+        let flow = CoDesignFlow::paper_setup(512, 512);
+        let plan = PipelinePlan::paper_default();
+        for design in DesignImplementation::ALL {
+            let classic = flow.evaluate(design);
+            let via_plan = flow.evaluate_plan(&plan, design);
+            assert_eq!(classic.accelerated_seconds, via_plan.accelerated_seconds);
+            assert_eq!(classic.total_seconds, via_plan.total_seconds);
+            assert_eq!(classic.ps_seconds, via_plan.ps_seconds);
+            assert_eq!(classic.pl_seconds, via_plan.pl_seconds);
+            assert_eq!(classic.pl_utilization, via_plan.pl_utilization);
+            assert_eq!(classic.energy, via_plan.energy);
+            assert_eq!(classic.schedule, via_plan.schedule);
+        }
+    }
+
+    #[test]
+    fn evaluate_plan_costs_arbitrary_plans_per_stage() {
+        use tonemap_core::plan::{PipelineOp, PipelinePlan, PlanTuning};
+        use tonemap_core::{MaskingParams, ToneMapParams};
+        let flow = CoDesignFlow::paper_setup(512, 512);
+
+        // A stencil-free plan has nothing to accelerate: every design
+        // degenerates to pure PS work.
+        let reinhard = PipelinePlan::preset(
+            "reinhard",
+            &ToneMapParams::paper_default(),
+            &PlanTuning::default(),
+        )
+        .unwrap()
+        .unwrap();
+        let report = flow.evaluate_plan(&reinhard, DesignImplementation::FixedPointConversion);
+        assert_eq!(report.accelerated_seconds, 0.0);
+        assert_eq!(report.pl_seconds, 0.0);
+        assert!(report.schedule.is_none());
+        assert!(report.total_seconds > 0.0);
+
+        // A two-stencil plan gets one PL phase (and one schedule run) per
+        // blur stage; utilizations add.
+        let blur = tonemap_core::BlurParams {
+            sigma: 2.0,
+            radius: 4,
+        };
+        let double = PipelinePlan::new(vec![
+            PipelineOp::Normalize,
+            PipelineOp::BlurMask {
+                blur,
+                invert_input: true,
+            },
+            PipelineOp::Mask(MaskingParams::paper_default()),
+            PipelineOp::BlurMask {
+                blur,
+                invert_input: false,
+            },
+            PipelineOp::Mask(MaskingParams::paper_default()),
+        ])
+        .unwrap();
+        let single = PipelinePlan::new(double.ops()[..3].to_vec()).unwrap();
+        let one = flow.evaluate_plan(&single, DesignImplementation::FixedPointConversion);
+        let two = flow.evaluate_plan(&double, DesignImplementation::FixedPointConversion);
+        assert!(two.accelerated_seconds > 1.9 * one.accelerated_seconds);
+        assert!(two.pl_utilization > one.pl_utilization);
+        assert!(two.schedule.is_some());
+        let pl_phases = two
+            .system
+            .phases
+            .iter()
+            .filter(|p| p.name.contains("PL accelerator"))
+            .count();
+        assert_eq!(pl_phases, 2);
     }
 
     #[test]

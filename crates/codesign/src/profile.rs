@@ -19,7 +19,8 @@
 use crate::workload_from_ops;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use tonemap_core::ops::{PipelineProfile, StageKind};
+use tonemap_core::ops::StageKind;
+use tonemap_core::plan::PipelinePlan;
 use tonemap_core::ToneMapParams;
 use zynq_sim::arm::{ArmCostModel, PsModel, SoftwareWorkload};
 
@@ -162,9 +163,24 @@ impl Profiler {
         &self.params
     }
 
-    /// Profiles the pipeline for an image of the given dimensions.
+    /// Profiles the classic Fig. 1 pipeline for an image of the given
+    /// dimensions (equivalent to [`Profiler::profile_plan`] with the
+    /// paper-shaped plan of the configured parameters).
     pub fn profile(&self, width: usize, height: usize) -> ProfileReport {
-        let pipeline_profile = PipelineProfile::analytic(&self.params, width, height);
+        self.profile_plan(&PipelinePlan::from_params(&self.params), width, height)
+    }
+
+    /// Profiles an arbitrary [`PipelinePlan`] per stage: every operator of
+    /// the plan contributes its analytic operation counts, costed through
+    /// the calibrated ARM model — so Table-II-style evaluations cover plans
+    /// the paper never ran.
+    ///
+    /// Whole-plane stages (the Gaussian blur, the histogram-equalization
+    /// reduction) appear as one function in the call-graph view; point-wise
+    /// stages split into one call per colour channel, as in the reference
+    /// C++ application.
+    pub fn profile_plan(&self, plan: &PipelinePlan, width: usize, height: usize) -> ProfileReport {
+        let pipeline_profile = plan.profile(width, height, self.params.channels);
         let channels = self.params.channels.max(1) as f64;
 
         let stages: Vec<StageTime> = pipeline_profile
@@ -189,12 +205,29 @@ impl Profiler {
                     stage: s.stage,
                     seconds: s.seconds,
                 }),
-                StageKind::Normalize | StageKind::NonlinearMasking | StageKind::Adjustment => {
+                StageKind::HistogramEqualization => functions.push(FunctionTime {
+                    name: "histogram_equalize(plane)".to_string(),
+                    stage: s.stage,
+                    seconds: s.seconds,
+                }),
+                StageKind::Normalize
+                | StageKind::NonlinearMasking
+                | StageKind::Adjustment
+                | StageKind::Invert
+                | StageKind::GammaCurve
+                | StageKind::LogCurve
+                | StageKind::Reinhard => {
                     let base = match s.stage {
                         StageKind::Normalize => "normalize_channel",
                         StageKind::NonlinearMasking => "apply_masking_channel",
                         StageKind::Adjustment => "adjust_channel",
-                        StageKind::GaussianBlur => unreachable!(),
+                        StageKind::Invert => "invert_channel",
+                        StageKind::GammaCurve => "gamma_channel",
+                        StageKind::LogCurve => "log_curve_channel",
+                        StageKind::Reinhard => "reinhard_channel",
+                        StageKind::GaussianBlur | StageKind::HistogramEqualization => {
+                            unreachable!()
+                        }
                     };
                     for c in 0..self.params.channels.max(1) {
                         functions.push(FunctionTime {
@@ -274,6 +307,56 @@ mod tests {
         let small = profiler.profile(256, 256);
         let large = profiler.profile(512, 512);
         assert!((large.total_seconds / small.total_seconds - 4.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn profile_plan_covers_new_operator_plans_per_stage() {
+        use tonemap_core::plan::PlanTuning;
+        let profiler = Profiler::paper_setup();
+        // The classic profile is exactly the paper-plan profile.
+        let classic = profiler.profile(256, 256);
+        let via_plan = profiler.profile_plan(
+            &PipelinePlan::from_params(&ToneMapParams::paper_default()),
+            256,
+            256,
+        );
+        assert_eq!(classic, via_plan);
+
+        // A reduction-backed plan gets a whole-plane function entry.
+        let histeq = PipelinePlan::preset(
+            "histeq",
+            &ToneMapParams::paper_default(),
+            &PlanTuning::default(),
+        )
+        .unwrap()
+        .unwrap();
+        let report = profiler.profile_plan(&histeq, 256, 256);
+        assert_eq!(report.stages.len(), 2);
+        assert!(report
+            .functions
+            .iter()
+            .any(|f| f.name == "histogram_equalize(plane)"));
+        assert!(report.total_seconds > 0.0);
+        let sum: f64 = report.functions.iter().map(|f| f.seconds).sum();
+        assert!((sum - report.total_seconds).abs() < 1e-9);
+
+        // A point-only plan splits per channel like the classic stages.
+        let reinhard = PipelinePlan::preset(
+            "reinhard",
+            &ToneMapParams::paper_default(),
+            &PlanTuning::default(),
+        )
+        .unwrap()
+        .unwrap();
+        let report = profiler.profile_plan(&reinhard, 128, 128);
+        assert_eq!(
+            report
+                .functions
+                .iter()
+                .filter(|f| f.name.starts_with("reinhard_channel"))
+                .count(),
+            3
+        );
     }
 
     #[test]

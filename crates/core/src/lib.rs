@@ -22,13 +22,20 @@
 //! [`apfixed::Fix`] (the paper's final accelerator), enabling the Fig. 5
 //! quality comparison.
 //!
-//! Two execution schedules cover the same pipeline: the stage-by-stage
-//! [`ToneMapper`] (one full-size intermediate per stage, the shape of the
-//! paper's original software) and the fused [`StreamingToneMapper`]
-//! ([`stream`]), which runs everything as one raster-order pass over a
-//! rolling row ring buffer — the software analogue of the BRAM line buffer
-//! of Fig. 4 — producing bit-identical pixels with no full-size
-//! intermediates.
+//! Since the plan redesign the chain itself is *data*: a validated
+//! [`PipelinePlan`] operator graph ([`plan`]) whose catalogue spans point
+//! ops (normalize, invert, mask, adjust, gamma/log curves, global
+//! Reinhard), the stencil op (separable Gaussian blur) and a
+//! reduction-backed op (histogram equalization).
+//! [`PipelinePlan::paper_default`] reproduces Fig. 1 exactly, and two
+//! *planners* compile any plan: the stage-by-stage [`ToneMapper`] (one
+//! full-size intermediate per stage, the shape of the paper's original
+//! software) and the fused [`StreamingToneMapper`] ([`stream`]), which
+//! runs fusible plans as one raster-order pass over a rolling row ring
+//! buffer — the software analogue of the BRAM line buffer of Fig. 4 —
+//! producing bit-identical pixels with no full-size intermediates, and
+//! reports ([`StreamingDecision`]) why a plan cannot fuse (reductions
+//! over intermediates force a materialized pre-pass).
 //!
 //! Each stage also reports its per-pixel operation counts ([`ops`]), which
 //! the `zynq-sim` processing-system model turns into ARM execution-time
@@ -58,13 +65,15 @@ pub mod normalize;
 pub mod ops;
 mod params;
 pub mod pipeline;
+pub mod plan;
 mod sample;
 pub mod stream;
 
 pub use params::{AdjustParams, BlurParams, MaskingParams, ParamError, ToneMapParams};
 pub use pipeline::{PipelineStages, ToneMapper};
+pub use plan::{PipelineOp, PipelineOpKind, PipelinePlan, PlanError, PlanTuning};
 pub use sample::Sample;
-pub use stream::StreamingToneMapper;
+pub use stream::{FusionBlocker, StreamingDecision, StreamingToneMapper};
 
 #[cfg(test)]
 mod tests {

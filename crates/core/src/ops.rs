@@ -158,7 +158,9 @@ impl AddAssign for OpCounts {
     }
 }
 
-/// The four stages of the tone-mapping pipeline (Fig. 1 of the paper).
+/// The stages a pipeline plan can be profiled as: the four blocks of Fig. 1
+/// of the paper plus the operators added by the plan catalogue
+/// ([`crate::plan::PipelineOp`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum StageKind {
     /// Image normalization (divide by the maximum pixel value).
@@ -169,10 +171,22 @@ pub enum StageKind {
     NonlinearMasking,
     /// Final brightness and contrast adjustment.
     Adjustment,
+    /// Stand-alone point inversion (`1 − x`).
+    Invert,
+    /// Pure gamma curve.
+    GammaCurve,
+    /// Logarithmic compression curve.
+    LogCurve,
+    /// Global Reinhard operator.
+    Reinhard,
+    /// Histogram-equalization tone mapping (the reduction-backed operator).
+    HistogramEqualization,
 }
 
 impl StageKind {
-    /// All stages in pipeline order.
+    /// The four classic stages of the paper's Fig. 1 chain, in pipeline
+    /// order (arbitrary plans may use any [`StageKind`]; this constant names
+    /// the fixed chain the paper evaluates).
     pub const ALL: [StageKind; 4] = [
         StageKind::Normalize,
         StageKind::GaussianBlur,
@@ -188,6 +202,11 @@ impl fmt::Display for StageKind {
             StageKind::GaussianBlur => "Gaussian blur",
             StageKind::NonlinearMasking => "non-linear masking",
             StageKind::Adjustment => "brightness/contrast adjustment",
+            StageKind::Invert => "inversion",
+            StageKind::GammaCurve => "gamma curve",
+            StageKind::LogCurve => "logarithmic curve",
+            StageKind::Reinhard => "global Reinhard operator",
+            StageKind::HistogramEqualization => "histogram equalization",
         };
         f.write_str(name)
     }
@@ -227,31 +246,12 @@ impl PipelineProfile {
     /// over the single-channel mask), matching the reference C++ structure
     /// described in Section II-A; the point-wise stages are profiled per
     /// colour channel.
+    ///
+    /// This is the profile of the classic Fig. 1 chain; arbitrary plans are
+    /// profiled per-stage through [`crate::plan::PipelinePlan::profile`],
+    /// which produces exactly this result for the paper-shaped plan.
     pub fn analytic(params: &crate::ToneMapParams, width: usize, height: usize) -> Self {
-        let stages = vec![
-            StageProfile {
-                stage: StageKind::Normalize,
-                ops: crate::normalize::op_counts(width, height, params.channels),
-            },
-            StageProfile {
-                stage: StageKind::GaussianBlur,
-                ops: crate::blur::op_counts_separable(&params.blur, width, height),
-            },
-            StageProfile {
-                stage: StageKind::NonlinearMasking,
-                ops: crate::masking::op_counts(width, height, params.channels),
-            },
-            StageProfile {
-                stage: StageKind::Adjustment,
-                ops: crate::adjust::op_counts(width, height, params.channels),
-            },
-        ];
-        PipelineProfile {
-            width,
-            height,
-            channels: params.channels,
-            stages,
-        }
+        crate::plan::PipelinePlan::from_params(params).profile(width, height, params.channels)
     }
 
     /// Total operation counts over all stages.

@@ -6,6 +6,7 @@ use crate::masking::{apply_masking, invert};
 use crate::normalize::{normalize, normalize_to};
 use crate::ops::PipelineProfile;
 use crate::params::{ParamError, ToneMapParams};
+use crate::plan::{execute_plan, execute_plan_hw_blur, PipelinePlan};
 use crate::sample::Sample;
 use hdr_image::{ImageBuffer, LuminanceImage, RgbImage};
 
@@ -36,8 +37,14 @@ impl<S: Sample> PipelineStages<S> {
     }
 }
 
-/// The local tone-mapping operator of the paper, assembled from the four
-/// stages of Fig. 1.
+/// The two-pass (materialized) pipeline planner: compiles a
+/// [`PipelinePlan`] into stage-by-stage execution with one full-size
+/// intermediate per stage — the shape of the paper's original software.
+///
+/// The classic constructors ([`ToneMapper::new`], [`ToneMapper::try_new`])
+/// compile the paper's Fig. 1 chain from a [`ToneMapParams`];
+/// [`ToneMapper::compile`] accepts any validated plan (global Reinhard,
+/// histogram equalization, custom stage sequences — see [`crate::plan`]).
 ///
 /// Two execution shapes mirror the paper's two platforms:
 ///
@@ -69,10 +76,12 @@ impl<S: Sample> PipelineStages<S> {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ToneMapper {
     params: ToneMapParams,
+    plan: PipelinePlan,
 }
 
 impl ToneMapper {
-    /// Creates a tone mapper with the given parameters.
+    /// Creates a tone mapper compiling the paper's Fig. 1 chain from the
+    /// given parameters.
     ///
     /// # Panics
     ///
@@ -84,11 +93,28 @@ impl ToneMapper {
             .unwrap_or_else(|e| panic!("invalid tone-mapping parameters: {e}"))
     }
 
-    /// Creates a tone mapper, returning a typed [`ParamError`] if the
-    /// parameters are invalid.
+    /// Creates a tone mapper compiling the paper's Fig. 1 chain, returning a
+    /// typed [`ParamError`] if the parameters are invalid.
     pub fn try_new(params: ToneMapParams) -> Result<Self, ParamError> {
         params.validate()?;
-        Ok(ToneMapper { params })
+        Ok(ToneMapper {
+            params,
+            plan: PipelinePlan::from_params(&params),
+        })
+    }
+
+    /// Compiles an arbitrary validated [`PipelinePlan`] for two-pass
+    /// execution. `params` seeds everything that lives outside the plan
+    /// (the profiled channel count, the [`ToneMapper::run_stages`] Fig. 1
+    /// inspector); the plan's own stage parameters drive execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ParamError`] if `params` fail validation (the plan
+    /// itself was validated when it was built).
+    pub fn compile(plan: PipelinePlan, params: ToneMapParams) -> Result<Self, ParamError> {
+        params.validate()?;
+        Ok(ToneMapper { params, plan })
     }
 
     /// The parameters this mapper was built with.
@@ -96,8 +122,18 @@ impl ToneMapper {
         &self.params
     }
 
-    /// Runs the full pipeline in the working sample type `S`, returning every
-    /// intermediate stage.
+    /// The pipeline plan this mapper executes.
+    pub const fn plan(&self) -> &PipelinePlan {
+        &self.plan
+    }
+
+    /// Runs the *Fig. 1 chain of the base parameters* in the working sample
+    /// type `S`, returning every intermediate stage — the inspector the
+    /// co-design flow and the quality experiments use for stage
+    /// substitution. For mappers built through [`ToneMapper::new`] /
+    /// [`ToneMapper::try_new`] this is exactly the compiled plan; mappers
+    /// compiled from a custom plan execute that plan through the
+    /// `map_luminance*` methods instead.
     pub fn run_stages<S: Sample>(&self, hdr: &LuminanceImage) -> PipelineStages<S> {
         let normalized: ImageBuffer<S> = normalize_to::<S>(hdr);
         let mask_input = if self.params.masking.invert_mask {
@@ -143,11 +179,15 @@ impl ToneMapper {
         }
     }
 
-    /// Tone-maps an HDR luminance image, computing every stage in the sample
-    /// type `S` and returning the display-referred result as `f32` in
-    /// `[0, 1]`.
+    /// Tone-maps an HDR luminance image through the compiled plan, computing
+    /// every stage in the sample type `S` and returning the display-referred
+    /// result as `f32` in `[0, 1]`.
+    ///
+    /// For the Fig. 1 plan this is bit-identical to
+    /// `run_stages::<S>(hdr).output_f32()` — same stage functions, same
+    /// order.
     pub fn map_luminance<S: Sample>(&self, hdr: &LuminanceImage) -> LuminanceImage {
-        self.run_stages::<S>(hdr).output_f32()
+        execute_plan::<S>(&self.plan, hdr).map(|&v| v.to_f32())
     }
 
     /// Tone-maps an HDR luminance image entirely in 32-bit floating point —
@@ -156,12 +196,13 @@ impl ToneMapper {
         self.map_luminance::<f32>(hdr)
     }
 
-    /// Tone-maps an HDR luminance image with only the Gaussian blur computed
-    /// in the sample type `S` — the paper's accelerated configuration
-    /// (`S = f32` models the 32-bit floating-point accelerator, `S = Fix16`
-    /// the final 16-bit fixed-point one).
+    /// Tone-maps an HDR luminance image through the compiled plan with only
+    /// the stencil stages (the Gaussian blur) computed in the sample type
+    /// `S` — the paper's accelerated configuration (`S = f32` models the
+    /// 32-bit floating-point accelerator, `S = Fix16` the final 16-bit
+    /// fixed-point one).
     pub fn map_luminance_hw_blur<S: Sample>(&self, hdr: &LuminanceImage) -> LuminanceImage {
-        self.run_stages_hw_blur::<S>(hdr).output_f32()
+        execute_plan_hw_blur::<S>(&self.plan, hdr)
     }
 
     /// Tone-maps a colour HDR image: the luminance plane is tone-mapped (all
@@ -178,11 +219,12 @@ impl ToneMapper {
         hdr_image::rgb::reapply_color(hdr, &mapped)
     }
 
-    /// The analytic operation-count profile of this pipeline for an image of
-    /// the given dimensions (used by the SDSoC-style profiler and the ARM
-    /// timing model).
+    /// The analytic operation-count profile of the compiled plan for an
+    /// image of the given dimensions (used by the SDSoC-style profiler and
+    /// the ARM timing model). For the Fig. 1 plan this equals
+    /// [`PipelineProfile::analytic`].
     pub fn profile(&self, width: usize, height: usize) -> PipelineProfile {
-        PipelineProfile::analytic(&self.params, width, height)
+        self.plan.profile(width, height, self.params.channels)
     }
 }
 
@@ -349,6 +391,54 @@ mod tests {
         assert_eq!(
             *ToneMapper::default().params(),
             ToneMapParams::paper_default()
+        );
+    }
+
+    #[test]
+    fn plan_execution_is_bit_identical_to_the_fig1_stage_chain() {
+        // The redesign contract: the compiled paper plan reproduces the
+        // hard-coded chain exactly, in every sample mode.
+        let hdr = SceneKind::WindowInDarkRoom.generate(48, 37, 3);
+        let m = mapper();
+        assert_eq!(
+            m.map_luminance_f32(&hdr),
+            m.run_stages::<f32>(&hdr).output_f32()
+        );
+        assert_eq!(
+            m.map_luminance::<Fix16>(&hdr),
+            m.run_stages::<Fix16>(&hdr).output_f32()
+        );
+        assert_eq!(
+            m.map_luminance_hw_blur::<Fix16>(&hdr),
+            m.run_stages_hw_blur::<Fix16>(&hdr).output_f32()
+        );
+    }
+
+    #[test]
+    fn compile_executes_custom_plans() {
+        use crate::plan::{PipelineOp, PipelinePlan};
+        let hdr = SceneKind::SunAndShadow.generate(32, 32, 7);
+        let plan = PipelinePlan::new(vec![
+            PipelineOp::Normalize,
+            PipelineOp::Reinhard {
+                key: 8.0,
+                white: 8.0,
+            },
+        ])
+        .unwrap();
+        let custom = ToneMapper::compile(plan.clone(), ToneMapParams::paper_default()).unwrap();
+        assert_eq!(custom.plan(), &plan);
+        let out = custom.map_luminance_f32(&hdr);
+        assert!(out.pixels().iter().all(|v| (0.0..=1.0).contains(v)));
+        assert_ne!(out, mapper().map_luminance_f32(&hdr));
+        // Profiles follow the plan, not the Fig. 1 chain.
+        assert_eq!(custom.profile(32, 32).stages.len(), 2);
+
+        let mut bad = ToneMapParams::paper_default();
+        bad.channels = 0;
+        assert_eq!(
+            ToneMapper::compile(plan, bad),
+            Err(ParamError::ZeroChannels)
         );
     }
 

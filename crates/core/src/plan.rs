@@ -1,0 +1,1128 @@
+//! The pipeline as *data*: a validated operator graph the planners compile.
+//!
+//! The seed reproduction hard-coded the one normalize → invert → blur →
+//! mask → adjust chain of Fig. 1 into [`crate::ToneMapper`]; every engine
+//! could therefore serve exactly one tone-mapping operator. This module
+//! turns the chain into a description — a [`PipelinePlan`] of typed
+//! [`PipelineOp`] stages — that both execution schedules *compile*:
+//!
+//! * the two-pass planner ([`crate::ToneMapper`]) materialises one
+//!   intermediate per stage, the shape of the paper's original software,
+//!   and
+//! * the streaming planner ([`crate::StreamingToneMapper`]) fuses the plan
+//!   into one raster-order line-buffer pass where that is legal, and
+//!   reports *why* when it is not (a reduction over an intermediate forces
+//!   a materialized pre-pass, exactly as an HLS dataflow region breaks at a
+//!   non-streamable dependence).
+//!
+//! This is the same move the paper's HLS flow makes for the Fig. 1
+//! dataflow — describe the computation, let the backend pick the schedule —
+//! applied at the API layer, following the image-processing-DSL line of
+//! related work (Halide/HWTool-style stage graphs compiled per target).
+//!
+//! Three operator classes exist, mirroring what each costs the platform:
+//!
+//! | class | ops | streaming-fusible? |
+//! |---|---|---|
+//! | point | normalize*, invert, mask, adjust, gamma, log curve, global Reinhard | yes |
+//! | stencil | separable Gaussian blur (mask producer) | yes, once (the line buffer) |
+//! | reduction | histogram-equalization TMO | no — forces a pre-pass |
+//!
+//! (*) normalization needs a max-reduction, but over the *raw input*, which
+//! the streaming pass already resolves in its scale pre-scan; it is
+//! therefore only legal as the first stage ([`PlanError::NormalizeNotFirst`]).
+//!
+//! [`PipelinePlan::paper_default`] reproduces Fig. 1 exactly — compiled by
+//! either planner it is bit-identical to the pre-redesign engines.
+
+use crate::normalize::normalize_sample;
+use crate::ops::{OpCounts, PipelineProfile, StageKind, StageProfile};
+use crate::params::{AdjustParams, BlurParams, MaskingParams, ParamError, ToneMapParams};
+use crate::sample::Sample;
+use hdr_image::{ImageBuffer, LuminanceImage};
+use std::fmt;
+
+/// One operator in a [`PipelinePlan`].
+///
+/// The plan executes over two registers: the *image* (the value being tone
+/// mapped) and the *mask* (the low-pass neighbourhood estimate). Point ops
+/// and reductions transform the image; [`PipelineOp::BlurMask`] is the one
+/// stencil op and writes the mask register (leaving the image untouched);
+/// [`PipelineOp::Mask`] consumes it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PipelineOp {
+    /// Divide every pixel by the image maximum, mapping into `[0, 1]`
+    /// (max-reduction over the raw input + point scale). Only legal as the
+    /// first stage.
+    Normalize,
+    /// Point inversion `x ← 1 − x`.
+    Invert,
+    /// Separable Gaussian blur of the (optionally inverted) image into the
+    /// *mask* register — the stencil op the paper accelerates. The image
+    /// register is left untouched, matching the Fig. 1 branch where the
+    /// masking stage reads both the normalized image and its blur.
+    BlurMask {
+        /// Kernel shape of the blur.
+        blur: BlurParams,
+        /// Blur `1 − x` instead of `x` (Moroney's inverted-mask convention;
+        /// pairs with [`MaskingParams::invert_mask`]).
+        invert_input: bool,
+    },
+    /// Non-linear masking: mask-driven gamma correction of the image,
+    /// consuming the mask register.
+    Mask(MaskingParams),
+    /// Brightness/contrast adjustment around mid-grey.
+    Adjust(AdjustParams),
+    /// Pure gamma curve `x ← x^γ`.
+    Gamma {
+        /// The exponent (positive and finite; `< 1` brightens).
+        gamma: f32,
+    },
+    /// Logarithmic compression `x ← ln(1 + k·x) / ln(1 + k)` — a global
+    /// Drago-style curve.
+    LogCurve {
+        /// The compression strength `k` (positive and finite).
+        scale: f32,
+    },
+    /// The global Reinhard operator
+    /// `x ← L·(1 + L/white²) / (1 + L)` with `L = key·x`: `key` exposes the
+    /// (mostly dark) normalized radiance, `white` is the luminance that maps
+    /// to pure white. `white = key` maps the input maximum exactly to 1.
+    Reinhard {
+        /// Exposure applied before the curve (positive and finite).
+        key: f32,
+        /// Burn-out luminance (positive and finite).
+        white: f32,
+    },
+    /// Histogram-equalization tone mapping: build a `bins`-level histogram
+    /// of the image, integrate it into a CDF and remap every pixel through
+    /// it — the reduction-backed operator (the classic CPU tone mapper of
+    /// the GPGPU teaching codes).
+    HistogramEq {
+        /// Number of histogram levels (at least 2).
+        bins: usize,
+    },
+}
+
+impl PipelineOp {
+    /// The kind tag of this op (its catalogue entry).
+    pub const fn kind(&self) -> PipelineOpKind {
+        match self {
+            PipelineOp::Normalize => PipelineOpKind::Normalize,
+            PipelineOp::Invert => PipelineOpKind::Invert,
+            PipelineOp::BlurMask { .. } => PipelineOpKind::BlurMask,
+            PipelineOp::Mask(_) => PipelineOpKind::Mask,
+            PipelineOp::Adjust(_) => PipelineOpKind::Adjust,
+            PipelineOp::Gamma { .. } => PipelineOpKind::Gamma,
+            PipelineOp::LogCurve { .. } => PipelineOpKind::LogCurve,
+            PipelineOp::Reinhard { .. } => PipelineOpKind::Reinhard,
+            PipelineOp::HistogramEq { .. } => PipelineOpKind::HistogramEq,
+        }
+    }
+
+    /// The [`StageKind`] this op reports its operation counts under.
+    pub const fn stage_kind(&self) -> StageKind {
+        match self {
+            PipelineOp::Normalize => StageKind::Normalize,
+            PipelineOp::Invert => StageKind::Invert,
+            PipelineOp::BlurMask { .. } => StageKind::GaussianBlur,
+            PipelineOp::Mask(_) => StageKind::NonlinearMasking,
+            PipelineOp::Adjust(_) => StageKind::Adjustment,
+            PipelineOp::Gamma { .. } => StageKind::GammaCurve,
+            PipelineOp::LogCurve { .. } => StageKind::LogCurve,
+            PipelineOp::Reinhard { .. } => StageKind::Reinhard,
+            PipelineOp::HistogramEq { .. } => StageKind::HistogramEqualization,
+        }
+    }
+
+    /// Validates this op's own parameters (not its position in a plan).
+    pub fn validate(&self) -> Result<(), PlanError> {
+        let positive_finite = |v: f32| v > 0.0 && v.is_finite();
+        match *self {
+            PipelineOp::Normalize | PipelineOp::Invert => Ok(()),
+            PipelineOp::BlurMask { blur, .. } => blur.validate().map_err(PlanError::InvalidStage),
+            PipelineOp::Mask(masking) => {
+                if masking.strength >= 0.0 && masking.strength.is_finite() {
+                    Ok(())
+                } else {
+                    Err(PlanError::InvalidStage(ParamError::InvalidMaskingStrength(
+                        masking.strength,
+                    )))
+                }
+            }
+            PipelineOp::Adjust(adjust) => {
+                if !positive_finite(adjust.contrast) {
+                    Err(PlanError::InvalidStage(ParamError::NonPositiveContrast(
+                        adjust.contrast,
+                    )))
+                } else if !adjust.brightness.is_finite() {
+                    Err(PlanError::InvalidStage(ParamError::NonFiniteBrightness(
+                        adjust.brightness,
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+            PipelineOp::Gamma { gamma } => {
+                if positive_finite(gamma) {
+                    Ok(())
+                } else {
+                    Err(PlanError::InvalidGamma(gamma))
+                }
+            }
+            PipelineOp::LogCurve { scale } => {
+                if positive_finite(scale) {
+                    Ok(())
+                } else {
+                    Err(PlanError::InvalidLogScale(scale))
+                }
+            }
+            PipelineOp::Reinhard { key, white } => {
+                if !positive_finite(key) {
+                    Err(PlanError::InvalidReinhardKey(key))
+                } else if !positive_finite(white) {
+                    Err(PlanError::InvalidReinhardWhite(white))
+                } else {
+                    Ok(())
+                }
+            }
+            PipelineOp::HistogramEq { bins } => {
+                if (2..=65_536).contains(&bins) {
+                    Ok(())
+                } else {
+                    Err(PlanError::InvalidBins(bins))
+                }
+            }
+        }
+    }
+
+    /// Analytic operation counts of this op over a `width × height` image
+    /// with `channels` colour channels (the stencil and reduction ops run on
+    /// the single-channel plane, like the blur in the classic profile).
+    pub fn op_counts(&self, width: usize, height: usize, channels: usize) -> OpCounts {
+        let samples = (width * height * channels) as u64;
+        let pixels = (width * height) as u64;
+        match *self {
+            PipelineOp::Normalize => crate::normalize::op_counts(width, height, channels),
+            PipelineOp::Invert => OpCounts {
+                adds: samples,
+                loads: samples,
+                stores: samples,
+                ..OpCounts::zero()
+            },
+            PipelineOp::BlurMask { blur, .. } => {
+                crate::blur::op_counts_separable(&blur, width, height)
+            }
+            PipelineOp::Mask(_) => crate::masking::op_counts(width, height, channels),
+            PipelineOp::Adjust(_) => crate::adjust::op_counts(width, height, channels),
+            PipelineOp::Gamma { .. } => OpCounts {
+                pows: samples,
+                compares: 2 * samples,
+                loads: samples,
+                stores: samples,
+                ..OpCounts::zero()
+            },
+            PipelineOp::LogCurve { .. } => OpCounts {
+                adds: samples,
+                muls: 2 * samples, // scale multiply + reciprocal-log multiply
+                pows: samples,     // the ln
+                compares: 2 * samples,
+                loads: samples,
+                stores: samples,
+                ..OpCounts::zero()
+            },
+            PipelineOp::Reinhard { .. } => OpCounts {
+                adds: 2 * samples,
+                muls: 3 * samples,
+                divs: samples,
+                compares: 2 * samples,
+                loads: samples,
+                stores: samples,
+                ..OpCounts::zero()
+            },
+            PipelineOp::HistogramEq { bins } => OpCounts {
+                // Histogram pass + CDF integration + remap pass, on the
+                // single-channel plane.
+                adds: pixels + bins as u64,
+                muls: 2 * pixels, // level scaling in each pass
+                divs: pixels,
+                compares: 2 * pixels,
+                loads: 2 * pixels,
+                stores: pixels,
+                ..OpCounts::zero()
+            },
+        }
+    }
+}
+
+impl fmt::Display for PipelineOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PipelineOp::Normalize => f.write_str("normalize"),
+            PipelineOp::Invert => f.write_str("invert"),
+            PipelineOp::BlurMask { blur, invert_input } => write!(
+                f,
+                "blur-mask(σ={}, r={}{})",
+                blur.sigma,
+                blur.radius,
+                if invert_input { ", inverted" } else { "" }
+            ),
+            PipelineOp::Mask(m) => write!(f, "mask(strength={})", m.strength),
+            PipelineOp::Adjust(a) => {
+                write!(f, "adjust(b={}, c={})", a.brightness, a.contrast)
+            }
+            PipelineOp::Gamma { gamma } => write!(f, "gamma({gamma})"),
+            PipelineOp::LogCurve { scale } => write!(f, "log-curve(k={scale})"),
+            PipelineOp::Reinhard { key, white } => {
+                write!(f, "reinhard(key={key}, white={white})")
+            }
+            PipelineOp::HistogramEq { bins } => write!(f, "histogram-eq({bins})"),
+        }
+    }
+}
+
+/// The catalogue tag of a [`PipelineOp`] — what a backend advertises as its
+/// supported operators ([`crate::ToneMapper`]-based engines support all of
+/// them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineOpKind {
+    /// [`PipelineOp::Normalize`].
+    Normalize,
+    /// [`PipelineOp::Invert`].
+    Invert,
+    /// [`PipelineOp::BlurMask`].
+    BlurMask,
+    /// [`PipelineOp::Mask`].
+    Mask,
+    /// [`PipelineOp::Adjust`].
+    Adjust,
+    /// [`PipelineOp::Gamma`].
+    Gamma,
+    /// [`PipelineOp::LogCurve`].
+    LogCurve,
+    /// [`PipelineOp::Reinhard`].
+    Reinhard,
+    /// [`PipelineOp::HistogramEq`].
+    HistogramEq,
+}
+
+impl PipelineOpKind {
+    /// Every operator kind, in catalogue order.
+    pub const ALL: [PipelineOpKind; 9] = [
+        PipelineOpKind::Normalize,
+        PipelineOpKind::Invert,
+        PipelineOpKind::BlurMask,
+        PipelineOpKind::Mask,
+        PipelineOpKind::Adjust,
+        PipelineOpKind::Gamma,
+        PipelineOpKind::LogCurve,
+        PipelineOpKind::Reinhard,
+        PipelineOpKind::HistogramEq,
+    ];
+}
+
+impl fmt::Display for PipelineOpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            PipelineOpKind::Normalize => "normalize",
+            PipelineOpKind::Invert => "invert",
+            PipelineOpKind::BlurMask => "blur-mask",
+            PipelineOpKind::Mask => "mask",
+            PipelineOpKind::Adjust => "adjust",
+            PipelineOpKind::Gamma => "gamma",
+            PipelineOpKind::LogCurve => "log-curve",
+            PipelineOpKind::Reinhard => "reinhard",
+            PipelineOpKind::HistogramEq => "histogram-eq",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A typed description of why a stage sequence is not a valid plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlanError {
+    /// The plan has no stages.
+    EmptyPlan,
+    /// [`PipelineOp::Normalize`] appears after the first stage; its
+    /// max-reduction is only defined over the raw input.
+    NormalizeNotFirst {
+        /// Index of the offending stage.
+        index: usize,
+    },
+    /// A [`PipelineOp::Mask`] stage has no preceding un-consumed
+    /// [`PipelineOp::BlurMask`] to read its mask from.
+    MaskWithoutBlur {
+        /// Index of the offending stage.
+        index: usize,
+    },
+    /// A [`PipelineOp::BlurMask`] produced a mask that no later
+    /// [`PipelineOp::Mask`] consumes (either overwritten by another blur or
+    /// dangling at the end of the plan).
+    UnconsumedMask {
+        /// Index of the producing stage.
+        index: usize,
+    },
+    /// A stage re-uses the classic parameter structs and fails their
+    /// validation.
+    InvalidStage(ParamError),
+    /// A gamma exponent that is not positive and finite.
+    InvalidGamma(f32),
+    /// A log-curve scale that is not positive and finite.
+    InvalidLogScale(f32),
+    /// A Reinhard key that is not positive and finite.
+    InvalidReinhardKey(f32),
+    /// A Reinhard white point that is not positive and finite.
+    InvalidReinhardWhite(f32),
+    /// A histogram bin count outside `2..=65536`.
+    InvalidBins(usize),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::EmptyPlan => write!(f, "a pipeline plan needs at least one stage"),
+            PlanError::NormalizeNotFirst { index } => write!(
+                f,
+                "normalize at stage {index}: the max-reduction is only defined over the raw \
+                 input, so normalize must be the first stage"
+            ),
+            PlanError::MaskWithoutBlur { index } => write!(
+                f,
+                "mask at stage {index} has no preceding blur-mask stage to consume"
+            ),
+            PlanError::UnconsumedMask { index } => write!(
+                f,
+                "blur-mask at stage {index} produces a mask no later mask stage consumes"
+            ),
+            PlanError::InvalidStage(e) => write!(f, "invalid stage parameters: {e}"),
+            PlanError::InvalidGamma(g) => {
+                write!(f, "gamma exponent must be positive and finite, got {g}")
+            }
+            PlanError::InvalidLogScale(s) => {
+                write!(f, "log-curve scale must be positive and finite, got {s}")
+            }
+            PlanError::InvalidReinhardKey(k) => {
+                write!(f, "Reinhard key must be positive and finite, got {k}")
+            }
+            PlanError::InvalidReinhardWhite(w) => {
+                write!(
+                    f,
+                    "Reinhard white point must be positive and finite, got {w}"
+                )
+            }
+            PlanError::InvalidBins(b) => {
+                write!(f, "histogram bin count must be in 2..=65536, got {b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanError::InvalidStage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Optional knobs the named presets accept (the `pipeline=` spec keys of
+/// the engine layer map straight onto these). Unset fields keep the preset
+/// defaults.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PlanTuning {
+    /// Reinhard exposure key ([`PipelineOp::Reinhard::key`]).
+    pub reinhard_key: Option<f32>,
+    /// Reinhard white point ([`PipelineOp::Reinhard::white`]).
+    pub reinhard_white: Option<f32>,
+    /// Histogram level count ([`PipelineOp::HistogramEq::bins`]).
+    pub bins: Option<usize>,
+    /// Gamma exponent ([`PipelineOp::Gamma::gamma`]).
+    pub gamma: Option<f32>,
+    /// Log-curve compression strength ([`PipelineOp::LogCurve::scale`]).
+    pub log_scale: Option<f32>,
+}
+
+/// A validated, ordered sequence of pipeline operators — the unit both
+/// planners compile.
+///
+/// # Example
+///
+/// ```
+/// use tonemap_core::plan::{PipelineOp, PipelinePlan};
+/// use tonemap_core::ToneMapParams;
+///
+/// // Fig. 1, as data.
+/// let paper = PipelinePlan::paper_default();
+/// assert_eq!(paper.ops().len(), 4);
+///
+/// // A genuinely different operator: global Reinhard.
+/// let reinhard = PipelinePlan::new(vec![
+///     PipelineOp::Normalize,
+///     PipelineOp::Reinhard { key: 8.0, white: 8.0 },
+/// ])?;
+/// assert!(reinhard.stencil_stages().next().is_none());
+///
+/// // Invalid sequences are typed errors, not panics.
+/// let params = ToneMapParams::paper_default();
+/// assert!(PipelinePlan::new(vec![PipelineOp::Mask(params.masking)]).is_err());
+/// # Ok::<(), tonemap_core::plan::PlanError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelinePlan {
+    ops: Vec<PipelineOp>,
+}
+
+impl PipelinePlan {
+    /// The named presets [`PipelinePlan::preset`] resolves, in catalogue
+    /// order.
+    pub const PRESETS: [&'static str; 5] = ["paper", "reinhard", "histeq", "gamma", "log"];
+
+    /// Validates `ops` into a plan.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PlanError`]: empty plans, a mid-plan normalize, mask/blur
+    /// pairing violations, or per-stage parameter violations.
+    pub fn new(ops: Vec<PipelineOp>) -> Result<Self, PlanError> {
+        if ops.is_empty() {
+            return Err(PlanError::EmptyPlan);
+        }
+        let mut pending_mask: Option<usize> = None;
+        for (index, op) in ops.iter().enumerate() {
+            op.validate()?;
+            match op {
+                PipelineOp::Normalize if index > 0 => {
+                    return Err(PlanError::NormalizeNotFirst { index });
+                }
+                PipelineOp::BlurMask { .. } => {
+                    if let Some(producer) = pending_mask {
+                        return Err(PlanError::UnconsumedMask { index: producer });
+                    }
+                    pending_mask = Some(index);
+                }
+                PipelineOp::Mask(_) if pending_mask.take().is_none() => {
+                    return Err(PlanError::MaskWithoutBlur { index });
+                }
+                _ => {}
+            }
+        }
+        if let Some(producer) = pending_mask {
+            return Err(PlanError::UnconsumedMask { index: producer });
+        }
+        Ok(PipelinePlan { ops })
+    }
+
+    /// Fig. 1 of the paper as a plan: normalize, blur the inverted image
+    /// into the mask, apply the non-linear masking, adjust. Compiled by
+    /// either planner this is bit-identical to the pre-redesign engines.
+    pub fn paper_default() -> Self {
+        PipelinePlan::from_params(&ToneMapParams::paper_default())
+    }
+
+    /// The Fig. 1 chain with the given stage parameters — what
+    /// [`crate::ToneMapper::try_new`] compiles.
+    ///
+    /// Invalid parameters still produce a plan; they surface as
+    /// [`PlanError::InvalidStage`] when the plan is re-validated (the
+    /// classic constructors validate [`ToneMapParams`] first, so the two
+    /// error surfaces agree).
+    pub fn from_params(params: &ToneMapParams) -> Self {
+        PipelinePlan {
+            ops: vec![
+                PipelineOp::Normalize,
+                PipelineOp::BlurMask {
+                    blur: params.blur,
+                    invert_input: params.masking.invert_mask,
+                },
+                PipelineOp::Mask(params.masking),
+                PipelineOp::Adjust(params.adjust),
+            ],
+        }
+    }
+
+    /// Resolves a named preset with optional tuning. `params` seeds the
+    /// classic stages (blur/masking/adjust) of parameterised presets.
+    ///
+    /// | name | plan |
+    /// |---|---|
+    /// | `paper` | the Fig. 1 chain ([`PipelinePlan::from_params`]) |
+    /// | `reinhard` | normalize → global Reinhard (key 8, white 8) |
+    /// | `histeq` | normalize → histogram equalization (256 bins) |
+    /// | `gamma` | normalize → gamma curve (γ = 1/2.2) |
+    /// | `log` | normalize → log curve (k = 100) |
+    ///
+    /// # Errors
+    ///
+    /// `Ok(None)` when the name is unknown; [`PlanError`] when the tuning
+    /// values are invalid.
+    pub fn preset(
+        name: &str,
+        params: &ToneMapParams,
+        tuning: &PlanTuning,
+    ) -> Result<Option<Self>, PlanError> {
+        let key = tuning.reinhard_key.unwrap_or(8.0);
+        let ops = match name {
+            "paper" => return Ok(Some(PipelinePlan::from_params(params))),
+            "reinhard" => vec![
+                PipelineOp::Normalize,
+                PipelineOp::Reinhard {
+                    key,
+                    // `white = key` maps the normalized maximum exactly to 1.
+                    white: tuning.reinhard_white.unwrap_or(key),
+                },
+            ],
+            "histeq" => vec![
+                PipelineOp::Normalize,
+                PipelineOp::HistogramEq {
+                    bins: tuning.bins.unwrap_or(256),
+                },
+            ],
+            "gamma" => vec![
+                PipelineOp::Normalize,
+                PipelineOp::Gamma {
+                    gamma: tuning.gamma.unwrap_or(1.0 / 2.2),
+                },
+            ],
+            "log" => vec![
+                PipelineOp::Normalize,
+                PipelineOp::LogCurve {
+                    scale: tuning.log_scale.unwrap_or(100.0),
+                },
+            ],
+            _ => return Ok(None),
+        };
+        PipelinePlan::new(ops).map(Some)
+    }
+
+    /// The ordered stages.
+    pub fn ops(&self) -> &[PipelineOp] {
+        &self.ops
+    }
+
+    /// `true` when this plan is exactly the Fig. 1 shape
+    /// (normalize → blur-mask → mask → adjust).
+    pub fn is_paper_shaped(&self) -> bool {
+        matches!(
+            self.ops.as_slice(),
+            [
+                PipelineOp::Normalize,
+                PipelineOp::BlurMask { .. },
+                PipelineOp::Mask(_),
+                PipelineOp::Adjust(_),
+            ]
+        )
+    }
+
+    /// `true` when the first stage normalizes the raw input.
+    pub fn starts_with_normalize(&self) -> bool {
+        matches!(self.ops.first(), Some(PipelineOp::Normalize))
+    }
+
+    /// The stencil stages of the plan (`(index, blur, invert_input)` per
+    /// [`PipelineOp::BlurMask`]), in order.
+    pub fn stencil_stages(&self) -> impl Iterator<Item = (usize, BlurParams, bool)> + '_ {
+        self.ops.iter().enumerate().filter_map(|(i, op)| match op {
+            PipelineOp::BlurMask { blur, invert_input } => Some((i, *blur, *invert_input)),
+            _ => None,
+        })
+    }
+
+    /// The reduction-backed stages that read an *intermediate* image (today:
+    /// histogram equalization), with their indices. These are what break
+    /// streaming fusion.
+    pub fn intermediate_reductions(&self) -> impl Iterator<Item = (usize, PipelineOpKind)> + '_ {
+        self.ops.iter().enumerate().filter_map(|(i, op)| match op {
+            PipelineOp::HistogramEq { .. } => Some((i, PipelineOpKind::HistogramEq)),
+            _ => None,
+        })
+    }
+
+    /// The per-stage analytic operation profile of this plan — the
+    /// plan-aware generalisation of [`PipelineProfile::analytic`] the
+    /// profiler and the platform models consume.
+    pub fn profile(&self, width: usize, height: usize, channels: usize) -> PipelineProfile {
+        PipelineProfile {
+            width,
+            height,
+            channels,
+            stages: self
+                .ops
+                .iter()
+                .map(|op| StageProfile {
+                    stage: op.stage_kind(),
+                    ops: op.op_counts(width, height, channels),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for PipelinePlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" → ")?;
+            }
+            write!(f, "{op}")?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared per-sample math of the new point operators.
+//
+// These are `f32` helpers used by every schedule (two-pass all-sample,
+// two-pass hardware-split, and the streaming epilog), so the planners stay
+// bit-identical to each other on the point stages.
+// ---------------------------------------------------------------------------
+
+/// One global-Reinhard sample: `L·(1 + L/white²)/(1 + L)` with `L = key·x`.
+#[inline]
+pub fn reinhard_sample(value: f32, key: f32, white: f32) -> f32 {
+    let l = key * value.max(0.0);
+    (l * (1.0 + l / (white * white)) / (1.0 + l)).clamp(0.0, 1.0)
+}
+
+/// One log-curve sample: `ln(1 + scale·x) / ln(1 + scale)`.
+#[inline]
+pub fn log_curve_sample(value: f32, scale: f32) -> f32 {
+    ((1.0 + scale * value.max(0.0)).ln() / (1.0 + scale).ln()).clamp(0.0, 1.0)
+}
+
+/// The histogram level of a sample in `[0, 1]` for a `bins`-level histogram.
+#[inline]
+pub fn histogram_level(value: f32, bins: usize) -> usize {
+    // NaN casts to 0, so poisoned samples land deterministically in bin 0.
+    ((value.clamp(0.0, 1.0) * (bins - 1) as f32) as usize).min(bins - 1)
+}
+
+/// Histogram-equalizes an image in the working sample type: `bins`-level
+/// histogram, CDF, remap. A constant image (nothing to equalize) is
+/// returned unchanged rather than collapsed to black.
+pub fn histogram_equalize<S: Sample>(image: &ImageBuffer<S>, bins: usize) -> ImageBuffer<S> {
+    let mut cdf = vec![0u64; bins];
+    for v in image.pixels() {
+        cdf[histogram_level(v.to_f32(), bins)] += 1;
+    }
+    let mut sum = 0u64;
+    for c in cdf.iter_mut() {
+        sum += *c;
+        *c = sum;
+    }
+    let total = image.pixel_count() as u64;
+    let cdf_min = cdf.iter().copied().find(|&c| c > 0).unwrap_or(0);
+    if total <= cdf_min {
+        // Every pixel sits in one bin: the equalized image is degenerate,
+        // keep the input.
+        return image.clone();
+    }
+    let denom = (total - cdf_min) as f64;
+    image.map(|&v| {
+        let level = histogram_level(v.to_f32(), bins);
+        S::from_f32((((cdf[level] - cdf_min) as f64) / denom) as f32).clamp01()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The two-pass (materialized) compilation of a plan.
+// ---------------------------------------------------------------------------
+
+/// Applies one non-stencil op to the image register in the working sample
+/// type — the stage dispatch shared by both two-pass modes (and, for the
+/// point ops, numerically identical to the streaming epilog).
+fn apply_register_op<S: Sample>(
+    img: ImageBuffer<S>,
+    op: &PipelineOp,
+    mask: &mut Option<ImageBuffer<S>>,
+) -> ImageBuffer<S> {
+    match *op {
+        PipelineOp::Normalize | PipelineOp::BlurMask { .. } => {
+            unreachable!("normalize and blur-mask are handled by the executors")
+        }
+        PipelineOp::Invert => crate::masking::invert(&img),
+        PipelineOp::Mask(masking) => {
+            let mask = mask.take().expect("plan validation pairs mask with blur");
+            crate::masking::apply_masking(&img, &mask, &masking)
+        }
+        PipelineOp::Adjust(adjust) => crate::adjust::apply_adjustment(&img, &adjust),
+        PipelineOp::Gamma { gamma } => img.map(|&v| v.powf(gamma).clamp01()),
+        PipelineOp::LogCurve { scale } => {
+            img.map(|&v| S::from_f32(log_curve_sample(v.to_f32(), scale)).clamp01())
+        }
+        PipelineOp::Reinhard { key, white } => {
+            img.map(|&v| S::from_f32(reinhard_sample(v.to_f32(), key, white)).clamp01())
+        }
+        PipelineOp::HistogramEq { bins } => histogram_equalize(&img, bins),
+    }
+}
+
+/// Two-pass execution with *every* stage in the working sample type `S` —
+/// the schedule of [`crate::ToneMapper::map_luminance`] (software reference
+/// when `S = f32`, the all-fixed ablation otherwise). For the paper plan
+/// this calls exactly the stage functions the pre-redesign chain called, in
+/// the same order, so outputs are bit-identical.
+pub(crate) fn execute_plan<S: Sample>(plan: &PipelinePlan, hdr: &LuminanceImage) -> ImageBuffer<S> {
+    let mut ops = plan.ops().iter();
+    let mut img: ImageBuffer<S> = if plan.starts_with_normalize() {
+        ops.next();
+        crate::normalize::normalize_to::<S>(hdr)
+    } else {
+        hdr.map(|&v| S::from_f32(normalize_sample(v, None)))
+    };
+    let mut mask: Option<ImageBuffer<S>> = None;
+    for op in ops {
+        match *op {
+            PipelineOp::BlurMask { blur, invert_input } => {
+                let mask_input = if invert_input {
+                    crate::masking::invert(&img)
+                } else {
+                    img.clone()
+                };
+                mask = Some(crate::blur::blur_separable(&mask_input, &blur));
+            }
+            _ => img = apply_register_op(img, op, &mut mask),
+        }
+    }
+    img
+}
+
+/// Two-pass execution with the paper's hardware/software split: every
+/// point/reduction stage in `f32` (the processing system), the stencil in
+/// `S` with quantisation at the accelerator boundary (the DDR → BRAM → DDR
+/// round trip of Fig. 4) — the schedule of
+/// [`crate::ToneMapper::map_luminance_hw_blur`].
+pub(crate) fn execute_plan_hw_blur<S: Sample>(
+    plan: &PipelinePlan,
+    hdr: &LuminanceImage,
+) -> LuminanceImage {
+    let mut ops = plan.ops().iter();
+    let mut img: LuminanceImage = if plan.starts_with_normalize() {
+        ops.next();
+        crate::normalize::normalize(hdr)
+    } else {
+        hdr.map(|&v| normalize_sample(v, None))
+    };
+    let mut mask: Option<LuminanceImage> = None;
+    for op in ops {
+        match *op {
+            PipelineOp::BlurMask { blur, invert_input } => {
+                let mask_input = if invert_input {
+                    img.map(|&v| 1.0 - v)
+                } else {
+                    img.clone()
+                };
+                let accel_in: ImageBuffer<S> = mask_input.map(|&v| S::from_f32(v));
+                let accel_out = crate::blur::blur_separable(&accel_in, &blur);
+                mask = Some(accel_out.map(|&v| v.to_f32()));
+            }
+            _ => img = apply_register_op(img, op, &mut mask),
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apfixed::Fix16;
+    use hdr_image::synth::SceneKind;
+
+    #[test]
+    fn paper_default_is_the_fig1_chain() {
+        let plan = PipelinePlan::paper_default();
+        assert!(plan.is_paper_shaped());
+        assert!(plan.starts_with_normalize());
+        assert_eq!(plan.ops().len(), 4);
+        assert_eq!(plan.stencil_stages().count(), 1);
+        assert_eq!(plan.intermediate_reductions().count(), 0);
+        let (index, blur, inverted) = plan.stencil_stages().next().unwrap();
+        assert_eq!(index, 1);
+        assert_eq!(blur, BlurParams::paper_default());
+        assert!(inverted);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_sequences() {
+        let masking = MaskingParams::paper_default();
+        let blur = BlurParams::paper_default();
+        assert_eq!(PipelinePlan::new(vec![]), Err(PlanError::EmptyPlan));
+        assert_eq!(
+            PipelinePlan::new(vec![PipelineOp::Invert, PipelineOp::Normalize]),
+            Err(PlanError::NormalizeNotFirst { index: 1 })
+        );
+        assert_eq!(
+            PipelinePlan::new(vec![PipelineOp::Normalize, PipelineOp::Mask(masking)]),
+            Err(PlanError::MaskWithoutBlur { index: 1 })
+        );
+        assert_eq!(
+            PipelinePlan::new(vec![PipelineOp::BlurMask {
+                blur,
+                invert_input: true
+            }]),
+            Err(PlanError::UnconsumedMask { index: 0 })
+        );
+        assert_eq!(
+            PipelinePlan::new(vec![
+                PipelineOp::BlurMask {
+                    blur,
+                    invert_input: true
+                },
+                PipelineOp::BlurMask {
+                    blur,
+                    invert_input: false
+                },
+                PipelineOp::Mask(masking),
+            ]),
+            Err(PlanError::UnconsumedMask { index: 0 })
+        );
+        assert_eq!(
+            PipelinePlan::new(vec![PipelineOp::Gamma { gamma: 0.0 }]),
+            Err(PlanError::InvalidGamma(0.0))
+        );
+        assert_eq!(
+            PipelinePlan::new(vec![PipelineOp::HistogramEq { bins: 1 }]),
+            Err(PlanError::InvalidBins(1))
+        );
+        assert!(matches!(
+            PipelinePlan::new(vec![PipelineOp::Reinhard {
+                key: f32::NAN,
+                white: 1.0
+            }]),
+            Err(PlanError::InvalidReinhardKey(_))
+        ));
+        let mut bad_blur = blur;
+        bad_blur.radius = 0;
+        assert_eq!(
+            PipelinePlan::new(vec![
+                PipelineOp::BlurMask {
+                    blur: bad_blur,
+                    invert_input: true
+                },
+                PipelineOp::Mask(masking)
+            ]),
+            Err(PlanError::InvalidStage(ParamError::ZeroBlurRadius))
+        );
+    }
+
+    #[test]
+    fn two_blur_mask_pairs_are_a_valid_plan() {
+        let blur = BlurParams {
+            sigma: 2.0,
+            radius: 4,
+        };
+        let masking = MaskingParams::paper_default();
+        let plan = PipelinePlan::new(vec![
+            PipelineOp::Normalize,
+            PipelineOp::BlurMask {
+                blur,
+                invert_input: true,
+            },
+            PipelineOp::Mask(masking),
+            PipelineOp::BlurMask {
+                blur,
+                invert_input: false,
+            },
+            PipelineOp::Mask(masking),
+        ])
+        .expect("paired blur/mask sequences validate");
+        assert_eq!(plan.stencil_stages().count(), 2);
+    }
+
+    #[test]
+    fn presets_resolve_and_apply_tuning() {
+        let params = ToneMapParams::paper_default();
+        let tuning = PlanTuning::default();
+        for name in PipelinePlan::PRESETS {
+            let plan = PipelinePlan::preset(name, &params, &tuning)
+                .expect("default tuning is valid")
+                .unwrap_or_else(|| panic!("preset `{name}` must resolve"));
+            assert!(!plan.ops().is_empty());
+            assert!(plan.starts_with_normalize());
+        }
+        assert_eq!(
+            PipelinePlan::preset("vaporwave", &params, &tuning).unwrap(),
+            None
+        );
+        let tuned = PipelinePlan::preset(
+            "reinhard",
+            &params,
+            &PlanTuning {
+                reinhard_key: Some(4.0),
+                ..PlanTuning::default()
+            },
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(
+            tuned.ops()[1],
+            PipelineOp::Reinhard {
+                key: 4.0,
+                white: 4.0
+            }
+        );
+        assert!(matches!(
+            PipelinePlan::preset(
+                "histeq",
+                &params,
+                &PlanTuning {
+                    bins: Some(1),
+                    ..PlanTuning::default()
+                }
+            ),
+            Err(PlanError::InvalidBins(1))
+        ));
+    }
+
+    #[test]
+    fn plan_profile_of_the_paper_plan_matches_the_classic_analytic_profile() {
+        let params = ToneMapParams::paper_default();
+        let plan = PipelinePlan::from_params(&params);
+        let a = plan.profile(640, 480, params.channels);
+        let b = PipelineProfile::analytic(&params, 640, 480);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn new_operators_profile_nonzero_work() {
+        let plan = PipelinePlan::new(vec![
+            PipelineOp::Normalize,
+            PipelineOp::Reinhard {
+                key: 8.0,
+                white: 8.0,
+            },
+            PipelineOp::HistogramEq { bins: 64 },
+        ])
+        .unwrap();
+        let profile = plan.profile(32, 32, 3);
+        assert_eq!(profile.stages.len(), 3);
+        for stage in &profile.stages {
+            assert!(
+                stage.ops.total() > 0,
+                "{:?} profiled zero work",
+                stage.stage
+            );
+        }
+    }
+
+    #[test]
+    fn reinhard_curve_is_monotone_and_maps_key_to_white() {
+        let mut last = -1.0f32;
+        for i in 0..=100 {
+            let x = i as f32 / 100.0;
+            let y = reinhard_sample(x, 8.0, 8.0);
+            assert!((0.0..=1.0).contains(&y));
+            assert!(y >= last, "not monotone at {x}");
+            last = y;
+        }
+        assert!((reinhard_sample(1.0, 8.0, 8.0) - 1.0).abs() < 1e-6);
+        assert_eq!(reinhard_sample(0.0, 8.0, 8.0), 0.0);
+        // Brightens dark content, like a tone mapper should.
+        assert!(reinhard_sample(0.05, 8.0, 8.0) > 0.25);
+    }
+
+    #[test]
+    fn log_curve_is_monotone_and_normalized() {
+        assert_eq!(log_curve_sample(0.0, 100.0), 0.0);
+        assert!((log_curve_sample(1.0, 100.0) - 1.0).abs() < 1e-6);
+        assert!(log_curve_sample(0.01, 100.0) > 0.1);
+    }
+
+    #[test]
+    fn histogram_equalize_flattens_and_keeps_constants() {
+        // A dark-skewed ramp equalizes towards uniform.
+        let img = LuminanceImage::from_fn(64, 64, |x, y| {
+            ((x + 64 * y) as f32 / 4095.0).powi(3).clamp(0.0, 1.0)
+        });
+        let eq = histogram_equalize::<f32>(&img, 256);
+        // A uniform-ish equalized histogram has mean ≈ 0.5; the cubed ramp
+        // sits at 0.25.
+        assert!(eq.mean() > 1.7 * img.mean());
+        for &v in eq.pixels() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+        // Monotonicity: equalization never reorders pixels.
+        let mut pairs: Vec<(f32, f32)> = img
+            .pixels()
+            .iter()
+            .copied()
+            .zip(eq.pixels().iter().copied())
+            .collect();
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in pairs.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        // Constant images are returned unchanged, not collapsed to black.
+        let flat = LuminanceImage::filled(8, 8, 0.42);
+        assert_eq!(histogram_equalize::<f32>(&flat, 256), flat);
+    }
+
+    #[test]
+    fn histogram_level_is_total_and_in_range() {
+        for bins in [2usize, 7, 256] {
+            assert_eq!(histogram_level(0.0, bins), 0);
+            assert_eq!(histogram_level(1.0, bins), bins - 1);
+            assert_eq!(histogram_level(-3.0, bins), 0);
+            assert_eq!(histogram_level(7.5, bins), bins - 1);
+            assert_eq!(histogram_level(f32::NAN, bins), 0);
+        }
+    }
+
+    #[test]
+    fn hw_split_executor_with_f32_matches_the_all_sample_executor() {
+        let hdr = SceneKind::WindowInDarkRoom.generate(40, 33, 5);
+        let plan = PipelinePlan::paper_default();
+        let all = execute_plan::<f32>(&plan, &hdr).map(|&v| v.to_f32());
+        let split = execute_plan_hw_blur::<f32>(&plan, &hdr);
+        assert_eq!(all, split);
+    }
+
+    #[test]
+    fn executors_run_new_operator_plans_in_both_sample_types() {
+        let hdr = SceneKind::SunAndShadow.generate(24, 24, 9);
+        for name in ["reinhard", "histeq", "gamma", "log"] {
+            let plan = PipelinePlan::preset(
+                name,
+                &ToneMapParams::paper_default(),
+                &PlanTuning::default(),
+            )
+            .unwrap()
+            .unwrap();
+            let f = execute_plan_hw_blur::<f32>(&plan, &hdr);
+            assert!(f.pixels().iter().all(|v| (0.0..=1.0).contains(v)), "{name}");
+            let fx = execute_plan::<Fix16>(&plan, &hdr);
+            for (a, b) in f.pixels().iter().zip(fx.pixels()) {
+                assert!(
+                    (a - b.to_f32()).abs() < 0.05,
+                    "{name}: f32 {a} vs fix {}",
+                    b.to_f32()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_summarises_the_plan() {
+        let text = PipelinePlan::paper_default().to_string();
+        assert!(text.contains("normalize"));
+        assert!(text.contains("blur-mask"));
+        assert!(text.contains("→"));
+        for kind in PipelineOpKind::ALL {
+            assert!(!kind.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn plan_errors_display_their_cause() {
+        assert!(PlanError::EmptyPlan.to_string().contains("at least one"));
+        assert!(PlanError::NormalizeNotFirst { index: 2 }
+            .to_string()
+            .contains("first"));
+        assert!(PlanError::InvalidBins(0).to_string().contains("65536"));
+        let wrapped = PlanError::InvalidStage(ParamError::ZeroBlurRadius);
+        assert!(wrapped.to_string().contains("radius"));
+        use std::error::Error;
+        assert!(wrapped.source().is_some());
+    }
+}

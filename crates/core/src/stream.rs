@@ -1,35 +1,42 @@
-//! Streaming single-pass execution — the Fig. 4 line buffer in software.
+//! The streaming pipeline planner — the Fig. 4 line buffer in software.
 //!
-//! [`crate::ToneMapper::run_stages`] materialises a full-size intermediate
-//! image after every stage (normalized, inverted, horizontally blurred,
-//! vertically blurred, masked, adjusted) — six full DDR round trips for one
-//! output, exactly the memory traffic the paper's restructured accelerator
-//! eliminates with its BRAM line buffer. [`StreamingToneMapper`] is the
-//! software analogue of that restructuring: the whole pipeline runs as one
-//! raster-order pass in which
+//! [`crate::ToneMapper`] materialises a full-size intermediate image after
+//! every stage of its plan — one DDR round trip per stage, exactly the
+//! memory traffic the paper's restructured accelerator eliminates with its
+//! BRAM line buffer. [`StreamingToneMapper`] is the software analogue of
+//! that restructuring, generalised to any [`PipelinePlan`]: it *compiles*
+//! the plan and decides, stage class by stage class, whether the whole
+//! thing can run as one fused raster-order pass:
 //!
-//! * each input row is normalized, inverted and horizontally blurred the
-//!   moment it is first needed, into a **rolling ring of `2·radius + 1`
-//!   rows** (the line buffer), and
-//! * each output row is produced by the vertical blur over the ring plus the
-//!   fused point-wise masking and adjustment — no full-size intermediate is
-//!   ever allocated.
+//! * **point ops** (normalize, invert, mask, adjust, gamma, log curve,
+//!   Reinhard) fuse freely into the per-sample prolog/epilog chains;
+//! * **one stencil op** (the separable Gaussian blur) becomes the rolling
+//!   ring of `2·radius + 1` horizontally-blurred rows — the line buffer;
+//! * **reductions over an intermediate** (histogram equalization) and
+//!   **additional stencil stages** cannot stream in one pass: the planner
+//!   reports *why* ([`FusionBlocker`]) and falls back to the two-pass
+//!   executor, exactly as an HLS dataflow region breaks at a
+//!   non-streamable dependence.
 //!
-//! The arithmetic is *bit-identical* to the two-pass reference: every sample
-//! goes through the same operations in the same order
-//! ([`crate::normalize::normalize_sample`],
+//! The compiled decision is inspectable through
+//! [`StreamingToneMapper::decision`].
+//!
+//! When fusion succeeds, the arithmetic is *bit-identical* to the two-pass
+//! planner: every sample goes through the same operations in the same
+//! order ([`crate::normalize::normalize_sample`],
 //! [`crate::blur::quantize_kernel`]'s taps applied in ascending tap order,
-//! [`crate::masking::masked_sample`], [`crate::adjust::adjusted_sample`]),
-//! only the schedule changes. That makes the streaming engines drop-in
-//! replacements whose outputs equal the classic engines' exactly — the
-//! property the paper relies on when it swaps the software blur for the
-//! line-buffered accelerator.
+//! [`crate::masking::masked_sample`], [`crate::adjust::adjusted_sample`],
+//! and the shared point-curve helpers in [`crate::plan`]), only the
+//! schedule changes. That makes the streaming engines drop-in replacements
+//! whose outputs equal the classic engines' exactly — the property the
+//! paper relies on when it swaps the software blur for the line-buffered
+//! accelerator.
 //!
-//! Like [`crate::ToneMapper::run_stages_hw_blur`], the pipeline uses the
+//! Like [`crate::ToneMapper::map_luminance_hw_blur`], the pipeline uses the
 //! paper's hardware/software split: the point-wise stages compute in `f32`
-//! (the processing system) while the blur computes in the sample type `S`
-//! (the programmable logic), with quantisation at the accelerator boundary.
-//! `S = f32` therefore reproduces the pure software reference and
+//! (the processing system) while the stencil computes in the sample type
+//! `S` (the programmable logic), with quantisation at the accelerator
+//! boundary. `S = f32` therefore reproduces the pure software reference and
 //! `S = apfixed::Fix16` the paper's final fixed-point accelerator.
 //!
 //! Rows are an embarrassingly parallel unit: [`StreamingToneMapper`] can
@@ -50,18 +57,250 @@
 //! let streaming = StreamingToneMapper::<f32>::new(ToneMapParams::paper_default());
 //! // Same pixels, one pass, no full-size intermediates.
 //! assert_eq!(streaming.map_luminance(&hdr), classic.map_luminance_f32(&hdr));
+//! assert!(streaming.decision().is_fused());
 //! ```
 
 use crate::adjust::adjusted_sample;
 use crate::blur::{gaussian_kernel, quantize_kernel};
 use crate::masking::masked_sample;
 use crate::normalize::{normalization_scale, normalize_sample};
-use crate::params::{ParamError, ToneMapParams};
+use crate::params::{MaskingParams, ParamError, ToneMapParams};
+use crate::plan::{
+    execute_plan_hw_blur, log_curve_sample, reinhard_sample, PipelineOp, PipelineOpKind,
+    PipelinePlan,
+};
 use crate::sample::Sample;
 use hdr_image::LuminanceImage;
+use std::fmt;
 
-/// The streaming tone mapper: one raster-order pass over the image with a
-/// rolling row ring buffer, no full-size intermediates.
+/// Why a plan could not be fused into one raster-order streaming pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusionBlocker {
+    /// A reduction-backed op reads a full *intermediate* image (its
+    /// histogram/CDF must exist before the first output pixel), forcing a
+    /// materialized pre-pass.
+    ReductionOverIntermediate {
+        /// Index of the stage in the plan.
+        index: usize,
+        /// Which reduction op blocked fusion.
+        op: PipelineOpKind,
+    },
+    /// More than one stencil stage: each separable blur needs its own line
+    /// buffer over the *previous stage's* rows, so a second blur starts a
+    /// new pass.
+    MultipleStencils {
+        /// How many stencil stages the plan has.
+        count: usize,
+    },
+}
+
+impl fmt::Display for FusionBlocker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FusionBlocker::ReductionOverIntermediate { index, op } => write!(
+                f,
+                "stage {index} ({op}) reduces over an intermediate image, which must be \
+                 materialized before the first output pixel can stream"
+            ),
+            FusionBlocker::MultipleStencils { count } => write!(
+                f,
+                "{count} stencil stages: each needs its own line-buffer pass, so the plan \
+                 cannot fuse into one"
+            ),
+        }
+    }
+}
+
+/// The streaming planner's verdict on a compiled plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamingDecision {
+    /// The whole plan runs as one fused raster-order pass.
+    Fused,
+    /// The plan executes through the two-pass (materialized) executor, for
+    /// the listed reasons.
+    MaterializedFallback {
+        /// Every blocker the planner found, in stage order.
+        reasons: Vec<FusionBlocker>,
+    },
+}
+
+impl StreamingDecision {
+    /// `true` when the plan streams as one fused pass.
+    pub fn is_fused(&self) -> bool {
+        matches!(self, StreamingDecision::Fused)
+    }
+
+    /// The fusion blockers (empty when fused).
+    pub fn reasons(&self) -> &[FusionBlocker] {
+        match self {
+            StreamingDecision::Fused => &[],
+            StreamingDecision::MaterializedFallback { reasons } => reasons,
+        }
+    }
+}
+
+impl fmt::Display for StreamingDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamingDecision::Fused => f.write_str("fused into one raster-order pass"),
+            StreamingDecision::MaterializedFallback { reasons } => {
+                f.write_str("materialized two-pass fallback: ")?;
+                for (i, reason) in reasons.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str("; ")?;
+                    }
+                    write!(f, "{reason}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A point op compiled for the per-sample `f32` chains of the fused pass.
+/// Each arm applies exactly the arithmetic of the two-pass stage functions,
+/// so fused and materialized execution stay bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CompiledPointOp {
+    Invert,
+    Mask(MaskingParams),
+    Adjust { contrast: f32, offset: f32 },
+    Gamma(f32),
+    LogCurve(f32),
+    Reinhard { key: f32, white: f32 },
+}
+
+impl CompiledPointOp {
+    fn from_op(op: &PipelineOp) -> Self {
+        match *op {
+            PipelineOp::Invert => CompiledPointOp::Invert,
+            PipelineOp::Mask(masking) => CompiledPointOp::Mask(masking),
+            PipelineOp::Adjust(adjust) => CompiledPointOp::Adjust {
+                contrast: adjust.contrast,
+                offset: 0.5 + adjust.brightness,
+            },
+            PipelineOp::Gamma { gamma } => CompiledPointOp::Gamma(gamma),
+            PipelineOp::LogCurve { scale } => CompiledPointOp::LogCurve(scale),
+            PipelineOp::Reinhard { key, white } => CompiledPointOp::Reinhard { key, white },
+            PipelineOp::Normalize
+            | PipelineOp::BlurMask { .. }
+            | PipelineOp::HistogramEq { .. } => {
+                unreachable!("handled by the fused-program compiler")
+            }
+        }
+    }
+
+    #[inline]
+    fn apply(&self, value: f32, mask: Option<f32>) -> f32 {
+        match *self {
+            CompiledPointOp::Invert => 1.0 - value,
+            CompiledPointOp::Mask(masking) => masked_sample(
+                value,
+                mask.expect("plan validation pairs mask with blur"),
+                &masking,
+            ),
+            CompiledPointOp::Adjust { contrast, offset } => {
+                adjusted_sample(value, 0.5f32, contrast, offset)
+            }
+            CompiledPointOp::Gamma(gamma) => Sample::powf(value, gamma).clamp01(),
+            CompiledPointOp::LogCurve(scale) => log_curve_sample(value, scale),
+            CompiledPointOp::Reinhard { key, white } => reinhard_sample(value, key, white),
+        }
+    }
+}
+
+/// The stencil stage of a fused program: the quantised kernel plus the
+/// Moroney input inversion at the accelerator boundary.
+#[derive(Debug, Clone, PartialEq)]
+struct Stencil<S: Sample> {
+    kernel: Vec<S>,
+    invert_input: bool,
+}
+
+/// A plan compiled for one fused raster-order pass.
+#[derive(Debug, Clone, PartialEq)]
+struct FusedProgram<S: Sample> {
+    /// Whether the plan starts with normalization (resolved by the scale
+    /// pre-scan over the raw input).
+    normalize: bool,
+    /// Point ops between the (optional) normalize and the stencil.
+    prolog: Vec<CompiledPointOp>,
+    /// The single stencil stage, if the plan has one.
+    stencil: Option<Stencil<S>>,
+    /// Point ops after the stencil (including the mask consumer).
+    epilog: Vec<CompiledPointOp>,
+}
+
+impl<S: Sample> FusedProgram<S> {
+    /// The per-sample image value *before* the epilog: ingest + prolog.
+    #[inline]
+    fn point_value(&self, raw: f32, scale: Option<f32>) -> f32 {
+        let mut v = normalize_sample(raw, scale);
+        for op in &self.prolog {
+            v = op.apply(v, None);
+        }
+        v
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Program<S: Sample> {
+    Fused(FusedProgram<S>),
+    Fallback(Vec<FusionBlocker>),
+}
+
+fn compile_program<S: Sample>(plan: &PipelinePlan) -> Program<S> {
+    let mut reasons: Vec<FusionBlocker> = plan
+        .intermediate_reductions()
+        .map(|(index, op)| FusionBlocker::ReductionOverIntermediate { index, op })
+        .collect();
+    let stencil_count = plan.stencil_stages().count();
+    if stencil_count > 1 {
+        reasons.push(FusionBlocker::MultipleStencils {
+            count: stencil_count,
+        });
+    }
+    if !reasons.is_empty() {
+        reasons.sort_by_key(|r| match *r {
+            FusionBlocker::ReductionOverIntermediate { index, .. } => index,
+            FusionBlocker::MultipleStencils { .. } => usize::MAX,
+        });
+        return Program::Fallback(reasons);
+    }
+
+    let normalize = plan.starts_with_normalize();
+    let mut prolog = Vec::new();
+    let mut stencil = None;
+    let mut epilog = Vec::new();
+    for op in plan.ops().iter().skip(usize::from(normalize)) {
+        match op {
+            PipelineOp::BlurMask { blur, invert_input } => {
+                stencil = Some(Stencil {
+                    kernel: quantize_kernel::<S>(&gaussian_kernel(blur)),
+                    invert_input: *invert_input,
+                });
+            }
+            _ => {
+                let compiled = CompiledPointOp::from_op(op);
+                if stencil.is_some() {
+                    epilog.push(compiled);
+                } else {
+                    prolog.push(compiled);
+                }
+            }
+        }
+    }
+    Program::Fused(FusedProgram {
+        normalize,
+        prolog,
+        stencil,
+        epilog,
+    })
+}
+
+/// The streaming tone mapper: a [`PipelinePlan`] compiled for one
+/// raster-order pass over the image with a rolling row ring buffer, no
+/// full-size intermediates.
 ///
 /// Unlike [`crate::ToneMapper`], the blur kernel is quantised into `S`
 /// **once at construction** and reused for every image this mapper
@@ -70,13 +309,14 @@ use hdr_image::LuminanceImage;
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamingToneMapper<S: Sample> {
     params: ToneMapParams,
-    kernel: Vec<S>,
+    plan: PipelinePlan,
+    program: Program<S>,
     threads: usize,
 }
 
 impl<S: Sample> StreamingToneMapper<S> {
-    /// Creates a streaming mapper with the given parameters, single-threaded
-    /// by default.
+    /// Creates a streaming mapper compiling the paper's Fig. 1 chain from
+    /// the given parameters, single-threaded by default.
     ///
     /// # Panics
     ///
@@ -88,16 +328,39 @@ impl<S: Sample> StreamingToneMapper<S> {
             .unwrap_or_else(|e| panic!("invalid tone-mapping parameters: {e}"))
     }
 
-    /// Creates a streaming mapper, returning a typed [`ParamError`] if the
-    /// parameters are invalid. The blur kernel is quantised into `S` here,
-    /// once.
+    /// Creates a streaming mapper compiling the paper's Fig. 1 chain,
+    /// returning a typed [`ParamError`] if the parameters are invalid. The
+    /// blur kernel is quantised into `S` here, once.
     pub fn try_new(params: ToneMapParams) -> Result<Self, ParamError> {
         params.validate()?;
-        Ok(StreamingToneMapper {
+        Ok(StreamingToneMapper::compiled(
+            PipelinePlan::from_params(&params),
             params,
-            kernel: quantize_kernel::<S>(&gaussian_kernel(&params.blur)),
+        ))
+    }
+
+    /// Compiles an arbitrary validated [`PipelinePlan`] for streaming
+    /// execution. Plans that cannot fuse (reductions over intermediates,
+    /// multiple stencils) still execute — through the two-pass fallback —
+    /// and [`StreamingToneMapper::decision`] reports why.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ParamError`] if `params` fail validation (the plan
+    /// itself was validated when it was built).
+    pub fn compile(plan: PipelinePlan, params: ToneMapParams) -> Result<Self, ParamError> {
+        params.validate()?;
+        Ok(StreamingToneMapper::compiled(plan, params))
+    }
+
+    fn compiled(plan: PipelinePlan, params: ToneMapParams) -> Self {
+        let program = compile_program::<S>(&plan);
+        StreamingToneMapper {
+            params,
+            plan,
+            program,
             threads: 1,
-        })
+        }
     }
 
     /// Sets how many row slices to process concurrently (clamped to at
@@ -112,117 +375,182 @@ impl<S: Sample> StreamingToneMapper<S> {
         &self.params
     }
 
+    /// The pipeline plan this mapper compiled.
+    pub const fn plan(&self) -> &PipelinePlan {
+        &self.plan
+    }
+
+    /// The planner's fusion verdict for the compiled plan — one fused pass,
+    /// or the two-pass fallback with the reasons why.
+    pub fn decision(&self) -> StreamingDecision {
+        match &self.program {
+            Program::Fused(_) => StreamingDecision::Fused,
+            Program::Fallback(reasons) => StreamingDecision::MaterializedFallback {
+                reasons: reasons.clone(),
+            },
+        }
+    }
+
     /// The configured row-slice thread count.
     pub const fn threads(&self) -> usize {
         self.threads
     }
 
     /// The blur kernel quantised into the working sample type at
-    /// construction.
+    /// construction (empty for plans without a fused stencil stage).
     pub fn kernel(&self) -> &[S] {
-        &self.kernel
+        match &self.program {
+            Program::Fused(p) => p
+                .stencil
+                .as_ref()
+                .map(|s| s.kernel.as_slice())
+                .unwrap_or(&[]),
+            Program::Fallback(_) => &[],
+        }
     }
 
-    /// Tone-maps an HDR luminance image in one streaming pass, returning
-    /// the display-referred result — the same pixels
-    /// [`crate::ToneMapper::run_stages_hw_blur`] produces (and, for
-    /// `S = f32`, the same pixels as the all-float reference).
+    /// Tone-maps an HDR luminance image through the compiled plan,
+    /// returning the display-referred result — the same pixels
+    /// [`crate::ToneMapper::map_luminance_hw_blur`] produces for the same
+    /// plan (and, for `S = f32`, the same pixels as the all-float
+    /// reference).
     pub fn map_luminance(&self, hdr: &LuminanceImage) -> LuminanceImage {
+        let program = match &self.program {
+            Program::Fallback(_) => return execute_plan_hw_blur::<S>(&self.plan, hdr),
+            Program::Fused(program) => program,
+        };
+        let scale = if program.normalize {
+            normalization_scale(hdr)
+        } else {
+            None
+        };
+        if program.stencil.is_none() {
+            // Pure point chain: every pixel is independent, nothing to
+            // ring — the rows still slice across the configured threads.
+            let (width, height) = hdr.dimensions();
+            let mut out = vec![0.0f32; width * height];
+            let point_rows = |first_row: usize, chunk: &mut [f32]| {
+                let input = &hdr.pixels()[first_row * width..first_row * width + chunk.len()];
+                for (dst, &raw) in chunk.iter_mut().zip(input) {
+                    let mut v = program.point_value(raw, scale);
+                    for op in &program.epilog {
+                        v = op.apply(v, None);
+                    }
+                    *dst = v;
+                }
+            };
+            let threads = self.threads.min(height.max(1));
+            if threads <= 1 {
+                point_rows(0, &mut out);
+            } else {
+                let rows_per_slice = height.div_ceil(threads);
+                std::thread::scope(|scope| {
+                    for (slice, chunk) in out.chunks_mut(rows_per_slice * width).enumerate() {
+                        let point_rows = &point_rows;
+                        scope.spawn(move || point_rows(slice * rows_per_slice, chunk));
+                    }
+                });
+            }
+            return LuminanceImage::from_vec(width, height, out)
+                .expect("output dimensions equal input dimensions");
+        }
         let (width, height) = hdr.dimensions();
         let mut out = vec![0.0f32; width * height];
-        let scale = normalization_scale(hdr);
         let threads = self.threads.min(height);
         if threads <= 1 {
-            self.run_rows(hdr, scale, 0, &mut out);
+            run_rows(program, hdr, scale, 0, &mut out);
         } else {
             let rows_per_slice = height.div_ceil(threads);
             std::thread::scope(|scope| {
                 for (slice, chunk) in out.chunks_mut(rows_per_slice * width).enumerate() {
                     let first_row = slice * rows_per_slice;
-                    scope.spawn(move || self.run_rows(hdr, scale, first_row, chunk));
+                    scope.spawn(move || run_rows(program, hdr, scale, first_row, chunk));
                 }
             });
         }
         LuminanceImage::from_vec(width, height, out)
             .expect("output dimensions equal input dimensions")
     }
+}
 
-    /// Processes the output rows `first_row ..` covered by `out` (a
-    /// whole-row-aligned slice of the output buffer) in raster order.
-    fn run_rows(
-        &self,
-        hdr: &LuminanceImage,
-        scale: Option<f32>,
-        first_row: usize,
-        out: &mut [f32],
-    ) {
-        let (width, height) = hdr.dimensions();
-        let rows = out.len() / width;
-        let radius = self.kernel.len() / 2;
-        let taps = self.kernel.len();
-        let invert = self.params.masking.invert_mask;
-        let half = 0.5f32;
-        let contrast = self.params.adjust.contrast;
-        let offset = 0.5 + self.params.adjust.brightness;
+/// Processes the output rows `first_row ..` covered by `out` (a
+/// whole-row-aligned slice of the output buffer) in raster order.
+fn run_rows<S: Sample>(
+    program: &FusedProgram<S>,
+    hdr: &LuminanceImage,
+    scale: Option<f32>,
+    first_row: usize,
+    out: &mut [f32],
+) {
+    let (width, height) = hdr.dimensions();
+    let rows = out.len() / width;
+    let stencil = program
+        .stencil
+        .as_ref()
+        .expect("run_rows is only entered with a stencil stage");
+    let kernel = &stencil.kernel;
+    let radius = kernel.len() / 2;
+    let taps = kernel.len();
 
-        // The line buffer of Fig. 4: a rolling ring of `2·radius + 1`
-        // horizontally blurred rows, indexed by source row modulo taps.
-        let mut ring: Vec<Vec<S>> = vec![vec![S::zero(); width]; taps.min(height)];
-        // Row-sized scratch: the edge-padded mask-input row and the
-        // vertical accumulator. Nothing here scales with the image height.
-        let mut padded: Vec<S> = vec![S::zero(); width + 2 * radius];
-        let mut vacc: Vec<S> = vec![S::zero(); width];
+    // The line buffer of Fig. 4: a rolling ring of `2·radius + 1`
+    // horizontally blurred rows, indexed by source row modulo taps.
+    let mut ring: Vec<Vec<S>> = vec![vec![S::zero(); width]; taps.min(height)];
+    // Row-sized scratch: the edge-padded mask-input row and the
+    // vertical accumulator. Nothing here scales with the image height.
+    let mut padded: Vec<S> = vec![S::zero(); width + 2 * radius];
+    let mut vacc: Vec<S> = vec![S::zero(); width];
 
-        // Rows are produced lazily, in order, the moment the vertical
-        // window first reaches them.
-        let mut next_row = first_row.saturating_sub(radius);
-        for (row_index, out_row) in out.chunks_exact_mut(width).enumerate() {
-            let y = first_row + row_index;
-            debug_assert!(row_index < rows);
-            let newest_needed = (y + radius).min(height - 1);
-            while next_row <= newest_needed {
-                let slot = next_row % ring.len();
-                fill_blurred_row(
-                    &mut ring[slot],
-                    &mut padded,
-                    &hdr.pixels()[next_row * width..(next_row + 1) * width],
-                    scale,
-                    invert,
-                    &self.kernel,
-                    radius,
-                );
-                next_row += 1;
+    // Rows are produced lazily, in order, the moment the vertical
+    // window first reaches them.
+    let mut next_row = first_row.saturating_sub(radius);
+    for (row_index, out_row) in out.chunks_exact_mut(width).enumerate() {
+        let y = first_row + row_index;
+        debug_assert!(row_index < rows);
+        let newest_needed = (y + radius).min(height - 1);
+        while next_row <= newest_needed {
+            let slot = next_row % ring.len();
+            fill_blurred_row(
+                &mut ring[slot],
+                &mut padded,
+                &hdr.pixels()[next_row * width..(next_row + 1) * width],
+                scale,
+                program,
+            );
+            next_row += 1;
+        }
+
+        // Vertical pass over the ring, tap-major so the inner loop
+        // walks each buffered row sequentially. Per output sample the
+        // taps are applied in the same ascending order as the two-pass
+        // reference, so the accumulation is bit-identical.
+        for a in vacc.iter_mut() {
+            *a = S::zero();
+        }
+        for (k, &weight) in kernel.iter().enumerate() {
+            let source_row = (y + k).saturating_sub(radius).min(height - 1);
+            let row = &ring[source_row % ring.len()];
+            for (acc, &sample) in vacc.iter_mut().zip(row) {
+                *acc = weight.mul_add(sample, *acc);
             }
+        }
 
-            // Vertical pass over the ring, tap-major so the inner loop
-            // walks each buffered row sequentially. Per output sample the
-            // taps are applied in the same ascending order as the two-pass
-            // reference, so the accumulation is bit-identical.
-            for a in vacc.iter_mut() {
-                *a = S::zero();
+        // Fused point-wise tail: re-derive the point value of the input row
+        // (a handful of point ops beat a second full-size buffer), then run
+        // the epilog chain against the blurred mask.
+        let input_row = &hdr.pixels()[y * width..(y + 1) * width];
+        for ((dst, &raw), &mask) in out_row.iter_mut().zip(input_row).zip(vacc.iter()) {
+            let mut v = program.point_value(raw, scale);
+            let mask = Some(mask.to_f32());
+            for op in &program.epilog {
+                v = op.apply(v, mask);
             }
-            for (k, &weight) in self.kernel.iter().enumerate() {
-                let source_row = (y + k).saturating_sub(radius).min(height - 1);
-                let row = &ring[source_row % ring.len()];
-                for (acc, &sample) in vacc.iter_mut().zip(row) {
-                    *acc = weight.mul_add(sample, *acc);
-                }
-            }
-
-            // Fused point-wise tail: normalize the input row again (two
-            // multiplies beat a second full-size buffer), mask, adjust.
-            let input_row = &hdr.pixels()[y * width..(y + 1) * width];
-            for ((dst, &raw), &mask) in out_row.iter_mut().zip(input_row).zip(vacc.iter()) {
-                let normalized = normalize_sample(raw, scale);
-                let masked = masked_sample(normalized, mask.to_f32(), &self.params.masking);
-                *dst = adjusted_sample(masked, half, contrast, offset);
-            }
+            *dst = v;
         }
     }
 }
 
-/// Normalizes, inverts and horizontally blurs one source row into `dst` —
-/// the producer side of the line buffer.
+/// Runs the point prolog over one source row and horizontally blurs it into
+/// `dst` — the producer side of the line buffer.
 ///
 /// The row is edge-padded by `radius` replicated samples so the horizontal
 /// window never needs a clamp; the blur itself runs tap-major with
@@ -233,14 +561,22 @@ fn fill_blurred_row<S: Sample>(
     padded: &mut [S],
     input_row: &[f32],
     scale: Option<f32>,
-    invert: bool,
-    kernel: &[S],
-    radius: usize,
+    program: &FusedProgram<S>,
 ) {
+    let stencil = program
+        .stencil
+        .as_ref()
+        .expect("fill_blurred_row is only entered with a stencil stage");
+    let kernel = &stencil.kernel;
+    let radius = kernel.len() / 2;
     let width = input_row.len();
     for (slot, &raw) in padded[radius..radius + width].iter_mut().zip(input_row) {
-        let normalized = normalize_sample(raw, scale);
-        let mask_input = if invert { 1.0 - normalized } else { normalized };
+        let point = program.point_value(raw, scale);
+        let mask_input = if stencil.invert_input {
+            1.0 - point
+        } else {
+            point
+        };
         *slot = S::from_f32(mask_input);
     }
     let first = padded[radius];
@@ -263,6 +599,7 @@ fn fill_blurred_row<S: Sample>(
 mod tests {
     use super::*;
     use crate::pipeline::ToneMapper;
+    use crate::plan::PlanTuning;
     use apfixed::Fix16;
     use hdr_image::synth::SceneKind;
 
@@ -356,5 +693,144 @@ mod tests {
     fn thread_count_is_clamped_to_at_least_one() {
         let mapper = StreamingToneMapper::<f32>::new(params()).with_threads(0);
         assert_eq!(mapper.threads(), 1);
+    }
+
+    #[test]
+    fn paper_plan_fuses_and_reports_so() {
+        let mapper = StreamingToneMapper::<f32>::new(params());
+        assert!(mapper.decision().is_fused());
+        assert!(mapper.decision().reasons().is_empty());
+        assert!(mapper.decision().to_string().contains("fused"));
+    }
+
+    #[test]
+    fn point_only_plans_fuse_and_match_the_two_pass_planner() {
+        let hdr = SceneKind::SunAndShadow.generate(31, 22, 8);
+        for preset in ["reinhard", "gamma", "log"] {
+            let plan = PipelinePlan::preset(
+                preset,
+                &ToneMapParams::paper_default(),
+                &PlanTuning::default(),
+            )
+            .unwrap()
+            .unwrap();
+            let streaming =
+                StreamingToneMapper::<f32>::compile(plan.clone(), ToneMapParams::paper_default())
+                    .unwrap();
+            assert!(streaming.decision().is_fused(), "{preset} must fuse");
+            assert!(streaming.kernel().is_empty(), "{preset} has no stencil");
+            let two_pass = ToneMapper::compile(plan, ToneMapParams::paper_default()).unwrap();
+            let expected = two_pass.map_luminance_hw_blur::<f32>(&hdr);
+            assert_eq!(streaming.map_luminance(&hdr), expected, "{preset} diverged");
+            // Point-only plans slice rows across threads too, identically.
+            for threads in [3, 8, 64] {
+                let sliced = streaming.clone().with_threads(threads);
+                assert_eq!(
+                    sliced.map_luminance(&hdr),
+                    expected,
+                    "{preset} diverged at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_reduction_forces_the_materialized_fallback_with_a_reason() {
+        let hdr = SceneKind::WindowInDarkRoom.generate(29, 18, 6);
+        let plan = PipelinePlan::preset(
+            "histeq",
+            &ToneMapParams::paper_default(),
+            &PlanTuning::default(),
+        )
+        .unwrap()
+        .unwrap();
+        let streaming =
+            StreamingToneMapper::<f32>::compile(plan.clone(), ToneMapParams::paper_default())
+                .unwrap();
+        let decision = streaming.decision();
+        assert!(!decision.is_fused());
+        assert!(matches!(
+            decision.reasons(),
+            [FusionBlocker::ReductionOverIntermediate {
+                op: PipelineOpKind::HistogramEq,
+                ..
+            }]
+        ));
+        assert!(decision.to_string().contains("materialized"));
+        // The fallback still executes the plan, identically to the two-pass
+        // planner.
+        let two_pass = ToneMapper::compile(plan, ToneMapParams::paper_default()).unwrap();
+        assert_eq!(
+            streaming.map_luminance(&hdr),
+            two_pass.map_luminance_hw_blur::<f32>(&hdr)
+        );
+    }
+
+    #[test]
+    fn two_stencil_plans_fall_back_with_a_reason() {
+        let blur = crate::params::BlurParams {
+            sigma: 1.5,
+            radius: 3,
+        };
+        let masking = MaskingParams::paper_default();
+        let plan = PipelinePlan::new(vec![
+            PipelineOp::Normalize,
+            PipelineOp::BlurMask {
+                blur,
+                invert_input: true,
+            },
+            PipelineOp::Mask(masking),
+            PipelineOp::BlurMask {
+                blur,
+                invert_input: false,
+            },
+            PipelineOp::Mask(masking),
+        ])
+        .unwrap();
+        let streaming =
+            StreamingToneMapper::<f32>::compile(plan.clone(), ToneMapParams::paper_default())
+                .unwrap();
+        assert!(matches!(
+            streaming.decision().reasons(),
+            [FusionBlocker::MultipleStencils { count: 2 }]
+        ));
+        let hdr = SceneKind::GradientRamp.generate(20, 14, 2);
+        let two_pass = ToneMapper::compile(plan, ToneMapParams::paper_default()).unwrap();
+        assert_eq!(
+            streaming.map_luminance(&hdr),
+            two_pass.map_luminance_hw_blur::<f32>(&hdr)
+        );
+    }
+
+    #[test]
+    fn fused_custom_plans_with_prolog_ops_match_the_two_pass_planner() {
+        // A gamma curve *before* the blur exercises the producer-side
+        // prolog chain (the consumer re-derives it per sample).
+        let plan = PipelinePlan::new(vec![
+            PipelineOp::Normalize,
+            PipelineOp::Gamma { gamma: 0.8 },
+            PipelineOp::BlurMask {
+                blur: crate::params::BlurParams {
+                    sigma: 2.0,
+                    radius: 4,
+                },
+                invert_input: true,
+            },
+            PipelineOp::Mask(MaskingParams::paper_default()),
+            PipelineOp::Adjust(crate::params::AdjustParams::paper_default()),
+        ])
+        .unwrap();
+        let hdr = SceneKind::MemorialComposite.generate(26, 33, 11);
+        for threads in [1, 4] {
+            let streaming =
+                StreamingToneMapper::<Fix16>::compile(plan.clone(), ToneMapParams::paper_default())
+                    .unwrap()
+                    .with_threads(threads);
+            assert!(streaming.decision().is_fused());
+            let two_pass = ToneMapper::compile(plan.clone(), ToneMapParams::paper_default())
+                .unwrap()
+                .map_luminance_hw_blur::<Fix16>(&hdr);
+            assert_eq!(streaming.map_luminance(&hdr), two_pass);
+        }
     }
 }

@@ -14,7 +14,7 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::Duration;
 use tonemap_backend::{OutputKind, TonemapRequest, TonemapResponse};
-use tonemap_core::ToneMapParams;
+use tonemap_core::{PipelinePlan, ToneMapParams};
 
 /// What a job tone-maps, owned and cheaply clonable.
 #[derive(Debug, Clone)]
@@ -48,6 +48,7 @@ pub enum JobInput {
 pub struct JobRequest {
     input: JobInput,
     params: Option<ToneMapParams>,
+    pipeline: Option<PipelinePlan>,
     backend: Option<String>,
     output: OutputKind,
     telemetry: bool,
@@ -58,6 +59,7 @@ impl JobRequest {
         JobRequest {
             input,
             params: None,
+            pipeline: None,
             backend: None,
             output: OutputKind::DisplayReferred,
             telemetry: false,
@@ -88,6 +90,15 @@ impl JobRequest {
     /// job only. Validated at execution time.
     pub fn with_params(mut self, params: ToneMapParams) -> Self {
         self.params = Some(params);
+        self
+    }
+
+    /// Overrides the engine's compiled pipeline plan for this job only
+    /// (compiled per job). Prefer a `pipeline=` preset in the backend spec
+    /// for repeated jobs — the service resolves it once through the shared
+    /// registry, which caches the compiled plan engine.
+    pub fn with_pipeline(mut self, plan: PipelinePlan) -> Self {
+        self.pipeline = Some(plan);
         self
     }
 
@@ -147,6 +158,9 @@ impl JobRequest {
         };
         if let Some(params) = self.params {
             request = request.with_params(params);
+        }
+        if let Some(plan) = &self.pipeline {
+            request = request.with_pipeline(plan.clone());
         }
         request = request.with_output(self.output);
         if self.telemetry {

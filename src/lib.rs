@@ -52,7 +52,8 @@ pub mod prelude {
         TonemapRequest, TonemapResponse, UnknownBackendError,
     };
     pub use tonemap_core::{
-        BlurParams, ParamError, StreamingToneMapper, ToneMapParams, ToneMapper,
+        BlurParams, FusionBlocker, ParamError, PipelineOp, PipelineOpKind, PipelinePlan, PlanError,
+        PlanTuning, StreamingDecision, StreamingToneMapper, ToneMapParams, ToneMapper,
     };
     pub use tonemap_service::{
         EngineUtilisation, JobHandle, JobInput, JobRequest, ServiceConfig, ServiceError,
