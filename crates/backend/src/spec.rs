@@ -7,8 +7,8 @@
 //!
 //! Since the pipeline became data ([`tonemap_core::plan`]), a spec also
 //! selects *which operator chain* the engine compiles: `pipeline=<preset>`
-//! picks a named [`PipelinePlan`] preset (`paper`, `reinhard`, `histeq`,
-//! `gamma`, `log`), and the plan-tuning keys (`reinhard_key`,
+//! picks a named [`PipelinePlan`] preset (`paper`, `basedetail`,
+//! `reinhard`, `histeq`, `gamma`, `log`), and the plan-tuning keys (`reinhard_key`,
 //! `reinhard_white`, `bins`, `gamma`, `log_scale`) override that preset's
 //! stage parameters — so `"sw-f32-stream?pipeline=reinhard&reinhard_key=4"`
 //! serves a global Reinhard operator through the streaming engine without
@@ -141,6 +141,9 @@ fn preset_tuning_keys(preset: &str) -> &'static [&'static str] {
         "histeq" => &["bins"],
         "gamma" => &["gamma"],
         "log" => &["log_scale"],
+        // `paper` and `basedetail` are parameter-driven (sigma/radius/
+        // strength/… come from the shared param keys), so they read no
+        // tuning keys.
         _ => &[],
     }
 }

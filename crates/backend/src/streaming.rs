@@ -227,6 +227,34 @@ mod tests {
     }
 
     #[test]
+    fn basedetail_preset_streams_the_two_stencil_cascade_end_to_end() {
+        // The two-stencil base–detail plan is servable through the
+        // existing `pipeline=` spec surface, and the streaming engine's
+        // cascade matches the classic engine exactly.
+        let registry = BackendRegistry::standard();
+        let hdr = SceneKind::MemorialComposite.generate(40, 28, 12);
+        for (streamed, classic) in [("sw-f32-stream", "sw-f32"), ("hw-fix16-stream", "hw-fix16")] {
+            let a = registry
+                .execute(
+                    &TonemapRequest::luminance(&hdr)
+                        .on_backend(format!("{streamed}?pipeline=basedetail")),
+                )
+                .expect("basedetail preset resolves");
+            let b = registry
+                .execute(
+                    &TonemapRequest::luminance(&hdr)
+                        .on_backend(format!("{classic}?pipeline=basedetail")),
+                )
+                .expect("basedetail preset resolves");
+            assert_eq!(
+                a.luminance().unwrap(),
+                b.luminance().unwrap(),
+                "{streamed} diverged from {classic} on basedetail"
+            );
+        }
+    }
+
+    #[test]
     fn streaming_telemetry_has_ops_but_no_modeled_cost() {
         let registry = BackendRegistry::standard();
         let hdr = SceneKind::GradientRamp.generate(16, 16, 2);

@@ -6,11 +6,11 @@
 //!    the hand-written Fig. 1 stage chain the seed code shipped) on every
 //!    synthetic scene, in both the all-float and the hardware-split
 //!    fixed-point modes. The redesign changed the API, not one pixel.
-//! 2. **New operators serve end-to-end** — every named preset (global
-//!    Reinhard, histogram equalization, gamma, log) round-trips through
-//!    the `tonemap-service` worker pool via a `pipeline=` job spec,
-//!    matching direct plan compilation exactly, and the spec strings
-//!    round-trip through their canonical `Display` form.
+//! 2. **New operators serve end-to-end** — every named preset (two-stencil
+//!    base–detail, global Reinhard, histogram equalization, gamma, log)
+//!    round-trips through the `tonemap-service` worker pool via a
+//!    `pipeline=` job spec, matching direct plan compilation exactly, and
+//!    the spec strings round-trip through their canonical `Display` form.
 //!
 //! The run fails (non-zero exit) on any violation.
 //!
@@ -137,7 +137,7 @@ fn service_round_trip_gate() {
 
     println!("new operators served end-to-end via pipeline= job specs:");
     let mut outputs: Vec<(String, LuminanceImage)> = Vec::new();
-    for preset in ["reinhard", "histeq", "gamma", "log"] {
+    for preset in ["basedetail", "reinhard", "histeq", "gamma", "log"] {
         for engine in ["sw-f32", "sw-f32-stream"] {
             let spec = format!("{engine}?pipeline={preset}");
             // Canonical Display round-trip of the job spec.
@@ -177,7 +177,7 @@ fn service_round_trip_gate() {
             }
         }
     }
-    // The four operators are genuinely different tone mappers.
+    // The presets are genuinely different tone mappers.
     for i in 0..outputs.len() {
         for j in (i + 1)..outputs.len() {
             assert_ne!(

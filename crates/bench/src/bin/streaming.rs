@@ -14,10 +14,14 @@
 //!   *single-threaded* streaming pass must be at least 2× faster than the
 //!   two-pass `sw-f32` reference. The run fails (non-zero exit) otherwise.
 //!
+//! The measured seconds, speedup ratios and ns/pixel figures are persisted
+//! to `BENCH_streaming.json` in the working directory.
+//!
 //! ```text
 //! cargo run -p bench --release --bin streaming    # CI=true trims iterations
 //! ```
 
+use bench::{json, write_bench_json};
 use hdr_image::metrics::psnr;
 use hdr_image::synth::SceneKind;
 use hdr_image::LuminanceImage;
@@ -153,6 +157,38 @@ fn main() {
     println!(
         "single-thread streaming speedup over sw-f32: {speedup:.2}x (required >= {REQUIRED_SPEEDUP:.1}x)"
     );
+
+    let pixels = (WIDTH * HEIGHT) as f64;
+    let ns_per_pixel = |seconds: f64| json::num(seconds * 1e9 / pixels);
+    write_bench_json(
+        "streaming",
+        &json::obj([
+            ("gate", json::string("streaming")),
+            ("width", json::num(WIDTH as f64)),
+            ("height", json::num(HEIGHT as f64)),
+            ("taps", json::num(params.blur.taps() as f64)),
+            ("iterations", json::num(iterations as f64)),
+            ("two_pass_seconds", json::num(reference_seconds)),
+            ("streaming_seconds", json::num(streaming_seconds)),
+            ("threaded_seconds", json::num(threaded_seconds)),
+            ("threads", json::num(threads as f64)),
+            ("single_thread_speedup", json::num(speedup)),
+            (
+                "threaded_speedup",
+                json::num(reference_seconds / threaded_seconds),
+            ),
+            (
+                "ns_per_pixel",
+                json::obj([
+                    ("two_pass", ns_per_pixel(reference_seconds)),
+                    ("streaming", ns_per_pixel(streaming_seconds)),
+                    ("threaded", ns_per_pixel(threaded_seconds)),
+                ]),
+            ),
+            ("required_speedup", json::num(REQUIRED_SPEEDUP)),
+        ]),
+    );
+
     assert!(
         speedup >= REQUIRED_SPEEDUP,
         "streaming speedup {speedup:.2}x fell below the required {REQUIRED_SPEEDUP:.1}x"

@@ -15,12 +15,14 @@
 //!
 //! The run fails (non-zero exit) unless the modeled 8-worker batch
 //! throughput is at least 3× the 1-worker baseline and every response is
-//! bit-identical to single-threaded execution.
+//! bit-identical to single-threaded execution. The worker-scaling table is
+//! persisted to `BENCH_throughput.json` in the working directory.
 //!
 //! ```text
 //! cargo run -p bench --release --bin throughput    # CI=true caps the batch
 //! ```
 
+use bench::{json, write_bench_json};
 use hdr_image::synth::SceneKind;
 use hdr_image::LuminanceImage;
 use std::sync::Arc;
@@ -69,6 +71,7 @@ fn main() {
     );
     let mut single_worker_stats: Option<ServiceStats> = None;
     let mut eight_worker_stats: Option<ServiceStats> = None;
+    let mut scaling_rows: Vec<String> = Vec::new();
     for workers in WORKER_COUNTS {
         let service = TonemapService::standard(
             ServiceConfig::with_workers(workers).queue_capacity(job_count),
@@ -113,6 +116,23 @@ fn main() {
             model.modeled_throughput(workers),
             model.modeled_speedup(workers),
         );
+        scaling_rows.push(json::obj([
+            ("workers", json::num(workers as f64)),
+            ("measured_seconds", json::num(measured_seconds)),
+            (
+                "measured_jobs_per_second",
+                json::num(job_count as f64 / measured_seconds),
+            ),
+            (
+                "modeled_seconds",
+                json::num(model.modeled_makespan_seconds(workers)),
+            ),
+            (
+                "modeled_jobs_per_second",
+                json::num(model.modeled_throughput(workers)),
+            ),
+            ("modeled_speedup", json::num(model.modeled_speedup(workers))),
+        ]));
     }
 
     let model = single_worker_stats.expect("the 1-worker row always runs");
@@ -145,6 +165,22 @@ fn main() {
         "worker outputs bit-identical to single-threaded execution across all {} engine specs: yes",
         engines.len()
     );
+
+    write_bench_json(
+        "throughput",
+        &json::obj([
+            ("gate", json::string("throughput")),
+            ("side", json::num(SIDE as f64)),
+            ("jobs", json::num(job_count as f64)),
+            ("engine_specs", json::num(engines.len() as f64)),
+            ("serial_seconds", json::num(serial_seconds)),
+            ("workers", json::arr(scaling_rows)),
+            ("modeled_speedup_at_8_workers", json::num(speedup)),
+            ("required_speedup", json::num(3.0)),
+            ("bit_identical", String::from("true")),
+        ]),
+    );
+
     assert!(
         speedup >= 3.0,
         "modeled 8-worker speedup {speedup:.2}x fell below the required 3x"

@@ -145,6 +145,80 @@ impl FlowReport {
     }
 }
 
+/// The streaming-cascade cost of one fused line-buffer region — one stencil
+/// stage of a fused segment, with its own row ring in the BRAM analogue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CascadeRegionCost {
+    /// Index of the stencil stage in the plan.
+    pub stage_index: usize,
+    /// Rows held by this region's ring: `2·radius + 1`.
+    pub ring_rows: usize,
+    /// BRAM-18K-analogue blocks the row ring occupies
+    /// (`ring_rows × width × sample_bits`, rounded up to 18 kbit blocks) —
+    /// 16-bit samples for the fixed-point design, 32-bit otherwise.
+    pub ring_bram_18k: u64,
+    /// Initiation interval of the region's pipelined kernel schedule
+    /// (`None` for the software design, whose blur never leaves the PS).
+    pub initiation_interval: Option<u64>,
+    /// PL execution time of this region's kernel (zero for the software
+    /// design).
+    pub pl_seconds: f64,
+    /// Output-row latency of this region measured from the segment input:
+    /// the sum of every upstream radius plus this region's own — the
+    /// staggered fill depth of the cascade.
+    pub latency_rows: usize,
+}
+
+/// The streaming-cascade cost of one fused segment: its regions plus the
+/// segment-level roll-ups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CascadeSegmentCost {
+    /// First op index of the segment in the plan (inclusive).
+    pub start: usize,
+    /// One-past-last op index of the segment.
+    pub end: usize,
+    /// Per-region costs, in cascade order.
+    pub regions: Vec<CascadeRegionCost>,
+}
+
+impl CascadeSegmentCost {
+    /// Total row latency of the segment's cascade (sum of all radii).
+    pub fn latency_rows(&self) -> usize {
+        self.regions.last().map_or(0, |r| r.latency_rows)
+    }
+}
+
+/// The codesign view of a streaming cascade
+/// ([`tonemap_core::PipelinePlan::segmentation`]): one kernel schedule per
+/// fused region, with the additive BRAM-analogue footprint of the row rings
+/// and the per-region initiation intervals — what the cascade costs the
+/// fabric, segment by segment.
+///
+/// This costs the plan's *segmentation shape*; whether the streaming
+/// planner actually runs it (or falls back for a mask straddling a barrier)
+/// is [`tonemap_core::StreamingToneMapper::decision`]'s call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CascadeCostReport {
+    /// The design point the regions were scheduled for.
+    pub design: DesignImplementation,
+    /// Per-segment costs, in plan order (`segments.len() == barriers + 1`).
+    pub segments: Vec<CascadeSegmentCost>,
+    /// Plan indices of the materialization barriers between the segments.
+    pub barriers: Vec<usize>,
+    /// Total BRAM-analogue blocks across every region's row ring — the
+    /// rings coexist in the fabric, so their footprints add.
+    pub total_ring_bram_18k: u64,
+    /// Total PL time across every region's kernel.
+    pub total_pl_seconds: f64,
+}
+
+impl CascadeCostReport {
+    /// Total fused line-buffer regions across all segments.
+    pub fn region_count(&self) -> usize {
+        self.segments.iter().map(|s| s.regions.len()).sum()
+    }
+}
+
 /// The co-design flow driver: profiling, kernel construction, scheduling and
 /// platform simulation for the paper's experiment setup.
 #[derive(Debug, Clone)]
@@ -413,6 +487,79 @@ impl CoDesignFlow {
             pl_utilization,
             schedule,
             system,
+        }
+    }
+
+    /// Costs the streaming cascade of an arbitrary plan: one kernel
+    /// schedule per fused line-buffer region, grouped by the plan's
+    /// materialization-barrier segmentation.
+    ///
+    /// Each region's row ring (`2·radius + 1` rows of `width` samples) is
+    /// charged as a BRAM-18K-analogue footprint — 16-bit samples for the
+    /// fixed-point design, 32-bit for every other — and the footprints
+    /// *add* across regions because the cascaded rings coexist in the
+    /// fabric. `latency_rows` accumulates the upstream radii, the staggered
+    /// fill depth of the cascade.
+    pub fn cascade_cost(
+        &self,
+        plan: &tonemap_core::PipelinePlan,
+        design: DesignImplementation,
+    ) -> CascadeCostReport {
+        let sample_bits: u64 = if design == DesignImplementation::FixedPointConversion {
+            16
+        } else {
+            32
+        };
+        let pl_model = PlModel::new(self.simulator.config.pl_clock_hz);
+        let segmentation = plan.segmentation();
+        let mut total_ring_bram_18k = 0u64;
+        let mut total_pl_seconds = 0.0f64;
+        let segments = segmentation
+            .segments
+            .iter()
+            .map(|segment| {
+                let mut latency_rows = 0usize;
+                let regions = segment
+                    .stencils
+                    .iter()
+                    .map(|&(stage_index, blur, _)| {
+                        let ring_rows = blur.taps();
+                        let ring_bits = (ring_rows * self.width) as u64 * sample_bits;
+                        let ring_bram_18k = ring_bits.div_ceil(18 * 1024);
+                        let schedule = self.schedule_for_blur(design, blur);
+                        let (initiation_interval, pl_seconds) = match &schedule {
+                            None => (None, 0.0),
+                            Some(schedule) => (
+                                schedule.top_initiation_interval(),
+                                pl_model.run(schedule, &self.tech).seconds,
+                            ),
+                        };
+                        latency_rows += blur.radius;
+                        total_ring_bram_18k += ring_bram_18k;
+                        total_pl_seconds += pl_seconds;
+                        CascadeRegionCost {
+                            stage_index,
+                            ring_rows,
+                            ring_bram_18k,
+                            initiation_interval,
+                            pl_seconds,
+                            latency_rows,
+                        }
+                    })
+                    .collect();
+                CascadeSegmentCost {
+                    start: segment.start,
+                    end: segment.end,
+                    regions,
+                }
+            })
+            .collect();
+        CascadeCostReport {
+            design,
+            segments,
+            barriers: segmentation.barriers.iter().map(|&(i, _)| i).collect(),
+            total_ring_bram_18k,
+            total_pl_seconds,
         }
     }
 
@@ -727,6 +874,80 @@ mod tests {
             .filter(|p| p.name.contains("PL accelerator"))
             .count();
         assert_eq!(pl_phases, 2);
+    }
+
+    #[test]
+    fn cascade_cost_charges_one_ring_per_region_additively() {
+        use tonemap_core::plan::{PipelinePlan, PlanTuning};
+        let flow = CoDesignFlow::paper_setup(1024, 768);
+        let params = *flow.params();
+
+        // Paper plan: one segment, one region, the paper's 41-row ring.
+        let paper = flow.cascade_cost(
+            &PipelinePlan::paper_default(),
+            DesignImplementation::FixedPointConversion,
+        );
+        assert_eq!(paper.segments.len(), 1);
+        assert_eq!(paper.region_count(), 1);
+        assert!(paper.barriers.is_empty());
+        let region = &paper.segments[0].regions[0];
+        assert_eq!(region.ring_rows, params.blur.taps());
+        assert_eq!(region.latency_rows, params.blur.radius);
+        assert_eq!(
+            region.ring_bram_18k,
+            ((params.blur.taps() * 1024) as u64 * 16).div_ceil(18 * 1024)
+        );
+        assert!(region.initiation_interval.is_some());
+        assert!(region.pl_seconds > 0.0);
+        assert_eq!(paper.total_ring_bram_18k, region.ring_bram_18k);
+        assert_eq!(paper.total_pl_seconds, region.pl_seconds);
+
+        // The fixed-point design halves the ring footprint vs 32-bit.
+        let f32_cost = flow.cascade_cost(
+            &PipelinePlan::paper_default(),
+            DesignImplementation::HlsPragmas,
+        );
+        assert!(f32_cost.total_ring_bram_18k > paper.total_ring_bram_18k);
+
+        // basedetail: two cascaded regions in one segment; rings and PL
+        // time add, latency accumulates across the cascade.
+        let basedetail = PipelinePlan::preset("basedetail", &params, &PlanTuning::default())
+            .unwrap()
+            .unwrap();
+        let cost = flow.cascade_cost(&basedetail, DesignImplementation::FixedPointConversion);
+        assert_eq!(cost.segments.len(), 1);
+        assert_eq!(cost.region_count(), 2);
+        let regions = &cost.segments[0].regions;
+        assert_eq!(regions[0].latency_rows, params.blur.radius);
+        assert!(regions[1].latency_rows > regions[0].latency_rows);
+        assert_eq!(cost.segments[0].latency_rows(), regions[1].latency_rows);
+        assert_eq!(
+            cost.total_ring_bram_18k,
+            regions[0].ring_bram_18k + regions[1].ring_bram_18k
+        );
+        assert!(
+            (cost.total_pl_seconds - regions[0].pl_seconds - regions[1].pl_seconds).abs() < 1e-12
+        );
+
+        // The software design schedules nothing: the rings still exist as
+        // cache-resident rows, but there is no PL time and no II.
+        let sw = flow.cascade_cost(&basedetail, DesignImplementation::SwSourceCode);
+        assert_eq!(sw.total_pl_seconds, 0.0);
+        assert!(sw
+            .segments
+            .iter()
+            .flat_map(|s| &s.regions)
+            .all(|r| r.initiation_interval.is_none() && r.pl_seconds == 0.0));
+
+        // A mid-plan reduction splits the report into two segments.
+        let histeq = PipelinePlan::preset("histeq", &params, &PlanTuning::default())
+            .unwrap()
+            .unwrap();
+        let segmented = flow.cascade_cost(&histeq, DesignImplementation::FixedPointConversion);
+        assert_eq!(segmented.segments.len(), 2);
+        assert_eq!(segmented.barriers, vec![1]);
+        assert_eq!(segmented.region_count(), 0);
+        assert_eq!(segmented.total_ring_bram_18k, 0);
     }
 
     #[test]

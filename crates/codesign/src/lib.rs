@@ -45,7 +45,10 @@ pub mod profile;
 pub mod quality;
 pub mod reports;
 
-pub use flow::{CoDesignFlow, DesignImplementation, DesignReport, FlowReport};
+pub use flow::{
+    CascadeCostReport, CascadeRegionCost, CascadeSegmentCost, CoDesignFlow, DesignImplementation,
+    DesignReport, FlowReport,
+};
 pub use profile::{ProfileReport, Profiler};
 pub use quality::QualityReport;
 

@@ -31,11 +31,15 @@
 //! *planners* compile any plan: the stage-by-stage [`ToneMapper`] (one
 //! full-size intermediate per stage, the shape of the paper's original
 //! software) and the fused [`StreamingToneMapper`] ([`stream`]), which
-//! runs fusible plans as one raster-order pass over a rolling row ring
-//! buffer — the software analogue of the BRAM line buffer of Fig. 4 —
-//! producing bit-identical pixels with no full-size intermediates, and
-//! reports ([`StreamingDecision`]) why a plan cannot fuse (reductions
-//! over intermediates force a materialized pre-pass).
+//! runs plans as raster-order *cascades* of rolling row ring buffers —
+//! one software analogue of the BRAM line buffer of Fig. 4 per stencil
+//! stage, composed back-to-back — producing bit-identical pixels with no
+//! full-size intermediates. Reductions over intermediates become
+//! materialization *barriers* ([`PipelinePlan::segmentation`]) that split
+//! the plan into fused segments rather than blocking fusion, and the
+//! planner's verdict ([`StreamingDecision`]) reports the fusion shape —
+//! fully fused, segmented with its barriers, or the rare two-pass
+//! fallback with its reasons.
 //!
 //! Each stage also reports its per-pixel operation counts ([`ops`]), which
 //! the `zynq-sim` processing-system model turns into ARM execution-time
@@ -71,9 +75,11 @@ pub mod stream;
 
 pub use params::{AdjustParams, BlurParams, MaskingParams, ParamError, ToneMapParams};
 pub use pipeline::{PipelineStages, ToneMapper};
-pub use plan::{PipelineOp, PipelineOpKind, PipelinePlan, PlanError, PlanTuning};
+pub use plan::{
+    PipelineOp, PipelineOpKind, PipelinePlan, PlanError, PlanSegment, PlanSegmentation, PlanTuning,
+};
 pub use sample::Sample;
-pub use stream::{FusionBlocker, StreamingDecision, StreamingToneMapper};
+pub use stream::{FusionBlocker, StreamBarrier, StreamingDecision, StreamingToneMapper};
 
 #[cfg(test)]
 mod tests {

@@ -10,10 +10,11 @@
 //!   intermediate per stage, the shape of the paper's original software,
 //!   and
 //! * the streaming planner ([`crate::StreamingToneMapper`]) fuses the plan
-//!   into one raster-order line-buffer pass where that is legal, and
-//!   reports *why* when it is not (a reduction over an intermediate forces
-//!   a materialized pre-pass, exactly as an HLS dataflow region breaks at a
-//!   non-streamable dependence).
+//!   into a cascade of line-buffered regions — one row ring per stencil —
+//!   and splits it at *materialization barriers* (reductions over an
+//!   intermediate image, see [`PipelinePlan::segmentation`]) into fused
+//!   segments, exactly as an HLS dataflow region breaks at a
+//!   non-streamable dependence and resumes after it.
 //!
 //! This is the same move the paper's HLS flow makes for the Fig. 1
 //! dataflow — describe the computation, let the backend pick the schedule —
@@ -25,8 +26,8 @@
 //! | class | ops | streaming-fusible? |
 //! |---|---|---|
 //! | point | normalize*, invert, mask, adjust, gamma, log curve, global Reinhard | yes |
-//! | stencil | separable Gaussian blur (mask producer) | yes, once (the line buffer) |
-//! | reduction | histogram-equalization TMO | no — forces a pre-pass |
+//! | stencil | separable Gaussian blur (mask producer) | yes — one line-buffer region each, cascaded back-to-back |
+//! | reduction | histogram-equalization TMO | no — a materialization *barrier* splitting the plan into fused segments |
 //!
 //! (*) normalization needs a max-reduction, but over the *raw input*, which
 //! the streaming pass already resolves in its scale pre-scan; it is
@@ -443,6 +444,65 @@ pub struct PlanTuning {
     pub log_scale: Option<f32>,
 }
 
+/// One fused run of a segmented plan: the contiguous stage range between
+/// materialization barriers, with the stencil stages the streaming planner
+/// turns into one cascaded line-buffer region each.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanSegment {
+    /// First op index of the run (inclusive).
+    pub start: usize,
+    /// One past the last op index of the run. `start == end` marks an empty
+    /// run (a plan beginning or ending with a reduction).
+    pub end: usize,
+    /// The stencil stages inside the run (`(index, blur, invert_input)`),
+    /// in plan order.
+    pub stencils: Vec<(usize, BlurParams, bool)>,
+}
+
+impl PlanSegment {
+    /// Number of ops in the run.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` when the run holds no ops.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Row latency of the run's cascade: output row `y` needs input rows up
+    /// to `y + Σ radiusᵢ`, because each region's vertical window must fill
+    /// before the next region sees its first row. This is the software
+    /// analogue of the pipeline fill latency of back-to-back line-buffered
+    /// HLS stages.
+    pub fn latency_rows(&self) -> usize {
+        self.stencils.iter().map(|(_, blur, _)| blur.radius).sum()
+    }
+}
+
+/// The streaming planner's split of a plan at materialization barriers
+/// ([`PipelinePlan::segmentation`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanSegmentation {
+    /// The fused runs, in plan order; always `barriers.len() + 1` of them.
+    pub segments: Vec<PlanSegment>,
+    /// The barrier stages (`(index, kind)`) separating the runs.
+    pub barriers: Vec<(usize, PipelineOpKind)>,
+}
+
+impl PlanSegmentation {
+    /// `true` when the whole plan is one fused run (no barriers).
+    pub fn is_single_pass(&self) -> bool {
+        self.barriers.is_empty()
+    }
+
+    /// Total number of stencil regions across all runs — the number of row
+    /// rings the cascade executor allocates.
+    pub fn region_count(&self) -> usize {
+        self.segments.iter().map(|s| s.stencils.len()).sum()
+    }
+}
+
 /// A validated, ordered sequence of pipeline operators — the unit both
 /// planners compile.
 ///
@@ -476,7 +536,8 @@ pub struct PipelinePlan {
 impl PipelinePlan {
     /// The named presets [`PipelinePlan::preset`] resolves, in catalogue
     /// order.
-    pub const PRESETS: [&'static str; 5] = ["paper", "reinhard", "histeq", "gamma", "log"];
+    pub const PRESETS: [&'static str; 6] =
+        ["paper", "basedetail", "reinhard", "histeq", "gamma", "log"];
 
     /// Validates `ops` into a plan.
     ///
@@ -547,6 +608,7 @@ impl PipelinePlan {
     /// | name | plan |
     /// |---|---|
     /// | `paper` | the Fig. 1 chain ([`PipelinePlan::from_params`]) |
+    /// | `basedetail` | two-stencil Durand-style base–detail split: the Fig. 1 inverted blur compresses the base layer, a second (quarter-width) blur recombines detail |
     /// | `reinhard` | normalize → global Reinhard (key 8, white 8) |
     /// | `histeq` | normalize → histogram equalization (256 bins) |
     /// | `gamma` | normalize → gamma curve (γ = 1/2.2) |
@@ -564,6 +626,37 @@ impl PipelinePlan {
         let key = tuning.reinhard_key.unwrap_or(8.0);
         let ops = match name {
             "paper" => return Ok(Some(PipelinePlan::from_params(params))),
+            "basedetail" => {
+                // Durand-style base–detail decomposition (the direction the
+                // real-time TMO survey points local operators toward): the
+                // Fig. 1 inverted wide blur compresses the base layer, then a
+                // narrower blur of the compressed image recombines local
+                // detail with a milder, non-inverted masking. Two stencil
+                // stages — the cascade the streaming planner fuses
+                // back-to-back.
+                let detail_blur = BlurParams {
+                    sigma: (params.blur.sigma * 0.25).max(0.5),
+                    radius: (params.blur.radius / 4).max(1),
+                };
+                let detail_masking = MaskingParams {
+                    strength: params.masking.strength * 0.5,
+                    invert_mask: false,
+                };
+                vec![
+                    PipelineOp::Normalize,
+                    PipelineOp::BlurMask {
+                        blur: params.blur,
+                        invert_input: params.masking.invert_mask,
+                    },
+                    PipelineOp::Mask(params.masking),
+                    PipelineOp::BlurMask {
+                        blur: detail_blur,
+                        invert_input: false,
+                    },
+                    PipelineOp::Mask(detail_masking),
+                    PipelineOp::Adjust(params.adjust),
+                ]
+            }
             "reinhard" => vec![
                 PipelineOp::Normalize,
                 PipelineOp::Reinhard {
@@ -629,13 +722,50 @@ impl PipelinePlan {
     }
 
     /// The reduction-backed stages that read an *intermediate* image (today:
-    /// histogram equalization), with their indices. These are what break
-    /// streaming fusion.
+    /// histogram equalization), with their indices. These are the
+    /// materialization barriers of [`PipelinePlan::segmentation`].
     pub fn intermediate_reductions(&self) -> impl Iterator<Item = (usize, PipelineOpKind)> + '_ {
         self.ops.iter().enumerate().filter_map(|(i, op)| match op {
             PipelineOp::HistogramEq { .. } => Some((i, PipelineOpKind::HistogramEq)),
             _ => None,
         })
+    }
+
+    /// Splits the plan at its materialization barriers — the reduction
+    /// stages that must see the whole intermediate image before the first
+    /// output pixel can stream — into the fused segments the streaming
+    /// planner compiles one line-buffer cascade each.
+    ///
+    /// `segments.len() == barriers.len() + 1` always holds (end segments may
+    /// be empty), so a barrier-free plan is exactly one segment.
+    pub fn segmentation(&self) -> PlanSegmentation {
+        let mut segments = Vec::new();
+        let mut barriers = Vec::new();
+        let mut start = 0usize;
+        let mut stencils = Vec::new();
+        for (index, op) in self.ops.iter().enumerate() {
+            match op {
+                PipelineOp::HistogramEq { .. } => {
+                    segments.push(PlanSegment {
+                        start,
+                        end: index,
+                        stencils: std::mem::take(&mut stencils),
+                    });
+                    barriers.push((index, PipelineOpKind::HistogramEq));
+                    start = index + 1;
+                }
+                PipelineOp::BlurMask { blur, invert_input } => {
+                    stencils.push((index, *blur, *invert_input));
+                }
+                _ => {}
+            }
+        }
+        segments.push(PlanSegment {
+            start,
+            end: self.ops.len(),
+            stencils,
+        });
+        PlanSegmentation { segments, barriers }
     }
 
     /// The per-stage analytic operation profile of this plan — the
@@ -973,6 +1103,88 @@ mod tests {
             ),
             Err(PlanError::InvalidBins(1))
         ));
+    }
+
+    #[test]
+    fn segmentation_splits_at_reduction_barriers() {
+        // Barrier-free plans are exactly one segment.
+        let paper = PipelinePlan::paper_default().segmentation();
+        assert!(paper.is_single_pass());
+        assert_eq!(paper.segments.len(), 1);
+        assert_eq!(paper.region_count(), 1);
+        assert_eq!(paper.segments[0].len(), 4);
+        assert_eq!(
+            paper.segments[0].latency_rows(),
+            BlurParams::paper_default().radius
+        );
+
+        // A mid-plan reduction splits the plan into two fused runs.
+        let blur = BlurParams {
+            sigma: 2.0,
+            radius: 4,
+        };
+        let masking = MaskingParams::paper_default();
+        let plan = PipelinePlan::new(vec![
+            PipelineOp::Normalize,
+            PipelineOp::BlurMask {
+                blur,
+                invert_input: true,
+            },
+            PipelineOp::Mask(masking),
+            PipelineOp::HistogramEq { bins: 64 },
+            PipelineOp::BlurMask {
+                blur,
+                invert_input: false,
+            },
+            PipelineOp::Mask(masking),
+        ])
+        .unwrap();
+        let seg = plan.segmentation();
+        assert!(!seg.is_single_pass());
+        assert_eq!(seg.barriers, vec![(3, PipelineOpKind::HistogramEq)]);
+        assert_eq!(seg.segments.len(), 2);
+        assert_eq!((seg.segments[0].start, seg.segments[0].end), (0, 3));
+        assert_eq!((seg.segments[1].start, seg.segments[1].end), (4, 6));
+        assert_eq!(seg.region_count(), 2);
+        assert_eq!(seg.segments[1].stencils, vec![(4, blur, false)]);
+
+        // A trailing reduction leaves an empty end segment; the invariant
+        // `segments == barriers + 1` holds.
+        let trailing = PipelinePlan::new(vec![
+            PipelineOp::Normalize,
+            PipelineOp::HistogramEq { bins: 32 },
+        ])
+        .unwrap()
+        .segmentation();
+        assert_eq!(trailing.segments.len(), 2);
+        assert!(trailing.segments[1].is_empty());
+        assert_eq!(trailing.segments[1].latency_rows(), 0);
+    }
+
+    #[test]
+    fn basedetail_preset_is_a_two_stencil_cascade() {
+        let params = ToneMapParams::paper_default();
+        let plan = PipelinePlan::preset("basedetail", &params, &PlanTuning::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(plan.ops().len(), 6);
+        assert_eq!(plan.stencil_stages().count(), 2);
+        assert_eq!(plan.intermediate_reductions().count(), 0);
+        let stencils: Vec<_> = plan.stencil_stages().collect();
+        // Base layer: the paper's wide inverted blur.
+        assert_eq!(stencils[0], (1, params.blur, params.masking.invert_mask));
+        // Detail layer: a narrower, non-inverted blur.
+        let (_, detail, inverted) = stencils[1];
+        assert!(!inverted);
+        assert!(detail.radius < params.blur.radius);
+        assert!(detail.sigma < params.blur.sigma);
+        // One fused segment, cascade latency = sum of both radii.
+        let seg = plan.segmentation();
+        assert!(seg.is_single_pass());
+        assert_eq!(
+            seg.segments[0].latency_rows(),
+            params.blur.radius + detail.radius
+        );
     }
 
     #[test]

@@ -1,27 +1,37 @@
-//! The streaming pipeline planner — the Fig. 4 line buffer in software.
+//! The streaming pipeline planner — the Fig. 4 line buffer in software,
+//! cascaded.
 //!
 //! [`crate::ToneMapper`] materialises a full-size intermediate image after
 //! every stage of its plan — one DDR round trip per stage, exactly the
 //! memory traffic the paper's restructured accelerator eliminates with its
 //! BRAM line buffer. [`StreamingToneMapper`] is the software analogue of
 //! that restructuring, generalised to any [`PipelinePlan`]: it *compiles*
-//! the plan and decides, stage class by stage class, whether the whole
-//! thing can run as one fused raster-order pass:
+//! the plan and decides, stage class by stage class, how much of it can run
+//! in fused raster order:
 //!
 //! * **point ops** (normalize, invert, mask, adjust, gamma, log curve,
-//!   Reinhard) fuse freely into the per-sample prolog/epilog chains;
-//! * **one stencil op** (the separable Gaussian blur) becomes the rolling
-//!   ring of `2·radius + 1` horizontally-blurred rows — the line buffer;
-//! * **reductions over an intermediate** (histogram equalization) and
-//!   **additional stencil stages** cannot stream in one pass: the planner
-//!   reports *why* ([`FusionBlocker`]) and falls back to the two-pass
-//!   executor, exactly as an HLS dataflow region breaks at a
-//!   non-streamable dependence.
+//!   Reinhard) fuse freely into the per-sample chains of whichever fused
+//!   region consumes them;
+//! * **each stencil op** (a separable Gaussian blur) becomes its own
+//!   rolling ring of `2·radius + 1` horizontally-blurred rows — one line
+//!   buffer per stencil, cascaded back-to-back so stage *k*'s ring is fed
+//!   on demand by stage *k − 1*'s rows (staggered row latency = sum of the
+//!   upstream radii), the way HWTool and the Halide-to-hardware flows
+//!   compose line-buffered stages;
+//! * **reductions over an intermediate** (histogram equalization) are
+//!   *materialization barriers*: the histogram/CDF must see the whole
+//!   intermediate before the first output pixel, so the plan splits at the
+//!   barrier into fused segments ([`PipelinePlan::segmentation`]) — one
+//!   cascade per segment — instead of abandoning fusion;
+//! * only a **mask whose lifetime straddles a barrier** still forces the
+//!   two-pass fallback: the consumer's segment would need a ring the
+//!   barrier has already drained ([`FusionBlocker::MaskAcrossBarrier`]).
 //!
-//! The compiled decision is inspectable through
-//! [`StreamingToneMapper::decision`].
+//! The compiled decision — [`StreamingDecision::FullyFused`], `Segmented`
+//! with its barriers, or `Fallback` with its reasons — is inspectable
+//! through [`StreamingToneMapper::decision`].
 //!
-//! When fusion succeeds, the arithmetic is *bit-identical* to the two-pass
+//! Whatever the verdict, the arithmetic is *bit-identical* to the two-pass
 //! planner: every sample goes through the same operations in the same
 //! order ([`crate::normalize::normalize_sample`],
 //! [`crate::blur::quantize_kernel`]'s taps applied in ascending tap order,
@@ -34,7 +44,7 @@
 //!
 //! Like [`crate::ToneMapper::map_luminance_hw_blur`], the pipeline uses the
 //! paper's hardware/software split: the point-wise stages compute in `f32`
-//! (the processing system) while the stencil computes in the sample type
+//! (the processing system) while each stencil computes in the sample type
 //! `S` (the programmable logic), with quantisation at the accelerator
 //! boundary. `S = f32` therefore reproduces the pure software reference and
 //! `S = apfixed::Fix16` the paper's final fixed-point accelerator.
@@ -42,7 +52,7 @@
 //! Rows are an embarrassingly parallel unit: [`StreamingToneMapper`] can
 //! slice the output rows across scoped threads
 //! ([`StreamingToneMapper::with_threads`]), each slice re-deriving the few
-//! ring rows it shares with its neighbour. Outputs stay bit-identical at
+//! cascade rows it shares with its neighbour. Outputs stay bit-identical at
 //! any thread count because every output row's computation is
 //! self-contained.
 //!
@@ -66,59 +76,87 @@ use crate::masking::masked_sample;
 use crate::normalize::{normalization_scale, normalize_sample};
 use crate::params::{MaskingParams, ParamError, ToneMapParams};
 use crate::plan::{
-    execute_plan_hw_blur, log_curve_sample, reinhard_sample, PipelineOp, PipelineOpKind,
-    PipelinePlan,
+    execute_plan_hw_blur, histogram_equalize, log_curve_sample, reinhard_sample, PipelineOp,
+    PipelineOpKind, PipelinePlan,
 };
 use crate::sample::Sample;
 use hdr_image::LuminanceImage;
 use std::fmt;
 
-/// Why a plan could not be fused into one raster-order streaming pass.
+/// Why a plan could not stream at all (not even segmented).
+///
+/// Since plan segmentation landed, reductions and extra stencils no longer
+/// block streaming — barriers split the plan, stencils cascade. The one
+/// remaining blocker is a mask register whose lifetime crosses a barrier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FusionBlocker {
-    /// A reduction-backed op reads a full *intermediate* image (its
-    /// histogram/CDF must exist before the first output pixel), forcing a
-    /// materialized pre-pass.
-    ReductionOverIntermediate {
-        /// Index of the stage in the plan.
-        index: usize,
-        /// Which reduction op blocked fusion.
-        op: PipelineOpKind,
+    /// A blurred mask produced before a materialization barrier is consumed
+    /// after it. The consumer's fused segment would need the producer's row
+    /// ring, but the barrier has already drained the cascade, so the plan
+    /// falls back to two-pass execution.
+    MaskAcrossBarrier {
+        /// Index of the [`PipelineOp::BlurMask`] stage that produced the mask.
+        producer: usize,
+        /// Index of the barrier stage the mask's lifetime straddles.
+        barrier: usize,
     },
-    /// More than one stencil stage: each separable blur needs its own line
-    /// buffer over the *previous stage's* rows, so a second blur starts a
-    /// new pass.
-    MultipleStencils {
-        /// How many stencil stages the plan has.
-        count: usize,
-    },
+}
+
+impl FusionBlocker {
+    /// The plan stage this blocker anchors to, used to order the reasons
+    /// list. Every variant reports a real stage index — the old
+    /// `usize::MAX` sentinel for index-less variants is gone.
+    pub fn stage_index(&self) -> usize {
+        match *self {
+            FusionBlocker::MaskAcrossBarrier { barrier, .. } => barrier,
+        }
+    }
 }
 
 impl fmt::Display for FusionBlocker {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FusionBlocker::ReductionOverIntermediate { index, op } => write!(
+            FusionBlocker::MaskAcrossBarrier { producer, barrier } => write!(
                 f,
-                "stage {index} ({op}) reduces over an intermediate image, which must be \
-                 materialized before the first output pixel can stream"
-            ),
-            FusionBlocker::MultipleStencils { count } => write!(
-                f,
-                "{count} stencil stages: each needs its own line-buffer pass, so the plan \
-                 cannot fuse into one"
+                "the mask blurred at stage {producer} is consumed after the materialization \
+                 barrier at stage {barrier}, so its row ring cannot survive the barrier"
             ),
         }
+    }
+}
+
+/// One materialization barrier of a segmented streaming plan: a reduction
+/// stage that must see the whole intermediate image before the first output
+/// pixel of the next fused segment can stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamBarrier {
+    /// Index of the barrier stage in the plan.
+    pub index: usize,
+    /// The reduction op that forms the barrier.
+    pub op: PipelineOpKind,
+}
+
+impl fmt::Display for StreamBarrier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stage {} ({})", self.index, self.op)
     }
 }
 
 /// The streaming planner's verdict on a compiled plan.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StreamingDecision {
-    /// The whole plan runs as one fused raster-order pass.
-    Fused,
+    /// The whole plan runs as one fused raster-order pass — every stencil a
+    /// line-buffer region in one cascade, no full-size intermediates.
+    FullyFused,
+    /// The plan streams as `barriers.len() + 1` fused cascades, each
+    /// materializing one intermediate at the listed reduction barriers.
+    Segmented {
+        /// Every materialization barrier, in stage order.
+        barriers: Vec<StreamBarrier>,
+    },
     /// The plan executes through the two-pass (materialized) executor, for
     /// the listed reasons.
-    MaterializedFallback {
+    Fallback {
         /// Every blocker the planner found, in stage order.
         reasons: Vec<FusionBlocker>,
     },
@@ -127,14 +165,28 @@ pub enum StreamingDecision {
 impl StreamingDecision {
     /// `true` when the plan streams as one fused pass.
     pub fn is_fused(&self) -> bool {
-        matches!(self, StreamingDecision::Fused)
+        matches!(self, StreamingDecision::FullyFused)
     }
 
-    /// The fusion blockers (empty when fused).
+    /// `true` when the plan executes through the streaming cascade at all
+    /// — fully fused or segmented — rather than the two-pass fallback.
+    pub fn is_streamed(&self) -> bool {
+        !matches!(self, StreamingDecision::Fallback { .. })
+    }
+
+    /// The fusion blockers (empty unless the plan fell back).
     pub fn reasons(&self) -> &[FusionBlocker] {
         match self {
-            StreamingDecision::Fused => &[],
-            StreamingDecision::MaterializedFallback { reasons } => reasons,
+            StreamingDecision::Fallback { reasons } => reasons,
+            _ => &[],
+        }
+    }
+
+    /// The materialization barriers (empty unless the plan is segmented).
+    pub fn barriers(&self) -> &[StreamBarrier] {
+        match self {
+            StreamingDecision::Segmented { barriers } => barriers,
+            _ => &[],
         }
     }
 }
@@ -142,8 +194,24 @@ impl StreamingDecision {
 impl fmt::Display for StreamingDecision {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StreamingDecision::Fused => f.write_str("fused into one raster-order pass"),
-            StreamingDecision::MaterializedFallback { reasons } => {
+            StreamingDecision::FullyFused => f.write_str("fused into one raster-order pass"),
+            StreamingDecision::Segmented { barriers } => {
+                write!(
+                    f,
+                    "segmented into {} fused passes at {} materialization barrier{}: ",
+                    barriers.len() + 1,
+                    barriers.len(),
+                    if barriers.len() == 1 { "" } else { "s" },
+                )?;
+                for (i, barrier) in barriers.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{barrier}")?;
+                }
+                Ok(())
+            }
+            StreamingDecision::Fallback { reasons } => {
                 f.write_str("materialized two-pass fallback: ")?;
                 for (i, reason) in reasons.iter().enumerate() {
                     if i > 0 {
@@ -209,100 +277,153 @@ impl CompiledPointOp {
     }
 }
 
-/// The stencil stage of a fused program: the quantised kernel plus the
-/// Moroney input inversion at the accelerator boundary.
+/// One fused line-buffer region of a cascade: the point ops feeding this
+/// region's value stream (consuming the *previous* region's mask, if any),
+/// then the stencil — the quantised kernel plus the Moroney input inversion
+/// at the accelerator boundary.
 #[derive(Debug, Clone, PartialEq)]
-struct Stencil<S: Sample> {
+struct Region<S: Sample> {
+    /// Point ops applied to the upstream value stream before this stencil.
+    chain: Vec<CompiledPointOp>,
     kernel: Vec<S>,
     invert_input: bool,
 }
 
-/// A plan compiled for one fused raster-order pass.
+/// One fused segment of a compiled plan: a cascade of line-buffer regions
+/// followed by the point-op epilog (which consumes the last region's mask).
 #[derive(Debug, Clone, PartialEq)]
-struct FusedProgram<S: Sample> {
-    /// Whether the plan starts with normalization (resolved by the scale
-    /// pre-scan over the raw input).
-    normalize: bool,
-    /// Point ops between the (optional) normalize and the stencil.
-    prolog: Vec<CompiledPointOp>,
-    /// The single stencil stage, if the plan has one.
-    stencil: Option<Stencil<S>>,
-    /// Point ops after the stencil (including the mask consumer).
+struct FusedSegment<S: Sample> {
+    regions: Vec<Region<S>>,
     epilog: Vec<CompiledPointOp>,
 }
 
-impl<S: Sample> FusedProgram<S> {
-    /// The per-sample image value *before* the epilog: ingest + prolog.
-    #[inline]
-    fn point_value(&self, raw: f32, scale: Option<f32>) -> f32 {
-        let mut v = normalize_sample(raw, scale);
-        for op in &self.prolog {
-            v = op.apply(v, None);
-        }
-        v
+impl<S: Sample> FusedSegment<S> {
+    fn is_identity(&self) -> bool {
+        self.regions.is_empty() && self.epilog.is_empty()
     }
+}
+
+/// One step of a compiled streaming plan: a fused raster-order cascade, or
+/// the materialization barrier between two of them. Segments always
+/// alternate starting (and ending) with a fused segment, possibly empty.
+#[derive(Debug, Clone, PartialEq)]
+enum SegmentProgram<S: Sample> {
+    Fused(FusedSegment<S>),
+    Barrier {
+        index: usize,
+        op: PipelineOpKind,
+        bins: usize,
+    },
+}
+
+/// A plan compiled for streaming execution.
+#[derive(Debug, Clone, PartialEq)]
+struct StreamProgram<S: Sample> {
+    /// Whether the plan starts with normalization (resolved by the scale
+    /// pre-scan over the raw input).
+    normalize: bool,
+    segments: Vec<SegmentProgram<S>>,
 }
 
 #[derive(Debug, Clone, PartialEq)]
 enum Program<S: Sample> {
-    Fused(FusedProgram<S>),
+    Stream(StreamProgram<S>),
     Fallback(Vec<FusionBlocker>),
 }
 
 fn compile_program<S: Sample>(plan: &PipelinePlan) -> Program<S> {
-    let mut reasons: Vec<FusionBlocker> = plan
-        .intermediate_reductions()
-        .map(|(index, op)| FusionBlocker::ReductionOverIntermediate { index, op })
-        .collect();
-    let stencil_count = plan.stencil_stages().count();
-    if stencil_count > 1 {
-        reasons.push(FusionBlocker::MultipleStencils {
-            count: stencil_count,
-        });
+    // The one shape that cannot stream: a mask produced before a barrier
+    // and consumed after it. Plan validation allows it (reductions do not
+    // touch the mask register), but the consumer's segment would need a row
+    // ring the barrier has already drained.
+    let mut reasons: Vec<FusionBlocker> = Vec::new();
+    let mut pending_mask: Option<usize> = None;
+    for (index, op) in plan.ops().iter().enumerate() {
+        match op {
+            PipelineOp::BlurMask { .. } => pending_mask = Some(index),
+            PipelineOp::Mask(_) => pending_mask = None,
+            PipelineOp::HistogramEq { .. } => {
+                if let Some(producer) = pending_mask {
+                    reasons.push(FusionBlocker::MaskAcrossBarrier {
+                        producer,
+                        barrier: index,
+                    });
+                }
+            }
+            _ => {}
+        }
     }
     if !reasons.is_empty() {
-        reasons.sort_by_key(|r| match *r {
-            FusionBlocker::ReductionOverIntermediate { index, .. } => index,
-            FusionBlocker::MultipleStencils { .. } => usize::MAX,
+        reasons.sort_by_key(|r| {
+            let FusionBlocker::MaskAcrossBarrier { producer, .. } = *r;
+            (r.stage_index(), producer)
         });
         return Program::Fallback(reasons);
     }
 
     let normalize = plan.starts_with_normalize();
-    let mut prolog = Vec::new();
-    let mut stencil = None;
-    let mut epilog = Vec::new();
-    for op in plan.ops().iter().skip(usize::from(normalize)) {
+    let mut segments = Vec::new();
+    let mut regions: Vec<Region<S>> = Vec::new();
+    let mut chain: Vec<CompiledPointOp> = Vec::new();
+    for (index, op) in plan.ops().iter().enumerate() {
+        if index == 0 && normalize {
+            continue;
+        }
         match op {
-            PipelineOp::BlurMask { blur, invert_input } => {
-                stencil = Some(Stencil {
-                    kernel: quantize_kernel::<S>(&gaussian_kernel(blur)),
-                    invert_input: *invert_input,
+            PipelineOp::BlurMask { blur, invert_input } => regions.push(Region {
+                chain: std::mem::take(&mut chain),
+                kernel: quantize_kernel::<S>(&gaussian_kernel(blur)),
+                invert_input: *invert_input,
+            }),
+            PipelineOp::HistogramEq { bins } => {
+                segments.push(SegmentProgram::Fused(FusedSegment {
+                    regions: std::mem::take(&mut regions),
+                    epilog: std::mem::take(&mut chain),
+                }));
+                segments.push(SegmentProgram::Barrier {
+                    index,
+                    op: PipelineOpKind::HistogramEq,
+                    bins: *bins,
                 });
             }
-            _ => {
-                let compiled = CompiledPointOp::from_op(op);
-                if stencil.is_some() {
-                    epilog.push(compiled);
-                } else {
-                    prolog.push(compiled);
-                }
-            }
+            _ => chain.push(CompiledPointOp::from_op(op)),
         }
     }
-    Program::Fused(FusedProgram {
+    segments.push(SegmentProgram::Fused(FusedSegment {
+        regions,
+        epilog: chain,
+    }));
+    Program::Stream(StreamProgram {
         normalize,
-        prolog,
-        stencil,
-        epilog,
+        segments,
     })
 }
 
-/// The streaming tone mapper: a [`PipelinePlan`] compiled for one
-/// raster-order pass over the image with a rolling row ring buffer, no
-/// full-size intermediates.
+/// How a fused segment reads its input samples: the first segment ingests
+/// the raw HDR input (sanitizing and optionally normalizing, exactly like
+/// the two-pass executor's first step), later segments read the previous
+/// barrier's materialized `f32` register verbatim.
+#[derive(Debug, Clone, Copy)]
+enum Ingest {
+    Source(Option<f32>),
+    Passthrough,
+}
+
+impl Ingest {
+    #[inline]
+    fn apply(self, raw: f32) -> f32 {
+        match self {
+            Ingest::Source(scale) => normalize_sample(raw, scale),
+            Ingest::Passthrough => raw,
+        }
+    }
+}
+
+/// The streaming tone mapper: a [`PipelinePlan`] compiled into fused
+/// raster-order cascades of rolling row rings — one line buffer per stencil
+/// stage — with full-size intermediates only at materialization barriers.
 ///
-/// Unlike [`crate::ToneMapper`], the blur kernel is quantised into `S`
+/// Unlike [`crate::ToneMapper`], every blur kernel is quantised into `S`
 /// **once at construction** and reused for every image this mapper
 /// processes — the classic path re-derives and re-quantises it on every
 /// call.
@@ -340,9 +461,11 @@ impl<S: Sample> StreamingToneMapper<S> {
     }
 
     /// Compiles an arbitrary validated [`PipelinePlan`] for streaming
-    /// execution. Plans that cannot fuse (reductions over intermediates,
-    /// multiple stencils) still execute — through the two-pass fallback —
-    /// and [`StreamingToneMapper::decision`] reports why.
+    /// execution. Multi-stencil plans fuse into one cascade; reductions
+    /// split the plan into fused segments; the rare plan that cannot stream
+    /// at all (a mask straddling a barrier) still executes — through the
+    /// two-pass fallback — and [`StreamingToneMapper::decision`] reports
+    /// why.
     ///
     /// # Errors
     ///
@@ -380,14 +503,32 @@ impl<S: Sample> StreamingToneMapper<S> {
         &self.plan
     }
 
-    /// The planner's fusion verdict for the compiled plan — one fused pass,
-    /// or the two-pass fallback with the reasons why.
+    /// The planner's verdict for the compiled plan — one fused pass, a
+    /// barrier-segmented stream, or the two-pass fallback with the reasons
+    /// why.
     pub fn decision(&self) -> StreamingDecision {
         match &self.program {
-            Program::Fused(_) => StreamingDecision::Fused,
-            Program::Fallback(reasons) => StreamingDecision::MaterializedFallback {
+            Program::Fallback(reasons) => StreamingDecision::Fallback {
                 reasons: reasons.clone(),
             },
+            Program::Stream(program) => {
+                let barriers: Vec<StreamBarrier> = program
+                    .segments
+                    .iter()
+                    .filter_map(|segment| match segment {
+                        SegmentProgram::Barrier { index, op, .. } => Some(StreamBarrier {
+                            index: *index,
+                            op: *op,
+                        }),
+                        SegmentProgram::Fused(_) => None,
+                    })
+                    .collect();
+                if barriers.is_empty() {
+                    StreamingDecision::FullyFused
+                } else {
+                    StreamingDecision::Segmented { barriers }
+                }
+            }
         }
     }
 
@@ -396,14 +537,18 @@ impl<S: Sample> StreamingToneMapper<S> {
         self.threads
     }
 
-    /// The blur kernel quantised into the working sample type at
-    /// construction (empty for plans without a fused stencil stage).
+    /// The first cascade region's blur kernel quantised into the working
+    /// sample type at construction (empty for plans without a fused stencil
+    /// stage).
     pub fn kernel(&self) -> &[S] {
         match &self.program {
-            Program::Fused(p) => p
-                .stencil
-                .as_ref()
-                .map(|s| s.kernel.as_slice())
+            Program::Stream(program) => program
+                .segments
+                .iter()
+                .find_map(|segment| match segment {
+                    SegmentProgram::Fused(seg) => seg.regions.first().map(|r| r.kernel.as_slice()),
+                    SegmentProgram::Barrier { .. } => None,
+                })
                 .unwrap_or(&[]),
             Program::Fallback(_) => &[],
         }
@@ -417,131 +562,175 @@ impl<S: Sample> StreamingToneMapper<S> {
     pub fn map_luminance(&self, hdr: &LuminanceImage) -> LuminanceImage {
         let program = match &self.program {
             Program::Fallback(_) => return execute_plan_hw_blur::<S>(&self.plan, hdr),
-            Program::Fused(program) => program,
+            Program::Stream(program) => program,
         };
         let scale = if program.normalize {
             normalization_scale(hdr)
         } else {
             None
         };
-        if program.stencil.is_none() {
-            // Pure point chain: every pixel is independent, nothing to
-            // ring — the rows still slice across the configured threads.
-            let (width, height) = hdr.dimensions();
-            let mut out = vec![0.0f32; width * height];
-            let point_rows = |first_row: usize, chunk: &mut [f32]| {
-                let input = &hdr.pixels()[first_row * width..first_row * width + chunk.len()];
-                for (dst, &raw) in chunk.iter_mut().zip(input) {
-                    let mut v = program.point_value(raw, scale);
-                    for op in &program.epilog {
-                        v = op.apply(v, None);
+        let mut ingest = Ingest::Source(scale);
+        let mut current: Option<LuminanceImage> = None;
+        for segment in &program.segments {
+            match segment {
+                SegmentProgram::Fused(seg) => {
+                    // A no-op segment on an already-materialized register
+                    // (e.g. a trailing reduction) has nothing to compute.
+                    // The *first* segment always runs: its ingestion is the
+                    // sanitize/normalize step of the two-pass executor.
+                    if seg.is_identity() && matches!(ingest, Ingest::Passthrough) {
+                        continue;
                     }
-                    *dst = v;
+                    let input = current.as_ref().unwrap_or(hdr);
+                    current = Some(run_fused_segment(seg, input, ingest, self.threads));
+                    ingest = Ingest::Passthrough;
                 }
-            };
-            let threads = self.threads.min(height.max(1));
-            if threads <= 1 {
-                point_rows(0, &mut out);
-            } else {
-                let rows_per_slice = height.div_ceil(threads);
-                std::thread::scope(|scope| {
-                    for (slice, chunk) in out.chunks_mut(rows_per_slice * width).enumerate() {
-                        let point_rows = &point_rows;
-                        scope.spawn(move || point_rows(slice * rows_per_slice, chunk));
-                    }
-                });
+                SegmentProgram::Barrier { bins, .. } => {
+                    let input = current
+                        .as_ref()
+                        .expect("a fused segment precedes every barrier");
+                    // The exact reduction the two-pass executor applies to
+                    // its f32 register, so segmented streaming stays
+                    // bit-identical.
+                    current = Some(histogram_equalize::<f32>(input, *bins));
+                }
             }
-            return LuminanceImage::from_vec(width, height, out)
-                .expect("output dimensions equal input dimensions");
         }
-        let (width, height) = hdr.dimensions();
-        let mut out = vec![0.0f32; width * height];
-        let threads = self.threads.min(height);
+        current.expect("compiled plans always run at least one fused segment")
+    }
+}
+
+/// Runs one fused segment over its input image — a pure point pass when the
+/// segment has no stencil, otherwise the line-buffer cascade — slicing the
+/// output rows across the configured threads.
+fn run_fused_segment<S: Sample>(
+    segment: &FusedSegment<S>,
+    input: &LuminanceImage,
+    ingest: Ingest,
+    threads: usize,
+) -> LuminanceImage {
+    let (width, height) = input.dimensions();
+    let mut out = vec![0.0f32; width * height];
+    let threads = threads.min(height.max(1));
+    if segment.regions.is_empty() {
+        // Pure point chain: every pixel is independent, nothing to ring.
+        let point_rows = |first_row: usize, chunk: &mut [f32]| {
+            let pixels = &input.pixels()[first_row * width..first_row * width + chunk.len()];
+            for (dst, &raw) in chunk.iter_mut().zip(pixels) {
+                let mut v = ingest.apply(raw);
+                for op in &segment.epilog {
+                    v = op.apply(v, None);
+                }
+                *dst = v;
+            }
+        };
         if threads <= 1 {
-            run_rows(program, hdr, scale, 0, &mut out);
+            point_rows(0, &mut out);
         } else {
             let rows_per_slice = height.div_ceil(threads);
             std::thread::scope(|scope| {
                 for (slice, chunk) in out.chunks_mut(rows_per_slice * width).enumerate() {
-                    let first_row = slice * rows_per_slice;
-                    scope.spawn(move || run_rows(program, hdr, scale, first_row, chunk));
+                    let point_rows = &point_rows;
+                    scope.spawn(move || point_rows(slice * rows_per_slice, chunk));
                 }
             });
         }
-        LuminanceImage::from_vec(width, height, out)
-            .expect("output dimensions equal input dimensions")
+    } else if threads <= 1 {
+        run_rows(segment, input, ingest, 0, &mut out);
+    } else {
+        let rows_per_slice = height.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (slice, chunk) in out.chunks_mut(rows_per_slice * width).enumerate() {
+                let first_row = slice * rows_per_slice;
+                scope.spawn(move || run_rows(segment, input, ingest, first_row, chunk));
+            }
+        });
+    }
+    LuminanceImage::from_vec(width, height, out).expect("output dimensions equal input dimensions")
+}
+
+/// The per-slice working state of one cascade region: the Fig. 4 line
+/// buffer (`hrows`, horizontally blurred in `S`) plus the region's own
+/// chain-output rows (`vrows`, the `f32` value stream the next region — or
+/// the epilog — reads). Both rings hold `min(2·radius + 1, height)` rows
+/// and are indexed by source row modulo ring length. Nothing here scales
+/// with the image height.
+struct RegionState<S: Sample> {
+    hrows: Vec<Vec<S>>,
+    vrows: Vec<Vec<f32>>,
+    /// Edge-padded scratch row for the horizontal blur.
+    padded: Vec<S>,
+    /// Vertical accumulator scratch row.
+    vacc: Vec<S>,
+    /// Scratch rows receiving the upstream region's value/mask streams
+    /// (empty for the first region, which reads the segment input).
+    up_v: Vec<f32>,
+    up_mask: Vec<f32>,
+    /// The next source row this region will produce — rows are produced
+    /// lazily, in order, the moment a consumer's vertical window first
+    /// reaches them.
+    next_row: Option<usize>,
+}
+
+impl<S: Sample> RegionState<S> {
+    fn new(region: &Region<S>, width: usize, height: usize, has_upstream: bool) -> Self {
+        let taps = region.kernel.len();
+        let radius = taps / 2;
+        let len = taps.min(height).max(1);
+        let (up_v, up_mask) = if has_upstream {
+            (vec![0.0f32; width], vec![0.0f32; width])
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        RegionState {
+            hrows: vec![vec![S::zero(); width]; len],
+            vrows: vec![vec![0.0f32; width]; len],
+            padded: vec![S::zero(); width + 2 * radius],
+            vacc: vec![S::zero(); width],
+            up_v,
+            up_mask,
+            next_row: None,
+        }
     }
 }
 
 /// Processes the output rows `first_row ..` covered by `out` (a
-/// whole-row-aligned slice of the output buffer) in raster order.
+/// whole-row-aligned slice of the output buffer) in raster order through
+/// the segment's cascade. Each slice owns fresh region states, so slices
+/// are fully independent and bit-identical at any thread count.
 fn run_rows<S: Sample>(
-    program: &FusedProgram<S>,
-    hdr: &LuminanceImage,
-    scale: Option<f32>,
+    segment: &FusedSegment<S>,
+    input: &LuminanceImage,
+    ingest: Ingest,
     first_row: usize,
     out: &mut [f32],
 ) {
-    let (width, height) = hdr.dimensions();
-    let rows = out.len() / width;
-    let stencil = program
-        .stencil
-        .as_ref()
-        .expect("run_rows is only entered with a stencil stage");
-    let kernel = &stencil.kernel;
-    let radius = kernel.len() / 2;
-    let taps = kernel.len();
-
-    // The line buffer of Fig. 4: a rolling ring of `2·radius + 1`
-    // horizontally blurred rows, indexed by source row modulo taps.
-    let mut ring: Vec<Vec<S>> = vec![vec![S::zero(); width]; taps.min(height)];
-    // Row-sized scratch: the edge-padded mask-input row and the
-    // vertical accumulator. Nothing here scales with the image height.
-    let mut padded: Vec<S> = vec![S::zero(); width + 2 * radius];
-    let mut vacc: Vec<S> = vec![S::zero(); width];
-
-    // Rows are produced lazily, in order, the moment the vertical
-    // window first reaches them.
-    let mut next_row = first_row.saturating_sub(radius);
+    let (width, height) = input.dimensions();
+    let mut states: Vec<RegionState<S>> = segment
+        .regions
+        .iter()
+        .enumerate()
+        .map(|(i, region)| RegionState::new(region, width, height, i > 0))
+        .collect();
+    let mut v_row = vec![0.0f32; width];
+    let mut mask_row = vec![0.0f32; width];
     for (row_index, out_row) in out.chunks_exact_mut(width).enumerate() {
         let y = first_row + row_index;
-        debug_assert!(row_index < rows);
-        let newest_needed = (y + radius).min(height - 1);
-        while next_row <= newest_needed {
-            let slot = next_row % ring.len();
-            fill_blurred_row(
-                &mut ring[slot],
-                &mut padded,
-                &hdr.pixels()[next_row * width..(next_row + 1) * width],
-                scale,
-                program,
-            );
-            next_row += 1;
-        }
-
-        // Vertical pass over the ring, tap-major so the inner loop
-        // walks each buffered row sequentially. Per output sample the
-        // taps are applied in the same ascending order as the two-pass
-        // reference, so the accumulation is bit-identical.
-        for a in vacc.iter_mut() {
-            *a = S::zero();
-        }
-        for (k, &weight) in kernel.iter().enumerate() {
-            let source_row = (y + k).saturating_sub(radius).min(height - 1);
-            let row = &ring[source_row % ring.len()];
-            for (acc, &sample) in vacc.iter_mut().zip(row) {
-                *acc = weight.mul_add(sample, *acc);
-            }
-        }
-
-        // Fused point-wise tail: re-derive the point value of the input row
-        // (a handful of point ops beat a second full-size buffer), then run
-        // the epilog chain against the blurred mask.
-        let input_row = &hdr.pixels()[y * width..(y + 1) * width];
-        for ((dst, &raw), &mask) in out_row.iter_mut().zip(input_row).zip(vacc.iter()) {
-            let mut v = program.point_value(raw, scale);
-            let mask = Some(mask.to_f32());
-            for op in &program.epilog {
+        emit_row(
+            &segment.regions,
+            &mut states,
+            input,
+            ingest,
+            y,
+            &mut v_row,
+            &mut mask_row,
+        );
+        // Fused point-wise tail: the epilog chain runs against the last
+        // region's value stream and blurred mask.
+        for ((dst, &value), &mask) in out_row.iter_mut().zip(v_row.iter()).zip(mask_row.iter()) {
+            let mut v = value;
+            let mask = Some(mask);
+            for op in &segment.epilog {
                 v = op.apply(v, mask);
             }
             *dst = v;
@@ -549,34 +738,129 @@ fn run_rows<S: Sample>(
     }
 }
 
-/// Runs the point prolog over one source row and horizontally blurs it into
-/// `dst` — the producer side of the line buffer.
+/// Produces output row `y` of the *last* region in `regions`: its chain
+/// value stream into `v_out` and its blurred mask into `mask_out`.
 ///
-/// The row is edge-padded by `radius` replicated samples so the horizontal
-/// window never needs a clamp; the blur itself runs tap-major with
-/// unit-stride loads. Per output sample the taps are applied in ascending
-/// order, matching [`crate::blur::blur_horizontal`] bit-for-bit.
+/// This is the cascade step. The region pulls the source rows its vertical
+/// window needs from the upstream regions (recursively — `regions` and
+/// `states` are parallel slices split from the back), runs its point chain
+/// over them, horizontally blurs them into its ring, then applies the
+/// vertical taps. Rows are requested in strictly increasing order, so each
+/// region's lazy `next_row` cursor advances monotonically and every ring
+/// slot is consumed before it is overwritten (ring length ≥ radius + 1
+/// rows beyond the newest consumer row).
+fn emit_row<S: Sample>(
+    regions: &[Region<S>],
+    states: &mut [RegionState<S>],
+    input: &LuminanceImage,
+    ingest: Ingest,
+    y: usize,
+    v_out: &mut [f32],
+    mask_out: &mut [f32],
+) {
+    let (region, upstream_regions) = regions
+        .split_last()
+        .expect("emit_row requires at least one region");
+    let (state, upstream_states) = states
+        .split_last_mut()
+        .expect("region states parallel the regions");
+    let (width, height) = input.dimensions();
+    let kernel = &region.kernel;
+    let radius = kernel.len() / 2;
+    let len = state.hrows.len();
+
+    let newest_needed = (y + radius).min(height - 1);
+    let mut next = state.next_row.unwrap_or_else(|| y.saturating_sub(radius));
+    while next <= newest_needed {
+        let slot = next % len;
+        if upstream_regions.is_empty() {
+            // First region: the value stream is the ingested segment input
+            // through this region's point chain (mask-free by plan
+            // validation — no mask exists before the first stencil).
+            let raw_row = &input.pixels()[next * width..(next + 1) * width];
+            for (dst, &raw) in state.vrows[slot].iter_mut().zip(raw_row) {
+                let mut v = ingest.apply(raw);
+                for op in &region.chain {
+                    v = op.apply(v, None);
+                }
+                *dst = v;
+            }
+        } else {
+            // Later region: pull the upstream row on demand, then run this
+            // region's chain against the upstream value/mask streams.
+            emit_row(
+                upstream_regions,
+                upstream_states,
+                input,
+                ingest,
+                next,
+                &mut state.up_v,
+                &mut state.up_mask,
+            );
+            for ((dst, &value), &mask) in state.vrows[slot]
+                .iter_mut()
+                .zip(state.up_v.iter())
+                .zip(state.up_mask.iter())
+            {
+                let mut v = value;
+                let mask = Some(mask);
+                for op in &region.chain {
+                    v = op.apply(v, mask);
+                }
+                *dst = v;
+            }
+        }
+        fill_blurred_row(
+            &mut state.hrows[slot],
+            &mut state.padded,
+            &state.vrows[slot],
+            kernel,
+            region.invert_input,
+        );
+        next += 1;
+    }
+    state.next_row = Some(next);
+
+    // Vertical pass over the ring, tap-major so the inner loop walks each
+    // buffered row sequentially. Per output sample the taps are applied in
+    // the same ascending order as the two-pass reference, so the
+    // accumulation is bit-identical.
+    for a in state.vacc.iter_mut() {
+        *a = S::zero();
+    }
+    for (k, &weight) in kernel.iter().enumerate() {
+        let source_row = (y + k).saturating_sub(radius).min(height - 1);
+        let row = &state.hrows[source_row % len];
+        for (acc, &sample) in state.vacc.iter_mut().zip(row.iter()) {
+            *acc = weight.mul_add(sample, *acc);
+        }
+    }
+    for (m, acc) in mask_out.iter_mut().zip(state.vacc.iter()) {
+        *m = acc.to_f32();
+    }
+    v_out.copy_from_slice(&state.vrows[y % len]);
+}
+
+/// Horizontally blurs one chain-output row into `dst` — the producer side
+/// of a region's line buffer.
+///
+/// The row is quantised at the accelerator boundary (with the Moroney
+/// inversion applied first, in `f32`, when the region asks for it), then
+/// edge-padded by `radius` replicated samples so the horizontal window
+/// never needs a clamp; the blur itself runs tap-major with unit-stride
+/// loads. Per output sample the taps are applied in ascending order,
+/// matching [`crate::blur::blur_horizontal`] bit-for-bit.
 fn fill_blurred_row<S: Sample>(
     dst: &mut [S],
     padded: &mut [S],
-    input_row: &[f32],
-    scale: Option<f32>,
-    program: &FusedProgram<S>,
+    source: &[f32],
+    kernel: &[S],
+    invert_input: bool,
 ) {
-    let stencil = program
-        .stencil
-        .as_ref()
-        .expect("fill_blurred_row is only entered with a stencil stage");
-    let kernel = &stencil.kernel;
     let radius = kernel.len() / 2;
-    let width = input_row.len();
-    for (slot, &raw) in padded[radius..radius + width].iter_mut().zip(input_row) {
-        let point = program.point_value(raw, scale);
-        let mask_input = if stencil.invert_input {
-            1.0 - point
-        } else {
-            point
-        };
+    let width = source.len();
+    for (slot, &value) in padded[radius..radius + width].iter_mut().zip(source) {
+        let mask_input = if invert_input { 1.0 - value } else { value };
         *slot = S::from_f32(mask_input);
     }
     let first = padded[radius];
@@ -598,6 +882,7 @@ fn fill_blurred_row<S: Sample>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params::{AdjustParams, BlurParams};
     use crate::pipeline::ToneMapper;
     use crate::plan::PlanTuning;
     use apfixed::Fix16;
@@ -610,6 +895,38 @@ mod tests {
         p.blur.sigma = 2.0;
         p.blur.radius = 5;
         p
+    }
+
+    /// A two-stencil, mask-per-stencil plan with distinct radii, so the
+    /// cascade tests exercise staggered row latency.
+    fn two_stencil_plan() -> PipelinePlan {
+        let base = BlurParams {
+            sigma: 1.5,
+            radius: 3,
+        };
+        let detail = BlurParams {
+            sigma: 1.0,
+            radius: 2,
+        };
+        let masking = MaskingParams::paper_default();
+        PipelinePlan::new(vec![
+            PipelineOp::Normalize,
+            PipelineOp::BlurMask {
+                blur: base,
+                invert_input: true,
+            },
+            PipelineOp::Mask(masking),
+            PipelineOp::BlurMask {
+                blur: detail,
+                invert_input: false,
+            },
+            PipelineOp::Mask(MaskingParams {
+                strength: 1.2,
+                invert_mask: false,
+            }),
+            PipelineOp::Adjust(AdjustParams::paper_default()),
+        ])
+        .unwrap()
     }
 
     #[test]
@@ -699,7 +1016,9 @@ mod tests {
     fn paper_plan_fuses_and_reports_so() {
         let mapper = StreamingToneMapper::<f32>::new(params());
         assert!(mapper.decision().is_fused());
+        assert!(mapper.decision().is_streamed());
         assert!(mapper.decision().reasons().is_empty());
+        assert!(mapper.decision().barriers().is_empty());
         assert!(mapper.decision().to_string().contains("fused"));
     }
 
@@ -735,7 +1054,58 @@ mod tests {
     }
 
     #[test]
-    fn histogram_reduction_forces_the_materialized_fallback_with_a_reason() {
+    fn two_stencil_plans_fuse_into_one_cascade_bit_identical_to_two_pass() {
+        let plan = two_stencil_plan();
+        let streaming =
+            StreamingToneMapper::<f32>::compile(plan.clone(), ToneMapParams::paper_default())
+                .unwrap();
+        assert_eq!(streaming.decision(), StreamingDecision::FullyFused);
+        assert!(streaming.decision().is_fused());
+        // kernel() reports the *first* region's (radius-3) kernel.
+        assert_eq!(streaming.kernel().len(), 7);
+        let two_pass = ToneMapper::compile(plan.clone(), ToneMapParams::paper_default()).unwrap();
+        for (w, h) in [(20, 14), (1, 9), (9, 1), (2, 2), (33, 5)] {
+            let hdr = SceneKind::GradientRamp.generate(w, h, 2);
+            let expected = two_pass.map_luminance_hw_blur::<f32>(&hdr);
+            for threads in [1, 2, 8] {
+                assert_eq!(
+                    streaming.clone().with_threads(threads).map_luminance(&hdr),
+                    expected,
+                    "diverged at {w}x{h}, {threads} threads"
+                );
+            }
+        }
+        // The fixed-point cascade matches the fixed-point two-pass too.
+        let hdr = SceneKind::SunAndShadow.generate(27, 19, 13);
+        let streaming_fx =
+            StreamingToneMapper::<Fix16>::compile(plan.clone(), ToneMapParams::paper_default())
+                .unwrap();
+        let two_pass_fx = ToneMapper::compile(plan, ToneMapParams::paper_default()).unwrap();
+        assert_eq!(
+            streaming_fx.map_luminance(&hdr),
+            two_pass_fx.map_luminance_hw_blur::<Fix16>(&hdr)
+        );
+    }
+
+    #[test]
+    fn basedetail_preset_fuses_fully_and_matches_two_pass() {
+        let params = ToneMapParams::paper_default();
+        let plan = PipelinePlan::preset("basedetail", &params, &PlanTuning::default())
+            .unwrap()
+            .unwrap();
+        let streaming = StreamingToneMapper::<Fix16>::compile(plan.clone(), params).unwrap();
+        assert!(streaming.decision().is_fused());
+        assert_eq!(streaming.kernel().len(), params.blur.taps());
+        let hdr = SceneKind::MemorialComposite.generate(32, 24, 17);
+        let two_pass = ToneMapper::compile(plan, params).unwrap();
+        assert_eq!(
+            streaming.map_luminance(&hdr),
+            two_pass.map_luminance_hw_blur::<Fix16>(&hdr)
+        );
+    }
+
+    #[test]
+    fn histogram_reduction_segments_the_plan_instead_of_blocking_it() {
         let hdr = SceneKind::WindowInDarkRoom.generate(29, 18, 6);
         let plan = PipelinePlan::preset(
             "histeq",
@@ -749,16 +1119,18 @@ mod tests {
                 .unwrap();
         let decision = streaming.decision();
         assert!(!decision.is_fused());
-        assert!(matches!(
-            decision.reasons(),
-            [FusionBlocker::ReductionOverIntermediate {
+        assert!(decision.is_streamed());
+        assert!(decision.reasons().is_empty());
+        assert_eq!(
+            decision.barriers(),
+            [StreamBarrier {
+                index: 1,
                 op: PipelineOpKind::HistogramEq,
-                ..
             }]
-        ));
-        assert!(decision.to_string().contains("materialized"));
-        // The fallback still executes the plan, identically to the two-pass
-        // planner.
+        );
+        assert!(decision.to_string().contains("barrier"));
+        // Segmented streaming executes the plan identically to the
+        // two-pass planner.
         let two_pass = ToneMapper::compile(plan, ToneMapParams::paper_default()).unwrap();
         assert_eq!(
             streaming.map_luminance(&hdr),
@@ -767,8 +1139,10 @@ mod tests {
     }
 
     #[test]
-    fn two_stencil_plans_fall_back_with_a_reason() {
-        let blur = crate::params::BlurParams {
+    fn mid_plan_barriers_split_the_cascade_and_stay_bit_identical() {
+        // Stencils on *both* sides of the barrier: segment 0 is the paper
+        // chain, segment 1 re-blurs and re-masks the equalized register.
+        let blur = BlurParams {
             sigma: 1.5,
             radius: 3,
         };
@@ -780,21 +1154,76 @@ mod tests {
                 invert_input: true,
             },
             PipelineOp::Mask(masking),
+            PipelineOp::HistogramEq { bins: 64 },
             PipelineOp::BlurMask {
                 blur,
                 invert_input: false,
             },
             PipelineOp::Mask(masking),
+            PipelineOp::Adjust(AdjustParams::paper_default()),
         ])
         .unwrap();
         let streaming =
             StreamingToneMapper::<f32>::compile(plan.clone(), ToneMapParams::paper_default())
                 .unwrap();
-        assert!(matches!(
-            streaming.decision().reasons(),
-            [FusionBlocker::MultipleStencils { count: 2 }]
-        ));
-        let hdr = SceneKind::GradientRamp.generate(20, 14, 2);
+        let decision = streaming.decision();
+        assert!(decision.is_streamed());
+        assert_eq!(
+            decision.barriers(),
+            [StreamBarrier {
+                index: 3,
+                op: PipelineOpKind::HistogramEq,
+            }]
+        );
+        let two_pass = ToneMapper::compile(plan, ToneMapParams::paper_default()).unwrap();
+        for (w, h) in [(26, 21), (1, 12), (12, 1), (3, 3)] {
+            let hdr = SceneKind::GradientRamp.generate(w, h, 5);
+            let expected = two_pass.map_luminance_hw_blur::<f32>(&hdr);
+            for threads in [1, 2, 8] {
+                assert_eq!(
+                    streaming.clone().with_threads(threads).map_luminance(&hdr),
+                    expected,
+                    "diverged at {w}x{h}, {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masks_straddling_a_barrier_fall_back_with_a_reason() {
+        // The mask blurred at stage 1 is consumed at stage 3, *after* the
+        // barrier at stage 2 — the one remaining non-streamable shape.
+        let plan = PipelinePlan::new(vec![
+            PipelineOp::Normalize,
+            PipelineOp::BlurMask {
+                blur: BlurParams {
+                    sigma: 1.5,
+                    radius: 3,
+                },
+                invert_input: true,
+            },
+            PipelineOp::HistogramEq { bins: 32 },
+            PipelineOp::Mask(MaskingParams::paper_default()),
+        ])
+        .unwrap();
+        let streaming =
+            StreamingToneMapper::<f32>::compile(plan.clone(), ToneMapParams::paper_default())
+                .unwrap();
+        let decision = streaming.decision();
+        assert!(!decision.is_fused());
+        assert!(!decision.is_streamed());
+        assert_eq!(
+            decision.reasons(),
+            [FusionBlocker::MaskAcrossBarrier {
+                producer: 1,
+                barrier: 2,
+            }]
+        );
+        assert_eq!(decision.reasons()[0].stage_index(), 2);
+        assert!(decision.to_string().contains("materialized"));
+        // The fallback still executes the plan, identically to the
+        // two-pass planner.
+        let hdr = SceneKind::WindowInDarkRoom.generate(22, 17, 6);
         let two_pass = ToneMapper::compile(plan, ToneMapParams::paper_default()).unwrap();
         assert_eq!(
             streaming.map_luminance(&hdr),
@@ -804,20 +1233,20 @@ mod tests {
 
     #[test]
     fn fused_custom_plans_with_prolog_ops_match_the_two_pass_planner() {
-        // A gamma curve *before* the blur exercises the producer-side
-        // prolog chain (the consumer re-derives it per sample).
+        // A gamma curve *before* the blur exercises the first region's
+        // point chain (fused into the producer side of its line buffer).
         let plan = PipelinePlan::new(vec![
             PipelineOp::Normalize,
             PipelineOp::Gamma { gamma: 0.8 },
             PipelineOp::BlurMask {
-                blur: crate::params::BlurParams {
+                blur: BlurParams {
                     sigma: 2.0,
                     radius: 4,
                 },
                 invert_input: true,
             },
             PipelineOp::Mask(MaskingParams::paper_default()),
-            PipelineOp::Adjust(crate::params::AdjustParams::paper_default()),
+            PipelineOp::Adjust(AdjustParams::paper_default()),
         ])
         .unwrap();
         let hdr = SceneKind::MemorialComposite.generate(26, 33, 11);

@@ -10,7 +10,9 @@
 use apfixed::Fix16;
 use hdr_image::LuminanceImage;
 use proptest::prelude::*;
-use tonemap_core::{BlurParams, StreamingToneMapper, ToneMapParams, ToneMapper};
+use tonemap_core::{
+    BlurParams, PipelineOp, PipelinePlan, StreamingToneMapper, ToneMapParams, ToneMapper,
+};
 
 /// A deterministic pseudo-random HDR image: several decades of dynamic
 /// range, seeded per case so failures replay.
@@ -89,5 +91,86 @@ proptest! {
         let params = params_with(radius, radius as f32 / 2.0);
         let out = StreamingToneMapper::<f32>::new(params).map_luminance(&hdr);
         prop_assert!(out.pixels().iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+}
+
+/// Shapes for the cascade property: the degenerate geometries above plus
+/// ordinary small rectangles, so the multi-stencil ring staggering is hit
+/// both inside and outside the border-clamp regime.
+fn cascade_dims() -> impl Strategy<Value = (usize, usize)> {
+    prop_oneof![degenerate_dims(), (8usize..40, 8usize..40)]
+}
+
+proptest! {
+    // Each case runs the plan through both planners, two sample types and
+    // three thread counts — fewer, heavier cases than the defaults above.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random multi-stencil, multi-barrier plans: 1–3 `BlurMask`+`Mask`
+    /// stencil stages, each optionally followed by a `HistogramEq`
+    /// materialization barrier. Every generated plan must stream (fully
+    /// fused when there are no barriers, segmented otherwise) and stay
+    /// bit-identical to the two-pass planner in `f32` and `Fix16` at 1, 2
+    /// and 8 row threads.
+    #[test]
+    fn random_multi_stencil_cascades_match_two_pass(
+        (width, height) in cascade_dims(),
+        n_stencils in 1usize..=3,
+        radii in prop::collection::vec(1usize..6, 3..4),
+        sigmas in prop::collection::vec(0.4f32..4.0, 3..4),
+        barrier_mask in 0u8..8,
+        bins in 8usize..64,
+        seed in 0u64..1_000_000,
+    ) {
+        let hdr = synthetic_image(width, height, seed);
+        let params = ToneMapParams::paper_default();
+        let mut ops = vec![PipelineOp::Normalize];
+        let mut barrier_count = 0usize;
+        for i in 0..n_stencils {
+            ops.push(PipelineOp::BlurMask {
+                blur: BlurParams { sigma: sigmas[i], radius: radii[i] },
+                invert_input: i % 2 == 0,
+            });
+            // The mask is consumed before any barrier, so every generated
+            // plan streams — `MaskAcrossBarrier` shapes are covered by the
+            // unit tests.
+            ops.push(PipelineOp::Mask(params.masking));
+            if barrier_mask & (1 << i) != 0 {
+                ops.push(PipelineOp::HistogramEq { bins });
+                barrier_count += 1;
+            }
+        }
+        ops.push(PipelineOp::Adjust(params.adjust));
+        let plan = PipelinePlan::new(ops).expect("generated plans are valid");
+
+        let segmentation = plan.segmentation();
+        prop_assert_eq!(segmentation.barriers.len(), barrier_count);
+        prop_assert_eq!(segmentation.region_count(), n_stencils);
+
+        let two_pass = ToneMapper::compile(plan.clone(), params).expect("plan compiles");
+        let classic_f32 = two_pass.map_luminance_hw_blur::<f32>(&hdr);
+        let classic_fix = two_pass.map_luminance_hw_blur::<Fix16>(&hdr);
+
+        let probe = StreamingToneMapper::<f32>::compile(plan.clone(), params)
+            .expect("plan compiles");
+        let decision = probe.decision();
+        prop_assert!(decision.is_streamed(), "must stream, got: {decision}");
+        prop_assert_eq!(decision.is_fused(), barrier_count == 0);
+        prop_assert_eq!(decision.barriers().len(), barrier_count);
+
+        for threads in [1usize, 2, 8] {
+            let streamed_f32 = StreamingToneMapper::<f32>::compile(plan.clone(), params)
+                .expect("plan compiles")
+                .with_threads(threads)
+                .map_luminance(&hdr);
+            prop_assert_eq!(&streamed_f32, &classic_f32,
+                "f32 cascade diverged at {} thread(s)", threads);
+            let streamed_fix = StreamingToneMapper::<Fix16>::compile(plan.clone(), params)
+                .expect("plan compiles")
+                .with_threads(threads)
+                .map_luminance(&hdr);
+            prop_assert_eq!(&streamed_fix, &classic_fix,
+                "Fix16 cascade diverged at {} thread(s)", threads);
+        }
     }
 }

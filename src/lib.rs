@@ -53,7 +53,8 @@ pub mod prelude {
     };
     pub use tonemap_core::{
         BlurParams, FusionBlocker, ParamError, PipelineOp, PipelineOpKind, PipelinePlan, PlanError,
-        PlanTuning, StreamingDecision, StreamingToneMapper, ToneMapParams, ToneMapper,
+        PlanSegment, PlanSegmentation, PlanTuning, StreamBarrier, StreamingDecision,
+        StreamingToneMapper, ToneMapParams, ToneMapper,
     };
     pub use tonemap_service::{
         EngineUtilisation, JobHandle, JobInput, JobRequest, ServiceConfig, ServiceError,
