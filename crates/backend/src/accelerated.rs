@@ -16,6 +16,7 @@ use std::marker::PhantomData;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use tonemap_core::{PipelinePlan, Sample, ToneMapParams, ToneMapper};
+use tonemap_scheduler::{SampleFormat, ScheduleClass};
 
 /// Lazily computed, per-resolution platform-model evaluations of one
 /// Table II design.
@@ -94,6 +95,7 @@ pub(crate) fn run_with(
             wall,
             ops: mapper.profile(width, height).total(),
             modeled: model.map(|m| ModeledCost::from(&m.report(width, height))),
+            schedule: None,
         },
     }
 }
@@ -274,5 +276,19 @@ impl<S: Sample> TonemapBackend for AcceleratedBackend<S> {
 
     fn design_report(&self, width: usize, height: usize) -> Option<DesignReport> {
         Some(self.model.report(width, height))
+    }
+
+    fn schedule_class(&self) -> Option<ScheduleClass> {
+        // The blur datapath's sample type is this engine's quality floor:
+        // a schedule may change *how* the pixels are computed, never the
+        // arithmetic they are computed in.
+        Some(ScheduleClass {
+            format: if S::is_fixed_point() {
+                SampleFormat::Fix16
+            } else {
+                SampleFormat::F32
+            },
+            design: self.design,
+        })
     }
 }

@@ -9,6 +9,7 @@ use hdr_image::{LuminanceImage, RgbImage};
 use std::fmt;
 use std::sync::Arc;
 use tonemap_core::{PipelineOpKind, PipelinePlan, ToneMapParams};
+use tonemap_scheduler::ScheduleClass;
 
 /// Introspection data for one engine — what a serving layer lists to its
 /// clients and what an operator reads to pick a spec string.
@@ -26,6 +27,10 @@ pub struct BackendInfo {
     /// client consults before submitting a `pipeline=` spec or a request
     /// plan.
     pub supported_ops: Vec<PipelineOpKind>,
+    /// How this engine's execution strategy is chosen: `None` for the named
+    /// engines' hand-picked paths, a description of the `schedule=` request
+    /// for scheduler-resolved engines.
+    pub schedule: Option<String>,
 }
 
 impl BackendInfo {
@@ -46,6 +51,11 @@ impl BackendInfo {
     pub fn supports_op(&self, op: PipelineOpKind) -> bool {
         self.supported_ops.contains(&op)
     }
+
+    /// `true` when this engine was resolved through a `schedule=` request.
+    pub fn is_scheduled(&self) -> bool {
+        self.schedule.is_some()
+    }
 }
 
 impl fmt::Display for BackendInfo {
@@ -53,6 +63,9 @@ impl fmt::Display for BackendInfo {
         write!(f, "{:<14} {}", self.name, self.description)?;
         if let Some(design) = self.design {
             write!(f, " [Table II: {design}]")?;
+        }
+        if let Some(schedule) = &self.schedule {
+            write!(f, " [{schedule}]")?;
         }
         Ok(())
     }
@@ -93,6 +106,26 @@ pub trait TonemapBackend: Send + Sync {
     /// real FPGA bitstream serving exactly one chain) would narrow this.
     fn supported_ops(&self) -> Vec<PipelineOpKind> {
         PipelineOpKind::ALL.to_vec()
+    }
+
+    /// The engine's schedule class — the quality floor its callers signed
+    /// up for plus the design point the cost model prices — when its
+    /// execution strategy can be scheduled at all.
+    ///
+    /// `None` (the default) means `schedule=` specs naming this engine are
+    /// rejected with a typed [`TonemapError::InvalidSpec`] at registry
+    /// resolution: the engine has no streaming-equivalent execution to
+    /// choose between (the all-fixed `sw-fix16` ablation runs *every*
+    /// stage in `Fix16`, which neither executor family reproduces).
+    fn schedule_class(&self) -> Option<ScheduleClass> {
+        None
+    }
+
+    /// A human description of how this engine's execution strategy is
+    /// chosen — `None` for the named engines' hand-picked paths, set by
+    /// scheduler-resolved engines.
+    fn schedule_description(&self) -> Option<String> {
+        None
     }
 
     /// A new engine of the same kind configured with `params` — and, when
@@ -227,6 +260,7 @@ pub trait TonemapBackend: Send + Sync {
             design: self.design(),
             params: self.params(),
             supported_ops: self.supported_ops(),
+            schedule: self.schedule_description(),
         }
     }
 

@@ -88,6 +88,7 @@ mod error;
 mod output;
 mod registry;
 mod request;
+mod scheduled;
 mod software;
 mod spec;
 mod streaming;
@@ -95,9 +96,10 @@ mod streaming;
 pub use accelerated::AcceleratedBackend;
 pub use engine::{BackendInfo, TonemapBackend};
 pub use error::TonemapError;
-pub use output::{BackendOutput, BackendTelemetry, ModeledCost};
+pub use output::{BackendOutput, BackendTelemetry, ModeledCost, ScheduleTelemetry};
 pub use registry::{BackendRegistry, ResolvedBackend, UnknownBackendError};
 pub use request::{OutputKind, TonemapPayload, TonemapRequest, TonemapResponse};
+pub use scheduled::ScheduledBackend;
 pub use software::{SoftwareF32Backend, SoftwareFixedBackend};
 pub use spec::BackendSpec;
 pub use streaming::{default_stream_threads, StreamingBackend};

@@ -8,6 +8,7 @@ use codesign::flow::{DesignImplementation, DesignReport};
 use hdr_image::LuminanceImage;
 use std::time::Duration;
 use tonemap_core::ops::OpCounts;
+use tonemap_scheduler::{PricedPoint, SchedulePoint};
 use zynq_sim::power::EnergyReport;
 
 /// The platform model's prediction of what one run costs on the modelled
@@ -48,6 +49,43 @@ impl From<&DesignReport> for ModeledCost {
     }
 }
 
+/// How the auto-scheduler resolved one run: the chosen execution strategy
+/// and the prediction it was chosen on, so the model's error is observable
+/// against [`BackendTelemetry::wall`].
+///
+/// Only runs through a `schedule=`-resolved engine carry this; the named
+/// engines' hand-picked execution paths do not consult the scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleTelemetry {
+    /// The execution strategy the run used.
+    pub point: SchedulePoint,
+    /// Predicted cost of the chosen point, in modeled platform seconds
+    /// (a Zynq, not this host — compare *rankings* with the wall clock,
+    /// not absolute values).
+    pub predicted_seconds: f64,
+    /// The prediction normalized per pixel, in nanoseconds.
+    pub predicted_ns_per_pixel: f64,
+    /// Why the scheduler ran this point (or that the caller forced it).
+    pub verdict: String,
+    /// How many legal points were enumerated and priced (1 for forced
+    /// points).
+    pub considered: usize,
+}
+
+impl ScheduleTelemetry {
+    /// Builds the telemetry from a priced point plus the size of the space
+    /// it was chosen from.
+    pub fn from_priced(priced: &PricedPoint, considered: usize) -> Self {
+        ScheduleTelemetry {
+            point: priced.point,
+            predicted_seconds: priced.predicted_seconds,
+            predicted_ns_per_pixel: priced.predicted_ns_per_pixel,
+            verdict: priced.verdict.clone(),
+            considered,
+        }
+    }
+}
+
 /// Telemetry attached to a run when the request opts in with
 /// [`crate::TonemapRequest::with_telemetry`].
 #[derive(Debug, Clone, PartialEq)]
@@ -61,6 +99,9 @@ pub struct BackendTelemetry {
     /// The platform model's cost prediction, when the backend maps to a
     /// Table II design.
     pub modeled: Option<ModeledCost>,
+    /// The auto-scheduler's resolution, when the run went through a
+    /// `schedule=`-resolved engine.
+    pub schedule: Option<ScheduleTelemetry>,
 }
 
 /// The functional result of one pipeline execution: the tone-mapped image

@@ -4,6 +4,7 @@ use crate::accelerated::AcceleratedBackend;
 use crate::engine::{BackendInfo, TonemapBackend};
 use crate::error::TonemapError;
 use crate::request::{TonemapRequest, TonemapResponse};
+use crate::scheduled::ScheduledBackend;
 use crate::software::{SoftwareF32Backend, SoftwareFixedBackend};
 use crate::spec::BackendSpec;
 use crate::streaming::StreamingBackend;
@@ -13,6 +14,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::{Arc, Mutex};
 use tonemap_core::{PipelinePlan, ToneMapParams};
+use tonemap_scheduler::{SampleFormat, ScheduleMode};
 
 /// Error returned when a backend name does not resolve.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -252,7 +254,7 @@ impl BackendRegistry {
         let params_override = parsed.merged_params(backend.params())?;
         let effective = params_override.unwrap_or_else(|| backend.params());
         let plan = parsed.resolved_plan(&effective)?;
-        if params_override.is_none() && plan.is_none() {
+        if params_override.is_none() && plan.is_none() && parsed.schedule().is_none() {
             return Ok(ResolvedBackend {
                 backend,
                 params_override: None,
@@ -260,8 +262,9 @@ impl BackendRegistry {
             });
         }
         // Memoize reconfigured engines per spec string so repeated
-        // single-request execution reuses one compiled plan and one
-        // platform-model cache.
+        // single-request execution reuses one compiled plan, one
+        // platform-model cache — and, for `schedule=` specs, one
+        // per-resolution schedule cache.
         if let Some(resolved) = self
             .resolved_overrides
             .lock()
@@ -270,8 +273,17 @@ impl BackendRegistry {
         {
             return Ok(resolved.clone());
         }
+        let engine = if params_override.is_some() || plan.is_some() {
+            backend.reconfigured(effective, plan.clone())?
+        } else {
+            backend
+        };
+        let engine = match parsed.schedule() {
+            None => engine,
+            Some(mode) => scheduled_engine(engine, plan.clone(), mode, parsed.threads(), spec)?,
+        };
         let resolved = ResolvedBackend {
-            backend: backend.reconfigured(effective, plan.clone())?,
+            backend: engine,
             params_override,
             plan,
         };
@@ -400,6 +412,35 @@ impl BackendRegistry {
             known: self.names().iter().map(|n| n.to_string()).collect(),
         }
     }
+}
+
+/// Wraps a resolved engine into a [`ScheduledBackend`] of the engine's
+/// sample format, rejecting engines that advertise no schedule class.
+fn scheduled_engine(
+    inner: Arc<dyn TonemapBackend>,
+    plan: Option<PipelinePlan>,
+    mode: ScheduleMode,
+    threads: Option<usize>,
+    spec: &str,
+) -> Result<Arc<dyn TonemapBackend>, TonemapError> {
+    let Some(class) = inner.schedule_class() else {
+        return Err(TonemapError::InvalidSpec {
+            spec: spec.to_string(),
+            reason: format!(
+                "engine `{}` has no schedule space — its execution strategy is not \
+                 schedulable; `schedule=` applies to engines that advertise a schedule class",
+                inner.name()
+            ),
+        });
+    };
+    Ok(match class.format {
+        SampleFormat::F32 => Arc::new(ScheduledBackend::<f32>::wrap(
+            inner, plan, mode, threads, spec,
+        )?),
+        SampleFormat::Fix16 => Arc::new(ScheduledBackend::<Fix16>::wrap(
+            inner, plan, mode, threads, spec,
+        )?),
+    })
 }
 
 impl fmt::Debug for BackendRegistry {

@@ -1,0 +1,572 @@
+//! The scheduler-resolved engine: `schedule=` specs served per resolution.
+//!
+//! A [`ScheduledBackend`] wraps a named engine and delegates the *choice*
+//! of execution strategy to the [`tonemap_scheduler::Scheduler`]: at the
+//! first request of each image size it enumerates the plan's legal
+//! [`SchedulePoint`]s, prices them on the platform model, compiles the
+//! chosen executor (two-pass mapper or streaming cascade at the chosen
+//! worker count), and memoizes the result so every later same-sized request
+//! reuses it. The sample format is pinned by the wrapped engine's
+//! [`ScheduleClass`](tonemap_scheduler::ScheduleClass) — the scheduler
+//! changes *how* pixels are computed, never their values, so
+//! `schedule=auto` output is bit-identical to `schedule=two-pass`.
+
+use crate::engine::TonemapBackend;
+use crate::error::TonemapError;
+use crate::output::{BackendOutput, BackendTelemetry, ModeledCost, ScheduleTelemetry};
+use codesign::flow::{DesignImplementation, DesignReport};
+use hdr_image::LuminanceImage;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use tonemap_core::{PipelinePlan, Sample, StreamingToneMapper, ToneMapParams, ToneMapper};
+use tonemap_scheduler::{
+    HostModel, PricedPoint, ScheduleExecutor, ScheduleMode, SchedulePoint, Scheduler,
+};
+
+/// The executor a resolution's chosen point compiled into.
+enum ResolvedExecutor<S: Sample> {
+    /// The materialized two-pass planner at the engine's sample format.
+    TwoPass(ToneMapper),
+    /// The streaming cascade, already sliced to the chosen worker count.
+    Streaming(StreamingToneMapper<S>),
+}
+
+impl<S: Sample> ResolvedExecutor<S> {
+    fn run(&self, input: &LuminanceImage) -> LuminanceImage {
+        match self {
+            ResolvedExecutor::TwoPass(mapper) => mapper.map_luminance_hw_blur::<S>(input),
+            ResolvedExecutor::Streaming(mapper) => mapper.map_luminance(input),
+        }
+    }
+}
+
+/// One resolution's resolved schedule: the chosen point, its prediction,
+/// the compute evaluation it was priced on, and the compiled executor.
+struct ResolutionSchedule<S: Sample> {
+    telemetry: ScheduleTelemetry,
+    base: DesignReport,
+    executor: ResolvedExecutor<S>,
+}
+
+/// The per-resolution memo: one resolved schedule per (width, height).
+type ResolutionMemo<S> = Mutex<HashMap<(usize, usize), Arc<ResolutionSchedule<S>>>>;
+
+/// An engine whose execution strategy is data: the registry builds one for
+/// every spec carrying a `schedule=` key, wrapping the named engine the
+/// spec addressed.
+///
+/// `S` is the blur datapath's sample type, fixed by the wrapped engine
+/// (`f32` for `sw-f32`/`hw-*`, [`apfixed::Fix16`] for `hw-fix16`), so the
+/// schedule space never trades precision for speed.
+pub struct ScheduledBackend<S: Sample> {
+    inner: Arc<dyn TonemapBackend>,
+    spec: String,
+    params: ToneMapParams,
+    plan: PipelinePlan,
+    mode: ScheduleMode,
+    forced_threads: Option<usize>,
+    host: HostModel,
+    description: String,
+    resolutions: ResolutionMemo<S>,
+}
+
+impl<S: Sample> ScheduledBackend<S> {
+    /// Wraps a named engine into a scheduler-resolved one.
+    ///
+    /// `plan` is the spec's compiled `pipeline=` selection; `None` means the
+    /// engine's Fig. 1 chain. `spec` is the full spec string, used verbatim
+    /// in error messages so the caller sees what they typed.
+    ///
+    /// # Errors
+    ///
+    /// [`TonemapError::InvalidSpec`] when `schedule=stream` is requested
+    /// for a plan the streaming planner rejects (the decision's reasons are
+    /// quoted); [`TonemapError::InvalidParams`] when the wrapped engine's
+    /// parameters fail validation (cannot happen for engines built through
+    /// the registry, which validates first).
+    pub fn wrap(
+        inner: Arc<dyn TonemapBackend>,
+        plan: Option<PipelinePlan>,
+        mode: ScheduleMode,
+        forced_threads: Option<usize>,
+        spec: &str,
+    ) -> Result<Self, TonemapError> {
+        let params = inner.params();
+        let plan = plan.unwrap_or_else(|| PipelinePlan::from_params(&params));
+        // `schedule=stream` on an unstreamable plan is a spec error, caught
+        // here at resolution instead of on the first request: the streaming
+        // decision depends only on the plan shape, never the image size.
+        if mode == ScheduleMode::Stream {
+            let probe = StreamingToneMapper::<S>::compile(plan.clone(), params)
+                .map_err(TonemapError::from)?;
+            if !probe.decision().is_streamed() {
+                return Err(TonemapError::InvalidSpec {
+                    spec: spec.to_string(),
+                    reason: format!(
+                        "`schedule=stream` but the plan cannot stream ({})",
+                        probe.decision()
+                    ),
+                });
+            }
+        }
+        let description = match forced_threads {
+            Some(threads) => format!("schedule={mode}, threads={threads}"),
+            None => format!("schedule={mode}"),
+        };
+        Ok(ScheduledBackend {
+            inner,
+            spec: spec.to_string(),
+            params,
+            plan,
+            mode,
+            forced_threads,
+            host: HostModel::detected(),
+            description,
+            resolutions: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Overrides the detected host model (deterministic tests, what-if
+    /// scheduling). Clears nothing: call before the first request.
+    pub fn with_host(mut self, host: HostModel) -> Self {
+        self.host = host;
+        self
+    }
+
+    /// The wrapped engine's schedule class. Always present: the registry
+    /// only wraps engines that advertise one.
+    fn class(&self) -> tonemap_scheduler::ScheduleClass {
+        self.inner
+            .schedule_class()
+            .expect("the registry only schedules engines that advertise a class")
+    }
+
+    /// Runs the scheduler for one (params, plan, resolution) and compiles
+    /// the chosen executor.
+    fn resolve_resolution(
+        &self,
+        params: &ToneMapParams,
+        plan: &PipelinePlan,
+        width: usize,
+        height: usize,
+    ) -> Result<ResolutionSchedule<S>, TonemapError> {
+        let class = self.class();
+        let scheduler = Scheduler::new(*params, class)
+            .map_err(TonemapError::from)?
+            .with_host(self.host);
+        let report = scheduler.schedule(plan, width, height);
+        let (priced, considered): (PricedPoint, usize) = match self.mode {
+            ScheduleMode::Auto => (report.winner().clone(), report.ranked.len()),
+            ScheduleMode::TwoPass => (report.two_pass().clone(), report.ranked.len()),
+            ScheduleMode::Stream => match self.forced_threads {
+                None => {
+                    // Always present for a streamable plan: the one-worker
+                    // streaming point is never pruned. A request-level plan
+                    // override may still have taken streaming away.
+                    let best = report.best_streaming().cloned().ok_or_else(|| {
+                        TonemapError::InvalidSpec {
+                            spec: self.spec.clone(),
+                            reason: format!(
+                                "`schedule=stream` but the effective plan cannot stream ({})",
+                                report.decision
+                            ),
+                        }
+                    })?;
+                    (best, report.ranked.len())
+                }
+                Some(threads) => {
+                    let pinned = report
+                        .ranked
+                        .iter()
+                        .find(|p| p.point.executor.is_streaming() && p.point.threads == threads)
+                        .cloned();
+                    match pinned {
+                        Some(priced) => (priced, report.ranked.len()),
+                        None => {
+                            if !report.decision.is_streamed() {
+                                return Err(TonemapError::InvalidSpec {
+                                    spec: self.spec.clone(),
+                                    reason: format!(
+                                        "`schedule=stream` but the effective plan cannot stream ({})",
+                                        report.decision
+                                    ),
+                                });
+                            }
+                            // Pinned worker counts outside the pruned space
+                            // (an odd count, or beyond the host cap) still
+                            // get an honest price.
+                            let point = SchedulePoint {
+                                executor: ScheduleExecutor::Streaming {
+                                    fused: report.decision.is_fused(),
+                                    barriers: report.decision.barriers().len(),
+                                },
+                                threads,
+                                format: class.format,
+                                slice_rows: height.div_ceil(threads.max(1)),
+                            };
+                            (scheduler.price_point(plan, width, height, &point), 1)
+                        }
+                    }
+                }
+            },
+        };
+        let executor = match priced.point.executor {
+            ScheduleExecutor::TwoPass => {
+                ResolvedExecutor::TwoPass(ToneMapper::compile(plan.clone(), *params)?)
+            }
+            ScheduleExecutor::Streaming { .. } => ResolvedExecutor::Streaming(
+                StreamingToneMapper::<S>::compile(plan.clone(), *params)
+                    .map_err(TonemapError::from)?
+                    .with_threads(priced.point.threads),
+            ),
+        };
+        Ok(ResolutionSchedule {
+            telemetry: ScheduleTelemetry::from_priced(&priced, considered),
+            base: report.base,
+            executor,
+        })
+    }
+
+    /// The memoized schedule for one image size (compute-outside-lock, like
+    /// the platform-model cache: concurrent first requests may race to
+    /// schedule the same key; the scheduler is deterministic, so whichever
+    /// insert wins is equivalent).
+    fn resolution_schedule(
+        &self,
+        width: usize,
+        height: usize,
+    ) -> Result<Arc<ResolutionSchedule<S>>, TonemapError> {
+        let key = (width, height);
+        if let Some(schedule) = self
+            .resolutions
+            .lock()
+            .expect("schedule cache poisoned")
+            .get(&key)
+        {
+            return Ok(Arc::clone(schedule));
+        }
+        let computed =
+            Arc::new(self.resolve_resolution(&self.params, &self.plan, width, height)?);
+        Ok(Arc::clone(
+            self.resolutions
+                .lock()
+                .expect("schedule cache poisoned")
+                .entry(key)
+                .or_insert(computed),
+        ))
+    }
+
+    /// Times one execution of a resolved schedule and assembles the output.
+    fn run_resolved(
+        &self,
+        schedule: &ResolutionSchedule<S>,
+        params: &ToneMapParams,
+        plan: &PipelinePlan,
+        input: &LuminanceImage,
+        with_model: bool,
+    ) -> BackendOutput {
+        let start = Instant::now();
+        let image = schedule.executor.run(input);
+        let wall = start.elapsed();
+        let (width, height) = input.dimensions();
+        BackendOutput {
+            image,
+            telemetry: BackendTelemetry {
+                backend: self.inner.name(),
+                wall,
+                ops: plan.profile(width, height, params.channels).total(),
+                modeled: with_model.then(|| ModeledCost::from(&schedule.base)),
+                schedule: Some(schedule.telemetry.clone()),
+            },
+        }
+    }
+}
+
+impl<S: Sample> TonemapBackend for ScheduledBackend<S> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn description(&self) -> &'static str {
+        self.inner.description()
+    }
+
+    fn design(&self) -> Option<DesignImplementation> {
+        self.inner.design()
+    }
+
+    fn params(&self) -> ToneMapParams {
+        self.params
+    }
+
+    fn schedule_class(&self) -> Option<tonemap_scheduler::ScheduleClass> {
+        self.inner.schedule_class()
+    }
+
+    fn schedule_description(&self) -> Option<String> {
+        Some(self.description.clone())
+    }
+
+    fn reconfigured(
+        &self,
+        params: ToneMapParams,
+        plan: Option<PipelinePlan>,
+    ) -> Result<Arc<dyn TonemapBackend>, TonemapError> {
+        // As everywhere in the engine layer: a params-only reconfiguration
+        // keeps a custom compiled plan instead of silently reverting to the
+        // Fig. 1 chain.
+        let effective_plan = match plan {
+            Some(plan) => Some(plan),
+            None if !self.plan.is_paper_shaped() => Some(self.plan.clone()),
+            None => None,
+        };
+        let inner = self.inner.reconfigured(params, effective_plan.clone())?;
+        Ok(Arc::new(
+            ScheduledBackend::<S>::wrap(
+                inner,
+                effective_plan,
+                self.mode,
+                self.forced_threads,
+                &self.spec,
+            )?
+            .with_host(self.host),
+        ))
+    }
+
+    fn run_luminance(
+        &self,
+        input: &LuminanceImage,
+        params: Option<&ToneMapParams>,
+        plan: Option<&PipelinePlan>,
+        with_model: bool,
+    ) -> Result<BackendOutput, TonemapError> {
+        let (width, height) = input.dimensions();
+        match (params, plan) {
+            (None, None) => {
+                let schedule = self.resolution_schedule(width, height)?;
+                Ok(self.run_resolved(&schedule, &self.params, &self.plan, input, with_model))
+            }
+            (params, plan) => {
+                // Request-level overrides re-run the scheduler for the
+                // overridden job, uncached — mirroring how the named
+                // engines compile fresh mappers for overrides.
+                let effective = match params {
+                    Some(params) => {
+                        params.validate().map_err(TonemapError::from)?;
+                        *params
+                    }
+                    None => self.params,
+                };
+                let effective_plan = match plan {
+                    Some(plan) => plan.clone(),
+                    None if !self.plan.is_paper_shaped() => self.plan.clone(),
+                    None => PipelinePlan::from_params(&effective),
+                };
+                let schedule =
+                    self.resolve_resolution(&effective, &effective_plan, width, height)?;
+                Ok(self.run_resolved(&schedule, &effective, &effective_plan, input, with_model))
+            }
+        }
+    }
+
+    fn design_report(&self, width: usize, height: usize) -> Option<DesignReport> {
+        self.inner.design_report(width, height)
+    }
+}
+
+impl<S: Sample> std::fmt::Debug for ScheduledBackend<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScheduledBackend")
+            .field("inner", &self.inner.name())
+            .field("mode", &self.mode)
+            .field("threads", &self.forced_threads)
+            .field("spec", &self.spec)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::BackendRegistry;
+    use crate::request::TonemapRequest;
+    use hdr_image::synth::SceneKind;
+    use tonemap_core::plan::PipelineOp;
+
+    #[test]
+    fn schedule_auto_is_bit_identical_to_forced_two_pass() {
+        let registry = BackendRegistry::standard();
+        let hdr = SceneKind::MemorialComposite.generate(96, 72, 11);
+        for engine in ["sw-f32", "hw-fix16"] {
+            let auto = registry
+                .execute(
+                    &TonemapRequest::luminance(&hdr)
+                        .on_backend(format!("{engine}?pipeline=basedetail&schedule=auto")),
+                )
+                .expect("schedule=auto resolves");
+            let two_pass = registry
+                .execute(
+                    &TonemapRequest::luminance(&hdr)
+                        .on_backend(format!("{engine}?pipeline=basedetail&schedule=two-pass")),
+                )
+                .expect("schedule=two-pass resolves");
+            assert_eq!(
+                auto.luminance().unwrap(),
+                two_pass.luminance().unwrap(),
+                "{engine}: the scheduler changed pixels, not just the strategy"
+            );
+        }
+    }
+
+    #[test]
+    fn scheduled_runs_carry_schedule_telemetry() {
+        let registry = BackendRegistry::standard();
+        let hdr = SceneKind::WindowInDarkRoom.generate(64, 48, 3);
+        let response = registry
+            .execute(
+                &TonemapRequest::luminance(&hdr)
+                    .on_backend("sw-f32?schedule=auto")
+                    .with_telemetry(),
+            )
+            .expect("schedule=auto on the Fig. 1 chain resolves");
+        let telemetry = response.telemetry().expect("telemetry requested");
+        let schedule = telemetry
+            .schedule
+            .as_ref()
+            .expect("scheduled runs record their resolution");
+        assert!(schedule.considered >= 1);
+        assert!(schedule.predicted_seconds.is_finite() && schedule.predicted_seconds > 0.0);
+        assert!(schedule.verdict.contains("chosen") || schedule.verdict.contains("forced"));
+        // The unscheduled engine stays schedule-free.
+        let plain = registry
+            .execute(
+                &TonemapRequest::luminance(&hdr)
+                    .on_backend("sw-f32")
+                    .with_telemetry(),
+            )
+            .unwrap();
+        assert!(plain.telemetry().unwrap().schedule.is_none());
+    }
+
+    #[test]
+    fn schedule_stream_matches_the_streaming_engine_bit_for_bit() {
+        let registry = BackendRegistry::standard();
+        let hdr = SceneKind::SunAndShadow.generate(80, 60, 7);
+        let scheduled = registry
+            .execute(
+                &TonemapRequest::luminance(&hdr).on_backend("sw-f32?schedule=stream&threads=3"),
+            )
+            .expect("pinned stream resolves");
+        let reference = registry
+            .execute(&TonemapRequest::luminance(&hdr).on_backend("sw-f32"))
+            .unwrap();
+        assert_eq!(
+            scheduled.luminance().unwrap(),
+            reference.luminance().unwrap(),
+            "row slicing must never change pixels"
+        );
+    }
+
+    #[test]
+    fn unschedulable_engines_reject_schedule_specs() {
+        let registry = BackendRegistry::standard();
+        let err = registry
+            .resolve_spec("sw-fix16?schedule=auto")
+            .expect_err("the all-fixed ablation has no schedule space");
+        match err {
+            TonemapError::InvalidSpec { spec, reason } => {
+                assert_eq!(spec, "sw-fix16?schedule=auto");
+                assert!(reason.contains("no schedule space"), "{reason}");
+            }
+            other => panic!("expected InvalidSpec, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schedule_stream_on_an_unstreamable_plan_is_rejected_at_wrap() {
+        let params = ToneMapParams::paper_default();
+        // A mask consuming its producer across a histogram barrier: the one
+        // shape the streaming planner refuses.
+        let plan = PipelinePlan::new(vec![
+            PipelineOp::Normalize,
+            PipelineOp::BlurMask {
+                blur: params.blur,
+                invert_input: false,
+            },
+            PipelineOp::HistogramEq { bins: 64 },
+            PipelineOp::Mask(params.masking),
+        ])
+        .expect("plan validates");
+        let registry = BackendRegistry::standard();
+        let inner = registry.get_shared("sw-f32").unwrap();
+        let err = ScheduledBackend::<f32>::wrap(
+            inner,
+            Some(plan),
+            ScheduleMode::Stream,
+            None,
+            "sw-f32?schedule=stream",
+        )
+        .expect_err("stream mode on a fallback plan must be rejected");
+        match err {
+            TonemapError::InvalidSpec { reason, .. } => {
+                assert!(reason.contains("cannot stream"), "{reason}");
+            }
+            other => panic!("expected InvalidSpec, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schedule_specs_are_memoized_per_spec_string() {
+        let registry = BackendRegistry::standard();
+        let first = registry
+            .resolve_spec("sw-f32?pipeline=basedetail&schedule=auto")
+            .unwrap();
+        let second = registry
+            .resolve_spec("sw-f32?pipeline=basedetail&schedule=auto")
+            .unwrap();
+        assert!(
+            Arc::ptr_eq(&first.backend_shared(), &second.backend_shared()),
+            "repeated resolution must reuse the scheduled engine and its per-resolution cache"
+        );
+    }
+
+    #[test]
+    fn scheduled_infos_describe_the_schedule_request() {
+        let registry = BackendRegistry::standard();
+        let resolved = registry
+            .resolve_spec("hw-fix16?schedule=stream&threads=2")
+            .unwrap();
+        let info = resolved.backend().info();
+        assert!(info.is_scheduled());
+        let schedule = info.schedule.as_ref().unwrap();
+        assert!(schedule.contains("schedule=stream"), "{schedule}");
+        assert!(schedule.contains("threads=2"), "{schedule}");
+        assert!(info.to_string().contains("schedule=stream"));
+    }
+
+    #[test]
+    fn pinned_thread_counts_outside_the_space_still_execute() {
+        let registry = BackendRegistry::standard();
+        let hdr = SceneKind::GradientRamp.generate(40, 30, 5);
+        // 7 workers on a 30-row image: never enumerated, still honest.
+        let response = registry
+            .execute(
+                &TonemapRequest::luminance(&hdr)
+                    .on_backend("sw-f32?schedule=stream&threads=7")
+                    .with_telemetry(),
+            )
+            .expect("forced odd thread count executes");
+        let schedule = response.telemetry().unwrap().schedule.clone().unwrap();
+        assert_eq!(schedule.point.threads, 7);
+        assert_eq!(schedule.considered, 1);
+        assert_eq!(schedule.verdict, "forced by the caller");
+        let reference = registry
+            .execute(&TonemapRequest::luminance(&hdr).on_backend("sw-f32"))
+            .unwrap();
+        assert_eq!(
+            response.luminance().unwrap(),
+            reference.luminance().unwrap()
+        );
+    }
+}

@@ -14,6 +14,7 @@ use codesign::flow::{DesignImplementation, DesignReport};
 use hdr_image::LuminanceImage;
 use std::sync::Arc;
 use tonemap_core::{PipelinePlan, ToneMapParams, ToneMapper};
+use tonemap_scheduler::{SampleFormat, ScheduleClass};
 
 /// The paper's software reference: every stage in 32-bit floating point on
 /// the (modelled) ARM core — the "SW source code" row of Table II.
@@ -110,6 +111,13 @@ impl TonemapBackend for SoftwareF32Backend {
     fn design_report(&self, width: usize, height: usize) -> Option<DesignReport> {
         Some(self.model.report(width, height))
     }
+
+    fn schedule_class(&self) -> Option<ScheduleClass> {
+        Some(ScheduleClass {
+            format: SampleFormat::F32,
+            design: DesignImplementation::SwSourceCode,
+        })
+    }
 }
 
 /// The all-fixed-point software ablation: every stage computes in 16-bit
@@ -200,6 +208,14 @@ impl TonemapBackend for SoftwareFixedBackend {
     }
 
     fn design_report(&self, _width: usize, _height: usize) -> Option<DesignReport> {
+        None
+    }
+
+    fn schedule_class(&self) -> Option<ScheduleClass> {
+        // This ablation computes *every* stage in fixed point — a numeric
+        // experiment neither the two-pass hw-blur path nor the streaming
+        // executor reproduces, so it has no legal schedule space and
+        // `schedule=` specs on it are rejected at resolution.
         None
     }
 }

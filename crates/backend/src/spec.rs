@@ -13,11 +13,20 @@
 //! stage parameters — so `"sw-f32-stream?pipeline=reinhard&reinhard_key=4"`
 //! serves a global Reinhard operator through the streaming engine without
 //! touching code.
+//!
+//! Since the schedule became data too ([`tonemap_scheduler`]), a spec can
+//! finally say *how* to execute the chain: `schedule=auto` lets the
+//! cost-model scheduler pick the executor and worker count,
+//! `schedule=two-pass` / `schedule=stream` force one, and
+//! `schedule=stream&threads=N` pins the streaming worker count —
+//! `"sw-f32?pipeline=basedetail&schedule=auto"` serves the two-stencil
+//! chain at whatever strategy the platform model prices cheapest.
 
 use crate::error::TonemapError;
 use std::fmt;
 use std::str::FromStr;
 use tonemap_core::{PipelinePlan, PlanTuning, ToneMapParams};
+use tonemap_scheduler::ScheduleMode;
 
 /// The single source of truth for spec override keys: each entry pairs the
 /// key with its parse-and-store action *and* its render-back getter, so
@@ -250,6 +259,8 @@ pub struct BackendSpec {
     name: String,
     overrides: ParamOverrides,
     plan: PlanSelection,
+    schedule: Option<ScheduleMode>,
+    threads: Option<usize>,
 }
 
 impl BackendSpec {
@@ -265,7 +276,11 @@ impl BackendSpec {
     /// Returns [`TonemapError::InvalidSpec`] when the string is empty, has
     /// an empty or whitespace-embedding name, an unknown override key, a
     /// duplicate key, an unknown `pipeline=` preset, a tuning key without a
-    /// `pipeline=` selection, or an unparsable value. Whether the *applied*
+    /// `pipeline=` selection, an unknown `schedule=` value, `threads=0`, a
+    /// `threads=` without `schedule=stream`, or an unparsable value.
+    /// Whether a `schedule=` is *servable by the named engine* is checked
+    /// at registry resolution, where the engine's capabilities are known
+    /// (the all-fixed `sw-fix16` has no schedule space). Whether the *applied*
     /// parameters are valid is checked separately by
     /// [`BackendSpec::merged_params`] / [`BackendSpec::resolved_plan`].
     pub fn parse(spec: &str) -> Result<Self, TonemapError> {
@@ -288,6 +303,8 @@ impl BackendSpec {
         }
         let mut overrides = ParamOverrides::default();
         let mut plan = PlanSelection::default();
+        let mut schedule: Option<ScheduleMode> = None;
+        let mut threads: Option<usize> = None;
         let mut seen: Vec<&str> = Vec::new();
         if let Some(query) = query {
             for pair in query.split('&') {
@@ -314,6 +331,23 @@ impl BackendSpec {
                         )));
                     }
                     plan.preset = Some(value.to_string());
+                } else if key == "schedule" {
+                    schedule = Some(ScheduleMode::parse(value).ok_or_else(|| {
+                        invalid(format!(
+                            "unknown schedule `{value}`; accepted values: {}",
+                            ScheduleMode::KEYWORDS.join(", ")
+                        ))
+                    })?);
+                } else if key == "threads" {
+                    let count: usize = value.parse().map_err(|_| cannot_parse(()))?;
+                    if count == 0 {
+                        return Err(invalid(
+                            "`threads=0` is meaningless; the streaming executor needs at \
+                             least one worker"
+                                .to_string(),
+                        ));
+                    }
+                    threads = Some(count);
                 } else if let Some((_, setter, _)) =
                     KNOWN_KEYS.iter().find(|(known, _, _)| *known == key)
                 {
@@ -330,6 +364,7 @@ impl BackendSpec {
                             .map(|(known, _, _)| *known)
                             .chain(std::iter::once("pipeline"))
                             .chain(KNOWN_TUNING_KEYS.iter().map(|(known, _, _)| *known))
+                            .chain(["schedule", "threads"])
                             .collect::<Vec<_>>()
                             .join(", ")
                     )));
@@ -371,10 +406,35 @@ impl BackendSpec {
                 }
             }
         }
+        if threads.is_some() {
+            match schedule {
+                Some(ScheduleMode::Stream) => {}
+                Some(mode) => {
+                    return Err(invalid(format!(
+                        "`threads=` pins a streaming worker count, which `schedule={mode}` \
+                         never uses ({}); use `schedule=stream`",
+                        match mode {
+                            ScheduleMode::Auto => "auto picks its own worker count",
+                            ScheduleMode::TwoPass | ScheduleMode::Stream =>
+                                "the two-pass executor is single-threaded",
+                        }
+                    )));
+                }
+                None => {
+                    return Err(invalid(
+                        "`threads=` requires `schedule=stream` (it pins the streaming \
+                         executor's worker count)"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
         Ok(BackendSpec {
             name: name.to_string(),
             overrides,
             plan,
+            schedule,
+            threads,
         })
     }
 
@@ -396,6 +456,17 @@ impl BackendSpec {
     /// `true` when the spec selects a pipeline plan (preset and/or tuning).
     pub fn has_plan(&self) -> bool {
         !self.plan.is_empty()
+    }
+
+    /// The `schedule=` request, if the spec carries one.
+    pub fn schedule(&self) -> Option<ScheduleMode> {
+        self.schedule
+    }
+
+    /// The pinned `threads=` worker count (only present with
+    /// `schedule=stream`; enforced at parse time).
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
     }
 
     /// Builds the [`PipelinePlan`] this spec selects, seeding the preset's
@@ -445,8 +516,9 @@ impl BackendSpec {
 
 /// Renders the spec in canonical form: the engine name, then any parameter
 /// overrides in known-keys order, then the plan selection (`pipeline=`
-/// first, tuning keys after) —
-/// `"hw-fix16?sigma=3.5&radius=10&pipeline=reinhard&reinhard_key=4"`.
+/// first, tuning keys after), then the schedule request (`schedule=` before
+/// `threads=`) —
+/// `"hw-fix16?sigma=3.5&radius=10&pipeline=reinhard&reinhard_key=4&schedule=auto"`.
 /// Useful wherever a resolved job must be logged or keyed by a stable
 /// string — e.g. the service layer's telemetry — independent of the order
 /// the caller wrote the query part in. Parsing the rendered string yields
@@ -456,6 +528,12 @@ impl fmt::Display for BackendSpec {
         f.write_str(&self.name)?;
         let mut pairs = self.overrides.pairs();
         pairs.extend(self.plan.pairs());
+        if let Some(schedule) = self.schedule {
+            pairs.push(("schedule", schedule.to_string()));
+        }
+        if let Some(threads) = self.threads {
+            pairs.push(("threads", threads.to_string()));
+        }
         for (index, (key, value)) in pairs.iter().enumerate() {
             let separator = if index == 0 { '?' } else { '&' };
             write!(f, "{separator}{key}={value}")?;
@@ -693,6 +771,64 @@ mod tests {
         );
         let reparsed: BackendSpec = spec.to_string().parse().unwrap();
         assert_eq!(reparsed, spec);
+    }
+
+    #[test]
+    fn schedule_keys_parse_with_typed_errors() {
+        let auto = BackendSpec::parse("sw-f32?pipeline=basedetail&schedule=auto").unwrap();
+        assert_eq!(auto.schedule(), Some(ScheduleMode::Auto));
+        assert_eq!(auto.threads(), None);
+        let pinned = BackendSpec::parse("sw-f32?schedule=stream&threads=4").unwrap();
+        assert_eq!(pinned.schedule(), Some(ScheduleMode::Stream));
+        assert_eq!(pinned.threads(), Some(4));
+        let two_pass = BackendSpec::parse("hw-fix16?schedule=two-pass").unwrap();
+        assert_eq!(two_pass.schedule(), Some(ScheduleMode::TwoPass));
+
+        for (spec, needle) in [
+            ("sw-f32?schedule=fastest", "unknown schedule"),
+            ("sw-f32?schedule=Auto", "unknown schedule"),
+            ("sw-f32?schedule=", "unknown schedule"),
+            ("sw-f32?schedule=stream&threads=0", "`threads=0`"),
+            ("sw-f32?threads=nope&schedule=stream", "cannot parse"),
+            ("sw-f32?threads=4", "requires `schedule=stream`"),
+            (
+                "sw-f32?schedule=auto&threads=4",
+                "picks its own worker count",
+            ),
+            ("sw-f32?schedule=two-pass&threads=2", "single-threaded"),
+            ("sw-f32?schedule=auto&schedule=auto", "duplicate key"),
+            (
+                "sw-f32?schedule=stream&threads=2&threads=2",
+                "duplicate key",
+            ),
+        ] {
+            match BackendSpec::parse(spec) {
+                Err(TonemapError::InvalidSpec { reason, .. }) => {
+                    assert!(
+                        reason.contains(needle),
+                        "`{reason}` lacks `{needle}` for `{spec}`"
+                    )
+                }
+                other => panic!("`{spec}` must fail with InvalidSpec, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_keys_render_canonically_and_round_trip() {
+        let spec =
+            BackendSpec::parse("sw-f32?schedule=stream&pipeline=basedetail&threads=8&sigma=2")
+                .unwrap();
+        assert_eq!(
+            spec.to_string(),
+            "sw-f32?sigma=2&pipeline=basedetail&schedule=stream&threads=8"
+        );
+        let reparsed: BackendSpec = spec.to_string().parse().unwrap();
+        assert_eq!(reparsed, spec);
+
+        let auto = BackendSpec::parse("sw-f32?schedule=auto").unwrap();
+        assert_eq!(auto.to_string(), "sw-f32?schedule=auto");
+        assert_eq!(auto.to_string().parse::<BackendSpec>().unwrap(), auto);
     }
 
     #[test]

@@ -13,11 +13,12 @@
 use crate::engine::TonemapBackend;
 use crate::error::TonemapError;
 use crate::output::{BackendOutput, BackendTelemetry};
-use codesign::flow::DesignReport;
+use codesign::flow::{DesignImplementation, DesignReport};
 use hdr_image::LuminanceImage;
 use std::sync::Arc;
 use std::time::Instant;
 use tonemap_core::{PipelinePlan, Sample, StreamingToneMapper, ToneMapParams};
+use tonemap_scheduler::{SampleFormat, ScheduleClass};
 
 /// A reasonable row-slice thread count for a streaming engine that has a
 /// whole host to itself (a CLI run, a dedicated bench): the available
@@ -154,6 +155,24 @@ impl<S: Sample> TonemapBackend for StreamingBackend<S> {
     fn design_report(&self, _width: usize, _height: usize) -> Option<DesignReport> {
         None
     }
+
+    fn schedule_class(&self) -> Option<ScheduleClass> {
+        // A streaming engine is already one point of the schedule space;
+        // its class is its two-pass counterpart's (the cost model prices
+        // relative to that design's Table II row).
+        Some(ScheduleClass {
+            format: if S::is_fixed_point() {
+                SampleFormat::Fix16
+            } else {
+                SampleFormat::F32
+            },
+            design: if S::is_fixed_point() {
+                DesignImplementation::FixedPointConversion
+            } else {
+                DesignImplementation::SwSourceCode
+            },
+        })
+    }
 }
 
 /// Times one streaming execution and assembles the [`BackendOutput`]. The
@@ -178,6 +197,7 @@ fn run_streaming<S: Sample>(
                 .profile(width, height, mapper.params().channels)
                 .total(),
             modeled: None,
+            schedule: None,
         },
     }
 }

@@ -82,6 +82,22 @@ fn plan_pairs() -> impl Strategy<Value = Vec<(&'static str, String)>> {
     ]
 }
 
+/// The schedule-selection pairs: `threads=` only ever appears together
+/// with the `schedule=stream` request that licenses it (the grammar
+/// rejects a pinned worker count on any other mode).
+fn schedule_pairs() -> impl Strategy<Value = Vec<(&'static str, String)>> {
+    prop_oneof![
+        Just(Vec::new()),
+        Just(vec![("schedule", "auto".to_string())]),
+        Just(vec![("schedule", "two-pass".to_string())]),
+        maybe("threads", 1usize..16).prop_map(|threads| {
+            let mut pairs = vec![("schedule", "stream".to_string())];
+            pairs.extend(threads);
+            pairs
+        }),
+    ]
+}
+
 /// Renders a spec string with the pairs rotated out of canonical order, so
 /// the round-trip property covers arbitrary key orderings.
 fn render(name: &str, mut pairs: Vec<(&'static str, String)>, rotation: usize) -> String {
@@ -105,11 +121,13 @@ proptest! {
         name in name_strategy(),
         params in param_pairs(),
         plan in plan_pairs(),
+        schedule in schedule_pairs(),
         rotation in 0usize..16,
         padding in 0usize..3,
     ) {
         let mut pairs = params;
         pairs.extend(plan);
+        pairs.extend(schedule);
         let raw = render(&name, pairs, rotation);
         // Leading/trailing name whitespace must be absorbed, not leaked.
         let raw = format!("{}{raw}", " ".repeat(padding));
@@ -146,10 +164,12 @@ proptest! {
         name in name_strategy(),
         params in param_pairs(),
         plan in plan_pairs(),
+        schedule in schedule_pairs(),
         dup_index in 0usize..32,
     ) {
         let mut pairs = params;
         pairs.extend(plan);
+        pairs.extend(schedule);
         if !pairs.is_empty() {
             let dup = pairs[dup_index % pairs.len()].clone();
             pairs.push(dup);
@@ -177,6 +197,15 @@ proptest! {
             Just("pipeline=vaporwave".to_string()),
             Just("bins=64".to_string()),
             Just("sigma=2&sigma=3".to_string()),
+            Just("schedule=fastest".to_string()),
+            Just("schedule=AUTO".to_string()),
+            Just("schedule=".to_string()),
+            Just("threads=0".to_string()),
+            Just("threads=two".to_string()),
+            Just("threads=4".to_string()),
+            Just("schedule=auto&threads=4".to_string()),
+            Just("schedule=two-pass&threads=2".to_string()),
+            Just("schedule=stream&threads=0".to_string()),
         ],
     ) {
         let raw = format!("{name}?{junk}");

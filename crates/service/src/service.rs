@@ -4,7 +4,7 @@
 use crate::error::ServiceError;
 use crate::job::{JobHandle, JobOutcomeResult, JobRequest};
 use crate::pool::{PoolError, Task, WorkerPool};
-use crate::stats::{ServiceStats, StatsInner};
+use crate::stats::{ScheduleSample, ServiceStats, StatsInner};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -174,8 +174,8 @@ impl TonemapService {
             let result = execute_job(&registry, &job);
             let busy_seconds = started.elapsed().as_secs_f64();
             let outcome = match result {
-                Ok((engine, response)) => {
-                    stats.record_completed(engine, busy_seconds);
+                Ok((engine, schedule, response)) => {
+                    stats.record_completed(engine, busy_seconds, schedule);
                     Ok(response)
                 }
                 Err(error) => {
@@ -259,18 +259,44 @@ impl std::fmt::Debug for TonemapService {
 }
 
 /// Resolves the job's spec through the shared registry and executes it,
-/// reporting which engine served it (for the per-engine utilisation split).
+/// reporting which engine served it (for the per-engine utilisation split)
+/// and, for `schedule=`-resolved engines, how the scheduler resolved the
+/// run (for the per-engine predicted-vs-measured telemetry).
 fn execute_job(
     registry: &BackendRegistry,
     job: &JobRequest,
-) -> Result<(&'static str, TonemapResponse), tonemap_backend::TonemapError> {
+) -> Result<(&'static str, Option<ScheduleSample>, TonemapResponse), tonemap_backend::TonemapError>
+{
     let spec = job
         .backend_spec()
         .unwrap_or(BackendRegistry::DEFAULT_BACKEND);
     let resolved = registry.resolve_spec(spec)?;
     let engine = resolved.backend().name();
     let response = resolved.execute(&job.to_request())?;
-    Ok((engine, response))
+    // Jobs that opted into telemetry carry the full resolution (point +
+    // prediction); for the rest the engine still names its schedule request,
+    // so the stats can report that the engine is scheduler-resolved.
+    let schedule = match response.telemetry().and_then(|t| t.schedule.as_ref()) {
+        Some(schedule) => Some(ScheduleSample {
+            description: format!(
+                "{} ({})",
+                schedule.point,
+                resolved
+                    .backend()
+                    .schedule_description()
+                    .unwrap_or_else(|| "scheduled".to_string())
+            ),
+            predicted_seconds: Some(schedule.predicted_seconds),
+        }),
+        None => resolved
+            .backend()
+            .schedule_description()
+            .map(|description| ScheduleSample {
+                description,
+                predicted_seconds: None,
+            }),
+    };
+    Ok((engine, schedule, response))
 }
 
 #[cfg(test)]
@@ -364,6 +390,52 @@ mod tests {
             .per_engine
             .iter()
             .any(|e| e.engine == "hw-fix16-stream"));
+    }
+
+    #[test]
+    fn schedule_auto_jobs_serve_end_to_end_with_schedule_telemetry() {
+        // The acceptance path: `pipeline=basedetail&schedule=auto` through
+        // the whole stack — spec parse, registry resolution, scheduler,
+        // worker pool — bit-identical to the forced two-pass schedule, with
+        // the resolution visible in the per-engine stats.
+        let service = TonemapService::standard(ServiceConfig::with_workers(2));
+        let scene = SceneKind::MemorialComposite.generate(64, 48, 17);
+        let auto = service
+            .submit(
+                JobRequest::luminance(scene.clone())
+                    .on_backend("sw-f32?pipeline=basedetail&schedule=auto")
+                    .with_telemetry(),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        let two_pass = service
+            .submit(
+                JobRequest::luminance(scene)
+                    .on_backend("sw-f32?pipeline=basedetail&schedule=two-pass"),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(auto.payload(), two_pass.payload());
+        let telemetry = auto.telemetry().expect("telemetry requested");
+        let schedule = telemetry
+            .schedule
+            .as_ref()
+            .expect("scheduled job records its resolution");
+        assert!(schedule.predicted_seconds > 0.0);
+        let stats = service.stats();
+        let engine = stats
+            .per_engine
+            .iter()
+            .find(|e| e.engine == "sw-f32")
+            .expect("scheduled jobs roll up under the wrapped engine's name");
+        assert_eq!(engine.scheduled_jobs, 2);
+        assert_eq!(engine.predicted_jobs, 1, "only the telemetry job priced");
+        let (predicted, measured) = engine.predicted_vs_measured().unwrap();
+        assert!(predicted > 0.0);
+        assert!(measured > 0.0);
+        assert!(engine.schedule.as_ref().unwrap().contains("schedule="));
     }
 
     #[test]

@@ -35,6 +35,44 @@ pub struct EngineUtilisation {
     /// This engine's share of the service's total busy time, in `[0, 1]`
     /// (zero when the service has done no work yet).
     pub share: f64,
+    /// Jobs that ran through a `schedule=`-resolved engine.
+    pub scheduled_jobs: u64,
+    /// The most recently resolved schedule point (human description), when
+    /// this engine's jobs were scheduler-resolved.
+    pub schedule: Option<String>,
+    /// Sum of the scheduler's predicted costs (modeled platform seconds)
+    /// over the scheduled jobs that carried a prediction.
+    pub predicted_seconds: f64,
+    /// How many scheduled jobs carried a prediction (jobs submitted without
+    /// telemetry record the schedule, not the price).
+    pub predicted_jobs: u64,
+    /// Measured busy seconds of exactly those predicted jobs, so the cost
+    /// model's prediction and the measurement cover the same job set.
+    pub predicted_busy_seconds: f64,
+}
+
+impl EngineUtilisation {
+    /// Mean predicted vs mean measured seconds of this engine's scheduled
+    /// jobs — `(predicted, measured)` — or `None` when no scheduled job
+    /// carried a prediction. Predictions are *modeled platform seconds* (a
+    /// Zynq, not this host): compare trends and rankings, not absolutes.
+    pub fn predicted_vs_measured(&self) -> Option<(f64, f64)> {
+        (self.predicted_jobs > 0).then(|| {
+            let n = self.predicted_jobs as f64;
+            (self.predicted_seconds / n, self.predicted_busy_seconds / n)
+        })
+    }
+}
+
+/// One completed job's schedule resolution, as reported to the stats by the
+/// service worker.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ScheduleSample {
+    /// Human description of the resolved point.
+    pub description: String,
+    /// The scheduler's predicted cost in modeled platform seconds, when the
+    /// job's response carried schedule telemetry.
+    pub predicted_seconds: Option<f64>,
 }
 
 /// A point-in-time snapshot of a [`crate::TonemapService`]'s counters.
@@ -165,8 +203,20 @@ pub(crate) struct StatsInner {
     completed: AtomicU64,
     failed: AtomicU64,
     lost: AtomicU64,
-    engines: Mutex<BTreeMap<&'static str, (u64, f64)>>,
+    engines: Mutex<BTreeMap<&'static str, EngineAccumulator>>,
     job_seconds: Mutex<VecDeque<f64>>,
+}
+
+/// Per-engine rolling counters behind [`StatsInner::engines`].
+#[derive(Debug, Clone, Default)]
+struct EngineAccumulator {
+    jobs: u64,
+    busy_seconds: f64,
+    scheduled_jobs: u64,
+    schedule: Option<String>,
+    predicted_seconds: f64,
+    predicted_jobs: u64,
+    predicted_busy_seconds: f64,
 }
 
 impl StatsInner {
@@ -222,12 +272,26 @@ impl StatsInner {
         self.started.fetch_add(1, Ordering::SeqCst);
     }
 
-    pub(crate) fn record_completed(&self, engine: &'static str, busy_seconds: f64) {
+    pub(crate) fn record_completed(
+        &self,
+        engine: &'static str,
+        busy_seconds: f64,
+        schedule: Option<ScheduleSample>,
+    ) {
         self.completed.fetch_add(1, Ordering::SeqCst);
         let mut engines = self.engines.lock().expect("engine stats poisoned");
-        let entry = engines.entry(engine).or_insert((0, 0.0));
-        entry.0 += 1;
-        entry.1 += busy_seconds;
+        let entry = engines.entry(engine).or_default();
+        entry.jobs += 1;
+        entry.busy_seconds += busy_seconds;
+        if let Some(sample) = schedule {
+            entry.scheduled_jobs += 1;
+            if let Some(predicted) = sample.predicted_seconds {
+                entry.predicted_jobs += 1;
+                entry.predicted_seconds += predicted;
+                entry.predicted_busy_seconds += busy_seconds;
+            }
+            entry.schedule = Some(sample.description);
+        }
         drop(engines);
         let mut job_seconds = self.job_seconds.lock().expect("job timings poisoned");
         if job_seconds.len() == JOB_SAMPLE_CAP {
@@ -255,18 +319,23 @@ impl StatsInner {
             .iter()
             .copied()
             .collect();
-        let busy_seconds: f64 = engines.values().map(|(_, busy)| busy).sum();
+        let busy_seconds: f64 = engines.values().map(|e| e.busy_seconds).sum();
         let per_engine = engines
             .into_iter()
-            .map(|(engine, (jobs, busy))| EngineUtilisation {
+            .map(|(engine, acc)| EngineUtilisation {
                 engine,
-                jobs,
-                busy_seconds: busy,
+                jobs: acc.jobs,
+                busy_seconds: acc.busy_seconds,
                 share: if busy_seconds > 0.0 {
-                    busy / busy_seconds
+                    acc.busy_seconds / busy_seconds
                 } else {
                     0.0
                 },
+                scheduled_jobs: acc.scheduled_jobs,
+                schedule: acc.schedule,
+                predicted_seconds: acc.predicted_seconds,
+                predicted_jobs: acc.predicted_jobs,
+                predicted_busy_seconds: acc.predicted_busy_seconds,
             })
             .collect();
         ServiceStats {
@@ -383,7 +452,7 @@ mod tests {
         inner.record_submitted();
         inner.record_admitted();
         inner.record_started();
-        inner.record_completed("sw-f32", 0.001);
+        inner.record_completed("sw-f32", 0.001, None);
         let stats = inner.snapshot(1, 1);
         assert!(
             stats.elapsed_seconds < idle.as_secs_f64() / 2.0,
@@ -402,7 +471,7 @@ mod tests {
     fn job_timings_are_bounded_to_the_sample_cap() {
         let inner = StatsInner::new();
         for i in 0..(JOB_SAMPLE_CAP + 10) {
-            inner.record_completed("sw-f32", i as f64);
+            inner.record_completed("sw-f32", i as f64, None);
         }
         let stats = inner.snapshot(1, 1);
         assert_eq!(stats.completed as usize, JOB_SAMPLE_CAP + 10);
@@ -422,8 +491,15 @@ mod tests {
         inner.record_submitted();
         inner.record_started();
         inner.record_started();
-        inner.record_completed("sw-f32", 0.25);
-        inner.record_completed("hw-fix16", 0.75);
+        inner.record_completed("sw-f32", 0.25, None);
+        inner.record_completed(
+            "hw-fix16",
+            0.75,
+            Some(ScheduleSample {
+                description: "fused-stream x1 thread, 32-row slices, fix16 (schedule=auto)".into(),
+                predicted_seconds: Some(0.5),
+            }),
+        );
         let stats = inner.snapshot(2, 8);
         assert_eq!(stats.submitted, 2);
         assert_eq!(stats.completed, 2);
@@ -438,5 +514,20 @@ mod tests {
             .unwrap();
         assert_eq!(hw.jobs, 1);
         assert!((hw.share - 0.75).abs() < 1e-12);
+        // The scheduled job's resolution and its predicted-vs-measured pair
+        // surface on the engine row; the unscheduled engine stays clean.
+        assert_eq!(hw.scheduled_jobs, 1);
+        assert!(hw.schedule.as_ref().unwrap().contains("fused-stream"));
+        let (predicted, measured) = hw.predicted_vs_measured().unwrap();
+        assert!((predicted - 0.5).abs() < 1e-12);
+        assert!((measured - 0.75).abs() < 1e-12);
+        let sw = stats
+            .per_engine
+            .iter()
+            .find(|e| e.engine == "sw-f32")
+            .unwrap();
+        assert_eq!(sw.scheduled_jobs, 0);
+        assert!(sw.schedule.is_none());
+        assert!(sw.predicted_vs_measured().is_none());
     }
 }
