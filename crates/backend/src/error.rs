@@ -5,6 +5,7 @@ use codesign::flow::DesignImplementation;
 use hdr_image::ImageError;
 use std::error::Error;
 use std::fmt;
+use std::time::Duration;
 use tonemap_core::{ParamError, PlanError};
 
 /// Everything that can go wrong between building a [`crate::TonemapRequest`]
@@ -39,6 +40,14 @@ pub enum TonemapError {
     /// The design cannot be wrapped by an accelerated backend (it has no
     /// hardware function).
     NotAccelerated(DesignImplementation),
+    /// The job's deadline had already passed when an executor picked it up,
+    /// so the pipeline was never run. Produced by latency-governed serving
+    /// layers (`tonemap-service` cancels expired jobs at dequeue); the
+    /// engines themselves never emit it.
+    DeadlineExceeded {
+        /// How far past the deadline the job was when it was cancelled.
+        missed_by: Duration,
+    },
 }
 
 impl fmt::Display for TonemapError {
@@ -57,6 +66,11 @@ impl fmt::Display for TonemapError {
             TonemapError::NotAccelerated(design) => write!(
                 f,
                 "design `{design}` has no hardware function and cannot back an accelerated engine"
+            ),
+            TonemapError::DeadlineExceeded { missed_by } => write!(
+                f,
+                "deadline exceeded: job had expired {:.3} ms before execution started",
+                missed_by.as_secs_f64() * 1e3
             ),
         }
     }
@@ -127,5 +141,12 @@ mod tests {
         });
         assert!(e.to_string().contains("0x3"));
         assert!(e.source().is_some());
+
+        let e = TonemapError::DeadlineExceeded {
+            missed_by: Duration::from_millis(5),
+        };
+        assert!(e.to_string().contains("deadline exceeded"));
+        assert!(e.to_string().contains("5.000 ms"));
+        assert!(e.source().is_none());
     }
 }

@@ -113,3 +113,22 @@ pub struct BackendOutput {
     /// Timing / energy / operation-count telemetry for the run.
     pub telemetry: BackendTelemetry,
 }
+
+impl BackendOutput {
+    /// Splits the output into its image and telemetry, consuming neither
+    /// by copy.
+    pub fn into_parts(self) -> (LuminanceImage, BackendTelemetry) {
+        (self.image, self.telemetry)
+    }
+
+    /// The buffer-pool handoff: consumes the output and returns the
+    /// image's backing row-major `f32` storage, so a serving layer can
+    /// return the frame to an allocation pool instead of freeing it.
+    /// `tonemap-service`'s `FramePool` recycles frames through this (and
+    /// through [`crate::TonemapResponse::into_frame`] at the payload
+    /// layer) to keep steady-state serving free of large per-job
+    /// allocations.
+    pub fn into_frame(self) -> Vec<f32> {
+        self.image.into_vec()
+    }
+}

@@ -305,6 +305,19 @@ impl TonemapResponse {
             _ => None,
         }
     }
+
+    /// The buffer-pool handoff at the payload layer: consumes the response
+    /// and returns the display-referred luminance frame's backing `f32`
+    /// storage, or `None` for the other payload shapes (colour and 8-bit
+    /// outputs use different element types). A serving layer that has
+    /// finished with a response recycles the frame into its pool through
+    /// this instead of freeing it — see `tonemap-service`'s `FramePool`.
+    pub fn into_frame(self) -> Option<Vec<f32>> {
+        match self.payload {
+            TonemapPayload::Luminance(im) => Some(im.into_vec()),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -51,6 +51,28 @@ impl HostModel {
         self.cores
     }
 
+    /// The completion bound a deadline-admission controller prices a new
+    /// job against: with `backlog_jobs` jobs of mean cost
+    /// `mean_service_seconds` already runnable ahead of the newcomer,
+    /// `workers` workers drain them in FIFO rounds, so the newcomer
+    /// finishes after `ceil((backlog_jobs + 1) / workers)` rounds — the
+    /// LPT makespan specialised to equal-cost jobs, which is all the
+    /// admission path knows before the job has run.
+    ///
+    /// `tonemap-service` uses this to refuse jobs whose deadline the host
+    /// model predicts cannot be met ("shed at admission, not at dequeue").
+    pub fn admission_completion_seconds(
+        &self,
+        mean_service_seconds: f64,
+        backlog_jobs: usize,
+        workers: usize,
+    ) -> f64 {
+        let workers = workers.max(1);
+        // ceil((backlog + 1) / workers) without floats.
+        let rounds = (backlog_jobs + workers) / workers;
+        rounds as f64 * mean_service_seconds
+    }
+
     /// LPT greedy makespan of the given job costs on `workers` workers —
     /// sort descending, always assign to the least-loaded worker.
     pub fn makespan_seconds(&self, jobs: &[f64], workers: usize) -> f64 {
@@ -334,5 +356,20 @@ mod tests {
         let makespan = host.makespan_seconds(&[3.0, 5.0, 4.0], 2);
         assert!((makespan - 7.0).abs() < 1e-12);
         assert_eq!(host.makespan_seconds(&[], 4), 0.0);
+    }
+
+    #[test]
+    fn admission_completion_is_the_equal_cost_lpt_bound() {
+        let host = HostModel::with_cores(8);
+        // Empty queue: one round regardless of worker count.
+        assert!((host.admission_completion_seconds(0.5, 0, 4) - 0.5).abs() < 1e-12);
+        // 7 ahead + the newcomer on 4 workers: 2 rounds.
+        assert!((host.admission_completion_seconds(0.5, 7, 4) - 1.0).abs() < 1e-12);
+        // 8 ahead + the newcomer on 4 workers: 3 rounds.
+        assert!((host.admission_completion_seconds(0.5, 8, 4) - 1.5).abs() < 1e-12);
+        // Single worker: strictly FIFO — every backlog job runs first.
+        assert!((host.admission_completion_seconds(2.0, 3, 1) - 8.0).abs() < 1e-12);
+        // Zero workers clamp to one rather than dividing by zero.
+        assert!((host.admission_completion_seconds(1.0, 2, 0) - 3.0).abs() < 1e-12);
     }
 }

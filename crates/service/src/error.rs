@@ -2,14 +2,17 @@
 
 use std::error::Error;
 use std::fmt;
+use std::time::Duration;
 use tonemap_backend::TonemapError;
 
 /// Everything that can go wrong between submitting a [`crate::JobRequest`]
 /// and receiving its response.
 ///
-/// The first two variants are *admission* outcomes (the job never entered
-/// the queue); the last two are *execution* outcomes reported through the
-/// [`crate::JobHandle`].
+/// The first three variants are *admission* outcomes (the job never
+/// entered the queue); the last two are *execution* outcomes reported
+/// through the [`crate::JobHandle`]. A job cancelled at dequeue because
+/// its deadline had already passed reports as
+/// `Tonemap(TonemapError::DeadlineExceeded)`.
 #[derive(Debug)]
 pub enum ServiceError {
     /// The bounded submission queue is at capacity — backpressure. Retry,
@@ -17,6 +20,17 @@ pub enum ServiceError {
     QueueFull,
     /// The service has been shut down and admits no further jobs.
     ShutDown,
+    /// Deadline admission control refused the job: the host model predicts
+    /// it cannot complete within its deadline given the current backlog,
+    /// so queueing it would only waste worker time. Retry with a looser
+    /// deadline, or when the backlog has drained.
+    DeadlineUnmeetable {
+        /// The model's predicted completion time from submission, in
+        /// seconds.
+        predicted_seconds: f64,
+        /// The deadline budget the job asked for.
+        budget: Duration,
+    },
     /// The job executed and the engine layer reported a typed failure.
     Tonemap(TonemapError),
     /// The worker executing the job died before reporting a result (a task
@@ -29,6 +43,15 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::QueueFull => write!(f, "submission queue is full (backpressure)"),
             ServiceError::ShutDown => write!(f, "tonemap service is shut down"),
+            ServiceError::DeadlineUnmeetable {
+                predicted_seconds,
+                budget,
+            } => write!(
+                f,
+                "deadline unmeetable: predicted completion in {:.3} ms exceeds the {:.3} ms budget",
+                predicted_seconds * 1e3,
+                budget.as_secs_f64() * 1e3
+            ),
             ServiceError::Tonemap(e) => write!(f, "job failed: {e}"),
             ServiceError::Lost => write!(f, "job was lost: its worker died before reporting"),
         }
@@ -59,6 +82,13 @@ mod tests {
         assert!(ServiceError::QueueFull.to_string().contains("full"));
         assert!(ServiceError::ShutDown.to_string().contains("shut down"));
         assert!(ServiceError::Lost.to_string().contains("lost"));
+        let refused = ServiceError::DeadlineUnmeetable {
+            predicted_seconds: 0.010,
+            budget: Duration::from_millis(5),
+        };
+        assert!(refused.to_string().contains("deadline unmeetable"));
+        assert!(refused.to_string().contains("10.000 ms"));
+        assert!(refused.to_string().contains("5.000 ms"));
         let e = ServiceError::from(TonemapError::InvalidSpec {
             spec: "x?y".into(),
             reason: "unknown key `y`".into(),

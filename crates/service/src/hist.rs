@@ -1,0 +1,243 @@
+//! Streaming latency histograms: fixed log₂ buckets, no allocation on the
+//! record path, quantiles read from bucket upper bounds.
+//!
+//! The serving layer needs p50/p95/p99 per priority class without pulling
+//! in a histogram crate (the workspace builds offline) and without keeping
+//! every sample (a long-lived service would grow without bound). A
+//! [`LatencyHistogram`] is the classic fixed-table answer: bucket `k`
+//! covers latencies in `[2^k, 2^(k+1))` microseconds, so 28 buckets span
+//! one microsecond to ~134 seconds with a worst-case quantile error of 2×
+//! — the right resolution for tail-latency gating, where the question is
+//! "is p99 bounded", not "is p99 17.3 ms or 17.4 ms".
+
+/// Number of log₂ buckets: `[1 µs, 2 µs)`, `[2 µs, 4 µs)`, …; the first
+/// bucket also absorbs sub-microsecond samples and the last absorbs
+/// everything from ~67 s up.
+pub const LATENCY_BUCKETS: usize = 28;
+
+/// A fixed-bucket log₂ latency histogram with streaming quantiles.
+///
+/// Recording is O(1) and allocation-free; snapshots are plain copies.
+/// Quantiles are *conservative*: [`LatencyHistogram::quantile`] returns
+/// the upper bound of the bucket holding the requested rank, so a reported
+/// p99 is never below the true p99 (and at most 2× above it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyHistogram {
+    counts: [u64; LATENCY_BUCKETS],
+    count: u64,
+    sum_seconds: f64,
+    max_seconds: f64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        LatencyHistogram {
+            counts: [0; LATENCY_BUCKETS],
+            count: 0,
+            sum_seconds: 0.0,
+            max_seconds: 0.0,
+        }
+    }
+
+    /// The bucket a latency falls into.
+    fn bucket_index(seconds: f64) -> usize {
+        let micros = (seconds * 1e6).max(0.0) as u64;
+        if micros == 0 {
+            0
+        } else {
+            ((63 - micros.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+        }
+    }
+
+    /// `[lower, upper)` bounds of bucket `index`, in seconds.
+    pub fn bucket_bounds(index: usize) -> (f64, f64) {
+        let lower = if index == 0 {
+            0.0
+        } else {
+            (1u64 << index) as f64
+        };
+        let upper = (1u64 << (index + 1)) as f64;
+        (lower * 1e-6, upper * 1e-6)
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, seconds: f64) {
+        let seconds = if seconds.is_finite() && seconds >= 0.0 {
+            seconds
+        } else {
+            // A non-finite or negative "latency" is a measurement bug, not
+            // a latency; clamp rather than poison every later quantile.
+            0.0
+        };
+        self.counts[Self::bucket_index(seconds)] += 1;
+        self.count += 1;
+        self.sum_seconds += seconds;
+        self.max_seconds = self.max_seconds.max(seconds);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in seconds (`0.0` when empty).
+    pub fn mean_seconds(&self) -> f64 {
+        if self.count > 0 {
+            self.sum_seconds / self.count as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Largest latency recorded, in seconds.
+    pub fn max_seconds(&self) -> f64 {
+        self.max_seconds
+    }
+
+    /// The latency at quantile `q` in `[0, 1]`, in seconds — the upper
+    /// bound of the bucket holding rank `ceil(q · count)`, clamped to the
+    /// recorded maximum so an overflow-bucket answer stays meaningful.
+    /// Returns `0.0` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (index, &bucket) in self.counts.iter().enumerate() {
+            cumulative += bucket;
+            if cumulative >= rank {
+                return Self::bucket_bounds(index).1.min(self.max_seconds.max(
+                    // An empty histogram never reaches here; a one-bucket
+                    // histogram of tiny samples still reports a non-zero
+                    // bound.
+                    Self::bucket_bounds(0).1,
+                ));
+            }
+        }
+        self.max_seconds
+    }
+
+    /// Median latency (conservative bucket bound), in seconds.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile latency (conservative bucket bound), in seconds.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile latency (conservative bucket bound), in seconds.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// The non-empty buckets as `(lower_seconds, upper_seconds, count)`
+    /// rows — the table the `latency` gate persists to
+    /// `BENCH_latency.json`.
+    pub fn buckets(&self) -> Vec<(f64, f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(index, &count)| {
+                let (lower, upper) = Self::bucket_bounds(index);
+                (lower, upper, count)
+            })
+            .collect()
+    }
+
+    /// Folds another histogram into this one (same bucket layout by
+    /// construction).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_seconds += other.sum_seconds;
+        self.max_seconds = self.max_seconds.max(other.max_seconds);
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
+        let hist = LatencyHistogram::new();
+        assert_eq!(hist.count(), 0);
+        assert_eq!(hist.mean_seconds(), 0.0);
+        assert_eq!(hist.p50(), 0.0);
+        assert_eq!(hist.p99(), 0.0);
+        assert!(hist.buckets().is_empty());
+    }
+
+    #[test]
+    fn buckets_are_log2_in_microseconds() {
+        // 1 µs is the start of bucket 0's upper neighbourhood; 3 µs lands
+        // in [2 µs, 4 µs).
+        assert_eq!(LatencyHistogram::bucket_index(0.5e-6), 0);
+        assert_eq!(LatencyHistogram::bucket_index(1.0e-6), 0);
+        assert_eq!(LatencyHistogram::bucket_index(3.0e-6), 1);
+        assert_eq!(LatencyHistogram::bucket_index(1.0e-3), 9); // 1000 µs -> [512, 1024)
+        assert_eq!(LatencyHistogram::bucket_index(1.0), 19); // 1 s -> [0.52, 1.05) s
+        assert_eq!(LatencyHistogram::bucket_index(1e9), LATENCY_BUCKETS - 1);
+        let (lower, upper) = LatencyHistogram::bucket_bounds(9);
+        assert!((lower - 512e-6).abs() < 1e-12);
+        assert!((upper - 1024e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_counts() {
+        let mut hist = LatencyHistogram::new();
+        // 90 fast samples at ~100 µs, 10 slow at ~50 ms.
+        for _ in 0..90 {
+            hist.record(100e-6);
+        }
+        for _ in 0..10 {
+            hist.record(50e-3);
+        }
+        assert_eq!(hist.count(), 100);
+        // p50 and p90 sit in the fast bucket [64, 128) µs.
+        assert!(hist.p50() <= 128e-6 * 1.001, "p50 {}", hist.p50());
+        assert!(hist.quantile(0.90) <= 128e-6 * 1.001);
+        // p95 and p99 reach the slow bucket; conservative = its upper
+        // bound, clamped to the recorded max… which is below the bound.
+        assert!(hist.p95() >= 50e-3, "p95 {}", hist.p95());
+        assert!(hist.p99() >= 50e-3 && hist.p99() <= 50e-3 * 1.001);
+        assert!((hist.mean_seconds() - (90.0 * 100e-6 + 10.0 * 50e-3) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pathological_samples_are_clamped_not_poisoning() {
+        let mut hist = LatencyHistogram::new();
+        hist.record(f64::NAN);
+        hist.record(-1.0);
+        hist.record(f64::INFINITY);
+        assert_eq!(hist.count(), 3);
+        assert!(hist.p99().is_finite());
+        assert!(hist.mean_seconds().is_finite());
+    }
+
+    #[test]
+    fn merge_accumulates_counts_and_extrema() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(1e-3);
+        b.record(4e-3);
+        b.record(2.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!((a.max_seconds() - 2.0).abs() < 1e-12);
+        assert_eq!(a.buckets().iter().map(|&(_, _, c)| c).sum::<u64>(), 3);
+    }
+}

@@ -9,6 +9,7 @@
 //! pattern, with no async runtime required.
 
 use crate::error::ServiceError;
+use crate::pool::Priority;
 use hdr_image::{LuminanceImage, RgbImage};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Arc;
@@ -52,6 +53,9 @@ pub struct JobRequest {
     backend: Option<String>,
     output: OutputKind,
     telemetry: bool,
+    priority: Priority,
+    deadline: Option<Duration>,
+    submitter: Option<u64>,
 }
 
 impl JobRequest {
@@ -63,6 +67,9 @@ impl JobRequest {
             backend: None,
             output: OutputKind::DisplayReferred,
             telemetry: false,
+            priority: Priority::default(),
+            deadline: None,
+            submitter: None,
         }
     }
 
@@ -123,6 +130,51 @@ impl JobRequest {
         self
     }
 
+    /// Assigns the job's priority class. Jobs default to
+    /// [`Priority::Batch`]; [`Priority::Interactive`] jobs overtake batch
+    /// jobs queued in the same shard.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Gives the job a deadline *budget*, measured from the moment of
+    /// submission. Admission control refuses the job outright when the
+    /// host model predicts it cannot finish inside the budget
+    /// ([`ServiceError::DeadlineUnmeetable`]); a job that is admitted but
+    /// still queued when the budget runs out is cancelled at dequeue with
+    /// [`tonemap_backend::TonemapError::DeadlineExceeded`].
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Tags the job with a submitter stream id. All jobs from one
+    /// submitter route to the same shard, so they execute in FIFO order
+    /// per priority class regardless of worker count or stealing.
+    /// Untagged jobs spread across shards round-robin.
+    pub fn from_submitter(mut self, submitter: u64) -> Self {
+        self.submitter = Some(submitter);
+        self
+    }
+
+    /// The job's priority class.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// The deadline budget, if one was set with
+    /// [`JobRequest::with_deadline`].
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// The submitter stream id, if one was set with
+    /// [`JobRequest::from_submitter`].
+    pub fn submitter(&self) -> Option<u64> {
+        self.submitter
+    }
+
     /// The backend spec string, if one was set with
     /// [`JobRequest::on_backend`].
     pub fn backend_spec(&self) -> Option<&str> {
@@ -147,7 +199,7 @@ impl JobRequest {
     /// engine, and [`tonemap_backend::TonemapBackend::execute`] ignores it
     /// anyway.
     pub fn to_request(&self) -> TonemapRequest<'_> {
-        let mut request = match &self.input {
+        let request = match &self.input {
             JobInput::Luminance(image) => TonemapRequest::luminance(image),
             JobInput::Rgb(image) => TonemapRequest::rgb(image),
             JobInput::RawLuminance {
@@ -156,6 +208,34 @@ impl JobRequest {
                 pixels,
             } => TonemapRequest::raw_luminance(*width, *height, pixels),
         };
+        self.apply_options(request)
+    }
+
+    /// The raw-luminance fields, when this job carries raw pixels — the
+    /// service's frame-pool staging path inspects these.
+    pub(crate) fn raw_input(&self) -> Option<(usize, usize, &Arc<Vec<f32>>)> {
+        match &self.input {
+            JobInput::RawLuminance {
+                width,
+                height,
+                pixels,
+            } => Some((*width, *height, pixels)),
+            _ => None,
+        }
+    }
+
+    /// [`JobRequest::to_request`], but over a caller-provided luminance
+    /// image in place of the job's own input — used by the service to
+    /// execute a raw job through a pool-staged frame without a fresh
+    /// allocation.
+    pub(crate) fn to_request_with_luminance<'a>(
+        &'a self,
+        image: &'a LuminanceImage,
+    ) -> TonemapRequest<'a> {
+        self.apply_options(TonemapRequest::luminance(image))
+    }
+
+    fn apply_options<'a>(&'a self, mut request: TonemapRequest<'a>) -> TonemapRequest<'a> {
         if let Some(params) = self.params {
             request = request.with_params(params);
         }
@@ -254,6 +334,22 @@ mod tests {
         let b = JobRequest::rgb(SceneKind::GradientRamp.generate_rgb(4, 4, 2));
         assert_eq!(a.input_dimensions(), b.input_dimensions());
         assert_eq!(Arc::strong_count(&scene), 2);
+    }
+
+    #[test]
+    fn priority_deadline_and_stream_ride_the_builder() {
+        let job = JobRequest::raw_luminance(4, 4, vec![0.5f32; 16])
+            .with_priority(Priority::Interactive)
+            .with_deadline(Duration::from_millis(20))
+            .from_submitter(7);
+        assert_eq!(job.priority(), Priority::Interactive);
+        assert_eq!(job.deadline(), Some(Duration::from_millis(20)));
+        assert_eq!(job.submitter(), Some(7));
+        // Defaults: batch class, no deadline, unpinned.
+        let plain = JobRequest::raw_luminance(4, 4, vec![0.5f32; 16]);
+        assert_eq!(plain.priority(), Priority::Batch);
+        assert_eq!(plain.deadline(), None);
+        assert_eq!(plain.submitter(), None);
     }
 
     #[test]

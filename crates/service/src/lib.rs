@@ -10,32 +10,42 @@
 //! [`tonemap_backend::BackendRegistry`] into a job server built from std
 //! primitives only (the workspace vendors its dependencies offline):
 //!
-//! * [`pool`] — a hand-rolled worker thread pool: `std::thread` workers
-//!   draining one bounded `mpsc::sync_channel`, whose bound is the
-//!   backpressure point.
+//! * [`pool`] — a hand-rolled sharded work-stealing worker pool:
+//!   per-worker shards each holding two FIFO deques (one per [`Priority`]
+//!   class), front-first steals for latency fairness, a bounded total
+//!   queue as the backpressure point, and deadline enforcement at dequeue.
 //! * [`JobRequest`] — the owned analogue of
 //!   [`tonemap_backend::TonemapRequest`]: pixel data behind an
-//!   [`std::sync::Arc`] so jobs cross the thread boundary without copying.
+//!   [`std::sync::Arc`] so jobs cross the thread boundary without copying,
+//!   plus the serving policies — [`JobRequest::with_priority`],
+//!   [`JobRequest::with_deadline`], [`JobRequest::from_submitter`].
 //! * [`JobHandle`] — completion as a future-by-channel: the worker sends
 //!   exactly one result, [`JobHandle::wait`] receives it.
 //! * [`TonemapService`] — submission (blocking [`TonemapService::submit`]
-//!   and non-blocking [`TonemapService::try_submit`]), batch sharding
+//!   and non-blocking [`TonemapService::try_submit`]), deadline admission
+//!   control (the host model sheds work predicted to miss its budget),
+//!   frame pooling ([`FramePool`]: raw jobs stage through recycled
+//!   buffers, [`TonemapService::recycle`] closes the loop), batch sharding
 //!   ([`TonemapService::execute_batch`] splits a workload across the pool
 //!   at job granularity while every worker shares each engine's
 //!   per-resolution platform-model cache), and graceful shutdown (queued
 //!   and in-flight jobs always complete).
 //! * [`ServiceStats`] — aggregate telemetry: throughput, queue depth,
+//!   steals, per-class streaming latency histograms
+//!   ([`LatencyHistogram`]: p50/p95/p99 from fixed log₂ buckets),
 //!   per-engine utilisation, and the analytic multi-core host model
-//!   ([`ServiceStats::modeled_speedup`]) that extends the paper's
-//!   Table I/II cost-model methodology from the Zynq to the serving host.
+//!   ([`ServiceStats::modeled_speedup`], per class via
+//!   [`ServiceStats::modeled_class_makespan_seconds`]) that extends the
+//!   paper's Table I/II cost-model methodology from the Zynq to the
+//!   serving host.
 //!
 //! The job lifecycle (documented end-to-end in `ARCHITECTURE.md`):
 //!
 //! ```text
-//!   JobRequest ──submit──► [bounded queue] ──recv──► worker thread
-//!       │  QueueFull ◄─┘ (backpressure)                 │ resolve spec
-//!       ▼                                               ▼ via registry
-//!   JobHandle ◄──── one JobOutcomeResult ───────── engine.execute(...)
+//!   JobRequest ──submit──► admission ──► [shard 0 | shard 1 | …] ──pop/steal──► worker
+//!       │  QueueFull / DeadlineUnmeetable ◄─┘   (interactive first,              │
+//!       ▼                                        FIFO per class)                 ▼
+//!   JobHandle ◄──────── one JobOutcomeResult ◄──── expire-at-dequeue / engine.execute(...)
 //! ```
 //!
 //! Execution is deterministic: the pipeline has no data races by
@@ -73,13 +83,17 @@
 #![warn(missing_docs)]
 
 mod error;
+mod frames;
+mod hist;
 mod job;
 pub mod pool;
 mod service;
 mod stats;
 
 pub use error::ServiceError;
+pub use frames::{FramePool, FramePoolStats, PoisonGuard};
+pub use hist::{LatencyHistogram, LATENCY_BUCKETS};
 pub use job::{JobHandle, JobInput, JobOutcomeResult, JobRequest};
-pub use pool::{PoolError, WorkerPool};
+pub use pool::{PoolError, Priority, TaskFate, TaskOptions, WorkerPool};
 pub use service::{ServiceConfig, TonemapService};
 pub use stats::{EngineUtilisation, ServiceStats, JOB_SAMPLE_CAP};

@@ -1,15 +1,18 @@
 //! The [`TonemapService`]: the registry turned into a concurrent job
-//! server.
+//! server with sharded queues, priority classes, and deadline admission.
 
 use crate::error::ServiceError;
+use crate::frames::{FramePool, FramePoolStats};
 use crate::job::{JobHandle, JobOutcomeResult, JobRequest};
-use crate::pool::{PoolError, Task, WorkerPool};
-use crate::stats::{ScheduleSample, ServiceStats, StatsInner};
+use crate::pool::{PoolError, Task, TaskFate, TaskOptions, WorkerPool};
+use crate::stats::{ScheduleSample, ServiceStats, SnapshotShape, StatsInner};
+use hdr_image::LuminanceImage;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
-use tonemap_backend::{BackendRegistry, TonemapResponse};
+use tonemap_backend::{BackendRegistry, TonemapError, TonemapResponse};
+use tonemap_scheduler::HostModel;
 
 /// Sizing of a [`TonemapService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,15 +22,24 @@ pub struct ServiceConfig {
     /// Bound of the submission queue — the backpressure point (clamped to
     /// at least 1).
     pub queue_capacity: usize,
+    /// Shards the queue is split across; `0` (the default) means one shard
+    /// per worker. Tests use explicit counts to script drain order and
+    /// forced steals.
+    pub shards: usize,
+    /// How many free frames the service's [`FramePool`] retains per exact
+    /// frame size.
+    pub frame_pool_per_size: usize,
 }
 
 impl ServiceConfig {
-    /// A config with `workers` threads and the default queue bound of
-    /// four slots per worker.
+    /// A config with `workers` threads, one shard per worker, and the
+    /// default queue bound of four slots per worker.
     pub fn with_workers(workers: usize) -> Self {
         ServiceConfig {
             workers,
             queue_capacity: workers.max(1) * 4,
+            shards: 0,
+            frame_pool_per_size: FramePool::DEFAULT_FRAMES_PER_SIZE,
         }
     }
 
@@ -35,6 +47,26 @@ impl ServiceConfig {
     pub fn queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = capacity;
         self
+    }
+
+    /// Overrides the shard count (by default one shard per worker).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Overrides the frame pool's per-size retention bound.
+    pub fn frame_pool_per_size(mut self, frames: usize) -> Self {
+        self.frame_pool_per_size = frames;
+        self
+    }
+
+    fn shard_count(&self) -> usize {
+        if self.shards == 0 {
+            self.workers.max(1)
+        } else {
+            self.shards
+        }
     }
 }
 
@@ -49,19 +81,37 @@ impl Default for ServiceConfig {
 
 /// A concurrent tone-mapping job server over a [`BackendRegistry`].
 ///
-/// Jobs ([`JobRequest`]) enter a bounded queue and are executed by a fixed
-/// pool of worker threads; completion is delivered through per-job
-/// [`JobHandle`]s. All workers share one registry, so jobs naming the same
-/// engine share that engine's per-resolution platform-model cache (and
-/// jobs with the same override spec share the registry's memoized
-/// reconfigured engine) — concurrency multiplies throughput without
-/// duplicating model state.
+/// Jobs ([`JobRequest`]) enter sharded priority queues and are executed by
+/// a fixed pool of work-stealing worker threads; completion is delivered
+/// through per-job [`JobHandle`]s. All workers share one registry, so jobs
+/// naming the same engine share that engine's per-resolution platform-model
+/// cache (and jobs with the same override spec share the registry's
+/// memoized reconfigured engine) — concurrency multiplies throughput
+/// without duplicating model state.
+///
+/// Three serving policies sit on top of the queue:
+///
+/// - **Priority**: [`Priority::Interactive`](crate::pool::Priority::Interactive)
+///   jobs overtake [`Priority::Batch`](crate::pool::Priority::Batch) jobs
+///   queued in the same shard.
+/// - **Deadline admission**: a job with a [`JobRequest::with_deadline`]
+///   budget is refused at the door ([`ServiceError::DeadlineUnmeetable`])
+///   when the host model predicts the current backlog makes the budget
+///   unmeetable, and cancelled at dequeue
+///   ([`TonemapError::DeadlineExceeded`]) if it is still queued when the
+///   budget runs out.
+/// - **Frame pooling**: raw-luminance jobs are staged through a shared
+///   [`FramePool`]; returning finished frames with
+///   [`TonemapService::recycle`] closes the loop so steady-state serving
+///   performs no large per-job allocations at the service layer.
 ///
 /// See the crate-level docs for the job lifecycle and an example.
 pub struct TonemapService {
     registry: Arc<BackendRegistry>,
     pool: WorkerPool,
+    frames: FramePool,
     stats: Arc<StatsInner>,
+    host_model: HostModel,
     next_id: AtomicU64,
 }
 
@@ -70,8 +120,14 @@ impl TonemapService {
     pub fn new(registry: BackendRegistry, config: ServiceConfig) -> Self {
         TonemapService {
             registry: Arc::new(registry),
-            pool: WorkerPool::new(config.workers, config.queue_capacity),
+            pool: WorkerPool::with_shards(
+                config.workers,
+                config.shard_count(),
+                config.queue_capacity,
+            ),
+            frames: FramePool::new(config.frame_pool_per_size),
             stats: Arc::new(StatsInner::new()),
+            host_model: HostModel::with_cores(config.workers.max(1)),
             next_id: AtomicU64::new(0),
         }
     }
@@ -92,9 +148,38 @@ impl TonemapService {
         self.pool.worker_count()
     }
 
+    /// Number of queue shards.
+    pub fn shard_count(&self) -> usize {
+        self.pool.shard_count()
+    }
+
     /// Capacity of the bounded submission queue.
     pub fn queue_capacity(&self) -> usize {
         self.pool.queue_capacity()
+    }
+
+    /// Pins the deadline-admission model's mean service time, overriding
+    /// the measured mean. Deterministic tests and deployments with a known
+    /// workload calibrate once; uncalibrated services learn the mean from
+    /// completed jobs (and admit everything until the first completion).
+    pub fn calibrate_admission(&self, mean_service_seconds: f64) {
+        self.stats.calibrate_admission(mean_service_seconds);
+    }
+
+    /// The frame pool's usage counters (reuse vs allocation, poisoned
+    /// drops).
+    pub fn frame_pool_stats(&self) -> FramePoolStats {
+        self.frames.stats()
+    }
+
+    /// Returns a finished response's frame to the service's pool, so the
+    /// next raw job of the same size can be staged without an allocation.
+    /// Responses whose payload is not a full luminance frame (RGB, LDR-8)
+    /// are simply dropped.
+    pub fn recycle(&self, response: TonemapResponse) {
+        if let Some(frame) = response.into_frame() {
+            self.frames.recycle(frame);
+        }
     }
 
     /// Submits a job, blocking while the queue is at capacity
@@ -102,7 +187,9 @@ impl TonemapService {
     ///
     /// # Errors
     ///
-    /// [`ServiceError::ShutDown`] after [`TonemapService::shutdown`].
+    /// [`ServiceError::ShutDown`] after [`TonemapService::shutdown`], or
+    /// [`ServiceError::DeadlineUnmeetable`] when admission control sheds
+    /// the job.
     pub fn submit(&self, job: JobRequest) -> Result<JobHandle, ServiceError> {
         self.submit_inner(job, false)
     }
@@ -112,7 +199,9 @@ impl TonemapService {
     /// # Errors
     ///
     /// [`ServiceError::QueueFull`] when the bounded queue is at capacity
-    /// (the rejection is counted in [`ServiceStats::rejected`]), or
+    /// (the rejection is counted in [`ServiceStats::rejected`]),
+    /// [`ServiceError::DeadlineUnmeetable`] when admission control sheds
+    /// the job (counted in [`ServiceStats::shed`]), or
     /// [`ServiceError::ShutDown`] after [`TonemapService::shutdown`].
     pub fn try_submit(&self, job: JobRequest) -> Result<JobHandle, ServiceError> {
         self.submit_inner(job, true)
@@ -144,8 +233,12 @@ impl TonemapService {
 
     /// A snapshot of the service's aggregate telemetry.
     pub fn stats(&self) -> ServiceStats {
-        self.stats
-            .snapshot(self.pool.worker_count(), self.pool.queue_capacity())
+        self.stats.snapshot(SnapshotShape {
+            workers: self.pool.worker_count(),
+            shards: self.pool.shard_count(),
+            queue_capacity: self.pool.queue_capacity(),
+            steals: self.pool.steals(),
+        })
     }
 
     /// Stops admission and waits for every queued and in-flight job to
@@ -161,41 +254,96 @@ impl TonemapService {
 
     fn submit_inner(&self, job: JobRequest, non_blocking: bool) -> Result<JobHandle, ServiceError> {
         let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let priority = job.priority();
+        let submitted_at = Instant::now();
+        let deadline = job.deadline().map(|budget| submitted_at + budget);
+
+        // Deadline admission control: refuse work the host model predicts
+        // cannot meet its budget, instead of queueing it to die at
+        // dequeue. The prediction is the equal-cost LPT completion bound —
+        // the job waits out ceil((backlog+1)/workers) rounds of mean
+        // service time, where backlog counts only jobs that will run ahead
+        // of it (its own class, plus interactive overtakers for batch).
+        // With no evidence yet (no calibration, no completions) everything
+        // is admitted.
+        if let (Some(budget), Some(mean)) = (job.deadline(), self.stats.admission_mean_seconds()) {
+            let backlog = self.pool.backlog_ahead_of(priority);
+            let predicted = self.host_model.admission_completion_seconds(
+                mean,
+                backlog,
+                self.pool.worker_count(),
+            );
+            if predicted > budget.as_secs_f64() {
+                self.stats.record_shed();
+                return Err(ServiceError::DeadlineUnmeetable {
+                    predicted_seconds: predicted,
+                    budget,
+                });
+            }
+        }
+
+        let shard = job.submitter().map(|submitter| submitter as usize);
         let (responder, receiver) = mpsc::channel::<JobOutcomeResult>();
         let registry = Arc::clone(&self.registry);
+        let frames = self.frames.clone();
         let stats = Arc::clone(&self.stats);
-        let task: Task = Box::new(move || {
+        let task: Task = Box::new(move |fate| {
             stats.record_started();
-            // If the job panics mid-execution the pool swallows the unwind
-            // to keep the worker alive; this guard then records the job as
-            // lost so started/completed/failed/lost stay reconciled.
-            let guard = LostJobGuard::new(Arc::clone(&stats));
-            let started = Instant::now();
-            let result = execute_job(&registry, &job);
-            let busy_seconds = started.elapsed().as_secs_f64();
-            let outcome = match result {
-                Ok((engine, schedule, response)) => {
-                    stats.record_completed(engine, busy_seconds, schedule);
-                    Ok(response)
+            match fate {
+                TaskFate::Expired { missed_by } => {
+                    // The deadline ran out while the job sat in the queue:
+                    // cancel instead of spending worker time on a result
+                    // nobody can use.
+                    stats.record_expired();
+                    let _ = responder.send(Err(ServiceError::Tonemap(
+                        TonemapError::DeadlineExceeded { missed_by },
+                    )));
                 }
-                Err(error) => {
-                    stats.record_failed();
-                    Err(ServiceError::Tonemap(error))
+                TaskFate::Execute { .. } => {
+                    // If the job panics mid-execution the pool swallows the
+                    // unwind to keep the worker alive; this guard then
+                    // records the job as lost so started/completed/failed/
+                    // expired/lost stay reconciled.
+                    let guard = LostJobGuard::new(Arc::clone(&stats));
+                    let started = Instant::now();
+                    let result = execute_job(&registry, &frames, &job);
+                    let busy_seconds = started.elapsed().as_secs_f64();
+                    let outcome = match result {
+                        Ok((engine, schedule, response)) => {
+                            stats.record_completed(
+                                engine,
+                                busy_seconds,
+                                schedule,
+                                priority,
+                                submitted_at.elapsed().as_secs_f64(),
+                            );
+                            Ok(response)
+                        }
+                        Err(error) => {
+                            stats.record_failed();
+                            Err(ServiceError::Tonemap(error))
+                        }
+                    };
+                    guard.disarm();
+                    // The submitter may have dropped its handle; the job's
+                    // work is done either way.
+                    let _ = responder.send(outcome);
                 }
-            };
-            guard.disarm();
-            // The submitter may have dropped its handle; the job's work is
-            // done either way.
-            let _ = responder.send(outcome);
+            }
         });
         // Count the submission before enqueueing: the worker may dequeue
         // and finish the job before this thread resumes, and a snapshot
         // must never observe completed > submitted.
         self.stats.record_submitted();
+        let options = TaskOptions {
+            priority,
+            deadline,
+            shard,
+        };
         let enqueued = if non_blocking {
-            self.pool.try_execute(task)
+            self.pool.try_execute(task, options)
         } else {
-            self.pool.execute(task)
+            self.pool.execute(task, options)
         };
         match enqueued {
             Ok(()) => {
@@ -251,6 +399,7 @@ impl std::fmt::Debug for TonemapService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TonemapService")
             .field("workers", &self.pool.worker_count())
+            .field("shards", &self.pool.shard_count())
             .field("queue_capacity", &self.pool.queue_capacity())
             .field("backends", &self.registry.names())
             .field("shut_down", &self.pool.is_shut_down())
@@ -262,17 +411,55 @@ impl std::fmt::Debug for TonemapService {
 /// reporting which engine served it (for the per-engine utilisation split)
 /// and, for `schedule=`-resolved engines, how the scheduler resolved the
 /// run (for the per-engine predicted-vs-measured telemetry).
+///
+/// Attribution is by the *job's* resolved spec, never by the worker that
+/// happened to execute it: a stolen job rolls up under the engine it named,
+/// exactly as a locally-run one does.
+///
+/// Raw-luminance jobs are staged through the frame pool: the wire pixels
+/// are copied into a recycled frame (no fresh allocation in steady state),
+/// the engine runs against the staged image, and the staging frame returns
+/// to the pool afterwards — unless the engine panics, in which case the
+/// armed poison guard makes sure the possibly-inconsistent frame is
+/// dropped, not recycled.
 fn execute_job(
     registry: &BackendRegistry,
+    frames: &FramePool,
     job: &JobRequest,
-) -> Result<(&'static str, Option<ScheduleSample>, TonemapResponse), tonemap_backend::TonemapError>
-{
+) -> Result<(&'static str, Option<ScheduleSample>, TonemapResponse), TonemapError> {
     let spec = job
         .backend_spec()
         .unwrap_or(BackendRegistry::DEFAULT_BACKEND);
     let resolved = registry.resolve_spec(spec)?;
     let engine = resolved.backend().name();
-    let response = resolved.execute(&job.to_request())?;
+
+    let staged = job.raw_input().and_then(|(width, height, pixels)| {
+        // Only well-formed raw inputs are staged; malformed ones fall
+        // through to the ordinary raw path so the engine produces its
+        // usual typed validation error.
+        let expected = width.checked_mul(height)?;
+        (width > 0 && height > 0 && pixels.len() == expected).then(|| {
+            let mut frame = frames.acquire(expected);
+            frame.copy_from_slice(pixels);
+            LuminanceImage::from_vec(width, height, frame)
+                .expect("staged frame matches the validated dimensions")
+        })
+    });
+
+    let response = match staged {
+        Some(image) => {
+            let poison = frames.poison_guard(image.pixels().len());
+            let result = resolved.execute(&job.to_request_with_luminance(&image));
+            // A typed error leaves the read-only staging frame intact;
+            // only a panic (which unwinds past this point with the guard
+            // armed) poisons it.
+            poison.disarm();
+            frames.recycle(image.into_vec());
+            result?
+        }
+        None => resolved.execute(&job.to_request())?,
+    };
+
     // Jobs that opted into telemetry carry the full resolution (point +
     // prediction); for the rest the engine still names its schedule request,
     // so the stats can report that the engine is scheduler-resolved.
@@ -302,9 +489,11 @@ fn execute_job(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::Priority;
     use hdr_image::synth::SceneKind;
     use std::sync::Arc;
-    use tonemap_backend::{TonemapError, TonemapRequest};
+    use std::time::Duration;
+    use tonemap_backend::TonemapRequest;
 
     #[test]
     fn a_submitted_job_matches_direct_execution() {
@@ -323,6 +512,9 @@ mod tests {
         assert_eq!(stats.completed, 1);
         assert_eq!(stats.per_engine.len(), 1);
         assert_eq!(stats.per_engine[0].engine, "hw-fix16");
+        // The default class is batch; its histogram saw the job.
+        assert_eq!(stats.latency(Priority::Batch).count(), 1);
+        assert_eq!(stats.latency(Priority::Interactive).count(), 0);
     }
 
     #[test]
@@ -448,5 +640,101 @@ mod tests {
             service.submit(JobRequest::luminance(scene)),
             Err(ServiceError::ShutDown)
         ));
+    }
+
+    #[test]
+    fn raw_jobs_stage_through_the_frame_pool_and_recycling_closes_the_loop() {
+        let service = TonemapService::standard(ServiceConfig::with_workers(1));
+        let scene = SceneKind::WindowInDarkRoom.generate(16, 16, 3);
+        let pixels: Arc<Vec<f32>> = Arc::new(scene.pixels().to_vec());
+        let direct = BackendRegistry::standard()
+            .execute(&TonemapRequest::luminance(&scene))
+            .unwrap();
+        for round in 0..4 {
+            let response = service
+                .submit(JobRequest::raw_luminance(16, 16, Arc::clone(&pixels)))
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert_eq!(response.payload(), direct.payload(), "round {round}");
+            // Hand the finished frame back: the next round's staging (and
+            // eventually the whole steady state) reuses it.
+            service.recycle(response);
+        }
+        let pool = service.frame_pool_stats();
+        assert_eq!(pool.acquired, 4, "every raw job staged through the pool");
+        assert!(
+            pool.reused >= 3,
+            "steady state must reuse recycled frames, stats: {pool:?}"
+        );
+        assert_eq!(pool.dropped_poisoned, 0);
+    }
+
+    #[test]
+    fn malformed_raw_jobs_still_fail_with_the_engine_error() {
+        // A length/dimension mismatch must bypass staging and surface the
+        // engine's own validation error, exactly as before the pool.
+        let service = TonemapService::standard(ServiceConfig::with_workers(1));
+        let outcome = service
+            .submit(JobRequest::raw_luminance(8, 8, vec![0.5f32; 17]))
+            .unwrap()
+            .wait();
+        assert!(
+            matches!(outcome, Err(ServiceError::Tonemap(_))),
+            "got {outcome:?}"
+        );
+        assert_eq!(service.frame_pool_stats().acquired, 0);
+        assert_eq!(service.stats().failed, 1);
+    }
+
+    #[test]
+    fn a_zero_budget_deadline_expires_at_dequeue() {
+        let service = TonemapService::standard(ServiceConfig::with_workers(1));
+        let scene = SceneKind::GradientRamp.generate(8, 8, 4);
+        // No calibration: admission has no evidence and must admit; the
+        // zero budget then deterministically expires before dequeue.
+        let outcome = service
+            .submit(JobRequest::luminance(scene).with_deadline(Duration::ZERO))
+            .unwrap()
+            .wait();
+        match outcome {
+            Err(ServiceError::Tonemap(TonemapError::DeadlineExceeded { .. })) => {}
+            other => panic!("expected deadline expiry, got {other:?}"),
+        }
+        let stats = service.stats();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.in_flight, 0);
+    }
+
+    #[test]
+    fn admission_control_sheds_unmeetable_deadlines() {
+        let service = TonemapService::standard(ServiceConfig::with_workers(1));
+        // Calibrate: every job takes ~100 ms. An empty queue and a 1 ms
+        // budget → predicted completion 100 ms >> 1 ms → shed.
+        service.calibrate_admission(0.100);
+        let scene = SceneKind::GradientRamp.generate(8, 8, 5);
+        let refused = service
+            .submit(JobRequest::luminance(scene.clone()).with_deadline(Duration::from_millis(1)));
+        match refused {
+            Err(ServiceError::DeadlineUnmeetable {
+                predicted_seconds,
+                budget,
+            }) => {
+                assert!((predicted_seconds - 0.100).abs() < 1e-9);
+                assert_eq!(budget, Duration::from_millis(1));
+            }
+            other => panic!("expected a shed, got {other:?}"),
+        }
+        // A generous budget sails through the same model.
+        let admitted = service
+            .submit(JobRequest::luminance(scene).with_deadline(Duration::from_secs(30)))
+            .unwrap()
+            .wait();
+        assert!(admitted.is_ok());
+        let stats = service.stats();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.submitted, 1, "shed jobs never count as submitted");
+        assert_eq!(stats.completed, 1);
     }
 }

@@ -11,6 +11,8 @@
 //! the machine running the bench may not physically have, exactly as the
 //! PL speed-ups are evaluated without an FPGA.
 
+use crate::hist::LatencyHistogram;
+use crate::pool::Priority;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -80,19 +82,31 @@ pub(crate) struct ScheduleSample {
 pub struct ServiceStats {
     /// Worker threads serving the queue.
     pub workers: usize,
+    /// Shards the queue is split across (== workers unless configured
+    /// otherwise).
+    pub shards: usize,
     /// Capacity of the bounded submission queue.
     pub queue_capacity: usize,
     /// Jobs admitted into the queue.
     pub submitted: u64,
     /// Jobs refused at admission because the queue was full.
     pub rejected: u64,
+    /// Jobs refused by deadline admission control: the host model
+    /// predicted they could not finish inside their budget, so they were
+    /// shed at the door instead of queued. Not counted in `submitted`.
+    pub shed: u64,
     /// Jobs that completed successfully.
     pub completed: u64,
     /// Jobs that executed and failed with a typed error.
     pub failed: u64,
+    /// Jobs cancelled at dequeue because their deadline had already
+    /// passed; the submitter saw
+    /// [`tonemap_backend::TonemapError::DeadlineExceeded`].
+    pub expired: u64,
     /// Jobs whose task unwound before reporting an outcome (the waiter saw
     /// [`crate::ServiceError::Lost`]); kept so
-    /// `completed + failed + lost` reconciles with `started` forever.
+    /// `completed + failed + expired + lost` reconciles with `started`
+    /// forever.
     pub lost: u64,
     /// Jobs submitted but not yet picked up by a worker. Submissions are
     /// counted optimistically (before enqueueing, so a snapshot never
@@ -117,6 +131,21 @@ pub struct ServiceStats {
     /// [`JOB_SAMPLE_CAP`] jobs so a long-lived service's snapshot stays
     /// cheap; the aggregate counters above cover the full lifetime.
     pub job_seconds: Vec<f64>,
+    /// Measured service times of recently completed *interactive* jobs,
+    /// bounded like [`ServiceStats::job_seconds`] — the per-class input to
+    /// [`ServiceStats::modeled_class_makespan_seconds`].
+    pub interactive_seconds: Vec<f64>,
+    /// Measured service times of recently completed *batch* jobs, bounded
+    /// like [`ServiceStats::job_seconds`].
+    pub batch_seconds: Vec<f64>,
+    /// End-to-end latency (admission to completion) histogram of
+    /// interactive jobs.
+    pub latency_interactive: LatencyHistogram,
+    /// End-to-end latency (admission to completion) histogram of batch
+    /// jobs.
+    pub latency_batch: LatencyHistogram,
+    /// Dequeues served from a shard other than the popping worker's own.
+    pub steals: u64,
     /// Busy time and job count split per engine, in registry-name order.
     pub per_engine: Vec<EngineUtilisation>,
 }
@@ -151,18 +180,43 @@ impl ServiceStats {
     /// `n`-core host?" from measurements taken on whatever machine ran the
     /// jobs. Returns `0.0` when no job has completed.
     pub fn modeled_makespan_seconds(&self, workers: usize) -> f64 {
-        let workers = workers.max(1);
-        let mut jobs = self.job_seconds.clone();
-        jobs.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
-        let mut loads = vec![0.0f64; workers];
-        for job in jobs {
-            let least = loads
-                .iter_mut()
-                .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
-                .expect("workers >= 1");
-            *least += job;
+        lpt_makespan_seconds(&self.job_seconds, workers)
+    }
+
+    /// The latency histogram of one priority class.
+    pub fn latency(&self, priority: Priority) -> &LatencyHistogram {
+        match priority {
+            Priority::Interactive => &self.latency_interactive,
+            Priority::Batch => &self.latency_batch,
         }
-        loads.iter().fold(0.0f64, |acc, &l| acc.max(l))
+    }
+
+    /// The retained service-time samples of one priority class.
+    pub fn class_seconds(&self, priority: Priority) -> &[f64] {
+        match priority {
+            Priority::Interactive => &self.interactive_seconds,
+            Priority::Batch => &self.batch_seconds,
+        }
+    }
+
+    /// [`ServiceStats::modeled_makespan_seconds`], restricted to one
+    /// priority class's recorded jobs — what the class's job set alone
+    /// would take on `workers` model workers.
+    pub fn modeled_class_makespan_seconds(&self, priority: Priority, workers: usize) -> f64 {
+        lpt_makespan_seconds(self.class_seconds(priority), workers)
+    }
+
+    /// Modeled throughput (jobs per second) of one class's recorded job
+    /// set on `workers` model workers. Returns `0.0` when the class has no
+    /// completed job.
+    pub fn modeled_class_throughput(&self, priority: Priority, workers: usize) -> f64 {
+        let samples = self.class_seconds(priority);
+        let makespan = lpt_makespan_seconds(samples, workers);
+        if makespan > 0.0 {
+            samples.len() as f64 / makespan
+        } else {
+            0.0
+        }
     }
 
     /// Modeled throughput (jobs per second) of the recorded job set on
@@ -190,6 +244,24 @@ impl ServiceStats {
     }
 }
 
+/// Greedy longest-processing-time schedule of `samples` onto `workers`
+/// model workers — the host-side analogue of the platform model's Table II
+/// predictions, shared by the overall and per-class views.
+fn lpt_makespan_seconds(samples: &[f64], workers: usize) -> f64 {
+    let workers = workers.max(1);
+    let mut jobs = samples.to_vec();
+    jobs.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let mut loads = vec![0.0f64; workers];
+    for job in jobs {
+        let least = loads
+            .iter_mut()
+            .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("workers >= 1");
+        *least += job;
+    }
+    loads.iter().fold(0.0f64, |acc, &l| acc.max(l))
+}
+
 /// Live counters shared between the service handle and its workers.
 #[derive(Debug)]
 pub(crate) struct StatsInner {
@@ -199,12 +271,59 @@ pub(crate) struct StatsInner {
     first_admission: OnceLock<Instant>,
     submitted: AtomicU64,
     rejected: AtomicU64,
+    shed: AtomicU64,
     started: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
+    expired: AtomicU64,
     lost: AtomicU64,
     engines: Mutex<BTreeMap<&'static str, EngineAccumulator>>,
     job_seconds: Mutex<VecDeque<f64>>,
+    classes: Mutex<ClassAccumulators>,
+    admission: Mutex<AdmissionState>,
+}
+
+/// Per-priority-class rolling state: the latency histogram and the bounded
+/// service-time window feeding the per-class host model.
+#[derive(Debug, Default)]
+struct ClassAccumulator {
+    latency: LatencyHistogram,
+    service_seconds: VecDeque<f64>,
+}
+
+impl ClassAccumulator {
+    fn record(&mut self, service_seconds: f64, latency_seconds: f64) {
+        self.latency.record(latency_seconds);
+        if self.service_seconds.len() == JOB_SAMPLE_CAP {
+            self.service_seconds.pop_front();
+        }
+        self.service_seconds.push_back(service_seconds);
+    }
+}
+
+#[derive(Debug, Default)]
+struct ClassAccumulators {
+    interactive: ClassAccumulator,
+    batch: ClassAccumulator,
+}
+
+impl ClassAccumulators {
+    fn class(&mut self, priority: Priority) -> &mut ClassAccumulator {
+        match priority {
+            Priority::Interactive => &mut self.interactive,
+            Priority::Batch => &mut self.batch,
+        }
+    }
+}
+
+/// The mean-service-time estimate behind deadline admission control:
+/// either an explicit calibration (deterministic tests, deployments with a
+/// known workload) or the measured lifetime mean.
+#[derive(Debug, Default)]
+struct AdmissionState {
+    calibrated_mean_seconds: Option<f64>,
+    measured_sum_seconds: f64,
+    measured_jobs: u64,
 }
 
 /// Per-engine rolling counters behind [`StatsInner::engines`].
@@ -225,12 +344,16 @@ impl StatsInner {
             first_admission: OnceLock::new(),
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             started: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
             lost: AtomicU64::new(0),
             engines: Mutex::new(BTreeMap::new()),
             job_seconds: Mutex::new(VecDeque::new()),
+            classes: Mutex::new(ClassAccumulators::default()),
+            admission: Mutex::new(AdmissionState::default()),
         }
     }
 
@@ -249,6 +372,37 @@ impl StatsInner {
 
     pub(crate) fn record_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// A worker dequeued a job whose deadline had already passed and
+    /// cancelled it. Counted against `started` like an execution, so the
+    /// queue-depth and in-flight arithmetic stays exact.
+    pub(crate) fn record_expired(&self) {
+        self.expired.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Pins the admission model's mean service time, overriding the
+    /// measured mean.
+    pub(crate) fn calibrate_admission(&self, mean_seconds: f64) {
+        self.admission
+            .lock()
+            .expect("admission state poisoned")
+            .calibrated_mean_seconds = Some(mean_seconds.max(0.0));
+    }
+
+    /// The admission model's mean service time: the calibrated value if
+    /// one was pinned, else the measured lifetime mean, else `None` (no
+    /// evidence yet — admit everything).
+    pub(crate) fn admission_mean_seconds(&self) -> Option<f64> {
+        let admission = self.admission.lock().expect("admission state poisoned");
+        admission.calibrated_mean_seconds.or_else(|| {
+            (admission.measured_jobs > 0)
+                .then(|| admission.measured_sum_seconds / admission.measured_jobs as f64)
+        })
     }
 
     /// Revokes a [`StatsInner::record_submitted`] for a job the pool
@@ -277,8 +431,20 @@ impl StatsInner {
         engine: &'static str,
         busy_seconds: f64,
         schedule: Option<ScheduleSample>,
+        priority: Priority,
+        latency_seconds: f64,
     ) {
         self.completed.fetch_add(1, Ordering::SeqCst);
+        self.classes
+            .lock()
+            .expect("class stats poisoned")
+            .class(priority)
+            .record(busy_seconds, latency_seconds);
+        {
+            let mut admission = self.admission.lock().expect("admission state poisoned");
+            admission.measured_sum_seconds += busy_seconds;
+            admission.measured_jobs += 1;
+        }
         let mut engines = self.engines.lock().expect("engine stats poisoned");
         let entry = engines.entry(engine).or_default();
         entry.jobs += 1;
@@ -304,13 +470,29 @@ impl StatsInner {
         self.failed.fetch_add(1, Ordering::SeqCst);
     }
 
-    pub(crate) fn snapshot(&self, workers: usize, queue_capacity: usize) -> ServiceStats {
+    pub(crate) fn snapshot(&self, shape: SnapshotShape) -> ServiceStats {
         let submitted = self.submitted.load(Ordering::SeqCst);
         let rejected = self.rejected.load(Ordering::SeqCst);
+        let shed = self.shed.load(Ordering::SeqCst);
         let started = self.started.load(Ordering::SeqCst);
         let completed = self.completed.load(Ordering::SeqCst);
         let failed = self.failed.load(Ordering::SeqCst);
+        let expired = self.expired.load(Ordering::SeqCst);
         let lost = self.lost.load(Ordering::SeqCst);
+        let (latency_interactive, latency_batch, interactive_seconds, batch_seconds) = {
+            let classes = self.classes.lock().expect("class stats poisoned");
+            (
+                classes.interactive.latency,
+                classes.batch.latency,
+                classes
+                    .interactive
+                    .service_seconds
+                    .iter()
+                    .copied()
+                    .collect(),
+                classes.batch.service_seconds.iter().copied().collect(),
+            )
+        };
         let engines = self.engines.lock().expect("engine stats poisoned").clone();
         let job_seconds = self
             .job_seconds
@@ -339,15 +521,18 @@ impl StatsInner {
             })
             .collect();
         ServiceStats {
-            workers,
-            queue_capacity,
+            workers: shape.workers,
+            shards: shape.shards,
+            queue_capacity: shape.queue_capacity,
             submitted,
             rejected,
+            shed,
             completed,
             failed,
+            expired,
             lost,
             queue_depth: submitted.saturating_sub(started),
-            in_flight: started.saturating_sub(completed + failed + lost),
+            in_flight: started.saturating_sub(completed + failed + expired + lost),
             elapsed_seconds: self
                 .first_admission
                 .get()
@@ -355,9 +540,24 @@ impl StatsInner {
                 .unwrap_or(0.0),
             busy_seconds,
             job_seconds,
+            interactive_seconds,
+            batch_seconds,
+            latency_interactive,
+            latency_batch,
+            steals: shape.steals,
             per_engine,
         }
     }
+}
+
+/// The pool-shape inputs a snapshot cannot derive from the counters:
+/// passed in by the service, which owns the pool.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SnapshotShape {
+    pub workers: usize,
+    pub shards: usize,
+    pub queue_capacity: usize,
+    pub steals: u64,
 }
 
 #[cfg(test)]
@@ -367,18 +567,35 @@ mod tests {
     fn stats_with_jobs(job_seconds: Vec<f64>) -> ServiceStats {
         ServiceStats {
             workers: 1,
+            shards: 1,
             queue_capacity: 1,
             submitted: job_seconds.len() as u64,
             rejected: 0,
+            shed: 0,
             completed: job_seconds.len() as u64,
             failed: 0,
+            expired: 0,
             lost: 0,
             queue_depth: 0,
             in_flight: 0,
             elapsed_seconds: job_seconds.iter().sum(),
             busy_seconds: job_seconds.iter().sum(),
+            interactive_seconds: Vec::new(),
+            batch_seconds: job_seconds.clone(),
+            latency_interactive: LatencyHistogram::new(),
+            latency_batch: LatencyHistogram::new(),
+            steals: 0,
             job_seconds,
             per_engine: Vec::new(),
+        }
+    }
+
+    fn shape(workers: usize, queue_capacity: usize) -> SnapshotShape {
+        SnapshotShape {
+            workers,
+            shards: workers,
+            queue_capacity,
+            steals: 0,
         }
     }
 
@@ -420,7 +637,7 @@ mod tests {
         inner.record_submitted();
         inner.record_started();
         inner.record_lost();
-        let stats = inner.snapshot(1, 1);
+        let stats = inner.snapshot(shape(1, 1));
         assert_eq!(stats.submitted, 1);
         assert_eq!(stats.rejected, 1);
         assert_eq!(stats.lost, 1);
@@ -439,7 +656,7 @@ mod tests {
         let inner = StatsInner::new();
         let idle = std::time::Duration::from_millis(200);
         std::thread::sleep(idle);
-        let before_traffic = inner.snapshot(1, 1);
+        let before_traffic = inner.snapshot(shape(1, 1));
         assert_eq!(
             before_traffic.elapsed_seconds, 0.0,
             "no submission yet: the clock must not be running"
@@ -448,12 +665,12 @@ mod tests {
         inner.record_submitted();
         inner.record_not_admitted();
         inner.record_rejected();
-        assert_eq!(inner.snapshot(1, 1).elapsed_seconds, 0.0);
+        assert_eq!(inner.snapshot(shape(1, 1)).elapsed_seconds, 0.0);
         inner.record_submitted();
         inner.record_admitted();
         inner.record_started();
-        inner.record_completed("sw-f32", 0.001, None);
-        let stats = inner.snapshot(1, 1);
+        inner.record_completed("sw-f32", 0.001, None, Priority::Batch, 0.002);
+        let stats = inner.snapshot(shape(1, 1));
         assert!(
             stats.elapsed_seconds < idle.as_secs_f64() / 2.0,
             "elapsed {}s still includes the {}s idle gap",
@@ -471,9 +688,9 @@ mod tests {
     fn job_timings_are_bounded_to_the_sample_cap() {
         let inner = StatsInner::new();
         for i in 0..(JOB_SAMPLE_CAP + 10) {
-            inner.record_completed("sw-f32", i as f64, None);
+            inner.record_completed("sw-f32", i as f64, None, Priority::Batch, i as f64);
         }
-        let stats = inner.snapshot(1, 1);
+        let stats = inner.snapshot(shape(1, 1));
         assert_eq!(stats.completed as usize, JOB_SAMPLE_CAP + 10);
         assert_eq!(stats.job_seconds.len(), JOB_SAMPLE_CAP);
         // The retained window is the most recent samples.
@@ -491,7 +708,7 @@ mod tests {
         inner.record_submitted();
         inner.record_started();
         inner.record_started();
-        inner.record_completed("sw-f32", 0.25, None);
+        inner.record_completed("sw-f32", 0.25, None, Priority::Batch, 0.3);
         inner.record_completed(
             "hw-fix16",
             0.75,
@@ -499,8 +716,10 @@ mod tests {
                 description: "fused-stream x1 thread, 32-row slices, fix16 (schedule=auto)".into(),
                 predicted_seconds: Some(0.5),
             }),
+            Priority::Interactive,
+            0.8,
         );
-        let stats = inner.snapshot(2, 8);
+        let stats = inner.snapshot(shape(2, 8));
         assert_eq!(stats.submitted, 2);
         assert_eq!(stats.completed, 2);
         assert_eq!(stats.queue_depth, 0);
@@ -529,5 +748,49 @@ mod tests {
         assert_eq!(sw.scheduled_jobs, 0);
         assert!(sw.schedule.is_none());
         assert!(sw.predicted_vs_measured().is_none());
+        // The priority split: each class keeps its own latency histogram
+        // and service-time window.
+        assert_eq!(stats.latency(Priority::Batch).count(), 1);
+        assert_eq!(stats.latency(Priority::Interactive).count(), 1);
+        assert_eq!(stats.class_seconds(Priority::Batch), &[0.25]);
+        assert_eq!(stats.class_seconds(Priority::Interactive), &[0.75]);
+        assert!(stats.modeled_class_makespan_seconds(Priority::Batch, 1) > 0.0);
+    }
+
+    #[test]
+    fn expired_and_shed_jobs_keep_counters_reconciled() {
+        let inner = StatsInner::new();
+        // Admission control shed one job: optimistically counted, revoked.
+        inner.record_submitted();
+        inner.record_not_admitted();
+        inner.record_shed();
+        // One admitted job expired at dequeue.
+        inner.record_submitted();
+        inner.record_admitted();
+        inner.record_started();
+        inner.record_expired();
+        let stats = inner.snapshot(shape(1, 1));
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.in_flight, 0, "an expired job must not look in-flight");
+        assert_eq!(
+            stats.completed + stats.failed + stats.expired + stats.lost,
+            stats.submitted,
+            "terminal outcomes reconcile to admissions"
+        );
+    }
+
+    #[test]
+    fn admission_mean_prefers_calibration_over_measurement() {
+        let inner = StatsInner::new();
+        assert_eq!(inner.admission_mean_seconds(), None, "no evidence yet");
+        inner.record_completed("sw-f32", 0.2, None, Priority::Batch, 0.2);
+        inner.record_completed("sw-f32", 0.4, None, Priority::Batch, 0.4);
+        let measured = inner.admission_mean_seconds().unwrap();
+        assert!((measured - 0.3).abs() < 1e-12);
+        inner.calibrate_admission(0.05);
+        assert_eq!(inner.admission_mean_seconds(), Some(0.05));
     }
 }

@@ -57,8 +57,9 @@ pub mod prelude {
         StreamingToneMapper, ToneMapParams, ToneMapper,
     };
     pub use tonemap_service::{
-        EngineUtilisation, JobHandle, JobInput, JobRequest, ServiceConfig, ServiceError,
-        ServiceStats, TonemapService, WorkerPool,
+        EngineUtilisation, FramePool, FramePoolStats, JobHandle, JobInput, JobRequest,
+        LatencyHistogram, Priority, ServiceConfig, ServiceError, ServiceStats, TaskOptions,
+        TonemapService, WorkerPool, LATENCY_BUCKETS,
     };
     pub use zynq_sim::config::ZynqConfig;
     pub use zynq_sim::power::{EnergyReport, PowerRails};

@@ -150,6 +150,82 @@ fn graceful_shutdown_completes_in_flight_and_queued_jobs() {
 }
 
 #[test]
+fn per_engine_attribution_follows_the_job_spec_under_forced_steals() {
+    // Regression for steal-aware attribution: with twice as many shards as
+    // workers, shards 8..15 have no owning worker, so every job the
+    // round-robin router places there can only execute via a steal. The
+    // per-engine split must still follow each job's resolved spec exactly —
+    // per-spec job counts, not per-worker ones.
+    let service =
+        TonemapService::standard(ServiceConfig::with_workers(8).shards(16).queue_capacity(64));
+    let specs = engine_specs();
+    let scene = Arc::new(SceneKind::WindowInDarkRoom.generate(32, 32, 77));
+    let per_spec = 3usize;
+    let jobs = (0..specs.len() * per_spec)
+        .map(|i| JobRequest::luminance(Arc::clone(&scene)).on_backend(specs[i % specs.len()]))
+        .collect();
+    service.execute_batch(jobs).expect("batch executes");
+
+    let stats = service.stats();
+    assert!(
+        stats.steals > 0,
+        "eight workers over one shard must steal, steals = {}",
+        stats.steals
+    );
+    assert_eq!(stats.completed, (specs.len() * per_spec) as u64);
+    for spec in &specs {
+        let engine = stats
+            .per_engine
+            .iter()
+            .find(|e| e.engine == *spec)
+            .unwrap_or_else(|| panic!("engine {spec} missing from the per-engine split"));
+        assert_eq!(
+            engine.jobs, per_spec as u64,
+            "{spec} must be credited exactly its own jobs, stolen or not"
+        );
+    }
+    assert_eq!(
+        stats.per_engine.iter().map(|e| e.jobs).sum::<u64>(),
+        stats.completed
+    );
+}
+
+#[test]
+fn priority_and_deadline_jobs_flow_through_the_public_surface() {
+    // The v2 serving policies through the facade: an interactive job and a
+    // batch job produce identical pixels (priority is a scheduling hint,
+    // never a numeric path), per-class latency histograms see one job
+    // each, and an over-calibrated admission model sheds a tight deadline.
+    let service = TonemapService::standard(ServiceConfig::with_workers(2));
+    let scene = Arc::new(SceneKind::WindowInDarkRoom.generate(32, 32, 78));
+    let interactive = service
+        .submit(JobRequest::luminance(Arc::clone(&scene)).with_priority(Priority::Interactive))
+        .expect("interactive job admitted")
+        .wait()
+        .expect("interactive job completes");
+    let batch = service
+        .submit(JobRequest::luminance(Arc::clone(&scene)))
+        .expect("batch job admitted")
+        .wait()
+        .expect("batch job completes");
+    assert_eq!(interactive.payload(), batch.payload());
+
+    let stats = service.stats();
+    assert_eq!(stats.latency(Priority::Interactive).count(), 1);
+    assert_eq!(stats.latency(Priority::Batch).count(), 1);
+
+    service.calibrate_admission(1.0); // pretend every job takes a second
+    match service.submit(
+        JobRequest::luminance(Arc::clone(&scene))
+            .with_deadline(std::time::Duration::from_millis(1)),
+    ) {
+        Err(ServiceError::DeadlineUnmeetable { .. }) => {}
+        other => panic!("expected admission to shed the 1 ms budget, got {other:?}"),
+    }
+    assert_eq!(service.stats().shed, 1);
+}
+
+#[test]
 fn batch_failures_surface_the_first_job_error() {
     let service = TonemapService::standard(ServiceConfig::default());
     let scene = Arc::new(SceneKind::GradientRamp.generate(16, 16, 5));
