@@ -7,15 +7,15 @@
 
 use crate::engine::TonemapBackend;
 use crate::error::TonemapError;
-use crate::output::{BackendOutput, BackendTelemetry, ModeledCost};
+use crate::output::{BackendOutput, BackendTelemetry, ModeledCost, RgbBackendOutput};
 use crate::paper_platform_flow;
 use codesign::flow::{DesignImplementation, DesignReport};
-use hdr_image::LuminanceImage;
+use hdr_image::{LuminanceImage, RgbImage};
 use std::collections::HashMap;
 use std::marker::PhantomData;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
-use tonemap_core::{PipelinePlan, Sample, ToneMapParams, ToneMapper};
+use tonemap_core::{ChannelLayout, PipelinePlan, PlanError, Sample, ToneMapParams, ToneMapper};
 use tonemap_scheduler::{SampleFormat, ScheduleClass};
 
 /// Lazily computed, per-resolution platform-model evaluations of one
@@ -75,6 +75,18 @@ impl ModelCache {
     }
 }
 
+/// Rejects a colour-input plan on the luminance execution path with a
+/// typed error: `map_luminance` has no colour register to feed it, so the
+/// mismatch must surface before an executor asserts on it.
+pub(crate) fn ensure_scalar_input(plan: &PipelinePlan) -> Result<(), TonemapError> {
+    match plan.input_layout() {
+        ChannelLayout::Scalar => Ok(()),
+        found => Err(TonemapError::InvalidPlan(PlanError::ScalarInputRequired {
+            found,
+        })),
+    }
+}
+
 /// Times one functional execution and assembles the [`BackendOutput`] with
 /// op counts and (when a model cache is supplied) the platform-model cost.
 pub(crate) fn run_with(
@@ -119,13 +131,16 @@ pub(crate) fn run_request(
     execute: impl FnOnce(&ToneMapper, &LuminanceImage) -> LuminanceImage,
 ) -> Result<BackendOutput, TonemapError> {
     match (params, plan) {
-        (None, None) => Ok(run_with(
-            name,
-            mapper,
-            if with_model { cached_model } else { None },
-            input,
-            execute,
-        )),
+        (None, None) => {
+            ensure_scalar_input(mapper.plan())?;
+            Ok(run_with(
+                name,
+                mapper,
+                if with_model { cached_model } else { None },
+                input,
+                execute,
+            ))
+        }
         (params, plan) => {
             let effective_params = params.copied().unwrap_or_else(|| *mapper.params());
             // A params override must not silently discard a custom plan the
@@ -143,12 +158,87 @@ pub(crate) fn run_request(
                     .map_err(TonemapError::from)?,
                 None => ToneMapper::try_new(effective_params).map_err(TonemapError::from)?,
             };
+            ensure_scalar_input(fresh.plan())?;
             let fresh_model = if with_model {
                 design.map(|d| ModelCache::with_plan(d, effective_params, effective_plan.clone()))
             } else {
                 None
             };
             Ok(run_with(name, &fresh, fresh_model.as_ref(), input, execute))
+        }
+    }
+}
+
+/// The colour twin of [`run_with`]: times one execution of the plan's
+/// colour walk and assembles the [`RgbBackendOutput`]. The analytic op
+/// counts come from the plan's own profile, which prices each op at the
+/// width of the register it reads.
+pub(crate) fn run_rgb_with(
+    name: &'static str,
+    mapper: &ToneMapper,
+    model: Option<&ModelCache>,
+    input: &RgbImage,
+    execute: impl FnOnce(&ToneMapper, &RgbImage) -> Result<RgbImage, hdr_image::ImageError>,
+) -> Result<RgbBackendOutput, TonemapError> {
+    let start = Instant::now();
+    let image = execute(mapper, input)?;
+    let wall = start.elapsed();
+    let (width, height) = input.dimensions();
+    Ok(RgbBackendOutput {
+        image,
+        telemetry: BackendTelemetry {
+            backend: name,
+            wall,
+            ops: mapper.profile(width, height).total(),
+            modeled: model.map(|m| ModeledCost::from(&m.report(width, height))),
+            schedule: None,
+        },
+    })
+}
+
+/// The colour twin of [`run_request`], shared by every two-pass backend's
+/// [`TonemapBackend::run_rgb`]: the same override-resolution rules, but the
+/// execution walks the plan's colour stages (`map_rgb` family) — which for
+/// a `Scalar`-input plan is, by construction, bit-identical to the classic
+/// extract/reapply wrapper.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_rgb_request(
+    name: &'static str,
+    mapper: &ToneMapper,
+    design: Option<DesignImplementation>,
+    cached_model: Option<&ModelCache>,
+    input: &RgbImage,
+    params: Option<&ToneMapParams>,
+    plan: Option<&PipelinePlan>,
+    with_model: bool,
+    execute: impl FnOnce(&ToneMapper, &RgbImage) -> Result<RgbImage, hdr_image::ImageError>,
+) -> Result<RgbBackendOutput, TonemapError> {
+    match (params, plan) {
+        (None, None) => run_rgb_with(
+            name,
+            mapper,
+            if with_model { cached_model } else { None },
+            input,
+            execute,
+        ),
+        (params, plan) => {
+            let effective_params = params.copied().unwrap_or_else(|| *mapper.params());
+            let effective_plan: Option<PipelinePlan> = match plan {
+                Some(plan) => Some(plan.clone()),
+                None if !mapper.plan().is_paper_shaped() => Some(mapper.plan().clone()),
+                None => None,
+            };
+            let fresh = match &effective_plan {
+                Some(plan) => ToneMapper::compile(plan.clone(), effective_params)
+                    .map_err(TonemapError::from)?,
+                None => ToneMapper::try_new(effective_params).map_err(TonemapError::from)?,
+            };
+            let fresh_model = if with_model {
+                design.map(|d| ModelCache::with_plan(d, effective_params, effective_plan.clone()))
+            } else {
+                None
+            };
+            run_rgb_with(name, &fresh, fresh_model.as_ref(), input, execute)
         }
     }
 }
@@ -271,6 +361,26 @@ impl<S: Sample> TonemapBackend for AcceleratedBackend<S> {
             plan,
             with_model,
             |mapper, hdr| mapper.map_luminance_hw_blur::<S>(hdr),
+        )
+    }
+
+    fn run_rgb(
+        &self,
+        input: &RgbImage,
+        params: Option<&ToneMapParams>,
+        plan: Option<&PipelinePlan>,
+        with_model: bool,
+    ) -> Result<RgbBackendOutput, TonemapError> {
+        run_rgb_request(
+            self.name,
+            &self.mapper,
+            Some(self.design),
+            Some(&self.model),
+            input,
+            params,
+            plan,
+            with_model,
+            |mapper, hdr| mapper.map_rgb_hw_blur::<S>(hdr),
         )
     }
 

@@ -1,7 +1,7 @@
 //! The [`TonemapBackend`] trait: the single, fallible execution contract.
 
 use crate::error::TonemapError;
-use crate::output::BackendOutput;
+use crate::output::{BackendOutput, RgbBackendOutput};
 use crate::request::{OutputKind, RequestInput, TonemapPayload, TonemapRequest, TonemapResponse};
 use codesign::flow::{DesignImplementation, DesignReport};
 use hdr_image::rgb::{luminance_plane, reapply_color, to_ldr_rgb};
@@ -156,6 +156,12 @@ pub trait TonemapBackend: Send + Sync {
     ///
     /// Prefer [`TonemapBackend::execute`]; this method is the hook backend
     /// implementations provide, not the API callers consume.
+    ///
+    /// A colour-managed plan (one whose input register is not `Scalar`)
+    /// cannot serve a luminance request: implementations reject it with a
+    /// typed [`PlanError::ScalarInputRequired`](tonemap_core::PlanError)
+    /// instead of executing — route such plans through
+    /// [`TonemapBackend::run_rgb`].
     fn run_luminance(
         &self,
         input: &LuminanceImage,
@@ -163,6 +169,41 @@ pub trait TonemapBackend: Send + Sync {
         plan: Option<&PipelinePlan>,
         with_model: bool,
     ) -> Result<BackendOutput, TonemapError>;
+
+    /// The colour execution primitive: tone-maps one RGB image through the
+    /// plan's register file.
+    ///
+    /// The default implementation is the classic ratio wrapper every RGB
+    /// request used before plans carried channel layouts — extract the
+    /// luminance plane, run [`TonemapBackend::run_luminance`] on it,
+    /// re-apply the chrominance ratios — which is exactly what
+    /// [`tonemap_core::run_color_plan`] does for a `Scalar`-input plan. The
+    /// in-tree engines override this to walk the plan's colour stages
+    /// directly (through the core `map_rgb` family), so `Rgb`-input plans
+    /// (`pipeline=hsv-reinhard`, `pipeline=pq-out`, …) execute end-to-end;
+    /// an engine keeping this default serves scalar plans only and surfaces
+    /// [`PlanError::ScalarInputRequired`](tonemap_core::PlanError) for the
+    /// rest.
+    ///
+    /// # Errors
+    ///
+    /// As [`TonemapBackend::run_luminance`], plus [`TonemapError::Image`]
+    /// from the colour recombine.
+    fn run_rgb(
+        &self,
+        input: &RgbImage,
+        params: Option<&ToneMapParams>,
+        plan: Option<&PipelinePlan>,
+        with_model: bool,
+    ) -> Result<RgbBackendOutput, TonemapError> {
+        let luminance = luminance_plane(input);
+        let run = self.run_luminance(&luminance, params, plan, with_model)?;
+        let image = reapply_color(input, &run.image)?;
+        Ok(RgbBackendOutput {
+            image,
+            telemetry: run.telemetry,
+        })
+    }
 
     /// Executes one [`TonemapRequest`]: validates the input image and any
     /// parameter override, runs the pipeline, applies colour re-application
@@ -219,22 +260,15 @@ pub trait TonemapBackend: Send + Sync {
                 {
                     return Err(TonemapError::Image(hdr_image::ImageError::NoFinitePixels));
                 }
-                // Sanitize non-finite channels before the luminance plane
-                // and the colour re-application are derived: normalization
-                // zeroes non-finite *luminance* samples, but reapply_color
-                // reads the original channels, where one NaN channel would
+                // Sanitize non-finite channels before any colour register is
+                // derived: normalization zeroes non-finite *luminance*
+                // samples, but the ratio recombine and the colour point ops
+                // read the original channels, where one NaN channel would
                 // otherwise poison the whole output pixel.
                 let sanitized = sanitized_rgb(image);
                 let source = sanitized.as_ref().unwrap_or(image);
-                let luminance = luminance_plane(source);
-                let run = self.run_luminance(&luminance, params, plan, with_telemetry)?;
-                let mapped = reapply_color(source, &run.image)?;
-                Ok(rgb_response(
-                    mapped,
-                    run,
-                    request.output_kind(),
-                    with_telemetry,
-                ))
+                let run = self.run_rgb(source, params, plan, with_telemetry)?;
+                Ok(rgb_response(run, request.output_kind(), with_telemetry))
             }
         }
     }
@@ -313,14 +347,13 @@ fn luminance_response(
 }
 
 fn rgb_response(
-    mapped: RgbImage,
-    run: BackendOutput,
+    run: RgbBackendOutput,
     output: OutputKind,
     with_telemetry: bool,
 ) -> TonemapResponse {
     let payload = match output {
-        OutputKind::DisplayReferred => TonemapPayload::Rgb(mapped),
-        OutputKind::Ldr8 => TonemapPayload::RgbLdr(to_ldr_rgb(&mapped)),
+        OutputKind::DisplayReferred => TonemapPayload::Rgb(run.image),
+        OutputKind::Ldr8 => TonemapPayload::RgbLdr(to_ldr_rgb(&run.image)),
     };
     TonemapResponse::new(payload, with_telemetry.then_some(run.telemetry))
 }

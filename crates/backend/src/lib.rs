@@ -96,7 +96,9 @@ mod streaming;
 pub use accelerated::AcceleratedBackend;
 pub use engine::{BackendInfo, TonemapBackend};
 pub use error::TonemapError;
-pub use output::{BackendOutput, BackendTelemetry, ModeledCost, ScheduleTelemetry};
+pub use output::{
+    BackendOutput, BackendTelemetry, ModeledCost, RgbBackendOutput, ScheduleTelemetry,
+};
 pub use registry::{BackendRegistry, ResolvedBackend, UnknownBackendError};
 pub use request::{OutputKind, TonemapPayload, TonemapRequest, TonemapResponse};
 pub use scheduled::ScheduledBackend;

@@ -5,7 +5,7 @@
 //! (payload shaping, telemetry opt-in) before it reaches callers.
 
 use codesign::flow::{DesignImplementation, DesignReport};
-use hdr_image::LuminanceImage;
+use hdr_image::{LuminanceImage, RgbImage};
 use std::time::Duration;
 use tonemap_core::ops::OpCounts;
 use tonemap_scheduler::{PricedPoint, SchedulePoint};
@@ -131,4 +131,18 @@ impl BackendOutput {
     pub fn into_frame(self) -> Vec<f32> {
         self.image.into_vec()
     }
+}
+
+/// The functional result of one colour execution: what
+/// [`crate::TonemapBackend::run_rgb`] returns.
+///
+/// Shaped like [`BackendOutput`] but carrying the colour register the plan
+/// ended in — the response of every RGB request, whether it went through
+/// the classic luminance-ratio wrapper or a colour-managed plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RgbBackendOutput {
+    /// The display-referred tone-mapped colour image.
+    pub image: RgbImage,
+    /// Timing / energy / operation-count telemetry for the run.
+    pub telemetry: BackendTelemetry,
 }

@@ -896,6 +896,116 @@ mod tests {
     }
 
     #[test]
+    fn colour_presets_serve_rgb_requests_on_every_engine_family() {
+        let registry = BackendRegistry::standard();
+        let hdr = SceneKind::SunAndShadow.generate_rgb(36, 28, 17);
+        for preset in [
+            "hsv-reinhard",
+            "filmic",
+            "aces",
+            "drago",
+            "pq-out",
+            "hlg-out",
+        ] {
+            for engine in ["sw-f32", "sw-fix16", "hw-marked", "hw-fix16"] {
+                let spec = format!("{engine}?pipeline={preset}");
+                let response = registry
+                    .execute(
+                        &TonemapRequest::rgb(&hdr)
+                            .on_backend(&*spec)
+                            .with_telemetry(),
+                    )
+                    .unwrap_or_else(|e| panic!("`{spec}` must serve RGB requests: {e}"));
+                let out = response.rgb().expect("display-referred RGB payload");
+                assert_eq!(out.dimensions(), hdr.dimensions(), "{spec}");
+                assert!(
+                    out.pixels()
+                        .iter()
+                        .all(|p| [p.r, p.g, p.b].iter().all(|c| (0.0..=1.0).contains(c))),
+                    "{spec} produced out-of-range pixels"
+                );
+                assert!(response.telemetry().unwrap().ops.total() > 0, "{spec}");
+            }
+            // The streaming engines serve the same pixels, bit for bit.
+            for (streamed, classic) in
+                [("sw-f32-stream", "sw-f32"), ("hw-fix16-stream", "hw-fix16")]
+            {
+                let a = registry
+                    .execute(
+                        &TonemapRequest::rgb(&hdr)
+                            .on_backend(format!("{streamed}?pipeline={preset}")),
+                    )
+                    .unwrap();
+                let b = registry
+                    .execute(
+                        &TonemapRequest::rgb(&hdr)
+                            .on_backend(format!("{classic}?pipeline={preset}")),
+                    )
+                    .unwrap();
+                assert_eq!(
+                    a.rgb().unwrap(),
+                    b.rgb().unwrap(),
+                    "{streamed} diverged from {classic} on {preset}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn luminance_requests_on_colour_plan_engines_are_typed_errors() {
+        // `pipeline=hsv-reinhard` compiles an `Rgb`-input plan: a luminance
+        // request has no colour register to feed it, and the mismatch must
+        // surface as a typed plan error on every engine family (including
+        // the scheduler-resolved ones), never as a panic.
+        let registry = BackendRegistry::standard();
+        let hdr = SceneKind::GradientRamp.generate(16, 12, 3);
+        for spec in [
+            "sw-f32?pipeline=hsv-reinhard".to_string(),
+            "sw-fix16?pipeline=hsv-reinhard".to_string(),
+            "hw-fix16?pipeline=hsv-reinhard".to_string(),
+            "sw-f32-stream?pipeline=hsv-reinhard".to_string(),
+            "sw-f32?pipeline=hsv-reinhard&schedule=auto".to_string(),
+        ] {
+            let err = registry
+                .execute(&TonemapRequest::luminance(&hdr).on_backend(&*spec))
+                .expect_err("a colour-input plan cannot serve a luminance request");
+            match err {
+                TonemapError::InvalidPlan(e) => {
+                    assert!(e.to_string().contains("scalar-input"), "{spec}: {e}")
+                }
+                other => panic!("{spec}: expected InvalidPlan, got {other:?}"),
+            }
+        }
+        // The scalar colour-catalogue presets (filmic & co) stay servable as
+        // luminance jobs — only `Rgb`-input plans are gated.
+        let ok = registry
+            .execute(&TonemapRequest::luminance(&hdr).on_backend("sw-f32?pipeline=filmic"))
+            .expect("a scalar filmic plan serves luminance requests");
+        assert_eq!(ok.luminance().unwrap().dimensions(), hdr.dimensions());
+    }
+
+    #[test]
+    fn rgb_requests_still_match_the_classic_wrapper_bit_for_bit() {
+        // The RGB arm is now plan composition (`run_color_plan`): on a
+        // scalar-input plan it must reproduce the old hard-coded
+        // extract/run/reapply wrapper exactly.
+        use hdr_image::rgb::{luminance_plane, reapply_color};
+        let registry = BackendRegistry::standard();
+        let hdr = SceneKind::MemorialComposite.generate_rgb(32, 24, 9);
+        for engine in ["sw-f32", "hw-fix16"] {
+            let via_plan = registry
+                .execute(&TonemapRequest::rgb(&hdr).on_backend(engine))
+                .unwrap();
+            let luminance = luminance_plane(&hdr);
+            let mapped = registry
+                .execute(&TonemapRequest::luminance(&luminance).on_backend(engine))
+                .unwrap();
+            let manual = reapply_color(&hdr, mapped.luminance().unwrap()).unwrap();
+            assert_eq!(via_plan.rgb().unwrap(), &manual, "{engine}");
+        }
+    }
+
+    #[test]
     fn rgb_requests_preserve_dimensions_and_range_for_every_backend() {
         let hdr = SceneKind::SunAndShadow.generate_rgb(24, 24, 3);
         let registry = BackendRegistry::standard();

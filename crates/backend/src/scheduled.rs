@@ -11,11 +11,14 @@
 //! changes *how* pixels are computed, never their values, so
 //! `schedule=auto` output is bit-identical to `schedule=two-pass`.
 
+use crate::accelerated::ensure_scalar_input;
 use crate::engine::TonemapBackend;
 use crate::error::TonemapError;
-use crate::output::{BackendOutput, BackendTelemetry, ModeledCost, ScheduleTelemetry};
+use crate::output::{
+    BackendOutput, BackendTelemetry, ModeledCost, RgbBackendOutput, ScheduleTelemetry,
+};
 use codesign::flow::{DesignImplementation, DesignReport};
-use hdr_image::LuminanceImage;
+use hdr_image::{LuminanceImage, RgbImage};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -37,6 +40,13 @@ impl<S: Sample> ResolvedExecutor<S> {
         match self {
             ResolvedExecutor::TwoPass(mapper) => mapper.map_luminance_hw_blur::<S>(input),
             ResolvedExecutor::Streaming(mapper) => mapper.map_luminance(input),
+        }
+    }
+
+    fn run_rgb(&self, input: &RgbImage) -> Result<RgbImage, hdr_image::ImageError> {
+        match self {
+            ResolvedExecutor::TwoPass(mapper) => mapper.map_rgb_hw_blur::<S>(input),
+            ResolvedExecutor::Streaming(mapper) => mapper.map_rgb(input),
         }
     }
 }
@@ -272,14 +282,71 @@ impl<S: Sample> ScheduledBackend<S> {
         let (width, height) = input.dimensions();
         BackendOutput {
             image,
-            telemetry: BackendTelemetry {
-                backend: self.inner.name(),
-                wall,
-                ops: plan.profile(width, height, params.channels).total(),
-                modeled: with_model.then(|| ModeledCost::from(&schedule.base)),
-                schedule: Some(schedule.telemetry.clone()),
-            },
+            telemetry: self
+                .resolved_telemetry(schedule, params, plan, width, height, wall, with_model),
         }
+    }
+
+    /// The colour twin of [`ScheduledBackend::run_resolved`].
+    fn run_resolved_rgb(
+        &self,
+        schedule: &ResolutionSchedule<S>,
+        params: &ToneMapParams,
+        plan: &PipelinePlan,
+        input: &RgbImage,
+        with_model: bool,
+    ) -> Result<RgbBackendOutput, TonemapError> {
+        let start = Instant::now();
+        let image = schedule.executor.run_rgb(input)?;
+        let wall = start.elapsed();
+        let (width, height) = input.dimensions();
+        Ok(RgbBackendOutput {
+            image,
+            telemetry: self
+                .resolved_telemetry(schedule, params, plan, width, height, wall, with_model),
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn resolved_telemetry(
+        &self,
+        schedule: &ResolutionSchedule<S>,
+        params: &ToneMapParams,
+        plan: &PipelinePlan,
+        width: usize,
+        height: usize,
+        wall: std::time::Duration,
+        with_model: bool,
+    ) -> BackendTelemetry {
+        BackendTelemetry {
+            backend: self.inner.name(),
+            wall,
+            ops: plan.profile(width, height, params.channels).total(),
+            modeled: with_model.then(|| ModeledCost::from(&schedule.base)),
+            schedule: Some(schedule.telemetry.clone()),
+        }
+    }
+
+    /// Resolves the effective (params, plan) for a request-level override,
+    /// mirroring `run_request`'s rules.
+    fn effective_override(
+        &self,
+        params: Option<&ToneMapParams>,
+        plan: Option<&PipelinePlan>,
+    ) -> Result<(ToneMapParams, PipelinePlan), TonemapError> {
+        let effective = match params {
+            Some(params) => {
+                params.validate().map_err(TonemapError::from)?;
+                *params
+            }
+            None => self.params,
+        };
+        let effective_plan = match plan {
+            Some(plan) => plan.clone(),
+            None if !self.plan.is_paper_shaped() => self.plan.clone(),
+            None => PipelinePlan::from_params(&effective),
+        };
+        Ok((effective, effective_plan))
     }
 }
 
@@ -344,6 +411,7 @@ impl<S: Sample> TonemapBackend for ScheduledBackend<S> {
         let (width, height) = input.dimensions();
         match (params, plan) {
             (None, None) => {
+                ensure_scalar_input(&self.plan)?;
                 let schedule = self.resolution_schedule(width, height)?;
                 Ok(self.run_resolved(&schedule, &self.params, &self.plan, input, with_model))
             }
@@ -351,21 +419,33 @@ impl<S: Sample> TonemapBackend for ScheduledBackend<S> {
                 // Request-level overrides re-run the scheduler for the
                 // overridden job, uncached — mirroring how the named
                 // engines compile fresh mappers for overrides.
-                let effective = match params {
-                    Some(params) => {
-                        params.validate().map_err(TonemapError::from)?;
-                        *params
-                    }
-                    None => self.params,
-                };
-                let effective_plan = match plan {
-                    Some(plan) => plan.clone(),
-                    None if !self.plan.is_paper_shaped() => self.plan.clone(),
-                    None => PipelinePlan::from_params(&effective),
-                };
+                let (effective, effective_plan) = self.effective_override(params, plan)?;
+                ensure_scalar_input(&effective_plan)?;
                 let schedule =
                     self.resolve_resolution(&effective, &effective_plan, width, height)?;
                 Ok(self.run_resolved(&schedule, &effective, &effective_plan, input, with_model))
+            }
+        }
+    }
+
+    fn run_rgb(
+        &self,
+        input: &RgbImage,
+        params: Option<&ToneMapParams>,
+        plan: Option<&PipelinePlan>,
+        with_model: bool,
+    ) -> Result<RgbBackendOutput, TonemapError> {
+        let (width, height) = input.dimensions();
+        match (params, plan) {
+            (None, None) => {
+                let schedule = self.resolution_schedule(width, height)?;
+                self.run_resolved_rgb(&schedule, &self.params, &self.plan, input, with_model)
+            }
+            (params, plan) => {
+                let (effective, effective_plan) = self.effective_override(params, plan)?;
+                let schedule =
+                    self.resolve_resolution(&effective, &effective_plan, width, height)?;
+                self.run_resolved_rgb(&schedule, &effective, &effective_plan, input, with_model)
             }
         }
     }
@@ -415,6 +495,46 @@ mod tests {
                 auto.luminance().unwrap(),
                 two_pass.luminance().unwrap(),
                 "{engine}: the scheduler changed pixels, not just the strategy"
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_auto_prices_and_serves_colour_plans() {
+        // The scheduler enumerates its strategies over colour-managed plans
+        // too: `schedule=auto` on an RGB request resolves, records its
+        // schedule telemetry, and stays bit-identical to the forced
+        // two-pass strategy.
+        let registry = BackendRegistry::standard();
+        let hdr = SceneKind::SunAndShadow.generate_rgb(64, 48, 19);
+        for preset in ["hsv-reinhard", "pq-out", "filmic"] {
+            let auto = registry
+                .execute(
+                    &TonemapRequest::rgb(&hdr)
+                        .on_backend(format!("hw-fix16?pipeline={preset}&schedule=auto"))
+                        .with_telemetry(),
+                )
+                .unwrap_or_else(|e| panic!("schedule=auto on `{preset}` must resolve: {e}"));
+            let two_pass = registry
+                .execute(
+                    &TonemapRequest::rgb(&hdr)
+                        .on_backend(format!("hw-fix16?pipeline={preset}&schedule=two-pass")),
+                )
+                .expect("schedule=two-pass resolves");
+            assert_eq!(
+                auto.rgb().unwrap(),
+                two_pass.rgb().unwrap(),
+                "{preset}: the scheduler changed pixels, not just the strategy"
+            );
+            let telemetry = auto.telemetry().expect("telemetry requested");
+            let schedule = telemetry
+                .schedule
+                .as_ref()
+                .expect("scheduled colour runs record their resolution");
+            assert!(schedule.considered >= 1, "{preset}");
+            assert!(
+                schedule.predicted_seconds.is_finite() && schedule.predicted_seconds > 0.0,
+                "{preset}"
             );
         }
     }

@@ -5,13 +5,13 @@
 //! instance serves any number of `tonemap-service` worker threads
 //! concurrently.
 
-use crate::accelerated::{run_request, ModelCache};
+use crate::accelerated::{run_request, run_rgb_request, ModelCache};
 use crate::engine::TonemapBackend;
 use crate::error::TonemapError;
-use crate::output::BackendOutput;
+use crate::output::{BackendOutput, RgbBackendOutput};
 use apfixed::Fix16;
 use codesign::flow::{DesignImplementation, DesignReport};
-use hdr_image::LuminanceImage;
+use hdr_image::{LuminanceImage, RgbImage};
 use std::sync::Arc;
 use tonemap_core::{PipelinePlan, ToneMapParams, ToneMapper};
 use tonemap_scheduler::{SampleFormat, ScheduleClass};
@@ -105,6 +105,26 @@ impl TonemapBackend for SoftwareF32Backend {
             plan,
             with_model,
             |mapper, hdr| mapper.map_luminance::<f32>(hdr),
+        )
+    }
+
+    fn run_rgb(
+        &self,
+        input: &RgbImage,
+        params: Option<&ToneMapParams>,
+        plan: Option<&PipelinePlan>,
+        with_model: bool,
+    ) -> Result<RgbBackendOutput, TonemapError> {
+        run_rgb_request(
+            self.name(),
+            &self.mapper,
+            Some(DesignImplementation::SwSourceCode),
+            Some(&self.model),
+            input,
+            params,
+            plan,
+            with_model,
+            |mapper, hdr| mapper.map_rgb::<f32>(hdr),
         )
     }
 
@@ -204,6 +224,26 @@ impl TonemapBackend for SoftwareFixedBackend {
             plan,
             with_model,
             |mapper, hdr| mapper.map_luminance::<Fix16>(hdr),
+        )
+    }
+
+    fn run_rgb(
+        &self,
+        input: &RgbImage,
+        params: Option<&ToneMapParams>,
+        plan: Option<&PipelinePlan>,
+        with_model: bool,
+    ) -> Result<RgbBackendOutput, TonemapError> {
+        run_rgb_request(
+            self.name(),
+            &self.mapper,
+            None,
+            None,
+            input,
+            params,
+            plan,
+            with_model,
+            |mapper, hdr| mapper.map_rgb::<Fix16>(hdr),
         )
     }
 

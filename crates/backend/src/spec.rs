@@ -8,10 +8,13 @@
 //! Since the pipeline became data ([`tonemap_core::plan`]), a spec also
 //! selects *which operator chain* the engine compiles: `pipeline=<preset>`
 //! picks a named [`PipelinePlan`] preset (`paper`, `basedetail`,
-//! `reinhard`, `histeq`, `gamma`, `log`), and the plan-tuning keys (`reinhard_key`,
-//! `reinhard_white`, `bins`, `gamma`, `log_scale`) override that preset's
-//! stage parameters — so `"sw-f32-stream?pipeline=reinhard&reinhard_key=4"`
-//! serves a global Reinhard operator through the streaming engine without
+//! `reinhard`, `histeq`, `gamma`, `log` — plus the colour-managed
+//! `hsv-reinhard`, `filmic`, `aces`, `drago`, `pq-out`, `hlg-out`), and the
+//! plan-tuning keys (`reinhard_key`, `reinhard_white`, `bins`, `gamma`,
+//! `log_scale`, `exposure`, `peak`, `bias`) override that preset's stage
+//! parameters — so `"sw-f32-stream?pipeline=reinhard&reinhard_key=4"`
+//! serves a global Reinhard operator through the streaming engine, and
+//! `"hw-fix16?pipeline=filmic&exposure=4"` a Hable filmic curve, without
 //! touching code.
 //!
 //! Since the schedule became data too ([`tonemap_scheduler`]), a spec can
@@ -139,6 +142,30 @@ const KNOWN_TUNING_KEYS: &[(&str, TuningSetter, TuningGetter)] = &[
         },
         |t| t.log_scale.map(|v| v.to_string()),
     ),
+    (
+        "exposure",
+        |t, v| {
+            t.exposure = Some(v.parse().map_err(drop)?);
+            Ok(())
+        },
+        |t| t.exposure.map(|v| v.to_string()),
+    ),
+    (
+        "peak",
+        |t, v| {
+            t.peak_nits = Some(v.parse().map_err(drop)?);
+            Ok(())
+        },
+        |t| t.peak_nits.map(|v| v.to_string()),
+    ),
+    (
+        "bias",
+        |t, v| {
+            t.drago_bias = Some(v.parse().map_err(drop)?);
+            Ok(())
+        },
+        |t| t.drago_bias.map(|v| v.to_string()),
+    ),
 ];
 
 /// The tuning keys each named preset actually reads; any other tuning key
@@ -146,13 +173,16 @@ const KNOWN_TUNING_KEYS: &[(&str, TuningSetter, TuningGetter)] = &[
 /// silently ignored.
 fn preset_tuning_keys(preset: &str) -> &'static [&'static str] {
     match preset {
-        "reinhard" => &["reinhard_key", "reinhard_white"],
+        "reinhard" | "hsv-reinhard" => &["reinhard_key", "reinhard_white"],
         "histeq" => &["bins"],
         "gamma" => &["gamma"],
         "log" => &["log_scale"],
-        // `paper` and `basedetail` are parameter-driven (sigma/radius/
-        // strength/… come from the shared param keys), so they read no
-        // tuning keys.
+        "filmic" | "aces" => &["exposure"],
+        "drago" => &["bias"],
+        "pq-out" => &["peak"],
+        // `paper`, `basedetail` and `hlg-out` are parameter-driven (sigma/
+        // radius/strength/… come from the shared param keys), so they read
+        // no tuning keys.
         _ => &[],
     }
 }
@@ -714,6 +744,110 @@ mod tests {
                 .unwrap(),
             None
         );
+    }
+
+    #[test]
+    fn colour_preset_tuning_keys_parse_and_resolve() {
+        use tonemap_core::plan::PipelineOp;
+        // Each new tuning key lands in the matching stage of its preset.
+        let filmic = BackendSpec::parse("hw-fix16?pipeline=filmic&exposure=4").unwrap();
+        let plan = filmic
+            .resolved_plan(&ToneMapParams::paper_default())
+            .unwrap()
+            .expect("pipeline selected");
+        assert!(plan
+            .ops()
+            .iter()
+            .any(|op| matches!(op, PipelineOp::Hable { exposure } if *exposure == 4.0)));
+
+        let aces = BackendSpec::parse("sw-f32?pipeline=aces&exposure=2.5").unwrap();
+        let plan = aces
+            .resolved_plan(&ToneMapParams::paper_default())
+            .unwrap()
+            .unwrap();
+        assert!(plan
+            .ops()
+            .iter()
+            .any(|op| matches!(op, PipelineOp::Aces { exposure } if *exposure == 2.5)));
+
+        let pq = BackendSpec::parse("sw-f32?pipeline=pq-out&peak=600").unwrap();
+        let plan = pq
+            .resolved_plan(&ToneMapParams::paper_default())
+            .unwrap()
+            .unwrap();
+        assert!(matches!(
+            plan.ops().last(),
+            Some(PipelineOp::PqOetf { peak_nits }) if *peak_nits == 600.0
+        ));
+
+        let drago = BackendSpec::parse("sw-f32?pipeline=drago&bias=0.5").unwrap();
+        let plan = drago
+            .resolved_plan(&ToneMapParams::paper_default())
+            .unwrap()
+            .unwrap();
+        assert!(plan
+            .ops()
+            .iter()
+            .any(|op| matches!(op, PipelineOp::Drago { bias } if *bias == 0.5)));
+
+        // `hsv-reinhard` reuses the classic Reinhard keys but compiles an
+        // `Rgb`-input plan.
+        let hsv = BackendSpec::parse("sw-f32?pipeline=hsv-reinhard&reinhard_key=4").unwrap();
+        let plan = hsv
+            .resolved_plan(&ToneMapParams::paper_default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(plan.input_layout(), tonemap_core::ChannelLayout::Rgb);
+        assert!(plan
+            .ops()
+            .iter()
+            .any(|op| matches!(op, PipelineOp::Reinhard { key, .. } if *key == 4.0)));
+    }
+
+    #[test]
+    fn colour_tuning_keys_round_trip_through_display() {
+        for spec in [
+            "hw-fix16?pipeline=filmic&exposure=4",
+            "sw-f32?pipeline=pq-out&peak=600",
+            "sw-f32?pipeline=drago&bias=0.5",
+            "sw-f32-stream?pipeline=hsv-reinhard&reinhard_key=4&reinhard_white=8",
+        ] {
+            let parsed = BackendSpec::parse(spec).unwrap();
+            assert_eq!(parsed.to_string(), spec, "canonical form");
+            let reparsed = BackendSpec::parse(&parsed.to_string()).unwrap();
+            assert_eq!(reparsed.to_string(), parsed.to_string());
+        }
+    }
+
+    #[test]
+    fn misdirected_colour_tuning_keys_are_typed_spec_errors() {
+        for (spec, needle) in [
+            (
+                "sw-f32?pipeline=filmic&bias=0.5",
+                "not used by pipeline preset `filmic`",
+            ),
+            (
+                "sw-f32?pipeline=drago&exposure=4",
+                "not used by pipeline preset `drago`",
+            ),
+            ("sw-f32?pipeline=hlg-out&peak=600", "takes no tuning keys"),
+            ("sw-f32?exposure=4", "requires a `pipeline=`"),
+            ("sw-f32?pipeline=pq-out&peak=bright", "cannot parse"),
+        ] {
+            match BackendSpec::parse(spec) {
+                Err(TonemapError::InvalidSpec { reason, .. }) => {
+                    assert!(reason.contains(needle), "`{reason}` lacks `{needle}`")
+                }
+                other => panic!("`{spec}` must fail, got {other:?}"),
+            }
+        }
+        // A peak beyond the ST-2084 ceiling parses as a key but fails plan
+        // validation with a typed plan error.
+        let spec = BackendSpec::parse("sw-f32?pipeline=pq-out&peak=20000").unwrap();
+        assert!(matches!(
+            spec.resolved_plan(&ToneMapParams::paper_default()),
+            Err(TonemapError::InvalidPlan(_))
+        ));
     }
 
     #[test]

@@ -10,11 +10,12 @@
 //! these are execution *shapes*, not new Table II designs: `design()` is
 //! `None` and telemetry carries no modeled cost.
 
+use crate::accelerated::ensure_scalar_input;
 use crate::engine::TonemapBackend;
 use crate::error::TonemapError;
-use crate::output::{BackendOutput, BackendTelemetry};
+use crate::output::{BackendOutput, BackendTelemetry, RgbBackendOutput};
 use codesign::flow::{DesignImplementation, DesignReport};
-use hdr_image::LuminanceImage;
+use hdr_image::{LuminanceImage, RgbImage};
 use std::sync::Arc;
 use std::time::Instant;
 use tonemap_core::{PipelinePlan, Sample, StreamingToneMapper, ToneMapParams};
@@ -92,6 +93,28 @@ impl<S: Sample> StreamingBackend<S> {
             mapper: mapper.with_threads(threads),
         })
     }
+
+    /// Compiles a fresh mapper for a request-level override, with the same
+    /// resolution rule as `run_request`: a params override re-derives the
+    /// Fig. 1 chain but never discards a custom compiled plan.
+    fn overridden_mapper(
+        &self,
+        params: Option<&ToneMapParams>,
+        plan: Option<&PipelinePlan>,
+    ) -> Result<StreamingToneMapper<S>, TonemapError> {
+        let effective = params.copied().unwrap_or_else(|| *self.mapper.params());
+        let effective_plan = match plan {
+            Some(plan) => Some(plan.clone()),
+            None if !self.mapper.plan().is_paper_shaped() => Some(self.mapper.plan().clone()),
+            None => None,
+        };
+        Ok(match effective_plan {
+            Some(plan) => StreamingToneMapper::<S>::compile(plan, effective),
+            None => StreamingToneMapper::<S>::try_new(effective),
+        }
+        .map_err(TonemapError::from)?
+        .with_threads(self.mapper.threads()))
+    }
 }
 
 impl<S: Sample> TonemapBackend for StreamingBackend<S> {
@@ -129,25 +152,30 @@ impl<S: Sample> TonemapBackend for StreamingBackend<S> {
         _with_model: bool,
     ) -> Result<BackendOutput, TonemapError> {
         match (params, plan) {
-            (None, None) => Ok(run_streaming(self.name, &self.mapper, input)),
+            (None, None) => {
+                ensure_scalar_input(self.mapper.plan())?;
+                Ok(run_streaming(self.name, &self.mapper, input))
+            }
             (params, plan) => {
-                let effective = params.copied().unwrap_or_else(|| *self.mapper.params());
-                // As in `run_request`: a params override re-derives the
-                // Fig. 1 chain but never discards a custom compiled plan.
-                let effective_plan = match plan {
-                    Some(plan) => Some(plan.clone()),
-                    None if !self.mapper.plan().is_paper_shaped() => {
-                        Some(self.mapper.plan().clone())
-                    }
-                    None => None,
-                };
-                let fresh = match effective_plan {
-                    Some(plan) => StreamingToneMapper::<S>::compile(plan, effective),
-                    None => StreamingToneMapper::<S>::try_new(effective),
-                }
-                .map_err(TonemapError::from)?
-                .with_threads(self.mapper.threads());
+                let fresh = self.overridden_mapper(params, plan)?;
+                ensure_scalar_input(fresh.plan())?;
                 Ok(run_streaming(self.name, &fresh, input))
+            }
+        }
+    }
+
+    fn run_rgb(
+        &self,
+        input: &RgbImage,
+        params: Option<&ToneMapParams>,
+        plan: Option<&PipelinePlan>,
+        _with_model: bool,
+    ) -> Result<RgbBackendOutput, TonemapError> {
+        match (params, plan) {
+            (None, None) => run_streaming_rgb(self.name, &self.mapper, input),
+            (params, plan) => {
+                let fresh = self.overridden_mapper(params, plan)?;
+                run_streaming_rgb(self.name, &fresh, input)
             }
         }
     }
@@ -200,6 +228,33 @@ fn run_streaming<S: Sample>(
             schedule: None,
         },
     }
+}
+
+/// The colour twin of [`run_streaming`]: times one walk of the plan's
+/// colour stages, each embedded scalar sub-plan running through the fused
+/// streaming pass (or its fallback) at the engine's worker count.
+fn run_streaming_rgb<S: Sample>(
+    name: &'static str,
+    mapper: &StreamingToneMapper<S>,
+    input: &RgbImage,
+) -> Result<RgbBackendOutput, TonemapError> {
+    let start = Instant::now();
+    let image = mapper.map_rgb(input)?;
+    let wall = start.elapsed();
+    let (width, height) = input.dimensions();
+    Ok(RgbBackendOutput {
+        image,
+        telemetry: BackendTelemetry {
+            backend: name,
+            wall,
+            ops: mapper
+                .plan()
+                .profile(width, height, mapper.params().channels)
+                .total(),
+            modeled: None,
+            schedule: None,
+        },
+    })
 }
 
 #[cfg(test)]

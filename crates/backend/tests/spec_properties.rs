@@ -79,6 +79,17 @@ fn plan_pairs() -> impl Strategy<Value = Vec<(&'static str, String)>> {
         maybe("bins", 2usize..1024).prop_map(move |a| with_preset("histeq", vec![a])),
         maybe("gamma", 0.1f32..4.0).prop_map(move |a| with_preset("gamma", vec![a])),
         maybe("log_scale", 1.0f32..500.0).prop_map(move |a| with_preset("log", vec![a])),
+        // The colour-managed catalogue and its tuning keys.
+        (
+            maybe("reinhard_key", 0.5f32..16.0),
+            maybe("reinhard_white", 0.5f32..16.0),
+        )
+            .prop_map(move |(a, b)| with_preset("hsv-reinhard", vec![a, b])),
+        maybe("exposure", 0.5f32..32.0).prop_map(move |a| with_preset("filmic", vec![a])),
+        maybe("exposure", 0.5f32..32.0).prop_map(move |a| with_preset("aces", vec![a])),
+        maybe("bias", 0.05f32..1.0).prop_map(move |a| with_preset("drago", vec![a])),
+        maybe("peak", 100.0f32..10_000.0).prop_map(move |a| with_preset("pq-out", vec![a])),
+        Just(vec![("pipeline", "hlg-out".to_string())]),
     ]
 }
 
@@ -146,12 +157,12 @@ proptest! {
             Ok(Some(merged)) => {
                 prop_assert!(merged.validate().is_ok());
                 if let Ok(Some(plan)) = parsed.resolved_plan(&merged) {
-                    prop_assert!(PipelinePlan::new(plan.ops().to_vec()).is_ok());
+                    prop_assert!(PipelinePlan::with_input(plan.input_layout(), plan.ops().to_vec()).is_ok());
                 }
             }
             Ok(None) => {
                 if let Ok(Some(plan)) = parsed.resolved_plan(&ToneMapParams::paper_default()) {
-                    prop_assert!(PipelinePlan::new(plan.ops().to_vec()).is_ok());
+                    prop_assert!(PipelinePlan::with_input(plan.input_layout(), plan.ops().to_vec()).is_ok());
                 }
             }
             Err(TonemapError::InvalidParams(_)) => {}
@@ -206,6 +217,19 @@ proptest! {
             Just("schedule=auto&threads=4".to_string()),
             Just("schedule=two-pass&threads=2".to_string()),
             Just("schedule=stream&threads=0".to_string()),
+            // Colour tuning keys orphaned, misdirected, or malformed.
+            Just("exposure=4".to_string()),
+            Just("peak=600".to_string()),
+            Just("bias=0.5".to_string()),
+            Just("pipeline=filmic&bias=0.5".to_string()),
+            Just("pipeline=drago&exposure=4".to_string()),
+            Just("pipeline=pq-out&exposure=4".to_string()),
+            Just("pipeline=hlg-out&peak=600".to_string()),
+            Just("pipeline=aces&peak=600".to_string()),
+            Just("pipeline=hsv-reinhard&gamma=0.5".to_string()),
+            Just("pipeline=pq-out&peak=bright".to_string()),
+            Just("pipeline=filmic&exposure=".to_string()),
+            Just("pipeline=drago&bias=yes".to_string()),
         ],
     ) {
         let raw = format!("{name}?{junk}");

@@ -500,6 +500,12 @@ impl CoDesignFlow {
     /// *add* across regions because the cascaded rings coexist in the
     /// fabric. `latency_rows` accumulates the upstream radii, the staggered
     /// fill depth of the cascade.
+    ///
+    /// The ring width scales with the register layout the stencil reads
+    /// (`samples/pixel × width`): plan validation pins stencils to the
+    /// `Scalar` register (width 1), so today the multiplier is the
+    /// documented identity — but the costing follows the typed register
+    /// file, not a hard-coded channel count.
     pub fn cascade_cost(
         &self,
         plan: &tonemap_core::PipelinePlan,
@@ -512,6 +518,7 @@ impl CoDesignFlow {
         };
         let pl_model = PlModel::new(self.simulator.config.pl_clock_hz);
         let segmentation = plan.segmentation();
+        let layouts = plan.op_input_layouts();
         let mut total_ring_bram_18k = 0u64;
         let mut total_pl_seconds = 0.0f64;
         let segments = segmentation
@@ -524,7 +531,9 @@ impl CoDesignFlow {
                     .iter()
                     .map(|&(stage_index, blur, _)| {
                         let ring_rows = blur.taps();
-                        let ring_bits = (ring_rows * self.width) as u64 * sample_bits;
+                        let ring_width =
+                            layouts.get(stage_index).map_or(1, |layout| layout.width());
+                        let ring_bits = (ring_rows * self.width * ring_width) as u64 * sample_bits;
                         let ring_bram_18k = ring_bits.div_ceil(18 * 1024);
                         let schedule = self.schedule_for_blur(design, blur);
                         let (initiation_interval, pl_seconds) = match &schedule {

@@ -210,13 +210,33 @@ impl Profiler {
                     stage: s.stage,
                     seconds: s.seconds,
                 }),
+                // Colour-register stages run once per pixel over the whole
+                // multi-channel register (their op counts already carry the
+                // layout width), so they profile as one function each rather
+                // than one call per profiled channel.
+                StageKind::ColorConversion => functions.push(FunctionTime {
+                    name: "color_convert(register)".to_string(),
+                    stage: s.stage,
+                    seconds: s.seconds,
+                }),
+                StageKind::TransferFunction => functions.push(FunctionTime {
+                    name: "transfer_curve(register)".to_string(),
+                    stage: s.stage,
+                    seconds: s.seconds,
+                }),
+                StageKind::ChromaSplit => functions.push(FunctionTime {
+                    name: "chroma_split_merge(register)".to_string(),
+                    stage: s.stage,
+                    seconds: s.seconds,
+                }),
                 StageKind::Normalize
                 | StageKind::NonlinearMasking
                 | StageKind::Adjustment
                 | StageKind::Invert
                 | StageKind::GammaCurve
                 | StageKind::LogCurve
-                | StageKind::Reinhard => {
+                | StageKind::Reinhard
+                | StageKind::FilmicCurve => {
                     let base = match s.stage {
                         StageKind::Normalize => "normalize_channel",
                         StageKind::NonlinearMasking => "apply_masking_channel",
@@ -225,9 +245,8 @@ impl Profiler {
                         StageKind::GammaCurve => "gamma_channel",
                         StageKind::LogCurve => "log_curve_channel",
                         StageKind::Reinhard => "reinhard_channel",
-                        StageKind::GaussianBlur | StageKind::HistogramEqualization => {
-                            unreachable!()
-                        }
+                        StageKind::FilmicCurve => "filmic_channel",
+                        _ => unreachable!(),
                     };
                     for c in 0..self.params.channels.max(1) {
                         functions.push(FunctionTime {

@@ -25,8 +25,13 @@
 //! Since the plan redesign the chain itself is *data*: a validated
 //! [`PipelinePlan`] operator graph ([`plan`]) whose catalogue spans point
 //! ops (normalize, invert, mask, adjust, gamma/log curves, global
-//! Reinhard), the stencil op (separable Gaussian blur) and a
-//! reduction-backed op (histogram equalization).
+//! Reinhard and the filmic Hable/ACES/Drago curves), the stencil op
+//! (separable Gaussian blur), a reduction-backed op (histogram
+//! equalization) and the colour-register ops of the typed register file
+//! ([`ChannelLayout`]): RGB ↔ HSV conversion, the PQ/HLG transfer curves
+//! ([`color`]) and the explicit chroma split/merge pair that re-expresses
+//! the old hard-coded RGB ratio path as plan composition
+//! ([`PipelinePlan::compose_for_rgb`]).
 //! [`PipelinePlan::paper_default`] reproduces Fig. 1 exactly, and two
 //! *planners* compile any plan: the stage-by-stage [`ToneMapper`] (one
 //! full-size intermediate per stage, the shape of the paper's original
@@ -64,6 +69,7 @@
 
 pub mod adjust;
 pub mod blur;
+pub mod color;
 pub mod masking;
 pub mod normalize;
 pub mod ops;
@@ -76,7 +82,8 @@ pub mod stream;
 pub use params::{AdjustParams, BlurParams, MaskingParams, ParamError, ToneMapParams};
 pub use pipeline::{PipelineStages, ToneMapper};
 pub use plan::{
-    PipelineOp, PipelineOpKind, PipelinePlan, PlanError, PlanSegment, PlanSegmentation, PlanTuning,
+    run_color_plan, ChannelLayout, ColorStage, PipelineOp, PipelineOpKind, PipelinePlan, PlanError,
+    PlanSegment, PlanSegmentation, PlanTuning,
 };
 pub use sample::Sample;
 pub use stream::{FusionBlocker, StreamBarrier, StreamingDecision, StreamingToneMapper};

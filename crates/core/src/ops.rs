@@ -181,6 +181,15 @@ pub enum StageKind {
     Reinhard,
     /// Histogram-equalization tone mapping (the reduction-backed operator).
     HistogramEqualization,
+    /// Colour-space conversion between register layouts (RGB ↔ HSV).
+    ColorConversion,
+    /// An HDR transfer curve (PQ / HLG OETF or EOTF), applied per channel.
+    TransferFunction,
+    /// A filmic tone curve (Hable, ACES, Drago).
+    FilmicCurve,
+    /// Splitting a colour register into luminance + chroma, or recombining
+    /// them by ratio (the explicit form of the old RGB wrapper path).
+    ChromaSplit,
 }
 
 impl StageKind {
@@ -207,6 +216,10 @@ impl fmt::Display for StageKind {
             StageKind::LogCurve => "logarithmic curve",
             StageKind::Reinhard => "global Reinhard operator",
             StageKind::HistogramEqualization => "histogram equalization",
+            StageKind::ColorConversion => "colour-space conversion",
+            StageKind::TransferFunction => "transfer function",
+            StageKind::FilmicCurve => "filmic tone curve",
+            StageKind::ChromaSplit => "chroma split/merge",
         };
         f.write_str(name)
     }

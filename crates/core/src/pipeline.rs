@@ -6,7 +6,9 @@ use crate::masking::{apply_masking, invert};
 use crate::normalize::{normalize, normalize_to};
 use crate::ops::PipelineProfile;
 use crate::params::{ParamError, ToneMapParams};
-use crate::plan::{execute_plan, execute_plan_hw_blur, PipelinePlan};
+use crate::plan::{
+    execute_plan, execute_plan_hw_blur, run_color_plan, ChannelLayout, PipelinePlan,
+};
 use crate::sample::Sample;
 use hdr_image::{ImageBuffer, LuminanceImage, RgbImage};
 
@@ -186,7 +188,14 @@ impl ToneMapper {
     /// For the Fig. 1 plan this is bit-identical to
     /// `run_stages::<S>(hdr).output_f32()` — same stage functions, same
     /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the compiled plan takes a colour register as input
+    /// ([`ChannelLayout::Rgb`]); colour-managed plans have no scalar entry
+    /// point — run them through [`ToneMapper::map_rgb`].
     pub fn map_luminance<S: Sample>(&self, hdr: &LuminanceImage) -> LuminanceImage {
+        self.assert_scalar_input("map_luminance");
         execute_plan::<S>(&self.plan, hdr).map(|&v| v.to_f32())
     }
 
@@ -201,12 +210,38 @@ impl ToneMapper {
     /// `S` — the paper's accelerated configuration (`S = f32` models the
     /// 32-bit floating-point accelerator, `S = Fix16` the final 16-bit
     /// fixed-point one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the compiled plan takes a colour register as input
+    /// ([`ChannelLayout::Rgb`]); colour-managed plans have no scalar entry
+    /// point — run them through [`ToneMapper::map_rgb_hw_blur`].
     pub fn map_luminance_hw_blur<S: Sample>(&self, hdr: &LuminanceImage) -> LuminanceImage {
+        self.assert_scalar_input("map_luminance_hw_blur");
         execute_plan_hw_blur::<S>(&self.plan, hdr)
     }
 
-    /// Tone-maps a colour HDR image: the luminance plane is tone-mapped (all
-    /// stages in `S`) and the chrominance ratios of the input are re-applied.
+    fn assert_scalar_input(&self, method: &str) {
+        assert_eq!(
+            self.plan.input_layout(),
+            ChannelLayout::Scalar,
+            "{method} requires a scalar-input plan; this plan takes a `{}` register — \
+             run it through the map_rgb entry points",
+            self.plan.input_layout()
+        );
+    }
+
+    /// Tone-maps a colour HDR image through the compiled plan, with every
+    /// scalar stage computed in the sample type `S`.
+    ///
+    /// A **scalar-input plan** runs as the explicit composition the old
+    /// hard-coded wrapper performed implicitly
+    /// ([`PipelinePlan::compose_for_rgb`]): extract the luminance plane,
+    /// tone-map it, re-apply the chrominance by clamped ratio — bit-identical
+    /// to the old path. A **colour-managed plan** ([`ChannelLayout::Rgb`]
+    /// input) executes its colour point stages (RGB ↔ HSV, PQ/HLG transfer
+    /// curves, HSV-value tone curves, chroma split/merge) per pixel in `f32`
+    /// and its embedded scalar sub-plans through the two-pass executor.
     ///
     /// # Errors
     ///
@@ -214,9 +249,30 @@ impl ToneMapper {
     /// these cannot occur for images produced through this crate's public
     /// API.
     pub fn map_rgb<S: Sample>(&self, hdr: &RgbImage) -> Result<RgbImage, hdr_image::ImageError> {
-        let luminance = hdr_image::rgb::luminance_plane(hdr);
-        let mapped = self.map_luminance::<S>(&luminance);
-        hdr_image::rgb::reapply_color(hdr, &mapped)
+        run_color_plan(&self.plan, hdr, |_, sub_plan, lum| {
+            Ok(execute_plan::<S>(sub_plan, lum).map(|&v| v.to_f32()))
+        })
+    }
+
+    /// Tone-maps a colour HDR image through the compiled plan with the
+    /// paper's hardware/software split on every scalar sub-plan: point-wise
+    /// stages in `f32`, stencils in `S` with quantisation at the accelerator
+    /// boundary. This is the colour entry point whose pixels the streaming
+    /// planner ([`crate::StreamingToneMapper::map_rgb`]) reproduces
+    /// bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension-mismatch errors from the colour re-application;
+    /// these cannot occur for images produced through this crate's public
+    /// API.
+    pub fn map_rgb_hw_blur<S: Sample>(
+        &self,
+        hdr: &RgbImage,
+    ) -> Result<RgbImage, hdr_image::ImageError> {
+        run_color_plan(&self.plan, hdr, |_, sub_plan, lum| {
+            Ok(execute_plan_hw_blur::<S>(sub_plan, lum))
+        })
     }
 
     /// The analytic operation-count profile of the compiled plan for an
@@ -449,5 +505,88 @@ mod tests {
             profile.ranked_by_ops()[0].stage,
             crate::ops::StageKind::GaussianBlur
         );
+    }
+
+    #[test]
+    fn map_rgb_via_plan_composition_matches_the_old_wrapper() {
+        // The redesign contract for the colour path: expressing the old
+        // hard-coded wrapper as plan composition changes no pixel.
+        let hdr = SceneKind::SunAndShadow.generate_rgb(32, 27, 3);
+        let m = mapper();
+        let lum = hdr_image::rgb::luminance_plane(&hdr);
+        let old_all_s = hdr_image::rgb::reapply_color(&hdr, &m.map_luminance::<Fix16>(&lum));
+        assert_eq!(m.map_rgb::<Fix16>(&hdr).unwrap(), old_all_s.unwrap());
+        let old_hw = hdr_image::rgb::reapply_color(&hdr, &m.map_luminance_hw_blur::<Fix16>(&lum));
+        assert_eq!(m.map_rgb_hw_blur::<Fix16>(&hdr).unwrap(), old_hw.unwrap());
+    }
+
+    #[test]
+    fn colour_managed_presets_execute_end_to_end() {
+        use crate::plan::PlanTuning;
+        let hdr = SceneKind::MemorialComposite.generate_rgb(24, 24, 7);
+        let params = ToneMapParams::paper_default();
+        for name in [
+            "hsv-reinhard",
+            "filmic",
+            "aces",
+            "drago",
+            "pq-out",
+            "hlg-out",
+        ] {
+            let plan = PipelinePlan::preset(name, &params, &PlanTuning::default())
+                .unwrap()
+                .unwrap();
+            let m = ToneMapper::compile(plan, params).unwrap();
+            for out in [
+                m.map_rgb::<f32>(&hdr).unwrap(),
+                m.map_rgb_hw_blur::<Fix16>(&hdr).unwrap(),
+            ] {
+                assert_eq!(out.dimensions(), hdr.dimensions());
+                for p in out.pixels() {
+                    for c in [p.r, p.g, p.b] {
+                        assert!((0.0..=1.0).contains(&c), "{name}: channel {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hsv_preset_preserves_hue_and_saturation() {
+        use crate::plan::PlanTuning;
+        let params = ToneMapParams::paper_default();
+        let plan = PipelinePlan::preset("hsv-reinhard", &params, &PlanTuning::default())
+            .unwrap()
+            .unwrap();
+        let hdr = SceneKind::SunAndShadow.generate_rgb(16, 16, 13);
+        let out = ToneMapper::compile(plan, params)
+            .unwrap()
+            .map_rgb::<f32>(&hdr)
+            .unwrap();
+        for (inp, outp) in hdr.pixels().iter().zip(out.pixels()) {
+            let before = crate::color::rgb_to_hsv(*inp);
+            let after = crate::color::rgb_to_hsv(*outp);
+            // Normalization scales channels uniformly and the tone curve
+            // touches only V, so hue and saturation ride along untouched
+            // (up to conversion round-off) wherever they are defined.
+            if before.g > 1e-3 && after.g > 1e-3 {
+                assert!((before.r - after.r).abs() < 1e-3, "hue drifted");
+                assert!((before.g - after.g).abs() < 1e-3, "saturation drifted");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar-input plan")]
+    fn map_luminance_panics_on_colour_plans() {
+        use crate::plan::PlanTuning;
+        let params = ToneMapParams::paper_default();
+        let plan = PipelinePlan::preset("hsv-reinhard", &params, &PlanTuning::default())
+            .unwrap()
+            .unwrap();
+        let hdr = SceneKind::GradientRamp.generate(8, 8, 1);
+        let _ = ToneMapper::compile(plan, params)
+            .unwrap()
+            .map_luminance::<f32>(&hdr);
     }
 }

@@ -36,12 +36,60 @@
 //! [`PipelinePlan::paper_default`] reproduces Fig. 1 exactly — compiled by
 //! either planner it is bit-identical to the pre-redesign engines.
 
+use crate::adjust::adjusted_sample;
+use crate::color;
 use crate::normalize::normalize_sample;
 use crate::ops::{OpCounts, PipelineProfile, StageKind, StageProfile};
 use crate::params::{AdjustParams, BlurParams, MaskingParams, ParamError, ToneMapParams};
 use crate::sample::Sample;
-use hdr_image::{ImageBuffer, LuminanceImage};
+use hdr_image::rgb::{luminance_plane, reapply_color, Rgb};
+use hdr_image::{ImageBuffer, LuminanceImage, RgbImage};
 use std::fmt;
+
+/// The channel layout of a pipeline register — the typed shape of the data
+/// an op reads and writes.
+///
+/// The original register pair (`{image, mask}`) was implicitly scalar; the
+/// register-file redesign makes the layout explicit so colour ops can be
+/// plan stages and layout violations become typed
+/// [`PlanError::LayoutMismatch`] errors at [`PipelinePlan::with_input`]
+/// time instead of runtime surprises.
+///
+/// | layout | channels | carried in |
+/// |---|---|---|
+/// | `Scalar` | 1 | a luminance plane ([`LuminanceImage`]) |
+/// | `Rgb` | 3 | a colour image ([`RgbImage`]), linear RGB |
+/// | `Hsv` | 3 | a colour image with `(h, s, v)` packed in `(r, g, b)` |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelLayout {
+    /// One luminance sample per pixel.
+    Scalar,
+    /// Linear RGB, three samples per pixel.
+    Rgb,
+    /// Hue/saturation/value (hue in `[0, 1)`), three samples per pixel.
+    Hsv,
+}
+
+impl ChannelLayout {
+    /// Number of samples per pixel a register of this layout carries.
+    pub const fn width(&self) -> usize {
+        match self {
+            ChannelLayout::Scalar => 1,
+            ChannelLayout::Rgb | ChannelLayout::Hsv => 3,
+        }
+    }
+}
+
+impl fmt::Display for ChannelLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ChannelLayout::Scalar => "scalar",
+            ChannelLayout::Rgb => "rgb",
+            ChannelLayout::Hsv => "hsv",
+        };
+        f.write_str(name)
+    }
+}
 
 /// One operator in a [`PipelinePlan`].
 ///
@@ -103,6 +151,62 @@ pub enum PipelineOp {
         /// Number of histogram levels (at least 2).
         bins: usize,
     },
+    /// Converts an `Rgb` register to `Hsv` ([`crate::color::rgb_to_hsv`]),
+    /// so tone curves can run on the value channel while hue and saturation
+    /// ride along untouched.
+    RgbToHsv,
+    /// Converts an `Hsv` register back to `Rgb`
+    /// ([`crate::color::hsv_to_rgb`]).
+    HsvToRgb,
+    /// The SMPTE ST-2084 (PQ) OETF applied per channel — encodes the
+    /// display-referred output for an HDR10-style sink.
+    PqOetf {
+        /// The mastering peak (cd/m²) mapped to code value 1.0 (positive,
+        /// at most 10 000).
+        peak_nits: f32,
+    },
+    /// The SMPTE ST-2084 (PQ) EOTF applied per channel — decodes a
+    /// PQ-encoded input back to display-referred linear light.
+    PqEotf {
+        /// The mastering peak (cd/m²) mapped to code value 1.0 (positive,
+        /// at most 10 000).
+        peak_nits: f32,
+    },
+    /// The BT.2100 HLG OETF applied per channel.
+    HlgOetf,
+    /// The BT.2100 HLG inverse OETF applied per channel.
+    HlgEotf,
+    /// Splits an `Rgb` register into its BT.709 luminance plane (the new
+    /// `Scalar` register the following ops run on) while saving the colour
+    /// pixels for a later [`PipelineOp::ReapplyRatio`] — the explicit form
+    /// of the old hard-coded backend RGB path's `luminance_plane` step.
+    ExtractLuminance,
+    /// Recombines the saved colour with the tone-mapped luminance by
+    /// per-pixel ratio scaling ([`hdr_image::rgb::reapply_color`]),
+    /// clamping the ratio on zero-luminance pixels — the explicit form of
+    /// the old RGB path's `reapply_color` step.
+    ReapplyRatio,
+    /// The Hable (Uncharted 2) filmic curve
+    /// ([`crate::color::hable_sample`]).
+    Hable {
+        /// Linear exposure applied before the shoulder polynomial
+        /// (positive and finite; `= 11.2` maps the normalized maximum
+        /// exactly to white).
+        exposure: f32,
+    },
+    /// The ACES filmic approximation ([`crate::color::aces_sample`]).
+    Aces {
+        /// Linear exposure applied before the rational fit (positive and
+        /// finite).
+        exposure: f32,
+    },
+    /// The Drago (2003) adaptive logarithmic curve
+    /// ([`crate::color::drago_sample`]).
+    Drago {
+        /// Base-interpolation bias in `(0, 1]`; smaller compresses
+        /// highlights harder.
+        bias: f32,
+    },
 }
 
 impl PipelineOp {
@@ -118,6 +222,74 @@ impl PipelineOp {
             PipelineOp::LogCurve { .. } => PipelineOpKind::LogCurve,
             PipelineOp::Reinhard { .. } => PipelineOpKind::Reinhard,
             PipelineOp::HistogramEq { .. } => PipelineOpKind::HistogramEq,
+            PipelineOp::RgbToHsv => PipelineOpKind::RgbToHsv,
+            PipelineOp::HsvToRgb => PipelineOpKind::HsvToRgb,
+            PipelineOp::PqOetf { .. } => PipelineOpKind::PqOetf,
+            PipelineOp::PqEotf { .. } => PipelineOpKind::PqEotf,
+            PipelineOp::HlgOetf => PipelineOpKind::HlgOetf,
+            PipelineOp::HlgEotf => PipelineOpKind::HlgEotf,
+            PipelineOp::ExtractLuminance => PipelineOpKind::ExtractLuminance,
+            PipelineOp::ReapplyRatio => PipelineOpKind::ReapplyRatio,
+            PipelineOp::Hable { .. } => PipelineOpKind::Hable,
+            PipelineOp::Aces { .. } => PipelineOpKind::Aces,
+            PipelineOp::Drago { .. } => PipelineOpKind::Drago,
+        }
+    }
+
+    /// The register layout this op writes when reading a register of the
+    /// `input` layout, or `None` when the op's signature does not accept
+    /// that layout (a [`PlanError::LayoutMismatch`] at validation time).
+    ///
+    /// Tone curves accept `Scalar` (the luminance register) and `Hsv`
+    /// (where they transform the value channel only); the transfer curves
+    /// additionally accept `Rgb` (applied per channel); the stencil, mask
+    /// and reduction ops are `Scalar`-only; the conversions and the
+    /// chroma split/merge pair move between layouts.
+    pub const fn output_layout(&self, input: ChannelLayout) -> Option<ChannelLayout> {
+        match self {
+            PipelineOp::Normalize
+            | PipelineOp::PqOetf { .. }
+            | PipelineOp::PqEotf { .. }
+            | PipelineOp::HlgOetf
+            | PipelineOp::HlgEotf => match input {
+                ChannelLayout::Scalar => Some(ChannelLayout::Scalar),
+                ChannelLayout::Rgb => Some(ChannelLayout::Rgb),
+                ChannelLayout::Hsv => None,
+            },
+            PipelineOp::BlurMask { .. } | PipelineOp::Mask(_) | PipelineOp::HistogramEq { .. } => {
+                match input {
+                    ChannelLayout::Scalar => Some(ChannelLayout::Scalar),
+                    _ => None,
+                }
+            }
+            PipelineOp::Invert
+            | PipelineOp::Adjust(_)
+            | PipelineOp::Gamma { .. }
+            | PipelineOp::LogCurve { .. }
+            | PipelineOp::Reinhard { .. }
+            | PipelineOp::Hable { .. }
+            | PipelineOp::Aces { .. }
+            | PipelineOp::Drago { .. } => match input {
+                ChannelLayout::Scalar => Some(ChannelLayout::Scalar),
+                ChannelLayout::Hsv => Some(ChannelLayout::Hsv),
+                ChannelLayout::Rgb => None,
+            },
+            PipelineOp::RgbToHsv => match input {
+                ChannelLayout::Rgb => Some(ChannelLayout::Hsv),
+                _ => None,
+            },
+            PipelineOp::HsvToRgb => match input {
+                ChannelLayout::Hsv => Some(ChannelLayout::Rgb),
+                _ => None,
+            },
+            PipelineOp::ExtractLuminance => match input {
+                ChannelLayout::Rgb => Some(ChannelLayout::Scalar),
+                _ => None,
+            },
+            PipelineOp::ReapplyRatio => match input {
+                ChannelLayout::Scalar => Some(ChannelLayout::Rgb),
+                _ => None,
+            },
         }
     }
 
@@ -133,6 +305,15 @@ impl PipelineOp {
             PipelineOp::LogCurve { .. } => StageKind::LogCurve,
             PipelineOp::Reinhard { .. } => StageKind::Reinhard,
             PipelineOp::HistogramEq { .. } => StageKind::HistogramEqualization,
+            PipelineOp::RgbToHsv | PipelineOp::HsvToRgb => StageKind::ColorConversion,
+            PipelineOp::PqOetf { .. }
+            | PipelineOp::PqEotf { .. }
+            | PipelineOp::HlgOetf
+            | PipelineOp::HlgEotf => StageKind::TransferFunction,
+            PipelineOp::ExtractLuminance | PipelineOp::ReapplyRatio => StageKind::ChromaSplit,
+            PipelineOp::Hable { .. } | PipelineOp::Aces { .. } | PipelineOp::Drago { .. } => {
+                StageKind::FilmicCurve
+            }
         }
     }
 
@@ -194,17 +375,73 @@ impl PipelineOp {
                     Err(PlanError::InvalidBins(bins))
                 }
             }
+            PipelineOp::RgbToHsv
+            | PipelineOp::HsvToRgb
+            | PipelineOp::HlgOetf
+            | PipelineOp::HlgEotf
+            | PipelineOp::ExtractLuminance
+            | PipelineOp::ReapplyRatio => Ok(()),
+            PipelineOp::PqOetf { peak_nits } | PipelineOp::PqEotf { peak_nits } => {
+                if positive_finite(peak_nits) && peak_nits <= color::PQ_FULL_SCALE_NITS {
+                    Ok(())
+                } else {
+                    Err(PlanError::InvalidPeakNits(peak_nits))
+                }
+            }
+            PipelineOp::Hable { exposure } | PipelineOp::Aces { exposure } => {
+                if positive_finite(exposure) {
+                    Ok(())
+                } else {
+                    Err(PlanError::InvalidExposure(exposure))
+                }
+            }
+            PipelineOp::Drago { bias } => {
+                if positive_finite(bias) && bias <= 1.0 {
+                    Ok(())
+                } else {
+                    Err(PlanError::InvalidDragoBias(bias))
+                }
+            }
         }
     }
 
     /// Analytic operation counts of this op over a `width × height` image
-    /// with `channels` colour channels (the stencil and reduction ops run on
-    /// the single-channel plane, like the blur in the classic profile).
-    pub fn op_counts(&self, width: usize, height: usize, channels: usize) -> OpCounts {
-        let samples = (width * height * channels) as u64;
+    /// with `channels` colour channels, reading a register of the given
+    /// `layout` (the stencil and reduction ops run on the single-channel
+    /// plane, like the blur in the classic profile).
+    ///
+    /// The layout is the per-channel cost multiplier of the register-file
+    /// redesign: point ops on a `Scalar` register keep the classic
+    /// per-`channels` pricing, the same ops on an `Rgb` register pay for
+    /// three channels, and tone curves on an `Hsv` register pay for one —
+    /// only the value channel is transformed, hue and saturation stream
+    /// through untouched.
+    pub fn op_counts(
+        &self,
+        width: usize,
+        height: usize,
+        channels: usize,
+        layout: ChannelLayout,
+    ) -> OpCounts {
+        // Point-op sample count under the layout rule above.
+        let samples = (width
+            * height
+            * match layout {
+                ChannelLayout::Scalar => channels,
+                ChannelLayout::Rgb => 3,
+                ChannelLayout::Hsv => 1,
+            }) as u64;
         let pixels = (width * height) as u64;
         match *self {
-            PipelineOp::Normalize => crate::normalize::op_counts(width, height, channels),
+            PipelineOp::Normalize => crate::normalize::op_counts(
+                width,
+                height,
+                if layout == ChannelLayout::Rgb {
+                    3
+                } else {
+                    channels
+                },
+            ),
             PipelineOp::Invert => OpCounts {
                 adds: samples,
                 loads: samples,
@@ -215,7 +452,15 @@ impl PipelineOp {
                 crate::blur::op_counts_separable(&blur, width, height)
             }
             PipelineOp::Mask(_) => crate::masking::op_counts(width, height, channels),
-            PipelineOp::Adjust(_) => crate::adjust::op_counts(width, height, channels),
+            PipelineOp::Adjust(_) => crate::adjust::op_counts(
+                width,
+                height,
+                if layout == ChannelLayout::Hsv {
+                    1
+                } else {
+                    channels
+                },
+            ),
             PipelineOp::Gamma { .. } => OpCounts {
                 pows: samples,
                 compares: 2 * samples,
@@ -252,6 +497,87 @@ impl PipelineOp {
                 stores: pixels,
                 ..OpCounts::zero()
             },
+            PipelineOp::RgbToHsv | PipelineOp::HsvToRgb => OpCounts {
+                // Per pixel: max/min (or sextant) selection network, the
+                // hue/chroma ratios, and the three-channel rebuild.
+                adds: 3 * pixels,
+                muls: 3 * pixels,
+                divs: 2 * pixels,
+                compares: 6 * pixels,
+                loads: 3 * pixels,
+                stores: 3 * pixels,
+                ..OpCounts::zero()
+            },
+            PipelineOp::PqOetf { .. } | PipelineOp::PqEotf { .. } => OpCounts {
+                // Two powf calls around the rational core, per sample.
+                adds: 2 * samples,
+                muls: 3 * samples,
+                divs: samples,
+                pows: 2 * samples,
+                compares: 2 * samples,
+                loads: samples,
+                stores: samples,
+            },
+            PipelineOp::HlgOetf | PipelineOp::HlgEotf => OpCounts {
+                // One transcendental (sqrt/ln/exp) per sample plus the knee
+                // select.
+                adds: 2 * samples,
+                muls: 2 * samples,
+                pows: samples,
+                compares: 2 * samples,
+                loads: samples,
+                stores: samples,
+                ..OpCounts::zero()
+            },
+            PipelineOp::ExtractLuminance => OpCounts {
+                // BT.709 luminance dot product per pixel; the chroma save
+                // is the extra three-sample store.
+                adds: 2 * pixels,
+                muls: 3 * pixels,
+                loads: 3 * pixels,
+                stores: 4 * pixels,
+                ..OpCounts::zero()
+            },
+            PipelineOp::ReapplyRatio => OpCounts {
+                // Old-luminance dot product, clamped ratio, three scaled
+                // and clamped channels per pixel.
+                adds: 2 * pixels,
+                muls: 6 * pixels,
+                divs: pixels,
+                compares: 7 * pixels,
+                loads: 4 * pixels,
+                stores: 3 * pixels,
+                ..OpCounts::zero()
+            },
+            PipelineOp::Hable { .. } => OpCounts {
+                // Two evaluations of the rational shoulder polynomial.
+                adds: 6 * samples,
+                muls: 8 * samples,
+                divs: 2 * samples,
+                compares: 2 * samples,
+                loads: samples,
+                stores: samples,
+                ..OpCounts::zero()
+            },
+            PipelineOp::Aces { .. } => OpCounts {
+                adds: 3 * samples,
+                muls: 4 * samples,
+                divs: samples,
+                compares: 2 * samples,
+                loads: samples,
+                stores: samples,
+                ..OpCounts::zero()
+            },
+            PipelineOp::Drago { .. } => OpCounts {
+                // The bias power plus the two logarithms.
+                adds: 2 * samples,
+                muls: 2 * samples,
+                divs: 2 * samples,
+                pows: 3 * samples,
+                compares: 2 * samples,
+                loads: samples,
+                stores: samples,
+            },
         }
     }
 }
@@ -278,6 +604,17 @@ impl fmt::Display for PipelineOp {
                 write!(f, "reinhard(key={key}, white={white})")
             }
             PipelineOp::HistogramEq { bins } => write!(f, "histogram-eq({bins})"),
+            PipelineOp::RgbToHsv => f.write_str("rgb-to-hsv"),
+            PipelineOp::HsvToRgb => f.write_str("hsv-to-rgb"),
+            PipelineOp::PqOetf { peak_nits } => write!(f, "pq-oetf(peak={peak_nits})"),
+            PipelineOp::PqEotf { peak_nits } => write!(f, "pq-eotf(peak={peak_nits})"),
+            PipelineOp::HlgOetf => f.write_str("hlg-oetf"),
+            PipelineOp::HlgEotf => f.write_str("hlg-eotf"),
+            PipelineOp::ExtractLuminance => f.write_str("extract-luminance"),
+            PipelineOp::ReapplyRatio => f.write_str("reapply-ratio"),
+            PipelineOp::Hable { exposure } => write!(f, "hable(exposure={exposure})"),
+            PipelineOp::Aces { exposure } => write!(f, "aces(exposure={exposure})"),
+            PipelineOp::Drago { bias } => write!(f, "drago(bias={bias})"),
         }
     }
 }
@@ -305,11 +642,33 @@ pub enum PipelineOpKind {
     Reinhard,
     /// [`PipelineOp::HistogramEq`].
     HistogramEq,
+    /// [`PipelineOp::RgbToHsv`].
+    RgbToHsv,
+    /// [`PipelineOp::HsvToRgb`].
+    HsvToRgb,
+    /// [`PipelineOp::PqOetf`].
+    PqOetf,
+    /// [`PipelineOp::PqEotf`].
+    PqEotf,
+    /// [`PipelineOp::HlgOetf`].
+    HlgOetf,
+    /// [`PipelineOp::HlgEotf`].
+    HlgEotf,
+    /// [`PipelineOp::ExtractLuminance`].
+    ExtractLuminance,
+    /// [`PipelineOp::ReapplyRatio`].
+    ReapplyRatio,
+    /// [`PipelineOp::Hable`].
+    Hable,
+    /// [`PipelineOp::Aces`].
+    Aces,
+    /// [`PipelineOp::Drago`].
+    Drago,
 }
 
 impl PipelineOpKind {
     /// Every operator kind, in catalogue order.
-    pub const ALL: [PipelineOpKind; 9] = [
+    pub const ALL: [PipelineOpKind; 20] = [
         PipelineOpKind::Normalize,
         PipelineOpKind::Invert,
         PipelineOpKind::BlurMask,
@@ -319,6 +678,17 @@ impl PipelineOpKind {
         PipelineOpKind::LogCurve,
         PipelineOpKind::Reinhard,
         PipelineOpKind::HistogramEq,
+        PipelineOpKind::RgbToHsv,
+        PipelineOpKind::HsvToRgb,
+        PipelineOpKind::PqOetf,
+        PipelineOpKind::PqEotf,
+        PipelineOpKind::HlgOetf,
+        PipelineOpKind::HlgEotf,
+        PipelineOpKind::ExtractLuminance,
+        PipelineOpKind::ReapplyRatio,
+        PipelineOpKind::Hable,
+        PipelineOpKind::Aces,
+        PipelineOpKind::Drago,
     ];
 }
 
@@ -334,6 +704,17 @@ impl fmt::Display for PipelineOpKind {
             PipelineOpKind::LogCurve => "log-curve",
             PipelineOpKind::Reinhard => "reinhard",
             PipelineOpKind::HistogramEq => "histogram-eq",
+            PipelineOpKind::RgbToHsv => "rgb-to-hsv",
+            PipelineOpKind::HsvToRgb => "hsv-to-rgb",
+            PipelineOpKind::PqOetf => "pq-oetf",
+            PipelineOpKind::PqEotf => "pq-eotf",
+            PipelineOpKind::HlgOetf => "hlg-oetf",
+            PipelineOpKind::HlgEotf => "hlg-eotf",
+            PipelineOpKind::ExtractLuminance => "extract-luminance",
+            PipelineOpKind::ReapplyRatio => "reapply-ratio",
+            PipelineOpKind::Hable => "hable",
+            PipelineOpKind::Aces => "aces",
+            PipelineOpKind::Drago => "drago",
         };
         f.write_str(name)
     }
@@ -376,6 +757,43 @@ pub enum PlanError {
     InvalidReinhardWhite(f32),
     /// A histogram bin count outside `2..=65536`.
     InvalidBins(usize),
+    /// An op's layout signature does not accept the register layout that
+    /// reaches it ([`PipelineOp::output_layout`]).
+    LayoutMismatch {
+        /// Index of the offending stage.
+        index: usize,
+        /// The op whose signature was violated.
+        op: PipelineOpKind,
+        /// The register layout that reached it.
+        found: ChannelLayout,
+    },
+    /// A [`PipelineOp::ReapplyRatio`] with no saved chroma to recombine —
+    /// no preceding un-consumed [`PipelineOp::ExtractLuminance`].
+    ReapplyWithoutExtract {
+        /// Index of the offending stage.
+        index: usize,
+    },
+    /// A colour-input plan must end back in the `Rgb` layout (the register
+    /// the response carries); this plan ends elsewhere.
+    OutputNotRgb {
+        /// The layout the plan actually ends in.
+        found: ChannelLayout,
+    },
+    /// Plans cannot *start* in the `Hsv` layout — HSV registers only exist
+    /// between a conversion pair inside a plan.
+    HsvInput,
+    /// A luminance request reached a plan whose input register is not
+    /// `Scalar` (colour-managed plans need a colour input).
+    ScalarInputRequired {
+        /// The plan's input layout.
+        found: ChannelLayout,
+    },
+    /// A filmic-curve exposure that is not positive and finite.
+    InvalidExposure(f32),
+    /// A PQ mastering peak outside `(0, 10000]` cd/m².
+    InvalidPeakNits(f32),
+    /// A Drago bias outside `(0, 1]`.
+    InvalidDragoBias(f32),
 }
 
 impl fmt::Display for PlanError {
@@ -414,6 +832,36 @@ impl fmt::Display for PlanError {
             PlanError::InvalidBins(b) => {
                 write!(f, "histogram bin count must be in 2..=65536, got {b}")
             }
+            PlanError::LayoutMismatch { index, op, found } => write!(
+                f,
+                "{op} at stage {index} does not accept a {found} register"
+            ),
+            PlanError::ReapplyWithoutExtract { index } => write!(
+                f,
+                "reapply-ratio at stage {index} has no preceding extract-luminance to recombine"
+            ),
+            PlanError::OutputNotRgb { found } => write!(
+                f,
+                "a colour-input plan must end in the rgb layout, but ends in {found}"
+            ),
+            PlanError::HsvInput => write!(
+                f,
+                "plans cannot start in the hsv layout; convert from rgb inside the plan"
+            ),
+            PlanError::ScalarInputRequired { found } => write!(
+                f,
+                "a luminance request needs a scalar-input plan, but the plan's input register \
+                 is {found}"
+            ),
+            PlanError::InvalidExposure(e) => {
+                write!(f, "filmic exposure must be positive and finite, got {e}")
+            }
+            PlanError::InvalidPeakNits(p) => {
+                write!(f, "PQ mastering peak must be in (0, 10000] cd/m², got {p}")
+            }
+            PlanError::InvalidDragoBias(b) => {
+                write!(f, "Drago bias must be in (0, 1], got {b}")
+            }
         }
     }
 }
@@ -442,6 +890,13 @@ pub struct PlanTuning {
     pub gamma: Option<f32>,
     /// Log-curve compression strength ([`PipelineOp::LogCurve::scale`]).
     pub log_scale: Option<f32>,
+    /// Filmic exposure ([`PipelineOp::Hable::exposure`] /
+    /// [`PipelineOp::Aces::exposure`]).
+    pub exposure: Option<f32>,
+    /// PQ mastering peak in cd/m² ([`PipelineOp::PqOetf::peak_nits`]).
+    pub peak_nits: Option<f32>,
+    /// Drago bias ([`PipelineOp::Drago::bias`]).
+    pub drago_bias: Option<f32>,
 }
 
 /// One fused run of a segmented plan: the contiguous stage range between
@@ -530,31 +985,76 @@ impl PlanSegmentation {
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelinePlan {
+    input_layout: ChannelLayout,
     ops: Vec<PipelineOp>,
 }
 
 impl PipelinePlan {
     /// The named presets [`PipelinePlan::preset`] resolves, in catalogue
     /// order.
-    pub const PRESETS: [&'static str; 6] =
-        ["paper", "basedetail", "reinhard", "histeq", "gamma", "log"];
+    pub const PRESETS: [&'static str; 12] = [
+        "paper",
+        "basedetail",
+        "reinhard",
+        "histeq",
+        "gamma",
+        "log",
+        "hsv-reinhard",
+        "filmic",
+        "aces",
+        "drago",
+        "pq-out",
+        "hlg-out",
+    ];
 
-    /// Validates `ops` into a plan.
+    /// Validates `ops` into a `Scalar`-input plan (the luminance register
+    /// machine every pre-colour plan ran on).
     ///
     /// # Errors
     ///
     /// Any [`PlanError`]: empty plans, a mid-plan normalize, mask/blur
-    /// pairing violations, or per-stage parameter violations.
+    /// pairing violations, layout-signature violations, or per-stage
+    /// parameter violations.
     pub fn new(ops: Vec<PipelineOp>) -> Result<Self, PlanError> {
+        PipelinePlan::with_input(ChannelLayout::Scalar, ops)
+    }
+
+    /// Validates `ops` into a plan whose input register has the given
+    /// layout — the register-file front door: layouts are threaded through
+    /// every op's signature ([`PipelineOp::output_layout`]) so a violation
+    /// is a typed [`PlanError::LayoutMismatch`] here instead of a runtime
+    /// surprise.
+    ///
+    /// A colour-input (`Rgb`) plan must end back in `Rgb` (the register the
+    /// response carries); `Hsv` inputs are rejected outright — HSV
+    /// registers only exist between a conversion pair inside a plan.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PlanError`].
+    pub fn with_input(input: ChannelLayout, ops: Vec<PipelineOp>) -> Result<Self, PlanError> {
+        if input == ChannelLayout::Hsv {
+            return Err(PlanError::HsvInput);
+        }
         if ops.is_empty() {
             return Err(PlanError::EmptyPlan);
         }
+        let mut layout = input;
         let mut pending_mask: Option<usize> = None;
+        let mut pending_chroma = false;
         for (index, op) in ops.iter().enumerate() {
             op.validate()?;
             match op {
-                PipelineOp::Normalize if index > 0 => {
-                    return Err(PlanError::NormalizeNotFirst { index });
+                PipelineOp::Normalize => {
+                    // The max-reduction is only defined over the raw input:
+                    // stage 0, or stage 1 right behind the chroma split of a
+                    // composed colour plan (the luminance plane *is* the raw
+                    // input of the scalar sub-machine there).
+                    let behind_extract =
+                        index == 1 && matches!(ops[0], PipelineOp::ExtractLuminance);
+                    if index > 0 && !behind_extract {
+                        return Err(PlanError::NormalizeNotFirst { index });
+                    }
                 }
                 PipelineOp::BlurMask { .. } => {
                     if let Some(producer) = pending_mask {
@@ -565,13 +1065,39 @@ impl PipelinePlan {
                 PipelineOp::Mask(_) if pending_mask.take().is_none() => {
                     return Err(PlanError::MaskWithoutBlur { index });
                 }
+                PipelineOp::ExtractLuminance => {
+                    pending_chroma = true;
+                }
+                PipelineOp::ReapplyRatio => {
+                    if !pending_chroma {
+                        return Err(PlanError::ReapplyWithoutExtract { index });
+                    }
+                    // The scalar sub-run between the split pair must be
+                    // self-contained: a mask produced inside it cannot be
+                    // consumed after the recombine.
+                    if let Some(producer) = pending_mask {
+                        return Err(PlanError::UnconsumedMask { index: producer });
+                    }
+                    pending_chroma = false;
+                }
                 _ => {}
             }
+            layout = op.output_layout(layout).ok_or(PlanError::LayoutMismatch {
+                index,
+                op: op.kind(),
+                found: layout,
+            })?;
         }
         if let Some(producer) = pending_mask {
             return Err(PlanError::UnconsumedMask { index: producer });
         }
-        Ok(PipelinePlan { ops })
+        if input == ChannelLayout::Rgb && layout != ChannelLayout::Rgb {
+            return Err(PlanError::OutputNotRgb { found: layout });
+        }
+        Ok(PipelinePlan {
+            input_layout: input,
+            ops,
+        })
     }
 
     /// Fig. 1 of the paper as a plan: normalize, blur the inverted image
@@ -590,6 +1116,7 @@ impl PipelinePlan {
     /// error surfaces agree).
     pub fn from_params(params: &ToneMapParams) -> Self {
         PipelinePlan {
+            input_layout: ChannelLayout::Scalar,
             ops: vec![
                 PipelineOp::Normalize,
                 PipelineOp::BlurMask {
@@ -613,6 +1140,12 @@ impl PipelinePlan {
     /// | `histeq` | normalize → histogram equalization (256 bins) |
     /// | `gamma` | normalize → gamma curve (γ = 1/2.2) |
     /// | `log` | normalize → log curve (k = 100) |
+    /// | `hsv-reinhard` | **Rgb input**: normalize → rgb-to-hsv → Reinhard on V → hsv-to-rgb (the SNIPPETS #1–2 colour convention) |
+    /// | `filmic` | normalize → Hable filmic curve (exposure 11.2) |
+    /// | `aces` | normalize → ACES filmic approximation (exposure 8) |
+    /// | `drago` | normalize → Drago adaptive log curve (bias 0.85) |
+    /// | `pq-out` | the Fig. 1 chain re-encoded through the PQ OETF (peak 1000 cd/m²) |
+    /// | `hlg-out` | the Fig. 1 chain re-encoded through the HLG OETF |
     ///
     /// # Errors
     ///
@@ -626,6 +1159,24 @@ impl PipelinePlan {
         let key = tuning.reinhard_key.unwrap_or(8.0);
         let ops = match name {
             "paper" => return Ok(Some(PipelinePlan::from_params(params))),
+            "hsv-reinhard" => {
+                // Tone-map the value channel in HSV space, the convention of
+                // the related HDR viewers: hue and saturation ride along
+                // untouched, so no ratio recombine is needed.
+                return PipelinePlan::with_input(
+                    ChannelLayout::Rgb,
+                    vec![
+                        PipelineOp::Normalize,
+                        PipelineOp::RgbToHsv,
+                        PipelineOp::Reinhard {
+                            key,
+                            white: tuning.reinhard_white.unwrap_or(key),
+                        },
+                        PipelineOp::HsvToRgb,
+                    ],
+                )
+                .map(Some);
+            }
             "basedetail" => {
                 // Durand-style base–detail decomposition (the direction the
                 // real-time TMO survey points local operators toward): the
@@ -683,6 +1234,48 @@ impl PipelinePlan {
                     scale: tuning.log_scale.unwrap_or(100.0),
                 },
             ],
+            "filmic" => vec![
+                PipelineOp::Normalize,
+                PipelineOp::Hable {
+                    // 11.2 is the Hable linear white: the normalized maximum
+                    // maps exactly to 1.
+                    exposure: tuning.exposure.unwrap_or(color::HABLE_WHITE),
+                },
+            ],
+            "aces" => vec![
+                PipelineOp::Normalize,
+                PipelineOp::Aces {
+                    exposure: tuning.exposure.unwrap_or(8.0),
+                },
+            ],
+            "drago" => vec![
+                PipelineOp::Normalize,
+                PipelineOp::Drago {
+                    bias: tuning.drago_bias.unwrap_or(0.85),
+                },
+            ],
+            "pq-out" => vec![
+                PipelineOp::Normalize,
+                PipelineOp::BlurMask {
+                    blur: params.blur,
+                    invert_input: params.masking.invert_mask,
+                },
+                PipelineOp::Mask(params.masking),
+                PipelineOp::Adjust(params.adjust),
+                PipelineOp::PqOetf {
+                    peak_nits: tuning.peak_nits.unwrap_or(1000.0),
+                },
+            ],
+            "hlg-out" => vec![
+                PipelineOp::Normalize,
+                PipelineOp::BlurMask {
+                    blur: params.blur,
+                    invert_input: params.masking.invert_mask,
+                },
+                PipelineOp::Mask(params.masking),
+                PipelineOp::Adjust(params.adjust),
+                PipelineOp::HlgOetf,
+            ],
             _ => return Ok(None),
         };
         PipelinePlan::new(ops).map(Some)
@@ -693,18 +1286,138 @@ impl PipelinePlan {
         &self.ops
     }
 
+    /// The layout of the input register this plan reads (`Scalar` for every
+    /// luminance plan, `Rgb` for colour-managed plans).
+    pub const fn input_layout(&self) -> ChannelLayout {
+        self.input_layout
+    }
+
+    /// The layout of the register the plan ends in (validation guarantees
+    /// `Rgb` for `Rgb`-input plans and `Scalar` for `Scalar`-input plans).
+    pub fn output_layout(&self) -> ChannelLayout {
+        self.ops.iter().fold(self.input_layout, |layout, op| {
+            op.output_layout(layout)
+                .expect("validated plans thread layouts")
+        })
+    }
+
+    /// The input layout each op reads, in plan order (what the profiler
+    /// prices each stage under).
+    pub fn op_input_layouts(&self) -> Vec<ChannelLayout> {
+        let mut layout = self.input_layout;
+        self.ops
+            .iter()
+            .map(|op| {
+                let input = layout;
+                layout = op
+                    .output_layout(layout)
+                    .expect("validated plans thread layouts");
+                input
+            })
+            .collect()
+    }
+
+    /// The widest register (samples per pixel) any stage of the plan reads
+    /// or writes — the memory-traffic multiplier of the widened register
+    /// file (scalar plans stay at 1, so classic costings are unchanged).
+    pub fn max_register_width(&self) -> usize {
+        let mut layout = self.input_layout;
+        let mut widest = layout.width();
+        for op in &self.ops {
+            layout = op
+                .output_layout(layout)
+                .expect("validated plans thread layouts");
+            widest = widest.max(layout.width());
+        }
+        widest
+    }
+
+    /// Wraps a `Scalar`-input plan into the equivalent `Rgb`-input plan by
+    /// making the old hard-coded backend RGB path explicit:
+    /// `extract-luminance → <the plan> → reapply-ratio`. An `Rgb`-input
+    /// plan is returned unchanged — it already describes its own colour
+    /// handling.
+    pub fn compose_for_rgb(&self) -> Self {
+        if self.input_layout == ChannelLayout::Rgb {
+            return self.clone();
+        }
+        let mut ops = Vec::with_capacity(self.ops.len() + 2);
+        ops.push(PipelineOp::ExtractLuminance);
+        ops.extend(self.ops.iter().copied());
+        ops.push(PipelineOp::ReapplyRatio);
+        PipelinePlan::with_input(ChannelLayout::Rgb, ops)
+            .expect("composing a valid scalar plan yields a valid rgb plan")
+    }
+
+    /// Splits an `Rgb`-input plan into the colour-stage walk the executors
+    /// share ([`run_color_plan`]): per-pixel colour point runs, the chroma
+    /// split/merge pair, and the embedded `Scalar` sub-plans that the
+    /// luminance machinery (fusion, segmentation, scheduling) runs
+    /// unchanged.
+    ///
+    /// A leading [`PipelineOp::Normalize`] is *not* part of any stage — the
+    /// executor resolves the colour max-reduction itself before the walk.
+    pub fn color_stages(&self) -> Vec<ColorStage> {
+        debug_assert_eq!(self.input_layout, ChannelLayout::Rgb);
+        let layouts = self.op_input_layouts();
+        let mut stages = Vec::new();
+        let mut points: Vec<(PipelineOp, ChannelLayout)> = Vec::new();
+        let mut scalar_run: Vec<PipelineOp> = Vec::new();
+        let mut scalar_start = 0usize;
+        let mut in_scalar = false;
+        for (index, (op, layout)) in self.ops.iter().zip(&layouts).enumerate() {
+            if index == 0 && matches!(op, PipelineOp::Normalize) {
+                continue;
+            }
+            if in_scalar {
+                match op {
+                    PipelineOp::ReapplyRatio => {
+                        if !scalar_run.is_empty() {
+                            let sub = PipelinePlan::new(std::mem::take(&mut scalar_run))
+                                .expect("a validated scalar sub-run is a valid plan");
+                            stages.push(ColorStage::Scalar {
+                                plan: sub,
+                                start: scalar_start,
+                            });
+                        }
+                        stages.push(ColorStage::Reapply);
+                        in_scalar = false;
+                    }
+                    _ => scalar_run.push(*op),
+                }
+                continue;
+            }
+            match op {
+                PipelineOp::ExtractLuminance => {
+                    if !points.is_empty() {
+                        stages.push(ColorStage::Points(std::mem::take(&mut points)));
+                    }
+                    stages.push(ColorStage::Extract);
+                    in_scalar = true;
+                    scalar_start = index + 1;
+                }
+                _ => points.push((*op, *layout)),
+            }
+        }
+        if !points.is_empty() {
+            stages.push(ColorStage::Points(points));
+        }
+        stages
+    }
+
     /// `true` when this plan is exactly the Fig. 1 shape
-    /// (normalize → blur-mask → mask → adjust).
+    /// (normalize → blur-mask → mask → adjust over the scalar register).
     pub fn is_paper_shaped(&self) -> bool {
-        matches!(
-            self.ops.as_slice(),
-            [
-                PipelineOp::Normalize,
-                PipelineOp::BlurMask { .. },
-                PipelineOp::Mask(_),
-                PipelineOp::Adjust(_),
-            ]
-        )
+        self.input_layout == ChannelLayout::Scalar
+            && matches!(
+                self.ops.as_slice(),
+                [
+                    PipelineOp::Normalize,
+                    PipelineOp::BlurMask { .. },
+                    PipelineOp::Mask(_),
+                    PipelineOp::Adjust(_),
+                ]
+            )
     }
 
     /// `true` when the first stage normalizes the raw input.
@@ -779,9 +1492,10 @@ impl PipelinePlan {
             stages: self
                 .ops
                 .iter()
-                .map(|op| StageProfile {
+                .zip(self.op_input_layouts())
+                .map(|(op, layout)| StageProfile {
                     stage: op.stage_kind(),
-                    ops: op.op_counts(width, height, channels),
+                    ops: op.op_counts(width, height, channels, layout),
                 })
                 .collect(),
         }
@@ -798,6 +1512,176 @@ impl fmt::Display for PipelinePlan {
         }
         Ok(())
     }
+}
+
+// ---------------------------------------------------------------------------
+// The colour-register walk shared by every planner.
+// ---------------------------------------------------------------------------
+
+/// One stage of the colour walk ([`PipelinePlan::color_stages`]) an
+/// `Rgb`-input plan decomposes into: fused per-pixel colour point runs, the
+/// chroma split/merge pair, and embedded `Scalar` sub-plans that the
+/// existing luminance machinery executes unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColorStage {
+    /// A fused run of per-pixel colour point ops, each with the register
+    /// layout it reads.
+    Points(Vec<(PipelineOp, ChannelLayout)>),
+    /// [`PipelineOp::ExtractLuminance`]: split the colour register into the
+    /// luminance plane and the saved chroma.
+    Extract,
+    /// [`PipelineOp::ReapplyRatio`]: recombine the saved chroma with the
+    /// tone-mapped luminance by clamped per-pixel ratio.
+    Reapply,
+    /// A contiguous `Scalar` sub-plan between the split pair — the part a
+    /// scalar executor (two-pass or streaming) runs as its own plan.
+    Scalar {
+        /// The embedded sub-plan.
+        plan: PipelinePlan,
+        /// Index of the sub-plan's first op in the outer plan (for
+        /// compiled-program lookups and diagnostics).
+        start: usize,
+    },
+}
+
+/// The colour max-reduction of a leading [`PipelineOp::Normalize`] on an
+/// `Rgb` register: the reciprocal of the largest finite channel sample, or
+/// `None` for an all-black (or all-poisoned) image, where normalization
+/// keeps values unchanged — the colour analogue of
+/// [`crate::normalize::normalization_scale`].
+pub fn rgb_normalization_scale(image: &RgbImage) -> Option<f32> {
+    let mut max = 0.0f32;
+    for p in image.pixels() {
+        for c in [p.r, p.g, p.b] {
+            if c.is_finite() && c > max {
+                max = c;
+            }
+        }
+    }
+    (max > 0.0).then(|| 1.0 / max)
+}
+
+/// One scalar tone-curve sample of a point op running on the value channel
+/// of an `Hsv` register — arithmetic-for-arithmetic the same as the scalar
+/// executors ([`apply_register_op`] and the streaming point chain), so a
+/// curve applied to V agrees bit-exactly with the same curve applied to a
+/// luminance plane.
+fn scalar_point_sample(op: &PipelineOp, value: f32) -> f32 {
+    match *op {
+        PipelineOp::Invert => 1.0 - value,
+        PipelineOp::Adjust(a) => adjusted_sample(value, 0.5f32, a.contrast, 0.5 + a.brightness),
+        PipelineOp::Gamma { gamma } => Sample::powf(value, gamma).clamp01(),
+        PipelineOp::LogCurve { scale } => log_curve_sample(value, scale),
+        PipelineOp::Reinhard { key, white } => reinhard_sample(value, key, white),
+        PipelineOp::Hable { exposure } => color::hable_sample(value, exposure),
+        PipelineOp::Aces { exposure } => color::aces_sample(value, exposure),
+        PipelineOp::Drago { bias } => color::drago_sample(value, bias),
+        _ => unreachable!("layout validation keeps non-point ops off the hsv register"),
+    }
+}
+
+/// Applies one colour point op to one pixel of a register with the given
+/// layout: conversions change the layout, transfer curves run per channel,
+/// and tone curves on an `Hsv` register transform only the value channel.
+pub(crate) fn apply_color_op(op: &PipelineOp, layout: ChannelLayout, pixel: Rgb<f32>) -> Rgb<f32> {
+    match *op {
+        PipelineOp::RgbToHsv => color::rgb_to_hsv(pixel),
+        PipelineOp::HsvToRgb => color::hsv_to_rgb(pixel),
+        PipelineOp::PqOetf { peak_nits } => pixel.map(|c| color::pq_oetf(c, peak_nits)),
+        PipelineOp::PqEotf { peak_nits } => pixel.map(|c| color::pq_eotf(c, peak_nits)),
+        PipelineOp::HlgOetf => pixel.map(color::hlg_oetf),
+        PipelineOp::HlgEotf => pixel.map(color::hlg_eotf),
+        _ => {
+            debug_assert_eq!(layout, ChannelLayout::Hsv);
+            Rgb::new(pixel.r, pixel.g, scalar_point_sample(op, pixel.b))
+        }
+    }
+}
+
+/// One fused per-pixel pass applying a run of colour point ops.
+pub(crate) fn apply_color_points(
+    ops: &[(PipelineOp, ChannelLayout)],
+    image: &RgbImage,
+) -> RgbImage {
+    image.map(|&p| {
+        ops.iter()
+            .fold(p, |px, (op, layout)| apply_color_op(op, *layout, px))
+    })
+}
+
+/// Executes a colour-managed plan over an RGB image, delegating every
+/// embedded `Scalar` sub-plan to `scalar` — the walk both planners share,
+/// so they differ only in how they schedule the scalar sub-plans (two-pass
+/// materialization vs the streaming cascade).
+///
+/// A `Scalar`-input plan is auto-composed through
+/// [`PipelinePlan::compose_for_rgb`] first, which makes this the explicit
+/// form of the old hard-coded backend RGB path: extract the luminance
+/// plane, run the scalar plan on it, reapply the colour by clamped ratio.
+///
+/// The `scalar` callback receives the global index of the sub-plan's first
+/// op, the sub-plan itself, and the luminance register; it returns the
+/// transformed register.
+///
+/// # Errors
+///
+/// Whatever `scalar` returns, plus [`hdr_image::ImageError`] from the ratio
+/// recombine (converted through `E`).
+pub fn run_color_plan<E, F>(
+    plan: &PipelinePlan,
+    hdr: &RgbImage,
+    mut scalar: F,
+) -> Result<RgbImage, E>
+where
+    E: From<hdr_image::ImageError>,
+    F: FnMut(usize, &PipelinePlan, &LuminanceImage) -> Result<LuminanceImage, E>,
+{
+    let composed;
+    let plan = if plan.input_layout() == ChannelLayout::Rgb {
+        plan
+    } else {
+        composed = plan.compose_for_rgb();
+        &composed
+    };
+    // A leading normalize is the colour max-reduction, resolved before the
+    // stage walk (exactly as the scalar executors resolve theirs).
+    let mut color: Option<RgbImage> = Some(if plan.starts_with_normalize() {
+        let scale = rgb_normalization_scale(hdr);
+        hdr.map(|&p| p.map(|c| normalize_sample(c, scale)))
+    } else {
+        hdr.clone()
+    });
+    let mut plane: Option<LuminanceImage> = None;
+    let mut chroma: Option<RgbImage> = None;
+    for stage in plan.color_stages() {
+        match stage {
+            ColorStage::Points(ops) => {
+                let img = color
+                    .take()
+                    .expect("points stage reads the colour register");
+                color = Some(apply_color_points(&ops, &img));
+            }
+            ColorStage::Extract => {
+                let img = color.take().expect("extract reads the colour register");
+                plane = Some(luminance_plane(&img));
+                chroma = Some(img);
+            }
+            ColorStage::Scalar { plan: sub, start } => {
+                let lum = plane
+                    .take()
+                    .expect("scalar stage reads the luminance register");
+                plane = Some(scalar(start, &sub, &lum)?);
+            }
+            ColorStage::Reapply => {
+                let saved = chroma
+                    .take()
+                    .expect("validation pairs reapply with extract");
+                let lum = plane.take().expect("reapply reads the luminance register");
+                color = Some(reapply_color(&saved, &lum)?);
+            }
+        }
+    }
+    Ok(color.expect("validated rgb plans end in the colour register"))
 }
 
 // ---------------------------------------------------------------------------
@@ -885,6 +1769,29 @@ fn apply_register_op<S: Sample>(
             img.map(|&v| S::from_f32(reinhard_sample(v.to_f32(), key, white)).clamp01())
         }
         PipelineOp::HistogramEq { bins } => histogram_equalize(&img, bins),
+        PipelineOp::PqOetf { peak_nits } => {
+            img.map(|&v| S::from_f32(color::pq_oetf(v.to_f32(), peak_nits)).clamp01())
+        }
+        PipelineOp::PqEotf { peak_nits } => {
+            img.map(|&v| S::from_f32(color::pq_eotf(v.to_f32(), peak_nits)).clamp01())
+        }
+        PipelineOp::HlgOetf => img.map(|&v| S::from_f32(color::hlg_oetf(v.to_f32())).clamp01()),
+        PipelineOp::HlgEotf => img.map(|&v| S::from_f32(color::hlg_eotf(v.to_f32())).clamp01()),
+        PipelineOp::Hable { exposure } => {
+            img.map(|&v| S::from_f32(color::hable_sample(v.to_f32(), exposure)).clamp01())
+        }
+        PipelineOp::Aces { exposure } => {
+            img.map(|&v| S::from_f32(color::aces_sample(v.to_f32(), exposure)).clamp01())
+        }
+        PipelineOp::Drago { bias } => {
+            img.map(|&v| S::from_f32(color::drago_sample(v.to_f32(), bias)).clamp01())
+        }
+        PipelineOp::RgbToHsv
+        | PipelineOp::HsvToRgb
+        | PipelineOp::ExtractLuminance
+        | PipelineOp::ReapplyRatio => {
+            unreachable!("colour ops never reach the scalar register executor")
+        }
     }
 }
 
@@ -1336,5 +2243,273 @@ mod tests {
         assert!(wrapped.to_string().contains("radius"));
         use std::error::Error;
         assert!(wrapped.source().is_some());
+        let mismatch = PlanError::LayoutMismatch {
+            index: 2,
+            op: PipelineOpKind::BlurMask,
+            found: ChannelLayout::Rgb,
+        };
+        assert!(mismatch.to_string().contains("stage 2"));
+        assert!(mismatch.to_string().contains("rgb"));
+        assert!(PlanError::HsvInput.to_string().contains("hsv"));
+        assert!(PlanError::OutputNotRgb {
+            found: ChannelLayout::Scalar
+        }
+        .to_string()
+        .contains("scalar"));
+        assert!(PlanError::ScalarInputRequired {
+            found: ChannelLayout::Rgb
+        }
+        .to_string()
+        .contains("scalar-input"));
+        assert!(PlanError::InvalidExposure(0.0)
+            .to_string()
+            .contains("positive"));
+        assert!(PlanError::InvalidPeakNits(-1.0)
+            .to_string()
+            .contains("10000"));
+        assert!(PlanError::InvalidDragoBias(2.0)
+            .to_string()
+            .contains("(0, 1]"));
+    }
+
+    #[test]
+    fn layout_validation_types_register_mismatches() {
+        // A scalar register cannot feed colour ops.
+        assert_eq!(
+            PipelinePlan::new(vec![PipelineOp::RgbToHsv]),
+            Err(PlanError::LayoutMismatch {
+                index: 0,
+                op: PipelineOpKind::RgbToHsv,
+                found: ChannelLayout::Scalar,
+            })
+        );
+        // Stencils only run on the scalar register.
+        assert_eq!(
+            PipelinePlan::with_input(
+                ChannelLayout::Rgb,
+                vec![
+                    PipelineOp::BlurMask {
+                        blur: BlurParams::paper_default(),
+                        invert_input: true,
+                    },
+                    PipelineOp::Mask(MaskingParams::paper_default()),
+                ],
+            ),
+            Err(PlanError::LayoutMismatch {
+                index: 0,
+                op: PipelineOpKind::BlurMask,
+                found: ChannelLayout::Rgb,
+            })
+        );
+        // HSV registers exist only between a conversion pair inside a plan.
+        assert_eq!(
+            PipelinePlan::with_input(ChannelLayout::Hsv, vec![PipelineOp::Invert]),
+            Err(PlanError::HsvInput)
+        );
+        // A colour plan must end back in the colour register.
+        assert_eq!(
+            PipelinePlan::with_input(ChannelLayout::Rgb, vec![PipelineOp::ExtractLuminance]),
+            Err(PlanError::OutputNotRgb {
+                found: ChannelLayout::Scalar
+            })
+        );
+        // Recombination needs a preceding split.
+        assert_eq!(
+            PipelinePlan::with_input(
+                ChannelLayout::Rgb,
+                vec![
+                    PipelineOp::RgbToHsv,
+                    PipelineOp::HsvToRgb,
+                    PipelineOp::ReapplyRatio,
+                ],
+            ),
+            Err(PlanError::ReapplyWithoutExtract { index: 2 })
+        );
+        // New op parameters are validated with typed errors.
+        assert!(matches!(
+            PipelinePlan::new(vec![
+                PipelineOp::Normalize,
+                PipelineOp::Hable { exposure: 0.0 }
+            ]),
+            Err(PlanError::InvalidExposure(_))
+        ));
+        assert!(matches!(
+            PipelinePlan::new(vec![
+                PipelineOp::Normalize,
+                PipelineOp::PqOetf {
+                    peak_nits: 20_000.0
+                }
+            ]),
+            Err(PlanError::InvalidPeakNits(_))
+        ));
+        assert!(matches!(
+            PipelinePlan::new(vec![PipelineOp::Normalize, PipelineOp::Drago { bias: 0.0 }]),
+            Err(PlanError::InvalidDragoBias(_))
+        ));
+        // The split pair with a self-contained scalar run validates.
+        assert!(PipelinePlan::with_input(
+            ChannelLayout::Rgb,
+            vec![
+                PipelineOp::ExtractLuminance,
+                PipelineOp::Invert,
+                PipelineOp::ReapplyRatio,
+            ],
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn compose_for_rgb_makes_the_old_wrapper_explicit() {
+        let plan = PipelinePlan::paper_default();
+        let composed = plan.compose_for_rgb();
+        assert_eq!(composed.input_layout(), ChannelLayout::Rgb);
+        assert_eq!(composed.output_layout(), ChannelLayout::Rgb);
+        assert_eq!(composed.ops().len(), plan.ops().len() + 2);
+        assert_eq!(composed.ops()[0], PipelineOp::ExtractLuminance);
+        assert_eq!(*composed.ops().last().unwrap(), PipelineOp::ReapplyRatio);
+        assert_eq!(composed.max_register_width(), 3);
+        assert_eq!(plan.max_register_width(), 1);
+        assert!(!composed.is_paper_shaped());
+        // Colour plans compose to themselves.
+        assert_eq!(composed.compose_for_rgb(), composed);
+
+        // The walk: split → the embedded scalar sub-plan → recombine.
+        let stages = composed.color_stages();
+        assert_eq!(stages.len(), 3);
+        assert_eq!(stages[0], ColorStage::Extract);
+        match &stages[1] {
+            ColorStage::Scalar { plan: sub, start } => {
+                assert_eq!(*start, 1);
+                assert_eq!(sub.ops(), plan.ops());
+            }
+            other => panic!("expected the embedded scalar sub-plan, got {other:?}"),
+        }
+        assert_eq!(stages[2], ColorStage::Reapply);
+    }
+
+    #[test]
+    fn hsv_preset_walks_as_one_fused_point_run() {
+        let plan = PipelinePlan::preset(
+            "hsv-reinhard",
+            &ToneMapParams::paper_default(),
+            &PlanTuning::default(),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(plan.input_layout(), ChannelLayout::Rgb);
+        assert_eq!(plan.max_register_width(), 3);
+        let stages = plan.color_stages();
+        assert_eq!(stages.len(), 1);
+        match &stages[0] {
+            ColorStage::Points(ops) => {
+                let layouts: Vec<ChannelLayout> = ops.iter().map(|&(_, l)| l).collect();
+                assert_eq!(
+                    layouts,
+                    vec![ChannelLayout::Rgb, ChannelLayout::Hsv, ChannelLayout::Hsv]
+                );
+            }
+            other => panic!("expected one fused point run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn colour_presets_resolve_and_apply_tuning() {
+        let params = ToneMapParams::paper_default();
+        let t = PlanTuning {
+            exposure: Some(4.0),
+            peak_nits: Some(600.0),
+            drago_bias: Some(0.5),
+            ..PlanTuning::default()
+        };
+        let filmic = PipelinePlan::preset("filmic", &params, &t)
+            .unwrap()
+            .unwrap();
+        assert_eq!(filmic.ops()[1], PipelineOp::Hable { exposure: 4.0 });
+        let drago = PipelinePlan::preset("drago", &params, &t).unwrap().unwrap();
+        assert_eq!(drago.ops()[1], PipelineOp::Drago { bias: 0.5 });
+        let pq = PipelinePlan::preset("pq-out", &params, &t)
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            *pq.ops().last().unwrap(),
+            PipelineOp::PqOetf { peak_nits: 600.0 }
+        );
+        let hlg = PipelinePlan::preset("hlg-out", &params, &t)
+            .unwrap()
+            .unwrap();
+        assert_eq!(*hlg.ops().last().unwrap(), PipelineOp::HlgOetf);
+        assert!(matches!(
+            PipelinePlan::preset(
+                "filmic",
+                &params,
+                &PlanTuning {
+                    exposure: Some(f32::NAN),
+                    ..PlanTuning::default()
+                }
+            ),
+            Err(PlanError::InvalidExposure(_))
+        ));
+    }
+
+    #[test]
+    fn run_color_plan_matches_the_old_rgb_wrapper_bit_exactly() {
+        let hdr = SceneKind::SunAndShadow.generate_rgb(40, 31, 3);
+        let plan = PipelinePlan::paper_default();
+        // The old hard-coded backend path: extract, tone-map, reapply.
+        let lum = luminance_plane(&hdr);
+        let mapped = execute_plan_hw_blur::<Fix16>(&plan, &lum);
+        let old = reapply_color(&hdr, &mapped).unwrap();
+        // The same wrapper expressed as plan composition.
+        let new = run_color_plan::<hdr_image::ImageError, _>(&plan, &hdr, |start, sub, l| {
+            assert_eq!(start, 1);
+            assert_eq!(sub.ops(), plan.ops());
+            Ok(execute_plan_hw_blur::<Fix16>(sub, l))
+        })
+        .unwrap();
+        assert_eq!(old, new);
+    }
+
+    #[test]
+    fn zero_luminance_and_all_black_scenes_stay_finite() {
+        // All-black colour input: the ratio recombine must clamp instead of
+        // dividing by the zero old luminance, and the HSV path must keep the
+        // degenerate hue/saturation convention exact.
+        let black = RgbImage::from_vec(8, 6, vec![Rgb::splat(0.0); 48]).unwrap();
+        let params = ToneMapParams::paper_default();
+        for name in ["paper", "hsv-reinhard", "filmic", "pq-out", "hlg-out"] {
+            let plan = PipelinePlan::preset(name, &params, &PlanTuning::default())
+                .unwrap()
+                .unwrap();
+            let out = run_color_plan::<hdr_image::ImageError, _>(&plan, &black, |_, sub, l| {
+                Ok(execute_plan_hw_blur::<f32>(sub, l))
+            })
+            .unwrap();
+            for p in out.pixels() {
+                for c in [p.r, p.g, p.b] {
+                    assert!(c.is_finite(), "{name}: non-finite channel {c}");
+                    assert!((0.0..=1.0).contains(&c), "{name}: channel {c} out of range");
+                }
+            }
+        }
+        // A scene with isolated zero-luminance pixels: those pixels must come
+        // out as the (finite) splatted tone-mapped luminance.
+        let mut pixels = SceneKind::SunAndShadow
+            .generate_rgb(16, 16, 5)
+            .pixels()
+            .to_vec();
+        pixels[0] = Rgb::splat(0.0);
+        pixels[17] = Rgb::splat(0.0);
+        let scene = RgbImage::from_vec(16, 16, pixels).unwrap();
+        let plan = PipelinePlan::paper_default();
+        let out = run_color_plan::<hdr_image::ImageError, _>(&plan, &scene, |_, sub, l| {
+            Ok(execute_plan_hw_blur::<f32>(sub, l))
+        })
+        .unwrap();
+        for p in out.pixels() {
+            assert!(p.r.is_finite() && p.g.is_finite() && p.b.is_finite());
+        }
+        // The black pixel is achromatic in, achromatic out.
+        assert_eq!(out.pixels()[0].r, out.pixels()[0].g);
+        assert_eq!(out.pixels()[0].g, out.pixels()[0].b);
     }
 }

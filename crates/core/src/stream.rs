@@ -72,15 +72,17 @@
 
 use crate::adjust::adjusted_sample;
 use crate::blur::{gaussian_kernel, quantize_kernel};
+use crate::color;
 use crate::masking::masked_sample;
 use crate::normalize::{normalization_scale, normalize_sample};
 use crate::params::{MaskingParams, ParamError, ToneMapParams};
 use crate::plan::{
-    execute_plan_hw_blur, histogram_equalize, log_curve_sample, reinhard_sample, PipelineOp,
-    PipelineOpKind, PipelinePlan,
+    execute_plan_hw_blur, histogram_equalize, log_curve_sample, reinhard_sample, run_color_plan,
+    ChannelLayout, ColorStage, PipelineOp, PipelineOpKind, PipelinePlan,
 };
 use crate::sample::Sample;
-use hdr_image::LuminanceImage;
+use hdr_image::rgb::{luminance_plane, reapply_color};
+use hdr_image::{LuminanceImage, RgbImage};
 use std::fmt;
 
 /// Why a plan could not stream at all (not even segmented).
@@ -236,6 +238,13 @@ enum CompiledPointOp {
     Gamma(f32),
     LogCurve(f32),
     Reinhard { key: f32, white: f32 },
+    PqOetf(f32),
+    PqEotf(f32),
+    HlgOetf,
+    HlgEotf,
+    Hable(f32),
+    Aces(f32),
+    Drago(f32),
 }
 
 impl CompiledPointOp {
@@ -250,10 +259,23 @@ impl CompiledPointOp {
             PipelineOp::Gamma { gamma } => CompiledPointOp::Gamma(gamma),
             PipelineOp::LogCurve { scale } => CompiledPointOp::LogCurve(scale),
             PipelineOp::Reinhard { key, white } => CompiledPointOp::Reinhard { key, white },
+            PipelineOp::PqOetf { peak_nits } => CompiledPointOp::PqOetf(peak_nits),
+            PipelineOp::PqEotf { peak_nits } => CompiledPointOp::PqEotf(peak_nits),
+            PipelineOp::HlgOetf => CompiledPointOp::HlgOetf,
+            PipelineOp::HlgEotf => CompiledPointOp::HlgEotf,
+            PipelineOp::Hable { exposure } => CompiledPointOp::Hable(exposure),
+            PipelineOp::Aces { exposure } => CompiledPointOp::Aces(exposure),
+            PipelineOp::Drago { bias } => CompiledPointOp::Drago(bias),
             PipelineOp::Normalize
             | PipelineOp::BlurMask { .. }
             | PipelineOp::HistogramEq { .. } => {
                 unreachable!("handled by the fused-program compiler")
+            }
+            PipelineOp::RgbToHsv
+            | PipelineOp::HsvToRgb
+            | PipelineOp::ExtractLuminance
+            | PipelineOp::ReapplyRatio => {
+                unreachable!("colour-register ops are handled by the colour program")
             }
         }
     }
@@ -273,6 +295,13 @@ impl CompiledPointOp {
             CompiledPointOp::Gamma(gamma) => Sample::powf(value, gamma).clamp01(),
             CompiledPointOp::LogCurve(scale) => log_curve_sample(value, scale),
             CompiledPointOp::Reinhard { key, white } => reinhard_sample(value, key, white),
+            CompiledPointOp::PqOetf(peak) => color::pq_oetf(value, peak),
+            CompiledPointOp::PqEotf(peak) => color::pq_eotf(value, peak),
+            CompiledPointOp::HlgOetf => color::hlg_oetf(value),
+            CompiledPointOp::HlgEotf => color::hlg_eotf(value),
+            CompiledPointOp::Hable(exposure) => color::hable_sample(value, exposure),
+            CompiledPointOp::Aces(exposure) => color::aces_sample(value, exposure),
+            CompiledPointOp::Drago(bias) => color::drago_sample(value, bias),
         }
     }
 }
@@ -325,13 +354,43 @@ struct StreamProgram<S: Sample> {
     segments: Vec<SegmentProgram<S>>,
 }
 
+/// A colour-managed (`Rgb`-input) plan compiled for streaming: each
+/// embedded scalar sub-plan gets its own compiled streaming program, keyed
+/// by the index of its first op in the outer plan. The colour point stages
+/// (conversions, transfer curves, HSV tone curves) are pure per-pixel work
+/// executed straight from the plan's colour walk.
+#[derive(Debug, Clone, PartialEq)]
+struct ColorProgram<S: Sample> {
+    /// `(start, sub-plan, compiled sub-program)` per embedded scalar run.
+    subs: Vec<(usize, PipelinePlan, Program<S>)>,
+}
+
 #[derive(Debug, Clone, PartialEq)]
 enum Program<S: Sample> {
     Stream(StreamProgram<S>),
     Fallback(Vec<FusionBlocker>),
+    Color(ColorProgram<S>),
 }
 
 fn compile_program<S: Sample>(plan: &PipelinePlan) -> Program<S> {
+    if plan.input_layout() == ChannelLayout::Rgb {
+        let subs = plan
+            .color_stages()
+            .into_iter()
+            .filter_map(|stage| match stage {
+                ColorStage::Scalar { plan, start } => {
+                    let program = compile_scalar_program::<S>(&plan);
+                    Some((start, plan, program))
+                }
+                _ => None,
+            })
+            .collect();
+        return Program::Color(ColorProgram { subs });
+    }
+    compile_scalar_program(plan)
+}
+
+fn compile_scalar_program<S: Sample>(plan: &PipelinePlan) -> Program<S> {
     // The one shape that cannot stream: a mask produced before a barrier
     // and consumed after it. Plan validation allows it (reductions do not
     // touch the mask register), but the consumer's segment would need a row
@@ -512,18 +571,36 @@ impl<S: Sample> StreamingToneMapper<S> {
                 reasons: reasons.clone(),
             },
             Program::Stream(program) => {
-                let barriers: Vec<StreamBarrier> = program
-                    .segments
-                    .iter()
-                    .filter_map(|segment| match segment {
-                        SegmentProgram::Barrier { index, op, .. } => Some(StreamBarrier {
-                            index: *index,
-                            op: *op,
-                        }),
-                        SegmentProgram::Fused(_) => None,
-                    })
-                    .collect();
+                let barriers = stream_barriers(program, 0);
                 if barriers.is_empty() {
+                    StreamingDecision::FullyFused
+                } else {
+                    StreamingDecision::Segmented { barriers }
+                }
+            }
+            // A colour program aggregates its scalar sub-programs' verdicts,
+            // with barrier/blocker indices offset back into the outer plan.
+            // The colour point stages themselves always stream (pure
+            // per-pixel work), so they never add barriers or blockers.
+            Program::Color(color) => {
+                let mut reasons: Vec<FusionBlocker> = Vec::new();
+                let mut barriers: Vec<StreamBarrier> = Vec::new();
+                for (start, _, program) in &color.subs {
+                    match program {
+                        Program::Fallback(sub) => reasons.extend(sub.iter().map(|r| {
+                            let FusionBlocker::MaskAcrossBarrier { producer, barrier } = *r;
+                            FusionBlocker::MaskAcrossBarrier {
+                                producer: producer + start,
+                                barrier: barrier + start,
+                            }
+                        })),
+                        Program::Stream(sub) => barriers.extend(stream_barriers(sub, *start)),
+                        Program::Color(_) => unreachable!("colour programs never nest"),
+                    }
+                }
+                if !reasons.is_empty() {
+                    StreamingDecision::Fallback { reasons }
+                } else if barriers.is_empty() {
                     StreamingDecision::FullyFused
                 } else {
                     StreamingDecision::Segmented { barriers }
@@ -541,17 +618,7 @@ impl<S: Sample> StreamingToneMapper<S> {
     /// sample type at construction (empty for plans without a fused stencil
     /// stage).
     pub fn kernel(&self) -> &[S] {
-        match &self.program {
-            Program::Stream(program) => program
-                .segments
-                .iter()
-                .find_map(|segment| match segment {
-                    SegmentProgram::Fused(seg) => seg.regions.first().map(|r| r.kernel.as_slice()),
-                    SegmentProgram::Barrier { .. } => None,
-                })
-                .unwrap_or(&[]),
-            Program::Fallback(_) => &[],
-        }
+        first_kernel(&self.program)
     }
 
     /// Tone-maps an HDR luminance image through the compiled plan,
@@ -559,45 +626,146 @@ impl<S: Sample> StreamingToneMapper<S> {
     /// [`crate::ToneMapper::map_luminance_hw_blur`] produces for the same
     /// plan (and, for `S = f32`, the same pixels as the all-float
     /// reference).
+    /// # Panics
+    ///
+    /// Panics if the compiled plan takes a colour register as input
+    /// ([`ChannelLayout::Rgb`]): a colour-managed plan has no scalar entry
+    /// point — stream it through [`StreamingToneMapper::map_rgb`].
     pub fn map_luminance(&self, hdr: &LuminanceImage) -> LuminanceImage {
-        let program = match &self.program {
-            Program::Fallback(_) => return execute_plan_hw_blur::<S>(&self.plan, hdr),
-            Program::Stream(program) => program,
-        };
-        let scale = if program.normalize {
-            normalization_scale(hdr)
-        } else {
-            None
-        };
-        let mut ingest = Ingest::Source(scale);
-        let mut current: Option<LuminanceImage> = None;
-        for segment in &program.segments {
-            match segment {
-                SegmentProgram::Fused(seg) => {
-                    // A no-op segment on an already-materialized register
-                    // (e.g. a trailing reduction) has nothing to compute.
-                    // The *first* segment always runs: its ingestion is the
-                    // sanitize/normalize step of the two-pass executor.
-                    if seg.is_identity() && matches!(ingest, Ingest::Passthrough) {
-                        continue;
-                    }
-                    let input = current.as_ref().unwrap_or(hdr);
-                    current = Some(run_fused_segment(seg, input, ingest, self.threads));
-                    ingest = Ingest::Passthrough;
-                }
-                SegmentProgram::Barrier { bins, .. } => {
-                    let input = current
-                        .as_ref()
-                        .expect("a fused segment precedes every barrier");
-                    // The exact reduction the two-pass executor applies to
-                    // its f32 register, so segmented streaming stays
-                    // bit-identical.
-                    current = Some(histogram_equalize::<f32>(input, *bins));
-                }
+        match &self.program {
+            Program::Fallback(_) => execute_plan_hw_blur::<S>(&self.plan, hdr),
+            Program::Stream(program) => run_stream_program(program, hdr, self.threads),
+            Program::Color(_) => panic!(
+                "map_luminance requires a scalar-input plan; this plan takes a `{}` register — \
+                 stream it through map_rgb",
+                self.plan.input_layout()
+            ),
+        }
+    }
+
+    /// Tone-maps an HDR RGB image through the compiled plan.
+    ///
+    /// For a **scalar-input plan** this is the classic wrapper path — the
+    /// luminance plane streams through [`StreamingToneMapper::map_luminance`]
+    /// and the colour is re-applied by clamped ratio — and produces exactly
+    /// the pixels [`crate::ToneMapper::map_rgb`] produces for the same plan.
+    ///
+    /// For a **colour-managed plan** ([`ChannelLayout::Rgb`] input) the
+    /// colour point stages (conversions, transfer curves, HSV tone curves,
+    /// chroma split/merge) run through the shared register walk of
+    /// [`run_color_plan`] while every embedded scalar sub-plan streams
+    /// through its compiled line-buffer cascade, row-sliced across the
+    /// configured threads. Either way the result is bit-identical to the
+    /// two-pass planner's.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`hdr_image::ImageError`] from the chroma re-apply step
+    /// (dimension mismatches cannot occur for plans built by this type, so
+    /// in practice this is infallible).
+    pub fn map_rgb(&self, hdr: &RgbImage) -> Result<RgbImage, hdr_image::ImageError> {
+        match &self.program {
+            Program::Color(color) => run_color_plan(&self.plan, hdr, |start, sub_plan, lum| {
+                Ok(match color.subs.iter().find(|(s, _, _)| *s == start) {
+                    Some((_, plan, program)) => match program {
+                        Program::Stream(sub) => run_stream_program(sub, lum, self.threads),
+                        Program::Fallback(_) => execute_plan_hw_blur::<S>(plan, lum),
+                        Program::Color(_) => unreachable!("colour programs never nest"),
+                    },
+                    // Compilation visits every scalar stage, so an unknown
+                    // offset can only come from a plan edited after compile;
+                    // run it through the two-pass executor to stay correct.
+                    None => execute_plan_hw_blur::<S>(sub_plan, lum),
+                })
+            }),
+            _ => {
+                let luma = luminance_plane(hdr);
+                let mapped = self.map_luminance(&luma);
+                reapply_color(hdr, &mapped)
             }
         }
-        current.expect("compiled plans always run at least one fused segment")
     }
+}
+
+/// The barriers of one compiled scalar stream, with stage indices offset
+/// back into the outer plan (offset 0 for a stand-alone scalar plan).
+fn stream_barriers<S: Sample>(program: &StreamProgram<S>, offset: usize) -> Vec<StreamBarrier> {
+    program
+        .segments
+        .iter()
+        .filter_map(|segment| match segment {
+            SegmentProgram::Barrier { index, op, .. } => Some(StreamBarrier {
+                index: index + offset,
+                op: *op,
+            }),
+            SegmentProgram::Fused(_) => None,
+        })
+        .collect()
+}
+
+/// The first fused region's quantised kernel anywhere in the program — for
+/// colour programs, the first scalar sub-program that has one.
+fn first_kernel<S: Sample>(program: &Program<S>) -> &[S] {
+    match program {
+        Program::Stream(program) => program
+            .segments
+            .iter()
+            .find_map(|segment| match segment {
+                SegmentProgram::Fused(seg) => seg.regions.first().map(|r| r.kernel.as_slice()),
+                SegmentProgram::Barrier { .. } => None,
+            })
+            .unwrap_or(&[]),
+        Program::Fallback(_) => &[],
+        Program::Color(color) => color
+            .subs
+            .iter()
+            .map(|(_, _, sub)| first_kernel(sub))
+            .find(|kernel| !kernel.is_empty())
+            .unwrap_or(&[]),
+    }
+}
+
+/// Runs one compiled scalar stream over a luminance image: fused segments
+/// execute as line-buffer cascades (or pure point passes), barriers
+/// materialize and reduce exactly as the two-pass executor would.
+fn run_stream_program<S: Sample>(
+    program: &StreamProgram<S>,
+    hdr: &LuminanceImage,
+    threads: usize,
+) -> LuminanceImage {
+    let scale = if program.normalize {
+        normalization_scale(hdr)
+    } else {
+        None
+    };
+    let mut ingest = Ingest::Source(scale);
+    let mut current: Option<LuminanceImage> = None;
+    for segment in &program.segments {
+        match segment {
+            SegmentProgram::Fused(seg) => {
+                // A no-op segment on an already-materialized register
+                // (e.g. a trailing reduction) has nothing to compute.
+                // The *first* segment always runs: its ingestion is the
+                // sanitize/normalize step of the two-pass executor.
+                if seg.is_identity() && matches!(ingest, Ingest::Passthrough) {
+                    continue;
+                }
+                let input = current.as_ref().unwrap_or(hdr);
+                current = Some(run_fused_segment(seg, input, ingest, threads));
+                ingest = Ingest::Passthrough;
+            }
+            SegmentProgram::Barrier { bins, .. } => {
+                let input = current
+                    .as_ref()
+                    .expect("a fused segment precedes every barrier");
+                // The exact reduction the two-pass executor applies to
+                // its f32 register, so segmented streaming stays
+                // bit-identical.
+                current = Some(histogram_equalize::<f32>(input, *bins));
+            }
+        }
+    }
+    current.expect("compiled plans always run at least one fused segment")
 }
 
 /// Runs one fused segment over its input image — a pure point pass when the
@@ -1261,5 +1429,107 @@ mod tests {
                 .map_luminance_hw_blur::<Fix16>(&hdr);
             assert_eq!(streaming.map_luminance(&hdr), two_pass);
         }
+    }
+
+    #[test]
+    fn colour_plans_stream_bit_identical_to_two_pass_at_any_thread_count() {
+        let p = params();
+        let tuning = PlanTuning::default();
+        let hdr = SceneKind::SunAndShadow.generate_rgb(41, 27, 9);
+        for name in [
+            "hsv-reinhard",
+            "filmic",
+            "aces",
+            "drago",
+            "pq-out",
+            "hlg-out",
+        ] {
+            let plan = PipelinePlan::preset(name, &p, &tuning).unwrap().unwrap();
+            let reference = ToneMapper::compile(plan.clone(), p)
+                .unwrap()
+                .map_rgb_hw_blur::<Fix16>(&hdr)
+                .unwrap();
+            for threads in [1, 2, 8] {
+                let streaming = StreamingToneMapper::<Fix16>::compile(plan.clone(), p)
+                    .unwrap()
+                    .with_threads(threads)
+                    .map_rgb(&hdr)
+                    .unwrap();
+                assert_eq!(streaming, reference, "{name} diverged at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn composed_wrapper_plans_stream_bit_identical_to_two_pass() {
+        // The explicit extract → plan → reapply composition streams its
+        // embedded scalar sub-plan through the compiled cascade.
+        let p = params();
+        let plan = PipelinePlan::from_params(&p).compose_for_rgb();
+        let hdr = SceneKind::MemorialComposite.generate_rgb(33, 29, 4);
+        let reference = ToneMapper::compile(plan.clone(), p)
+            .unwrap()
+            .map_rgb_hw_blur::<Fix16>(&hdr)
+            .unwrap();
+        for threads in [1, 2, 8] {
+            let mapper = StreamingToneMapper::<Fix16>::compile(plan.clone(), p).unwrap();
+            assert!(mapper.decision().is_fused());
+            assert!(!mapper.kernel().is_empty());
+            let streaming = mapper.with_threads(threads).map_rgb(&hdr).unwrap();
+            assert_eq!(streaming, reference, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn scalar_plans_take_the_classic_wrapper_path_through_map_rgb() {
+        let p = params();
+        let hdr = SceneKind::GradientRamp.generate_rgb(24, 18, 6);
+        let streaming = StreamingToneMapper::<f32>::new(p).map_rgb(&hdr).unwrap();
+        let classic = ToneMapper::new(p).map_rgb_hw_blur::<f32>(&hdr).unwrap();
+        assert_eq!(streaming, classic);
+    }
+
+    #[test]
+    fn colour_barrier_indices_offset_into_the_outer_plan() {
+        // histeq composed for rgb: [extract, normalize, histogram-eq,
+        // reapply] — the barrier sits at local index 1 of the sub-plan,
+        // global index 2 of the outer plan.
+        let p = params();
+        let plan = PipelinePlan::preset("histeq", &p, &PlanTuning::default())
+            .unwrap()
+            .unwrap()
+            .compose_for_rgb();
+        let mapper = StreamingToneMapper::<f32>::compile(plan, p).unwrap();
+        match mapper.decision() {
+            StreamingDecision::Segmented { barriers } => {
+                assert_eq!(barriers.len(), 1);
+                assert_eq!(barriers[0].index, 2);
+            }
+            other => panic!("expected a segmented colour stream, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pure_point_colour_plans_fuse_with_no_kernel() {
+        let p = params();
+        let plan = PipelinePlan::preset("hsv-reinhard", &p, &PlanTuning::default())
+            .unwrap()
+            .unwrap();
+        let mapper = StreamingToneMapper::<f32>::compile(plan, p).unwrap();
+        assert!(mapper.decision().is_fused());
+        assert!(mapper.kernel().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar-input plan")]
+    fn map_luminance_panics_on_colour_plans() {
+        let p = params();
+        let plan = PipelinePlan::preset("hsv-reinhard", &p, &PlanTuning::default())
+            .unwrap()
+            .unwrap();
+        let hdr = SceneKind::GradientRamp.generate(8, 8, 1);
+        let _ = StreamingToneMapper::<f32>::compile(plan, p)
+            .unwrap()
+            .map_luminance(&hdr);
     }
 }

@@ -8,10 +8,11 @@
 //! randomly drawn degenerate shapes, kernel widths and pixel contents.
 
 use apfixed::Fix16;
-use hdr_image::LuminanceImage;
+use hdr_image::{LuminanceImage, Rgb, RgbImage};
 use proptest::prelude::*;
 use tonemap_core::{
-    BlurParams, PipelineOp, PipelinePlan, StreamingToneMapper, ToneMapParams, ToneMapper,
+    BlurParams, ChannelLayout, PipelineOp, PipelinePlan, StreamingToneMapper, ToneMapParams,
+    ToneMapper,
 };
 
 /// A deterministic pseudo-random HDR image: several decades of dynamic
@@ -171,6 +172,146 @@ proptest! {
                 .map_luminance(&hdr);
             prop_assert_eq!(&streamed_fix, &classic_fix,
                 "Fix16 cascade diverged at {} thread(s)", threads);
+        }
+    }
+}
+
+/// A deterministic pseudo-random HDR colour image, seeded per case.
+fn synthetic_rgb(width: usize, height: usize, seed: u64) -> RgbImage {
+    let grey = synthetic_image(width, height, seed);
+    let tint = synthetic_image(width, height, seed ^ 0xc0f_fee);
+    RgbImage::from_fn(width, height, |x, y| {
+        let l = grey.pixels()[y * width + x];
+        let t = tint.pixels()[y * width + x].fract().abs();
+        // Channels correlated with luminance but chromatic enough to make
+        // HSV round trips and ratio reapplication non-trivial; occasional
+        // exact-black pixels exercise the zero-luminance clamp.
+        if (x + y * width).is_multiple_of(97) {
+            Rgb {
+                r: 0.0,
+                g: 0.0,
+                b: 0.0,
+            }
+        } else {
+            Rgb {
+                r: l * (0.25 + 0.75 * t),
+                g: l,
+                b: l * (1.0 - 0.5 * t),
+            }
+        }
+    })
+}
+
+/// One segment of a colour-managed plan: a run of ops that starts and ends
+/// in the `Rgb` layout.
+fn curve_op() -> impl Strategy<Value = PipelineOp> {
+    prop_oneof![
+        (0.5f32..16.0, 0.5f32..16.0).prop_map(|(key, white)| PipelineOp::Reinhard { key, white }),
+        (0.5f32..32.0).prop_map(|exposure| PipelineOp::Hable { exposure }),
+        (0.5f32..32.0).prop_map(|exposure| PipelineOp::Aces { exposure }),
+        (0.05f32..1.0).prop_map(|bias| PipelineOp::Drago { bias }),
+        (0.2f32..3.0).prop_map(|gamma| PipelineOp::Gamma { gamma }),
+    ]
+}
+
+fn colour_segment() -> impl Strategy<Value = Vec<PipelineOp>> {
+    prop_oneof![
+        // RgbToHsv → tone curve on the value channel → HsvToRgb.
+        curve_op().prop_map(|c| vec![PipelineOp::RgbToHsv, c, PipelineOp::HsvToRgb]),
+        // ExtractLuminance → scalar sub-plan → ReapplyRatio (the explicit
+        // form of the old hard-coded RGB path, with an optional stencil).
+        (
+            curve_op(),
+            prop_oneof![Just(None), (0.4f32..4.0, 1usize..5).prop_map(Some)],
+            8usize..48
+        )
+            .prop_map(|(c, stencil, bins)| {
+                // No Normalize here: its max-reduction is only defined over
+                // the raw input, so it is illegal mid-plan (and behind-the-
+                // extract normalization is covered by the preset tests).
+                let mut ops = vec![PipelineOp::ExtractLuminance];
+                if let Some((sigma, radius)) = stencil {
+                    ops.push(PipelineOp::BlurMask {
+                        blur: BlurParams { sigma, radius },
+                        invert_input: radius % 2 == 0,
+                    });
+                    ops.push(PipelineOp::Mask(ToneMapParams::paper_default().masking));
+                } else {
+                    // No stencil: a materialization barrier instead, so the
+                    // colour walk also crosses segmented sub-programs.
+                    ops.push(PipelineOp::HistogramEq { bins });
+                }
+                ops.push(c);
+                ops.push(PipelineOp::ReapplyRatio);
+                ops
+            }),
+        // Per-channel transfer round trip on the Rgb register.
+        (100.0f32..10_000.0).prop_map(|peak_nits| vec![
+            PipelineOp::PqOetf { peak_nits },
+            PipelineOp::PqEotf { peak_nits },
+        ]),
+        Just(vec![PipelineOp::HlgOetf, PipelineOp::HlgEotf]),
+    ]
+}
+
+proptest! {
+    // Each case runs both planners, two sample types and three thread
+    // counts over a colour image — fewer, heavier cases.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random colour-managed plans: 1–3 segments drawn from the HSV
+    /// detour, the explicit extract/reapply luminance path, and the
+    /// per-channel transfer round trips. Every composition must validate
+    /// as an `Rgb → Rgb` register walk, and the streaming colour walk must
+    /// stay bit-identical to the two-pass planner in `f32` and `Fix16` at
+    /// 1, 2 and 8 row threads.
+    #[test]
+    fn random_colour_plans_validate_and_match_two_pass(
+        (width, height) in cascade_dims(),
+        segments in prop::collection::vec(colour_segment(), 1..4),
+        normalize_first in any::<bool>(),
+        seed in 0u64..1_000_000,
+    ) {
+        let hdr = synthetic_rgb(width, height, seed);
+        let params = ToneMapParams::paper_default();
+        let mut ops = Vec::new();
+        if normalize_first {
+            // Normalize is legal directly on the Rgb register.
+            ops.push(PipelineOp::Normalize);
+        }
+        for segment in segments {
+            ops.extend(segment);
+        }
+        let plan = PipelinePlan::with_input(ChannelLayout::Rgb, ops)
+            .expect("generated colour compositions are valid register walks");
+        prop_assert_eq!(plan.input_layout(), ChannelLayout::Rgb);
+        prop_assert_eq!(plan.output_layout(), ChannelLayout::Rgb);
+
+        let two_pass = ToneMapper::compile(plan.clone(), params).expect("plan compiles");
+        let classic_f32 = two_pass.map_rgb_hw_blur::<f32>(&hdr).expect("colour plan runs");
+        let classic_fix = two_pass.map_rgb_hw_blur::<Fix16>(&hdr).expect("colour plan runs");
+        for pixel in classic_f32.pixels() {
+            prop_assert!(
+                [pixel.r, pixel.g, pixel.b].iter().all(|c| c.is_finite()),
+                "colour outputs must be NaN-free"
+            );
+        }
+
+        for threads in [1usize, 2, 8] {
+            let streamed_f32 = StreamingToneMapper::<f32>::compile(plan.clone(), params)
+                .expect("plan compiles")
+                .with_threads(threads)
+                .map_rgb(&hdr)
+                .expect("colour plan streams");
+            prop_assert_eq!(&streamed_f32, &classic_f32,
+                "f32 colour walk diverged at {} thread(s)", threads);
+            let streamed_fix = StreamingToneMapper::<Fix16>::compile(plan.clone(), params)
+                .expect("plan compiles")
+                .with_threads(threads)
+                .map_rgb(&hdr)
+                .expect("colour plan streams");
+            prop_assert_eq!(&streamed_fix, &classic_fix,
+                "Fix16 colour walk diverged at {} thread(s)", threads);
         }
     }
 }

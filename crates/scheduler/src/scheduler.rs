@@ -222,7 +222,11 @@ impl Scheduler {
         let flow = CoDesignFlow::paper_setup_with_params(self.params, width, height);
         let base = flow.evaluate_plan(plan, self.class.design);
         let movers = DataMoverModel::zc702_default();
-        let plane_bytes = (width * height) as u64 * self.class.format.bytes();
+        // Colour-managed plans move multi-channel registers between stages:
+        // the widened register file multiplies the materialized-plane
+        // traffic by its widest layout (1 for scalar plans, 3 for rgb/hsv).
+        let plane_bytes =
+            (width * height) as u64 * self.class.format.bytes() * plan.max_register_width() as u64;
         // A materialized plane is written once and read once by the next
         // stage; both sides ride the simple DMA mover.
         let plane_traffic_seconds = 2.0
@@ -393,6 +397,39 @@ mod tests {
         assert_eq!(report.ranked.len(), 1);
         assert_eq!(report.winner().point.executor, ScheduleExecutor::TwoPass);
         assert!(!report.decision.is_streamed());
+    }
+
+    #[test]
+    fn colour_managed_plans_enumerate_and_price_wider_registers() {
+        let sched = scheduler(SampleFormat::F32, DesignImplementation::SwSourceCode);
+        // A pure-point colour plan fuses and is schedulable.
+        let hsv = preset("hsv-reinhard");
+        assert_eq!(hsv.max_register_width(), 3);
+        let report = sched.schedule(&hsv, 640, 480);
+        assert!(report.decision.is_streamed());
+        assert!(report.ranked.len() > 1);
+        assert!(report
+            .ranked
+            .iter()
+            .all(|p| p.predicted_seconds.is_finite() && p.predicted_seconds > 0.0));
+        // The composed wrapper widens the register file: the same scalar
+        // plan priced as a colour plan pays 3× the materialized-plane
+        // traffic, so two-pass gets strictly more expensive.
+        let paper = preset("paper");
+        let composed = paper.compose_for_rgb();
+        let narrow = sched.schedule(&paper, 640, 480);
+        let wide = sched.schedule(&composed, 640, 480);
+        let two_pass_cost = |r: &ScheduleReport| {
+            r.ranked
+                .iter()
+                .find(|p| p.point.executor == ScheduleExecutor::TwoPass)
+                .expect("two-pass is always enumerated")
+                .predicted_seconds
+        };
+        assert!(
+            two_pass_cost(&wide) > two_pass_cost(&narrow),
+            "widened registers must price higher plane traffic"
+        );
     }
 
     #[test]

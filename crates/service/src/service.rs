@@ -585,6 +585,53 @@ mod tests {
     }
 
     #[test]
+    fn colour_preset_jobs_serve_end_to_end_through_the_pool() {
+        // Every colour-managed preset is reachable from a job spec: the
+        // service parses `pipeline=`, the registry compiles the colour
+        // plan, and the pooled execution matches a direct registry call
+        // bit for bit — including the scheduler-wrapped form.
+        let service = TonemapService::standard(ServiceConfig::with_workers(2));
+        let scene = Arc::new(SceneKind::SunAndShadow.generate_rgb(40, 30, 23));
+        let registry = BackendRegistry::standard();
+        for spec in [
+            "sw-f32?pipeline=hsv-reinhard",
+            "hw-fix16?pipeline=filmic&exposure=4",
+            "sw-f32?pipeline=aces",
+            "sw-f32?pipeline=drago&bias=0.7",
+            "hw-fix16-stream?pipeline=pq-out&peak=600",
+            "sw-f32-stream?pipeline=hlg-out",
+            "hw-fix16?pipeline=hsv-reinhard&schedule=auto",
+        ] {
+            let response = service
+                .submit(JobRequest::rgb(Arc::clone(&scene)).on_backend(spec))
+                .unwrap()
+                .wait()
+                .unwrap_or_else(|e| panic!("`{spec}` must serve through the pool: {e}"));
+            let direct = registry
+                .execute(&TonemapRequest::rgb(&scene).on_backend(spec))
+                .unwrap();
+            assert_eq!(
+                response.payload(),
+                direct.payload(),
+                "`{spec}` through the pool diverged from a direct call"
+            );
+        }
+        // A luminance job against a colour-input plan fails with the typed
+        // engine error, not a panic or a hung worker.
+        let grey = SceneKind::GradientRamp.generate(16, 12, 5);
+        let outcome = service
+            .submit(JobRequest::luminance(grey).on_backend("sw-f32?pipeline=hsv-reinhard"))
+            .unwrap()
+            .wait();
+        match outcome {
+            Err(ServiceError::Tonemap(e)) => {
+                assert!(e.to_string().contains("scalar-input"), "{e}")
+            }
+            other => panic!("expected the typed backend error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn schedule_auto_jobs_serve_end_to_end_with_schedule_telemetry() {
         // The acceptance path: `pipeline=basedetail&schedule=auto` through
         // the whole stack — spec parse, registry resolution, scheduler,
