@@ -103,7 +103,7 @@ pub use registry::{BackendRegistry, ResolvedBackend, UnknownBackendError};
 pub use request::{OutputKind, TonemapPayload, TonemapRequest, TonemapResponse};
 pub use scheduled::ScheduledBackend;
 pub use software::{SoftwareF32Backend, SoftwareFixedBackend};
-pub use spec::BackendSpec;
+pub use spec::{BackendSpec, TemporalMode};
 pub use streaming::{default_stream_threads, StreamingBackend};
 
 use codesign::flow::CoDesignFlow;

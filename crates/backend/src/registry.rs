@@ -241,13 +241,25 @@ impl BackendRegistry {
     ///
     /// # Errors
     ///
-    /// [`TonemapError::InvalidSpec`] for a malformed spec,
+    /// [`TonemapError::InvalidSpec`] for a malformed spec or one carrying
+    /// video-only temporal keys (`temporal=`/`tau=`/`cutthresh=` configure a
+    /// `tonemap-video` session, not a single-frame engine),
     /// [`TonemapError::UnknownBackend`] for an unregistered name,
     /// [`TonemapError::InvalidParams`] when the merged parameters fail
     /// validation, and [`TonemapError::InvalidPlan`] when the plan tuning
     /// fails plan validation.
     pub fn resolve_spec(&self, spec: &str) -> Result<ResolvedBackend, TonemapError> {
         let parsed = BackendSpec::parse(spec)?;
+        if parsed.temporal().is_some() {
+            return Err(TonemapError::InvalidSpec {
+                spec: spec.to_string(),
+                reason: "temporal keys (`temporal=`, `tau=`, `cutthresh=`) select \
+                         video-session adaptation; single-frame resolution cannot \
+                         serve them — open a `tonemap-video` session (or a service \
+                         frame stream) with this spec instead"
+                    .to_string(),
+            });
+        }
         let backend = self
             .get_shared(parsed.name())
             .ok_or_else(|| self.unknown(parsed.name()))?;
@@ -485,6 +497,25 @@ mod tests {
             BackendRegistry::standard_with_params(params),
             Err(TonemapError::InvalidParams(_))
         ));
+    }
+
+    #[test]
+    fn temporal_specs_are_rejected_at_single_frame_resolution() {
+        let registry = BackendRegistry::standard();
+        for spec in [
+            "sw-f32?temporal=leaky&tau=0.5",
+            "hw-fix16?temporal=independent",
+        ] {
+            match registry.resolve_spec(spec) {
+                Err(TonemapError::InvalidSpec { reason, .. }) => {
+                    assert!(
+                        reason.contains("video-session adaptation"),
+                        "`{reason}` must explain the video-only keys for `{spec}`"
+                    )
+                }
+                other => panic!("`{spec}` must fail with InvalidSpec, got {other:?}"),
+            }
+        }
     }
 
     #[test]

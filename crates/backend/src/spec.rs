@@ -24,6 +24,16 @@
 //! `schedule=stream&threads=N` pins the streaming worker count —
 //! `"sw-f32?pipeline=basedetail&schedule=auto"` serves the two-stencil
 //! chain at whatever strategy the platform model prices cheapest.
+//!
+//! For *frame sequences* a spec can finally say how statistics evolve over
+//! time: `temporal=leaky&tau=0.5&cutthresh=1.0` runs the video session's
+//! leaky integrator over the per-frame reduction statistics (time constant
+//! `tau` in frames, scene-cut reset above signature distance `cutthresh`),
+//! while `temporal=independent` recomputes them per frame. Temporal keys
+//! describe cross-frame state, so single-frame registry resolution rejects
+//! them with a typed error — they are consumed by the video layer, which
+//! strips them (`BackendSpec::without_temporal`) before resolving the
+//! engine.
 
 use crate::error::TonemapError;
 use std::fmt;
@@ -168,6 +178,49 @@ const KNOWN_TUNING_KEYS: &[(&str, TuningSetter, TuningGetter)] = &[
     ),
 ];
 
+/// The `temporal=` adaptation mode of a spec that will serve a frame
+/// sequence: how the per-frame reduction statistics (normalization
+/// maximum, Reinhard log-average, histogram CDF) evolve across frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TemporalMode {
+    /// Recompute every statistic per frame, exactly as single-frame
+    /// execution would — the flickering baseline.
+    Independent,
+    /// Leaky-integrate the statistics with time constant `tau=` (frames),
+    /// resetting on scene cuts above `cutthresh=`.
+    Leaky,
+}
+
+impl TemporalMode {
+    /// Every accepted `temporal=` value, for error messages.
+    pub const KEYWORDS: [&'static str; 2] = ["independent", "leaky"];
+
+    /// Parses a `temporal=` value; `None` for anything not in
+    /// [`TemporalMode::KEYWORDS`].
+    pub fn parse(value: &str) -> Option<Self> {
+        match value {
+            "independent" => Some(TemporalMode::Independent),
+            "leaky" => Some(TemporalMode::Leaky),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling, round-tripping through
+    /// [`TemporalMode::parse`].
+    pub const fn as_str(&self) -> &'static str {
+        match self {
+            TemporalMode::Independent => "independent",
+            TemporalMode::Leaky => "leaky",
+        }
+    }
+}
+
+impl fmt::Display for TemporalMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// The tuning keys each named preset actually reads; any other tuning key
 /// in a spec selecting that preset is rejected at parse time rather than
 /// silently ignored.
@@ -291,6 +344,9 @@ pub struct BackendSpec {
     plan: PlanSelection,
     schedule: Option<ScheduleMode>,
     threads: Option<usize>,
+    temporal: Option<TemporalMode>,
+    tau: Option<f32>,
+    cutthresh: Option<f32>,
 }
 
 impl BackendSpec {
@@ -307,7 +363,9 @@ impl BackendSpec {
     /// an empty or whitespace-embedding name, an unknown override key, a
     /// duplicate key, an unknown `pipeline=` preset, a tuning key without a
     /// `pipeline=` selection, an unknown `schedule=` value, `threads=0`, a
-    /// `threads=` without `schedule=stream`, or an unparsable value.
+    /// `threads=` without `schedule=stream`, an unknown `temporal=` value,
+    /// a negative or non-finite `tau=`, a non-positive `cutthresh=`, a
+    /// `tau=`/`cutthresh=` without `temporal=leaky`, or an unparsable value.
     /// Whether a `schedule=` is *servable by the named engine* is checked
     /// at registry resolution, where the engine's capabilities are known
     /// (the all-fixed `sw-fix16` has no schedule space). Whether the *applied*
@@ -335,6 +393,9 @@ impl BackendSpec {
         let mut plan = PlanSelection::default();
         let mut schedule: Option<ScheduleMode> = None;
         let mut threads: Option<usize> = None;
+        let mut temporal: Option<TemporalMode> = None;
+        let mut tau: Option<f32> = None;
+        let mut cutthresh: Option<f32> = None;
         let mut seen: Vec<&str> = Vec::new();
         if let Some(query) = query {
             for pair in query.split('&') {
@@ -378,6 +439,31 @@ impl BackendSpec {
                         ));
                     }
                     threads = Some(count);
+                } else if key == "temporal" {
+                    temporal = Some(TemporalMode::parse(value).ok_or_else(|| {
+                        invalid(format!(
+                            "unknown temporal mode `{value}`; accepted values: {}",
+                            TemporalMode::KEYWORDS.join(", ")
+                        ))
+                    })?);
+                } else if key == "tau" {
+                    let seconds: f32 = value.parse().map_err(|_| cannot_parse(()))?;
+                    if !seconds.is_finite() || seconds < 0.0 {
+                        return Err(invalid(format!(
+                            "`tau={value}` is not a valid time-constant; the leaky \
+                             integrator needs a finite value >= 0 (in frames)"
+                        )));
+                    }
+                    tau = Some(seconds);
+                } else if key == "cutthresh" {
+                    let threshold: f32 = value.parse().map_err(|_| cannot_parse(()))?;
+                    if !threshold.is_finite() || threshold <= 0.0 {
+                        return Err(invalid(format!(
+                            "`cutthresh={value}` is not a valid scene-cut threshold; \
+                             the detector needs a finite value > 0"
+                        )));
+                    }
+                    cutthresh = Some(threshold);
                 } else if let Some((_, setter, _)) =
                     KNOWN_KEYS.iter().find(|(known, _, _)| *known == key)
                 {
@@ -394,7 +480,7 @@ impl BackendSpec {
                             .map(|(known, _, _)| *known)
                             .chain(std::iter::once("pipeline"))
                             .chain(KNOWN_TUNING_KEYS.iter().map(|(known, _, _)| *known))
-                            .chain(["schedule", "threads"])
+                            .chain(["schedule", "threads", "temporal", "tau", "cutthresh"])
                             .collect::<Vec<_>>()
                             .join(", ")
                     )));
@@ -459,12 +545,35 @@ impl BackendSpec {
                 }
             }
         }
+        for (key, present) in [("tau", tau.is_some()), ("cutthresh", cutthresh.is_some())] {
+            if !present {
+                continue;
+            }
+            match temporal {
+                Some(TemporalMode::Leaky) => {}
+                Some(TemporalMode::Independent) => {
+                    return Err(invalid(format!(
+                        "`{key}=` configures the leaky integrator, which \
+                         `temporal=independent` never runs; use `temporal=leaky`"
+                    )));
+                }
+                None => {
+                    return Err(invalid(format!(
+                        "`{key}=` requires `temporal=leaky` (it tunes the leaky \
+                         adaptation integrator)"
+                    )));
+                }
+            }
+        }
         Ok(BackendSpec {
             name: name.to_string(),
             overrides,
             plan,
             schedule,
             threads,
+            temporal,
+            tau,
+            cutthresh,
         })
     }
 
@@ -497,6 +606,36 @@ impl BackendSpec {
     /// `schedule=stream`; enforced at parse time).
     pub fn threads(&self) -> Option<usize> {
         self.threads
+    }
+
+    /// The `temporal=` adaptation request, if the spec carries one.
+    pub fn temporal(&self) -> Option<TemporalMode> {
+        self.temporal
+    }
+
+    /// The `tau=` leaky time-constant in frames (only present with
+    /// `temporal=leaky`; enforced at parse time).
+    pub fn tau(&self) -> Option<f32> {
+        self.tau
+    }
+
+    /// The `cutthresh=` scene-cut distance threshold (only present with
+    /// `temporal=leaky`; enforced at parse time).
+    pub fn cut_threshold(&self) -> Option<f32> {
+        self.cutthresh
+    }
+
+    /// A copy of this spec with the video-session keys (`temporal=`, `tau=`,
+    /// `cutthresh=`) removed. The video layer consumes those keys itself and
+    /// hands the rest of the spec to single-frame registry resolution, which
+    /// rejects temporal keys as unservable.
+    pub fn without_temporal(&self) -> BackendSpec {
+        BackendSpec {
+            temporal: None,
+            tau: None,
+            cutthresh: None,
+            ..self.clone()
+        }
     }
 
     /// Builds the [`PipelinePlan`] this spec selects, seeding the preset's
@@ -547,7 +686,8 @@ impl BackendSpec {
 /// Renders the spec in canonical form: the engine name, then any parameter
 /// overrides in known-keys order, then the plan selection (`pipeline=`
 /// first, tuning keys after), then the schedule request (`schedule=` before
-/// `threads=`) —
+/// `threads=`), then the temporal request (`temporal=`, `tau=`,
+/// `cutthresh=`) —
 /// `"hw-fix16?sigma=3.5&radius=10&pipeline=reinhard&reinhard_key=4&schedule=auto"`.
 /// Useful wherever a resolved job must be logged or keyed by a stable
 /// string — e.g. the service layer's telemetry — independent of the order
@@ -563,6 +703,15 @@ impl fmt::Display for BackendSpec {
         }
         if let Some(threads) = self.threads {
             pairs.push(("threads", threads.to_string()));
+        }
+        if let Some(temporal) = self.temporal {
+            pairs.push(("temporal", temporal.to_string()));
+        }
+        if let Some(tau) = self.tau {
+            pairs.push(("tau", tau.to_string()));
+        }
+        if let Some(cutthresh) = self.cutthresh {
+            pairs.push(("cutthresh", cutthresh.to_string()));
         }
         for (index, (key, value)) in pairs.iter().enumerate() {
             let separator = if index == 0 { '?' } else { '&' };
@@ -963,6 +1112,88 @@ mod tests {
         let auto = BackendSpec::parse("sw-f32?schedule=auto").unwrap();
         assert_eq!(auto.to_string(), "sw-f32?schedule=auto");
         assert_eq!(auto.to_string().parse::<BackendSpec>().unwrap(), auto);
+    }
+
+    #[test]
+    fn temporal_keys_parse_with_typed_errors() {
+        let leaky = BackendSpec::parse("sw-f32?temporal=leaky&tau=0.5&cutthresh=1.5").unwrap();
+        assert_eq!(leaky.temporal(), Some(TemporalMode::Leaky));
+        assert_eq!(leaky.tau(), Some(0.5));
+        assert_eq!(leaky.cut_threshold(), Some(1.5));
+        let independent = BackendSpec::parse("sw-f32?temporal=independent").unwrap();
+        assert_eq!(independent.temporal(), Some(TemporalMode::Independent));
+        assert_eq!(independent.tau(), None);
+        assert_eq!(independent.cut_threshold(), None);
+        // tau=0 is valid: it degenerates leaky adaptation to per-frame
+        // independence (the bit-identity anchor for the property suite).
+        let frozen = BackendSpec::parse("sw-f32?temporal=leaky&tau=0").unwrap();
+        assert_eq!(frozen.tau(), Some(0.0));
+
+        for (spec, needle) in [
+            ("sw-f32?temporal=smooth", "unknown temporal mode"),
+            ("sw-f32?temporal=Leaky", "unknown temporal mode"),
+            ("sw-f32?temporal=", "unknown temporal mode"),
+            ("sw-f32?temporal=leaky&tau=abc", "cannot parse"),
+            ("sw-f32?temporal=leaky&tau=-1", "finite value >= 0"),
+            ("sw-f32?temporal=leaky&tau=inf", "finite value >= 0"),
+            ("sw-f32?temporal=leaky&cutthresh=0", "finite value > 0"),
+            ("sw-f32?temporal=leaky&cutthresh=nan", "finite value > 0"),
+            ("sw-f32?temporal=leaky&cutthresh=x", "cannot parse"),
+            ("sw-f32?tau=0.5", "requires `temporal=leaky`"),
+            ("sw-f32?cutthresh=1", "requires `temporal=leaky`"),
+            (
+                "sw-f32?temporal=independent&tau=0.5",
+                "`temporal=independent` never runs",
+            ),
+            (
+                "sw-f32?temporal=independent&cutthresh=1",
+                "`temporal=independent` never runs",
+            ),
+            ("sw-f32?temporal=leaky&temporal=leaky", "duplicate key"),
+            ("sw-f32?temporal=leaky&tau=1&tau=1", "duplicate key"),
+        ] {
+            match BackendSpec::parse(spec) {
+                Err(TonemapError::InvalidSpec { reason, .. }) => {
+                    assert!(
+                        reason.contains(needle),
+                        "`{reason}` lacks `{needle}` for `{spec}`"
+                    )
+                }
+                other => panic!("`{spec}` must fail with InvalidSpec, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn temporal_keys_render_canonically_and_round_trip() {
+        let spec = BackendSpec::parse(
+            "sw-f32?cutthresh=1.5&schedule=stream&tau=0.5&pipeline=basedetail&temporal=leaky",
+        )
+        .unwrap();
+        assert_eq!(
+            spec.to_string(),
+            "sw-f32?pipeline=basedetail&schedule=stream&temporal=leaky&tau=0.5&cutthresh=1.5"
+        );
+        let reparsed: BackendSpec = spec.to_string().parse().unwrap();
+        assert_eq!(reparsed, spec);
+
+        let bare = BackendSpec::parse("hw-fix16?temporal=independent").unwrap();
+        assert_eq!(bare.to_string(), "hw-fix16?temporal=independent");
+        assert_eq!(bare.to_string().parse::<BackendSpec>().unwrap(), bare);
+    }
+
+    #[test]
+    fn without_temporal_strips_only_the_video_keys() {
+        let spec =
+            BackendSpec::parse("sw-f32?sigma=2&temporal=leaky&tau=0.25&cutthresh=2").unwrap();
+        let stripped = spec.without_temporal();
+        assert_eq!(stripped.temporal(), None);
+        assert_eq!(stripped.tau(), None);
+        assert_eq!(stripped.cut_threshold(), None);
+        assert_eq!(stripped.to_string(), "sw-f32?sigma=2");
+        // A spec with no temporal keys is unchanged.
+        let plain = BackendSpec::parse("sw-f32?sigma=2").unwrap();
+        assert_eq!(plain.without_temporal(), plain);
     }
 
     #[test]

@@ -109,6 +109,24 @@ fn schedule_pairs() -> impl Strategy<Value = Vec<(&'static str, String)>> {
     ]
 }
 
+/// The temporal-selection pairs: `tau=`/`cutthresh=` only ever appear
+/// together with the `temporal=leaky` request that licenses them (the
+/// grammar rejects integrator tuning on an independent or absent mode).
+fn temporal_pairs() -> impl Strategy<Value = Vec<(&'static str, String)>> {
+    prop_oneof![
+        Just(Vec::new()),
+        Just(vec![("temporal", "independent".to_string())]),
+        (maybe("tau", 0.0f32..16.0), maybe("cutthresh", 0.05f32..8.0)).prop_map(
+            |(tau, cutthresh)| {
+                let mut pairs = vec![("temporal", "leaky".to_string())];
+                pairs.extend(tau);
+                pairs.extend(cutthresh);
+                pairs
+            }
+        ),
+    ]
+}
+
 /// Renders a spec string with the pairs rotated out of canonical order, so
 /// the round-trip property covers arbitrary key orderings.
 fn render(name: &str, mut pairs: Vec<(&'static str, String)>, rotation: usize) -> String {
@@ -133,12 +151,14 @@ proptest! {
         params in param_pairs(),
         plan in plan_pairs(),
         schedule in schedule_pairs(),
+        temporal in temporal_pairs(),
         rotation in 0usize..16,
         padding in 0usize..3,
     ) {
         let mut pairs = params;
         pairs.extend(plan);
         pairs.extend(schedule);
+        pairs.extend(temporal);
         let raw = render(&name, pairs, rotation);
         // Leading/trailing name whitespace must be absorbed, not leaked.
         let raw = format!("{}{raw}", " ".repeat(padding));
@@ -176,11 +196,13 @@ proptest! {
         params in param_pairs(),
         plan in plan_pairs(),
         schedule in schedule_pairs(),
+        temporal in temporal_pairs(),
         dup_index in 0usize..32,
     ) {
         let mut pairs = params;
         pairs.extend(plan);
         pairs.extend(schedule);
+        pairs.extend(temporal);
         if !pairs.is_empty() {
             let dup = pairs[dup_index % pairs.len()].clone();
             pairs.push(dup);
@@ -230,6 +252,22 @@ proptest! {
             Just("pipeline=pq-out&peak=bright".to_string()),
             Just("pipeline=filmic&exposure=".to_string()),
             Just("pipeline=drago&bias=yes".to_string()),
+            // Temporal keys: unknown modes, orphaned or misdirected
+            // integrator tuning, and malformed values.
+            Just("temporal=smooth".to_string()),
+            Just("temporal=Leaky".to_string()),
+            Just("temporal=".to_string()),
+            Just("tau=0.5".to_string()),
+            Just("cutthresh=1".to_string()),
+            Just("temporal=independent&tau=0.5".to_string()),
+            Just("temporal=independent&cutthresh=1".to_string()),
+            Just("temporal=leaky&tau=abc".to_string()),
+            Just("temporal=leaky&tau=-1".to_string()),
+            Just("temporal=leaky&tau=inf".to_string()),
+            Just("temporal=leaky&cutthresh=0".to_string()),
+            Just("temporal=leaky&cutthresh=-2".to_string()),
+            Just("temporal=leaky&cutthresh=nan".to_string()),
+            Just("temporal=leaky&temporal=leaky".to_string()),
         ],
     ) {
         let raw = format!("{name}?{junk}");

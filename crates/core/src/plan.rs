@@ -1712,31 +1712,54 @@ pub fn histogram_level(value: f32, bins: usize) -> usize {
     ((value.clamp(0.0, 1.0) * (bins - 1) as f32) as usize).min(bins - 1)
 }
 
-/// Histogram-equalizes an image in the working sample type: `bins`-level
-/// histogram, CDF, remap. A constant image (nothing to equalize) is
-/// returned unchanged rather than collapsed to black.
-pub fn histogram_equalize<S: Sample>(image: &ImageBuffer<S>, bins: usize) -> ImageBuffer<S> {
-    let mut cdf = vec![0u64; bins];
+/// The `bins`-level histogram of an image in the working sample type —
+/// the reduction half of [`histogram_equalize`], exposed so callers that
+/// integrate histograms *across* images (the video session's leaky CDF
+/// adaptation) bin pixels exactly the way the single-image operator does.
+pub fn histogram_counts<S: Sample>(image: &ImageBuffer<S>, bins: usize) -> Vec<u64> {
+    let mut counts = vec![0u64; bins];
     for v in image.pixels() {
-        cdf[histogram_level(v.to_f32(), bins)] += 1;
+        counts[histogram_level(v.to_f32(), bins)] += 1;
     }
-    let mut sum = 0u64;
-    for c in cdf.iter_mut() {
-        sum += *c;
-        *c = sum;
-    }
-    let total = image.pixel_count() as u64;
-    let cdf_min = cdf.iter().copied().find(|&c| c > 0).unwrap_or(0);
+    counts
+}
+
+/// Remaps an image through a cumulative histogram — the point half of
+/// [`histogram_equalize`], taking the CDF as `f64` so temporally blended
+/// (fractional) histograms remap through the same code path. Integer counts
+/// below 2⁵³ are exact in `f64`, so feeding this the image's own CDF is
+/// bit-identical to [`histogram_equalize`]. A degenerate CDF (every pixel in
+/// one bin) returns the input unchanged rather than collapsed to black.
+pub fn histogram_remap_cdf<S: Sample>(image: &ImageBuffer<S>, cdf: &[f64]) -> ImageBuffer<S> {
+    let bins = cdf.len();
+    let total = cdf.last().copied().unwrap_or(0.0);
+    let cdf_min = cdf.iter().copied().find(|&c| c > 0.0).unwrap_or(0.0);
     if total <= cdf_min {
         // Every pixel sits in one bin: the equalized image is degenerate,
         // keep the input.
         return image.clone();
     }
-    let denom = (total - cdf_min) as f64;
+    let denom = total - cdf_min;
     image.map(|&v| {
         let level = histogram_level(v.to_f32(), bins);
-        S::from_f32((((cdf[level] - cdf_min) as f64) / denom) as f32).clamp01()
+        // A blended CDF can put a pixel below its own first occupied bin;
+        // the difference goes negative there and `clamp01` floors it.
+        S::from_f32(((cdf[level] - cdf_min) / denom) as f32).clamp01()
     })
+}
+
+/// Histogram-equalizes an image in the working sample type: `bins`-level
+/// histogram, CDF, remap. A constant image (nothing to equalize) is
+/// returned unchanged rather than collapsed to black.
+pub fn histogram_equalize<S: Sample>(image: &ImageBuffer<S>, bins: usize) -> ImageBuffer<S> {
+    let counts = histogram_counts(image, bins);
+    let mut cdf = vec![0.0f64; bins];
+    let mut sum = 0u64;
+    for (slot, count) in cdf.iter_mut().zip(&counts) {
+        sum += count;
+        *slot = sum as f64;
+    }
+    histogram_remap_cdf(image, &cdf)
 }
 
 // ---------------------------------------------------------------------------

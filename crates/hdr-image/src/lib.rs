@@ -35,6 +35,7 @@ mod error;
 pub mod io;
 pub mod metrics;
 pub mod rgb;
+pub mod sequence;
 pub mod synth;
 
 pub use buffer::ImageBuffer;

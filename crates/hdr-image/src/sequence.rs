@@ -1,0 +1,391 @@
+//! Synthetic HDR frame sequences for video tone-mapping experiments.
+//!
+//! The video session needs frame sequences with *controlled temporal
+//! structure*: static scenes (steady-state bit-identity checks), slow pans
+//! (content motion without statistics jumps), exposure ramps with
+//! shot-to-shot shimmer (the flicker driver a temporal integrator must
+//! suppress — think AC light flicker on the brightest source in frame) and
+//! hard scene cuts (the statistics discontinuity the cut detector must snap
+//! on instead of cross-fading through). Real HDR footage is no more
+//! distributable than the paper's still, so these are generated from the
+//! same deterministic [`SceneKind`] scenes.
+//!
+//! # Example
+//!
+//! ```
+//! use hdr_image::sequence::{FrameSequence, SequenceKind};
+//! use hdr_image::synth::SceneKind;
+//!
+//! let seq = FrameSequence::new(
+//!     SequenceKind::RampWithCut { decades: 1.0, cut_at: 6 },
+//!     SceneKind::WindowInDarkRoom,
+//!     32,
+//!     32,
+//!     10,
+//!     7,
+//! );
+//! assert_eq!(seq.len(), 10);
+//! assert_eq!(seq.cut_frame(), Some(6));
+//! let first = seq.frame(0);
+//! assert_eq!(first.dimensions(), (32, 32));
+//! ```
+
+use crate::synth::SceneKind;
+use crate::LuminanceImage;
+
+/// The temporal structure of a synthetic frame sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SequenceKind {
+    /// Every frame is the same image — the steady-state case where a
+    /// temporal integrator must be bit-identical to per-frame execution.
+    Static,
+    /// A camera pan: each frame is a window into a wider base scene,
+    /// advanced by `pixels_per_frame` columns per frame. Content moves but
+    /// global statistics change slowly.
+    Pan {
+        /// Horizontal window advance per frame (at least 1).
+        pixels_per_frame: usize,
+    },
+    /// The brightest source in frame ramps up by `decades` orders of
+    /// magnitude over the sequence, with a superimposed ±35% shot-to-shot
+    /// shimmer — per-frame-independent normalization chases the shimmer and
+    /// flickers; a leaky integrator smooths it.
+    ExposureRamp {
+        /// Total highlight gain over the sequence, in decades (log₁₀).
+        decades: f32,
+    },
+    /// An [`SequenceKind::ExposureRamp`] that hard-cuts to a *different*
+    /// static scene at frame `cut_at` — the discontinuity a scene-cut
+    /// detector must reset on.
+    RampWithCut {
+        /// Total highlight gain before the cut, in decades (log₁₀).
+        decades: f32,
+        /// Index of the first frame of the new scene.
+        cut_at: usize,
+    },
+}
+
+/// A deterministic synthetic HDR frame sequence.
+///
+/// The same `(kind, scene, width, height, frames, seed)` tuple always
+/// produces the same frames, and every frame is positive and finite (the
+/// [`SceneKind`] generation contract).
+#[derive(Debug, Clone)]
+pub struct FrameSequence {
+    kind: SequenceKind,
+    width: usize,
+    height: usize,
+    frames: usize,
+    base: LuminanceImage,
+    highlight: Option<LuminanceImage>,
+    cut_scene: Option<LuminanceImage>,
+}
+
+impl FrameSequence {
+    /// Builds a sequence of `frames` frames of `width × height` pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is zero, either dimension is zero, or a
+    /// [`SequenceKind::Pan`] advances by zero pixels per frame.
+    pub fn new(
+        kind: SequenceKind,
+        scene: SceneKind,
+        width: usize,
+        height: usize,
+        frames: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(frames > 0, "a frame sequence needs at least one frame");
+        let base = match kind {
+            SequenceKind::Pan { pixels_per_frame } => {
+                assert!(pixels_per_frame > 0, "a pan must advance at least 1 px");
+                let span = width + pixels_per_frame * (frames - 1);
+                scene.generate(span, height, seed)
+            }
+            _ => scene.generate(width, height, seed),
+        };
+        let highlight = match kind {
+            SequenceKind::ExposureRamp { .. } | SequenceKind::RampWithCut { .. } => {
+                Some(highlight_blob(&base))
+            }
+            _ => None,
+        };
+        let cut_scene = match kind {
+            SequenceKind::RampWithCut { .. } => {
+                Some(cut_partner(scene).generate(width, height, seed.wrapping_add(1)))
+            }
+            _ => None,
+        };
+        FrameSequence {
+            kind,
+            width,
+            height,
+            frames,
+            base,
+            highlight,
+            cut_scene,
+        }
+    }
+
+    /// The number of frames in the sequence.
+    pub const fn len(&self) -> usize {
+        self.frames
+    }
+
+    /// `false` always — the constructor rejects empty sequences; provided
+    /// for the idiomatic `len`/`is_empty` pair.
+    pub const fn is_empty(&self) -> bool {
+        self.frames == 0
+    }
+
+    /// The frame dimensions `(width, height)`.
+    pub const fn dimensions(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// The sequence's temporal structure.
+    pub const fn kind(&self) -> SequenceKind {
+        self.kind
+    }
+
+    /// The index of the first post-cut frame, for sequences that cut.
+    pub fn cut_frame(&self) -> Option<usize> {
+        match self.kind {
+            SequenceKind::RampWithCut { cut_at, .. } if cut_at < self.frames => Some(cut_at),
+            _ => None,
+        }
+    }
+
+    /// The highlight gain applied at frame `index` (1.0 for kinds without a
+    /// ramp) — exposed so experiments can report the stimulus next to the
+    /// response.
+    pub fn gain(&self, index: usize) -> f32 {
+        match self.kind {
+            SequenceKind::ExposureRamp { decades } => ramp_gain(index, self.frames, decades),
+            SequenceKind::RampWithCut { decades, cut_at } if index < cut_at => {
+                ramp_gain(index, self.frames, decades)
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// Generates frame `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn frame(&self, index: usize) -> LuminanceImage {
+        assert!(
+            index < self.frames,
+            "frame {index} out of range (sequence has {} frames)",
+            self.frames
+        );
+        match self.kind {
+            SequenceKind::Static => self.base.clone(),
+            SequenceKind::Pan { pixels_per_frame } => {
+                self.base
+                    .crop(index * pixels_per_frame, 0, self.width, self.height)
+            }
+            SequenceKind::ExposureRamp { .. } => self.ramp_frame(index),
+            SequenceKind::RampWithCut { cut_at, .. } => {
+                if index < cut_at {
+                    self.ramp_frame(index)
+                } else {
+                    self.cut_scene
+                        .as_ref()
+                        .expect("cut sequences carry a post-cut scene")
+                        .clone()
+                }
+            }
+        }
+    }
+
+    /// Iterates over all frames in order.
+    pub fn frames(&self) -> impl Iterator<Item = LuminanceImage> + '_ {
+        (0..self.frames).map(|i| self.frame(i))
+    }
+
+    fn ramp_frame(&self, index: usize) -> LuminanceImage {
+        let gain = self.gain(index);
+        let highlight = self
+            .highlight
+            .as_ref()
+            .expect("ramp sequences carry a highlight plane");
+        self.base
+            .zip_map(highlight, |&b, &h| b + h * gain)
+            .expect("base and highlight share dimensions")
+    }
+}
+
+/// Ramp gain at frame `index`: a smooth `10^decades` sweep multiplied by a
+/// deterministic ±35% golden-angle shimmer (no two consecutive frames
+/// agree, no short period — the flicker stimulus).
+fn ramp_gain(index: usize, frames: usize, decades: f32) -> f32 {
+    let t = if frames > 1 {
+        index as f32 / (frames - 1) as f32
+    } else {
+        0.0
+    };
+    let sweep = 10.0f32.powf(decades * t);
+    let shimmer = 1.0 + 0.35 * (index as f32 * 2.399_963).sin();
+    sweep * shimmer
+}
+
+/// A bright off-centre Gaussian blob, peaked well above the base scene's
+/// maximum so it owns the frame maximum (and with it the normalization
+/// statistic) throughout the ramp.
+fn highlight_blob(base: &LuminanceImage) -> LuminanceImage {
+    let (_, base_max) = base.min_max();
+    let peak = 8.0 * base_max.max(1.0);
+    let w = base.width() as f32;
+    let h = base.height() as f32;
+    LuminanceImage::from_fn(base.width(), base.height(), |xi, yi| {
+        let dx = xi as f32 / w - 0.3;
+        let dy = yi as f32 / h - 0.35;
+        peak * (-(dx * dx + dy * dy) / 0.004).exp()
+    })
+}
+
+/// The scene a [`SequenceKind::RampWithCut`] cuts to: a kind with clearly
+/// different global statistics than the pre-cut scene.
+fn cut_partner(scene: SceneKind) -> SceneKind {
+    match scene {
+        SceneKind::WindowInDarkRoom => SceneKind::SunAndShadow,
+        SceneKind::SunAndShadow => SceneKind::WindowInDarkRoom,
+        SceneKind::GradientRamp => SceneKind::StarField,
+        SceneKind::MemorialComposite => SceneKind::GradientRamp,
+        SceneKind::StarField => SceneKind::MemorialComposite,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_are_deterministic() {
+        let make = || {
+            FrameSequence::new(
+                SequenceKind::ExposureRamp { decades: 1.5 },
+                SceneKind::WindowInDarkRoom,
+                24,
+                16,
+                8,
+                3,
+            )
+        };
+        let (a, b) = (make(), make());
+        for i in 0..a.len() {
+            assert_eq!(a.frame(i), b.frame(i));
+        }
+    }
+
+    #[test]
+    fn static_frames_are_identical() {
+        let seq = FrameSequence::new(SequenceKind::Static, SceneKind::SunAndShadow, 16, 16, 5, 9);
+        let first = seq.frame(0);
+        for frame in seq.frames() {
+            assert_eq!(frame, first);
+        }
+    }
+
+    #[test]
+    fn pan_shifts_content_by_the_step() {
+        let seq = FrameSequence::new(
+            SequenceKind::Pan {
+                pixels_per_frame: 2,
+            },
+            SceneKind::GradientRamp,
+            16,
+            8,
+            4,
+            5,
+        );
+        let a = seq.frame(0);
+        let b = seq.frame(1);
+        assert_eq!(a.dimensions(), (16, 8));
+        // Frame 1 is frame 0 shifted left by 2 columns over the shared span.
+        for y in 0..8 {
+            for x in 0..14 {
+                assert_eq!(a.get(x + 2, y), b.get(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn ramp_maximum_shimmers_frame_to_frame() {
+        let seq = FrameSequence::new(
+            SequenceKind::ExposureRamp { decades: 1.0 },
+            SceneKind::WindowInDarkRoom,
+            32,
+            32,
+            12,
+            7,
+        );
+        let maxes: Vec<f32> = seq.frames().map(|f| f.min_max().1).collect();
+        // The sweep is monotone but the shimmer is not: consecutive maxima
+        // must move in both directions somewhere in the sequence.
+        let ups = maxes.windows(2).filter(|w| w[1] > w[0]).count();
+        let downs = maxes.windows(2).filter(|w| w[1] < w[0]).count();
+        assert!(ups > 0 && downs > 0, "maxima {maxes:?} did not shimmer");
+        // And the ramp still dominates end to end.
+        assert!(maxes[11] > maxes[0] * 3.0, "maxima {maxes:?} did not ramp");
+    }
+
+    #[test]
+    fn cut_switches_scene_statistics() {
+        let seq = FrameSequence::new(
+            SequenceKind::RampWithCut {
+                decades: 1.0,
+                cut_at: 3,
+            },
+            SceneKind::WindowInDarkRoom,
+            24,
+            24,
+            6,
+            11,
+        );
+        assert_eq!(seq.cut_frame(), Some(3));
+        assert_ne!(seq.frame(2), seq.frame(3));
+        // Post-cut frames are static.
+        assert_eq!(seq.frame(3), seq.frame(4));
+        assert_eq!(seq.frame(4), seq.frame(5));
+        // Pre-cut frames carry the ramp gain.
+        assert!(seq.gain(1) != 1.0);
+        assert_eq!(seq.gain(4), 1.0);
+    }
+
+    #[test]
+    fn all_frames_are_positive_and_finite() {
+        for kind in [
+            SequenceKind::Static,
+            SequenceKind::Pan {
+                pixels_per_frame: 3,
+            },
+            SequenceKind::ExposureRamp { decades: 2.0 },
+            SequenceKind::RampWithCut {
+                decades: 1.0,
+                cut_at: 2,
+            },
+        ] {
+            let seq = FrameSequence::new(kind, SceneKind::StarField, 16, 16, 4, 2);
+            for frame in seq.frames() {
+                assert!(frame.pixels().iter().all(|v| v.is_finite() && *v > 0.0));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_frames_panics() {
+        let _ = FrameSequence::new(SequenceKind::Static, SceneKind::StarField, 8, 8, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_frame_panics() {
+        let seq = FrameSequence::new(SequenceKind::Static, SceneKind::StarField, 8, 8, 2, 1);
+        let _ = seq.frame(2);
+    }
+}

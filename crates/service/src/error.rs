@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 use std::time::Duration;
 use tonemap_backend::TonemapError;
+use tonemap_video::VideoError;
 
 /// Everything that can go wrong between submitting a [`crate::JobRequest`]
 /// and receiving its response.
@@ -33,6 +34,10 @@ pub enum ServiceError {
     },
     /// The job executed and the engine layer reported a typed failure.
     Tonemap(TonemapError),
+    /// Opening a video stream failed: the spec did not build a
+    /// [`tonemap_video::VideoSession`] (unknown engine, invalid spec,
+    /// colour-input plan, invalid parameters).
+    Video(VideoError),
     /// The worker executing the job died before reporting a result (a task
     /// panic); the job's outcome is unknown.
     Lost,
@@ -53,6 +58,7 @@ impl fmt::Display for ServiceError {
                 budget.as_secs_f64() * 1e3
             ),
             ServiceError::Tonemap(e) => write!(f, "job failed: {e}"),
+            ServiceError::Video(e) => write!(f, "opening video stream failed: {e}"),
             ServiceError::Lost => write!(f, "job was lost: its worker died before reporting"),
         }
     }
@@ -62,6 +68,7 @@ impl Error for ServiceError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ServiceError::Tonemap(e) => Some(e),
+            ServiceError::Video(e) => Some(e),
             _ => None,
         }
     }
@@ -70,6 +77,12 @@ impl Error for ServiceError {
 impl From<TonemapError> for ServiceError {
     fn from(value: TonemapError) -> Self {
         ServiceError::Tonemap(value)
+    }
+}
+
+impl From<VideoError> for ServiceError {
+    fn from(value: VideoError) -> Self {
+        ServiceError::Video(value)
     }
 }
 
@@ -95,5 +108,8 @@ mod tests {
         });
         assert!(e.to_string().contains("job failed"));
         assert!(e.source().is_some());
+        let v = ServiceError::from(VideoError::UnknownEngine("gpu-cuda".into()));
+        assert!(v.to_string().contains("video stream"));
+        assert!(v.source().is_some());
     }
 }

@@ -30,6 +30,13 @@
 //!   at job granularity while every worker shares each engine's
 //!   per-resolution platform-model cache), and graceful shutdown (queued
 //!   and in-flight jobs always complete).
+//! * [`VideoStreamHandle`] — video as a first-class workload: a
+//!   [`FrameSequenceRequest`] opens a `tonemap-video` temporal session on
+//!   the service ([`TonemapService::open_stream`]); its frames ride the
+//!   same sharded pool with per-stream FIFO order (shard affinity plus a
+//!   turn gate) while distinct streams overlap across workers, staging
+//!   through the [`FramePool`] and counted separately
+//!   ([`ServiceStats::frames_completed`], [`ServiceStats::streams_active`]).
 //! * [`ServiceStats`] — aggregate telemetry: throughput, queue depth,
 //!   steals, per-class streaming latency histograms
 //!   ([`LatencyHistogram`]: p50/p95/p99 from fixed log₂ buckets),
@@ -89,6 +96,7 @@ mod job;
 pub mod pool;
 mod service;
 mod stats;
+mod video;
 
 pub use error::ServiceError;
 pub use frames::{FramePool, FramePoolStats, PoisonGuard};
@@ -97,3 +105,4 @@ pub use job::{JobHandle, JobInput, JobOutcomeResult, JobRequest};
 pub use pool::{PoolError, Priority, TaskFate, TaskOptions, WorkerPool};
 pub use service::{ServiceConfig, TonemapService};
 pub use stats::{EngineUtilisation, ServiceStats, JOB_SAMPLE_CAP};
+pub use video::{FrameHandle, FrameSequenceRequest, VideoFrameOutcome, VideoStreamHandle};

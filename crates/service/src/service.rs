@@ -108,11 +108,12 @@ impl Default for ServiceConfig {
 /// See the crate-level docs for the job lifecycle and an example.
 pub struct TonemapService {
     registry: Arc<BackendRegistry>,
-    pool: WorkerPool,
-    frames: FramePool,
-    stats: Arc<StatsInner>,
+    pub(crate) pool: WorkerPool,
+    pub(crate) frames: FramePool,
+    pub(crate) stats: Arc<StatsInner>,
     host_model: HostModel,
     next_id: AtomicU64,
+    pub(crate) next_stream: AtomicU64,
 }
 
 impl TonemapService {
@@ -129,6 +130,7 @@ impl TonemapService {
             stats: Arc::new(StatsInner::new()),
             host_model: HostModel::with_cores(config.workers.max(1)),
             next_id: AtomicU64::new(0),
+            next_stream: AtomicU64::new(0),
         }
     }
 

@@ -108,6 +108,14 @@ pub struct ServiceStats {
     /// `completed + failed + expired + lost` reconciles with `started`
     /// forever.
     pub lost: u64,
+    /// Video frames completed through open streams
+    /// ([`crate::TonemapService::open_stream`]). Deliberately *not*
+    /// counted in [`ServiceStats::completed`]: a 100-frame stream is one
+    /// workload, not 100 jobs, so frames/sec and jobs/sec stay separately
+    /// meaningful.
+    pub frames_completed: u64,
+    /// Video streams currently open (handles not yet dropped).
+    pub streams_active: u64,
     /// Jobs submitted but not yet picked up by a worker. Submissions are
     /// counted optimistically (before enqueueing, so a snapshot never
     /// shows `completed > submitted`), which means submitters currently
@@ -277,6 +285,8 @@ pub(crate) struct StatsInner {
     failed: AtomicU64,
     expired: AtomicU64,
     lost: AtomicU64,
+    frames_completed: AtomicU64,
+    streams_active: AtomicU64,
     engines: Mutex<BTreeMap<&'static str, EngineAccumulator>>,
     job_seconds: Mutex<VecDeque<f64>>,
     classes: Mutex<ClassAccumulators>,
@@ -350,6 +360,8 @@ impl StatsInner {
             failed: AtomicU64::new(0),
             expired: AtomicU64::new(0),
             lost: AtomicU64::new(0),
+            frames_completed: AtomicU64::new(0),
+            streams_active: AtomicU64::new(0),
             engines: Mutex::new(BTreeMap::new()),
             job_seconds: Mutex::new(VecDeque::new()),
             classes: Mutex::new(ClassAccumulators::default()),
@@ -417,6 +429,25 @@ impl StatsInner {
         self.lost.fetch_add(1, Ordering::SeqCst);
     }
 
+    /// A video frame finished processing through an open stream. Frames
+    /// ride the same pool as jobs but are accounted separately, so
+    /// frames/sec never masquerades as jobs/sec. Also anchors the service
+    /// clock: a service serving only streams still reports elapsed time.
+    pub(crate) fn record_frame_completed(&self) {
+        self.first_admission.get_or_init(Instant::now);
+        self.frames_completed.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// A video stream was opened ([`crate::TonemapService::open_stream`]).
+    pub(crate) fn record_stream_opened(&self) {
+        self.streams_active.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// A video stream's handle was dropped.
+    pub(crate) fn record_stream_closed(&self) {
+        self.streams_active.fetch_sub(1, Ordering::SeqCst);
+    }
+
     pub(crate) fn record_started(&self) {
         // A worker can dequeue and even finish a job before the submitter
         // resumes and calls `record_admitted`; anchoring here too closes
@@ -479,6 +510,8 @@ impl StatsInner {
         let failed = self.failed.load(Ordering::SeqCst);
         let expired = self.expired.load(Ordering::SeqCst);
         let lost = self.lost.load(Ordering::SeqCst);
+        let frames_completed = self.frames_completed.load(Ordering::SeqCst);
+        let streams_active = self.streams_active.load(Ordering::SeqCst);
         let (latency_interactive, latency_batch, interactive_seconds, batch_seconds) = {
             let classes = self.classes.lock().expect("class stats poisoned");
             (
@@ -531,6 +564,8 @@ impl StatsInner {
             failed,
             expired,
             lost,
+            frames_completed,
+            streams_active,
             queue_depth: submitted.saturating_sub(started),
             in_flight: started.saturating_sub(completed + failed + expired + lost),
             elapsed_seconds: self
@@ -576,6 +611,8 @@ mod tests {
             failed: 0,
             expired: 0,
             lost: 0,
+            frames_completed: 0,
+            streams_active: 0,
             queue_depth: 0,
             in_flight: 0,
             elapsed_seconds: job_seconds.iter().sum(),
@@ -780,6 +817,28 @@ mod tests {
             stats.submitted,
             "terminal outcomes reconcile to admissions"
         );
+    }
+
+    #[test]
+    fn frame_and_stream_counters_stay_apart_from_the_job_counters() {
+        let inner = StatsInner::new();
+        inner.record_stream_opened();
+        inner.record_stream_opened();
+        for _ in 0..5 {
+            inner.record_frame_completed();
+        }
+        inner.record_stream_closed();
+        let stats = inner.snapshot(shape(2, 8));
+        assert_eq!(stats.frames_completed, 5);
+        assert_eq!(stats.streams_active, 1);
+        // Frames are not jobs: the job pipeline never saw them.
+        assert_eq!(stats.submitted, 0);
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.in_flight, 0);
+        // But a streams-only service still has a running clock.
+        assert!(stats.elapsed_seconds >= 0.0);
+        assert!(inner.first_admission.get().is_some());
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Temporal adaptation configuration.
+
+use tonemap_backend::{BackendSpec, TemporalMode};
+
+/// Default leaky time-constant, in frames (`tau=` when omitted).
+pub const DEFAULT_TAU: f32 = 0.5;
+
+/// Default scene-cut signature-distance threshold (`cutthresh=` when
+/// omitted).
+pub const DEFAULT_CUT_THRESHOLD: f32 = 1.0;
+
+/// How a [`VideoSession`](crate::VideoSession) evolves its reduction
+/// statistics from frame to frame.
+///
+/// The integrator is a first-order leaky accumulator: each observed
+/// statistic `o` updates the adapted state `s` as `s += α·(o − s)` with
+/// `α = 1 − e^(−1/τ)` (`τ` in frames). `τ = 0` (and
+/// [`TemporalMode::Independent`]) degenerate to `α = 1`, where the state
+/// is *assigned* the observation — bit-identical to per-frame-independent
+/// execution, which the property suite pins down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemporalConfig {
+    /// Per-frame independence or leaky integration.
+    pub mode: TemporalMode,
+    /// Leaky time-constant in frames; ignored under
+    /// [`TemporalMode::Independent`].
+    pub tau: f32,
+    /// Scene-cut detector threshold on the frame-signature distance;
+    /// ignored under [`TemporalMode::Independent`].
+    pub cut_threshold: f32,
+}
+
+impl TemporalConfig {
+    /// Per-frame-independent execution: every frame recomputes its own
+    /// statistics, exactly like single-frame tone mapping.
+    pub fn independent() -> Self {
+        TemporalConfig {
+            mode: TemporalMode::Independent,
+            tau: 0.0,
+            cut_threshold: DEFAULT_CUT_THRESHOLD,
+        }
+    }
+
+    /// Leaky adaptation with time-constant `tau` (in frames) and the
+    /// default scene-cut threshold.
+    pub fn leaky(tau: f32) -> Self {
+        TemporalConfig {
+            mode: TemporalMode::Leaky,
+            tau,
+            cut_threshold: DEFAULT_CUT_THRESHOLD,
+        }
+    }
+
+    /// Replaces the scene-cut detector threshold.
+    pub fn with_cut_threshold(mut self, threshold: f32) -> Self {
+        self.cut_threshold = threshold;
+        self
+    }
+
+    /// Reads the temporal keys off a parsed spec: `temporal=leaky` turns
+    /// adaptation on, `tau=`/`cutthresh=` override the defaults, and a spec
+    /// without temporal keys (or with `temporal=independent`) is
+    /// per-frame-independent.
+    pub fn from_spec(spec: &BackendSpec) -> Self {
+        match spec.temporal() {
+            Some(TemporalMode::Leaky) => {
+                let mut config = TemporalConfig::leaky(spec.tau().unwrap_or(DEFAULT_TAU));
+                if let Some(threshold) = spec.cut_threshold() {
+                    config.cut_threshold = threshold;
+                }
+                config
+            }
+            Some(TemporalMode::Independent) | None => TemporalConfig::independent(),
+        }
+    }
+
+    /// The integrator gain `α`. Exactly `1.0` under independence or
+    /// `τ ≤ 0`, where the session assigns observations instead of blending
+    /// (the IEEE sum `s + 1·(o − s)` is not `o`, so assignment is what
+    /// makes `tau=0` bit-identical to independence).
+    pub fn alpha(&self) -> f64 {
+        match self.mode {
+            TemporalMode::Independent => 1.0,
+            TemporalMode::Leaky => {
+                if self.tau <= 0.0 {
+                    1.0
+                } else {
+                    1.0 - (-1.0 / f64::from(self.tau)).exp()
+                }
+            }
+        }
+    }
+}
+
+impl Default for TemporalConfig {
+    fn default() -> Self {
+        TemporalConfig::independent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_degenerates_to_assignment() {
+        assert_eq!(TemporalConfig::independent().alpha(), 1.0);
+        assert_eq!(TemporalConfig::leaky(0.0).alpha(), 1.0);
+        let alpha = TemporalConfig::leaky(2.0).alpha();
+        assert!(alpha > 0.0 && alpha < 1.0);
+        // Longer time-constants blend more gently.
+        assert!(TemporalConfig::leaky(8.0).alpha() < alpha);
+    }
+
+    #[test]
+    fn from_spec_reads_the_temporal_keys() {
+        let spec = BackendSpec::parse("sw-f32?temporal=leaky&tau=2&cutthresh=0.25").unwrap();
+        let config = TemporalConfig::from_spec(&spec);
+        assert_eq!(config.mode, TemporalMode::Leaky);
+        assert_eq!(config.tau, 2.0);
+        assert_eq!(config.cut_threshold, 0.25);
+
+        let defaults =
+            TemporalConfig::from_spec(&BackendSpec::parse("sw-f32?temporal=leaky").unwrap());
+        assert_eq!(defaults.tau, DEFAULT_TAU);
+        assert_eq!(defaults.cut_threshold, DEFAULT_CUT_THRESHOLD);
+
+        let plain = TemporalConfig::from_spec(&BackendSpec::parse("sw-f32").unwrap());
+        assert_eq!(plain.mode, TemporalMode::Independent);
+    }
+}

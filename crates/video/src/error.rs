@@ -1,0 +1,82 @@
+//! Typed construction errors for video sessions.
+
+use std::error::Error;
+use std::fmt;
+
+use tonemap_backend::TonemapError;
+use tonemap_core::plan::PlanError;
+use tonemap_core::ParamError;
+
+/// Why a [`VideoSession`](crate::VideoSession) could not be built.
+#[derive(Debug)]
+pub enum VideoError {
+    /// The plan consumes or produces colour registers. Video sessions
+    /// adapt *luminance* reduction statistics (normalize max, Reinhard
+    /// log-average, histogram CDF), so only scalar plans are temporal.
+    ColourPlan(String),
+    /// A fused run of the plan does not validate as a standalone plan —
+    /// e.g. a `Mask` whose `BlurMask` sits on the far side of a
+    /// materialization barrier, which segment-wise execution cannot serve.
+    Plan(PlanError),
+    /// The tone-mapping parameters fail validation.
+    InvalidParams(ParamError),
+    /// The spec names an engine the video layer has no executor mapping
+    /// for.
+    UnknownEngine(String),
+    /// The spec string itself does not parse (or its overrides/plan fail
+    /// validation).
+    Spec(TonemapError),
+}
+
+impl fmt::Display for VideoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VideoError::ColourPlan(layout) => write!(
+                f,
+                "video sessions adapt luminance statistics and only run scalar \
+                 plans; this plan carries a `{layout}` register"
+            ),
+            VideoError::Plan(err) => write!(
+                f,
+                "a fused run of the plan cannot execute segment-wise: {err}"
+            ),
+            VideoError::InvalidParams(err) => write!(f, "invalid tone-mapping parameters: {err}"),
+            VideoError::UnknownEngine(name) => write!(
+                f,
+                "no video executor mapping for engine `{name}`; known engines: \
+                 sw-f32, sw-fix16, sw-f32-stream, hw-marked, hw-sequential, \
+                 hw-pragmas, hw-fix16, hw-fix16-stream"
+            ),
+            VideoError::Spec(err) => write!(f, "invalid video spec: {err}"),
+        }
+    }
+}
+
+impl Error for VideoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VideoError::Plan(err) => Some(err),
+            VideoError::InvalidParams(err) => Some(err),
+            VideoError::Spec(err) => Some(err),
+            VideoError::ColourPlan(_) | VideoError::UnknownEngine(_) => None,
+        }
+    }
+}
+
+impl From<PlanError> for VideoError {
+    fn from(err: PlanError) -> Self {
+        VideoError::Plan(err)
+    }
+}
+
+impl From<ParamError> for VideoError {
+    fn from(err: ParamError) -> Self {
+        VideoError::InvalidParams(err)
+    }
+}
+
+impl From<TonemapError> for VideoError {
+    fn from(err: TonemapError) -> Self {
+        VideoError::Spec(err)
+    }
+}

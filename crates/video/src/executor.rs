@@ -1,0 +1,191 @@
+//! Mapping engines and `schedule=` requests onto video frame executors.
+
+use std::fmt;
+
+use tonemap_backend::BackendSpec;
+use tonemap_scheduler::{SampleFormat, ScheduleExecutor, ScheduleMode, SchedulePoint};
+
+use crate::error::VideoError;
+
+/// The sample format a video executor computes in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SampleMode {
+    /// IEEE single-precision floating point.
+    F32,
+    /// The paper's `ap_fixed<16,4>` format.
+    Fix16,
+}
+
+impl SampleMode {
+    /// The scheduler-layer format this mode corresponds to.
+    pub const fn format(&self) -> SampleFormat {
+        match self {
+            SampleMode::F32 => SampleFormat::F32,
+            SampleMode::Fix16 => SampleFormat::Fix16,
+        }
+    }
+
+    /// Stable lower-case label (`"f32"` / `"fix16"`).
+    pub const fn as_str(&self) -> &'static str {
+        match self {
+            SampleMode::F32 => "f32",
+            SampleMode::Fix16 => "fix16",
+        }
+    }
+}
+
+impl fmt::Display for SampleMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Which single-frame execution primitive a [`VideoSession`](crate::VideoSession)
+/// drives for each fused plan segment.
+///
+/// Video sessions split plans at materialization barriers and run the
+/// segments themselves (the adaptation state lives *between* the
+/// reductions), so the executor names a core-layer primitive, not a
+/// registry engine:
+///
+/// | Variant | Core primitive |
+/// |---|---|
+/// | `Direct` | `ToneMapper::map_luminance` (reference full-window blur) |
+/// | `HwBlur` | `ToneMapper::map_luminance_hw_blur` (two-pass separable blur) |
+/// | `Stream` | `StreamingToneMapper::map_luminance` (line-buffer cascade) |
+/// | `Auto` | cost-model pick per resolution, amortized across the stream |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VideoExecutor {
+    /// The engine's own direct executor.
+    Direct(SampleMode),
+    /// The two-pass separable-blur executor (the scheduler's "two-pass"
+    /// reference point).
+    HwBlur(SampleMode),
+    /// The streaming line-buffer cascade with a pinned worker count.
+    Stream(SampleMode, usize),
+    /// Defer to the auto-scheduler once per resolution; the winning point
+    /// is cached so a steady stream prices its schedule exactly once.
+    Auto(SampleMode),
+}
+
+impl VideoExecutor {
+    /// The executor a bare engine name (no `schedule=`) maps to.
+    ///
+    /// # Errors
+    ///
+    /// [`VideoError::UnknownEngine`] for names outside the standard
+    /// registry's eight engines.
+    pub fn for_engine(name: &str) -> Result<Self, VideoError> {
+        Ok(match name {
+            "sw-f32" => VideoExecutor::Direct(SampleMode::F32),
+            "sw-fix16" => VideoExecutor::Direct(SampleMode::Fix16),
+            "sw-f32-stream" => VideoExecutor::Stream(SampleMode::F32, 1),
+            "hw-marked" | "hw-sequential" | "hw-pragmas" => VideoExecutor::HwBlur(SampleMode::F32),
+            "hw-fix16" => VideoExecutor::HwBlur(SampleMode::Fix16),
+            "hw-fix16-stream" => VideoExecutor::Stream(SampleMode::Fix16, 1),
+            other => return Err(VideoError::UnknownEngine(other.to_string())),
+        })
+    }
+
+    /// The executor a full spec maps to: the engine's base executor,
+    /// reshaped by its `schedule=` request (`auto` defers to the
+    /// cost model, `stream` pins the cascade with `threads=`, `two-pass`
+    /// forces the two-pass reference executor).
+    ///
+    /// # Errors
+    ///
+    /// [`VideoError::UnknownEngine`] for an unmapped engine name.
+    pub fn from_spec(spec: &BackendSpec) -> Result<Self, VideoError> {
+        let base = Self::for_engine(spec.name())?;
+        Ok(match spec.schedule() {
+            None => base,
+            Some(ScheduleMode::Auto) => VideoExecutor::Auto(base.sample_mode()),
+            Some(ScheduleMode::Stream) => {
+                VideoExecutor::Stream(base.sample_mode(), spec.threads().unwrap_or(1))
+            }
+            Some(ScheduleMode::TwoPass) => VideoExecutor::HwBlur(base.sample_mode()),
+        })
+    }
+
+    /// The sample format this executor computes in.
+    pub const fn sample_mode(&self) -> SampleMode {
+        match self {
+            VideoExecutor::Direct(mode)
+            | VideoExecutor::HwBlur(mode)
+            | VideoExecutor::Auto(mode) => *mode,
+            VideoExecutor::Stream(mode, _) => *mode,
+        }
+    }
+
+    /// `true` when the executor defers to the per-resolution
+    /// auto-scheduler.
+    pub const fn is_auto(&self) -> bool {
+        matches!(self, VideoExecutor::Auto(_))
+    }
+
+    /// Maps an auto-scheduler winner onto the concrete executor that runs
+    /// it (the scheduler's two-pass reference *is* the separable hw-blur
+    /// executor).
+    pub(crate) fn from_schedule_point(point: &SchedulePoint, mode: SampleMode) -> Self {
+        match point.executor {
+            ScheduleExecutor::TwoPass => VideoExecutor::HwBlur(mode),
+            ScheduleExecutor::Streaming { .. } => VideoExecutor::Stream(mode, point.threads),
+        }
+    }
+}
+
+impl fmt::Display for VideoExecutor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VideoExecutor::Direct(mode) => write!(f, "direct({mode})"),
+            VideoExecutor::HwBlur(mode) => write!(f, "two-pass({mode})"),
+            VideoExecutor::Stream(mode, threads) => write!(f, "stream({mode}×{threads})"),
+            VideoExecutor::Auto(mode) => write!(f, "auto({mode})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_standard_engine_maps() {
+        for (name, expected) in [
+            ("sw-f32", VideoExecutor::Direct(SampleMode::F32)),
+            ("sw-fix16", VideoExecutor::Direct(SampleMode::Fix16)),
+            ("sw-f32-stream", VideoExecutor::Stream(SampleMode::F32, 1)),
+            ("hw-marked", VideoExecutor::HwBlur(SampleMode::F32)),
+            ("hw-sequential", VideoExecutor::HwBlur(SampleMode::F32)),
+            ("hw-pragmas", VideoExecutor::HwBlur(SampleMode::F32)),
+            ("hw-fix16", VideoExecutor::HwBlur(SampleMode::Fix16)),
+            (
+                "hw-fix16-stream",
+                VideoExecutor::Stream(SampleMode::Fix16, 1),
+            ),
+        ] {
+            assert_eq!(VideoExecutor::for_engine(name).unwrap(), expected, "{name}");
+        }
+        assert!(matches!(
+            VideoExecutor::for_engine("gpu-cuda"),
+            Err(VideoError::UnknownEngine(name)) if name == "gpu-cuda"
+        ));
+    }
+
+    #[test]
+    fn schedule_requests_reshape_the_executor() {
+        let spec = |s: &str| BackendSpec::parse(s).unwrap();
+        assert_eq!(
+            VideoExecutor::from_spec(&spec("sw-f32?schedule=auto")).unwrap(),
+            VideoExecutor::Auto(SampleMode::F32)
+        );
+        assert_eq!(
+            VideoExecutor::from_spec(&spec("hw-fix16?schedule=stream&threads=4")).unwrap(),
+            VideoExecutor::Stream(SampleMode::Fix16, 4)
+        );
+        assert_eq!(
+            VideoExecutor::from_spec(&spec("sw-f32-stream?schedule=two-pass")).unwrap(),
+            VideoExecutor::HwBlur(SampleMode::F32)
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Inline stability metrics and the scene-cut frame signature.
+
+use hdr_image::LuminanceImage;
+
+/// Number of log-luminance bins in a [`Signature`] histogram.
+const SIGNATURE_BINS: usize = 16;
+
+/// Span of the signature histogram in log₂ luminance: `[-20, 20]` covers
+/// ~12 decades, far beyond any synthetic or photographic input.
+const SIGNATURE_LOG2_SPAN: f64 = 40.0;
+
+/// Per-frame stability metrics, computed inline by
+/// [`VideoSession::process`](crate::VideoSession::process).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameMetrics {
+    /// Zero-based index of the frame within the stream.
+    pub index: usize,
+    /// `true` when the scene-cut detector fired on this frame (the
+    /// adaptation state was reset before tone mapping it).
+    pub scene_cut: bool,
+    /// Mean display-referred output brightness of the frame.
+    pub mean_brightness: f64,
+    /// `|Δ mean_brightness|` against the previous frame — the flicker
+    /// observable; `None` on the first frame.
+    pub flicker_delta: Option<f64>,
+    /// Per-pixel temporal PSNR (dB, peak 1.0) against the previous output
+    /// frame; infinite when bit-identical, `None` on the first frame or
+    /// after a resolution change.
+    pub temporal_psnr_db: Option<f64>,
+}
+
+/// Whole-stream aggregate of the per-frame metrics
+/// ([`VideoSession::summary`](crate::VideoSession::summary)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSummary {
+    /// Frames processed since construction (or the last reset).
+    pub frames: usize,
+    /// Frame indices where the scene-cut detector fired.
+    pub cuts: Vec<usize>,
+    /// Mean flicker delta across all frame pairs (cut frames included);
+    /// `0.0` with fewer than two frames.
+    pub mean_flicker: f64,
+    /// Largest single flicker delta observed.
+    pub peak_flicker: f64,
+    /// Smallest temporal PSNR observed (dB); infinite when every measured
+    /// pair was bit-identical (or none was measured).
+    pub min_temporal_psnr_db: f64,
+}
+
+/// A compact statistical fingerprint of a raw HDR frame, used by the
+/// scene-cut detector: mean log₂ luminance plus a 16-bin log-luminance
+/// histogram (as fractions). Distance between signatures is
+/// `|Δ mean| + L1(histograms)` — content changes move the histogram
+/// (bounded contribution of 2), exposure changes move the mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Signature {
+    mean_log2: f64,
+    histogram: [f64; SIGNATURE_BINS],
+}
+
+impl Signature {
+    /// Fingerprints a raw (scene-referred) frame. Non-finite and
+    /// non-positive pixels count as the 10⁻⁶ luminance floor.
+    pub fn of(frame: &LuminanceImage) -> Self {
+        let mut sum = 0.0f64;
+        let mut counts = [0u64; SIGNATURE_BINS];
+        for &v in frame.pixels() {
+            let v = if v.is_finite() { v.max(1e-6) } else { 1e-6 };
+            let log2 = f64::from(v).log2();
+            sum += log2;
+            let bin = ((log2 + SIGNATURE_LOG2_SPAN / 2.0) / SIGNATURE_LOG2_SPAN
+                * SIGNATURE_BINS as f64)
+                .floor();
+            counts[(bin.max(0.0) as usize).min(SIGNATURE_BINS - 1)] += 1;
+        }
+        let total = frame.pixel_count().max(1) as f64;
+        let mut histogram = [0.0f64; SIGNATURE_BINS];
+        for (slot, count) in histogram.iter_mut().zip(counts) {
+            *slot = count as f64 / total;
+        }
+        Signature {
+            mean_log2: sum / total,
+            histogram,
+        }
+    }
+
+    /// Distance to another signature: `|Δ mean_log2|` plus the L1 distance
+    /// of the histogram fractions (the latter bounded by 2).
+    pub fn distance(&self, other: &Signature) -> f64 {
+        let hist: f64 = self
+            .histogram
+            .iter()
+            .zip(&other.histogram)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        (self.mean_log2 - other.mean_log2).abs() + hist
+    }
+
+    /// The frame's mean log₂ luminance.
+    pub fn mean_log2(&self) -> f64 {
+        self.mean_log2
+    }
+}
+
+/// Per-pixel temporal PSNR between two output frames (dB, peak 1.0);
+/// `None` when the dimensions differ, infinite when bit-identical.
+pub(crate) fn temporal_psnr(previous: &LuminanceImage, current: &LuminanceImage) -> Option<f64> {
+    if previous.dimensions() != current.dimensions() {
+        return None;
+    }
+    let sum: f64 = previous
+        .pixels()
+        .iter()
+        .zip(current.pixels())
+        .map(|(&a, &b)| {
+            let d = f64::from(a) - f64::from(b);
+            d * d
+        })
+        .sum();
+    let mse = sum / previous.pixel_count().max(1) as f64;
+    Some(if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (1.0 / mse).log10()
+    })
+}
+
+/// Mean of `ln(10⁻⁴ + v)` over a (pre-normalized) frame — the log-average
+/// observation behind Reinhard key adaptation.
+pub(crate) fn mean_ln(frame: &LuminanceImage) -> f64 {
+    let sum: f64 = frame
+        .pixels()
+        .iter()
+        .map(|&v| (1e-4 + f64::from(v)).ln())
+        .sum();
+    sum / frame.pixel_count().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdr_image::synth::SceneKind;
+
+    #[test]
+    fn identical_frames_have_zero_distance_and_infinite_psnr() {
+        let frame = SceneKind::WindowInDarkRoom.generate(32, 24, 3);
+        let signature = Signature::of(&frame);
+        assert_eq!(signature.distance(&signature), 0.0);
+        assert!(temporal_psnr(&frame, &frame).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn scene_changes_and_exposure_steps_both_move_the_signature() {
+        let a = SceneKind::WindowInDarkRoom.generate(32, 24, 3);
+        let b = SceneKind::SunAndShadow.generate(32, 24, 3);
+        assert!(Signature::of(&a).distance(&Signature::of(&b)) > 0.5);
+        // A two-decade exposure step moves the mean by ~6.6 log2 units.
+        let brighter = a.map(|&v| v * 100.0);
+        assert!(Signature::of(&a).distance(&Signature::of(&brighter)) > 5.0);
+    }
+
+    #[test]
+    fn psnr_is_finite_for_differing_frames_and_none_across_resolutions() {
+        let a = LuminanceImage::filled(8, 8, 0.25);
+        let b = LuminanceImage::filled(8, 8, 0.5);
+        let db = temporal_psnr(&a, &b).unwrap();
+        assert!(db.is_finite() && db > 0.0);
+        let other = LuminanceImage::filled(4, 4, 0.5);
+        assert_eq!(temporal_psnr(&a, &other), None);
+    }
+}

@@ -30,6 +30,7 @@ pub use hls_model;
 pub use tonemap_backend;
 pub use tonemap_core;
 pub use tonemap_service;
+pub use tonemap_video;
 pub use zynq_sim;
 
 /// Convenience prelude used by the examples and integration tests.
@@ -39,6 +40,7 @@ pub mod prelude {
     pub use codesign::profile::Profiler;
     pub use codesign::reports::{EnergyBreakdown, ExecutionBreakdown, QualityReport};
     pub use hdr_image::metrics::{mse, psnr, ssim};
+    pub use hdr_image::sequence::{FrameSequence, SequenceKind};
     pub use hdr_image::synth::SceneKind;
     pub use hdr_image::{ImageBuffer, LdrImage, LuminanceImage, RgbImage};
     pub use hls_model::kernel::{Kernel, KernelBuilder};
@@ -57,9 +59,13 @@ pub mod prelude {
         StreamingToneMapper, ToneMapParams, ToneMapper,
     };
     pub use tonemap_service::{
-        EngineUtilisation, FramePool, FramePoolStats, JobHandle, JobInput, JobRequest,
-        LatencyHistogram, Priority, ServiceConfig, ServiceError, ServiceStats, TaskOptions,
-        TonemapService, WorkerPool, LATENCY_BUCKETS,
+        EngineUtilisation, FrameHandle, FramePool, FramePoolStats, FrameSequenceRequest, JobHandle,
+        JobInput, JobRequest, LatencyHistogram, Priority, ServiceConfig, ServiceError,
+        ServiceStats, TaskOptions, TonemapService, VideoFrameOutcome, VideoStreamHandle,
+        WorkerPool, LATENCY_BUCKETS,
+    };
+    pub use tonemap_video::{
+        FrameMetrics, StreamSummary, TemporalConfig, VideoError, VideoSession,
     };
     pub use zynq_sim::config::ZynqConfig;
     pub use zynq_sim::power::{EnergyReport, PowerRails};
